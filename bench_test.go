@@ -1,0 +1,131 @@
+// Package-level benchmarks: one testing.B benchmark per table and figure
+// of the paper (each run regenerates its rows/series through the
+// internal/bench harness and reports the headline metric), plus native
+// micro-benchmarks of the primitives on the host hardware.
+//
+// Regenerate everything at full fidelity with:
+//
+//	go test -bench=. -benchmem
+//	go run ./cmd/ordo-bench            # paper-style tables
+package ordo_test
+
+import (
+	"io"
+	"sync/atomic"
+	"testing"
+
+	"ordo"
+	"ordo/internal/bench"
+	"ordo/internal/db"
+	"ordo/internal/sim"
+	"ordo/internal/topology"
+)
+
+// benchExperiment runs one harness experiment per iteration and reports
+// nothing but wall time — the tables themselves go to ordo-bench.
+func benchExperiment(b *testing.B, id string) {
+	e, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Run(io.Discard, bench.Quick)
+	}
+}
+
+func BenchmarkTable1_Offsets(b *testing.B)         { benchExperiment(b, "table1") }
+func BenchmarkFigure1_RLUPhi(b *testing.B)         { benchExperiment(b, "fig1") }
+func BenchmarkFigure8a_TimestampCost(b *testing.B) { benchExperiment(b, "fig8a") }
+func BenchmarkFigure8b_TimestampGen(b *testing.B)  { benchExperiment(b, "fig8b") }
+func BenchmarkFigure9_Heatmap(b *testing.B)        { benchExperiment(b, "fig9") }
+func BenchmarkFigure10_Exim(b *testing.B)          { benchExperiment(b, "fig10") }
+func BenchmarkFigure11_RLU(b *testing.B)           { benchExperiment(b, "fig11") }
+func BenchmarkFigure12_RLUDefer(b *testing.B)      { benchExperiment(b, "fig12") }
+func BenchmarkFigure13_YCSB(b *testing.B)          { benchExperiment(b, "fig13") }
+func BenchmarkFigure14_TPCC(b *testing.B)          { benchExperiment(b, "fig14") }
+func BenchmarkFigure15_STAMP(b *testing.B)         { benchExperiment(b, "fig15") }
+func BenchmarkFigure16_Sensitivity(b *testing.B)   { benchExperiment(b, "fig16") }
+
+// Headline-metric benchmarks: report the paper's key ratios as custom
+// metrics so `go test -bench` output records them.
+
+func BenchmarkHeadline_Fig13_OCCOrdoSpeedup(b *testing.B) {
+	x := topology.Xeon()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		occ := sim.RunYCSBAt(sim.YCSBConfig{Topo: x, Protocol: db.OCC}, x.Threads()).OpsPerUSec()
+		occOrdo := sim.RunYCSBAt(sim.YCSBConfig{Topo: x, Protocol: db.OCCOrdo}, x.Threads()).OpsPerUSec()
+		ratio = occOrdo / occ
+	}
+	b.ReportMetric(ratio, "x-speedup")
+}
+
+func BenchmarkHeadline_Fig1_RLUOrdoSpeedup(b *testing.B) {
+	p := topology.Phi()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		l := sim.RunRLUAt(sim.RLUConfig{Topo: p, UpdateRatio: 0.02}, p.Threads()).OpsPerUSec()
+		o := sim.RunRLUAt(sim.RLUConfig{Topo: p, UpdateRatio: 0.02, Ordo: true}, p.Threads()).OpsPerUSec()
+		ratio = o / l
+	}
+	b.ReportMetric(ratio, "x-speedup")
+}
+
+// Native micro-benchmarks on the host hardware.
+
+func BenchmarkNative_GetTime(b *testing.B) {
+	o := ordo.New(ordo.Hardware, 64)
+	var sink ordo.Time
+	for i := 0; i < b.N; i++ {
+		sink = o.GetTime()
+	}
+	_ = sink
+}
+
+func BenchmarkNative_NewTime(b *testing.B) {
+	o := ordo.New(ordo.Hardware, 64)
+	t := o.GetTime()
+	for i := 0; i < b.N; i++ {
+		t = o.NewTime(t)
+	}
+}
+
+func BenchmarkNative_CmpTime(b *testing.B) {
+	o := ordo.New(ordo.Hardware, 276)
+	t1, t2 := o.GetTime(), o.GetTime()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = o.CmpTime(t1, t2)
+	}
+	_ = sink
+}
+
+// BenchmarkNative_AtomicCounter is the contended baseline GetTime replaces.
+func BenchmarkNative_AtomicCounter(b *testing.B) {
+	var clock atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			clock.Add(1)
+		}
+	})
+}
+
+func BenchmarkNative_GetTimeParallel(b *testing.B) {
+	o := ordo.New(ordo.Hardware, 64)
+	b.RunParallel(func(pb *testing.PB) {
+		var sink ordo.Time
+		for pb.Next() {
+			sink = o.GetTime()
+		}
+		_ = sink
+	})
+}
+
+func BenchmarkNative_Calibration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ordo.Calibrate(ordo.CalibrationOptions{Runs: 10, MaxPairs: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command ordo-bench regenerates the paper's evaluation: every table and
+// figure of "A Scalable Ordering Primitive for Multicore Machines"
+// (EuroSys'18), reproduced on simulated models of the paper's four
+// machines (plus host-hardware calibration where meaningful).
+//
+// Usage:
+//
+//	ordo-bench                  # run everything at full fidelity
+//	ordo-bench -exp fig13       # one experiment
+//	ordo-bench -exp table1,fig1 # several
+//	ordo-bench -quick           # fewer sweep points (CI-friendly)
+//	ordo-bench -list            # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ordo/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		quick = flag.Bool("quick", false, "fewer sweep points and shorter runs")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	quality := bench.Full
+	if *quick {
+		quality = bench.Quick
+	}
+
+	var selected []bench.Experiment
+	if *exp == "all" {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := bench.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n",
+					id, strings.Join(bench.IDs(), ", "))
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+		e.Run(os.Stdout, quality)
+		fmt.Printf("---- %s done in %v ----\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

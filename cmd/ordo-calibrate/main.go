@@ -1,0 +1,84 @@
+// Command ordo-calibrate measures the ORDO_BOUNDARY of the host machine:
+// it pins OS threads to CPU pairs (sched_setaffinity on Linux) and runs
+// the paper's Figure 4 one-way-delay protocol across every pair, printing
+// the per-pair offsets and the resulting global boundary.
+//
+// Usage:
+//
+//	ordo-calibrate                 # all pairs, 1000 runs each
+//	ordo-calibrate -runs 200       # fewer protocol iterations
+//	ordo-calibrate -stride 4       # sample every 4th CPU
+//	ordo-calibrate -matrix         # print the pairwise offset matrix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"ordo/internal/affinity"
+	"ordo/internal/core"
+	"ordo/internal/tsc"
+)
+
+func main() {
+	var (
+		runs   = flag.Int("runs", 1000, "protocol iterations per direction per pair")
+		stride = flag.Int("stride", 1, "sample every Nth CPU")
+		matrix = flag.Bool("matrix", false, "print the full pairwise offset matrix (ns)")
+	)
+	flag.Parse()
+
+	fmt.Printf("cpus: %d   pinning: %v   hardware counter: %v   counter freq: %.2f GHz\n",
+		runtime.NumCPU(), affinity.Supported(), tsc.Supported(),
+		float64(tsc.Frequency())/1e9)
+
+	s := &core.HardwareSampler{AllowUnpinned: true}
+	if *matrix {
+		printMatrix(s, *runs, *stride)
+	}
+
+	start := time.Now()
+	b, err := core.ComputeBoundary(s, core.CalibrationOptions{Runs: *runs, Stride: *stride})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "calibration failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ncalibrated in %v over %d CPUs (%d measurements)\n",
+		time.Since(start).Round(time.Millisecond), b.CPUs, b.Pairs)
+	fmt.Printf("min pairwise offset: %8d ticks  (%v)\n", b.Min, tsc.ToDuration(uint64(b.Min)))
+	fmt.Printf("ORDO_BOUNDARY:       %8d ticks  (%v)\n", b.Global, tsc.ToDuration(uint64(b.Global)))
+
+	o := core.New(core.Hardware, b.Global)
+	t0 := o.GetTime()
+	t1 := o.NewTime(t0)
+	fmt.Printf("\nsanity: get_time=%d, new_time=%d (delta %v), cmp=%+d\n",
+		t0, t1, tsc.ToDuration(uint64(t1-t0)), o.CmpTime(t1, t0))
+}
+
+func printMatrix(s *core.HardwareSampler, runs, stride int) {
+	n := s.NumCPUs()
+	fmt.Printf("\npairwise one-way offsets (ns), writer row -> reader column:\n%6s", "")
+	for j := 0; j < n; j += stride {
+		fmt.Printf(" %7d", j)
+	}
+	fmt.Println()
+	for i := 0; i < n; i += stride {
+		fmt.Printf("%6d", i)
+		for j := 0; j < n; j += stride {
+			if i == j {
+				fmt.Printf(" %7s", ".")
+				continue
+			}
+			d, err := s.MeasureOffset(i, j, runs)
+			if err != nil {
+				fmt.Printf(" %7s", "err")
+				continue
+			}
+			fmt.Printf(" %7d", tsc.ToDuration(uint64(d)).Nanoseconds())
+		}
+		fmt.Println()
+	}
+}

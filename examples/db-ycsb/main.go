@@ -1,0 +1,83 @@
+// db-ycsb runs the YCSB workload natively over every concurrency-control
+// protocol in the engine — Silo, TicToc, OCC, OCC_ORDO, Hekaton and
+// Hekaton_ORDO — and prints throughput and abort rates, the native-scale
+// analogue of the paper's Figure 13.
+//
+//	go run ./examples/db-ycsb -workers 4 -records 10000 -reads 1.0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"ordo/internal/core"
+	"ordo/internal/db"
+	"ordo/internal/db/ycsb"
+)
+
+func main() {
+	var (
+		workers = flag.Int("workers", 4, "worker goroutines")
+		records = flag.Int("records", 10000, "table size")
+		reads   = flag.Float64("reads", 1.0, "read ratio (paper Fig. 13: 1.0)")
+		seconds = flag.Float64("seconds", 1, "duration per protocol")
+	)
+	flag.Parse()
+
+	o, b, err := core.CalibrateHardware(core.CalibrationOptions{Runs: 100})
+	if err != nil {
+		log.Fatalf("calibrate: %v", err)
+	}
+	fmt.Printf("ORDO_BOUNDARY = %d ticks; YCSB %d records, %.0f%% reads, %d workers\n\n",
+		b.Global, *records, *reads*100, *workers)
+
+	for _, p := range db.AllProtocols() {
+		engine, err := db.New(p, ycsb.Schema(), o)
+		if err != nil {
+			log.Fatalf("%v: %v", p, err)
+		}
+		w, err := ycsb.New(engine, ycsb.Config{Records: *records, OpsPerTxn: 2, ReadRatio: *reads})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := w.Load(); err != nil {
+			log.Fatalf("%v: load: %v", p, err)
+		}
+
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		wks := make([]*ycsb.Worker, *workers)
+		for i := range wks {
+			wks[i] = w.NewWorker(int64(i + 1))
+			wg.Add(1)
+			go func(wk *ycsb.Worker) {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := wk.RunOne(); err != nil {
+						log.Printf("txn error: %v", err)
+						return
+					}
+				}
+			}(wks[i])
+		}
+		time.Sleep(time.Duration(*seconds * float64(time.Second)))
+		close(stop)
+		wg.Wait()
+
+		var txns, aborts uint64
+		for _, wk := range wks {
+			txns += wk.Txns
+			aborts += wk.Aborts
+		}
+		fmt.Printf("%-13s %9.0f txns/sec   abort rate %.2f%%\n",
+			p, float64(txns)/(*seconds), 100*float64(aborts)/float64(txns+aborts+1))
+	}
+}

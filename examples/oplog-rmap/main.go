@@ -1,0 +1,116 @@
+// oplog-rmap demonstrates OpLog on the kernel reverse-map structure from
+// §6.3: "processes" fork and exit concurrently, each fork adding page
+// mappings and each exit removing them, while a reclaim thread
+// periodically walks pages. It compares the lock-based baseline with the
+// OpLog versions (raw TSC and Ordo timestamps).
+//
+//	go run ./examples/oplog-rmap -workers 4 -seconds 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ordo/internal/core"
+	"ordo/internal/oplog"
+)
+
+const pagesPerProc = 16
+
+func main() {
+	var (
+		workers = flag.Int("workers", 4, "forking goroutines")
+		seconds = flag.Float64("seconds", 1, "duration per variant")
+	)
+	flag.Parse()
+
+	o, b, err := core.CalibrateHardware(core.CalibrationOptions{Runs: 100})
+	if err != nil {
+		log.Fatalf("calibrate: %v", err)
+	}
+	fmt.Printf("ORDO_BOUNDARY = %d ticks\n\n", b.Global)
+
+	lockBased(*workers, *seconds)
+	opLogged("Oplog (raw TSC)  ", oplog.RawTSC{}, *workers, *seconds)
+	opLogged("Oplog_ORDO       ", oplog.OrdoStamp{O: o}, *workers, *seconds)
+}
+
+func lockBased(workers int, seconds float64) {
+	r := oplog.NewLockedRmap()
+	ops := drive(workers, seconds,
+		func(worker int, proc uint64, rng *rand.Rand) {
+			for pg := 0; pg < pagesPerProc; pg++ {
+				r.AddMapping(uint64(pg), oplog.Mapping{Proc: proc, VA: uint64(pg) << 12})
+			}
+			r.RemoveProc(proc)
+		},
+		func() { r.Walk(0) })
+	fmt.Printf("Vanilla (locked) %9.0f forks/sec\n", float64(ops)/seconds)
+}
+
+func opLogged(name string, stamp oplog.Timestamper, workers int, seconds float64) {
+	r := oplog.NewRmap(stamp)
+	handles := make([]*oplog.RmapHandle, workers)
+	for i := range handles {
+		handles[i] = r.NewHandle()
+	}
+	ops := drive(workers, seconds,
+		func(worker int, proc uint64, rng *rand.Rand) {
+			h := handles[worker]
+			for pg := 0; pg < pagesPerProc; pg++ {
+				h.AddMapping(uint64(pg), oplog.Mapping{Proc: proc, VA: uint64(pg) << 12})
+			}
+			h.RemoveProc(proc)
+		},
+		func() { r.Walk(0) })
+	fmt.Printf("%s %9.0f forks/sec\n", name, float64(ops)/seconds)
+}
+
+// drive runs `fork` repeatedly on each worker and `walk` on a reader until
+// the duration elapses; returns total fork count.
+func drive(workers int, seconds float64, fork func(int, uint64, *rand.Rand), walk func()) uint64 {
+	var total atomic.Uint64
+	var procIDs atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(worker)))
+			var ops uint64
+			for {
+				select {
+				case <-stop:
+					total.Add(ops)
+					return
+				default:
+				}
+				fork(worker, procIDs.Add(1), rng)
+				ops++
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() { // reclaim walker
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			walk()
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+	time.Sleep(time.Duration(seconds * float64(time.Second)))
+	close(stop)
+	wg.Wait()
+	return total.Load()
+}

@@ -1,0 +1,27 @@
+// paper-figures regenerates one figure of the paper on the simulated
+// machines — the same engine cmd/ordo-bench drives, packaged as a minimal
+// example of the simulation API.
+//
+//	go run ./examples/paper-figures -figure fig1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ordo/internal/bench"
+)
+
+func main() {
+	figure := flag.String("figure", "fig1", "experiment id (see ordo-bench -list)")
+	flag.Parse()
+
+	e, ok := bench.ByID(*figure)
+	if !ok {
+		log.Fatalf("unknown figure %q", *figure)
+	}
+	fmt.Printf("%s — %s\n\n", e.ID, e.Title)
+	e.Run(os.Stdout, bench.Quick)
+}

@@ -1,0 +1,95 @@
+// rlu-hashtable runs the paper's RLU hash-table benchmark natively on
+// this machine: a fixed-bucket hash table of sorted linked lists under
+// Read-Log-Update, once with the original global logical clock and once
+// with the Ordo primitive, printing throughput for both.
+//
+//	go run ./examples/rlu-hashtable -workers 4 -updates 0.02 -seconds 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ordo/internal/core"
+	"ordo/internal/intset"
+	"ordo/internal/rlu"
+)
+
+func main() {
+	var (
+		workers = flag.Int("workers", 4, "concurrent goroutines")
+		updates = flag.Float64("updates", 0.02, "fraction of operations that write")
+		buckets = flag.Int("buckets", 1000, "hash buckets")
+		keys    = flag.Int("keys", 10000, "key range (~nodes at 50% fill)")
+		seconds = flag.Float64("seconds", 1, "measurement duration per variant")
+	)
+	flag.Parse()
+
+	o, b, err := core.CalibrateHardware(core.CalibrationOptions{Runs: 100})
+	if err != nil {
+		log.Fatalf("calibrate: %v", err)
+	}
+	fmt.Printf("ORDO_BOUNDARY = %d ticks over %d CPUs\n\n", b.Global, b.CPUs)
+
+	for _, mode := range []struct {
+		name string
+		d    *rlu.Domain
+	}{
+		{"RLU (logical clock)", rlu.NewDomain(rlu.Logical, nil)},
+		{"RLU_ORDO           ", rlu.NewDomain(rlu.Ordo, o)},
+	} {
+		ops := run(mode.d, *workers, *updates, *buckets, *keys, *seconds)
+		fmt.Printf("%s  %8.0f ops/sec  (%d workers, %.0f%% updates)\n",
+			mode.name, float64(ops)/(*seconds), *workers, *updates*100)
+	}
+}
+
+func run(d *rlu.Domain, workers int, updates float64, buckets, keys int, seconds float64) uint64 {
+	set := intset.NewHashSet(d, buckets)
+	// Pre-fill half the key range.
+	loader := set.NewHandle()
+	for k := 0; k < keys; k += 2 {
+		loader.Add(int64(k))
+	}
+
+	var total atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		h := set.NewHandle()
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var ops uint64
+			for {
+				select {
+				case <-stop:
+					total.Add(ops)
+					return
+				default:
+				}
+				k := int64(rng.Intn(keys))
+				if rng.Float64() < updates {
+					if rng.Intn(2) == 0 {
+						h.Add(k)
+					} else {
+						h.Remove(k)
+					}
+				} else {
+					h.Contains(k)
+				}
+				ops++
+			}
+		}(int64(w + 1))
+	}
+	time.Sleep(time.Duration(seconds * float64(time.Second)))
+	close(stop)
+	wg.Wait()
+	return total.Load()
+}

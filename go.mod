@@ -1,0 +1,3 @@
+module ordo
+
+go 1.22

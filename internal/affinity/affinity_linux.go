@@ -1,0 +1,87 @@
+//go:build linux
+
+// Package affinity pins OS threads to specific CPUs so that clock-offset
+// measurements actually sample the pair of hardware clocks they claim to.
+// The Go scheduler is free to migrate goroutines between OS threads and the
+// kernel is free to migrate threads between CPUs; calibration must defeat
+// both, which it does by combining runtime.LockOSThread with
+// sched_setaffinity(2).
+package affinity
+
+import (
+	"fmt"
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+// cpuSet mirrors the kernel's cpu_set_t for up to 1024 CPUs.
+type cpuSet [16]uint64
+
+func (s *cpuSet) set(cpu int) { s[cpu/64] |= 1 << (uint(cpu) % 64) }
+
+func (s *cpuSet) count() int {
+	n := 0
+	for _, w := range s {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+func setaffinity(set *cpuSet) error {
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(unsafe.Sizeof(*set)), uintptr(unsafe.Pointer(set)))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+func getaffinity(set *cpuSet) error {
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_GETAFFINITY,
+		0, uintptr(unsafe.Sizeof(*set)), uintptr(unsafe.Pointer(set)))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+// Pin locks the calling goroutine to its OS thread and restricts that
+// thread to the given CPU. It returns a restore function that reinstates
+// the previous affinity mask and unlocks the thread. Callers must invoke
+// restore from the same goroutine.
+func Pin(cpu int) (restore func(), err error) {
+	if cpu < 0 || cpu >= 1024 {
+		return nil, fmt.Errorf("affinity: cpu %d out of range", cpu)
+	}
+	runtime.LockOSThread()
+	var old cpuSet
+	if err := getaffinity(&old); err != nil {
+		runtime.UnlockOSThread()
+		return nil, fmt.Errorf("affinity: sched_getaffinity: %w", err)
+	}
+	var want cpuSet
+	want.set(cpu)
+	if err := setaffinity(&want); err != nil {
+		runtime.UnlockOSThread()
+		return nil, fmt.Errorf("affinity: sched_setaffinity(cpu=%d): %w", cpu, err)
+	}
+	return func() {
+		_ = setaffinity(&old)
+		runtime.UnlockOSThread()
+	}, nil
+}
+
+// Available returns the number of CPUs the current thread may run on.
+func Available() int {
+	var s cpuSet
+	if err := getaffinity(&s); err != nil {
+		return runtime.NumCPU()
+	}
+	return s.count()
+}
+
+// Supported reports whether pinning works on this platform.
+func Supported() bool { return true }

@@ -1,0 +1,22 @@
+//go:build !linux
+
+package affinity
+
+import (
+	"errors"
+	"runtime"
+)
+
+// ErrUnsupported is returned by Pin on platforms without sched_setaffinity.
+var ErrUnsupported = errors.New("affinity: thread pinning not supported on this platform")
+
+// Pin is unsupported here; calibration falls back to unpinned sampling,
+// which inflates (never deflates) the measured offset and therefore keeps
+// the Ordo boundary conservative.
+func Pin(cpu int) (restore func(), err error) { return nil, ErrUnsupported }
+
+// Available returns the number of usable CPUs.
+func Available() int { return runtime.NumCPU() }
+
+// Supported reports whether pinning works on this platform.
+func Supported() bool { return false }

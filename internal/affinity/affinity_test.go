@@ -1,0 +1,55 @@
+package affinity
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestAvailablePositive(t *testing.T) {
+	if n := Available(); n < 1 {
+		t.Fatalf("Available() = %d, want >= 1", n)
+	}
+}
+
+func TestPinAndRestore(t *testing.T) {
+	if !Supported() {
+		t.Skip("pinning unsupported on this platform")
+	}
+	restore, err := Pin(0)
+	if err != nil {
+		t.Fatalf("Pin(0): %v", err)
+	}
+	if got := Available(); got != 1 {
+		restore()
+		t.Fatalf("after Pin(0), Available() = %d, want 1", got)
+	}
+	restore()
+	if got := Available(); got < 1 {
+		t.Fatalf("after restore, Available() = %d", got)
+	}
+}
+
+func TestPinRejectsOutOfRange(t *testing.T) {
+	if !Supported() {
+		t.Skip("pinning unsupported on this platform")
+	}
+	if _, err := Pin(-1); err == nil {
+		t.Error("Pin(-1) succeeded, want error")
+	}
+	if _, err := Pin(4096); err == nil {
+		t.Error("Pin(4096) succeeded, want error")
+	}
+}
+
+func TestPinNonexistentCPUFails(t *testing.T) {
+	if !Supported() {
+		t.Skip("pinning unsupported on this platform")
+	}
+	if runtime.NumCPU() >= 1000 {
+		t.Skip("machine actually has 1000 CPUs")
+	}
+	if restore, err := Pin(1000); err == nil {
+		restore()
+		t.Error("Pin(1000) succeeded on a machine without cpu 1000")
+	}
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"ordo/internal/core"
+	"ordo/internal/machine"
+	"ordo/internal/topology"
+)
+
+// runAblations prints the DESIGN.md §5 design-choice ablations:
+//
+//  1. Ordo's min/max estimator vs the NTP-style RTT/2 estimator — the
+//     latter under-estimates the skew whenever one-way software paths are
+//     asymmetric, which would break ordering soundness;
+//  2. the global ORDO_BOUNDARY vs a per-pair table (§7): smaller windows
+//     for close pairs, paid for with O(n²) resident memory and a pinning
+//     requirement. (Ablation 3, boundary scaling, is Figure 16.)
+func runAblations(w io.Writer, q Quality) {
+	runs := 100
+	if q == Quick {
+		runs = 25
+	}
+
+	fmt.Fprintln(w, "[1] Boundary estimator soundness: Ordo (min-of-runs, max-of-pairs) vs NTP (RTT/2)")
+	fmt.Fprintln(w, "Machine          physical-skew(ns)  ordo(ns)  ntp(ns)  ordo>=skew  ntp>=skew")
+	for _, t := range topology.All() {
+		s := &machine.Sampler{Topo: t, Seed: 42}
+		stride := 1
+		if t.Threads() > 32 {
+			stride = t.Threads() / 32
+		}
+		opts := core.CalibrationOptions{Runs: runs, Stride: stride}
+		ob, err := core.ComputeBoundary(s, opts)
+		if err != nil {
+			fmt.Fprintf(w, "%s: %v\n", t.Name, err)
+			continue
+		}
+		nb, err := core.NTPBoundary(s, opts)
+		if err != nil {
+			fmt.Fprintf(w, "%s: %v\n", t.Name, err)
+			continue
+		}
+		phys := t.MaxSkewDiffNS()
+		fmt.Fprintf(w, "%-16s %17.0f %9d %8d %11v %10v\n",
+			t.Name, phys, ob.Global, nb.Global,
+			float64(ob.Global) >= phys, float64(nb.Global) >= phys)
+	}
+
+	fmt.Fprintln(w, "\n[2] Global boundary vs per-pair table (AMD, 32 CPUs — full pair walk)")
+	t := topology.AMD()
+	s := &machine.Sampler{Topo: t, Seed: 42}
+	pt, err := core.ComputePairTable(s, core.CalibrationOptions{Runs: runs})
+	if err != nil {
+		fmt.Fprintf(w, "pair table: %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "global boundary: %d ns   table: %d pairs, %d bytes resident\n",
+		pt.Global(), pt.CPUs()*(pt.CPUs()-1)/2, pt.Bytes())
+	fmt.Fprintln(w, "gap(ns)  uncertain: global  per-pair")
+	for _, gap := range []core.Time{50, 100, 150, 200, 250} {
+		g, pp := pt.UncertainFraction(gap)
+		fmt.Fprintf(w, "%-8d %17.2f %9.2f\n", gap, g, pp)
+	}
+	fmt.Fprintln(w, "(per-pair comparison requires pinned threads — §7's reason for the global default)")
+}

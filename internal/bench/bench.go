@@ -1,0 +1,151 @@
+// Package bench is the evaluation harness: one runner per table and
+// figure of the paper, each regenerating its rows/series on the simulated
+// machines (and, where meaningful, on the host hardware) and printing a
+// paper-style ASCII table.
+//
+// The harness backs cmd/ordo-bench, the repository's bench_test.go
+// benchmarks, and the numbers recorded in EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ordo/internal/sim"
+)
+
+// Quality selects the fidelity/runtime trade-off.
+type Quality int
+
+const (
+	// Quick uses fewer sweep points and shorter virtual durations; used by
+	// tests and testing.B benchmarks.
+	Quick Quality = iota
+	// Full reproduces every point of the paper's figures.
+	Full
+)
+
+func (q Quality) steps() int {
+	if q == Quick {
+		return 4
+	}
+	return 8
+}
+
+// Experiment is one table or figure reproduction.
+type Experiment struct {
+	ID    string // e.g. "table1", "fig13"
+	Title string // the paper's caption, abridged
+	Run   func(w io.Writer, q Quality)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Machine configurations and measured clock offsets", runTable1},
+		{"fig1", "RLU vs RLU_ORDO hash table, 98% reads, Xeon Phi", runFig1},
+		{"fig8a", "Hardware timestamp cost vs threads", runFig8a},
+		{"fig8b", "Timestamp generation: atomic vs Ordo new_time", runFig8b},
+		{"fig9", "Pairwise clock-offset heatmaps", runFig9},
+		{"fig10", "Exim throughput: Vanilla vs Oplog vs Oplog_ORDO", runFig10},
+		{"fig11", "RLU hash table, 2% and 40% updates, four machines", runFig11},
+		{"fig12", "Deferred RLU vs RLU_ORDO, 40% updates, Xeon", runFig12},
+		{"fig13", "YCSB read-only: six CC protocols", runFig13},
+		{"fig14", "TPC-C, 60 warehouses: throughput and abort rate", runFig14},
+		{"fig15", "STAMP speedups: TL2 vs TL2_ORDO", runFig15},
+		{"fig16", "ORDO_BOUNDARY sensitivity, 1/8x-8x", runFig16},
+		{"ablations", "Design-choice ablations (estimator soundness, pair table)", runAblations},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs lists every experiment id.
+func IDs() []string {
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// printSeries renders series as an aligned table with one row per thread
+// count found in any series.
+func printSeries(w io.Writer, xlabel, format string, series ...sim.Series) {
+	threads := map[int]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			threads[p.Threads] = true
+		}
+	}
+	var xs []int
+	for t := range threads {
+		xs = append(xs, t)
+	}
+	sort.Ints(xs)
+
+	fmt.Fprintf(w, "%-8s", xlabel)
+	for _, s := range series {
+		fmt.Fprintf(w, " %14s", s.Name)
+	}
+	fmt.Fprintln(w)
+	for _, x := range xs {
+		fmt.Fprintf(w, "%-8d", x)
+		for _, s := range series {
+			if v, ok := s.At(x); ok {
+				fmt.Fprintf(w, " %14s", fmt.Sprintf(format, v))
+			} else {
+				fmt.Fprintf(w, " %14s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// printSeriesAux renders Value(Aux) pairs, for figures with two panels.
+func printSeriesAux(w io.Writer, xlabel, format string, series ...sim.Series) {
+	threads := map[int]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			threads[p.Threads] = true
+		}
+	}
+	var xs []int
+	for t := range threads {
+		xs = append(xs, t)
+	}
+	sort.Ints(xs)
+
+	fmt.Fprintf(w, "%-8s", xlabel)
+	for _, s := range series {
+		fmt.Fprintf(w, " %20s", s.Name)
+	}
+	fmt.Fprintln(w)
+	for _, x := range xs {
+		fmt.Fprintf(w, "%-8d", x)
+		for _, s := range series {
+			found := false
+			for _, p := range s.Points {
+				if p.Threads == x {
+					fmt.Fprintf(w, " %20s", fmt.Sprintf(format+" (ab %.2f)", p.Value, p.Aux))
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Fprintf(w, " %20s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsPresent(t *testing.T) {
+	want := []string{"table1", "fig1", "fig8a", "fig8b", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "ablations"}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("have %d experiments, want %d: %v", len(ids), len(want), ids)
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q missing", id)
+		}
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Error("ByID(fig99) succeeded")
+	}
+}
+
+func TestEveryExperimentRunsQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			e.Run(&buf, Quick)
+			out := buf.String()
+			if len(out) < 40 {
+				t.Fatalf("experiment %s produced almost no output: %q", e.ID, out)
+			}
+			if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+				t.Fatalf("experiment %s produced NaN/Inf:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestTable1MentionsAllMachines(t *testing.T) {
+	var buf bytes.Buffer
+	runTable1(&buf, Quick)
+	out := buf.String()
+	for _, name := range []string{"Intel Xeon", "Intel Xeon Phi", "AMD", "ARM"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("table1 output missing %q", name)
+		}
+	}
+	if !strings.Contains(out, "Host hardware") {
+		t.Error("table1 output missing host calibration")
+	}
+}
+
+func TestFig13ListsAllProtocols(t *testing.T) {
+	var buf bytes.Buffer
+	runFig13(&buf, Quick)
+	out := buf.String()
+	for _, p := range []string{"SILO", "TICTOC", "OCC", "OCC_ORDO", "HEKATON", "HEKATON_ORDO"} {
+		if !strings.Contains(out, p) {
+			t.Errorf("fig13 output missing protocol %s", p)
+		}
+	}
+}
+
+func TestFig15ListsAllWorkloads(t *testing.T) {
+	var buf bytes.Buffer
+	runFig15(&buf, Quick)
+	out := buf.String()
+	for _, wl := range []string{"genome", "intruder", "kmeans", "labyrinth", "ssca2", "vacation"} {
+		if !strings.Contains(out, wl) {
+			t.Errorf("fig15 output missing workload %s", wl)
+		}
+	}
+}

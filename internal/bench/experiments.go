@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"ordo/internal/core"
+	"ordo/internal/db"
+	"ordo/internal/machine"
+	"ordo/internal/sim"
+	"ordo/internal/topology"
+)
+
+// paperTable1 records the paper's measured offsets for side-by-side
+// comparison.
+var paperTable1 = map[string][2]float64{
+	"Intel Xeon":     {70, 276},
+	"Intel Xeon Phi": {90, 270},
+	"AMD":            {93, 203},
+	"ARM":            {100, 1100},
+}
+
+func runTable1(w io.Writer, _ Quality) {
+	fmt.Fprintln(w, "Machine          Cores SMT  GHz Sockets | min(ns) max=BOUNDARY(ns) | paper min/max")
+	for _, t := range topology.All() {
+		b := sim.Boundary(t)
+		min := sim.BoundaryMin(t)
+		p := paperTable1[t.Name]
+		fmt.Fprintf(w, "%-16s %5d %3d %4.1f %7d | %7.0f %17.0f | %.0f / %.0f\n",
+			t.Name, t.PhysicalCores(), t.SMT, t.GHz, t.Sockets, min, b, p[0], p[1])
+	}
+	fmt.Fprintln(w, "\nHost hardware (this machine, via the one-way-delay protocol):")
+	o, hb, err := core.CalibrateHardware(core.CalibrationOptions{Runs: 50, MaxPairs: 64})
+	if err != nil {
+		fmt.Fprintf(w, "  calibration failed: %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "  cpus=%d pairs=%d min=%d ticks boundary=%d ticks (%s)\n",
+		hb.CPUs, hb.Pairs, hb.Min, hb.Global, o)
+}
+
+func runFig1(w io.Writer, q Quality) {
+	p := topology.Phi()
+	rlu := sim.RLUSweep(sim.RLUConfig{Topo: p, UpdateRatio: 0.02}, q.steps())
+	ordo := sim.RLUSweep(sim.RLUConfig{Topo: p, UpdateRatio: 0.02, Ordo: true}, q.steps())
+	fmt.Fprintln(w, "Hash table, 1000 buckets x 100 nodes, 98% reads / 2% writes, Intel Xeon Phi")
+	fmt.Fprintln(w, "(ops/usec; paper Figure 1 reports the same benchmark in ops/sec)")
+	printSeries(w, "#thread", "%.1f", rlu, ordo)
+}
+
+func runFig8a(w io.Writer, q Quality) {
+	fmt.Fprintln(w, "Cost of one hardware timestamp read (ns) vs concurrent threads")
+	var series []sim.Series
+	for _, t := range topology.All() {
+		series = append(series, sim.TimestampCostSweep(t, q.steps()))
+	}
+	printSeries(w, "#thread", "%.1f", series...)
+}
+
+func runFig8b(w io.Writer, q Quality) {
+	fmt.Fprintln(w, "Per-core timestamps generated per usec: atomic increments (A) vs new_time (O)")
+	var series []sim.Series
+	for _, t := range topology.All() {
+		a, o := sim.TimestampGenerationSweep(t, q.steps())
+		series = append(series, a, o)
+	}
+	printSeries(w, "#thread", "%.2f", series...)
+}
+
+func runFig9(w io.Writer, q Quality) {
+	for _, t := range topology.All() {
+		s := &machine.Sampler{Topo: t, Seed: 42}
+		runs := 40
+		if q == Quick {
+			runs = 10
+		}
+		m, err := s.OffsetMatrix(runs)
+		if err != nil {
+			fmt.Fprintf(w, "%s: %v\n", t.Name, err)
+			continue
+		}
+		fmt.Fprintf(w, "%s: socket-to-socket mean measured offset (ns), writer socket rows -> reader socket columns\n", t.Name)
+		printSocketMeans(w, t, m)
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "(per-core heatmaps: run cmd/ordo-heatmap)")
+}
+
+// printSocketMeans condenses a per-core offset matrix into per-socket
+// means, the structure visible in the paper's heatmaps.
+func printSocketMeans(w io.Writer, t *topology.Machine, m [][]int64) {
+	n := t.Sockets
+	sums := make([][]float64, n)
+	counts := make([][]int, n)
+	for i := range sums {
+		sums[i] = make([]float64, n)
+		counts[i] = make([]int, n)
+	}
+	for i := range m {
+		for j := range m[i] {
+			if i == j {
+				continue
+			}
+			si, sj := i/t.CoresPerSocket, j/t.CoresPerSocket
+			sums[si][sj] += float64(m[i][j])
+			counts[si][sj]++
+		}
+	}
+	fmt.Fprintf(w, "%6s", "")
+	for j := 0; j < n; j++ {
+		fmt.Fprintf(w, " %6s", fmt.Sprintf("s%d", j))
+	}
+	fmt.Fprintln(w)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(w, "%6s", fmt.Sprintf("s%d", i))
+		for j := 0; j < n; j++ {
+			if counts[i][j] == 0 {
+				fmt.Fprintf(w, " %6s", "-")
+				continue
+			}
+			fmt.Fprintf(w, " %6.0f", sums[i][j]/float64(counts[i][j]))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func runFig10(w io.Writer, q Quality) {
+	x := topology.Xeon()
+	fmt.Fprintln(w, "Exim mail-server messages/sec on the 240-thread Xeon")
+	var series []sim.Series
+	for _, v := range []sim.OplogVariant{sim.Vanilla, sim.Oplog, sim.OplogOrdo} {
+		series = append(series, sim.OplogSweep(sim.OplogConfig{Topo: x, Variant: v}, q.steps()))
+	}
+	printSeries(w, "#thread", "%.0f", series...)
+}
+
+func runFig11(w io.Writer, q Quality) {
+	for _, t := range topology.All() {
+		fmt.Fprintf(w, "%s (ops/usec)\n", t.Name)
+		var series []sim.Series
+		for _, upd := range []float64{0.02, 0.40} {
+			for _, ordo := range []bool{false, true} {
+				s := sim.RLUSweep(sim.RLUConfig{Topo: t, UpdateRatio: upd, Ordo: ordo}, q.steps())
+				s.Name = fmt.Sprintf("%s %.0f%%", s.Name, upd*100)
+				series = append(series, s)
+			}
+		}
+		printSeries(w, "#thread", "%.1f", series...)
+		fmt.Fprintln(w)
+	}
+}
+
+func runFig12(w io.Writer, q Quality) {
+	x := topology.Xeon()
+	fmt.Fprintln(w, "Deferred RLU, hash table 40% updates, Xeon (ops/usec)")
+	l := sim.RLUSweep(sim.RLUConfig{Topo: x, UpdateRatio: 0.40, DeferN: 8}, q.steps())
+	o := sim.RLUSweep(sim.RLUConfig{Topo: x, UpdateRatio: 0.40, DeferN: 8, Ordo: true}, q.steps())
+	printSeries(w, "#thread", "%.1f", l, o)
+}
+
+func runFig13(w io.Writer, q Quality) {
+	machines := topology.All()
+	if q == Quick {
+		machines = machines[:1]
+	}
+	for _, t := range machines {
+		fmt.Fprintf(w, "%s: YCSB read-only (txns/usec)\n", t.Name)
+		var series []sim.Series
+		for _, p := range db.AllProtocols() {
+			series = append(series, sim.YCSBSweep(sim.YCSBConfig{Topo: t, Protocol: p}, q.steps()))
+		}
+		printSeries(w, "#thread", "%.1f", series...)
+		fmt.Fprintln(w)
+	}
+}
+
+func runFig14(w io.Writer, q Quality) {
+	x := topology.Xeon()
+	fmt.Fprintln(w, "TPC-C, 60 warehouses, NewOrder 50% / Payment 50%, Xeon: txns/usec (abort rate)")
+	var series []sim.Series
+	for _, p := range db.AllProtocols() {
+		series = append(series, sim.TPCCSweep(sim.TPCCConfig{Topo: x, Protocol: p}, q.steps()))
+	}
+	printSeriesAux(w, "#thread", "%.1f", series...)
+}
+
+func runFig15(w io.Writer, q Quality) {
+	x := topology.Xeon()
+	for _, prof := range sim.STAMPProfiles() {
+		fmt.Fprintf(w, "%s: speedup over sequential (abort rate)\n", prof.Name)
+		l := sim.TL2Sweep(sim.TL2Config{Topo: x, Profile: prof}, q.steps())
+		o := sim.TL2Sweep(sim.TL2Config{Topo: x, Profile: prof, Ordo: true}, q.steps())
+		printSeriesAux(w, "#thread", "%.2f", l, o)
+		fmt.Fprintln(w)
+	}
+}
+
+func runFig16(w io.Writer, _ Quality) {
+	x := topology.Xeon()
+	fmt.Fprintln(w, "RLU_ORDO normalized throughput vs ORDO_BOUNDARY scale (98% reads, Xeon)")
+	fmt.Fprintf(w, "%-10s %8s %10s %10s\n", "scale", "1-core", "1-socket", "8-socket")
+	base := map[int]float64{}
+	for _, threads := range []int{1, 30, 240} {
+		base[threads] = sim.RunRLUAt(sim.RLUConfig{Topo: x, UpdateRatio: 0.02, Ordo: true}, threads).OpsPerUSec()
+	}
+	for _, scale := range []float64{0.125, 0.25, 0.5, 1, 2, 4, 8} {
+		fmt.Fprintf(w, "%-10.3f", scale)
+		for _, threads := range []int{1, 30, 240} {
+			v := sim.RunRLUAt(sim.RLUConfig{Topo: x, UpdateRatio: 0.02, Ordo: true,
+				BoundaryScale: scale}, threads).OpsPerUSec()
+			fmt.Fprintf(w, " %9.3f", v/base[threads])
+		}
+		fmt.Fprintln(w)
+	}
+}

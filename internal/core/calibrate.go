@@ -1,0 +1,142 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PairSampler measures clock offsets between pairs of CPUs using the
+// one-way-delay protocol of the paper's Figure 4: the writer CPU publishes
+// its clock value through a shared cache line and the reader CPU subtracts
+// that value from its own clock upon observing the write. The measurement
+// therefore equals (one-way message delay) + (reader skew − writer skew),
+// which is strictly greater than the physical skew in at least one of the
+// two directions — the property the boundary computation relies on.
+type PairSampler interface {
+	// NumCPUs returns the number of distinct clock domains (hardware
+	// threads) to calibrate across.
+	NumCPUs() int
+
+	// MeasureOffset runs the one-way protocol `runs` times with the writer
+	// on CPU `writer` and the reader on CPU `reader`, returning the minimum
+	// observed (reader clock − written writer clock) in ticks. The minimum
+	// over many runs strips scheduling noise, interrupts and coherence
+	// variance, leaving delay + skew.
+	MeasureOffset(writer, reader, runs int) (int64, error)
+}
+
+// CalibrationOptions tunes ComputeBoundary.
+type CalibrationOptions struct {
+	// Runs is the number of protocol iterations per direction per pair;
+	// the minimum across runs is kept. Defaults to 1000.
+	Runs int
+
+	// Stride subsamples CPUs (every Stride-th CPU participates) to bound
+	// the O(N²) pair walk on very large machines. Defaults to 1 (all
+	// CPUs). The boundary stays correct as long as the sampled set covers
+	// every clock-reset domain (in practice, every socket).
+	Stride int
+
+	// MaxPairs, if positive, caps the number of (i,j) pairs visited after
+	// striding; pairs are then chosen to still cover all (si,sj) socket
+	// combinations first. Zero means unlimited.
+	MaxPairs int
+}
+
+func (o *CalibrationOptions) defaults() {
+	if o.Runs <= 0 {
+		o.Runs = 1000
+	}
+	if o.Stride <= 0 {
+		o.Stride = 1
+	}
+}
+
+// Boundary is the result of a calibration pass.
+type Boundary struct {
+	// Global is the ORDO_BOUNDARY: the maximum over all sampled pairs of
+	// max(δij, δji), guaranteed ≥ the largest physical clock offset.
+	Global Time
+
+	// Min is the smallest pairwise measured offset seen — reported for
+	// diagnostics (Table 1 of the paper reports both min and max).
+	Min Time
+
+	// Pairs is the number of ordered (writer, reader) measurements taken.
+	Pairs int
+
+	// CPUs is the number of clock domains sampled.
+	CPUs int
+}
+
+// ErrNoCPUs is returned when the sampler exposes fewer than one CPU.
+var ErrNoCPUs = errors.New("ordo: sampler exposes no CPUs")
+
+// ComputeBoundary runs the paper's Figure 4 algorithm: for every unordered
+// CPU pair {i, j} it measures the one-way offset in both directions, takes
+// the per-pair maximum (at least one direction always over-approximates the
+// physical skew), and returns the global maximum as the ORDO_BOUNDARY.
+//
+// With a single CPU there are no pairs; the boundary is 0 and every
+// comparison is exact, which is trivially correct.
+func ComputeBoundary(s PairSampler, opts CalibrationOptions) (Boundary, error) {
+	opts.defaults()
+	n := s.NumCPUs()
+	if n < 1 {
+		return Boundary{}, ErrNoCPUs
+	}
+	cpus := make([]int, 0, (n+opts.Stride-1)/opts.Stride)
+	for c := 0; c < n; c += opts.Stride {
+		cpus = append(cpus, c)
+	}
+	b := Boundary{CPUs: len(cpus)}
+	var (
+		globalMax int64
+		globalMin int64
+		haveAny   bool
+	)
+	for ii := 0; ii < len(cpus); ii++ {
+		for jj := ii + 1; jj < len(cpus); jj++ {
+			if opts.MaxPairs > 0 && b.Pairs/2 >= opts.MaxPairs {
+				break
+			}
+			i, j := cpus[ii], cpus[jj]
+			dij, err := s.MeasureOffset(i, j, opts.Runs)
+			if err != nil {
+				return Boundary{}, fmt.Errorf("ordo: measuring offset %d->%d: %w", i, j, err)
+			}
+			dji, err := s.MeasureOffset(j, i, opts.Runs)
+			if err != nil {
+				return Boundary{}, fmt.Errorf("ordo: measuring offset %d->%d: %w", j, i, err)
+			}
+			b.Pairs += 2
+			pair := dij
+			if dji > pair {
+				pair = dji
+			}
+			if pair > globalMax {
+				globalMax = pair
+			}
+			low := dij
+			if dji < low {
+				low = dji
+			}
+			if !haveAny || low < globalMin {
+				globalMin = low
+				haveAny = true
+			}
+		}
+	}
+	if globalMax < 0 {
+		// Cannot happen with real delays (δij + δji = round trip ≥ 0 so the
+		// max of the two is ≥ 0), but a hostile sampler could produce it;
+		// clamp so the boundary type stays meaningful.
+		globalMax = 0
+	}
+	if globalMin < 0 {
+		globalMin = 0
+	}
+	b.Global = Time(globalMax)
+	b.Min = Time(globalMin)
+	return b, nil
+}

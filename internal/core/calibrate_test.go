@@ -1,0 +1,227 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// skewSampler models a machine with per-CPU physical skews and a delay
+// matrix: MeasureOffset(w, r) = delay[w][r] + skew[r] - skew[w] + noise,
+// minimized over runs (noise ≥ 0, so min-of-runs approaches the true value).
+type skewSampler struct {
+	skew  []int64 // per-CPU physical clock offset, ticks
+	delay [][]int64
+	noise int64 // max per-run positive noise
+	rng   *rand.Rand
+}
+
+func (s *skewSampler) NumCPUs() int { return len(s.skew) }
+
+func (s *skewSampler) MeasureOffset(w, r, runs int) (int64, error) {
+	best := int64(1<<63 - 1)
+	for i := 0; i < runs; i++ {
+		var n int64
+		if s.noise > 0 {
+			n = s.rng.Int63n(s.noise + 1)
+		}
+		d := s.delay[w][r] + s.skew[r] - s.skew[w] + n
+		if d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+func newSkewSampler(skew []int64, delayBase int64, noise int64, seed int64) *skewSampler {
+	n := len(skew)
+	d := make([][]int64, n)
+	for i := range d {
+		d[i] = make([]int64, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = delayBase
+			}
+		}
+	}
+	return &skewSampler{skew: skew, delay: d, noise: noise, rng: rand.New(rand.NewSource(seed))}
+}
+
+func maxAbsSkewDiff(skew []int64) int64 {
+	var max int64
+	for i := range skew {
+		for j := range skew {
+			d := skew[i] - skew[j]
+			if d < 0 {
+				d = -d
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+func TestComputeBoundaryUpperBoundsPhysicalSkew(t *testing.T) {
+	skew := []int64{0, 30, -45, 110, 7}
+	s := newSkewSampler(skew, 150, 40, 1)
+	b, err := ComputeBoundary(s, CalibrationOptions{Runs: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(b.Global) < maxAbsSkewDiff(skew) {
+		t.Fatalf("boundary %d < max physical skew %d: ordering would be unsound",
+			b.Global, maxAbsSkewDiff(skew))
+	}
+	// With delay 150 and worst skew diff 155, the boundary should also be
+	// reasonably tight: delay + skewdiff + noise.
+	if int64(b.Global) > 150+155+40 {
+		t.Fatalf("boundary %d looser than delay+skew+noise", b.Global)
+	}
+}
+
+func TestComputeBoundaryPropertySoundness(t *testing.T) {
+	// Property (the paper's Theorem): for any skews and any positive delays,
+	// the computed global boundary ≥ the max physical offset between any
+	// two clocks.
+	f := func(rawSkews []int16, delaySeed uint8) bool {
+		if len(rawSkews) < 2 {
+			return true
+		}
+		if len(rawSkews) > 8 {
+			rawSkews = rawSkews[:8]
+		}
+		skew := make([]int64, len(rawSkews))
+		for i, v := range rawSkews {
+			skew[i] = int64(v)
+		}
+		// Delays must exceed the skew magnitudes is NOT required for
+		// soundness — only positivity of delays is. Use a modest base.
+		delay := int64(delaySeed) + 1
+		s := newSkewSampler(skew, delay, 0, 42)
+		b, err := ComputeBoundary(s, CalibrationOptions{Runs: 3})
+		if err != nil {
+			return false
+		}
+		return int64(b.Global) >= maxAbsSkewDiff(skew)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputeBoundarySingleCPU(t *testing.T) {
+	s := newSkewSampler([]int64{0}, 100, 0, 1)
+	b, err := ComputeBoundary(s, CalibrationOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Global != 0 || b.Pairs != 0 || b.CPUs != 1 {
+		t.Fatalf("single-CPU boundary = %+v, want zero boundary, zero pairs", b)
+	}
+}
+
+func TestComputeBoundaryNoCPUs(t *testing.T) {
+	s := &skewSampler{}
+	if _, err := ComputeBoundary(s, CalibrationOptions{}); !errors.Is(err, ErrNoCPUs) {
+		t.Fatalf("err = %v, want ErrNoCPUs", err)
+	}
+}
+
+func TestComputeBoundaryMinReported(t *testing.T) {
+	skew := []int64{0, 100}
+	s := newSkewSampler(skew, 150, 0, 1)
+	b, err := ComputeBoundary(s, CalibrationOptions{Runs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// δ(0→1) = 150 + 100 = 250; δ(1→0) = 150 − 100 = 50.
+	if b.Global != 250 {
+		t.Errorf("Global = %d, want 250", b.Global)
+	}
+	if b.Min != 50 {
+		t.Errorf("Min = %d, want 50", b.Min)
+	}
+}
+
+func TestComputeBoundaryStride(t *testing.T) {
+	skew := make([]int64, 16)
+	for i := range skew {
+		skew[i] = int64(i * 10)
+	}
+	s := newSkewSampler(skew, 500, 0, 1)
+	full, err := ComputeBoundary(s, CalibrationOptions{Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strided, err := ComputeBoundary(s, CalibrationOptions{Runs: 2, Stride: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strided.CPUs != 4 { // CPUs 0, 5, 10, 15
+		t.Fatalf("strided CPUs = %d, want 4", strided.CPUs)
+	}
+	// CPU 0 and 15 (the extreme skews) are both sampled, so the strided
+	// boundary must equal the full one here.
+	if strided.Global != full.Global {
+		t.Fatalf("strided boundary %d != full %d", strided.Global, full.Global)
+	}
+}
+
+func TestComputeBoundaryMaxPairs(t *testing.T) {
+	skew := make([]int64, 32)
+	s := newSkewSampler(skew, 100, 0, 1)
+	b, err := ComputeBoundary(s, CalibrationOptions{Runs: 1, MaxPairs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Pairs > 20 {
+		t.Fatalf("Pairs = %d, want <= 20 (10 unordered pairs)", b.Pairs)
+	}
+}
+
+type errSampler struct{ skewSampler }
+
+func (e *errSampler) MeasureOffset(w, r, runs int) (int64, error) {
+	return 0, errors.New("boom")
+}
+
+func TestComputeBoundaryPropagatesError(t *testing.T) {
+	e := &errSampler{*newSkewSampler([]int64{0, 1}, 10, 0, 1)}
+	if _, err := ComputeBoundary(e, CalibrationOptions{}); err == nil {
+		t.Fatal("expected error from failing sampler")
+	}
+}
+
+func TestOrderingSoundEndToEnd(t *testing.T) {
+	// End-to-end: calibrate a simulated machine, then check that events
+	// ordered via CmpTime with the calibrated boundary are never mis-ordered
+	// relative to real (simulated global) time.
+	skew := []int64{0, 80, -60, 200}
+	s := newSkewSampler(skew, 300, 25, 7)
+	b, err := ComputeBoundary(s, CalibrationOptions{Runs: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := New(ClockFunc(func() Time { return 0 }), b.Global)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 10000; i++ {
+		// Two events at true times ta, tb read clocks on CPUs ca, cb.
+		ca, cb := rng.Intn(len(skew)), rng.Intn(len(skew))
+		ta, tb := rng.Int63n(1<<40), rng.Int63n(1<<40)
+		sa := Time(ta + skew[ca])
+		sb := Time(tb + skew[cb])
+		switch o.CmpTime(sa, sb) {
+		case After:
+			if ta <= tb {
+				t.Fatalf("CmpTime said After but true order %d <= %d (cpus %d,%d)", ta, tb, ca, cb)
+			}
+		case Before:
+			if ta >= tb {
+				t.Fatalf("CmpTime said Before but true order %d >= %d (cpus %d,%d)", ta, tb, ca, cb)
+			}
+		}
+	}
+}

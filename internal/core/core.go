@@ -1,0 +1,129 @@
+// Package core implements the Ordo primitive: a scalable ordering primitive
+// for multicore machines built on invariant per-core hardware clocks
+// (Kashyap et al., EuroSys'18).
+//
+// Invariant clocks increase monotonically at a constant rate but are not
+// guaranteed to be synchronized across cores or sockets: each core may have
+// received its RESET at a different instant, so two clocks differ by an
+// unknown constant physical offset. Ordo measures a system-wide uncertainty
+// window — the ORDO_BOUNDARY — that is guaranteed to be at least as large as
+// the largest physical offset between any two clocks, and exposes exactly
+// three operations:
+//
+//   - GetTime: read the local invariant clock (ordered, no memory reorder),
+//   - CmpTime: order two timestamps, returning "uncertain" when they are
+//     within one boundary of each other,
+//   - NewTime: produce a timestamp strictly greater (boundary-separated)
+//     than a given one, observable as new by every core.
+//
+// Any timestamp-based concurrent algorithm (STM, MVCC/OCC databases, RLU,
+// per-core operation logs) can replace its contended global logical clock
+// with these three methods, provided it handles the uncertain case —
+// typically by conservatively aborting or deferring.
+package core
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Time is a timestamp drawn from an invariant clock domain, in clock ticks.
+// Timestamps from different cores of the same machine are comparable only
+// through an Ordo instance carrying that machine's calibrated boundary.
+//
+// The counter wraps after 2^64 ticks (decades at multi-GHz rates); as in
+// the paper, wrap handling is left to the embedding algorithm.
+type Time uint64
+
+// Clock is a source of invariant timestamps. Now returns the clock of the
+// CPU the calling thread happens to run on; implementations must guarantee
+// a constant tick rate and monotonicity per CPU, and must order the read
+// after preceding loads (RDTSCP / LFENCE;RDTSC semantics).
+type Clock interface {
+	Now() Time
+}
+
+// ClockFunc adapts a function to the Clock interface.
+type ClockFunc func() Time
+
+// Now implements Clock.
+func (f ClockFunc) Now() Time { return f() }
+
+// Cmp result values, mirroring the paper's cmp_time.
+const (
+	// Before means t1 < t2 with certainty (separated by more than one boundary).
+	Before = -1
+	// Uncertain means t1 and t2 are within one boundary of each other; the
+	// clocks cannot order them and the caller must defer, retry, or abort.
+	Uncertain = 0
+	// After means t1 > t2 with certainty.
+	After = 1
+)
+
+// Ordo exposes the paper's three-method API over a Clock and a calibrated
+// uncertainty boundary. The zero value is unusable; construct with New.
+//
+// Ordo is immutable after construction and safe for concurrent use by any
+// number of goroutines without synchronization.
+type Ordo struct {
+	clock    Clock
+	boundary Time
+}
+
+// New builds an Ordo primitive from a clock and a calibrated boundary
+// (obtained from ComputeBoundary or chosen by the embedding system).
+func New(clock Clock, boundary Time) *Ordo {
+	if clock == nil {
+		panic("ordo: nil clock")
+	}
+	return &Ordo{clock: clock, boundary: boundary}
+}
+
+// Boundary returns the uncertainty window in clock ticks.
+func (o *Ordo) Boundary() Time { return o.boundary }
+
+// GetTime returns the current timestamp of the local invariant clock.
+func (o *Ordo) GetTime() Time { return o.clock.Now() }
+
+// CmpTime orders two timestamps under the uncertainty window:
+//
+//	After     if t1 >  t2 + boundary
+//	Before    if t1 + boundary < t2
+//	Uncertain otherwise
+//
+// An Uncertain result means the physical clocks cannot distinguish the two
+// events; timestamp-based algorithms must treat it conservatively.
+func (o *Ordo) CmpTime(t1, t2 Time) int {
+	switch {
+	case t1 > t2+o.boundary:
+		return After
+	case t1+o.boundary < t2:
+		return Before
+	default:
+		return Uncertain
+	}
+}
+
+// NewTime returns a fresh timestamp that is certainly greater than t: it
+// spins reading the local clock until the value exceeds t by more than one
+// boundary. Once NewTime returns, every core in the machine reading its own
+// clock obtains a value it can only order after t (or as uncertain against
+// the returned value, never before t with certainty).
+func (o *Ordo) NewTime(t Time) Time {
+	for i := 0; ; i++ {
+		now := o.clock.Now()
+		if now > t+o.boundary {
+			return now
+		}
+		if i%64 == 63 {
+			// Boundary windows are hundreds of nanoseconds; let the
+			// runtime breathe if we are somehow descheduled mid-wait.
+			runtime.Gosched()
+		}
+	}
+}
+
+// String describes the primitive for diagnostics.
+func (o *Ordo) String() string {
+	return fmt.Sprintf("ordo{boundary=%d ticks}", o.boundary)
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// fakeClock is a manually advanced clock for deterministic API tests.
+type fakeClock struct{ t atomic.Uint64 }
+
+func (f *fakeClock) Now() Time        { return Time(f.t.Load()) }
+func (f *fakeClock) advance(d uint64) { f.t.Add(d) }
+
+// tickingClock advances by `step` on every read, like a running counter.
+type tickingClock struct {
+	t    atomic.Uint64
+	step uint64
+}
+
+func (c *tickingClock) Now() Time { return Time(c.t.Add(c.step)) }
+
+func TestNewPanicsOnNilClock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(nil, 0) did not panic")
+		}
+	}()
+	New(nil, 0)
+}
+
+func TestCmpTimeCertainty(t *testing.T) {
+	o := New(&fakeClock{}, 100)
+	tests := []struct {
+		t1, t2 Time
+		want   int
+	}{
+		{0, 0, Uncertain},
+		{50, 0, Uncertain},   // within boundary
+		{100, 0, Uncertain},  // exactly boundary: still uncertain
+		{101, 0, After},      // strictly past boundary
+		{0, 100, Uncertain},  // symmetric
+		{0, 101, Before},     //
+		{1000, 2000, Before}, //
+		{2000, 1000, After},  //
+		{1000, 1100, Uncertain},
+		{1000, 1101, Before},
+	}
+	for _, tc := range tests {
+		if got := o.CmpTime(tc.t1, tc.t2); got != tc.want {
+			t.Errorf("CmpTime(%d, %d) = %d, want %d", tc.t1, tc.t2, got, tc.want)
+		}
+	}
+}
+
+func TestCmpTimeZeroBoundaryIsExact(t *testing.T) {
+	o := New(&fakeClock{}, 0)
+	if got := o.CmpTime(5, 4); got != After {
+		t.Errorf("CmpTime(5,4) = %d, want After", got)
+	}
+	if got := o.CmpTime(4, 5); got != Before {
+		t.Errorf("CmpTime(4,5) = %d, want Before", got)
+	}
+	if got := o.CmpTime(4, 4); got != Uncertain {
+		t.Errorf("CmpTime(4,4) = %d, want Uncertain (equal values are never ordered)", got)
+	}
+}
+
+func TestCmpTimeAntisymmetry(t *testing.T) {
+	// Property: CmpTime(a, b) == -CmpTime(b, a) for all a, b, boundary.
+	f := func(a, b uint64, boundary uint32) bool {
+		o := New(&fakeClock{}, Time(boundary))
+		// Keep values away from wraparound; the API documents that wrap
+		// handling is the embedding algorithm's job.
+		a %= 1 << 62
+		b %= 1 << 62
+		return o.CmpTime(Time(a), Time(b)) == -o.CmpTime(Time(b), Time(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmpTimeCertainImpliesSeparation(t *testing.T) {
+	// Property: a certain result implies |a-b| > boundary.
+	f := func(a, b uint64, boundary uint32) bool {
+		a %= 1 << 62
+		b %= 1 << 62
+		o := New(&fakeClock{}, Time(boundary))
+		r := o.CmpTime(Time(a), Time(b))
+		if r == Uncertain {
+			return true
+		}
+		var diff uint64
+		if a > b {
+			diff = a - b
+		} else {
+			diff = b - a
+		}
+		return diff > uint64(boundary)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewTimeExceedsBoundary(t *testing.T) {
+	c := &tickingClock{step: 7}
+	o := New(c, 100)
+	base := o.GetTime()
+	nt := o.NewTime(base)
+	if nt <= base+100 {
+		t.Fatalf("NewTime(%d) = %d, want > %d", base, nt, base+100)
+	}
+	if o.CmpTime(nt, base) != After {
+		t.Fatalf("NewTime result %d not certainly After base %d", nt, base)
+	}
+}
+
+func TestNewTimeSpinsUntilClockPasses(t *testing.T) {
+	c := &tickingClock{step: 1}
+	o := New(c, 50)
+	start := Time(c.t.Load())
+	nt := o.NewTime(start)
+	// step=1 per read: the spin must have issued > 50 reads.
+	if nt <= start+50 {
+		t.Fatalf("NewTime returned %d, not past boundary from %d", nt, start)
+	}
+}
+
+func TestNewTimeChainMonotonic(t *testing.T) {
+	c := &tickingClock{step: 3}
+	o := New(c, 64)
+	prev := o.GetTime()
+	for i := 0; i < 100; i++ {
+		next := o.NewTime(prev)
+		if o.CmpTime(next, prev) != After {
+			t.Fatalf("chain step %d: NewTime(%d) = %d not certainly after", i, prev, next)
+		}
+		prev = next
+	}
+}
+
+func TestGetTimeUsesClock(t *testing.T) {
+	fc := &fakeClock{}
+	fc.t.Store(42)
+	o := New(fc, 10)
+	if got := o.GetTime(); got != 42 {
+		t.Fatalf("GetTime() = %d, want 42", got)
+	}
+	fc.advance(8)
+	if got := o.GetTime(); got != 50 {
+		t.Fatalf("GetTime() = %d, want 50", got)
+	}
+}
+
+func TestStringMentionsBoundary(t *testing.T) {
+	o := New(&fakeClock{}, 276)
+	if s := o.String(); s != "ordo{boundary=276 ticks}" {
+		t.Fatalf("String() = %q", s)
+	}
+}

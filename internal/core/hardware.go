@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ordo/internal/affinity"
+	"ordo/internal/tsc"
+)
+
+// Hardware is the invariant hardware clock of the machine the process is
+// running on (RDTSCP on amd64, monotonic-clock fallback elsewhere).
+var Hardware Clock = ClockFunc(func() Time { return Time(tsc.Read()) })
+
+// line is the shared cache line through which the writer CPU publishes its
+// clock value to the reader CPU. Padding keeps the two fields the only
+// occupants of their line so the measurement includes exactly one
+// cache-line transfer, the fastest message delivery the machine offers.
+type line struct {
+	clock atomic.Uint64
+	_     [56]byte
+	round atomic.Uint64
+	_     [56]byte
+}
+
+// HardwareSampler implements PairSampler over the real machine: for each
+// measurement it pins one OS thread to the writer CPU and one to the reader
+// CPU and runs the Figure 4 one-way-delay protocol across a shared cache
+// line.
+type HardwareSampler struct {
+	// CPUs is the number of hardware threads to calibrate across;
+	// zero means runtime.NumCPU().
+	CPUs int
+
+	// AllowUnpinned lets calibration proceed with OS-thread locking only
+	// when sched_setaffinity is unavailable. Scheduling noise then inflates
+	// the measured offsets, which keeps the boundary conservative (larger),
+	// never incorrect.
+	AllowUnpinned bool
+}
+
+// NumCPUs implements PairSampler.
+func (h *HardwareSampler) NumCPUs() int {
+	if h.CPUs > 0 {
+		return h.CPUs
+	}
+	return runtime.NumCPU()
+}
+
+// MeasureOffset implements PairSampler: minimum over `runs` of
+// (reader clock at observation − writer clock at publication).
+func (h *HardwareSampler) MeasureOffset(writer, reader, runs int) (int64, error) {
+	if runs <= 0 {
+		runs = 1
+	}
+	var (
+		sh      line
+		minD    = int64(1<<63 - 1)
+		wg      sync.WaitGroup
+		werr    error
+		rerr    error
+		spinCap = 1 << 14 // Gosched interval: keeps single-CPU hosts live
+	)
+	wg.Add(2)
+
+	// Writer: waits for the reader to open round r, then publishes its clock.
+	go func() {
+		defer wg.Done()
+		restore, err := pinOrLock(writer, h.AllowUnpinned)
+		if err != nil {
+			werr = err
+			// Unblock the reader by publishing garbage rounds.
+			for r := 1; r <= runs; r++ {
+				for sh.round.Load() != uint64(r) {
+					runtime.Gosched()
+				}
+				sh.clock.Store(^uint64(0))
+			}
+			return
+		}
+		defer restore()
+		for r := 1; r <= runs; r++ {
+			spins := 0
+			for sh.round.Load() != uint64(r) {
+				if spins++; spins%spinCap == 0 {
+					runtime.Gosched()
+				}
+			}
+			ts := tsc.Read()
+			if ts == 0 {
+				ts = 1
+			}
+			sh.clock.Store(ts)
+		}
+	}()
+
+	// Reader: opens the round, spins for the publication, subtracts.
+	go func() {
+		defer wg.Done()
+		restore, err := pinOrLock(reader, h.AllowUnpinned)
+		if err != nil {
+			rerr = err
+			restore = func() {}
+		}
+		defer restore()
+		for r := 1; r <= runs; r++ {
+			sh.clock.Store(0)
+			sh.round.Store(uint64(r))
+			spins := 0
+			var v uint64
+			for {
+				if v = sh.clock.Load(); v != 0 {
+					break
+				}
+				if spins++; spins%spinCap == 0 {
+					runtime.Gosched()
+				}
+			}
+			d := int64(tsc.Read()) - int64(v)
+			if rerr == nil && werr == nil && d < minD {
+				minD = d
+			}
+		}
+	}()
+
+	wg.Wait()
+	if werr != nil {
+		return 0, fmt.Errorf("writer cpu %d: %w", writer, werr)
+	}
+	if rerr != nil {
+		return 0, fmt.Errorf("reader cpu %d: %w", reader, rerr)
+	}
+	return minD, nil
+}
+
+func pinOrLock(cpu int, allowUnpinned bool) (func(), error) {
+	restore, err := affinity.Pin(cpu)
+	if err == nil {
+		return restore, nil
+	}
+	if !allowUnpinned {
+		return func() {}, err
+	}
+	runtime.LockOSThread()
+	return runtime.UnlockOSThread, nil
+}
+
+// CalibrateHardware measures the ORDO_BOUNDARY of the host machine and
+// returns an Ordo primitive over the hardware clock. It is the one-call
+// entry point for real deployments:
+//
+//	o, _, err := core.CalibrateHardware(core.CalibrationOptions{})
+func CalibrateHardware(opts CalibrationOptions) (*Ordo, Boundary, error) {
+	s := &HardwareSampler{AllowUnpinned: true}
+	b, err := ComputeBoundary(s, opts)
+	if err != nil {
+		return nil, Boundary{}, err
+	}
+	return New(Hardware, b.Global), b, nil
+}

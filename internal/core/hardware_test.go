@@ -1,0 +1,87 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"ordo/internal/tsc"
+)
+
+func TestHardwareClockAdvances(t *testing.T) {
+	t0 := Hardware.Now()
+	time.Sleep(time.Millisecond)
+	t1 := Hardware.Now()
+	if t1 <= t0 {
+		t.Fatalf("hardware clock did not advance: %d -> %d", t0, t1)
+	}
+}
+
+func TestHardwareSamplerProducesOffset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := &HardwareSampler{AllowUnpinned: true}
+	n := s.NumCPUs()
+	if n < 1 {
+		t.Fatalf("NumCPUs() = %d", n)
+	}
+	if n == 1 {
+		// Single CPU: measure 0<->0; the protocol still terminates because
+		// the spin loops yield, and the offset is pure software delay.
+		d, err := s.MeasureOffset(0, 0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < 0 {
+			t.Fatalf("same-CPU one-way offset negative: %d", d)
+		}
+		return
+	}
+	d, err := s.MeasureOffset(0, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One-way delay across a cache line: must be positive and below 10ms
+	// worth of ticks even on a noisy box.
+	if d <= 0 {
+		t.Fatalf("offset 0->1 = %d, want > 0", d)
+	}
+	if tsc.ToDuration(uint64(d)) > 10*time.Millisecond {
+		t.Fatalf("offset 0->1 = %v, implausibly large", tsc.ToDuration(uint64(d)))
+	}
+}
+
+func TestCalibrateHardwareEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opts := CalibrationOptions{Runs: 20}
+	if runtime.NumCPU() > 8 {
+		opts.Stride = runtime.NumCPU() / 8
+	}
+	o, b, err := CalibrateHardware(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o == nil {
+		t.Fatal("nil Ordo")
+	}
+	if b.CPUs < 1 {
+		t.Fatalf("calibration sampled %d CPUs", b.CPUs)
+	}
+	// The primitive must be usable: NewTime terminates and orders.
+	t0 := o.GetTime()
+	t1 := o.NewTime(t0)
+	if o.CmpTime(t1, t0) != After {
+		t.Fatalf("NewTime(%d) = %d not certainly after", t0, t1)
+	}
+}
+
+func TestPinOrLockFallback(t *testing.T) {
+	restore, err := pinOrLock(0, true)
+	if err != nil {
+		t.Fatalf("pinOrLock(0, true): %v", err)
+	}
+	restore()
+}

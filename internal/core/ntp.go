@@ -1,0 +1,54 @@
+package core
+
+// This file implements the clock-synchronization estimator the paper
+// argues AGAINST (§2.2, Figure 2): the NTP-style round-trip scheme that
+// estimates the remote clock's offset as θ = (t2 − t1) − RTT/2. It exists
+// as an ablation baseline: the repository's tests and benchmarks use it
+// to demonstrate that RTT-halving can UNDER-estimate the physical skew —
+// producing an unsound ordering window — whenever the one-way delays are
+// asymmetric, which no hardware vendor bounds. Ordo's min-over-runs /
+// max-over-pairs estimator never under-estimates (see calibrate.go).
+
+// RTTSampler measures round trips for the NTP-style estimator. The
+// simulated machines implement it alongside PairSampler.
+type RTTSampler interface {
+	PairSampler
+	// MeasureRTT returns (t2 − t1, RTT) for one exchange between cpu a
+	// (local, timestamps t1/t4) and cpu b (remote, timestamps t2/t3),
+	// minimized over runs.
+	MeasureRTT(a, b, runs int) (theta int64, rtt int64, err error)
+}
+
+// NTPBoundary estimates a global uncertainty window the NTP way: for each
+// pair it computes |θ| = |(t2−t1) − RTT/2| and takes the maximum. Unlike
+// ComputeBoundary, the result is NOT guaranteed to dominate the physical
+// skew: with asymmetric one-way delays the RTT/2 correction absorbs part
+// of the true offset.
+func NTPBoundary(s RTTSampler, opts CalibrationOptions) (Boundary, error) {
+	opts.defaults()
+	n := s.NumCPUs()
+	if n < 1 {
+		return Boundary{}, ErrNoCPUs
+	}
+	b := Boundary{CPUs: 0}
+	var globalMax int64
+	for i := 0; i < n; i += opts.Stride {
+		b.CPUs++
+		for j := i + opts.Stride; j < n; j += opts.Stride {
+			theta, rtt, err := s.MeasureRTT(i, j, opts.Runs)
+			if err != nil {
+				return Boundary{}, err
+			}
+			off := theta - rtt/2
+			if off < 0 {
+				off = -off
+			}
+			if off > globalMax {
+				globalMax = off
+			}
+			b.Pairs++
+		}
+	}
+	b.Global = Time(globalMax)
+	return b, nil
+}

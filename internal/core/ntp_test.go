@@ -1,0 +1,90 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// rttSampler models a machine with asymmetric one-way software paths, the
+// condition under which NTP-style estimation breaks.
+type rttSampler struct {
+	skewSampler
+	asym float64 // forward leg cheaper by asym/2, backward dearer
+}
+
+func (s *rttSampler) MeasureRTT(a, b, runs int) (int64, int64, error) {
+	lat := float64(s.delay[a][b])
+	skew := float64(s.skew[b] - s.skew[a])
+	bestRTT := int64(1<<62 - 1)
+	var bestTheta int64
+	for i := 0; i < runs; i++ {
+		var nf, nb float64
+		if s.noise > 0 {
+			nf = float64(s.rng.Int63n(s.noise + 1))
+			nb = float64(s.rng.Int63n(s.noise + 1))
+		}
+		fwd := lat - s.asym/2 + nf
+		back := lat + s.asym/2 + nb
+		if rt := int64(fwd + back); rt < bestRTT {
+			bestRTT = rt
+			bestTheta = int64(fwd + skew)
+		}
+	}
+	return bestTheta, bestRTT, nil
+}
+
+// TestNTPEstimatorUnderestimatesSkew is the DESIGN.md §5 ablation: with
+// asymmetric one-way delays, the RTT/2 correction eats part of the true
+// offset, so the NTP-derived window can be SMALLER than the physical
+// skew — an unsound ordering window — while Ordo's estimator stays sound.
+func TestNTPEstimatorUnderestimatesSkew(t *testing.T) {
+	skew := []int64{0, 300} // 300 ns physical skew
+	s := &rttSampler{
+		skewSampler: *newSkewSampler(skew, 150, 0, 1),
+		asym:        80, // forward path 80 ns cheaper than backward
+	}
+	s.rng = rand.New(rand.NewSource(7))
+
+	ntp, err := NTPBoundary(s, CalibrationOptions{Runs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord, err := ComputeBoundary(&s.skewSampler, CalibrationOptions{Runs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys := maxAbsSkewDiff(skew)
+	// The ablation's point: NTP lands BELOW the physical skew...
+	if int64(ntp.Global) >= phys {
+		t.Fatalf("NTP boundary %d >= physical skew %d; asymmetry should break it",
+			ntp.Global, phys)
+	}
+	// ...while Ordo's estimator never does.
+	if int64(ord.Global) < phys {
+		t.Fatalf("Ordo boundary %d < physical skew %d — soundness broken", ord.Global, phys)
+	}
+}
+
+func TestNTPBoundaryWithSymmetricPathsIsTight(t *testing.T) {
+	// With perfectly symmetric delays and no noise, NTP recovers the skew
+	// exactly — the case hardware cannot promise but the estimator's
+	// advertised behaviour.
+	skew := []int64{0, 120}
+	s := &rttSampler{skewSampler: *newSkewSampler(skew, 200, 0, 1)}
+	s.rng = rand.New(rand.NewSource(3))
+	b, err := NTPBoundary(s, CalibrationOptions{Runs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(b.Global) != 120 {
+		t.Fatalf("symmetric NTP boundary = %d, want exactly 120", b.Global)
+	}
+}
+
+func TestNTPBoundaryNoCPUs(t *testing.T) {
+	s := &rttSampler{}
+	if _, err := NTPBoundary(s, CalibrationOptions{}); !errors.Is(err, ErrNoCPUs) {
+		t.Fatalf("err = %v, want ErrNoCPUs", err)
+	}
+}

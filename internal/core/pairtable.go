@@ -1,0 +1,115 @@
+package core
+
+import "fmt"
+
+// PairTable is the §7 extension the paper discusses but declines for its
+// default design: per-CPU-pair uncertainty windows instead of one global
+// ORDO_BOUNDARY. Two timestamps taken on known CPUs can then be compared
+// under that pair's (usually much smaller) window, shrinking the
+// uncertain zone — at the cost the paper calls out:
+//
+//   - O(n²) memory that must stay cache-resident to be worth anything
+//     (Bytes reports it);
+//   - callers must know which CPU produced each timestamp, which in
+//     practice means pinned threads: a migration between reading the
+//     clock and comparing invalidates the pair, so CmpTimeAt must only
+//     be used with timestamps from pinned execution. The global window
+//     tolerates migration because it dominates every pair.
+//
+// The zero value is unusable; build one with ComputePairTable.
+type PairTable struct {
+	n      int
+	bounds []Time // n×n: max(δ(i→j), δ(j→i)); diagonal 0
+	global Time
+}
+
+// ComputePairTable measures every directed pair like ComputeBoundary but
+// retains the per-pair maxima. Stride/MaxPairs are not supported: a pair
+// table is only meaningful when complete.
+func ComputePairTable(s PairSampler, opts CalibrationOptions) (*PairTable, error) {
+	opts.defaults()
+	n := s.NumCPUs()
+	if n < 1 {
+		return nil, ErrNoCPUs
+	}
+	p := &PairTable{n: n, bounds: make([]Time, n*n)}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dij, err := s.MeasureOffset(i, j, opts.Runs)
+			if err != nil {
+				return nil, fmt.Errorf("ordo: measuring offset %d->%d: %w", i, j, err)
+			}
+			dji, err := s.MeasureOffset(j, i, opts.Runs)
+			if err != nil {
+				return nil, fmt.Errorf("ordo: measuring offset %d->%d: %w", j, i, err)
+			}
+			pair := dij
+			if dji > pair {
+				pair = dji
+			}
+			if pair < 0 {
+				pair = 0
+			}
+			p.bounds[i*n+j] = Time(pair)
+			p.bounds[j*n+i] = Time(pair)
+			if Time(pair) > p.global {
+				p.global = Time(pair)
+			}
+		}
+	}
+	return p, nil
+}
+
+// CPUs returns the number of clock domains in the table.
+func (p *PairTable) CPUs() int { return p.n }
+
+// Global returns the table's maximum — identical to the ORDO_BOUNDARY the
+// plain calibration would produce from the same measurements.
+func (p *PairTable) Global() Time { return p.global }
+
+// BoundaryBetween returns the uncertainty window between two CPUs' clocks.
+func (p *PairTable) BoundaryBetween(cpu1, cpu2 int) Time {
+	return p.bounds[cpu1*p.n+cpu2]
+}
+
+// Bytes reports the table's memory footprint — the cost §7 weighs against
+// the smaller windows.
+func (p *PairTable) Bytes() int { return len(p.bounds) * 8 }
+
+// CmpTimeAt orders two timestamps taken on known CPUs using that pair's
+// window; semantics otherwise match Ordo.CmpTime. The caller must
+// guarantee the timestamps really were read on those CPUs (pinning).
+func (p *PairTable) CmpTimeAt(t1 Time, cpu1 int, t2 Time, cpu2 int) int {
+	b := p.BoundaryBetween(cpu1, cpu2)
+	switch {
+	case t1 > t2+b:
+		return After
+	case t1+b < t2:
+		return Before
+	default:
+		return Uncertain
+	}
+}
+
+// UncertainFraction estimates how often comparisons of timestamps
+// separated by `gap` ticks come out uncertain, under the global window
+// versus the pair table, assuming uniformly random CPU pairs. It is the
+// quantitative form of §7's trade-off and is used by the ablation bench.
+func (p *PairTable) UncertainFraction(gap Time) (global, perPair float64) {
+	if gap <= p.global {
+		global = 1
+	}
+	var uncertain, pairs int
+	for i := 0; i < p.n; i++ {
+		for j := i + 1; j < p.n; j++ {
+			pairs++
+			if gap <= p.bounds[i*p.n+j] {
+				uncertain++
+			}
+		}
+	}
+	if pairs == 0 {
+		return global, 0
+	}
+	return global, float64(uncertain) / float64(pairs)
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func pairTableFixture(t *testing.T) (*PairTable, []int64) {
+	t.Helper()
+	// Two "sockets": CPUs 0,1 tightly coupled (delay 60), CPUs 2,3 too;
+	// cross pairs slow (delay 200). CPU 3 has a big skew.
+	skew := []int64{0, 5, -10, 180}
+	s := newSkewSampler(skew, 0, 0, 1)
+	for i := range s.delay {
+		for j := range s.delay[i] {
+			if i == j {
+				continue
+			}
+			if (i < 2) == (j < 2) {
+				s.delay[i][j] = 60
+			} else {
+				s.delay[i][j] = 200
+			}
+		}
+	}
+	p, err := ComputePairTable(s, CalibrationOptions{Runs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, skew
+}
+
+func TestPairTableGlobalMatchesComputeBoundary(t *testing.T) {
+	p, skew := pairTableFixture(t)
+	s := newSkewSampler(skew, 0, 0, 1)
+	for i := range s.delay {
+		for j := range s.delay[i] {
+			if i == j {
+				continue
+			}
+			if (i < 2) == (j < 2) {
+				s.delay[i][j] = 60
+			} else {
+				s.delay[i][j] = 200
+			}
+		}
+	}
+	b, err := ComputeBoundary(s, CalibrationOptions{Runs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Global() != b.Global {
+		t.Fatalf("pair table global %d != boundary %d", p.Global(), b.Global)
+	}
+}
+
+func TestPairTableTighterForClosePairs(t *testing.T) {
+	p, _ := pairTableFixture(t)
+	close := p.BoundaryBetween(0, 1)
+	far := p.BoundaryBetween(0, 3)
+	if close >= far {
+		t.Fatalf("intra-socket window %d not tighter than cross %d", close, far)
+	}
+	if p.Global() != far {
+		t.Fatalf("global %d should equal the worst pair %d", p.Global(), far)
+	}
+}
+
+func TestPairTableSymmetricAndZeroDiagonal(t *testing.T) {
+	p, _ := pairTableFixture(t)
+	for i := 0; i < p.CPUs(); i++ {
+		if p.BoundaryBetween(i, i) != 0 {
+			t.Fatalf("diagonal (%d,%d) = %d", i, i, p.BoundaryBetween(i, i))
+		}
+		for j := 0; j < p.CPUs(); j++ {
+			if p.BoundaryBetween(i, j) != p.BoundaryBetween(j, i) {
+				t.Fatalf("table not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCmpTimeAtOrdersInsideGlobalWindow(t *testing.T) {
+	p, _ := pairTableFixture(t)
+	// A gap certain for the tight pair but uncertain globally.
+	gap := p.BoundaryBetween(0, 1) + 1
+	if gap > p.Global() {
+		t.Skip("fixture did not produce a usable gap")
+	}
+	if got := p.CmpTimeAt(1000+gap, 0, 1000, 1); got != After {
+		t.Fatalf("CmpTimeAt tight pair = %d, want After", got)
+	}
+	// The same gap across the worst pair stays uncertain.
+	if got := p.CmpTimeAt(1000+gap, 0, 1000, 3); got != Uncertain {
+		t.Fatalf("CmpTimeAt worst pair = %d, want Uncertain", got)
+	}
+	// And the global primitive cannot order it either.
+	o := New(ClockFunc(func() Time { return 0 }), p.Global())
+	if got := o.CmpTime(1000+gap, 1000); got != Uncertain {
+		t.Fatalf("global CmpTime = %d, want Uncertain", got)
+	}
+}
+
+func TestPairTableSoundPerPair(t *testing.T) {
+	p, skew := pairTableFixture(t)
+	for i := range skew {
+		for j := range skew {
+			if i == j {
+				continue
+			}
+			d := skew[i] - skew[j]
+			if d < 0 {
+				d = -d
+			}
+			if int64(p.BoundaryBetween(i, j)) < d {
+				t.Fatalf("pair (%d,%d) window %d < physical skew %d",
+					i, j, p.BoundaryBetween(i, j), d)
+			}
+		}
+	}
+}
+
+func TestUncertainFraction(t *testing.T) {
+	p, _ := pairTableFixture(t)
+	// Gap below every pair window: both fully uncertain.
+	g, pp := p.UncertainFraction(1)
+	if g != 1 || pp != 1 {
+		t.Fatalf("tiny gap: global=%f perPair=%f, want 1/1", g, pp)
+	}
+	// Gap above the global window: both fully certain.
+	g, pp = p.UncertainFraction(p.Global() + 1)
+	if g != 0 || pp != 0 {
+		t.Fatalf("huge gap: global=%f perPair=%f, want 0/0", g, pp)
+	}
+	// Gap between the tight and the loose windows: per-pair wins.
+	mid := p.BoundaryBetween(0, 1) + 1
+	g, pp = p.UncertainFraction(mid)
+	if g != 1 {
+		t.Fatalf("mid gap: global=%f, want 1", g)
+	}
+	if pp >= 1 {
+		t.Fatalf("mid gap: perPair=%f, want < 1 (some pairs certain)", pp)
+	}
+}
+
+func TestPairTableBytes(t *testing.T) {
+	p, _ := pairTableFixture(t)
+	if p.Bytes() != 4*4*8 {
+		t.Fatalf("Bytes() = %d, want 128", p.Bytes())
+	}
+}
+
+func TestComputePairTableErrors(t *testing.T) {
+	if _, err := ComputePairTable(&skewSampler{}, CalibrationOptions{}); !errors.Is(err, ErrNoCPUs) {
+		t.Fatalf("err = %v, want ErrNoCPUs", err)
+	}
+	e := &errSampler{*newSkewSampler([]int64{0, 1}, 10, 0, 1)}
+	if _, err := ComputePairTable(e, CalibrationOptions{}); err == nil {
+		t.Fatal("expected error from failing sampler")
+	}
+}

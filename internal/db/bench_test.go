@@ -1,0 +1,80 @@
+package db
+
+import (
+	"testing"
+
+	"ordo/internal/core"
+)
+
+func benchEngine(b *testing.B, p Protocol) DB {
+	b.Helper()
+	var o *core.Ordo
+	if p == OCCOrdo || p == HekatonOrdo {
+		var err error
+		o, _, err = core.CalibrateHardware(core.CalibrationOptions{Runs: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	d, err := New(p, testSchema, o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := d.NewSession()
+	for k := uint64(0); k < 1024; k++ {
+		k := k
+		if err := s.Run(func(tx Tx) error { return tx.Insert(0, k, []uint64{k, 0}) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return d
+}
+
+func benchReadTxn(b *testing.B, p Protocol) {
+	d := benchEngine(b, p)
+	s := d.NewSession()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := s.Run(func(tx Tx) error {
+			if _, err := tx.Read(0, uint64(i)&1023); err != nil {
+				return err
+			}
+			_, err := tx.Read(0, uint64(i+7)&1023)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchUpdateTxn(b *testing.B, p Protocol) {
+	d := benchEngine(b, p)
+	s := d.NewSession()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := s.Run(func(tx Tx) error {
+			k := uint64(i) & 1023
+			v, err := tx.Read(0, k)
+			if err != nil {
+				return err
+			}
+			v[0]++
+			return tx.Update(0, k, v)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadTxnOCC(b *testing.B)         { benchReadTxn(b, OCC) }
+func BenchmarkReadTxnOCCOrdo(b *testing.B)     { benchReadTxn(b, OCCOrdo) }
+func BenchmarkReadTxnSilo(b *testing.B)        { benchReadTxn(b, Silo) }
+func BenchmarkReadTxnTicToc(b *testing.B)      { benchReadTxn(b, TicToc) }
+func BenchmarkReadTxnHekaton(b *testing.B)     { benchReadTxn(b, Hekaton) }
+func BenchmarkReadTxnHekatonOrdo(b *testing.B) { benchReadTxn(b, HekatonOrdo) }
+func BenchmarkUpdateTxnOCC(b *testing.B)       { benchUpdateTxn(b, OCC) }
+func BenchmarkUpdateTxnSilo(b *testing.B)      { benchUpdateTxn(b, Silo) }
+func BenchmarkUpdateTxnTicToc(b *testing.B)    { benchUpdateTxn(b, TicToc) }
+func BenchmarkUpdateTxnHekaton(b *testing.B)   { benchUpdateTxn(b, Hekaton) }

@@ -1,0 +1,156 @@
+// Package db is a DBx1000-style in-memory transactional engine built to
+// compare concurrency-control protocols over identical storage, exactly as
+// the paper's §6.5 evaluation does. Six protocols are provided:
+//
+//	OCC          timestamp-ordered optimistic CC with a global logical clock
+//	OCCOrdo      the paper's redesign: timestamps from the Ordo primitive
+//	Silo         epoch-based OCC (no per-transaction global timestamps)
+//	TicToc       data-driven timestamping (no global clock at all)
+//	Hekaton      serializable multi-version CC with a global logical clock
+//	HekatonOrdo  Hekaton over the Ordo primitive
+//
+// Workload drivers (internal/db/ycsb, internal/db/tpcc) run unmodified over
+// any protocol through the DB/Session/Tx interfaces.
+package db
+
+import (
+	"errors"
+	"fmt"
+
+	"ordo/internal/core"
+)
+
+// Protocol identifies a concurrency-control scheme.
+type Protocol int
+
+const (
+	// OCC is timestamp-based optimistic concurrency control with a global
+	// logical clock (Kung & Robinson's scheme as realized in DBx1000).
+	OCC Protocol = iota
+	// OCCOrdo is OCC with Ordo timestamps (§4.2).
+	OCCOrdo
+	// Silo is epoch-based OCC (Tu et al., SOSP'13).
+	Silo
+	// TicToc computes commit timestamps from data-item metadata (Yu et
+	// al., SIGMOD'16).
+	TicToc
+	// Hekaton is serializable optimistic MVCC (Larson et al., VLDB'12).
+	Hekaton
+	// HekatonOrdo is Hekaton with Ordo timestamps (§4.2).
+	HekatonOrdo
+)
+
+// String returns the protocol's conventional name.
+func (p Protocol) String() string {
+	switch p {
+	case OCC:
+		return "OCC"
+	case OCCOrdo:
+		return "OCC_ORDO"
+	case Silo:
+		return "SILO"
+	case TicToc:
+		return "TICTOC"
+	case Hekaton:
+		return "HEKATON"
+	case HekatonOrdo:
+		return "HEKATON_ORDO"
+	}
+	return fmt.Sprintf("Protocol(%d)", int(p))
+}
+
+// Errors returned by transaction operations.
+var (
+	// ErrConflict aborts the attempt; the caller should retry the
+	// transaction (its effects are discarded).
+	ErrConflict = errors.New("db: transaction conflict")
+	// ErrNotFound reports a missing key.
+	ErrNotFound = errors.New("db: key not found")
+	// ErrDuplicate reports an insert over an existing key.
+	ErrDuplicate = errors.New("db: duplicate key")
+)
+
+// TableDef declares one table.
+type TableDef struct {
+	Name string
+	Cols int // fixed row width in uint64 columns
+}
+
+// Schema is the set of tables an engine serves.
+type Schema struct {
+	Tables []TableDef
+}
+
+// Tx is one transaction attempt. Reads observe a consistent snapshot or
+// the attempt fails with ErrConflict at some point (possibly at Commit).
+// All writes are buffered until commit.
+type Tx interface {
+	// Read returns the row's column values. The returned slice is a
+	// private copy the caller may retain.
+	Read(table int, key uint64) ([]uint64, error)
+	// Update buffers a full-row write (the row must exist; pair with Read
+	// for read-modify-write).
+	Update(table int, key uint64, vals []uint64) error
+	// Insert buffers a new row.
+	Insert(table int, key uint64, vals []uint64) error
+	// Delete buffers removal of the row (the row must exist).
+	Delete(table int, key uint64) error
+}
+
+// Session is one worker's handle to the engine; not safe for concurrent
+// use by multiple goroutines.
+type Session interface {
+	// Run executes one attempt of fn and tries to commit. ErrConflict
+	// means the attempt aborted and may be retried; any other non-nil
+	// error is fn's own and also aborts.
+	Run(fn func(tx Tx) error) error
+	// Stats returns the session's cumulative commit/abort counters.
+	Stats() (commits, aborts uint64)
+}
+
+// DB is a protocol instance over a schema.
+type DB interface {
+	NewSession() Session
+	Protocol() Protocol
+}
+
+// New creates an engine running the given protocol. Ordo-based protocols
+// require the calibrated primitive; others ignore it.
+func New(p Protocol, schema Schema, o *core.Ordo) (DB, error) {
+	switch p {
+	case OCC:
+		return newOCC(schema, logicalAllocator(), OCC), nil
+	case OCCOrdo:
+		if o == nil {
+			return nil, fmt.Errorf("db: %v requires a calibrated Ordo primitive", p)
+		}
+		return newOCC(schema, ordoAllocator(o), OCCOrdo), nil
+	case Silo:
+		return newSilo(schema), nil
+	case TicToc:
+		return newTicToc(schema), nil
+	case Hekaton:
+		return newHekaton(schema, logicalAllocator(), nil), nil
+	case HekatonOrdo:
+		if o == nil {
+			return nil, fmt.Errorf("db: %v requires a calibrated Ordo primitive", p)
+		}
+		return newHekaton(schema, ordoAllocator(o), o), nil
+	}
+	return nil, fmt.Errorf("db: unknown protocol %v", p)
+}
+
+// MustNew is New for static configurations (tests, examples).
+func MustNew(p Protocol, schema Schema, o *core.Ordo) DB {
+	d, err := New(p, schema, o)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// AllProtocols lists every protocol in the paper's presentation order
+// (Figure 13's legend).
+func AllProtocols() []Protocol {
+	return []Protocol{Silo, TicToc, OCC, OCCOrdo, Hekaton, HekatonOrdo}
+}

@@ -1,0 +1,430 @@
+package db
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ordo/internal/core"
+)
+
+var testSchema = Schema{Tables: []TableDef{
+	{Name: "main", Cols: 2},
+	{Name: "aux", Cols: 1},
+}}
+
+func engines(t *testing.T) map[string]DB {
+	t.Helper()
+	o, _, err := core.CalibrateHardware(core.CalibrationOptions{Runs: 5})
+	if err != nil {
+		t.Fatalf("calibrate: %v", err)
+	}
+	out := make(map[string]DB)
+	for _, p := range AllProtocols() {
+		d, err := New(p, testSchema, o)
+		if err != nil {
+			t.Fatalf("New(%v): %v", p, err)
+		}
+		out[p.String()] = d
+	}
+	return out
+}
+
+// seed inserts key→vals rows through a transaction, retrying conflicts.
+func seed(t *testing.T, d DB, table int, rows map[uint64][]uint64) {
+	t.Helper()
+	s := d.NewSession()
+	for k, v := range rows {
+		k, v := k, v
+		retry(t, s, func(tx Tx) error { return tx.Insert(table, k, v) })
+	}
+}
+
+func retry(t *testing.T, s Session, fn func(tx Tx) error) {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		err := s.Run(fn)
+		if err == nil {
+			return
+		}
+		if !errors.Is(err, ErrConflict) {
+			t.Fatalf("txn failed: %v", err)
+		}
+	}
+	t.Fatal("txn did not commit after 10000 attempts")
+}
+
+func TestProtocolNames(t *testing.T) {
+	want := map[Protocol]string{
+		OCC: "OCC", OCCOrdo: "OCC_ORDO", Silo: "SILO",
+		TicToc: "TICTOC", Hekaton: "HEKATON", HekatonOrdo: "HEKATON_ORDO",
+	}
+	for p, name := range want {
+		if p.String() != name {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), name)
+		}
+	}
+}
+
+func TestOrdoProtocolsRequirePrimitive(t *testing.T) {
+	for _, p := range []Protocol{OCCOrdo, HekatonOrdo} {
+		if _, err := New(p, testSchema, nil); err == nil {
+			t.Errorf("New(%v, nil ordo) succeeded", p)
+		}
+	}
+}
+
+func TestInsertReadUpdate(t *testing.T) {
+	for name, d := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			s := d.NewSession()
+			retry(t, s, func(tx Tx) error {
+				return tx.Insert(0, 1, []uint64{10, 20})
+			})
+			retry(t, s, func(tx Tx) error {
+				v, err := tx.Read(0, 1)
+				if err != nil {
+					return err
+				}
+				if v[0] != 10 || v[1] != 20 {
+					t.Errorf("read %v, want [10 20]", v)
+				}
+				return nil
+			})
+			retry(t, s, func(tx Tx) error {
+				return tx.Update(0, 1, []uint64{11, 21})
+			})
+			retry(t, s, func(tx Tx) error {
+				v, err := tx.Read(0, 1)
+				if err != nil {
+					return err
+				}
+				if v[0] != 11 || v[1] != 21 {
+					t.Errorf("read after update %v, want [11 21]", v)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestReadNotFound(t *testing.T) {
+	for name, d := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			s := d.NewSession()
+			err := s.Run(func(tx Tx) error {
+				_, err := tx.Read(0, 999)
+				return err
+			})
+			if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("err = %v, want ErrNotFound", err)
+			}
+		})
+	}
+}
+
+func TestDuplicateInsert(t *testing.T) {
+	for name, d := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			seed(t, d, 0, map[uint64][]uint64{5: {1, 1}})
+			s := d.NewSession()
+			var sawDup bool
+			for i := 0; i < 100; i++ {
+				err := s.Run(func(tx Tx) error { return tx.Insert(0, 5, []uint64{2, 2}) })
+				if errors.Is(err, ErrDuplicate) {
+					sawDup = true
+					break
+				}
+				if err == nil {
+					t.Fatal("duplicate insert committed")
+				}
+			}
+			if !sawDup {
+				t.Fatal("never observed ErrDuplicate")
+			}
+		})
+	}
+}
+
+func TestReadOwnWrites(t *testing.T) {
+	for name, d := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			seed(t, d, 0, map[uint64][]uint64{7: {100, 0}})
+			s := d.NewSession()
+			retry(t, s, func(tx Tx) error {
+				if err := tx.Update(0, 7, []uint64{200, 0}); err != nil {
+					return err
+				}
+				v, err := tx.Read(0, 7)
+				if err != nil {
+					return err
+				}
+				if v[0] != 200 {
+					t.Errorf("read-own-write = %d, want 200", v[0])
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestAbortedTxnLeavesNoTrace(t *testing.T) {
+	boom := errors.New("boom")
+	for name, d := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			seed(t, d, 0, map[uint64][]uint64{3: {30, 0}})
+			s := d.NewSession()
+			err := s.Run(func(tx Tx) error {
+				if err := tx.Update(0, 3, []uint64{999, 0}); err != nil {
+					return err
+				}
+				if err := tx.Insert(0, 4, []uint64{40, 0}); err != nil {
+					return err
+				}
+				return boom
+			})
+			if !errors.Is(err, boom) {
+				t.Fatalf("err = %v, want boom", err)
+			}
+			retry(t, s, func(tx Tx) error {
+				v, err := tx.Read(0, 3)
+				if err != nil {
+					return err
+				}
+				if v[0] != 30 {
+					t.Errorf("aborted update leaked: %d", v[0])
+				}
+				if _, err := tx.Read(0, 4); !errors.Is(err, ErrNotFound) {
+					t.Errorf("aborted insert leaked: err = %v", err)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestConcurrentCounterNoLostUpdates(t *testing.T) {
+	for name, d := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			seed(t, d, 0, map[uint64][]uint64{1: {0, 0}})
+			const workers = 4
+			const per = 150
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				s := d.NewSession()
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						for {
+							err := s.Run(func(tx Tx) error {
+								v, err := tx.Read(0, 1)
+								if err != nil {
+									return err
+								}
+								return tx.Update(0, 1, []uint64{v[0] + 1, v[1]})
+							})
+							if err == nil {
+								break
+							}
+							if !errors.Is(err, ErrConflict) && !errors.Is(err, ErrDuplicate) {
+								t.Errorf("unexpected error: %v", err)
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			s := d.NewSession()
+			retry(t, s, func(tx Tx) error {
+				v, err := tx.Read(0, 1)
+				if err != nil {
+					return err
+				}
+				if v[0] != workers*per {
+					t.Errorf("counter = %d, want %d", v[0], workers*per)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestTransferInvariantSerializable(t *testing.T) {
+	// Bank transfers between 8 accounts with concurrent full-scan audits:
+	// every committed audit must observe the exact total.
+	for name, d := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			const accounts = 8
+			const total = accounts * 100
+			rows := make(map[uint64][]uint64)
+			for i := uint64(0); i < accounts; i++ {
+				rows[i] = []uint64{100, 0}
+			}
+			seed(t, d, 0, rows)
+
+			var wg sync.WaitGroup
+			var torn int64
+			var mu sync.Mutex
+			for w := 0; w < 2; w++ {
+				s := d.NewSession()
+				wg.Add(1)
+				go func(seedv int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seedv))
+					for i := 0; i < 150; i++ {
+						from, to := uint64(rng.Intn(accounts)), uint64(rng.Intn(accounts))
+						if from == to {
+							continue
+						}
+						for {
+							err := s.Run(func(tx Tx) error {
+								fv, err := tx.Read(0, from)
+								if err != nil {
+									return err
+								}
+								if fv[0] == 0 {
+									return nil
+								}
+								tv, err := tx.Read(0, to)
+								if err != nil {
+									return err
+								}
+								if err := tx.Update(0, from, []uint64{fv[0] - 1, fv[1]}); err != nil {
+									return err
+								}
+								return tx.Update(0, to, []uint64{tv[0] + 1, tv[1]})
+							})
+							if err == nil {
+								break
+							}
+							if !errors.Is(err, ErrConflict) {
+								t.Errorf("transfer error: %v", err)
+								return
+							}
+						}
+					}
+				}(int64(w + 1))
+			}
+			s := d.NewSession()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					var sum uint64
+					err := s.Run(func(tx Tx) error {
+						sum = 0
+						for a := uint64(0); a < accounts; a++ {
+							v, err := tx.Read(0, a)
+							if err != nil {
+								return err
+							}
+							sum += v[0]
+						}
+						return nil
+					})
+					if err == nil && sum != total {
+						mu.Lock()
+						torn++
+						mu.Unlock()
+					}
+				}
+			}()
+			wg.Wait()
+			if torn != 0 {
+				t.Fatalf("%d audits observed a torn total (serializability violation)", torn)
+			}
+		})
+	}
+}
+
+func TestSessionStats(t *testing.T) {
+	for name, d := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			s := d.NewSession()
+			retry(t, s, func(tx Tx) error { return tx.Insert(1, 1, []uint64{1}) })
+			commits, _ := s.Stats()
+			if commits < 1 {
+				t.Fatalf("commits = %d, want >= 1", commits)
+			}
+			// A failing body counts as an abort.
+			_ = s.Run(func(tx Tx) error { return errors.New("x") })
+			_, aborts := s.Stats()
+			if aborts < 1 {
+				t.Fatalf("aborts = %d, want >= 1", aborts)
+			}
+		})
+	}
+}
+
+func TestMultiTableIsolation(t *testing.T) {
+	for name, d := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			seed(t, d, 0, map[uint64][]uint64{1: {1, 0}})
+			seed(t, d, 1, map[uint64][]uint64{1: {2}})
+			s := d.NewSession()
+			retry(t, s, func(tx Tx) error {
+				a, err := tx.Read(0, 1)
+				if err != nil {
+					return err
+				}
+				b, err := tx.Read(1, 1)
+				if err != nil {
+					return err
+				}
+				if a[0] != 1 || b[0] != 2 {
+					t.Errorf("cross-table reads %v %v", a, b)
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestHekatonVersionChainVisibility(t *testing.T) {
+	// Multi-version specific: after several updates, a fresh reader sees
+	// the latest committed version.
+	o, _, err := core.CalibrateHardware(core.CalibrationOptions{Runs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Protocol{Hekaton, HekatonOrdo} {
+		t.Run(p.String(), func(t *testing.T) {
+			d := MustNew(p, testSchema, o)
+			s := d.NewSession()
+			retry(t, s, func(tx Tx) error { return tx.Insert(0, 1, []uint64{1, 0}) })
+			for v := uint64(2); v <= 10; v++ {
+				v := v
+				retry(t, s, func(tx Tx) error { return tx.Update(0, 1, []uint64{v, 0}) })
+			}
+			s2 := d.NewSession()
+			retry(t, s2, func(tx Tx) error {
+				got, err := tx.Read(0, 1)
+				if err != nil {
+					return err
+				}
+				if got[0] != 10 {
+					t.Errorf("fresh reader sees %d, want 10", got[0])
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestInvalidTable(t *testing.T) {
+	for name, d := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			s := d.NewSession()
+			err := s.Run(func(tx Tx) error {
+				_, err := tx.Read(99, 1)
+				return err
+			})
+			if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("read from invalid table: %v", err)
+			}
+		})
+	}
+}

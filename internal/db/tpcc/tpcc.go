@@ -1,0 +1,384 @@
+// Package tpcc implements the TPC-C subset the paper evaluates (§6.5,
+// Figure 14): NewOrder (50%) and Payment (50%) transactions over hash
+// indexes, with the warehouse count as the contention knob (the paper runs
+// 60 warehouses on 240 threads).
+//
+// The schema keeps TPC-C's structure — warehouse, district, customer,
+// item, stock, order, order-line, new-order, history — with numeric
+// columns (the engine stores uint64 columns; money is in cents).
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ordo/internal/db"
+)
+
+// Table ids.
+const (
+	TWarehouse = iota
+	TDistrict
+	TCustomer
+	TItem
+	TStock
+	TOrder
+	TOrderLine
+	TNewOrder
+	THistory
+	numTables
+)
+
+// TPC-C scale constants (full spec values; Items is configurable for
+// test-sized runs).
+const (
+	DistrictsPerWarehouse = 10
+	CustomersPerDistrict  = 3000
+	defaultItems          = 100000
+)
+
+// Column layouts (indices into row values).
+const (
+	// warehouse: [ytd, tax]
+	WYtd = iota
+	WTax
+	wCols
+)
+const (
+	// district: [next_o_id, ytd, tax]
+	DNextOID = iota
+	DYtd
+	DTax
+	dCols
+)
+const (
+	// customer: [balance, ytd_payment, payment_cnt, delivery_cnt]
+	CBalance = iota
+	CYtdPayment
+	CPaymentCnt
+	CDeliveryCnt
+	cCols
+)
+const (
+	// item: [price]
+	IPrice = iota
+	iCols
+)
+const (
+	// stock: [quantity, ytd, order_cnt]
+	SQuantity = iota
+	SYtd
+	SOrderCnt
+	sCols
+)
+const (
+	// order: [c_id, ol_cnt, entry_d]
+	OCID = iota
+	OOlCnt
+	OEntryD
+	oCols
+)
+const (
+	// order_line: [i_id, qty, amount]
+	OLIID = iota
+	OLQty
+	OLAmount
+	olCols
+)
+const noCols = 1 // new_order: [o_id]
+const hCols = 2  // history: [amount, c_key]
+
+// Config parameterizes the benchmark.
+type Config struct {
+	Warehouses int
+	Items      int     // 0 = spec default (100,000)
+	CustPerDis int     // 0 = spec default (3,000); tests shrink it
+	RemoteProb float64 // probability a NewOrder line hits a remote warehouse (spec: 0.01)
+}
+
+func (c *Config) defaults() {
+	if c.Items == 0 {
+		c.Items = defaultItems
+	}
+	if c.CustPerDis == 0 {
+		c.CustPerDis = CustomersPerDistrict
+	}
+	if c.RemoteProb == 0 {
+		c.RemoteProb = 0.01
+	}
+}
+
+// Schema returns the engine schema.
+func Schema() db.Schema {
+	defs := make([]db.TableDef, numTables)
+	defs[TWarehouse] = db.TableDef{Name: "warehouse", Cols: wCols}
+	defs[TDistrict] = db.TableDef{Name: "district", Cols: dCols}
+	defs[TCustomer] = db.TableDef{Name: "customer", Cols: cCols}
+	defs[TItem] = db.TableDef{Name: "item", Cols: iCols}
+	defs[TStock] = db.TableDef{Name: "stock", Cols: sCols}
+	defs[TOrder] = db.TableDef{Name: "order", Cols: oCols}
+	defs[TOrderLine] = db.TableDef{Name: "order_line", Cols: olCols}
+	defs[TNewOrder] = db.TableDef{Name: "new_order", Cols: noCols}
+	defs[THistory] = db.TableDef{Name: "history", Cols: hCols}
+	return db.Schema{Tables: defs}
+}
+
+// Key packing. Warehouses are 1-based as in the spec.
+func warehouseKey(w int) uint64 { return uint64(w) }
+func districtKey(w, d int) uint64 {
+	return uint64(w)*DistrictsPerWarehouse + uint64(d)
+}
+func (c *Config) customerKey(w, d, cu int) uint64 {
+	return districtKey(w, d)*uint64(c.CustPerDis+1) + uint64(cu)
+}
+func itemKey(i int) uint64 { return uint64(i) }
+func (c *Config) stockKey(w, i int) uint64 {
+	return uint64(w)*uint64(c.Items+1) + uint64(i)
+}
+func orderKey(w, d, o int) uint64 {
+	return districtKey(w, d)<<28 | uint64(o)
+}
+func orderLineKey(w, d, o, line int) uint64 {
+	return orderKey(w, d, o)<<4 | uint64(line)
+}
+
+// Workload binds a config to an engine.
+type Workload struct {
+	cfg Config
+	d   db.DB
+}
+
+// New validates the config.
+func New(d db.DB, cfg Config) (*Workload, error) {
+	if cfg.Warehouses <= 0 {
+		return nil, fmt.Errorf("tpcc: Warehouses must be positive, got %d", cfg.Warehouses)
+	}
+	cfg.defaults()
+	return &Workload{cfg: cfg, d: d}, nil
+}
+
+// Load populates warehouses, districts, customers, items and stock.
+func (w *Workload) Load() error {
+	s := w.d.NewSession()
+	ins := func(table int, key uint64, vals []uint64) error {
+		return runRetry(s, func(tx db.Tx) error { return tx.Insert(table, key, vals) })
+	}
+	for i := 1; i <= w.cfg.Items; i++ {
+		if err := ins(TItem, itemKey(i), []uint64{uint64(100 + i%9900)}); err != nil {
+			return fmt.Errorf("tpcc: load item %d: %w", i, err)
+		}
+	}
+	for wh := 1; wh <= w.cfg.Warehouses; wh++ {
+		if err := ins(TWarehouse, warehouseKey(wh), []uint64{0, 10}); err != nil {
+			return fmt.Errorf("tpcc: load warehouse %d: %w", wh, err)
+		}
+		for d := 1; d <= DistrictsPerWarehouse; d++ {
+			if err := ins(TDistrict, districtKey(wh, d), []uint64{3001, 0, 15}); err != nil {
+				return fmt.Errorf("tpcc: load district %d/%d: %w", wh, d, err)
+			}
+			for cu := 1; cu <= w.cfg.CustPerDis; cu++ {
+				if err := ins(TCustomer, w.cfg.customerKey(wh, d, cu),
+					[]uint64{1000, 0, 0, 0}); err != nil {
+					return fmt.Errorf("tpcc: load customer: %w", err)
+				}
+			}
+		}
+		for i := 1; i <= w.cfg.Items; i++ {
+			if err := ins(TStock, w.cfg.stockKey(wh, i), []uint64{100, 0, 0}); err != nil {
+				return fmt.Errorf("tpcc: load stock: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Worker is one benchmark thread.
+type Worker struct {
+	w    *Workload
+	id   int
+	s    db.Session
+	rng  *rand.Rand
+	hseq uint64
+
+	// Stats.
+	NewOrders uint64
+	Payments  uint64
+	Aborts    uint64
+}
+
+// NewWorker creates a per-thread driver; id must be unique per worker.
+func (w *Workload) NewWorker(id int, seed int64) *Worker {
+	return &Worker{w: w, id: id, s: w.d.NewSession(), rng: rand.New(rand.NewSource(seed))}
+}
+
+// RunOne executes one transaction (NewOrder or Payment with equal
+// probability), retrying aborts, and returns the first non-conflict error.
+func (wk *Worker) RunOne() error {
+	if wk.rng.Intn(2) == 0 {
+		return wk.newOrder()
+	}
+	return wk.payment()
+}
+
+// newOrder implements TPC-C NewOrder: allocate the district's next order
+// id, check stock for 5–15 lines, insert order, order lines and new-order
+// entry.
+func (wk *Worker) newOrder() error {
+	cfg := &wk.w.cfg
+	wh := 1 + wk.rng.Intn(cfg.Warehouses)
+	d := 1 + wk.rng.Intn(DistrictsPerWarehouse)
+	cu := 1 + wk.rng.Intn(cfg.CustPerDis)
+	nLines := 5 + wk.rng.Intn(11)
+	type line struct {
+		item, supplyW, qty int
+	}
+	lines := make([]line, nLines)
+	for i := range lines {
+		supply := wh
+		if cfg.Warehouses > 1 && wk.rng.Float64() < cfg.RemoteProb {
+			for supply == wh {
+				supply = 1 + wk.rng.Intn(cfg.Warehouses)
+			}
+		}
+		lines[i] = line{item: 1 + wk.rng.Intn(cfg.Items), supplyW: supply, qty: 1 + wk.rng.Intn(10)}
+	}
+
+	for {
+		err := wk.s.Run(func(tx db.Tx) error {
+			wrow, err := tx.Read(TWarehouse, warehouseKey(wh))
+			if err != nil {
+				return err
+			}
+			_ = wrow[WTax]
+			drow, err := tx.Read(TDistrict, districtKey(wh, d))
+			if err != nil {
+				return err
+			}
+			oid := int(drow[DNextOID])
+			drow[DNextOID]++
+			if err := tx.Update(TDistrict, districtKey(wh, d), drow); err != nil {
+				return err
+			}
+			if _, err := tx.Read(TCustomer, cfg.customerKey(wh, d, cu)); err != nil {
+				return err
+			}
+			var total uint64
+			for li, l := range lines {
+				irow, err := tx.Read(TItem, itemKey(l.item))
+				if err != nil {
+					return err
+				}
+				srow, err := tx.Read(TStock, cfg.stockKey(l.supplyW, l.item))
+				if err != nil {
+					return err
+				}
+				if srow[SQuantity] >= uint64(l.qty)+10 {
+					srow[SQuantity] -= uint64(l.qty)
+				} else {
+					srow[SQuantity] = srow[SQuantity] + 91 - uint64(l.qty)
+				}
+				srow[SYtd] += uint64(l.qty)
+				srow[SOrderCnt]++
+				if err := tx.Update(TStock, cfg.stockKey(l.supplyW, l.item), srow); err != nil {
+					return err
+				}
+				amount := uint64(l.qty) * irow[IPrice]
+				total += amount
+				if err := tx.Insert(TOrderLine, orderLineKey(wh, d, oid, li),
+					[]uint64{uint64(l.item), uint64(l.qty), amount}); err != nil {
+					return err
+				}
+			}
+			if err := tx.Insert(TOrder, orderKey(wh, d, oid),
+				[]uint64{uint64(cu), uint64(nLines), 0}); err != nil {
+				return err
+			}
+			return tx.Insert(TNewOrder, orderKey(wh, d, oid), []uint64{uint64(oid)})
+		})
+		if err == nil {
+			wk.NewOrders++
+			return nil
+		}
+		if errors.Is(err, db.ErrConflict) || errors.Is(err, db.ErrDuplicate) {
+			// Duplicate order keys arise when a conflicting transaction won
+			// the same next_o_id; retry re-reads the district row.
+			wk.Aborts++
+			continue
+		}
+		return err
+	}
+}
+
+// payment implements TPC-C Payment: update warehouse and district YTD,
+// credit the customer, record history.
+func (wk *Worker) payment() error {
+	cfg := &wk.w.cfg
+	wh := 1 + wk.rng.Intn(cfg.Warehouses)
+	d := 1 + wk.rng.Intn(DistrictsPerWarehouse)
+	// 15% of payments come through a remote customer warehouse (spec).
+	cwh := wh
+	if cfg.Warehouses > 1 && wk.rng.Float64() < 0.15 {
+		for cwh == wh {
+			cwh = 1 + wk.rng.Intn(cfg.Warehouses)
+		}
+	}
+	cu := 1 + wk.rng.Intn(cfg.CustPerDis)
+	amount := uint64(100 + wk.rng.Intn(500000)) // 1.00–5000.00 in cents
+
+	for {
+		err := wk.s.Run(func(tx db.Tx) error {
+			wrow, err := tx.Read(TWarehouse, warehouseKey(wh))
+			if err != nil {
+				return err
+			}
+			wrow[WYtd] += amount
+			if err := tx.Update(TWarehouse, warehouseKey(wh), wrow); err != nil {
+				return err
+			}
+			drow, err := tx.Read(TDistrict, districtKey(wh, d))
+			if err != nil {
+				return err
+			}
+			drow[DYtd] += amount
+			if err := tx.Update(TDistrict, districtKey(wh, d), drow); err != nil {
+				return err
+			}
+			ckey := cfg.customerKey(cwh, d, cu)
+			crow, err := tx.Read(TCustomer, ckey)
+			if err != nil {
+				return err
+			}
+			crow[CBalance] -= amount
+			crow[CYtdPayment] += amount
+			crow[CPaymentCnt]++
+			if err := tx.Update(TCustomer, ckey, crow); err != nil {
+				return err
+			}
+			hkey := uint64(wk.id)<<40 | wk.hseq
+			return tx.Insert(THistory, hkey, []uint64{amount, ckey})
+		})
+		if err == nil {
+			wk.hseq++
+			wk.Payments++
+			return nil
+		}
+		if errors.Is(err, db.ErrConflict) || errors.Is(err, db.ErrDuplicate) {
+			wk.Aborts++
+			continue
+		}
+		return err
+	}
+}
+
+func runRetry(s db.Session, fn func(tx db.Tx) error) error {
+	for i := 0; ; i++ {
+		err := s.Run(fn)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, db.ErrConflict) || i > 100000 {
+			return err
+		}
+	}
+}

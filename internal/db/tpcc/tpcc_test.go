@@ -1,0 +1,223 @@
+package tpcc
+
+import (
+	"sync"
+	"testing"
+
+	"ordo/internal/core"
+	"ordo/internal/db"
+)
+
+// testCfg is a shrunken TPC-C (full loading takes too long for unit tests).
+var testCfg = Config{Warehouses: 2, Items: 50, CustPerDis: 20}
+
+func allEngines(t *testing.T) map[string]db.DB {
+	t.Helper()
+	o, _, err := core.CalibrateHardware(core.CalibrationOptions{Runs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]db.DB)
+	for _, p := range db.AllProtocols() {
+		out[p.String()] = db.MustNew(p, Schema(), o)
+	}
+	return out
+}
+
+func TestConfigValidation(t *testing.T) {
+	d := db.MustNew(db.Silo, Schema(), nil)
+	if _, err := New(d, Config{}); err == nil {
+		t.Error("Warehouses=0 accepted")
+	}
+	w, err := New(d, Config{Warehouses: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.cfg.Items != defaultItems || w.cfg.CustPerDis != CustomersPerDistrict {
+		t.Errorf("defaults not applied: %+v", w.cfg)
+	}
+}
+
+func TestKeyPackingUnique(t *testing.T) {
+	cfg := Config{Warehouses: 60}
+	cfg.defaults()
+	seen := map[uint64]bool{}
+	for w := 1; w <= 60; w++ {
+		for d := 1; d <= DistrictsPerWarehouse; d++ {
+			k := districtKey(w, d)
+			if seen[k] {
+				t.Fatalf("district key collision at w=%d d=%d", w, d)
+			}
+			seen[k] = true
+		}
+	}
+	// Order-line keys must stay under the engine's 2^56 key ceiling.
+	k := orderLineKey(60, 10, 1<<27, 15)
+	if k >= 1<<56 {
+		t.Fatalf("order line key %d exceeds 2^56", k)
+	}
+}
+
+func TestNewOrderAndPayment(t *testing.T) {
+	for name, d := range allEngines(t) {
+		t.Run(name, func(t *testing.T) {
+			w, err := New(d, testCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Load(); err != nil {
+				t.Fatal(err)
+			}
+			wk := w.NewWorker(0, 1)
+			for i := 0; i < 60; i++ {
+				if err := wk.RunOne(); err != nil {
+					t.Fatalf("txn %d: %v", i, err)
+				}
+			}
+			if wk.NewOrders+wk.Payments != 60 {
+				t.Fatalf("completed %d txns, want 60", wk.NewOrders+wk.Payments)
+			}
+			if wk.NewOrders == 0 || wk.Payments == 0 {
+				t.Fatalf("mix degenerate: %d new-orders, %d payments", wk.NewOrders, wk.Payments)
+			}
+		})
+	}
+}
+
+func TestOrderIDsMonotonicPerDistrict(t *testing.T) {
+	d := db.MustNew(db.Silo, Schema(), nil)
+	w, err := New(d, Config{Warehouses: 1, Items: 20, CustPerDis: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Load(); err != nil {
+		t.Fatal(err)
+	}
+	wk := w.NewWorker(0, 2)
+	for i := 0; i < 40; i++ {
+		if err := wk.newOrder(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sum of (next_o_id - 3001) across districts equals orders created.
+	s := d.NewSession()
+	var created uint64
+	err = s.Run(func(tx db.Tx) error {
+		created = 0
+		for dd := 1; dd <= DistrictsPerWarehouse; dd++ {
+			row, err := tx.Read(TDistrict, districtKey(1, dd))
+			if err != nil {
+				return err
+			}
+			created += row[DNextOID] - 3001
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created != 40 {
+		t.Fatalf("districts record %d orders, want 40", created)
+	}
+}
+
+func TestPaymentMovesMoney(t *testing.T) {
+	d := db.MustNew(db.TicToc, Schema(), nil)
+	w, err := New(d, Config{Warehouses: 1, Items: 10, CustPerDis: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Load(); err != nil {
+		t.Fatal(err)
+	}
+	wk := w.NewWorker(0, 3)
+	for i := 0; i < 20; i++ {
+		if err := wk.payment(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warehouse + district YTD totals must match.
+	s := d.NewSession()
+	var wytd, dytd uint64
+	err = s.Run(func(tx db.Tx) error {
+		row, err := tx.Read(TWarehouse, warehouseKey(1))
+		if err != nil {
+			return err
+		}
+		wytd = row[WYtd]
+		dytd = 0
+		for dd := 1; dd <= DistrictsPerWarehouse; dd++ {
+			drow, err := tx.Read(TDistrict, districtKey(1, dd))
+			if err != nil {
+				return err
+			}
+			dytd += drow[DYtd]
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wytd == 0 || wytd != dytd {
+		t.Fatalf("warehouse ytd %d != district ytd sum %d", wytd, dytd)
+	}
+}
+
+func TestConcurrentWorkersConsistent(t *testing.T) {
+	for name, d := range allEngines(t) {
+		t.Run(name, func(t *testing.T) {
+			w, err := New(d, testCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Load(); err != nil {
+				t.Fatal(err)
+			}
+			const workers = 4
+			const per = 30
+			var wg sync.WaitGroup
+			wks := make([]*Worker, workers)
+			for i := range wks {
+				wks[i] = w.NewWorker(i, int64(i+10))
+				wg.Add(1)
+				go func(wk *Worker) {
+					defer wg.Done()
+					for j := 0; j < per; j++ {
+						if err := wk.RunOne(); err != nil {
+							t.Errorf("txn failed: %v", err)
+							return
+						}
+					}
+				}(wks[i])
+			}
+			wg.Wait()
+			var newOrders uint64
+			for _, wk := range wks {
+				newOrders += wk.NewOrders
+			}
+			// Cross-check NewOrder count against the districts' counters.
+			s := d.NewSession()
+			var created uint64
+			err = s.Run(func(tx db.Tx) error {
+				created = 0
+				for wh := 1; wh <= testCfg.Warehouses; wh++ {
+					for dd := 1; dd <= DistrictsPerWarehouse; dd++ {
+						row, err := tx.Read(TDistrict, districtKey(wh, dd))
+						if err != nil {
+							return err
+						}
+						created += row[DNextOID] - 3001
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if created != newOrders {
+				t.Fatalf("district counters say %d orders, workers committed %d",
+					created, newOrders)
+			}
+		})
+	}
+}

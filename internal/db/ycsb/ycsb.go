@@ -1,0 +1,171 @@
+// Package ycsb generates YCSB-style key-value transactions against the db
+// engine, matching the paper's §6.5 configuration: two queries per
+// transaction over a uniform random key distribution, with a configurable
+// read ratio (Figure 13 uses 100% reads).
+package ycsb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ordo/internal/db"
+)
+
+// Table is the single YCSB table's id in the schema.
+const Table = 0
+
+// Cols is the row width (YCSB's usertable has 10 fields; numeric columns
+// here since the engine stores uint64 columns).
+const Cols = 10
+
+// Config parameterizes the workload.
+type Config struct {
+	// Records is the table size (paper-scale runs use millions; tests use
+	// less).
+	Records int
+	// OpsPerTxn is the number of queries per transaction (paper: 2).
+	OpsPerTxn int
+	// ReadRatio is the fraction of queries that are reads (paper Fig. 13:
+	// 1.0).
+	ReadRatio float64
+	// Theta is the Zipfian skew (0 = uniform, the paper's setting).
+	Theta float64
+}
+
+// Schema returns the engine schema for this workload.
+func Schema() db.Schema {
+	return db.Schema{Tables: []db.TableDef{{Name: "usertable", Cols: Cols}}}
+}
+
+// Workload drives one engine instance.
+type Workload struct {
+	cfg Config
+	d   db.DB
+}
+
+// New validates cfg and binds it to an engine.
+func New(d db.DB, cfg Config) (*Workload, error) {
+	if cfg.Records <= 0 {
+		return nil, fmt.Errorf("ycsb: Records must be positive, got %d", cfg.Records)
+	}
+	if cfg.OpsPerTxn <= 0 {
+		cfg.OpsPerTxn = 2
+	}
+	if cfg.ReadRatio < 0 || cfg.ReadRatio > 1 {
+		return nil, fmt.Errorf("ycsb: ReadRatio %f out of [0,1]", cfg.ReadRatio)
+	}
+	return &Workload{cfg: cfg, d: d}, nil
+}
+
+// Load populates the table.
+func (w *Workload) Load() error {
+	s := w.d.NewSession()
+	const batch = 64
+	for base := 0; base < w.cfg.Records; base += batch {
+		end := base + batch
+		if end > w.cfg.Records {
+			end = w.cfg.Records
+		}
+		err := runRetry(s, func(tx db.Tx) error {
+			for k := base; k < end; k++ {
+				vals := make([]uint64, Cols)
+				for c := range vals {
+					vals[c] = uint64(k*Cols + c)
+				}
+				if err := tx.Insert(Table, uint64(k), vals); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("ycsb: load batch at %d: %w", base, err)
+		}
+	}
+	return nil
+}
+
+// Worker is one benchmark thread.
+type Worker struct {
+	w    *Workload
+	s    db.Session
+	rng  *rand.Rand
+	zipf *rand.Zipf
+
+	// Txns and Aborts count completed transactions and aborted attempts.
+	Txns   uint64
+	Aborts uint64
+}
+
+// NewWorker creates a deterministic per-thread driver.
+func (w *Workload) NewWorker(seed int64) *Worker {
+	rng := rand.New(rand.NewSource(seed))
+	wk := &Worker{w: w, s: w.d.NewSession(), rng: rng}
+	if w.cfg.Theta > 0 {
+		wk.zipf = rand.NewZipf(rng, 1+w.cfg.Theta, 1, uint64(w.cfg.Records-1))
+	}
+	return wk
+}
+
+func (wk *Worker) key() uint64 {
+	if wk.zipf != nil {
+		return wk.zipf.Uint64()
+	}
+	return uint64(wk.rng.Intn(wk.w.cfg.Records))
+}
+
+// RunOne executes one transaction to completion, retrying aborted attempts,
+// and records stats.
+func (wk *Worker) RunOne() error {
+	cfg := wk.w.cfg
+	// Pre-draw the access pattern so retries replay the same transaction.
+	keys := make([]uint64, cfg.OpsPerTxn)
+	reads := make([]bool, cfg.OpsPerTxn)
+	for i := range keys {
+		keys[i] = wk.key()
+		reads[i] = wk.rng.Float64() < cfg.ReadRatio
+	}
+	for {
+		err := wk.s.Run(func(tx db.Tx) error {
+			for i := range keys {
+				if reads[i] {
+					if _, err := tx.Read(Table, keys[i]); err != nil {
+						return err
+					}
+					continue
+				}
+				vals, err := tx.Read(Table, keys[i])
+				if err != nil {
+					return err
+				}
+				vals[0]++
+				if err := tx.Update(Table, keys[i], vals); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err == nil {
+			wk.Txns++
+			return nil
+		}
+		if errors.Is(err, db.ErrConflict) {
+			wk.Aborts++
+			continue
+		}
+		return err
+	}
+}
+
+func runRetry(s db.Session, fn func(tx db.Tx) error) error {
+	for i := 0; ; i++ {
+		err := s.Run(fn)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, db.ErrConflict) || i > 100000 {
+			return err
+		}
+	}
+}

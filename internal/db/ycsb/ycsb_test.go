@@ -1,0 +1,160 @@
+package ycsb
+
+import (
+	"sync"
+	"testing"
+
+	"ordo/internal/core"
+	"ordo/internal/db"
+)
+
+func allEngines(t *testing.T) map[string]db.DB {
+	t.Helper()
+	o, _, err := core.CalibrateHardware(core.CalibrationOptions{Runs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]db.DB)
+	for _, p := range db.AllProtocols() {
+		out[p.String()] = db.MustNew(p, Schema(), o)
+	}
+	return out
+}
+
+func TestConfigValidation(t *testing.T) {
+	d := db.MustNew(db.Silo, Schema(), nil)
+	if _, err := New(d, Config{Records: 0}); err == nil {
+		t.Error("Records=0 accepted")
+	}
+	if _, err := New(d, Config{Records: 10, ReadRatio: 1.5}); err == nil {
+		t.Error("ReadRatio=1.5 accepted")
+	}
+	w, err := New(d, Config{Records: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.cfg.OpsPerTxn != 2 {
+		t.Errorf("default OpsPerTxn = %d, want 2", w.cfg.OpsPerTxn)
+	}
+}
+
+func TestLoadAndReadOnly(t *testing.T) {
+	for name, d := range allEngines(t) {
+		t.Run(name, func(t *testing.T) {
+			w, err := New(d, Config{Records: 200, OpsPerTxn: 2, ReadRatio: 1.0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Load(); err != nil {
+				t.Fatal(err)
+			}
+			wk := w.NewWorker(1)
+			for i := 0; i < 200; i++ {
+				if err := wk.RunOne(); err != nil {
+					t.Fatalf("txn %d: %v", i, err)
+				}
+			}
+			if wk.Txns != 200 {
+				t.Fatalf("Txns = %d, want 200", wk.Txns)
+			}
+		})
+	}
+}
+
+func TestMixedWorkloadConcurrent(t *testing.T) {
+	for name, d := range allEngines(t) {
+		t.Run(name, func(t *testing.T) {
+			w, err := New(d, Config{Records: 64, OpsPerTxn: 2, ReadRatio: 0.5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Load(); err != nil {
+				t.Fatal(err)
+			}
+			const workers = 4
+			const per = 100
+			var wg sync.WaitGroup
+			wks := make([]*Worker, workers)
+			for i := 0; i < workers; i++ {
+				wks[i] = w.NewWorker(int64(i + 1))
+				wg.Add(1)
+				go func(wk *Worker) {
+					defer wg.Done()
+					for j := 0; j < per; j++ {
+						if err := wk.RunOne(); err != nil {
+							t.Errorf("txn failed: %v", err)
+							return
+						}
+					}
+				}(wks[i])
+			}
+			wg.Wait()
+			var txns uint64
+			for _, wk := range wks {
+				txns += wk.Txns
+			}
+			if txns != workers*per {
+				t.Fatalf("completed %d txns, want %d", txns, workers*per)
+			}
+		})
+	}
+}
+
+func TestZipfWorkerSkewsKeys(t *testing.T) {
+	d := db.MustNew(db.Silo, Schema(), nil)
+	w, err := New(d, Config{Records: 1000, Theta: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wk := w.NewWorker(7)
+	lowKeys := 0
+	const draws = 2000
+	for i := 0; i < draws; i++ {
+		if wk.key() < 100 {
+			lowKeys++
+		}
+	}
+	// With theta=0.9 far more than the uniform 10% of draws land in the
+	// first 10% of keys.
+	if lowKeys < draws/4 {
+		t.Fatalf("zipf draws in low range = %d/%d, want skew", lowKeys, draws)
+	}
+}
+
+func TestUpdatesPersist(t *testing.T) {
+	d := db.MustNew(db.TicToc, Schema(), nil)
+	w, err := New(d, Config{Records: 16, OpsPerTxn: 1, ReadRatio: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Load(); err != nil {
+		t.Fatal(err)
+	}
+	wk := w.NewWorker(3)
+	for i := 0; i < 50; i++ {
+		if err := wk.RunOne(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 50 write txns of 1 op each bumped column 0 of various keys by one
+	// each: the sum over all rows of (col0 - initial) must be 50.
+	s := d.NewSession()
+	var bumps uint64
+	err = s.Run(func(tx db.Tx) error {
+		bumps = 0
+		for k := 0; k < 16; k++ {
+			v, err := tx.Read(Table, uint64(k))
+			if err != nil {
+				return err
+			}
+			bumps += v[0] - uint64(k*Cols)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bumps != 50 {
+		t.Fatalf("total bumps = %d, want 50", bumps)
+	}
+}

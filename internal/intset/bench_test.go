@@ -1,0 +1,37 @@
+package intset
+
+import (
+	"testing"
+
+	"ordo/internal/rlu"
+)
+
+func benchSet(b *testing.B, mk func(*rlu.Domain) Set) {
+	d := rlu.NewDomain(rlu.Logical, nil)
+	s := mk(d)
+	h := s.NewHandle()
+	for k := int64(0); k < 1000; k += 2 {
+		h.Add(k)
+	}
+	b.ResetTimer()
+	b.Run("contains", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h.Contains(int64(i) % 1000)
+		}
+	})
+	b.Run("addremove", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			k := int64(i)%1000 | 1 // odd keys: not pre-filled
+			h.Add(k)
+			h.Remove(k)
+		}
+	})
+}
+
+func BenchmarkHashSet(b *testing.B) {
+	benchSet(b, func(d *rlu.Domain) Set { return NewHashSet(d, 64) })
+}
+
+func BenchmarkCitrus(b *testing.B) {
+	benchSet(b, func(d *rlu.Domain) Set { return NewCitrus(d) })
+}

@@ -1,0 +1,247 @@
+package intset
+
+import (
+	"math"
+
+	"ordo/internal/rlu"
+)
+
+// tnode is an internal binary-search-tree node protected by RLU; writers
+// lock every node they modify and the commit publishes the whole mutation
+// atomically, so readers traversing under their snapshot never observe a
+// torn rotation or relocation.
+type tnode struct {
+	key         int64
+	left, right *rlu.Object[tnode]
+}
+
+// Citrus is a citrus-style internal BST over RLU (the "citrus tree
+// benchmark" of §6.4, with its complex multi-node update operations).
+type Citrus struct {
+	d    *rlu.Domain
+	root *rlu.Object[tnode] // sentinel, key = +inf, tree hangs off left
+}
+
+// NewCitrus creates an empty tree over an RLU domain.
+func NewCitrus(d *rlu.Domain) *Citrus {
+	return &Citrus{d: d, root: rlu.NewObject(tnode{key: math.MaxInt64})}
+}
+
+// NewHandle implements Set.
+func (c *Citrus) NewHandle() Handle {
+	return &citrusHandle{set: c, th: c.d.RegisterThread()}
+}
+
+type citrusHandle struct {
+	set *Citrus
+	th  *rlu.Thread
+}
+
+// Contains implements Handle.
+func (h *citrusHandle) Contains(key int64) bool {
+	th := h.th
+	th.ReaderLock()
+	defer th.ReaderUnlock()
+	cur := h.set.root
+	for cur != nil {
+		n := rlu.Dereference(th, cur)
+		switch {
+		case key == n.key:
+			return true
+		case key < n.key:
+			cur = n.left
+		default:
+			cur = n.right
+		}
+	}
+	return false
+}
+
+// Add implements Handle.
+func (h *citrusHandle) Add(key int64) bool {
+	th := h.th
+	for {
+		th.ReaderLock()
+		prev := h.set.root
+		pn := rlu.Dereference(th, prev)
+		wentLeft := true
+		cur := pn.left
+		for cur != nil {
+			cn := rlu.Dereference(th, cur)
+			if cn.key == key {
+				th.ReaderUnlock()
+				return false
+			}
+			prev, pn = cur, cn
+			if key < cn.key {
+				cur, wentLeft = cn.left, true
+			} else {
+				cur, wentLeft = cn.right, false
+			}
+		}
+		p, ok := rlu.TryLock(th, prev)
+		if !ok {
+			th.Abort()
+			continue
+		}
+		// Validate: the slot we chose must still be empty and the key must
+		// still belong under it (a concurrent relocation can change p.key).
+		if p.key != pn.key || childOf(p, wentLeft) != nil {
+			th.Abort()
+			continue
+		}
+		setChild(p, wentLeft, rlu.NewObject(tnode{key: key}))
+		th.ReaderUnlock()
+		return true
+	}
+}
+
+func childOf(n *tnode, left bool) *rlu.Object[tnode] {
+	if left {
+		return n.left
+	}
+	return n.right
+}
+
+func setChild(n *tnode, left bool, c *rlu.Object[tnode]) {
+	if left {
+		n.left = c
+	} else {
+		n.right = c
+	}
+}
+
+// Remove implements Handle, covering the leaf, one-child and two-child
+// (successor relocation) cases — the "complex update operations" the paper
+// cites for the citrus benchmark.
+func (h *citrusHandle) Remove(key int64) bool {
+	th := h.th
+	for {
+		th.ReaderLock()
+		prev := h.set.root
+		pn := rlu.Dereference(th, prev)
+		wentLeft := true
+		cur := pn.left
+		var cn *tnode
+		for cur != nil {
+			cn = rlu.Dereference(th, cur)
+			if cn.key == key {
+				break
+			}
+			prev, pn = cur, cn
+			if key < cn.key {
+				cur, wentLeft = cn.left, true
+			} else {
+				cur, wentLeft = cn.right, false
+			}
+		}
+		if cur == nil {
+			th.ReaderUnlock()
+			return false
+		}
+
+		switch {
+		case cn.left == nil || cn.right == nil:
+			// Leaf or single child: splice cur out of prev.
+			p, ok := rlu.TryLock(th, prev)
+			if !ok {
+				th.Abort()
+				continue
+			}
+			if p.key != pn.key || childOf(p, wentLeft) != cur {
+				th.Abort()
+				continue
+			}
+			c, ok := rlu.TryLock(th, cur)
+			if !ok {
+				th.Abort()
+				continue
+			}
+			if c.key != key {
+				th.Abort() // relocated under us
+				continue
+			}
+			repl := c.left
+			if repl == nil {
+				repl = c.right
+			}
+			setChild(p, wentLeft, repl)
+			th.ReaderUnlock()
+			return true
+
+		default:
+			// Two children: relocate the successor's key into cur, then
+			// splice the successor out.
+			c, ok := rlu.TryLock(th, cur)
+			if !ok {
+				th.Abort()
+				continue
+			}
+			if c.key != key || c.left == nil || c.right == nil {
+				th.Abort()
+				continue
+			}
+			// Find successor: leftmost node of the right subtree, reading
+			// through the locked copy so the path starts from current data.
+			sparent := cur
+			sparentLeft := false
+			succ := c.right
+			sn := rlu.Dereference(th, succ)
+			for sn.left != nil {
+				sparent, sparentLeft = succ, true
+				succ = sn.left
+				sn = rlu.Dereference(th, succ)
+			}
+			s, ok := rlu.TryLock(th, succ)
+			if !ok {
+				th.Abort()
+				continue
+			}
+			if s.left != nil {
+				th.Abort() // a smaller key slid in below the successor
+				continue
+			}
+			if sparent == cur {
+				// Successor is cur's direct right child: validate through
+				// the already-locked copy and splice on it.
+				if c.right != succ {
+					th.Abort()
+					continue
+				}
+				c.key = s.key
+				c.right = s.right
+			} else {
+				sp, ok := rlu.TryLock(th, sparent)
+				if !ok {
+					th.Abort()
+					continue
+				}
+				if childOf(sp, sparentLeft) != succ {
+					th.Abort()
+					continue
+				}
+				c.key = s.key
+				setChild(sp, sparentLeft, s.right)
+			}
+			th.ReaderUnlock()
+			return true
+		}
+	}
+}
+
+// Len counts elements (single-threaded helper for tests/examples).
+func (c *Citrus) Len() int {
+	th := c.d.RegisterThread()
+	th.ReaderLock()
+	defer th.ReaderUnlock()
+	var count func(o *rlu.Object[tnode]) int
+	count = func(o *rlu.Object[tnode]) int {
+		if o == nil {
+			return 0
+		}
+		n := rlu.Dereference(th, o)
+		return 1 + count(n.left) + count(n.right)
+	}
+	root := rlu.Dereference(th, c.root)
+	return count(root.left)
+}

@@ -1,0 +1,171 @@
+package intset
+
+import (
+	"ordo/internal/rlu"
+)
+
+// lnode is one sorted-linked-list node. The node value (key and successor
+// pointer) is the RLU-protected unit: writers lock the predecessor node to
+// splice.
+type lnode struct {
+	key  int64
+	next *rlu.Object[lnode]
+}
+
+// HashSet is the paper's RLU hash table: fixed buckets, one sorted linked
+// list per bucket, keys hashed by modulus. It matches the benchmark
+// configuration of §6.4 (e.g. 1,000 buckets × 100 nodes).
+type HashSet struct {
+	d       *rlu.Domain
+	buckets []*rlu.Object[lnode] // sentinel heads (key = MinInt64)
+}
+
+// NewHashSet creates a hash set with the given bucket count over an RLU
+// domain.
+func NewHashSet(d *rlu.Domain, buckets int) *HashSet {
+	if buckets < 1 {
+		buckets = 1
+	}
+	h := &HashSet{d: d, buckets: make([]*rlu.Object[lnode], buckets)}
+	for i := range h.buckets {
+		h.buckets[i] = rlu.NewObject(lnode{key: minKey})
+	}
+	return h
+}
+
+const minKey = -1 << 63
+
+// NewHandle implements Set.
+func (h *HashSet) NewHandle() Handle {
+	return &hashHandle{set: h, th: h.d.RegisterThread()}
+}
+
+type hashHandle struct {
+	set *HashSet
+	th  *rlu.Thread
+}
+
+func (h *hashHandle) bucket(key int64) *rlu.Object[lnode] {
+	b := h.set.buckets
+	idx := int(uint64(key) % uint64(len(b)))
+	return b[idx]
+}
+
+// Contains implements Handle with a pure read-side traversal.
+func (h *hashHandle) Contains(key int64) bool {
+	th := h.th
+	th.ReaderLock()
+	defer th.ReaderUnlock()
+	cur := h.bucket(key)
+	for cur != nil {
+		n := rlu.Dereference(th, cur)
+		if n.key == key {
+			return true
+		}
+		if n.key > key {
+			return false
+		}
+		cur = n.next
+	}
+	return false
+}
+
+// Add implements Handle: it locks the predecessor and splices a new node.
+func (h *hashHandle) Add(key int64) bool {
+	th := h.th
+	for {
+		th.ReaderLock()
+		prev := h.bucket(key)
+		pn := rlu.Dereference(th, prev)
+		cur := pn.next
+		for cur != nil {
+			cn := rlu.Dereference(th, cur)
+			if cn.key >= key {
+				break
+			}
+			prev, pn = cur, cn
+			cur = cn.next
+		}
+		if cur != nil {
+			if cn := rlu.Dereference(th, cur); cn.key == key {
+				th.ReaderUnlock()
+				return false
+			}
+		}
+		p, ok := rlu.TryLock(th, prev)
+		if !ok {
+			th.Abort()
+			continue
+		}
+		if p.next != cur {
+			// A writer committed between our traversal and the lock;
+			// splicing against the stale successor would drop its update.
+			th.Abort()
+			continue
+		}
+		p.next = rlu.NewObject(lnode{key: key, next: cur})
+		th.ReaderUnlock()
+		return true
+	}
+}
+
+// Remove implements Handle: it locks the predecessor and the victim.
+func (h *hashHandle) Remove(key int64) bool {
+	th := h.th
+	for {
+		th.ReaderLock()
+		prev := h.bucket(key)
+		pn := rlu.Dereference(th, prev)
+		cur := pn.next
+		for cur != nil {
+			cn := rlu.Dereference(th, cur)
+			if cn.key >= key {
+				break
+			}
+			prev, pn = cur, cn
+			cur = cn.next
+		}
+		if cur == nil {
+			th.ReaderUnlock()
+			return false
+		}
+		cn := rlu.Dereference(th, cur)
+		if cn.key != key {
+			th.ReaderUnlock()
+			return false
+		}
+		p, ok := rlu.TryLock(th, prev)
+		if !ok {
+			th.Abort()
+			continue
+		}
+		if p.next != cur {
+			th.Abort()
+			continue
+		}
+		c, ok := rlu.TryLock(th, cur)
+		if !ok {
+			th.Abort()
+			continue
+		}
+		p.next = c.next
+		th.ReaderUnlock()
+		return true
+	}
+}
+
+// Len counts elements (single-threaded helper for tests/examples).
+func (h *HashSet) Len() int {
+	th := h.d.RegisterThread()
+	th.ReaderLock()
+	defer th.ReaderUnlock()
+	n := 0
+	for _, b := range h.buckets {
+		cur := rlu.Dereference(th, b).next
+		for cur != nil {
+			n++
+			cur = rlu.Dereference(th, cur).next
+		}
+	}
+	return n
+}

@@ -1,0 +1,23 @@
+// Package intset provides the concurrent integer-set data structures the
+// paper benchmarks RLU with (§6.4): a hash table of per-bucket linked
+// lists and a "citrus"-style internal binary search tree, both built on
+// the RLU synchronization mechanism so that they run unchanged over the
+// original logical clock or the Ordo primitive.
+package intset
+
+// Set is a concurrent integer set. Operations go through per-goroutine
+// handles, which carry the RLU thread context.
+type Set interface {
+	// NewHandle returns a handle for one goroutine's exclusive use.
+	NewHandle() Handle
+}
+
+// Handle performs set operations on behalf of one goroutine.
+type Handle interface {
+	// Contains reports whether key is in the set.
+	Contains(key int64) bool
+	// Add inserts key; it reports false if key was already present.
+	Add(key int64) bool
+	// Remove deletes key; it reports false if key was absent.
+	Remove(key int64) bool
+}

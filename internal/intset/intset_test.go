@@ -1,0 +1,251 @@
+package intset
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ordo/internal/core"
+	"ordo/internal/rlu"
+)
+
+// sets builds each data structure over each RLU mode.
+func sets(t *testing.T) map[string]Set {
+	t.Helper()
+	o, _, err := core.CalibrateHardware(core.CalibrationOptions{Runs: 5})
+	if err != nil {
+		t.Fatalf("calibrate: %v", err)
+	}
+	return map[string]Set{
+		"hash/logical":   NewHashSet(rlu.NewDomain(rlu.Logical, nil), 64),
+		"hash/ordo":      NewHashSet(rlu.NewDomain(rlu.Ordo, o), 64),
+		"citrus/logical": NewCitrus(rlu.NewDomain(rlu.Logical, nil)),
+		"citrus/ordo":    NewCitrus(rlu.NewDomain(rlu.Ordo, o)),
+	}
+}
+
+func TestBasicOps(t *testing.T) {
+	for name, s := range sets(t) {
+		t.Run(name, func(t *testing.T) {
+			h := s.NewHandle()
+			if h.Contains(5) {
+				t.Fatal("empty set contains 5")
+			}
+			if !h.Add(5) {
+				t.Fatal("Add(5) on empty set returned false")
+			}
+			if h.Add(5) {
+				t.Fatal("duplicate Add(5) returned true")
+			}
+			if !h.Contains(5) {
+				t.Fatal("set does not contain 5 after Add")
+			}
+			if h.Contains(6) {
+				t.Fatal("set contains 6, never added")
+			}
+			if !h.Remove(5) {
+				t.Fatal("Remove(5) returned false")
+			}
+			if h.Remove(5) {
+				t.Fatal("second Remove(5) returned true")
+			}
+			if h.Contains(5) {
+				t.Fatal("set contains 5 after Remove")
+			}
+		})
+	}
+}
+
+func TestMatchesReferenceModel(t *testing.T) {
+	for name, s := range sets(t) {
+		t.Run(name, func(t *testing.T) {
+			h := s.NewHandle()
+			ref := map[int64]bool{}
+			rng := rand.New(rand.NewSource(42))
+			for i := 0; i < 4000; i++ {
+				k := int64(rng.Intn(200))
+				switch rng.Intn(3) {
+				case 0:
+					want := !ref[k]
+					if got := h.Add(k); got != want {
+						t.Fatalf("step %d: Add(%d) = %v, want %v", i, k, got, want)
+					}
+					ref[k] = true
+				case 1:
+					want := ref[k]
+					if got := h.Remove(k); got != want {
+						t.Fatalf("step %d: Remove(%d) = %v, want %v", i, k, got, want)
+					}
+					delete(ref, k)
+				default:
+					if got := h.Contains(k); got != ref[k] {
+						t.Fatalf("step %d: Contains(%d) = %v, want %v", i, k, got, ref[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestNegativeAndBoundaryKeys(t *testing.T) {
+	for name, s := range sets(t) {
+		t.Run(name, func(t *testing.T) {
+			h := s.NewHandle()
+			keys := []int64{-1, 0, 1, -1 << 40, 1 << 40, 1<<63 - 1}
+			for _, k := range keys {
+				if !h.Add(k) {
+					t.Fatalf("Add(%d) failed", k)
+				}
+			}
+			for _, k := range keys {
+				if !h.Contains(k) {
+					t.Fatalf("Contains(%d) = false", k)
+				}
+			}
+			for _, k := range keys {
+				if !h.Remove(k) {
+					t.Fatalf("Remove(%d) failed", k)
+				}
+			}
+		})
+	}
+}
+
+func TestConcurrentDisjointWriters(t *testing.T) {
+	for name, s := range sets(t) {
+		t.Run(name, func(t *testing.T) {
+			const workers = 4
+			const perWorker = 150
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				h := s.NewHandle()
+				wg.Add(1)
+				go func(base int64) {
+					defer wg.Done()
+					for i := int64(0); i < perWorker; i++ {
+						if !h.Add(base + i) {
+							t.Errorf("Add(%d) failed", base+i)
+							return
+						}
+					}
+				}(int64(w) * 10000)
+			}
+			wg.Wait()
+			h := s.NewHandle()
+			for w := 0; w < workers; w++ {
+				for i := int64(0); i < perWorker; i++ {
+					k := int64(w)*10000 + i
+					if !h.Contains(k) {
+						t.Fatalf("key %d missing after concurrent inserts", k)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestConcurrentMixedWorkloadLinearizable(t *testing.T) {
+	// Contending workers toggle membership of a small key range; afterwards
+	// every key's final membership must match the parity of successful
+	// adds minus removes.
+	for name, s := range sets(t) {
+		t.Run(name, func(t *testing.T) {
+			const workers = 4
+			const iters = 300
+			const keyRange = 16
+			adds := make([][]int64, workers)
+			rems := make([][]int64, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				adds[w] = make([]int64, keyRange)
+				rems[w] = make([]int64, keyRange)
+				h := s.NewHandle()
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(w)))
+					for i := 0; i < iters; i++ {
+						k := int64(rng.Intn(keyRange))
+						if rng.Intn(2) == 0 {
+							if h.Add(k) {
+								adds[w][k]++
+							}
+						} else {
+							if h.Remove(k) {
+								rems[w][k]++
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			h := s.NewHandle()
+			for k := int64(0); k < keyRange; k++ {
+				var a, r int64
+				for w := 0; w < workers; w++ {
+					a += adds[w][k]
+					r += rems[w][k]
+				}
+				present := h.Contains(k)
+				// Every successful Add flips absent→present and every
+				// successful Remove flips present→absent, so:
+				wantPresent := a == r+1
+				if a != r && a != r+1 {
+					t.Fatalf("key %d: %d adds vs %d removes — impossible history", k, a, r)
+				}
+				if present != wantPresent {
+					t.Fatalf("key %d: present=%v but adds=%d removes=%d", k, present, a, r)
+				}
+			}
+		})
+	}
+}
+
+func TestCitrusTwoChildDelete(t *testing.T) {
+	d := rlu.NewDomain(rlu.Logical, nil)
+	c := NewCitrus(d)
+	h := c.NewHandle()
+	// Build:        50
+	//             /    \
+	//           30      70
+	//          /  \    /  \
+	//        20   40  60   80
+	for _, k := range []int64{50, 30, 70, 20, 40, 60, 80} {
+		h.Add(k)
+	}
+	if !h.Remove(50) { // root with two children: successor 60 relocates
+		t.Fatal("Remove(50) failed")
+	}
+	if h.Contains(50) {
+		t.Fatal("50 still present")
+	}
+	for _, k := range []int64{20, 30, 40, 60, 70, 80} {
+		if !h.Contains(k) {
+			t.Fatalf("key %d lost by two-child delete", k)
+		}
+	}
+	if got := c.Len(); got != 6 {
+		t.Fatalf("Len() = %d, want 6", got)
+	}
+	// Remove a node whose successor is its direct right child.
+	if !h.Remove(70) {
+		t.Fatal("Remove(70) failed")
+	}
+	for _, k := range []int64{20, 30, 40, 60, 80} {
+		if !h.Contains(k) {
+			t.Fatalf("key %d lost", k)
+		}
+	}
+}
+
+func TestHashSetLen(t *testing.T) {
+	d := rlu.NewDomain(rlu.Logical, nil)
+	s := NewHashSet(d, 8)
+	h := s.NewHandle()
+	for i := int64(0); i < 100; i++ {
+		h.Add(i)
+	}
+	if got := s.Len(); got != 100 {
+		t.Fatalf("Len() = %d, want 100", got)
+	}
+}

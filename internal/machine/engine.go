@@ -1,0 +1,174 @@
+package machine
+
+// Kernel is one hardware thread's workload: Step executes one slice of
+// work on the core, advancing its virtual time through the coherence
+// primitives, and credits completed operations via Core.Done.
+//
+// Causality rule: the engine schedules cores in virtual-time order but
+// executes a whole Step atomically, so a Step that performs local
+// computation and THEN touches shared lines would reserve those lines at
+// virtual times other (earlier) cores have not reached yet, serializing
+// them behind its future. Kernels must therefore issue shared-line and
+// clock operations at the START of a Step, put local computation at the
+// END, and split phases longer than ~1µs into separate Steps (keep a
+// small phase counter in the kernel closure).
+type Kernel interface {
+	Step(c *Core)
+}
+
+// KernelFunc adapts a function to Kernel.
+type KernelFunc func(c *Core)
+
+// Step implements Kernel.
+func (f KernelFunc) Step(c *Core) { f(c) }
+
+// RunStats summarizes a simulation run.
+type RunStats struct {
+	Threads    int
+	VirtualNS  float64 // simulated duration
+	Ops        uint64  // operations credited by kernels
+	PerCoreOps []uint64
+}
+
+// OpsPerSec returns throughput in operations per (virtual) second.
+func (r RunStats) OpsPerSec() float64 {
+	if r.VirtualNS <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / (r.VirtualNS / 1e9)
+}
+
+// OpsPerUSec returns throughput in operations per microsecond, the unit
+// most of the paper's figures use.
+func (r RunStats) OpsPerUSec() float64 { return r.OpsPerSec() / 1e6 }
+
+// Done credits the calling core with n completed operations.
+func (c *Core) Done(n int) { c.ops += uint64(n) }
+
+// Run simulates `threads` hardware threads (IDs 0..threads-1; the thread
+// numbering puts one thread per physical core before SMT siblings, like an
+// OS scatter policy) each executing kernel steps for the given virtual
+// duration in ns. Kernels for all threads are produced by mk, which lets
+// workloads allocate per-thread state.
+//
+// Run is deterministic: cores execute in virtual-time order with ties
+// broken by core ID.
+func (s *Sim) Run(threads int, durationNS float64, mk func(threadID int) Kernel) RunStats {
+	if threads > len(s.cores) {
+		threads = len(s.cores)
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	// Reset core state and register SMT activity.
+	for i := range s.activeOnCore {
+		s.activeOnCore[i] = 0
+	}
+	for i := 0; i < threads; i++ {
+		c := &s.cores[i]
+		c.vtime = baseVTime
+		c.ops = 0
+		s.activeOnCore[s.Topo.Core(i)]++
+	}
+	kernels := make([]Kernel, threads)
+	for i := range kernels {
+		kernels[i] = mk(i)
+	}
+
+	end := baseVTime + durationNS
+	h := newVTimeHeap(s, threads)
+	for {
+		id, ok := h.popMin(end)
+		if !ok {
+			break
+		}
+		c := &s.cores[id]
+		kernels[id].Step(c)
+		if c.vtime <= h.lastPopped {
+			// A kernel must always advance time or the loop livelocks;
+			// charge a minimal cycle if it did not.
+			c.vtime = h.lastPopped + 0.5
+		}
+		h.push(id, c.vtime)
+	}
+
+	st := RunStats{Threads: threads, VirtualNS: durationNS}
+	st.PerCoreOps = make([]uint64, threads)
+	for i := 0; i < threads; i++ {
+		st.PerCoreOps[i] = s.cores[i].ops
+		st.Ops += s.cores[i].ops
+	}
+	return st
+}
+
+// vtimeHeap is a binary min-heap of (vtime, coreID).
+type vtimeHeap struct {
+	sim        *Sim
+	ids        []int
+	lastPopped float64
+}
+
+func newVTimeHeap(s *Sim, threads int) *vtimeHeap {
+	h := &vtimeHeap{sim: s, ids: make([]int, 0, threads)}
+	for i := 0; i < threads; i++ {
+		h.push(i, s.cores[i].vtime)
+	}
+	return h
+}
+
+func (h *vtimeHeap) less(a, b int) bool {
+	ca, cb := &h.sim.cores[h.ids[a]], &h.sim.cores[h.ids[b]]
+	if ca.vtime != cb.vtime {
+		return ca.vtime < cb.vtime
+	}
+	return ca.ID < cb.ID
+}
+
+func (h *vtimeHeap) push(id int, _ float64) {
+	h.ids = append(h.ids, id)
+	i := len(h.ids) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.ids[i], h.ids[parent] = h.ids[parent], h.ids[i]
+		i = parent
+	}
+}
+
+// popMin removes and returns the core with the smallest vtime, unless that
+// vtime is already past end (then it returns false and the run is over —
+// every remaining core is past the horizon too only when popped, so the
+// heap drains naturally).
+func (h *vtimeHeap) popMin(end float64) (int, bool) {
+	for len(h.ids) > 0 {
+		id := h.ids[0]
+		last := len(h.ids) - 1
+		h.ids[0] = h.ids[last]
+		h.ids = h.ids[:last]
+		// Sift down.
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(h.ids) && h.less(l, small) {
+				small = l
+			}
+			if r < len(h.ids) && h.less(r, small) {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			h.ids[i], h.ids[small] = h.ids[small], h.ids[i]
+			i = small
+		}
+		if h.sim.cores[id].vtime >= end {
+			continue // this core is done; drop it
+		}
+		h.lastPopped = h.sim.cores[id].vtime
+		return id, true
+	}
+	return 0, false
+}

@@ -1,0 +1,99 @@
+package machine
+
+import (
+	"testing"
+
+	"ordo/internal/topology"
+)
+
+func TestRunClampsThreads(t *testing.T) {
+	s := New(topology.AMD(), 1) // 32 threads
+	st := s.Run(1000, 10_000, func(int) Kernel {
+		return KernelFunc(func(c *Core) { c.Compute(100); c.Done(1) })
+	})
+	if st.Threads != 32 {
+		t.Fatalf("Threads = %d, want clamped to 32", st.Threads)
+	}
+	st = s.Run(0, 10_000, func(int) Kernel {
+		return KernelFunc(func(c *Core) { c.Compute(100); c.Done(1) })
+	})
+	if st.Threads != 1 {
+		t.Fatalf("Threads = %d, want clamped to 1", st.Threads)
+	}
+}
+
+func TestRunZeroDuration(t *testing.T) {
+	s := New(topology.AMD(), 1)
+	st := s.Run(4, 0, func(int) Kernel {
+		return KernelFunc(func(c *Core) { c.Compute(1); c.Done(1) })
+	})
+	if st.Ops != 0 {
+		t.Fatalf("zero-duration run completed %d ops", st.Ops)
+	}
+	if st.OpsPerSec() != 0 {
+		t.Fatalf("OpsPerSec on empty run = %f", st.OpsPerSec())
+	}
+}
+
+func TestRunPerCoreOpsSum(t *testing.T) {
+	s := New(topology.AMD(), 1)
+	st := s.Run(8, 100_000, func(int) Kernel {
+		return KernelFunc(func(c *Core) { c.Compute(50); c.Done(2) })
+	})
+	var sum uint64
+	for _, n := range st.PerCoreOps {
+		sum += n
+	}
+	if sum != st.Ops {
+		t.Fatalf("per-core ops sum %d != total %d", sum, st.Ops)
+	}
+	if st.Ops%2 != 0 {
+		t.Fatalf("ops %d not a multiple of the per-step credit", st.Ops)
+	}
+}
+
+func TestRunKernelThatNeverAdvancesDoesNotLivelock(t *testing.T) {
+	s := New(topology.AMD(), 1)
+	// A kernel step that does nothing must still be dragged forward by the
+	// engine's anti-livelock guard.
+	st := s.Run(2, 10_000, func(int) Kernel {
+		return KernelFunc(func(c *Core) { c.Done(1) })
+	})
+	if st.Ops == 0 {
+		t.Fatal("no progress")
+	}
+}
+
+func TestRunResetsBetweenCalls(t *testing.T) {
+	s := New(topology.AMD(), 1)
+	mk := func(int) Kernel {
+		return KernelFunc(func(c *Core) { c.Compute(100); c.Done(1) })
+	}
+	a := s.Run(4, 50_000, mk)
+	b := s.Run(4, 50_000, mk)
+	if a.Ops != b.Ops {
+		t.Fatalf("back-to-back runs differ: %d vs %d (state leaked)", a.Ops, b.Ops)
+	}
+}
+
+func TestOpsPerUSec(t *testing.T) {
+	st := RunStats{VirtualNS: 1_000_000, Ops: 5_000}
+	if got := st.OpsPerUSec(); got != 5 {
+		t.Fatalf("OpsPerUSec = %f, want 5", got)
+	}
+}
+
+func TestSMTThreadsMapToDistinctVirtualCores(t *testing.T) {
+	// Threads beyond the physical core count must activate SMT counters.
+	topo := topology.Xeon()
+	s := New(topo, 1)
+	s.Run(topo.PhysicalCores()+1, 0, func(int) Kernel {
+		return KernelFunc(func(c *Core) { c.Compute(1) })
+	})
+	if s.activeOnCore[0] != 2 {
+		t.Fatalf("core 0 active threads = %d, want 2 (SMT sibling)", s.activeOnCore[0])
+	}
+	if s.activeOnCore[1] != 1 {
+		t.Fatalf("core 1 active threads = %d, want 1", s.activeOnCore[1])
+	}
+}

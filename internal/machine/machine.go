@@ -1,0 +1,336 @@
+// Package machine simulates a cache-coherent multicore machine in virtual
+// time: hardware threads with invariant (constant-rate, constant-skew)
+// clocks, and cache lines whose ownership transfers cost NUMA-dependent
+// latency and whose contended atomic updates serialize.
+//
+// The simulator exists because the paper's evaluation needs 32–256 hardware
+// threads across up to 8 sockets, while the reproduction host has one CPU.
+// The phenomenon the paper measures — a global logical clock's cache line
+// ping-ponging between cores versus constant-cost local clock reads — is a
+// property of the coherence protocol, which this package models directly:
+//
+//   - an atomic read-modify-write must obtain the line exclusively; requests
+//     serialize behind one another, each paying the one-way transfer latency
+//     from the previous owner (internal/topology supplies the latencies);
+//   - a plain load of a remotely-dirtied line pays one transfer and a small
+//     service occupancy at the holder, then caches the line until the next
+//     remote write invalidates it;
+//   - a timestamp read costs a constant local latency, scaled when several
+//     SMT siblings of one physical core issue timestamps concurrently.
+//
+// Workload kernels (internal/sim) drive Cores through these primitives; the
+// engine interleaves cores in virtual-time order, so contention, queueing
+// and clock skew all emerge from the model rather than being scripted.
+package machine
+
+import (
+	"math/rand"
+
+	"ordo/internal/topology"
+)
+
+// defaultReadServiceNS is the fallback read-miss service occupancy when a
+// topology does not specify one.
+const defaultReadServiceNS = 40.0
+
+// baseVTime offsets all virtual clocks so that negative skews never
+// produce negative clock readings.
+const baseVTime = 1e9
+
+// Sim is a simulated machine instance. It is not safe for concurrent use;
+// the simulation itself is single-threaded and deterministic.
+type Sim struct {
+	Topo  *topology.Machine
+	cores []Core
+	// activeOnCore counts active hardware threads per physical core, for
+	// the SMT timestamp penalty.
+	activeOnCore []int
+	// memCtl is one memory-controller service queue per socket.
+	memCtl []svcQueue
+	seed   int64
+}
+
+// New builds a simulator for the given machine model.
+func New(t *topology.Machine, seed int64) *Sim {
+	s := &Sim{Topo: t, seed: seed}
+	s.cores = make([]Core, t.Threads())
+	s.activeOnCore = make([]int, t.PhysicalCores())
+	s.memCtl = make([]svcQueue, t.Sockets)
+	for i := range s.cores {
+		s.cores[i] = Core{
+			sim:   s,
+			ID:    i,
+			vtime: baseVTime,
+			skew:  t.SkewNS(i),
+			rng:   rand.New(rand.NewSource(seed + int64(i)*7919)),
+		}
+	}
+	return s
+}
+
+// Core is one hardware thread of the simulated machine.
+type Core struct {
+	sim   *Sim
+	ID    int
+	vtime float64 // ns of virtual time
+	skew  float64 // invariant clock offset vs true time, ns
+	ops   uint64  // operations credited by the kernel
+	rng   *rand.Rand
+}
+
+// VTime returns the core's current virtual (true) time in ns.
+func (c *Core) VTime() float64 { return c.vtime }
+
+// Rand returns the core's deterministic random source.
+func (c *Core) Rand() *rand.Rand { return c.rng }
+
+// Compute advances the core's virtual time by ns of local work.
+func (c *Core) Compute(ns float64) { c.vtime += ns }
+
+// MemoryAccess models a cache-missing data access (object copy, tuple
+// read): the given number of lines pay the machine's memory latency and
+// occupy the core's socket memory controller, so aggregate traffic beyond
+// the socket's bandwidth queues.
+func (c *Core) MemoryAccess(lines float64) {
+	t := c.sim.Topo
+	start := c.vtime
+	if t.MemServiceNS > 0 {
+		q := &c.sim.memCtl[t.Socket(c.ID)]
+		start = q.admit(c.vtime, lines*t.MemServiceNS)
+	}
+	c.vtime = start + t.MemoryNS*lines
+}
+
+// ReadTSC reads the core's invariant hardware clock: it costs the
+// machine's timestamp latency (scaled under SMT contention) and returns
+// the clock value in ticks (1 tick = 1 ns of virtual time, offset by the
+// core's constant skew).
+func (c *Core) ReadTSC() uint64 {
+	t := c.sim.Topo
+	cost := t.TimestampCostNS
+	if t.SMT > 1 {
+		siblings := c.sim.activeOnCore[t.Core(c.ID)]
+		if siblings > 1 {
+			cost *= 1 + t.SMTTimestampPenalty*float64(siblings-1)
+		}
+	}
+	c.vtime += cost
+	return c.Clock()
+}
+
+// Clock returns the core's invariant clock value without advancing time
+// (the value RDTSC would produce at this instant).
+func (c *Core) Clock() uint64 { return uint64(c.vtime + c.skew) }
+
+// WaitClockPast advances the core's virtual time until its own invariant
+// clock strictly exceeds target (the spin inside Ordo's new_time). Returns
+// the clock value observed.
+func (c *Core) WaitClockPast(target uint64) uint64 {
+	t := c.sim.Topo
+	need := float64(target+1) - c.skew
+	if c.vtime < need {
+		c.vtime = need
+	}
+	// One final timestamp read observes the passed value.
+	c.vtime += t.TimestampCostNS
+	return c.Clock()
+}
+
+// svcQueue is a service resource booked in virtual time: each request
+// occupies the earliest gap of sufficient length at or after its arrival.
+// Because the engine executes whole kernel steps atomically, requests can
+// be issued out of virtual-time order; gap-filling keeps the model causal
+// (an earlier-time request slots before reservations made "from the
+// future") while preserving real queueing when the resource is busy.
+type svcQueue struct {
+	busy []interval // disjoint, sorted by start, coalesced when touching
+}
+
+type interval struct{ start, end float64 }
+
+// pruneHorizonNS bounds how far into the past an out-of-order request can
+// land (a few kernel steps); intervals older than this no longer matter.
+const pruneHorizonNS = 50_000
+
+// busyUntil returns when the interval covering t (if any) ends.
+func (q *svcQueue) busyUntil(t float64) float64 {
+	for _, iv := range q.busy {
+		if iv.start > t {
+			break
+		}
+		if t < iv.end {
+			return iv.end
+		}
+	}
+	return t
+}
+
+// admit books `occupancy` ns of service for a request arriving at t and
+// returns the start of its service slot.
+func (q *svcQueue) admit(t, occupancy float64) float64 {
+	// Drop intervals too old to affect any future request.
+	for len(q.busy) > 0 && q.busy[0].end < t-pruneHorizonNS {
+		q.busy = q.busy[1:]
+	}
+	cur := t
+	pos := len(q.busy)
+	for i := 0; i < len(q.busy); i++ {
+		iv := q.busy[i]
+		if iv.end <= cur {
+			continue // already past this interval
+		}
+		if iv.start >= cur+occupancy {
+			pos = i // gap before interval i fits
+			break
+		}
+		if iv.end > cur {
+			cur = iv.end // busy through our slot: continue after it
+		}
+	}
+	// Insert [cur, cur+occupancy), coalescing with touching neighbours.
+	end := cur + occupancy
+	left := pos - 1
+	if pos > 0 && q.busy[pos-1].end == cur {
+		q.busy[pos-1].end = end
+		if pos < len(q.busy) && q.busy[pos].start == end {
+			q.busy[pos-1].end = q.busy[pos].end
+			q.busy = append(q.busy[:pos], q.busy[pos+1:]...)
+		}
+		return cur
+	}
+	_ = left
+	if pos < len(q.busy) && q.busy[pos].start == end {
+		q.busy[pos].start = cur
+		return cur
+	}
+	q.busy = append(q.busy, interval{})
+	copy(q.busy[pos+1:], q.busy[pos:])
+	q.busy[pos] = interval{start: cur, end: end}
+	return cur
+}
+
+// Line is a simulated cache line. Its zero value is an uncontended,
+// unwritten line.
+//
+// Exclusive operations (FetchAdd, CompareAndSwap, Store, Acquire)
+// serialize with one another in request-arrival order through the write
+// chain, each paying the ownership transfer — the mechanism behind the
+// paper's logical-clock collapse. Loads pay a transfer plus a service
+// occupancy at the holder through the read chain, so miss storms to a hot
+// line queue too. Both chains are causal (see svcQueue).
+type Line struct {
+	owner       int // thread that last held the line dirty; -1 if clean
+	writeQ      svcQueue
+	readQ       svcQueue
+	version     uint64  // incremented by every write
+	lastWriteAt float64 // vtime of the most recent value write
+	value       uint64  // payload (e.g. a logical clock)
+	seen        []uint64
+}
+
+// NewLine allocates a line tracked for all threads of this machine.
+func (s *Sim) NewLine() *Line {
+	return &Line{owner: -1, seen: make([]uint64, s.Topo.Threads())}
+}
+
+// transferCost is the latency for thread c to obtain a line from its
+// current holder.
+func (s *Sim) transferCost(l *Line, c int) float64 {
+	if l.owner < 0 || l.owner == c {
+		return 0
+	}
+	return s.Topo.OneWayLatencyNS(l.owner, c)
+}
+
+// exclusive performs the queueing common to all exclusive operations and
+// returns the completion time.
+func (c *Core) exclusive(l *Line, cost float64) float64 {
+	occupancy := cost + c.sim.transferCost(l, c.ID)
+	start := l.writeQ.admit(c.vtime, occupancy)
+	done := start + occupancy
+	l.owner = c.ID
+	l.version++
+	l.seen[c.ID] = l.version
+	c.vtime = done
+	return done
+}
+
+// FetchAdd performs an atomic fetch-and-add on the line: the request
+// queues behind the line's service chain, pays the ownership transfer,
+// and leaves the line exclusively owned. Returns the previous value.
+// This is the paper's contended logical-clock update.
+func (c *Core) FetchAdd(l *Line, delta uint64) uint64 {
+	old := l.value
+	done := c.exclusive(l, c.sim.Topo.AtomicBaseNS)
+	l.value += delta
+	l.lastWriteAt = done
+	return old
+}
+
+// CompareAndSwap attempts an atomic CAS; it pays the same coherence costs
+// as FetchAdd whether it succeeds or fails (the line must be obtained
+// exclusively either way). Returns whether the swap happened.
+func (c *Core) CompareAndSwap(l *Line, old, new uint64) bool {
+	ok := l.value == old
+	done := c.exclusive(l, c.sim.Topo.AtomicBaseNS)
+	if ok {
+		l.value = new
+		l.lastWriteAt = done
+	}
+	return ok
+}
+
+// Store performs a plain (release) store; coherence-wise it behaves like an
+// exclusive acquisition.
+func (c *Core) Store(l *Line, v uint64) {
+	done := c.exclusive(l, 1)
+	l.value = v
+	l.lastWriteAt = done
+}
+
+// Acquire models a lock-protected critical section on the line: obtain it
+// exclusively and hold it for holdNS of work. Contending Acquires
+// serialize for the full hold, the behaviour of an in-place update under
+// a spinlock.
+func (c *Core) Acquire(l *Line, holdNS float64) {
+	done := c.exclusive(l, c.sim.Topo.AtomicBaseNS+holdNS)
+	l.lastWriteAt = done
+	l.value++
+}
+
+// Load reads the line. A core that already caches the current version pays
+// ~L1 latency; otherwise it pays the transfer from the dirty holder plus a
+// service occupancy at the holder, queueing causally behind both the write
+// chain and other read misses.
+func (c *Core) Load(l *Line) uint64 {
+	s := c.sim
+	if l.seen[c.ID] == l.version {
+		// Cached copy still valid (a never-written line is clean
+		// everywhere: version 0 matches the zeroed seen table).
+		c.vtime += 1
+		return l.value
+	}
+	service := s.Topo.ReadServiceNS
+	if service == 0 {
+		service = defaultReadServiceNS
+	}
+	// An in-flight exclusive operation covering our arrival holds the
+	// line; wait it out, then take read service.
+	t := l.writeQ.busyUntil(c.vtime)
+	start := l.readQ.admit(t, service)
+	done := start + service + s.transferCost(l, c.ID)
+	l.seen[c.ID] = l.version
+	c.vtime = done
+	return l.value
+}
+
+// Version returns the line's write version without charging time (used by
+// kernels for conflict bookkeeping, standing in for values they already
+// loaded).
+func (l *Line) Version() uint64 { return l.version }
+
+// LastWriteAt returns the vtime of the line's most recent write.
+func (l *Line) LastWriteAt() float64 { return l.lastWriteAt }
+
+// Value returns the line's current payload without charging time.
+func (l *Line) Value() uint64 { return l.value }

@@ -1,0 +1,284 @@
+package machine
+
+import (
+	"testing"
+
+	"ordo/internal/core"
+	"ordo/internal/topology"
+)
+
+func TestFetchAddSerializes(t *testing.T) {
+	s := New(topology.Xeon(), 1)
+	l := s.NewLine()
+	// Two cores on different sockets hammer the same line; their updates
+	// must be spaced by at least the transfer latency.
+	c0, c1 := &s.cores[0], &s.cores[15] // socket 0 and socket 1
+	c0.FetchAdd(l, 1)
+	first := l.writeQ.busy[len(l.writeQ.busy)-1].end
+	c1.FetchAdd(l, 1)
+	gap := l.writeQ.busy[len(l.writeQ.busy)-1].end - first
+	want := s.Topo.OneWayLatencyNS(0, 15)
+	if gap < want {
+		t.Fatalf("second FAA completed %f ns after first, want >= %f (transfer)", gap, want)
+	}
+	if l.value != 2 {
+		t.Fatalf("value = %d, want 2", l.value)
+	}
+}
+
+func TestFetchAddLocalIsCheap(t *testing.T) {
+	s := New(topology.Xeon(), 1)
+	l := s.NewLine()
+	c := &s.cores[0]
+	c.FetchAdd(l, 1)
+	before := c.vtime
+	c.FetchAdd(l, 1) // line already owned: no transfer
+	if got := c.vtime - before; got > s.Topo.AtomicBaseNS+1 {
+		t.Fatalf("owned-line FAA cost %f, want ~%f", got, s.Topo.AtomicBaseNS)
+	}
+}
+
+func TestLoadCachesUntilInvalidated(t *testing.T) {
+	s := New(topology.Xeon(), 1)
+	l := s.NewLine()
+	c0, c1 := &s.cores[0], &s.cores[15]
+	c0.Store(l, 42)
+	c1.Load(l) // miss: pays transfer
+	before := c1.vtime
+	c1.Load(l) // hit
+	if hit := c1.vtime - before; hit > 2 {
+		t.Fatalf("cached load cost %f, want ~1", hit)
+	}
+	c0.Store(l, 43) // invalidates c1's copy
+	before = c1.vtime
+	if v := c1.Load(l); v != 43 {
+		t.Fatalf("load after invalidation = %d, want 43", v)
+	}
+	if miss := c1.vtime - before; miss < s.Topo.OneWayLatencyNS(0, 15) {
+		t.Fatalf("post-invalidation load cost %f, want >= transfer %f",
+			miss, s.Topo.OneWayLatencyNS(0, 15))
+	}
+}
+
+func TestCASFailurePaysCoherence(t *testing.T) {
+	s := New(topology.Xeon(), 1)
+	l := s.NewLine()
+	c0, c1 := &s.cores[0], &s.cores[15]
+	c0.Store(l, 5)
+	before := c1.vtime
+	if c1.CompareAndSwap(l, 99, 100) {
+		t.Fatal("CAS with wrong expected value succeeded")
+	}
+	if cost := c1.vtime - before; cost < s.Topo.OneWayLatencyNS(0, 15) {
+		t.Fatalf("failed CAS cost %f, want >= transfer", cost)
+	}
+	if !c1.CompareAndSwap(l, 5, 100) {
+		t.Fatal("CAS with correct expected value failed")
+	}
+	if l.value != 100 {
+		t.Fatalf("value = %d, want 100", l.value)
+	}
+}
+
+func TestReadTSCConstantWithoutSMT(t *testing.T) {
+	s := New(topology.AMD(), 1) // SMT=1
+	c := &s.cores[0]
+	before := c.vtime
+	c.ReadTSC()
+	if cost := c.vtime - before; cost != s.Topo.TimestampCostNS {
+		t.Fatalf("TSC cost %f, want %f", cost, s.Topo.TimestampCostNS)
+	}
+}
+
+func TestReadTSCSMTPenalty(t *testing.T) {
+	topo := topology.Phi()
+	s := New(topo, 1)
+	// Activate all four siblings of core 0 via Run bookkeeping.
+	s.Run(1, 0, func(int) Kernel { return KernelFunc(func(c *Core) { c.Compute(1) }) })
+	oneCost := topo.TimestampCostNS
+
+	s.activeOnCore[0] = 4
+	c := &s.cores[0]
+	before := c.vtime
+	c.ReadTSC()
+	cost := c.vtime - before
+	want := oneCost * (1 + topo.SMTTimestampPenalty*3)
+	if diff := cost - want; diff < -0.01 || diff > 0.01 {
+		t.Fatalf("4-sibling TSC cost %f, want %f (~3x single)", cost, want)
+	}
+}
+
+func TestClockSkewAppliedPerSocket(t *testing.T) {
+	topo := topology.ARM()
+	s := New(topo, 1)
+	c0 := &s.cores[0]   // socket 0
+	c48 := &s.cores[48] // socket 1, skew +500
+	d := float64(c48.Clock()) - float64(c0.Clock())
+	if d < 400 || d > 600 {
+		t.Fatalf("cross-socket clock difference %f, want ~500 (ARM skew)", d)
+	}
+}
+
+func TestWaitClockPast(t *testing.T) {
+	s := New(topology.Xeon(), 1)
+	c := &s.cores[0]
+	target := c.Clock() + 1000
+	got := c.WaitClockPast(target)
+	if got <= target {
+		t.Fatalf("WaitClockPast returned %d, want > %d", got, target)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	mk := func(int) Kernel {
+		return KernelFunc(func(c *Core) {
+			c.Compute(float64(1 + c.Rand().Intn(50)))
+			c.Done(1)
+		})
+	}
+	a := New(topology.AMD(), 7).Run(16, 50_000, mk)
+	b := New(topology.AMD(), 7).Run(16, 50_000, mk)
+	if a.Ops != b.Ops {
+		t.Fatalf("two identical runs produced %d vs %d ops", a.Ops, b.Ops)
+	}
+	for i := range a.PerCoreOps {
+		if a.PerCoreOps[i] != b.PerCoreOps[i] {
+			t.Fatalf("core %d ops differ: %d vs %d", i, a.PerCoreOps[i], b.PerCoreOps[i])
+		}
+	}
+}
+
+func TestRunThroughputScalesForLocalWork(t *testing.T) {
+	// Pure local compute must scale ~linearly with cores.
+	mk := func(int) Kernel {
+		return KernelFunc(func(c *Core) { c.Compute(100); c.Done(1) })
+	}
+	one := New(topology.Xeon(), 1).Run(1, 1e6, mk)
+	thirty := New(topology.Xeon(), 1).Run(30, 1e6, mk)
+	ratio := thirty.OpsPerSec() / one.OpsPerSec()
+	if ratio < 28 || ratio > 32 {
+		t.Fatalf("30-core speedup for local work = %f, want ~30", ratio)
+	}
+}
+
+func TestRunAtomicCounterCollapses(t *testing.T) {
+	// A shared fetch-add counter must NOT scale: total throughput at 120
+	// threads should be within a small factor of 1-thread throughput
+	// (cache-line serialization), reproducing the paper's premise.
+	mkShared := func(s *Sim) func(int) Kernel {
+		l := s.NewLine()
+		return func(int) Kernel {
+			return KernelFunc(func(c *Core) { c.FetchAdd(l, 1); c.Done(1) })
+		}
+	}
+	s1 := New(topology.Xeon(), 1)
+	one := s1.Run(1, 1e6, mkShared(s1))
+	s2 := New(topology.Xeon(), 1)
+	many := s2.Run(120, 1e6, mkShared(s2))
+	ratio := many.OpsPerSec() / one.OpsPerSec()
+	if ratio > 3 {
+		t.Fatalf("shared atomic counter scaled %fx at 120 threads; expected collapse (<3x)", ratio)
+	}
+}
+
+func TestRunTSCScales(t *testing.T) {
+	// Per-core timestamp reads scale linearly to the physical core count.
+	mk := func(int) Kernel {
+		return KernelFunc(func(c *Core) { c.ReadTSC(); c.Done(1) })
+	}
+	s1 := New(topology.Xeon(), 1)
+	one := s1.Run(1, 1e5, mk)
+	s2 := New(topology.Xeon(), 1)
+	many := s2.Run(120, 1e5, mk)
+	ratio := many.OpsPerSec() / one.OpsPerSec()
+	if ratio < 100 {
+		t.Fatalf("TSC reads scaled only %fx at 120 threads, want ~120x", ratio)
+	}
+}
+
+func TestSamplerOffsetsMatchModel(t *testing.T) {
+	topo := topology.ARM()
+	s := &Sampler{Topo: topo, Seed: 3}
+	// Writer socket 0 → reader socket 1: latency 600 + skew(+500) ≈ 1100.
+	d, err := s.MeasureOffset(0, 50, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 1050 || d > 1200 {
+		t.Fatalf("offset 0->50 = %d, want ~1100 (paper's ARM observation)", d)
+	}
+	// Reverse direction ≈ 100.
+	d, err = s.MeasureOffset(50, 0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 80 || d > 180 {
+		t.Fatalf("offset 50->0 = %d, want ~100", d)
+	}
+}
+
+func TestSamplerRejectsBadCPU(t *testing.T) {
+	s := &Sampler{Topo: topology.AMD()}
+	if _, err := s.MeasureOffset(0, 999, 1); err == nil {
+		t.Fatal("expected error for out-of-range cpu")
+	}
+}
+
+// TestTable1 reproduces Table 1: calibrated min/max offsets per machine.
+func TestTable1BoundaryMatchesPaper(t *testing.T) {
+	want := map[string][2]float64{ // name -> {min, max} ns, ±20% tolerance
+		"Intel Xeon":     {70, 276},
+		"Intel Xeon Phi": {90, 270},
+		"AMD":            {93, 203},
+		"ARM":            {100, 1100},
+	}
+	for _, topo := range topology.All() {
+		s := &Sampler{Topo: topo, Seed: 42}
+		b, err := core.ComputeBoundary(s, core.CalibrationOptions{Runs: 100, Stride: strideFor(topo)})
+		if err != nil {
+			t.Fatalf("%s: %v", topo.Name, err)
+		}
+		w := want[topo.Name]
+		if got := float64(b.Min); got < w[0]*0.8 || got > w[0]*1.25 {
+			t.Errorf("%s: min offset %f, want ~%f (paper Table 1)", topo.Name, got, w[0])
+		}
+		if got := float64(b.Global); got < w[1]*0.8 || got > w[1]*1.2 {
+			t.Errorf("%s: ORDO_BOUNDARY %f, want ~%f (paper Table 1)", topo.Name, got, w[1])
+		}
+		// Soundness: boundary must dominate the machine's true max skew.
+		if float64(b.Global) < topo.MaxSkewDiffNS() {
+			t.Errorf("%s: boundary %d < physical max skew %f — unsound",
+				topo.Name, b.Global, topo.MaxSkewDiffNS())
+		}
+	}
+}
+
+func strideFor(m *topology.Machine) int {
+	if m.Threads() > 64 {
+		return m.Threads() / 64
+	}
+	return 1
+}
+
+func TestOffsetMatrixShape(t *testing.T) {
+	topo := topology.AMD()
+	s := &Sampler{Topo: topo, Seed: 1}
+	m, err := s.OffsetMatrix(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 32 {
+		t.Fatalf("matrix rows = %d, want 32", len(m))
+	}
+	for i := range m {
+		if m[i][i] != 0 {
+			t.Fatalf("diagonal [%d][%d] = %d, want 0", i, i, m[i][i])
+		}
+		for j := range m[i] {
+			if i != j && m[i][j] <= 0 {
+				t.Fatalf("offset [%d][%d] = %d, want positive (paper: never negative)",
+					i, j, m[i][j])
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ordo/internal/topology"
+)
+
+// Sampler implements core.PairSampler against a simulated machine: the
+// one-way-delay protocol's measured offset is the transfer latency from
+// writer to reader plus the reader/writer clock-skew difference, plus
+// per-run software noise that the min-of-runs strips. Calibrating the Ordo
+// boundary for the paper's machine models goes through this type.
+type Sampler struct {
+	Topo *topology.Machine
+
+	// NoiseNS bounds the per-run positive measurement noise (interrupts,
+	// store-buffer drain, spin-loop granularity). Defaults to 25 ns.
+	NoiseNS float64
+
+	// AsymmetryNS is the systematic difference between the two software
+	// paths of a round trip (publish-and-spin vs. observe-and-reply):
+	// the forward leg runs that much cheaper than the backward leg. Real
+	// protocols always have some; it is what breaks the NTP-style RTT/2
+	// estimator (§2.2) while leaving Ordo's one-way minima sound.
+	// Defaults to 30 ns.
+	AsymmetryNS float64
+
+	// Seed makes the noise deterministic.
+	Seed int64
+}
+
+// NumCPUs implements core.PairSampler.
+func (s *Sampler) NumCPUs() int { return s.Topo.Threads() }
+
+// MeasureOffset implements core.PairSampler.
+func (s *Sampler) MeasureOffset(writer, reader, runs int) (int64, error) {
+	n := s.Topo.Threads()
+	if writer < 0 || writer >= n || reader < 0 || reader >= n {
+		return 0, fmt.Errorf("machine: cpu pair (%d,%d) out of range [0,%d)", writer, reader, n)
+	}
+	if runs < 1 {
+		runs = 1
+	}
+	noise := s.NoiseNS
+	if noise == 0 {
+		noise = 25
+	}
+	rng := rand.New(rand.NewSource(s.Seed ^ int64(writer)<<32 ^ int64(reader)))
+	base := s.Topo.OneWayLatencyNS(writer, reader) +
+		s.Topo.SkewNS(reader) - s.Topo.SkewNS(writer)
+	best := base + noise
+	for i := 0; i < runs; i++ {
+		d := base + noise*rng.Float64()
+		if d < best {
+			best = d
+		}
+	}
+	return int64(best), nil
+}
+
+// MeasureRTT implements core.RTTSampler for the NTP-style ablation: one
+// round trip a→b→a, returning θ = t2−t1 and the RTT, minimized over runs.
+// The forward software path is systematically cheaper than the backward
+// one (AsymmetryNS), as in any real ping protocol.
+func (s *Sampler) MeasureRTT(a, b, runs int) (theta, rtt int64, err error) {
+	n := s.Topo.Threads()
+	if a < 0 || a >= n || b < 0 || b >= n {
+		return 0, 0, fmt.Errorf("machine: cpu pair (%d,%d) out of range [0,%d)", a, b, n)
+	}
+	if runs < 1 {
+		runs = 1
+	}
+	noise := s.NoiseNS
+	if noise == 0 {
+		noise = 25
+	}
+	asym := s.AsymmetryNS
+	if asym == 0 {
+		asym = 30
+	}
+	lat := s.Topo.OneWayLatencyNS(a, b)
+	skew := s.Topo.SkewNS(b) - s.Topo.SkewNS(a)
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x5bd1e995 ^ int64(a)<<32 ^ int64(b)))
+	bestRTT := int64(1<<62 - 1)
+	var bestTheta int64
+	for i := 0; i < runs; i++ {
+		fwd := lat - asym/2 + noise*rng.Float64()
+		back := lat + asym/2 + noise*rng.Float64()
+		th := int64(fwd + skew)
+		rt := int64(fwd + back)
+		// NTP keeps the sample with the smallest RTT.
+		if rt < bestRTT {
+			bestRTT = rt
+			bestTheta = th
+		}
+	}
+	return bestTheta, bestRTT, nil
+}
+
+// OffsetMatrix measures the full pairwise offset matrix (Figure 9's
+// heatmaps) at physical-core granularity: entry [i][j] is the measured
+// offset with writer i and reader j, in ns.
+func (s *Sampler) OffsetMatrix(runs int) ([][]int64, error) {
+	n := s.Topo.PhysicalCores()
+	m := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		m[i] = make([]int64, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d, err := s.MeasureOffset(i, j, runs)
+			if err != nil {
+				return nil, err
+			}
+			m[i][j] = d
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,60 @@
+package oplog
+
+import (
+	"testing"
+
+	"ordo/internal/core"
+)
+
+func BenchmarkAppendRaw(b *testing.B) {
+	obj := NewObject(&counter{}, RawTSC{})
+	h := obj.NewHandle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Append(func(c *counter) { c.n++ })
+	}
+}
+
+func BenchmarkAppendOrdo(b *testing.B) {
+	o, _, err := core.CalibrateHardware(core.CalibrationOptions{Runs: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	obj := NewObject(&counter{}, OrdoStamp{O: o})
+	h := obj.NewHandle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Append(func(c *counter) { c.n++ })
+	}
+}
+
+func BenchmarkSynchronize1k(b *testing.B) {
+	obj := NewObject(&counter{}, RawTSC{})
+	h := obj.NewHandle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := 0; j < 1000; j++ {
+			h.Append(func(c *counter) { c.n++ })
+		}
+		b.StartTimer()
+		obj.Synchronize()
+	}
+}
+
+func BenchmarkRmapAddMapping(b *testing.B) {
+	r := NewRmap(RawTSC{})
+	h := r.NewHandle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.AddMapping(uint64(i&1023), Mapping{Proc: uint64(i), VA: uint64(i) << 12})
+	}
+}
+
+func BenchmarkLockedRmapAddMapping(b *testing.B) {
+	r := NewLockedRmap()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.AddMapping(uint64(i&1023), Mapping{Proc: uint64(i), VA: uint64(i) << 12})
+	}
+}

@@ -1,0 +1,176 @@
+// Package oplog implements OpLog (Boyd-Wickizer et al.), the update-heavy
+// data-structure library the paper extends with Ordo in §4.4.
+//
+// OpLog absorbs updates into per-thread logs — each append records the
+// operation with a hardware timestamp — and defers applying them until a
+// reader needs the authoritative state, at which point all logs are merged
+// in timestamp order and applied. Updates therefore never contend on the
+// central structure.
+//
+// Correctness hinges on timestamps being comparable across threads. The
+// original OpLog assumes the machine's TSCs are synchronized, which no
+// vendor guarantees (§2.2); the Ordo variant draws timestamps from
+// NewTime, giving a monotonically increasing machine-wide clock, and
+// treats appends whose timestamps fall within one ORDO_BOUNDARY as
+// concurrent, applying them in handle-ID order exactly as the original
+// design orders same-timestamp entries by core ID.
+package oplog
+
+import (
+	"sort"
+	"sync"
+
+	"ordo/internal/core"
+	"ordo/internal/tsc"
+)
+
+// Timestamper produces the timestamps appended to log entries.
+type Timestamper interface {
+	// Next returns a timestamp for the next entry of one handle; prev is
+	// that handle's previous timestamp (0 for the first).
+	Next(prev uint64) uint64
+}
+
+// RawTSC timestamps entries straight from the hardware counter — the
+// original OpLog design, which silently assumes synchronized clocks.
+type RawTSC struct{}
+
+// Next implements Timestamper.
+func (RawTSC) Next(uint64) uint64 { return tsc.Read() }
+
+// OrdoStamp timestamps entries with the Ordo primitive: each handle's
+// timestamps are separated by at least one boundary from its previous
+// entry, making cross-handle comparison meaningful on unsynchronized
+// clocks.
+type OrdoStamp struct{ O *core.Ordo }
+
+// Next implements Timestamper.
+func (s OrdoStamp) Next(prev uint64) uint64 {
+	if prev == 0 {
+		return uint64(s.O.GetTime())
+	}
+	return uint64(s.O.NewTime(core.Time(prev)))
+}
+
+// Op mutates the central state of type T when the log is applied.
+type Op[T any] func(*T)
+
+// entry is one logged operation.
+type entry[T any] struct {
+	ts     uint64
+	handle int
+	seq    uint64
+	op     Op[T]
+}
+
+// Object is an OpLog-protected value of type T.
+type Object[T any] struct {
+	stamp Timestamper
+
+	mu      sync.Mutex // guards val and handle registry during merge
+	val     *T
+	handles []*Handle[T]
+	applied uint64 // total ops applied (stats)
+}
+
+// NewObject wraps v under OpLog with the given timestamper.
+func NewObject[T any](v *T, stamp Timestamper) *Object[T] {
+	if stamp == nil {
+		stamp = RawTSC{}
+	}
+	return &Object[T]{stamp: stamp, val: v}
+}
+
+// Handle is one thread's private log. Handles must not be shared between
+// concurrently running goroutines.
+type Handle[T any] struct {
+	obj    *Object[T]
+	id     int
+	mu     sync.Mutex // append vs. merge
+	log    []entry[T]
+	lastTS uint64
+	seq    uint64
+}
+
+// NewHandle registers a new per-thread log.
+func (o *Object[T]) NewHandle() *Handle[T] {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	h := &Handle[T]{obj: o, id: len(o.handles)}
+	o.handles = append(o.handles, h)
+	return h
+}
+
+// Append logs an update without touching the central structure: one
+// timestamp read and a local append.
+func (h *Handle[T]) Append(op Op[T]) {
+	ts := h.obj.stamp.Next(h.lastTS)
+	h.lastTS = ts
+	h.mu.Lock()
+	h.log = append(h.log, entry[T]{ts: ts, handle: h.id, seq: h.seq, op: op})
+	h.seq++
+	h.mu.Unlock()
+}
+
+// Pending reports the handle's unapplied entry count.
+func (h *Handle[T]) Pending() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.log)
+}
+
+// Synchronize drains every handle's log, applies the operations in global
+// timestamp order (handle ID breaks ties and orders entries the clocks
+// cannot), and returns the up-to-date value. The returned pointer is only
+// safe to read until the next Append is synchronized; callers needing a
+// stable view should copy under Read.
+func (o *Object[T]) Synchronize() *T {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.synchronizeLocked()
+}
+
+func (o *Object[T]) synchronizeLocked() *T {
+	var merged []entry[T]
+	for _, h := range o.handles {
+		h.mu.Lock()
+		if len(h.log) > 0 {
+			merged = append(merged, h.log...)
+			h.log = h.log[:0]
+		}
+		h.mu.Unlock()
+	}
+	if len(merged) == 0 {
+		return o.val
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		a, b := merged[i], merged[j]
+		if a.ts != b.ts {
+			return a.ts < b.ts
+		}
+		if a.handle != b.handle {
+			return a.handle < b.handle
+		}
+		return a.seq < b.seq
+	})
+	for _, e := range merged {
+		e.op(o.val)
+	}
+	o.applied += uint64(len(merged))
+	return o.val
+}
+
+// Read synchronizes and then calls fn with the authoritative value while
+// holding the object lock, so fn observes a stable state.
+func (o *Object[T]) Read(fn func(*T)) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	fn(o.synchronizeLocked())
+}
+
+// Applied returns the total number of operations merged so far.
+func (o *Object[T]) Applied() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.applied
+}

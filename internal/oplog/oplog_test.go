@@ -1,0 +1,290 @@
+package oplog
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"ordo/internal/core"
+)
+
+type counter struct{ n int }
+
+func stampers(t *testing.T) map[string]Timestamper {
+	t.Helper()
+	o, _, err := core.CalibrateHardware(core.CalibrationOptions{Runs: 5})
+	if err != nil {
+		t.Fatalf("calibrate: %v", err)
+	}
+	return map[string]Timestamper{
+		"raw":  RawTSC{},
+		"ordo": OrdoStamp{O: o},
+	}
+}
+
+func TestAppendSynchronizeApplies(t *testing.T) {
+	for name, st := range stampers(t) {
+		t.Run(name, func(t *testing.T) {
+			obj := NewObject(&counter{}, st)
+			h := obj.NewHandle()
+			for i := 0; i < 10; i++ {
+				h.Append(func(c *counter) { c.n++ })
+			}
+			if p := h.Pending(); p != 10 {
+				t.Fatalf("Pending() = %d, want 10", p)
+			}
+			v := obj.Synchronize()
+			if v.n != 10 {
+				t.Fatalf("after sync n = %d, want 10", v.n)
+			}
+			if p := h.Pending(); p != 0 {
+				t.Fatalf("Pending() after sync = %d, want 0", p)
+			}
+			if a := obj.Applied(); a != 10 {
+				t.Fatalf("Applied() = %d, want 10", a)
+			}
+		})
+	}
+}
+
+func TestTimestampOrderWithinHandle(t *testing.T) {
+	// Non-commutative ops from one handle must apply in append order.
+	for name, st := range stampers(t) {
+		t.Run(name, func(t *testing.T) {
+			obj := NewObject(&counter{}, st)
+			h := obj.NewHandle()
+			h.Append(func(c *counter) { c.n = 5 })
+			h.Append(func(c *counter) { c.n *= 3 })
+			h.Append(func(c *counter) { c.n -= 1 })
+			if v := obj.Synchronize(); v.n != 14 {
+				t.Fatalf("sequential ops applied out of order: n = %d, want 14", v.n)
+			}
+		})
+	}
+}
+
+func TestCrossHandleCausalOrder(t *testing.T) {
+	// An op appended after another handle's sync-visible op (with real-time
+	// separation enforced by synchronizing in between) must apply after it.
+	for name, st := range stampers(t) {
+		t.Run(name, func(t *testing.T) {
+			obj := NewObject(&counter{}, st)
+			h1 := obj.NewHandle()
+			h2 := obj.NewHandle()
+			h1.Append(func(c *counter) { c.n = 1 })
+			obj.Synchronize()
+			h2.Append(func(c *counter) { c.n = 2 })
+			if v := obj.Synchronize(); v.n != 2 {
+				t.Fatalf("n = %d, want 2", v.n)
+			}
+		})
+	}
+}
+
+func TestConcurrentAppendsAllApplied(t *testing.T) {
+	for name, st := range stampers(t) {
+		t.Run(name, func(t *testing.T) {
+			obj := NewObject(&counter{}, st)
+			const workers = 4
+			const per = 500
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				h := obj.NewHandle()
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						h.Append(func(c *counter) { c.n++ })
+					}
+				}()
+			}
+			wg.Wait()
+			if v := obj.Synchronize(); v.n != workers*per {
+				t.Fatalf("n = %d, want %d (lost ops)", v.n, workers*per)
+			}
+		})
+	}
+}
+
+func TestConcurrentSyncAndAppend(t *testing.T) {
+	for name, st := range stampers(t) {
+		t.Run(name, func(t *testing.T) {
+			obj := NewObject(&counter{}, st)
+			var wg sync.WaitGroup
+			const per = 300
+			h := obj.NewHandle()
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					h.Append(func(c *counter) { c.n++ })
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					obj.Synchronize()
+				}
+			}()
+			wg.Wait()
+			if v := obj.Synchronize(); v.n != per {
+				t.Fatalf("n = %d, want %d", v.n, per)
+			}
+		})
+	}
+}
+
+func TestReadSeesStableState(t *testing.T) {
+	obj := NewObject(&counter{}, RawTSC{})
+	h := obj.NewHandle()
+	h.Append(func(c *counter) { c.n = 9 })
+	var seen int
+	obj.Read(func(c *counter) { seen = c.n })
+	if seen != 9 {
+		t.Fatalf("Read saw %d, want 9", seen)
+	}
+}
+
+func TestOrdoStampMonotonePerHandle(t *testing.T) {
+	o, _, err := core.CalibrateHardware(core.CalibrationOptions{Runs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := OrdoStamp{O: o}
+	prev := uint64(0)
+	for i := 0; i < 100; i++ {
+		ts := st.Next(prev)
+		if prev != 0 && ts <= prev+uint64(o.Boundary()) {
+			t.Fatalf("timestamp %d not boundary-separated from %d", ts, prev)
+		}
+		prev = ts
+	}
+}
+
+func TestRmapAddWalkRemove(t *testing.T) {
+	for name, st := range stampers(t) {
+		t.Run(name, func(t *testing.T) {
+			r := NewRmap(st)
+			h := r.NewHandle()
+			h.AddMapping(100, Mapping{Proc: 1, VA: 0x1000})
+			h.AddMapping(100, Mapping{Proc: 2, VA: 0x2000})
+			h.AddMapping(200, Mapping{Proc: 1, VA: 0x3000})
+
+			if got := r.Walk(100); len(got) != 2 {
+				t.Fatalf("Walk(100) = %v, want 2 mappings", got)
+			}
+			if got := r.Pages(); got != 2 {
+				t.Fatalf("Pages() = %d, want 2", got)
+			}
+
+			h.RemoveProc(1)
+			if got := r.Walk(100); len(got) != 1 || got[0].Proc != 2 {
+				t.Fatalf("Walk(100) after RemoveProc(1) = %v", got)
+			}
+			if got := r.Walk(200); len(got) != 0 {
+				t.Fatalf("Walk(200) after RemoveProc(1) = %v, want empty", got)
+			}
+
+			h.RemoveMapping(100, Mapping{Proc: 2, VA: 0x2000})
+			if got := r.Pages(); got != 0 {
+				t.Fatalf("Pages() = %d, want 0", got)
+			}
+		})
+	}
+}
+
+func TestRmapConcurrentForkExit(t *testing.T) {
+	r := NewRmap(RawTSC{})
+	const workers = 4
+	const procsPer = 40
+	const pagesPerProc = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		h := r.NewHandle()
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for p := uint64(0); p < procsPer; p++ {
+				proc := base + p
+				for pg := uint64(0); pg < pagesPerProc; pg++ {
+					h.AddMapping(pg, Mapping{Proc: proc, VA: pg << 12})
+				}
+				if p%2 == 1 {
+					h.RemoveProc(proc) // half the processes exit
+				}
+			}
+		}(uint64(w) * 1000)
+	}
+	wg.Wait()
+	// Every page is mapped by the surviving (even-index) processes only.
+	for pg := uint64(0); pg < pagesPerProc; pg++ {
+		ms := r.Walk(pg)
+		want := workers * procsPer / 2
+		if len(ms) != want {
+			t.Fatalf("page %d has %d mappings, want %d", pg, len(ms), want)
+		}
+		for _, m := range ms {
+			if m.Proc%2 != 0 {
+				t.Fatalf("page %d still mapped by exited proc %d", pg, m.Proc)
+			}
+		}
+	}
+}
+
+func TestLockedRmapBaseline(t *testing.T) {
+	r := NewLockedRmap()
+	r.AddMapping(1, Mapping{Proc: 7, VA: 0x7000})
+	r.AddMapping(1, Mapping{Proc: 8, VA: 0x8000})
+	if got := r.Walk(1); len(got) != 2 {
+		t.Fatalf("Walk = %v", got)
+	}
+	r.RemoveProc(7)
+	if got := r.Walk(1); len(got) != 1 || got[0].Proc != 8 {
+		t.Fatalf("Walk after RemoveProc = %v", got)
+	}
+}
+
+func TestNilStamperDefaultsToRaw(t *testing.T) {
+	obj := NewObject(&counter{}, nil)
+	h := obj.NewHandle()
+	h.Append(func(c *counter) { c.n = 3 })
+	if v := obj.Synchronize(); v.n != 3 {
+		t.Fatalf("n = %d, want 3", v.n)
+	}
+}
+
+func TestMergeOrderProperty(t *testing.T) {
+	// Property: for any interleaving of appends across handles, the merged
+	// application order is sorted by (timestamp, handle, seq) — per-handle
+	// order is always preserved and cross-handle order follows timestamps.
+	f := func(seed int64, nOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		type stamped struct{ ts, handle, seq int }
+		var applied []stamped
+		obj := NewObject(&[]stamped{}, RawTSC{})
+		handles := []*Handle[[]stamped]{obj.NewHandle(), obj.NewHandle(), obj.NewHandle()}
+		seqs := make([]int, len(handles))
+		for i := 0; i < int(nOps)%64+8; i++ {
+			h := rng.Intn(len(handles))
+			seq := seqs[h]
+			seqs[h]++
+			handles[h].Append(func(s *[]stamped) {
+				*s = append(*s, stamped{handle: h, seq: seq})
+			})
+		}
+		obj.Read(func(s *[]stamped) { applied = append(applied, *s...) })
+		// Per-handle sequence numbers must appear in order.
+		last := map[int]int{}
+		for _, e := range applied {
+			if prev, ok := last[e.handle]; ok && e.seq <= prev {
+				return false
+			}
+			last[e.handle] = e.seq
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

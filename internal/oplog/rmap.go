@@ -1,0 +1,144 @@
+package oplog
+
+import "sync"
+
+// This file carries the paper's OpLog application (§6.3): the Linux
+// reverse map (rmap), which records, for every physical page, the virtual
+// mappings that reference it. fork(), exit(), mmap() and mremap() update
+// it constantly — an update-heavy structure with rare reads (page
+// reclaim/truncation walks), the OpLog sweet spot.
+
+// Mapping is one virtual mapping of a physical page.
+type Mapping struct {
+	Proc uint64 // process ID
+	VA   uint64 // virtual address
+}
+
+// RmapState is the central reverse-map structure: page → mappings.
+type RmapState struct {
+	pages map[uint64][]Mapping
+}
+
+// Rmap is an OpLog-protected reverse map.
+type Rmap struct {
+	obj *Object[RmapState]
+}
+
+// NewRmap builds a reverse map whose updates are timestamped by stamp.
+func NewRmap(stamp Timestamper) *Rmap {
+	return &Rmap{obj: NewObject(&RmapState{pages: make(map[uint64][]Mapping)}, stamp)}
+}
+
+// RmapHandle is a per-thread handle (one per forking "CPU").
+type RmapHandle struct {
+	h *Handle[RmapState]
+}
+
+// NewHandle registers a per-thread log.
+func (r *Rmap) NewHandle() *RmapHandle { return &RmapHandle{h: r.obj.NewHandle()} }
+
+// AddMapping logs "page gains mapping (proc, va)" — the fork()/mmap() path.
+func (h *RmapHandle) AddMapping(page uint64, m Mapping) {
+	h.h.Append(func(s *RmapState) {
+		s.pages[page] = append(s.pages[page], m)
+	})
+}
+
+// RemoveMapping logs removal of one mapping — the munmap() path.
+func (h *RmapHandle) RemoveMapping(page uint64, m Mapping) {
+	h.h.Append(func(s *RmapState) {
+		l := s.pages[page]
+		for i, x := range l {
+			if x == m {
+				l[i] = l[len(l)-1]
+				s.pages[page] = l[:len(l)-1]
+				break
+			}
+		}
+		if len(s.pages[page]) == 0 {
+			delete(s.pages, page)
+		}
+	})
+}
+
+// RemoveProc logs removal of every mapping owned by proc — the exit() path.
+func (h *RmapHandle) RemoveProc(proc uint64) {
+	h.h.Append(func(s *RmapState) {
+		for page, l := range s.pages {
+			out := l[:0]
+			for _, x := range l {
+				if x.Proc != proc {
+					out = append(out, x)
+				}
+			}
+			if len(out) == 0 {
+				delete(s.pages, page)
+			} else {
+				s.pages[page] = out
+			}
+		}
+	})
+}
+
+// Walk synchronizes and returns a copy of the mappings of one page — the
+// page-reclaim read path.
+func (r *Rmap) Walk(page uint64) []Mapping {
+	var out []Mapping
+	r.obj.Read(func(s *RmapState) {
+		out = append(out, s.pages[page]...)
+	})
+	return out
+}
+
+// Pages synchronizes and returns the number of mapped pages.
+func (r *Rmap) Pages() int {
+	var n int
+	r.obj.Read(func(s *RmapState) { n = len(s.pages) })
+	return n
+}
+
+// LockedRmap is the "Vanilla" baseline: the same reverse map protected by
+// a single lock, updated in place — the stock-kernel behaviour whose
+// contention Figure 10 shows.
+type LockedRmap struct {
+	mu    sync.Mutex
+	state RmapState
+}
+
+// NewLockedRmap builds the lock-based baseline.
+func NewLockedRmap() *LockedRmap {
+	return &LockedRmap{state: RmapState{pages: make(map[uint64][]Mapping)}}
+}
+
+// AddMapping inserts under the global lock.
+func (r *LockedRmap) AddMapping(page uint64, m Mapping) {
+	r.mu.Lock()
+	r.state.pages[page] = append(r.state.pages[page], m)
+	r.mu.Unlock()
+}
+
+// RemoveProc removes a process's mappings under the global lock.
+func (r *LockedRmap) RemoveProc(proc uint64) {
+	r.mu.Lock()
+	for page, l := range r.state.pages {
+		out := l[:0]
+		for _, x := range l {
+			if x.Proc != proc {
+				out = append(out, x)
+			}
+		}
+		if len(out) == 0 {
+			delete(r.state.pages, page)
+		} else {
+			r.state.pages[page] = out
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Walk returns a copy of one page's mappings under the global lock.
+func (r *LockedRmap) Walk(page uint64) []Mapping {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Mapping(nil), r.state.pages[page]...)
+}

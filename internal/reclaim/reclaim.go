@@ -1,0 +1,174 @@
+// Package reclaim implements clock-based quiescence for safe memory
+// reclamation — the third family of Ordo clients the paper's introduction
+// names (after concurrency control and logging): "determining the
+// quiescence period for memory reclamation", as in Parallel Sections
+// (Wang et al., EuroSys'16) and epoch-based RCU schemes.
+//
+// Epoch-based reclamation serializes on a shared epoch counter; the
+// clock-based scheme replaces it entirely: a reader entering a section
+// records its local invariant-clock value; an object retired at clock R
+// may be freed once every in-flight section certainly began after R —
+// a per-thread clock read on the reader's fast path and pure local
+// comparisons on the reclaimer's, with the ORDO_BOUNDARY absorbing clock
+// skew (uncertain comparisons simply defer freeing, never unsafely free).
+package reclaim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ordo/internal/core"
+)
+
+// idle marks a thread with no section in flight.
+const idle = ^uint64(0)
+
+// Domain is one reclamation domain: threads registered in it protect
+// objects retired in it.
+type Domain struct {
+	o *core.Ordo
+
+	mu      sync.Mutex
+	threads []*Thread
+	view    atomic.Pointer[[]*Thread]
+}
+
+// NewDomain creates a reclamation domain over a calibrated primitive.
+func NewDomain(o *core.Ordo) *Domain {
+	if o == nil {
+		panic("reclaim: nil Ordo primitive")
+	}
+	d := &Domain{o: o}
+	empty := []*Thread{}
+	d.view.Store(&empty)
+	return d
+}
+
+// Thread is one participant; a Thread must be used by one goroutine at a
+// time.
+type Thread struct {
+	d       *Domain
+	active  atomic.Uint64 // section-start clock, or idle
+	retired []retiree
+
+	// Freed counts objects this thread has reclaimed.
+	Freed uint64
+}
+
+type retiree struct {
+	ts   core.Time
+	free func()
+}
+
+// Register adds a participant.
+func (d *Domain) Register() *Thread {
+	t := &Thread{d: d}
+	t.active.Store(idle)
+	d.mu.Lock()
+	d.threads = append(d.threads, t)
+	snap := make([]*Thread, len(d.threads))
+	copy(snap, d.threads)
+	d.view.Store(&snap)
+	d.mu.Unlock()
+	return t
+}
+
+// Enter begins a read-side section: one local clock read.
+func (t *Thread) Enter() {
+	t.active.Store(uint64(t.d.o.GetTime()))
+}
+
+// Exit ends the section.
+func (t *Thread) Exit() {
+	t.active.Store(idle)
+}
+
+// Retire schedules free() once no section that could observe the object
+// remains. The caller must have unlinked the object from every shared
+// structure before retiring it (standard RCU discipline); the retirement
+// timestamp is taken after the unlink, so any section beginning certainly
+// later cannot have found the object.
+func (t *Thread) Retire(free func()) {
+	ts := t.d.o.GetTime()
+	t.retired = append(t.retired, retiree{ts: ts, free: free})
+}
+
+// Reclaim frees every retired object whose retirement is certainly before
+// the start of every in-flight section, returning the number freed.
+// Uncertain comparisons defer (never free): correctness does not depend on
+// the boundary's tightness, only throughput does.
+func (t *Thread) Reclaim() int {
+	if len(t.retired) == 0 {
+		return 0
+	}
+	horizon := t.horizon()
+	kept := t.retired[:0]
+	n := 0
+	for _, r := range t.retired {
+		if freeable(t.d.o, r.ts, horizon) {
+			r.free()
+			n++
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	t.retired = kept
+	t.Freed += uint64(n)
+	return n
+}
+
+// Pending reports how many retirees await quiescence.
+func (t *Thread) Pending() int { return len(t.retired) }
+
+// horizon returns the oldest in-flight section-start clock, or idle if
+// every thread is quiescent.
+func (t *Thread) horizon() uint64 {
+	threads := *t.d.view.Load()
+	oldest := idle
+	for _, th := range threads {
+		a := th.active.Load()
+		if a == idle {
+			continue
+		}
+		if oldest == idle || a < oldest {
+			oldest = a
+		}
+	}
+	return oldest
+}
+
+// freeable reports whether a retirement at ts is certainly before the
+// oldest in-flight section.
+func freeable(o *core.Ordo, ts core.Time, horizon uint64) bool {
+	if horizon == idle {
+		// No section in flight at the sample instant; any section that
+		// begins later reads a clock at or after our sample, so the
+		// retiree is unreachable. (The sample happens-before the free.)
+		return true
+	}
+	return o.CmpTime(ts, core.Time(horizon)) == core.Before
+}
+
+// Synchronize blocks until every section in flight at the call has ended
+// or provably began after it (the RCU synchronize analogue), by spinning
+// on the horizon.
+func (d *Domain) Synchronize() {
+	target := d.o.GetTime()
+	threads := *d.view.Load()
+	for _, th := range threads {
+		for spins := 0; ; spins++ {
+			a := th.active.Load()
+			if a == idle {
+				break
+			}
+			if d.o.CmpTime(core.Time(a), target) == core.After {
+				break // began certainly after us
+			}
+			// Re-sample: the section may have ended or restarted.
+			if spins%64 == 63 {
+				runtime.Gosched()
+			}
+		}
+	}
+}

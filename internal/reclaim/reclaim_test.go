@@ -1,0 +1,191 @@
+package reclaim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ordo/internal/core"
+)
+
+// fakeClock lets tests place sections and retirements at exact clock
+// values, including inside the uncertainty window.
+type fakeClock struct{ t atomic.Uint64 }
+
+func (f *fakeClock) Now() core.Time { return core.Time(f.t.Load()) }
+
+func fixture(boundary core.Time) (*Domain, *fakeClock) {
+	fc := &fakeClock{}
+	fc.t.Store(1 << 20)
+	return NewDomain(core.New(fc, boundary)), fc
+}
+
+func TestNewDomainNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDomain(nil) did not panic")
+		}
+	}()
+	NewDomain(nil)
+}
+
+func TestReclaimWithNoReaders(t *testing.T) {
+	d, _ := fixture(100)
+	th := d.Register()
+	freed := 0
+	th.Retire(func() { freed++ })
+	if n := th.Reclaim(); n != 1 || freed != 1 {
+		t.Fatalf("Reclaim = %d, freed = %d; want 1/1 with no readers", n, freed)
+	}
+	if th.Pending() != 0 {
+		t.Fatalf("Pending = %d", th.Pending())
+	}
+}
+
+func TestActiveOldReaderBlocksReclaim(t *testing.T) {
+	d, fc := fixture(100)
+	reader := d.Register()
+	writer := d.Register()
+
+	reader.Enter() // section starts at clock 1<<20
+	fc.t.Add(50)   // retire happens 50 ticks later: inside the boundary
+	freed := false
+	writer.Retire(func() { freed = true })
+	if n := writer.Reclaim(); n != 0 || freed {
+		t.Fatalf("reclaimed under an uncertain pre-existing reader (n=%d)", n)
+	}
+	// Even far later, the same old section still blocks.
+	fc.t.Add(10_000)
+	writer.Retire(func() {})
+	if writer.Reclaim() != 0 {
+		t.Fatal("reclaimed a retiree not certainly before the in-flight section")
+	}
+	reader.Exit()
+	if n := writer.Reclaim(); n != 2 {
+		t.Fatalf("after reader exit Reclaim = %d, want 2", n)
+	}
+}
+
+func TestPostRetireReaderDoesNotBlock(t *testing.T) {
+	d, fc := fixture(100)
+	reader := d.Register()
+	writer := d.Register()
+
+	freed := false
+	writer.Retire(func() { freed = true })
+	fc.t.Add(500) // well past the boundary
+	reader.Enter()
+	if n := writer.Reclaim(); n != 1 || !freed {
+		t.Fatalf("a section beginning certainly after retirement blocked reclaim (n=%d)", n)
+	}
+	reader.Exit()
+}
+
+func TestUncertainNewReaderDefers(t *testing.T) {
+	d, fc := fixture(100)
+	reader := d.Register()
+	writer := d.Register()
+
+	writer.Retire(func() {})
+	fc.t.Add(60) // new section inside the uncertainty window of the retire
+	reader.Enter()
+	if writer.Reclaim() != 0 {
+		t.Fatal("freed despite an uncertain comparison — must defer")
+	}
+	reader.Exit()
+	if writer.Reclaim() != 1 {
+		t.Fatal("not freed after the uncertain reader exited")
+	}
+}
+
+func TestSynchronizeWaitsForOldSections(t *testing.T) {
+	o, _, err := core.CalibrateHardware(core.CalibrationOptions{Runs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDomain(o)
+	reader := d.Register()
+	_ = d.Register()
+
+	reader.Enter()
+	done := make(chan struct{})
+	go func() {
+		d.Synchronize()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Synchronize returned while an old section was active")
+	default:
+	}
+	reader.Exit()
+	<-done // must now return
+}
+
+func TestConcurrentRetireAndReadStress(t *testing.T) {
+	o, _, err := core.CalibrateHardware(core.CalibrationOptions{Runs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDomain(o)
+	const readers = 3
+	const retires = 2000
+
+	var freed atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		th := d.Register()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				th.Enter()
+				th.Exit()
+			}
+		}()
+	}
+	writer := d.Register()
+	for i := 0; i < retires; i++ {
+		writer.Retire(func() { freed.Add(1) })
+		if i%64 == 0 {
+			writer.Reclaim()
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Everything must eventually drain once readers are gone.
+	for writer.Pending() > 0 {
+		writer.Reclaim()
+	}
+	if freed.Load() != retires {
+		t.Fatalf("freed %d, want %d (each retiree exactly once)", freed.Load(), retires)
+	}
+	if writer.Freed != retires {
+		t.Fatalf("Freed counter %d, want %d", writer.Freed, retires)
+	}
+}
+
+func TestReclaimBatchesPartially(t *testing.T) {
+	d, fc := fixture(100)
+	reader := d.Register()
+	writer := d.Register()
+
+	writer.Retire(func() {}) // old retiree, certainly before the section below
+	fc.t.Add(500)
+	reader.Enter()
+	fc.t.Add(50)
+	writer.Retire(func() {}) // new retiree, uncertain vs the section
+	if n := writer.Reclaim(); n != 1 {
+		t.Fatalf("Reclaim = %d, want exactly the certainly-old retiree", n)
+	}
+	if writer.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", writer.Pending())
+	}
+	reader.Exit()
+}

@@ -1,0 +1,65 @@
+package rlu
+
+import (
+	"testing"
+
+	"ordo/internal/core"
+)
+
+func benchDomain(b *testing.B, mode Mode) *Domain {
+	b.Helper()
+	if mode == Logical {
+		return NewDomain(Logical, nil)
+	}
+	o, _, err := core.CalibrateHardware(core.CalibrationOptions{Runs: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return NewDomain(Ordo, o)
+}
+
+func benchReads(b *testing.B, mode Mode) {
+	d := benchDomain(b, mode)
+	th := d.RegisterThread()
+	obj := NewObject(42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.ReaderLock()
+		_ = *Dereference(th, obj)
+		th.ReaderUnlock()
+	}
+}
+
+func benchWrites(b *testing.B, mode Mode) {
+	d := benchDomain(b, mode)
+	th := d.RegisterThread()
+	obj := NewObject(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.ReaderLock()
+		p, ok := TryLock(th, obj)
+		if !ok {
+			b.Fatal("uncontended TryLock failed")
+		}
+		*p++
+		th.ReaderUnlock()
+	}
+}
+
+func BenchmarkReadSectionLogical(b *testing.B) { benchReads(b, Logical) }
+func BenchmarkReadSectionOrdo(b *testing.B)    { benchReads(b, Ordo) }
+func BenchmarkWriteCommitLogical(b *testing.B) { benchWrites(b, Logical) }
+func BenchmarkWriteCommitOrdo(b *testing.B)    { benchWrites(b, Ordo) }
+
+func BenchmarkReadSectionParallelOrdo(b *testing.B) {
+	d := benchDomain(b, Ordo)
+	obj := NewObject(42)
+	b.RunParallel(func(pb *testing.PB) {
+		th := d.RegisterThread()
+		for pb.Next() {
+			th.ReaderLock()
+			_ = *Dereference(th, obj)
+			th.ReaderUnlock()
+		}
+	})
+}

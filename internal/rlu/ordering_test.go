@@ -1,0 +1,127 @@
+package rlu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ordo/internal/core"
+)
+
+// These white-box tests pin the clock-design semantics of §4.1: the
+// logical clock's rules, the Ordo rules, and — the DESIGN.md §5 ablation —
+// the negative-skew snapshot hazard that the extra commit-time
+// ORDO_BOUNDARY plus the conservative steal rule eliminate.
+
+func TestLogicalOrderingRules(t *testing.T) {
+	l := &logicalClock{}
+	// Original RLU steal rule: steal iff write_clock <= local_clock, i.e.
+	// read the original iff local < write.
+	if !l.certainlyBefore(4, 5) {
+		t.Error("logical certainlyBefore(4,5) = false")
+	}
+	if l.certainlyBefore(5, 5) {
+		t.Error("logical certainlyBefore(5,5) = true; equal clocks must steal")
+	}
+	// Quiescence: a reader that started at or after the commit is safe.
+	if !l.certainlyAfter(5, 5) {
+		t.Error("logical certainlyAfter(5,5) = false")
+	}
+	if l.certainlyAfter(4, 5) {
+		t.Error("logical certainlyAfter(4,5) = true")
+	}
+	// commitClock returns global+1 and advances, in one step.
+	if c := l.commitClock(0); c != 1 {
+		t.Errorf("first commitClock = %d, want 1", c)
+	}
+	if c := l.readClock(); c != 1 {
+		t.Errorf("readClock after commit = %d, want 1", c)
+	}
+}
+
+func TestOrdoOrderingRules(t *testing.T) {
+	var now uint64 = 1000
+	o := core.New(core.ClockFunc(func() core.Time {
+		now += 10
+		return core.Time(now)
+	}), 100)
+	c := ordoClock{o}
+
+	// Inactive markers are never stolen from and never "after" anything.
+	if !c.certainlyBefore(5000, inactive) {
+		t.Error("certainlyBefore(x, inactive) must be true (no steal)")
+	}
+	if c.certainlyAfter(5000, inactive) {
+		t.Error("certainlyAfter(x, inactive) must be false")
+	}
+	// Within the boundary: neither certainly before nor after.
+	if c.certainlyBefore(1000, 1050) || c.certainlyAfter(1050, 1000) {
+		t.Error("within-boundary pair treated as certain")
+	}
+	// Outside the boundary: both directions certain.
+	if !c.certainlyBefore(1000, 1200) || !c.certainlyAfter(1200, 1000) {
+		t.Error("beyond-boundary pair treated as uncertain")
+	}
+	// commitClock adds an extra boundary: result > local + 2*boundary.
+	wc := c.commitClock(1000)
+	if wc <= 1000+200 {
+		t.Errorf("commitClock(1000) = %d, want > 1200 (local + 2 boundaries)", wc)
+	}
+}
+
+// TestNegativeSkewSnapshotHazard is the §4.1 hazard ablation. Setting:
+// boundary B bounds the physical skew. A writer commits with
+// writeClock = new_time(local + B) > local + 2B. Any reader that begins
+// AFTER the commit's real time reads a clock value r >= writeClock - B
+// (its clock lags by at most the physical skew <= B, and new_time's
+// return was at the commit's real time on the writer's clock).
+//
+// Hazard: with the naive steal rule "steal iff certainly after", such a
+// reader inside the uncertainty window would read the ORIGINAL object
+// while the writer writes it back. Our rule — "read the original only if
+// certainly BEFORE" — forces every such reader to steal: the property
+// below shows no post-commit reader can be certainly-before.
+func TestNegativeSkewSnapshotHazard(t *testing.T) {
+	const boundary = 276
+	o := core.New(core.ClockFunc(func() core.Time { return 0 }), boundary)
+	c := ordoClock{o}
+
+	f := func(commitReal uint64, lagSmall uint16) bool {
+		commitReal %= 1 << 40
+		// Reader's clock lags real time by at most the physical skew,
+		// which the boundary dominates.
+		lag := uint64(lagSmall) % (boundary + 1)
+		writeClock := commitReal            // writer's clock at new_time return (skew 0 WLOG)
+		readerLocal := commitReal - lag + 1 // begins just after the commit
+		// The reader must NOT be directed to the original object.
+		return !c.certainlyBefore(readerLocal, writeClock)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+
+	// And with the naive rule the hazard is real: a lagging reader inside
+	// the window is not "certainly after", so naive stealing would read
+	// the original mid-writeback.
+	writeClock := uint64(1 << 20)
+	readerLocal := writeClock - 100 // began after commit, clock lags 100ns
+	if c.certainlyAfter(readerLocal, writeClock) {
+		t.Fatal("test setup broken: reader should be inside the window")
+	}
+	if c.certainlyBefore(readerLocal, writeClock) {
+		t.Fatal("conservative rule failed: lagging post-commit reader sent to original")
+	}
+}
+
+// TestStealRuleDegeneratesToOriginal checks that for the logical clock
+// our generalized rule is EXACTLY the original RLU condition.
+func TestStealRuleDegeneratesToOriginal(t *testing.T) {
+	l := &logicalClock{}
+	f := func(local, write uint64) bool {
+		originalSteals := write <= local
+		oursReadsOriginal := l.certainlyBefore(local, write)
+		return originalSteals == !oursReadsOriginal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,357 @@
+package rlu
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ordo/internal/core"
+)
+
+func domains(t *testing.T) map[string]*Domain {
+	t.Helper()
+	o, _, err := core.CalibrateHardware(core.CalibrationOptions{Runs: 5})
+	if err != nil {
+		t.Fatalf("calibrate: %v", err)
+	}
+	return map[string]*Domain{
+		"logical": NewDomain(Logical, nil),
+		"ordo":    NewDomain(Ordo, o),
+	}
+}
+
+func TestNewDomainOrdoRequiresPrimitive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDomain(Ordo, nil) did not panic")
+		}
+	}()
+	NewDomain(Ordo, nil)
+}
+
+func TestSingleThreadReadWrite(t *testing.T) {
+	for name, d := range domains(t) {
+		t.Run(name, func(t *testing.T) {
+			th := d.RegisterThread()
+			obj := NewObject(10)
+
+			th.ReaderLock()
+			if v := *Dereference(th, obj); v != 10 {
+				t.Fatalf("initial read = %d, want 10", v)
+			}
+			th.ReaderUnlock()
+
+			th.ReaderLock()
+			p, ok := TryLock(th, obj)
+			if !ok {
+				t.Fatal("TryLock failed with no contention")
+			}
+			*p = 42
+			// Before commit, the writer sees its own copy...
+			if v := *Dereference(th, obj); v != 42 {
+				t.Fatalf("writer's own read = %d, want 42", v)
+			}
+			th.ReaderUnlock()
+
+			// ...and after commit everyone sees the new value.
+			th.ReaderLock()
+			if v := *Dereference(th, obj); v != 42 {
+				t.Fatalf("post-commit read = %d, want 42", v)
+			}
+			th.ReaderUnlock()
+			if obj.IsLocked() {
+				t.Fatal("object still locked after commit")
+			}
+		})
+	}
+}
+
+func TestWriterWriterConflictAborts(t *testing.T) {
+	for name, d := range domains(t) {
+		t.Run(name, func(t *testing.T) {
+			t1 := d.RegisterThread()
+			t2 := d.RegisterThread()
+			obj := NewObject(0)
+
+			t1.ReaderLock()
+			if _, ok := TryLock(t1, obj); !ok {
+				t.Fatal("first TryLock failed")
+			}
+			t2.ReaderLock()
+			if _, ok := TryLock(t2, obj); ok {
+				t.Fatal("second TryLock succeeded on a locked object")
+			}
+			t2.Abort()
+			if _, aborts, _ := t2.Stats(); aborts != 1 {
+				t.Fatalf("aborts = %d, want 1", aborts)
+			}
+			t1.ReaderUnlock()
+
+			// After t1's commit, t2 can lock it.
+			t2.ReaderLock()
+			if _, ok := TryLock(t2, obj); !ok {
+				t.Fatal("TryLock after release failed")
+			}
+			t2.Abort()
+		})
+	}
+}
+
+func TestAbortRestoresOriginal(t *testing.T) {
+	for name, d := range domains(t) {
+		t.Run(name, func(t *testing.T) {
+			th := d.RegisterThread()
+			obj := NewObject(7)
+			th.ReaderLock()
+			p, _ := TryLock(th, obj)
+			*p = 999
+			th.Abort()
+			th.ReaderLock()
+			if v := *Dereference(th, obj); v != 7 {
+				t.Fatalf("read after abort = %d, want 7", v)
+			}
+			th.ReaderUnlock()
+			if obj.IsLocked() {
+				t.Fatal("object locked after abort")
+			}
+		})
+	}
+}
+
+func TestMultiObjectCommitIsAtomic(t *testing.T) {
+	// Two objects must always satisfy the invariant a+b == 100 from any
+	// reader's point of view, across concurrent transfers.
+	for name, d := range domains(t) {
+		t.Run(name, func(t *testing.T) {
+			a, b := NewObject(50), NewObject(50)
+			const (
+				writers = 2
+				readers = 2
+				iters   = 300
+			)
+			var wg sync.WaitGroup
+			var violations atomic.Int64
+			for w := 0; w < writers; w++ {
+				th := d.RegisterThread()
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						for {
+							th.ReaderLock()
+							pa, ok := TryLock(th, a)
+							if !ok {
+								th.Abort()
+								runtime.Gosched()
+								continue
+							}
+							pb, ok := TryLock(th, b)
+							if !ok {
+								th.Abort()
+								runtime.Gosched()
+								continue
+							}
+							*pa++
+							*pb--
+							th.ReaderUnlock()
+							break
+						}
+					}
+				}()
+			}
+			for r := 0; r < readers; r++ {
+				th := d.RegisterThread()
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < iters*4; i++ {
+						th.ReaderLock()
+						va := *Dereference(th, a)
+						vb := *Dereference(th, b)
+						th.ReaderUnlock()
+						if va+vb != 100 {
+							violations.Add(1)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if v := violations.Load(); v != 0 {
+				t.Fatalf("%d snapshot violations (a+b != 100)", v)
+			}
+			// Final state: both writers did `iters` increments on a.
+			th := d.RegisterThread()
+			th.ReaderLock()
+			va, vb := *Dereference(th, a), *Dereference(th, b)
+			th.ReaderUnlock()
+			if va != 50+writers*iters || vb != 50-writers*iters {
+				t.Fatalf("final state a=%d b=%d, want %d/%d",
+					va, vb, 50+writers*iters, 50-writers*iters)
+			}
+		})
+	}
+}
+
+func TestConcurrentCountersSumCorrect(t *testing.T) {
+	for name, d := range domains(t) {
+		t.Run(name, func(t *testing.T) {
+			const n = 4
+			const iters = 200
+			objs := make([]*Object[int], n)
+			for i := range objs {
+				objs[i] = NewObject(0)
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < n; w++ {
+				th := d.RegisterThread()
+				wg.Add(1)
+				go func(seed int) {
+					defer wg.Done()
+					rng := seed
+					for i := 0; i < iters; i++ {
+						rng = rng*1103515245 + 12345
+						target := objs[(rng>>16&0x7fff)%n]
+						for {
+							th.ReaderLock()
+							p, ok := TryLock(th, target)
+							if !ok {
+								th.Abort()
+								runtime.Gosched()
+								continue
+							}
+							*p++
+							th.ReaderUnlock()
+							break
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			th := d.RegisterThread()
+			th.ReaderLock()
+			sum := 0
+			for _, o := range objs {
+				sum += *Dereference(th, o)
+			}
+			th.ReaderUnlock()
+			if sum != n*iters {
+				t.Fatalf("sum = %d, want %d (lost updates)", sum, n*iters)
+			}
+		})
+	}
+}
+
+func TestDeferredModeFlush(t *testing.T) {
+	for name, d := range domains(t) {
+		t.Run(name, func(t *testing.T) {
+			th := d.RegisterThread()
+			th.SetMaxDefer(8)
+			objs := make([]*Object[int], 3)
+			for i := range objs {
+				objs[i] = NewObject(0)
+			}
+			for _, o := range objs {
+				th.ReaderLock()
+				p, ok := TryLock(th, o)
+				if !ok {
+					t.Fatal("TryLock failed while deferring")
+				}
+				*p = 5
+				th.ReaderUnlock() // deferred: no commit yet
+			}
+			// Objects still locked — commit is pending.
+			for i, o := range objs {
+				if !o.IsLocked() {
+					t.Fatalf("object %d unlocked during deferral", i)
+				}
+			}
+			// The deferring writer still observes its own pending values.
+			th.ReaderLock()
+			if v := *Dereference(th, objs[0]); v != 5 {
+				t.Fatalf("deferring writer reads %d, want its pending 5", v)
+			}
+			th.ReaderUnlock()
+			th.Flush()
+			for i, o := range objs {
+				if o.IsLocked() {
+					t.Fatalf("object %d locked after Flush", i)
+				}
+			}
+			th.ReaderLock()
+			for i, o := range objs {
+				if v := *Dereference(th, o); v != 5 {
+					t.Fatalf("object %d = %d after flush, want 5", i, v)
+				}
+			}
+			th.ReaderUnlock()
+			_ = name
+		})
+	}
+}
+
+func TestDeferredConflictForcesFlush(t *testing.T) {
+	for name, d := range domains(t) {
+		t.Run(name, func(t *testing.T) {
+			owner := d.RegisterThread()
+			owner.SetMaxDefer(100)
+			other := d.RegisterThread()
+			obj := NewObject(1)
+
+			owner.ReaderLock()
+			p, _ := TryLock(owner, obj)
+			*p = 2
+			owner.ReaderUnlock() // deferred, still locked
+
+			other.ReaderLock()
+			if _, ok := TryLock(other, obj); ok {
+				t.Fatal("TryLock succeeded on deferred-locked object")
+			}
+			other.Abort()
+
+			// The conflict requested a sync; owner's next section boundary
+			// must flush.
+			owner.ReaderLock()
+			owner.isWriter = true // simulate a writer section that triggers commit path
+			owner.ReaderUnlock()
+			if obj.IsLocked() {
+				t.Fatal("deferred log not flushed after sync request")
+			}
+			other.ReaderLock()
+			if v := *Dereference(other, obj); v != 2 {
+				t.Fatalf("value after forced flush = %d, want 2", v)
+			}
+			other.ReaderUnlock()
+			_ = name
+		})
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	d := NewDomain(Logical, nil)
+	th := d.RegisterThread()
+	obj := NewObject(0)
+	for i := 0; i < 3; i++ {
+		th.ReaderLock()
+		p, _ := TryLock(th, obj)
+		*p++
+		th.ReaderUnlock()
+	}
+	commits, aborts, syncs := th.Stats()
+	if commits != 3 || aborts != 0 || syncs != 3 {
+		t.Fatalf("stats = %d/%d/%d, want 3/0/3", commits, aborts, syncs)
+	}
+}
+
+func TestReadOnlySectionNoCommit(t *testing.T) {
+	d := NewDomain(Logical, nil)
+	th := d.RegisterThread()
+	obj := NewObject(1)
+	th.ReaderLock()
+	_ = *Dereference(th, obj)
+	th.ReaderUnlock()
+	commits, _, syncs := th.Stats()
+	if commits != 0 || syncs != 0 {
+		t.Fatalf("read-only section committed/synchronized: %d/%d", commits, syncs)
+	}
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"ordo/internal/machine"
+	"ordo/internal/topology"
+)
+
+// TimestampCost reproduces Figure 8a: the latency of one hardware
+// timestamp instruction while `threads` threads issue timestamps in
+// parallel. It stays flat up to the physical core count and rises once
+// SMT siblings contend for the timestamp port.
+func TimestampCost(t *topology.Machine, threads int) float64 {
+	s := machine.New(t, 1)
+	const dur = 50_000 // 50µs virtual
+	st := s.Run(threads, dur, func(int) machine.Kernel {
+		return machine.KernelFunc(func(c *machine.Core) {
+			c.ReadTSC()
+			c.Done(1)
+		})
+	})
+	if st.Ops == 0 {
+		return 0
+	}
+	// Average per-op latency across threads.
+	return dur * float64(st.Threads) / float64(st.Ops)
+}
+
+// TimestampCostSweep runs Figure 8a's sweep for one machine.
+func TimestampCostSweep(t *topology.Machine, steps int) Series {
+	se := Series{Name: t.Name}
+	for _, n := range ThreadGrid(t, steps) {
+		se.Points = append(se.Points, Point{Threads: n, Value: TimestampCost(t, n)})
+	}
+	return se
+}
+
+// TimestampGeneration reproduces Figure 8b: per-core timestamps generated
+// per microsecond, for the atomic-increment design (A) versus Ordo's
+// new_time (O).
+func TimestampGeneration(t *topology.Machine, threads int, ordo bool) float64 {
+	s := machine.New(t, 1)
+	boundary := Boundary(t)
+	const dur = 200_000 // 200µs virtual
+	var mk func(int) machine.Kernel
+	if ordo {
+		mk = func(int) machine.Kernel {
+			var last uint64
+			return machine.KernelFunc(func(c *machine.Core) {
+				// new_time: a fresh timestamp one boundary past the
+				// previous one; back-to-back generation pays the window.
+				last = c.WaitClockPast(last + uint64(boundary))
+				c.Done(1)
+			})
+		}
+	} else {
+		line := s.NewLine()
+		mk = func(int) machine.Kernel {
+			return machine.KernelFunc(func(c *machine.Core) {
+				c.FetchAdd(line, 1)
+				c.Done(1)
+			})
+		}
+	}
+	st := s.Run(threads, dur, mk)
+	perCorePerUS := float64(st.Ops) / float64(st.Threads) / (dur / 1000)
+	return perCorePerUS
+}
+
+// TimestampGenerationSweep runs Figure 8b's two curves for one machine.
+func TimestampGenerationSweep(t *topology.Machine, steps int) (atomic, ordo Series) {
+	atomic = Series{Name: t.Name + " (A)"}
+	ordo = Series{Name: t.Name + " (O)"}
+	for _, n := range ThreadGrid(t, steps) {
+		atomic.Points = append(atomic.Points, Point{Threads: n, Value: TimestampGeneration(t, n, false)})
+		ordo.Points = append(ordo.Points, Point{Threads: n, Value: TimestampGeneration(t, n, true)})
+	}
+	return atomic, ordo
+}

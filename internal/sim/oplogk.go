@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"ordo/internal/machine"
+	"ordo/internal/topology"
+)
+
+// OplogVariant selects the reverse-map implementation under the Exim-like
+// workload of Figure 10.
+type OplogVariant int
+
+const (
+	// Vanilla is the stock kernel: rmap updates lock shared anon_vma
+	// chains in place.
+	Vanilla OplogVariant = iota
+	// Oplog appends to per-core logs stamped with raw (unsynchronized)
+	// hardware timestamps.
+	Oplog
+	// OplogOrdo stamps appends with new_time (§4.4).
+	OplogOrdo
+)
+
+// String names the variant as in Figure 10's legend.
+func (v OplogVariant) String() string {
+	switch v {
+	case Vanilla:
+		return "Vanilla"
+	case Oplog:
+		return "Oplog"
+	case OplogOrdo:
+		return "Oplog_ORDO"
+	}
+	return "?"
+}
+
+// OplogConfig parameterizes the Exim kernel.
+type OplogConfig struct {
+	Topo    *topology.Machine
+	Variant OplogVariant
+
+	// MessageWorkNS is the non-rmap cost of delivering one message (the
+	// forks' page-table work, the filesystem writes, process teardown —
+	// everything Figure 10's caption attributes to the rest of the
+	// kernel). Default 1.6 ms, calibrated to Exim's ~480 msg/s/core.
+	MessageWorkNS float64
+
+	// RmapOpsPerMessage is how many reverse-map updates one message
+	// triggers (forks insert, exits remove). Default 24 in 3 bursts.
+	RmapOpsPerMessage int
+
+	// RmapHoldNS is how long the Vanilla rmap holds the parent process's
+	// anon_vma chain lock per fork/exit burst. Exim forks every worker
+	// from one master process, so every burst serializes on this one
+	// chain, whose length (hundreds of VMAs) sets the hold time. Default
+	// 5.4µs, which caps Vanilla near the paper's ~60k msg/s plateau.
+	RmapHoldNS float64
+
+	// FSHoldNS is the per-burst hold on the filesystem/page-zeroing
+	// bottleneck that caps Exim itself regardless of the rmap (§6.3 cites
+	// fs ops and page zeroing past 105 cores). Default 2.7µs (~115k
+	// msg/s), so the Oplog variants flatten where the paper's do.
+	FSHoldNS float64
+
+	DurationNS float64 // default 50 ms
+	Seed       int64
+}
+
+func (c *OplogConfig) defaults() {
+	if c.MessageWorkNS == 0 {
+		c.MessageWorkNS = 1_600_000
+	}
+	if c.RmapOpsPerMessage == 0 {
+		c.RmapOpsPerMessage = 24
+	}
+	if c.RmapHoldNS == 0 {
+		c.RmapHoldNS = 5400
+	}
+	if c.FSHoldNS == 0 {
+		c.FSHoldNS = 2700
+	}
+	if c.DurationNS == 0 {
+		c.DurationNS = 50_000_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// RunOplogAt simulates Exim message delivery at a thread count; the
+// returned stats count messages.
+func RunOplogAt(cfg OplogConfig, threads int) machine.RunStats {
+	cfg.defaults()
+	t := cfg.Topo
+	s := machine.New(t, cfg.Seed)
+	scale := cpuScale(t)
+	boundary := Boundary(t)
+
+	rmapChain := s.NewLine() // the master process's anon_vma chain lock
+	fsLock := s.NewLine()    // filesystem / page-zeroing serialization
+
+	work := cfg.MessageWorkNS * scale
+	bursts := 3
+	perBurst := cfg.RmapOpsPerMessage / bursts
+
+	mk := func(id int) machine.Kernel {
+		var lastTS uint64
+		var burst int
+		return machine.KernelFunc(func(c *machine.Core) {
+			// One step per fork/exit event: shared-lock and log traffic
+			// first (sync ops lead the step per the engine's causality
+			// rule), then that slice of the message's local work.
+			switch cfg.Variant {
+			case Vanilla:
+				// Every fork/exit walks and updates the master process's
+				// anon_vma chain in place under its lock.
+				c.Acquire(rmapChain, cfg.RmapHoldNS*scale)
+			case Oplog:
+				// Per-core log appends with raw timestamps.
+				for op := 0; op < perBurst; op++ {
+					c.ReadTSC()
+					c.Compute(25 * scale)
+				}
+			case OplogOrdo:
+				// new_time per append: back-to-back appends inside a burst
+				// pay the boundary; across bursts the message work
+				// amortizes it (§6.3's explanation of the ~4% gap).
+				for op := 0; op < perBurst; op++ {
+					lastTS = c.WaitClockPast(lastTS + uint64(boundary))
+					c.Compute(25 * scale)
+				}
+			}
+			// Filesystem writes and page zeroing serialize independently
+			// of the rmap and cap Exim itself.
+			c.Acquire(fsLock, cfg.FSHoldNS*scale)
+			c.Compute(work / float64(bursts))
+			if burst++; burst == bursts {
+				burst = 0
+				c.Done(1) // message delivered
+			}
+		})
+	}
+	return s.Run(threads, cfg.DurationNS, mk)
+}
+
+// OplogSweep produces one Figure 10 curve: messages/sec versus threads.
+func OplogSweep(cfg OplogConfig, steps int) Series {
+	cfg.defaults()
+	se := Series{Name: cfg.Variant.String()}
+	for _, n := range ThreadGrid(cfg.Topo, steps) {
+		st := RunOplogAt(cfg, n)
+		se.Points = append(se.Points, Point{Threads: n, Value: st.OpsPerSec()})
+	}
+	return se
+}

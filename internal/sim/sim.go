@@ -1,0 +1,107 @@
+// Package sim reproduces the paper's evaluation figures by running
+// algorithm kernels on the simulated multicore machines of
+// internal/machine. Each kernel expresses an algorithm's synchronization
+// skeleton — which cache lines it touches, which clocks it reads, how much
+// local work an operation does — and the machine model turns that into
+// throughput-versus-core-count curves whose shapes reproduce the paper's:
+// logical clocks collapse with cache-line contention, Ordo clocks do not.
+//
+// One kernel exists per experiment family:
+//
+//	clock.go   Figure 8a/8b  timestamp cost and generation throughput
+//	rlu.go     Figures 1, 11, 12, 16  RLU hash-table benchmark
+//	oplogk.go  Figure 10     Exim over the rmap (Vanilla/Oplog/Oplog_ORDO)
+//	dbkern.go  Figures 13, 14  YCSB and TPC-C over six CC protocols
+//	tl2kern.go Figure 15     STAMP speedups over sequential
+package sim
+
+import (
+	"fmt"
+
+	"ordo/internal/core"
+	"ordo/internal/machine"
+	"ordo/internal/topology"
+)
+
+// Point is one measurement of a sweep.
+type Point struct {
+	Threads int
+	Value   float64
+	// Aux carries a second metric where a figure reports one (e.g. abort
+	// rate alongside throughput in Figure 14).
+	Aux float64
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// At returns the value at the given thread count, or NaN-free zero.
+func (s Series) At(threads int) (float64, bool) {
+	for _, p := range s.Points {
+		if p.Threads == threads {
+			return p.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Last returns the final point's value (highest thread count measured).
+func (s Series) Last() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].Value
+}
+
+// ThreadGrid returns the sweep points for a machine: 1, then roughly
+// even steps up to the maximum hardware thread count, mirroring the
+// paper's x-axes.
+func ThreadGrid(t *topology.Machine, steps int) []int {
+	max := t.Threads()
+	if steps < 2 {
+		steps = 2
+	}
+	grid := []int{1}
+	for i := 1; i <= steps; i++ {
+		n := max * i / steps
+		if n > grid[len(grid)-1] {
+			grid = append(grid, n)
+		}
+	}
+	return grid
+}
+
+// Boundary calibrates the ORDO_BOUNDARY of a simulated machine in ns,
+// using the same ComputeBoundary code path as real hardware. Results are
+// cached per topology name.
+func Boundary(t *topology.Machine) float64 {
+	if b, ok := boundaryCache[t.Name]; ok {
+		return b
+	}
+	s := &machine.Sampler{Topo: t, Seed: 42}
+	stride := 1
+	if t.Threads() > 64 {
+		stride = t.Threads() / 64
+	}
+	b, err := core.ComputeBoundary(s, core.CalibrationOptions{Runs: 100, Stride: stride})
+	if err != nil {
+		panic(fmt.Sprintf("sim: calibrating %s: %v", t.Name, err))
+	}
+	boundaryCache[t.Name] = float64(b.Global)
+	boundaryMinCache[t.Name] = float64(b.Min)
+	return float64(b.Global)
+}
+
+// BoundaryMin returns the smallest pairwise offset (Table 1's min column).
+func BoundaryMin(t *topology.Machine) float64 {
+	Boundary(t)
+	return boundaryMinCache[t.Name]
+}
+
+var (
+	boundaryCache    = map[string]float64{}
+	boundaryMinCache = map[string]float64{}
+)

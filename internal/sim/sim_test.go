@@ -1,0 +1,311 @@
+package sim
+
+import (
+	"testing"
+
+	"ordo/internal/db"
+	"ordo/internal/topology"
+)
+
+// These tests pin the *shapes* of the paper's figures: who wins, roughly
+// by how much, and where curves saturate. Absolute values are recorded in
+// EXPERIMENTS.md; the assertions here use generous bands so models can be
+// retuned without breaking the suite, while still failing if a change
+// destroys a headline result.
+
+func TestBoundaryMatchesTable1(t *testing.T) {
+	want := map[string][2]float64{
+		"Intel Xeon":     {70, 276},
+		"Intel Xeon Phi": {90, 270},
+		"AMD":            {93, 203},
+		"ARM":            {100, 1100},
+	}
+	for _, topo := range topology.All() {
+		b := Boundary(topo)
+		min := BoundaryMin(topo)
+		w := want[topo.Name]
+		if min < w[0]*0.75 || min > w[0]*1.3 {
+			t.Errorf("%s: min offset %.0f, want ~%.0f", topo.Name, min, w[0])
+		}
+		if b < w[1]*0.85 || b > w[1]*1.15 {
+			t.Errorf("%s: ORDO_BOUNDARY %.0f, want ~%.0f", topo.Name, b, w[1])
+		}
+	}
+}
+
+func TestFigure8aTimestampCostShape(t *testing.T) {
+	x := topology.Xeon()
+	c1 := TimestampCost(x, 1)
+	cPhys := TimestampCost(x, x.PhysicalCores())
+	cAll := TimestampCost(x, x.Threads())
+	if c1 < 5 || c1 > 20 {
+		t.Errorf("1-thread TSC cost %.1f ns, want ~10 (paper: 10.3)", c1)
+	}
+	if diff := cPhys - c1; diff < -1 || diff > 1 {
+		t.Errorf("TSC cost rose from %.1f to %.1f within physical cores; paper: constant", c1, cPhys)
+	}
+	if cAll <= cPhys*1.2 {
+		t.Errorf("TSC cost %.1f with SMT vs %.1f without; paper: rises with hyperthreads", cAll, cPhys)
+	}
+	// Phi: ~3x at full 4-way SMT.
+	p := topology.Phi()
+	r := TimestampCost(p, p.Threads()) / TimestampCost(p, p.PhysicalCores())
+	if r < 2 || r > 4 {
+		t.Errorf("Phi SMT timestamp penalty %.1fx, paper ~3x", r)
+	}
+}
+
+func TestFigure8bGenerationShape(t *testing.T) {
+	x := topology.Xeon()
+	n := x.Threads()
+	atomic1 := TimestampGeneration(x, 1, false)
+	atomicN := TimestampGeneration(x, n, false)
+	ordo1 := TimestampGeneration(x, 1, true)
+	ordoN := TimestampGeneration(x, n, true)
+	// Ordo stays constant per core; atomic collapses.
+	if ordoN < ordo1*0.9 {
+		t.Errorf("Ordo generation fell from %.2f to %.2f per core; paper: almost constant", ordo1, ordoN)
+	}
+	if atomicN > atomic1/50 {
+		t.Errorf("atomic generation only fell from %.2f to %.2f per core; paper: collapse", atomic1, atomicN)
+	}
+	// Paper: Ordo is 17.4–285.5x faster at the highest core count.
+	ratio := ordoN / atomicN
+	if ratio < 17 || ratio > 300 {
+		t.Errorf("Ordo/atomic generation ratio %.1fx at %d threads, paper range 17.4–285.5x", ratio, n)
+	}
+}
+
+func TestFigure1RLUPhiShape(t *testing.T) {
+	p := topology.Phi()
+	logical := RLUConfig{Topo: p, UpdateRatio: 0.02}
+	ordo := RLUConfig{Topo: p, UpdateRatio: 0.02, Ordo: true}
+	// RLU saturates well before max threads...
+	lHalf := RunRLUAt(logical, 64).OpsPerUSec()
+	lFull := RunRLUAt(logical, 256).OpsPerUSec()
+	if lFull > lHalf*1.3 {
+		t.Errorf("RLU kept scaling 64→256 (%.1f→%.1f); paper: saturates early", lHalf, lFull)
+	}
+	// ...while RLU_ORDO keeps scaling and wins big at 256.
+	oHalf := RunRLUAt(ordo, 64).OpsPerUSec()
+	oFull := RunRLUAt(ordo, 256).OpsPerUSec()
+	if oFull < oHalf*1.5 {
+		t.Errorf("RLU_ORDO stopped scaling 64→256 (%.1f→%.1f)", oHalf, oFull)
+	}
+	if oFull < lFull*2 {
+		t.Errorf("RLU_ORDO %.1f vs RLU %.1f at 256; paper: several-fold win", oFull, lFull)
+	}
+}
+
+func TestFigure11UpdateRatios(t *testing.T) {
+	x := topology.Xeon()
+	for _, upd := range []float64{0.02, 0.40} {
+		l := RunRLUAt(RLUConfig{Topo: x, UpdateRatio: upd}, 240).OpsPerUSec()
+		o := RunRLUAt(RLUConfig{Topo: x, UpdateRatio: upd, Ordo: true}, 240).OpsPerUSec()
+		if o < l*1.5 {
+			t.Errorf("update ratio %.0f%%: RLU_ORDO %.1f vs RLU %.1f; paper: ~2x+ win",
+				upd*100, o, l)
+		}
+	}
+	// Low core counts: the original RLU is competitive (paper: slightly
+	// better because Ordo pays lock re-checks).
+	l1 := RunRLUAt(RLUConfig{Topo: x, UpdateRatio: 0.02}, 8).OpsPerUSec()
+	o1 := RunRLUAt(RLUConfig{Topo: x, UpdateRatio: 0.02, Ordo: true}, 8).OpsPerUSec()
+	if o1 > l1*1.2 {
+		t.Errorf("at 8 cores RLU_ORDO %.1f ≫ RLU %.1f; paper: roughly equal or slightly behind", o1, l1)
+	}
+}
+
+func TestFigure12DeferredStillClockBound(t *testing.T) {
+	x := topology.Xeon()
+	l := RunRLUAt(RLUConfig{Topo: x, UpdateRatio: 0.40, DeferN: 8}, 240).OpsPerUSec()
+	o := RunRLUAt(RLUConfig{Topo: x, UpdateRatio: 0.40, DeferN: 8, Ordo: true}, 240).OpsPerUSec()
+	if o < l*1.3 {
+		t.Errorf("deferred RLU_ORDO %.1f vs deferred RLU %.1f; paper: clock cost still visible", o, l)
+	}
+	// Deferral helps the logical version too (vs. no deferral).
+	nl := RunRLUAt(RLUConfig{Topo: x, UpdateRatio: 0.40}, 240).OpsPerUSec()
+	if l < nl {
+		t.Errorf("deferral hurt the logical RLU: %.1f vs %.1f", l, nl)
+	}
+}
+
+func TestFigure10EximShape(t *testing.T) {
+	x := topology.Xeon()
+	van240 := RunOplogAt(OplogConfig{Topo: x, Variant: Vanilla}, 240).OpsPerSec()
+	van120 := RunOplogAt(OplogConfig{Topo: x, Variant: Vanilla}, 120).OpsPerSec()
+	op240 := RunOplogAt(OplogConfig{Topo: x, Variant: Oplog}, 240).OpsPerSec()
+	ordo240 := RunOplogAt(OplogConfig{Topo: x, Variant: OplogOrdo}, 240).OpsPerSec()
+	// Vanilla flattens past ~120 threads.
+	if van240 > van120*1.2 {
+		t.Errorf("Vanilla kept scaling 120→240 (%.0f→%.0f)", van120, van240)
+	}
+	// Paper: Oplog ~1.9x over Vanilla at 240.
+	if r := op240 / van240; r < 1.5 || r > 2.6 {
+		t.Errorf("Oplog/Vanilla at 240 = %.2fx, paper ~1.9x", r)
+	}
+	// Paper: Oplog is merely ~4% faster than Oplog_ORDO.
+	if r := op240 / ordo240; r < 0.98 || r > 1.12 {
+		t.Errorf("Oplog/Oplog_ORDO = %.3fx, paper ~1.04x", r)
+	}
+}
+
+func TestFigure13YCSBShape(t *testing.T) {
+	x := topology.Xeon()
+	at := func(p db.Protocol) float64 {
+		return RunYCSBAt(YCSBConfig{Topo: x, Protocol: p}, 240).OpsPerUSec()
+	}
+	occ, occOrdo := at(db.OCC), at(db.OCCOrdo)
+	hek, hekOrdo := at(db.Hekaton), at(db.HekatonOrdo)
+	silo, tictoc := at(db.Silo), at(db.TicToc)
+
+	// Paper: OCC_ORDO beats OCC 5.6–39.7x; Hekaton_ORDO beats Hekaton
+	// 4.1–31.1x (per-arch; allow the union with slack).
+	if r := occOrdo / occ; r < 5 || r > 60 {
+		t.Errorf("OCC_ORDO/OCC = %.1fx, paper range 5.6–39.7x", r)
+	}
+	if r := hekOrdo / hek; r < 4 || r > 50 {
+		t.Errorf("HEKATON_ORDO/HEKATON = %.1fx, paper range 4.1–31.1x", r)
+	}
+	// Ordo variants reach the state-of-the-art software bypasses.
+	if occOrdo < silo*0.8 || occOrdo < tictoc*0.8 {
+		t.Errorf("OCC_ORDO %.1f below Silo %.1f / TicToc %.1f; paper: comparable", occOrdo, silo, tictoc)
+	}
+	// Hekaton_ORDO trails the single-version protocols (paper: 1.2–1.3x
+	// slower) but not by much.
+	if r := occOrdo / hekOrdo; r < 1.05 || r > 1.6 {
+		t.Errorf("OCC_ORDO/HEKATON_ORDO = %.2fx, paper 1.2–1.3x", r)
+	}
+}
+
+func TestFigure14TPCCShape(t *testing.T) {
+	x := topology.Xeon()
+	at := func(p db.Protocol) TPCCResult {
+		return RunTPCCAt(TPCCConfig{Topo: x, Protocol: p}, 240)
+	}
+	occOrdo, tictoc := at(db.OCCOrdo), at(db.TicToc)
+	hek, hekOrdo := at(db.Hekaton), at(db.HekatonOrdo)
+	// Paper: OCC_ORDO 1.24x faster than TicToc.
+	if r := occOrdo.OpsPerUSec() / tictoc.OpsPerUSec(); r < 1.05 || r > 1.5 {
+		t.Errorf("OCC_ORDO/TicToc = %.2fx, paper 1.24x", r)
+	}
+	// Paper: Hekaton_ORDO ~1.95x over Hekaton, with lower aborts.
+	if r := hekOrdo.OpsPerUSec() / hek.OpsPerUSec(); r < 1.5 || r > 3.5 {
+		t.Errorf("HEKATON_ORDO/HEKATON = %.2fx, paper 1.95x", r)
+	}
+	if hekOrdo.AbortRate() >= occOrdo.AbortRate() {
+		t.Errorf("Hekaton_ORDO abort rate %.2f >= OCC_ORDO %.2f; paper: MVCC aborts less",
+			hekOrdo.AbortRate(), occOrdo.AbortRate())
+	}
+	// Abort rates land in the paper's 0–0.6 band and grow with threads.
+	small := RunTPCCAt(TPCCConfig{Topo: x, Protocol: db.OCCOrdo}, 60)
+	if occOrdo.AbortRate() > 0.6 || occOrdo.AbortRate() < small.AbortRate() {
+		t.Errorf("abort rates out of shape: 60=%.2f 240=%.2f", small.AbortRate(), occOrdo.AbortRate())
+	}
+}
+
+func TestFigure15STAMPShape(t *testing.T) {
+	x := topology.Xeon()
+	run := func(p STAMPProfile, ordo bool) TL2Result {
+		return RunTL2At(TL2Config{Topo: x, Profile: p, Ordo: ordo}, 240)
+	}
+	for _, prof := range STAMPProfiles() {
+		tl2 := run(prof, false)
+		ordo := run(prof, true)
+		r := ordo.Speedup / tl2.Speedup
+		switch prof.Name {
+		case "kmeans", "vacation":
+			// Short / txn-intensive: big wins.
+			if r < 2 {
+				t.Errorf("%s: TL2_ORDO/TL2 = %.2fx, want strong win", prof.Name, r)
+			}
+		case "labyrinth":
+			// Paper: 2–3.8x with far fewer aborts; accept ≥1.4x.
+			if r < 1.4 {
+				t.Errorf("labyrinth: ratio %.2fx, paper 2–3.8x", r)
+			}
+		case "genome", "ssca2":
+			if r < 1.2 {
+				t.Errorf("%s: ratio %.2fx, want a visible win", prof.Name, r)
+			}
+		case "intruder":
+			// Near-parity at full scale (paper: Ordo loses ~10% past 60).
+			if r < 0.7 || r > 1.6 {
+				t.Errorf("intruder: ratio %.2fx, want near parity", r)
+			}
+		}
+		// Single-thread: STM overhead puts speedup below 1 everywhere.
+		one := run(prof, false)
+		_ = one
+		s1 := RunTL2At(TL2Config{Topo: x, Profile: prof}, 1).Speedup
+		if s1 >= 1 {
+			t.Errorf("%s: 1-thread speedup %.2f >= 1; STM overhead must show", prof.Name, s1)
+		}
+	}
+}
+
+func TestFigure16BoundarySensitivity(t *testing.T) {
+	x := topology.Xeon()
+	base := RunRLUAt(RLUConfig{Topo: x, UpdateRatio: 0.02, Ordo: true}, 240).OpsPerUSec()
+	for _, scale := range []float64{0.125, 0.25, 0.5, 2, 4, 8} {
+		v := RunRLUAt(RLUConfig{Topo: x, UpdateRatio: 0.02, Ordo: true, BoundaryScale: scale}, 240).OpsPerUSec()
+		if rel := (v - base) / base; rel < -0.05 || rel > 0.05 {
+			t.Errorf("boundary x%.3f: throughput changed %.1f%%; paper: ±3%%", scale, rel*100)
+		}
+	}
+}
+
+func TestThreadGridShape(t *testing.T) {
+	x := topology.Xeon()
+	g := ThreadGrid(x, 8)
+	if g[0] != 1 {
+		t.Fatalf("grid must start at 1, got %v", g)
+	}
+	if g[len(g)-1] != 240 {
+		t.Fatalf("grid must end at max threads, got %v", g)
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] <= g[i-1] {
+			t.Fatalf("grid not increasing: %v", g)
+		}
+	}
+}
+
+func TestSeriesHelpers(t *testing.T) {
+	s := Series{Name: "x", Points: []Point{{Threads: 1, Value: 2}, {Threads: 8, Value: 16}}}
+	if v, ok := s.At(8); !ok || v != 16 {
+		t.Errorf("At(8) = %v, %v", v, ok)
+	}
+	if _, ok := s.At(4); ok {
+		t.Error("At(4) found a missing point")
+	}
+	if s.Last() != 16 {
+		t.Errorf("Last() = %v", s.Last())
+	}
+	if (Series{}).Last() != 0 {
+		t.Error("empty Series Last() != 0")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	x := topology.Xeon()
+	a := RunRLUAt(RLUConfig{Topo: x, UpdateRatio: 0.02, Ordo: true}, 60)
+	b := RunRLUAt(RLUConfig{Topo: x, UpdateRatio: 0.02, Ordo: true}, 60)
+	if a.Ops != b.Ops {
+		t.Fatalf("identical sim configs produced %d vs %d ops", a.Ops, b.Ops)
+	}
+}
+
+func TestCitrusTreeAlmostTwoX(t *testing.T) {
+	// §6.4: "we observe the same improvement with RLU_ORDO (almost 2×) for
+	// the citrus tree benchmark, involving complex update operations,
+	// across the architectures."
+	for _, topo := range []*topology.Machine{topology.Xeon(), topology.ARM()} {
+		n := topo.Threads()
+		l := RunRLUAt(CitrusConfig(topo, 0.10, false), n).OpsPerUSec()
+		o := RunRLUAt(CitrusConfig(topo, 0.10, true), n).OpsPerUSec()
+		if r := o / l; r < 1.5 {
+			t.Errorf("%s citrus: RLU_ORDO/RLU = %.2fx, want ~2x", topo.Name, r)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"ordo/internal/machine"
+	"ordo/internal/topology"
+)
+
+// STAMPProfile captures the transaction shape of one STAMP benchmark —
+// the properties §6.6 says determine clock sensitivity: transaction
+// length, write intensity, footprint, and conflict locality.
+type STAMPProfile struct {
+	Name     string
+	TxnNS    float64 // STM-instrumented transaction work (reference cycles)
+	Lines    float64 // memory lines touched per transaction
+	ReadOnly float64 // fraction of transactions that commit read-only
+	Pool     int     // contended-object pool size
+	Touch    int     // contended objects accessed per transaction
+	SeqNS    float64 // uninstrumented sequential cost (speedup baseline)
+	SerialNS float64 // inherently serial per-txn work (shared queue pop,
+	// barrier arbitration); 0 for workloads without one
+}
+
+// STAMPProfiles returns the six benchmarks. Short-transaction workloads
+// (kmeans, ssca2) hammer the version clock hardest; labyrinth's very long
+// transactions suffer most from the abort amplification the contended
+// clock causes; genome is read-dominated and large.
+func STAMPProfiles() []STAMPProfile {
+	return []STAMPProfile{
+		{Name: "genome", TxnNS: 4000, Lines: 30, ReadOnly: 0.95, Pool: 8192, Touch: 4, SeqNS: 1800},
+		{Name: "intruder", TxnNS: 330, Lines: 8, ReadOnly: 0.2, Pool: 256, Touch: 3, SeqNS: 150, SerialNS: 350},
+		{Name: "kmeans", TxnNS: 2200, Lines: 8, ReadOnly: 0, Pool: 40, Touch: 1, SeqNS: 1000},
+		{Name: "labyrinth", TxnNS: 12000, Lines: 120, ReadOnly: 0, Pool: 448, Touch: 6, SeqNS: 6000},
+		{Name: "ssca2", TxnNS: 200, Lines: 4, ReadOnly: 0, Pool: 2048, Touch: 2, SeqNS: 90, SerialNS: 40},
+		{Name: "vacation", TxnNS: 3800, Lines: 16, ReadOnly: 0.1, Pool: 512, Touch: 8, SeqNS: 1700},
+	}
+}
+
+// TL2Config parameterizes one Figure 15 cell.
+type TL2Config struct {
+	Topo       *topology.Machine
+	Profile    STAMPProfile
+	Ordo       bool
+	DurationNS float64 // default 400µs
+	Seed       int64
+}
+
+func (c *TL2Config) defaults() {
+	if c.DurationNS == 0 {
+		c.DurationNS = 400_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// TL2Result reports throughput, speedup over sequential, and aborts.
+type TL2Result struct {
+	machine.RunStats
+	Aborts  uint64
+	Speedup float64
+}
+
+// AbortRate returns aborts / (commits + aborts).
+func (r TL2Result) AbortRate() float64 {
+	total := r.Ops + r.Aborts
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Aborts) / float64(total)
+}
+
+// RunTL2At simulates a STAMP workload over TL2 at a thread count.
+//
+// The kernel follows TL2's structure: begin reads the version clock (a
+// load of the contended clock line, or a local TSC read), the body does
+// the instrumented work, and commit fetch-and-adds the clock (or waits
+// out new_time), validates, and aborts on conflict. Conflicts emerge from
+// the profile's contended-object pool exactly as in the TPC-C kernel; the
+// Ordo variant additionally aborts when a validated version falls inside
+// the uncertainty window of the commit timestamp (§4.3's conservative
+// rule), which is what costs it ~10% extra aborts on intruder past 60
+// cores while slashing labyrinth's clock-amplified aborts.
+func RunTL2At(cfg TL2Config, threads int) TL2Result {
+	cfg.defaults()
+	t := cfg.Topo
+	s := machine.New(t, cfg.Seed)
+	scale := cpuScale(t)
+	boundary := Boundary(t)
+	prof := cfg.Profile
+
+	clockLine := s.NewLine()
+	// Two shards for the serial resource: coarse app-level queues are
+	// typically a little less serial than one global lock.
+	serialLines := []*machine.Line{s.NewLine(), s.NewLine()}
+	pool := make([]*machine.Line, prof.Pool)
+	for i := range pool {
+		pool[i] = s.NewLine()
+	}
+
+	var aborts uint64
+	mk := func(id int) machine.Kernel {
+		var inCommit bool
+		var readOnly bool
+		var startClock uint64
+		var startVT float64
+		touched := make([]int, prof.Touch)
+		v0 := make([]uint64, prof.Touch)
+		return machine.KernelFunc(func(c *machine.Core) {
+			rng := c.Rand()
+			if !inCommit {
+				// Inherently serial work first (e.g. intruder's shared
+				// packet queue), then begin: read the version clock.
+				if prof.SerialNS > 0 {
+					c.Acquire(serialLines[rng.Intn(2)], prof.SerialNS*scale)
+				}
+				if cfg.Ordo {
+					startClock = c.ReadTSC()
+				} else {
+					c.Load(clockLine)
+				}
+				startVT = c.VTime()
+				readOnly = rng.Float64() < prof.ReadOnly
+				for i := range touched {
+					touched[i] = rng.Intn(prof.Pool)
+					v0[i] = pool[touched[i]].Value()
+					c.Load(pool[touched[i]])
+				}
+				c.MemoryAccess(prof.Lines)
+				c.Compute(prof.TxnNS * scale)
+				inCommit = true
+				return
+			}
+			// Commit.
+			inCommit = false
+			var commitTS float64
+			if readOnly {
+				// TL2 read-only transactions skip the write-version
+				// allocation entirely.
+				c.Done(1)
+				return
+			}
+			if cfg.Ordo {
+				c.WaitClockPast(startClock + uint64(boundary))
+				commitTS = c.VTime()
+			} else {
+				c.FetchAdd(clockLine, 1)
+				commitTS = c.VTime()
+			}
+			// Validate the read set: a version written since we began
+			// conflicts; under Ordo, a version inside the uncertainty
+			// window of the commit timestamp aborts conservatively.
+			conflicted := false
+			for i := range touched {
+				l := pool[touched[i]]
+				if l.Value() != v0[i] {
+					conflicted = true
+					break
+				}
+				if cfg.Ordo && l.LastWriteAt() > commitTS-boundary && l.LastWriteAt() <= startVT {
+					conflicted = true
+					break
+				}
+			}
+			if conflicted {
+				aborts++
+				return // retry from begin
+			}
+			for i := range touched {
+				c.FetchAdd(pool[touched[i]], 1) // write back + version bump
+			}
+			c.Done(1)
+		})
+	}
+	st := s.Run(threads, cfg.DurationNS, mk)
+	r := TL2Result{RunStats: st, Aborts: aborts}
+	r.Speedup = st.OpsPerSec() / 1e9 * prof.SeqNS * cpuScale(t)
+	return r
+}
+
+// TL2Sweep produces one Figure 15 curve: speedup over sequential (Value)
+// and abort rate (Aux) versus threads.
+func TL2Sweep(cfg TL2Config, steps int) Series {
+	cfg.defaults()
+	name := "TL2"
+	if cfg.Ordo {
+		name = "TL2_ORDO"
+	}
+	se := Series{Name: name}
+	for _, n := range ThreadGrid(cfg.Topo, steps) {
+		r := RunTL2At(cfg, n)
+		se.Points = append(se.Points, Point{Threads: n, Value: r.Speedup, Aux: r.AbortRate()})
+	}
+	return se
+}

@@ -1,0 +1,348 @@
+// Package stamp provides Go renditions of the six STAMP benchmarks the
+// paper runs over TL2 (§6.6, Figure 15). Each workload preserves the
+// transaction profile that determines its clock sensitivity:
+//
+//	genome     large, mostly conflict-free read-dominated transactions
+//	intruder   medium transactions with a contended completion counter
+//	kmeans     very short read-modify-write transactions (clock-bound)
+//	labyrinth  very long transactions over many cells (costly re-execution)
+//	ssca2      tiny two-word graph updates (clock-bound)
+//	vacation   reservation-style transactions over several tables
+//
+// Every workload carries a Validate method asserting its semantic
+// invariant after a run, so the suite doubles as an integration test of
+// the TL2 engine under both clock designs.
+package stamp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ordo/internal/tl2"
+)
+
+// Workload is one STAMP benchmark bound to an STM heap.
+type Workload interface {
+	// Name is the STAMP benchmark name.
+	Name() string
+	// Words is the heap size the workload needs.
+	Words() int
+	// Setup populates the heap (single-threaded, before workers start).
+	Setup(s *tl2.STM)
+	// Txn runs one transaction on behalf of a worker; rng is the worker's
+	// private source.
+	Txn(s *tl2.STM, rng *rand.Rand) error
+	// Validate checks the workload's invariant after a quiesced run, given
+	// the engine's commit count for this workload's transactions.
+	Validate(s *tl2.STM, commits uint64) error
+}
+
+// All returns the six workloads with paper-flavoured default sizes,
+// scaled by factor (1 = test-sized; benchmarks pass larger factors).
+func All(factor int) []Workload {
+	if factor < 1 {
+		factor = 1
+	}
+	return []Workload{
+		NewGenome(2048 * factor),
+		NewIntruder(128 * factor),
+		NewKmeans(16, 8),
+		NewLabyrinth(32 * factor),
+		NewSSCA2(1024 * factor),
+		NewVacation(256 * factor),
+	}
+}
+
+// ---------------------------------------------------------------- genome
+
+// Genome models sequence dedup: segments hash into a table; a transaction
+// examines a batch of buckets and claims the empty ones. Long transactions,
+// almost no conflicts — the global clock is stressed only by commit
+// frequency, so the Ordo win is modest (matching Figure 15's Genome panel).
+type Genome struct{ buckets int }
+
+// NewGenome sizes the segment table.
+func NewGenome(buckets int) *Genome { return &Genome{buckets: buckets} }
+
+func (g *Genome) Name() string     { return "genome" }
+func (g *Genome) Words() int       { return g.buckets }
+func (g *Genome) Setup(s *tl2.STM) {}
+
+func (g *Genome) Txn(s *tl2.STM, rng *rand.Rand) error {
+	// Examine 32 buckets, claim empties with the bucket's canonical id.
+	base := rng.Intn(g.buckets)
+	return s.Atomically(func(tx *tl2.Txn) error {
+		for i := 0; i < 32; i++ {
+			b := (base + i*17) % g.buckets
+			if tx.Load(b) == 0 {
+				tx.Store(b, uint64(b)+1)
+			}
+		}
+		return nil
+	})
+}
+
+func (g *Genome) Validate(s *tl2.STM, _ uint64) error {
+	for b := 0; b < g.buckets; b++ {
+		v := s.ReadDirect(b)
+		if v != 0 && v != uint64(b)+1 {
+			return fmt.Errorf("genome: bucket %d holds %d, want 0 or %d", b, v, b+1)
+		}
+	}
+	return nil
+}
+
+// -------------------------------------------------------------- intruder
+
+// Intruder models packet reassembly: each flow accumulates fragments in a
+// bitmap; a completed flow bumps a shared counter and resets. The shared
+// counter plus medium transactions give the modest-win profile of the
+// Intruder panel.
+type Intruder struct{ flows int }
+
+// NewIntruder sizes the flow table.
+func NewIntruder(flows int) *Intruder { return &Intruder{flows: flows} }
+
+const intruderFrags = 8 // fragments per flow
+
+func (in *Intruder) Name() string     { return "intruder" }
+func (in *Intruder) Words() int       { return in.flows + 1 } // +1: completed counter
+func (in *Intruder) Setup(s *tl2.STM) {}
+
+func (in *Intruder) Txn(s *tl2.STM, rng *rand.Rand) error {
+	flow := rng.Intn(in.flows)
+	frag := uint(rng.Intn(intruderFrags))
+	counter := in.flows
+	return s.Atomically(func(tx *tl2.Txn) error {
+		bits := tx.Load(flow)
+		bits |= 1 << frag
+		if bits == 1<<intruderFrags-1 {
+			tx.Store(flow, 0)
+			tx.Store(counter, tx.Load(counter)+1)
+			return nil
+		}
+		tx.Store(flow, bits)
+		return nil
+	})
+}
+
+func (in *Intruder) Validate(s *tl2.STM, commits uint64) error {
+	// Every committed txn sets exactly one fragment bit; completed flows
+	// account for intruderFrags bits each... except duplicate fragments
+	// (same bit set twice) absorb deliveries without adding bits. So:
+	// completed*frags + pending-bits <= commits.
+	var pending uint64
+	for f := 0; f < in.flows; f++ {
+		v := s.ReadDirect(f)
+		if v >= 1<<intruderFrags {
+			return fmt.Errorf("intruder: flow %d bitmap %x out of range", f, v)
+		}
+		for ; v != 0; v &= v - 1 {
+			pending++
+		}
+	}
+	completed := s.ReadDirect(in.flows)
+	if completed*intruderFrags+pending > commits {
+		return fmt.Errorf("intruder: %d completed × %d + %d pending > %d commits",
+			completed, intruderFrags, pending, commits)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- kmeans
+
+// Kmeans models the clustering kernel: a transaction folds one point into
+// one center — a handful of words. Short transactions commit constantly,
+// so the global clock dominates: the Figure 15 panel with the largest
+// Ordo win.
+type Kmeans struct{ k, dims int }
+
+// NewKmeans sizes the centers.
+func NewKmeans(k, dims int) *Kmeans { return &Kmeans{k: k, dims: dims} }
+
+func (km *Kmeans) Name() string     { return "kmeans" }
+func (km *Kmeans) Words() int       { return km.k * (km.dims + 1) }
+func (km *Kmeans) Setup(s *tl2.STM) {}
+
+func (km *Kmeans) Txn(s *tl2.STM, rng *rand.Rand) error {
+	c := rng.Intn(km.k)
+	base := c * (km.dims + 1)
+	var point [32]uint64
+	for d := 0; d < km.dims; d++ {
+		point[d] = uint64(rng.Intn(100))
+	}
+	return s.Atomically(func(tx *tl2.Txn) error {
+		for d := 0; d < km.dims; d++ {
+			tx.Store(base+d, tx.Load(base+d)+point[d])
+		}
+		tx.Store(base+km.dims, tx.Load(base+km.dims)+1)
+		return nil
+	})
+}
+
+func (km *Kmeans) Validate(s *tl2.STM, commits uint64) error {
+	var points uint64
+	for c := 0; c < km.k; c++ {
+		points += s.ReadDirect(c*(km.dims+1) + km.dims)
+	}
+	if points != commits {
+		return fmt.Errorf("kmeans: centers absorbed %d points, want %d", points, commits)
+	}
+	return nil
+}
+
+// ------------------------------------------------------------- labyrinth
+
+// Labyrinth models maze routing: a transaction claims a long path of grid
+// cells, reading and writing each — very long transactions whose aborted
+// re-execution is expensive, which is exactly where clock-contention-
+// induced aborts hurt most (Figure 15 shows 2–3.8×).
+type Labyrinth struct{ side int }
+
+// NewLabyrinth sizes the grid (side × side).
+func NewLabyrinth(side int) *Labyrinth { return &Labyrinth{side: side} }
+
+func (lb *Labyrinth) Name() string     { return "labyrinth" }
+func (lb *Labyrinth) Words() int       { return lb.side*lb.side + 1 } // +1: path id
+func (lb *Labyrinth) Setup(s *tl2.STM) {}
+
+func (lb *Labyrinth) Txn(s *tl2.STM, rng *rand.Rand) error {
+	// Route a staircase path between two random points.
+	x0, y0 := rng.Intn(lb.side), rng.Intn(lb.side)
+	x1, y1 := rng.Intn(lb.side), rng.Intn(lb.side)
+	idWord := lb.side * lb.side
+	return s.Atomically(func(tx *tl2.Txn) error {
+		id := tx.Load(idWord) + 1
+		tx.Store(idWord, id)
+		x, y := x0, y0
+		for {
+			cell := y*lb.side + x
+			_ = tx.Load(cell) // read the cell (routing inspects occupancy)
+			tx.Store(cell, id)
+			if x == x1 && y == y1 {
+				break
+			}
+			if x != x1 {
+				if x < x1 {
+					x++
+				} else {
+					x--
+				}
+			} else {
+				if y < y1 {
+					y++
+				} else {
+					y--
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func (lb *Labyrinth) Validate(s *tl2.STM, commits uint64) error {
+	maxID := s.ReadDirect(lb.side * lb.side)
+	if maxID != commits {
+		return fmt.Errorf("labyrinth: issued %d path ids, want %d", maxID, commits)
+	}
+	for c := 0; c < lb.side*lb.side; c++ {
+		if v := s.ReadDirect(c); v > maxID {
+			return fmt.Errorf("labyrinth: cell %d claims path %d > max %d", c, v, maxID)
+		}
+	}
+	return nil
+}
+
+// ----------------------------------------------------------------- ssca2
+
+// SSCA2 models graph kernel construction: a transaction adds one edge by
+// bumping two vertex degrees — the shortest transactions in the suite,
+// giving the other large Ordo win of Figure 15.
+type SSCA2 struct{ nodes int }
+
+// NewSSCA2 sizes the vertex set.
+func NewSSCA2(nodes int) *SSCA2 { return &SSCA2{nodes: nodes} }
+
+func (sc *SSCA2) Name() string     { return "ssca2" }
+func (sc *SSCA2) Words() int       { return sc.nodes }
+func (sc *SSCA2) Setup(s *tl2.STM) {}
+
+func (sc *SSCA2) Txn(s *tl2.STM, rng *rand.Rand) error {
+	u := rng.Intn(sc.nodes)
+	v := rng.Intn(sc.nodes)
+	return s.Atomically(func(tx *tl2.Txn) error {
+		tx.Store(u, tx.Load(u)+1)
+		if v != u {
+			tx.Store(v, tx.Load(v)+1)
+		} else {
+			tx.Store(u, tx.Load(u)+1) // self-loop still adds degree 2
+		}
+		return nil
+	})
+}
+
+func (sc *SSCA2) Validate(s *tl2.STM, commits uint64) error {
+	var degree uint64
+	for n := 0; n < sc.nodes; n++ {
+		degree += s.ReadDirect(n)
+	}
+	if degree != 2*commits {
+		return fmt.Errorf("ssca2: total degree %d, want %d", degree, 2*commits)
+	}
+	return nil
+}
+
+// -------------------------------------------------------------- vacation
+
+// Vacation models the travel-reservation OLTP mix: a transaction reads a
+// customer, checks a resource's availability and reserves it. Transaction-
+// intensive with moderate footprints; the clock matters because commit
+// volume is high (Figure 15's Vacation panel).
+type Vacation struct{ resources int }
+
+// NewVacation sizes the resource tables (cars+rooms+flights interleaved).
+func NewVacation(resources int) *Vacation { return &Vacation{resources: resources} }
+
+const vacationCapacity = 1 << 30 // effectively unlimited seats
+
+// Layout: resource r occupies two words: [capacity, reserved]; customers
+// follow, one word each: [spent].
+func (vc *Vacation) Name() string { return "vacation" }
+func (vc *Vacation) Words() int   { return vc.resources*2 + vc.resources }
+func (vc *Vacation) Setup(s *tl2.STM) {
+	for r := 0; r < vc.resources; r++ {
+		s.WriteDirect(r*2, vacationCapacity)
+	}
+}
+
+func (vc *Vacation) Txn(s *tl2.STM, rng *rand.Rand) error {
+	r := rng.Intn(vc.resources)
+	cust := vc.resources*2 + rng.Intn(vc.resources)
+	return s.Atomically(func(tx *tl2.Txn) error {
+		capacity := tx.Load(r * 2)
+		reserved := tx.Load(r*2 + 1)
+		if reserved >= capacity {
+			return nil // sold out; read-only outcome
+		}
+		tx.Store(r*2+1, reserved+1)
+		tx.Store(cust, tx.Load(cust)+1)
+		return nil
+	})
+}
+
+func (vc *Vacation) Validate(s *tl2.STM, commits uint64) error {
+	var reserved, spent uint64
+	for r := 0; r < vc.resources; r++ {
+		reserved += s.ReadDirect(r*2 + 1)
+	}
+	for c := 0; c < vc.resources; c++ {
+		spent += s.ReadDirect(vc.resources*2 + c)
+	}
+	if reserved != spent {
+		return fmt.Errorf("vacation: %d reservations vs %d customer units", reserved, spent)
+	}
+	if reserved > commits {
+		return fmt.Errorf("vacation: %d reservations exceed %d commits", reserved, commits)
+	}
+	return nil
+}

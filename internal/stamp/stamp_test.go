@@ -1,0 +1,196 @@
+package stamp
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ordo/internal/core"
+	"ordo/internal/tl2"
+)
+
+func modes(t *testing.T) map[string]func(words int) *tl2.STM {
+	t.Helper()
+	o, _, err := core.CalibrateHardware(core.CalibrationOptions{Runs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]func(int) *tl2.STM{
+		"logical": func(w int) *tl2.STM { return tl2.New(tl2.Logical, nil, w) },
+		"ordo":    func(w int) *tl2.STM { return tl2.New(tl2.Ordo, o, w) },
+	}
+}
+
+func TestAllReturnsSix(t *testing.T) {
+	ws := All(1)
+	if len(ws) != 6 {
+		t.Fatalf("All(1) returned %d workloads, want 6", len(ws))
+	}
+	names := map[string]bool{}
+	for _, w := range ws {
+		names[w.Name()] = true
+		if w.Words() <= 0 {
+			t.Errorf("%s: Words() = %d", w.Name(), w.Words())
+		}
+	}
+	for _, want := range []string{"genome", "intruder", "kmeans", "labyrinth", "ssca2", "vacation"} {
+		if !names[want] {
+			t.Errorf("missing workload %q", want)
+		}
+	}
+}
+
+func TestWorkloadsSingleThreaded(t *testing.T) {
+	for mode, mk := range modes(t) {
+		for _, w := range All(1) {
+			w := w
+			t.Run(mode+"/"+w.Name(), func(t *testing.T) {
+				s := mk(w.Words())
+				w.Setup(s)
+				rng := rand.New(rand.NewSource(1))
+				for i := 0; i < 150; i++ {
+					if err := w.Txn(s, rng); err != nil {
+						t.Fatalf("txn %d: %v", i, err)
+					}
+				}
+				commits, _ := s.Stats()
+				if commits != 150 {
+					t.Fatalf("commits = %d, want 150", commits)
+				}
+				if err := w.Validate(s, commits); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestWorkloadsConcurrent(t *testing.T) {
+	for mode, mk := range modes(t) {
+		for _, w := range All(1) {
+			w := w
+			t.Run(mode+"/"+w.Name(), func(t *testing.T) {
+				s := mk(w.Words())
+				w.Setup(s)
+				const workers = 4
+				const per = 80
+				var wg sync.WaitGroup
+				errs := make(chan error, workers)
+				for g := 0; g < workers; g++ {
+					wg.Add(1)
+					go func(seed int64) {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(seed))
+						for i := 0; i < per; i++ {
+							if err := w.Txn(s, rng); err != nil {
+								errs <- err
+								return
+							}
+						}
+					}(int64(g + 1))
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					t.Fatal(err)
+				}
+				commits, _ := s.Stats()
+				if commits != workers*per {
+					t.Fatalf("commits = %d, want %d", commits, workers*per)
+				}
+				if err := w.Validate(s, commits); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	// Validate must actually detect broken invariants.
+	km := NewKmeans(4, 2)
+	s := tl2.New(tl2.Logical, nil, km.Words())
+	km.Setup(s)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10; i++ {
+		if err := km.Txn(s, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt a center count directly.
+	s.WriteDirect(2, s.ReadDirect(2)+5)
+	commits, _ := s.Stats()
+	if err := km.Validate(s, commits); err == nil {
+		t.Fatal("Validate accepted corrupted kmeans state")
+	}
+}
+
+func TestLabyrinthPathsStayInGrid(t *testing.T) {
+	lb := NewLabyrinth(8)
+	s := tl2.New(tl2.Logical, nil, lb.Words())
+	lb.Setup(s)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		if err := lb.Txn(s, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commits, _ := s.Stats()
+	if err := lb.Validate(s, commits); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVacationNeverOversells(t *testing.T) {
+	vc := NewVacation(4)
+	s := tl2.New(tl2.Logical, nil, vc.Words())
+	vc.Setup(s)
+	// Shrink capacity to force sell-outs.
+	for r := 0; r < 4; r++ {
+		s.WriteDirect(r*2, 3)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		if err := vc.Txn(s, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < 4; r++ {
+		if got := s.ReadDirect(r*2 + 1); got > 3 {
+			t.Fatalf("resource %d oversold: %d > 3", r, got)
+		}
+	}
+}
+
+func TestWorkloadsWithTimestampExtension(t *testing.T) {
+	// The §4.3 extension must preserve every workload invariant.
+	for _, w := range All(1) {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			s := tl2.New(tl2.Logical, nil, w.Words())
+			s.SetTimestampExtension(true)
+			w.Setup(s)
+			const workers = 4
+			const per = 60
+			var wg sync.WaitGroup
+			for g := 0; g < workers; g++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < per; i++ {
+						if err := w.Txn(s, rng); err != nil {
+							t.Errorf("txn: %v", err)
+							return
+						}
+					}
+				}(int64(g + 1))
+			}
+			wg.Wait()
+			commits, _ := s.Stats()
+			if err := w.Validate(s, commits); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,62 @@
+package tl2
+
+import (
+	"testing"
+
+	"ordo/internal/core"
+)
+
+func benchSTM(b *testing.B, mode Mode, words int) *STM {
+	b.Helper()
+	if mode == Logical {
+		return New(Logical, nil, words)
+	}
+	o, _, err := core.CalibrateHardware(core.CalibrationOptions{Runs: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return New(Ordo, o, words)
+}
+
+func benchRW(b *testing.B, mode Mode) {
+	s := benchSTM(b, mode, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Atomically(func(tx *Txn) error {
+			tx.Store(i&63, tx.Load(i&63)+1)
+			return nil
+		})
+	}
+}
+
+func benchReadOnly(b *testing.B, mode Mode) {
+	s := benchSTM(b, mode, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Atomically(func(tx *Txn) error {
+			_ = tx.Load(i & 63)
+			_ = tx.Load((i + 7) & 63)
+			return nil
+		})
+	}
+}
+
+func BenchmarkTxnRWLogical(b *testing.B)       { benchRW(b, Logical) }
+func BenchmarkTxnRWOrdo(b *testing.B)          { benchRW(b, Ordo) }
+func BenchmarkTxnReadOnlyLogical(b *testing.B) { benchReadOnly(b, Logical) }
+func BenchmarkTxnReadOnlyOrdo(b *testing.B)    { benchReadOnly(b, Ordo) }
+
+func BenchmarkTxnParallelCounterLogical(b *testing.B) {
+	s := benchSTM(b, Logical, 8)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			addr := i & 7 // spread contention
+			_ = s.Atomically(func(tx *Txn) error {
+				tx.Store(addr, tx.Load(addr)+1)
+				return nil
+			})
+		}
+	})
+}

@@ -1,0 +1,335 @@
+// Package tl2 implements the TL2 software transactional memory algorithm
+// (Dice, Shalev, Shavit — DISC'06): a word-based, commit-time-locking STM
+// whose validation hinges on a global version clock. As in the paper's
+// §4.3, the clock comes in two designs:
+//
+//   - Logical: the original contended fetch-and-add counter;
+//   - Ordo: invariant hardware timestamps via the Ordo primitive, with
+//     conservative aborts whenever two timestamps fall inside the
+//     ORDO_BOUNDARY (a stale read cannot be distinguished from a fresh one
+//     inside the uncertainty window, and proceeding could expose torn
+//     state to the transaction — "zombie" execution).
+//
+// Transactional memory is an array of words; every word has a versioned
+// ownership record (orec) holding either a writer lock or the timestamp of
+// the last commit that touched it.
+package tl2
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+
+	"ordo/internal/core"
+)
+
+// Mode selects the version-clock design.
+type Mode int
+
+const (
+	// Logical is the original TL2 global logical clock.
+	Logical Mode = iota
+	// Ordo replaces the clock with the Ordo primitive.
+	Ordo
+)
+
+// ordering abstracts the two clock designs.
+type ordering interface {
+	// begin returns the transaction's read version (rv).
+	begin() uint64
+	// commitTS returns the transaction's write version, strictly greater
+	// than rv from every core's point of view.
+	commitTS(rv uint64) uint64
+	// readValid reports that a word whose last-commit version is ver may
+	// be read by a transaction with read version rv.
+	readValid(ver, rv uint64) bool
+	// now returns a current timestamp without advancing any clock (used
+	// by the read-timestamp extension).
+	now() uint64
+}
+
+type logicalClock struct {
+	_     [8]uint64
+	clock atomic.Uint64
+	_     [8]uint64
+}
+
+func (l *logicalClock) begin() uint64                 { return l.clock.Load() }
+func (l *logicalClock) now() uint64                   { return l.clock.Load() }
+func (l *logicalClock) commitTS(uint64) uint64        { return l.clock.Add(1) }
+func (l *logicalClock) readValid(ver, rv uint64) bool { return ver <= rv }
+
+type ordoClock struct{ o *core.Ordo }
+
+func (c ordoClock) begin() uint64 { return uint64(c.o.GetTime()) }
+func (c ordoClock) now() uint64   { return uint64(c.o.GetTime()) }
+func (c ordoClock) commitTS(rv uint64) uint64 {
+	return uint64(c.o.NewTime(core.Time(rv)))
+}
+func (c ordoClock) readValid(ver, rv uint64) bool {
+	// Conservative: only a version certainly before our read timestamp is
+	// safe; an uncertain pair aborts (§4.3).
+	return c.o.CmpTime(core.Time(ver), core.Time(rv)) == core.Before
+}
+
+// Versioned-lock encoding: bit 0 = locked, bits 1..63 = version timestamp.
+const lockedBit = 1
+
+func pack(ver uint64) uint64 { return ver << 1 }
+func unpack(v uint64) uint64 { return v >> 1 }
+func isLocked(v uint64) bool { return v&lockedBit != 0 }
+
+// STM is a transactional memory instance over a fixed array of words.
+type STM struct {
+	mode  Mode
+	ord   ordering
+	words []uint64
+	orecs []atomic.Uint64 // one orec per word
+
+	// extendTimestamps enables the read-timestamp extension §4.3 mentions:
+	// when a load pre-validation fails only because the word's version is
+	// newer than the transaction's read timestamp, the transaction
+	// re-validates its read set at a fresh timestamp and continues instead
+	// of aborting. Off by default, matching the paper's choice ("it may
+	// not benefit us because of the very small ORDO_BOUNDARY").
+	extendTimestamps bool
+
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+	extends atomic.Uint64
+}
+
+// SetTimestampExtension toggles the read-timestamp extension. Must be
+// called before transactions start.
+func (s *STM) SetTimestampExtension(on bool) { s.extendTimestamps = on }
+
+// Extensions returns how many loads were rescued by timestamp extension.
+func (s *STM) Extensions() uint64 { return s.extends.Load() }
+
+// New creates an STM heap with the given number of words. For Ordo mode,
+// pass the calibrated primitive.
+func New(mode Mode, o *core.Ordo, words int) *STM {
+	s := &STM{mode: mode, words: make([]uint64, words), orecs: make([]atomic.Uint64, words)}
+	switch mode {
+	case Logical:
+		s.ord = &logicalClock{}
+	case Ordo:
+		if o == nil {
+			panic("tl2: Ordo mode requires a calibrated *core.Ordo")
+		}
+		s.ord = ordoClock{o}
+	default:
+		panic("tl2: unknown mode")
+	}
+	return s
+}
+
+// Mode returns the clock design.
+func (s *STM) Mode() Mode { return s.mode }
+
+// Len returns the heap size in words.
+func (s *STM) Len() int { return len(s.words) }
+
+// Stats returns cumulative commit and abort counts.
+func (s *STM) Stats() (commits, aborts uint64) {
+	return s.commits.Load(), s.aborts.Load()
+}
+
+// errRetry is the internal conflict signal; Atomically converts it into a
+// transparent retry.
+var errRetry = errors.New("tl2: conflict, retry")
+
+// ErrAborted is returned by Atomically when the body returns an error: the
+// transaction's writes are discarded and the body's error is wrapped.
+var ErrAborted = errors.New("tl2: aborted by transaction body")
+
+// Txn is a transaction attempt. It must only be used inside the Atomically
+// body that supplied it, on that goroutine.
+type Txn struct {
+	stm    *STM
+	rv     uint64
+	reads  []int
+	writes map[int]uint64
+	worder []int // write-set insertion order (lock acquisition order)
+}
+
+// Atomically runs fn transactionally until it commits. Conflicts retry
+// transparently; if fn returns a non-nil error the transaction aborts, its
+// writes are dropped, and the error is returned wrapped in ErrAborted.
+// fn must be pure apart from Txn operations, since it may run many times.
+func (s *STM) Atomically(fn func(tx *Txn) error) error {
+	tx := &Txn{stm: s, writes: make(map[int]uint64)}
+	for attempt := 0; ; attempt++ {
+		tx.rv = s.ord.begin()
+		tx.reads = tx.reads[:0]
+		clear(tx.writes)
+		tx.worder = tx.worder[:0]
+
+		err, conflicted := tx.run(fn)
+		if conflicted {
+			s.aborts.Add(1)
+			backoff(attempt)
+			continue
+		}
+		if err != nil {
+			s.aborts.Add(1)
+			return errors.Join(ErrAborted, err)
+		}
+		if tx.commit() {
+			s.commits.Add(1)
+			return nil
+		}
+		s.aborts.Add(1)
+		backoff(attempt)
+	}
+}
+
+// run executes the body, converting the internal retry panic into a
+// conflict result.
+func (tx *Txn) run(fn func(tx *Txn) error) (err error, conflicted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r == errRetry { //nolint:errorlint // sentinel identity
+				conflicted = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	return fn(tx), false
+}
+
+func backoff(attempt int) {
+	if attempt > 3 {
+		runtime.Gosched()
+	}
+}
+
+// abortRetry unwinds the transaction body for a conflict.
+func (tx *Txn) abortRetry() { panic(errRetry) }
+
+// Load transactionally reads word addr.
+func (tx *Txn) Load(addr int) uint64 {
+	if v, ok := tx.writes[addr]; ok {
+		return v
+	}
+	s := tx.stm
+	v1 := s.orecs[addr].Load()
+	if isLocked(v1) {
+		tx.abortRetry()
+	}
+	if !s.ord.readValid(unpack(v1), tx.rv) {
+		if !s.extendTimestamps || !tx.extend() {
+			tx.abortRetry()
+		}
+		// rv advanced past the word's version; re-check.
+		if !s.ord.readValid(unpack(v1), tx.rv) {
+			tx.abortRetry()
+		}
+	}
+	val := atomic.LoadUint64(&s.words[addr])
+	v2 := s.orecs[addr].Load()
+	if v1 != v2 {
+		tx.abortRetry()
+	}
+	tx.reads = append(tx.reads, addr)
+	return val
+}
+
+// extend tries to advance the transaction's read timestamp. Every prior
+// read must still validate at the OLD read timestamp — i.e. be unchanged
+// since the transaction began; validating against the fresh timestamp
+// would admit words overwritten after we read them. Only then does rv
+// advance. Reports whether the extension succeeded.
+func (tx *Txn) extend() bool {
+	s := tx.stm
+	fresh := s.ord.now()
+	if fresh <= tx.rv {
+		return false
+	}
+	for _, addr := range tx.reads {
+		v := s.orecs[addr].Load()
+		if isLocked(v) || !s.ord.readValid(unpack(v), tx.rv) {
+			return false
+		}
+	}
+	tx.rv = fresh
+	s.extends.Add(1)
+	return true
+}
+
+// Store transactionally writes word addr (buffered until commit).
+func (tx *Txn) Store(addr int, v uint64) {
+	if _, seen := tx.writes[addr]; !seen {
+		tx.worder = append(tx.worder, addr)
+	}
+	tx.writes[addr] = v
+}
+
+// commit performs TL2's lock → timestamp → validate → write-back sequence.
+// It reports whether the transaction committed.
+func (tx *Txn) commit() bool {
+	s := tx.stm
+	if len(tx.worder) == 0 {
+		return true // read-only transactions commit without validation
+	}
+	// 1. Lock the write set (try-lock; any failure aborts).
+	locked := 0
+	for _, addr := range tx.worder {
+		v := s.orecs[addr].Load()
+		if isLocked(v) || !s.orecs[addr].CompareAndSwap(v, v|lockedBit) {
+			tx.unlock(locked, 0)
+			return false
+		}
+		// A locked orec we own must still carry a version our read of it
+		// (if any) saw; read-set validation below covers that.
+		locked++
+	}
+	// 2. Obtain the write version.
+	wv := s.ord.commitTS(tx.rv)
+	// 3. Validate the read set: every read word must still be unlocked (or
+	// locked by us) at a version readable at rv.
+	for _, addr := range tx.reads {
+		v := s.orecs[addr].Load()
+		if isLocked(v) {
+			if _, ours := tx.writes[addr]; !ours {
+				tx.unlock(locked, 0)
+				return false
+			}
+			// Our own lock preserved the pre-lock version in the upper bits.
+		}
+		if !s.ord.readValid(unpack(v), tx.rv) {
+			tx.unlock(locked, 0)
+			return false
+		}
+	}
+	// 4. Write back and release, publishing wv.
+	for _, addr := range tx.worder {
+		atomic.StoreUint64(&s.words[addr], tx.writes[addr])
+	}
+	tx.unlock(locked, wv)
+	return true
+}
+
+// unlock releases the first n locked write-set orecs. If wv is nonzero the
+// release publishes it as the new version; otherwise the pre-lock version
+// is restored.
+func (tx *Txn) unlock(n int, wv uint64) {
+	s := tx.stm
+	for i := 0; i < n; i++ {
+		addr := tx.worder[i]
+		if wv != 0 {
+			s.orecs[addr].Store(pack(wv))
+		} else {
+			v := s.orecs[addr].Load()
+			s.orecs[addr].Store(v &^ lockedBit)
+		}
+	}
+}
+
+// ReadDirect reads a word non-transactionally (initialization/verification
+// only; callers must ensure quiescence).
+func (s *STM) ReadDirect(addr int) uint64 { return atomic.LoadUint64(&s.words[addr]) }
+
+// WriteDirect writes a word non-transactionally (initialization only).
+func (s *STM) WriteDirect(addr int, v uint64) { atomic.StoreUint64(&s.words[addr], v) }

@@ -1,0 +1,304 @@
+package tl2
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ordo/internal/core"
+)
+
+func stms(t *testing.T, words int) map[string]*STM {
+	t.Helper()
+	o, _, err := core.CalibrateHardware(core.CalibrationOptions{Runs: 5})
+	if err != nil {
+		t.Fatalf("calibrate: %v", err)
+	}
+	return map[string]*STM{
+		"logical": New(Logical, nil, words),
+		"ordo":    New(Ordo, o, words),
+	}
+}
+
+func TestNewOrdoRequiresPrimitive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(Ordo, nil, 1) did not panic")
+		}
+	}()
+	New(Ordo, nil, 1)
+}
+
+func TestSimpleReadWrite(t *testing.T) {
+	for name, s := range stms(t, 8) {
+		t.Run(name, func(t *testing.T) {
+			err := s.Atomically(func(tx *Txn) error {
+				tx.Store(3, 77)
+				if got := tx.Load(3); got != 77 {
+					t.Errorf("read-own-write = %d, want 77", got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := s.ReadDirect(3); got != 77 {
+				t.Fatalf("committed word = %d, want 77", got)
+			}
+			err = s.Atomically(func(tx *Txn) error {
+				if got := tx.Load(3); got != 77 {
+					t.Errorf("second txn read = %d, want 77", got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestBodyErrorAborts(t *testing.T) {
+	boom := errors.New("boom")
+	for name, s := range stms(t, 4) {
+		t.Run(name, func(t *testing.T) {
+			err := s.Atomically(func(tx *Txn) error {
+				tx.Store(0, 123)
+				return boom
+			})
+			if !errors.Is(err, ErrAborted) || !errors.Is(err, boom) {
+				t.Fatalf("err = %v, want ErrAborted wrapping boom", err)
+			}
+			if got := s.ReadDirect(0); got != 0 {
+				t.Fatalf("aborted write leaked: word = %d", got)
+			}
+		})
+	}
+}
+
+func TestUserPanicPropagates(t *testing.T) {
+	s := New(Logical, nil, 1)
+	defer func() {
+		if r := recover(); r != "user panic" {
+			t.Fatalf("recover = %v, want user panic", r)
+		}
+	}()
+	_ = s.Atomically(func(tx *Txn) error { panic("user panic") })
+}
+
+func TestConcurrentCounter(t *testing.T) {
+	for name, s := range stms(t, 1) {
+		t.Run(name, func(t *testing.T) {
+			const workers = 4
+			const iters = 250
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						_ = s.Atomically(func(tx *Txn) error {
+							tx.Store(0, tx.Load(0)+1)
+							return nil
+						})
+					}
+				}()
+			}
+			wg.Wait()
+			if got := s.ReadDirect(0); got != workers*iters {
+				t.Fatalf("counter = %d, want %d (lost updates)", got, workers*iters)
+			}
+			commits, _ := s.Stats()
+			if commits != workers*iters {
+				t.Fatalf("commits = %d, want %d", commits, workers*iters)
+			}
+		})
+	}
+}
+
+func TestBankTransferInvariant(t *testing.T) {
+	// Total balance across accounts must be invariant under concurrent
+	// transfers, and concurrent audits must always see the full total.
+	const accounts = 16
+	const total = accounts * 100
+	for name, s := range stms(t, accounts) {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < accounts; i++ {
+				s.WriteDirect(i, 100)
+			}
+			const workers = 3
+			const iters = 200
+			var wg sync.WaitGroup
+			var audits, badAudits int64
+			var mu sync.Mutex
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < iters; i++ {
+						from, to := rng.Intn(accounts), rng.Intn(accounts)
+						if from == to {
+							continue
+						}
+						_ = s.Atomically(func(tx *Txn) error {
+							b := tx.Load(from)
+							if b == 0 {
+								return nil
+							}
+							tx.Store(from, b-1)
+							tx.Store(to, tx.Load(to)+1)
+							return nil
+						})
+					}
+				}(int64(w))
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					var sum uint64
+					_ = s.Atomically(func(tx *Txn) error {
+						sum = 0
+						for a := 0; a < accounts; a++ {
+							sum += tx.Load(a)
+						}
+						return nil
+					})
+					mu.Lock()
+					audits++
+					if sum != total {
+						badAudits++
+					}
+					mu.Unlock()
+				}
+			}()
+			wg.Wait()
+			if badAudits != 0 {
+				t.Fatalf("%d/%d audits saw a torn total", badAudits, audits)
+			}
+			var sum uint64
+			for a := 0; a < accounts; a++ {
+				sum += s.ReadDirect(a)
+			}
+			if sum != total {
+				t.Fatalf("final total = %d, want %d", sum, total)
+			}
+		})
+	}
+}
+
+func TestWriteSkewPrevented(t *testing.T) {
+	// Classic write-skew: two txns each read both words and write one;
+	// serializability forbids both committing from the same snapshot in a
+	// way that violates x+y <= 1... TL2 read-set validation prevents the
+	// anomaly: run many racing pairs and check the invariant x+y <= 1
+	// under "write iff sum==0".
+	for name, s := range stms(t, 2) {
+		t.Run(name, func(t *testing.T) {
+			s.WriteDirect(0, 0)
+			s.WriteDirect(1, 0)
+			var wg sync.WaitGroup
+			for w := 0; w < 2; w++ {
+				wg.Add(1)
+				go func(me int) {
+					defer wg.Done()
+					for i := 0; i < 100; i++ {
+						_ = s.Atomically(func(tx *Txn) error {
+							if tx.Load(0)+tx.Load(1) == 0 {
+								tx.Store(me, 1)
+							}
+							return nil
+						})
+						// Reset cooperatively.
+						_ = s.Atomically(func(tx *Txn) error {
+							tx.Store(me, 0)
+							return nil
+						})
+					}
+				}(w)
+			}
+			wg.Wait()
+			// The invariant check happens inside: if write-skew occurred,
+			// both words could be 1 simultaneously; verify with a sampler
+			// that raced alongside in the loop above (cheap version: final
+			// state must be consistent).
+			if s.ReadDirect(0)+s.ReadDirect(1) > 1 {
+				t.Fatalf("write skew: both flags set")
+			}
+		})
+	}
+}
+
+func TestSingleThreadMatchesReference(t *testing.T) {
+	const words = 32
+	for name, s := range stms(t, words) {
+		t.Run(name, func(t *testing.T) {
+			ref := make([]uint64, words)
+			rng := rand.New(rand.NewSource(9))
+			for i := 0; i < 2000; i++ {
+				a, b := rng.Intn(words), rng.Intn(words)
+				v := rng.Uint64() % 1000
+				err := s.Atomically(func(tx *Txn) error {
+					x := tx.Load(a)
+					tx.Store(b, x+v)
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				x := ref[a] // Load happens before Store, even when a == b
+				ref[b] = x + v
+			}
+			for i := range ref {
+				if got := s.ReadDirect(i); got != ref[i] {
+					t.Fatalf("word %d = %d, want %d", i, got, ref[i])
+				}
+			}
+		})
+	}
+}
+
+func TestAbortsCountedUnderContention(t *testing.T) {
+	s := New(Logical, nil, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				_ = s.Atomically(func(tx *Txn) error {
+					tx.Store(0, tx.Load(0)+1)
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	commits, _ := s.Stats()
+	if commits != 1200 {
+		t.Fatalf("commits = %d, want 1200", commits)
+	}
+	// aborts may be zero on a single-CPU box; just ensure counters are sane.
+}
+
+func TestReadOnlyTxnNeverAbortsAlone(t *testing.T) {
+	for name, s := range stms(t, 4) {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < 100; i++ {
+				if err := s.Atomically(func(tx *Txn) error {
+					_ = tx.Load(1)
+					_ = tx.Load(2)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			_, aborts := s.Stats()
+			if aborts != 0 {
+				t.Fatalf("uncontended read-only txns aborted %d times", aborts)
+			}
+		})
+	}
+}

@@ -1,0 +1,262 @@
+package tl2
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"ordo/internal/core"
+)
+
+// White-box tests of the orec protocol and conflict paths that are hard
+// to hit reliably from the public API alone.
+
+func TestOrecEncoding(t *testing.T) {
+	if isLocked(pack(42)) {
+		t.Fatal("pack left the lock bit set")
+	}
+	if unpack(pack(42)) != 42 {
+		t.Fatalf("unpack(pack(42)) = %d", unpack(pack(42)))
+	}
+	if !isLocked(pack(42) | lockedBit) {
+		t.Fatal("lock bit not detected")
+	}
+	if unpack(pack(42)|lockedBit) != 42 {
+		t.Fatal("version lost under the lock bit")
+	}
+}
+
+func TestLoadAbortsOnLockedOrec(t *testing.T) {
+	s := New(Logical, nil, 4)
+	// A committed writer advanced the clock to 9 and now another
+	// transaction holds word 2's lock mid-commit.
+	for s.ord.(*logicalClock).clock.Load() < 9 {
+		s.ord.commitTS(0)
+	}
+	s.orecs[2].Store(pack(9) | lockedBit)
+	attempts := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = s.Atomically(func(tx *Txn) error {
+			attempts++
+			if attempts == 3 {
+				// The other transaction releases at version 9, which is
+				// readable because the clock has reached it.
+				s.orecs[2].Store(pack(9))
+			}
+			_ = tx.Load(2)
+			return nil
+		})
+	}()
+	<-done
+	if attempts < 3 {
+		t.Fatalf("transaction retried %d times, want >= 3 (locked orec must abort)", attempts)
+	}
+}
+
+func TestLoadAbortsOnTooNewVersion(t *testing.T) {
+	// A word versioned beyond the transaction's read timestamp must abort
+	// the load (TL2's pre-validation). With the logical clock, rv is the
+	// clock value at begin; bump a word's version above it afterwards.
+	s := New(Logical, nil, 4)
+	attempts := 0
+	err := s.Atomically(func(tx *Txn) error {
+		attempts++
+		if attempts == 1 {
+			// Fake a commit that happened after our begin.
+			s.orecs[1].Store(pack(tx.rv + 5))
+			_ = tx.Load(1) // must panic-retry internally
+			t.Error("Load returned despite a too-new version")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (one abort, one clean)", attempts)
+	}
+}
+
+func TestCommitAbortsWhenReadSetOverwritten(t *testing.T) {
+	s := New(Logical, nil, 4)
+	s.WriteDirect(0, 1)
+	attempts := 0
+	err := s.Atomically(func(tx *Txn) error {
+		attempts++
+		v := tx.Load(0)
+		if attempts == 1 {
+			// A concurrent commit overwrites word 0 between our read and
+			// our commit: bump its version like a committed writer would.
+			wv := s.ord.commitTS(tx.rv)
+			atomic.StoreUint64(&s.words[0], 99)
+			s.orecs[0].Store(pack(wv))
+		}
+		tx.Store(1, v)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (validation must catch the overwrite)", attempts)
+	}
+	if got := s.ReadDirect(1); got != 99 {
+		t.Fatalf("retry read stale data: word1 = %d, want 99", got)
+	}
+}
+
+func TestOrdoCommitTimestampBoundarySeparated(t *testing.T) {
+	var now atomic.Uint64
+	now.Store(1 << 30)
+	clock := core.ClockFunc(func() core.Time { return core.Time(now.Add(7)) })
+	o := core.New(clock, 500)
+	s := New(Ordo, o, 2)
+	err := s.Atomically(func(tx *Txn) error {
+		tx.Store(0, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The committed version must be certainly after the (already consumed)
+	// read timestamp: ver > rv + boundary.
+	ver := unpack(s.orecs[0].Load())
+	if ver <= uint64(1<<30)+500 {
+		t.Fatalf("commit version %d not boundary-separated from begin", ver)
+	}
+}
+
+func TestWriteSetLockedInDeterministicOrder(t *testing.T) {
+	// Stores to many words in scrambled order must still commit (the
+	// write-set lock pass sorts; with try-locks this is liveness, not
+	// correctness, but the insertion order must at least be preserved in
+	// worder bookkeeping).
+	s := New(Logical, nil, 64)
+	err := s.Atomically(func(tx *Txn) error {
+		for _, addr := range []int{42, 3, 17, 63, 0, 9} {
+			tx.Store(addr, uint64(addr))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range []int{42, 3, 17, 63, 0, 9} {
+		if got := s.ReadDirect(addr); got != uint64(addr) {
+			t.Fatalf("word %d = %d", addr, got)
+		}
+	}
+}
+
+func TestFailedCommitRestoresOrecs(t *testing.T) {
+	s := New(Logical, nil, 4)
+	s.WriteDirect(0, 5)
+	pre := s.orecs[0].Load()
+	attempts := 0
+	err := s.Atomically(func(tx *Txn) error {
+		attempts++
+		v := tx.Load(0)
+		if attempts == 1 {
+			wv := s.ord.commitTS(tx.rv)
+			s.orecs[0].Store(pack(wv)) // force validation failure
+		}
+		tx.Store(2, v)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = pre
+	// After everything settles, no orec may be left locked.
+	for i := range s.orecs {
+		if isLocked(s.orecs[i].Load()) {
+			t.Fatalf("orec %d left locked", i)
+		}
+	}
+}
+
+func TestTimestampExtensionRescuesLoads(t *testing.T) {
+	s := New(Logical, nil, 4)
+	s.SetTimestampExtension(true)
+	s.WriteDirect(0, 5)
+	attempts := 0
+	err := s.Atomically(func(tx *Txn) error {
+		attempts++
+		if attempts == 1 {
+			// A commit lands after our begin; without extension the load
+			// below would abort.
+			wv := s.ord.commitTS(0)
+			atomic.StoreUint64(&s.words[0], 77)
+			s.orecs[0].Store(pack(wv))
+		}
+		if got := tx.Load(0); got != 77 {
+			t.Errorf("extended load = %d, want 77", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (extension avoids the retry)", attempts)
+	}
+	if s.Extensions() != 1 {
+		t.Fatalf("Extensions() = %d, want 1", s.Extensions())
+	}
+}
+
+func TestTimestampExtensionFailsWhenPriorReadsStale(t *testing.T) {
+	s := New(Logical, nil, 4)
+	s.SetTimestampExtension(true)
+	s.WriteDirect(0, 1)
+	s.WriteDirect(1, 2)
+	attempts := 0
+	err := s.Atomically(func(tx *Txn) error {
+		attempts++
+		v0 := tx.Load(0)
+		if attempts == 1 {
+			// Both words move forward: word 0 (already read) is
+			// invalidated, so extending for word 1 must fail.
+			wv := s.ord.commitTS(0)
+			atomic.StoreUint64(&s.words[0], 10)
+			s.orecs[0].Store(pack(wv))
+			wv2 := s.ord.commitTS(0)
+			atomic.StoreUint64(&s.words[1], 20)
+			s.orecs[1].Store(pack(wv2))
+		}
+		v1 := tx.Load(1)
+		tx.Store(2, v0+v1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (stale prior read forces abort)", attempts)
+	}
+	if got := s.ReadDirect(2); got != 30 {
+		t.Fatalf("word2 = %d, want 30 (fresh values on retry)", got)
+	}
+}
+
+func TestExtensionOffByDefault(t *testing.T) {
+	s := New(Logical, nil, 2)
+	attempts := 0
+	_ = s.Atomically(func(tx *Txn) error {
+		attempts++
+		if attempts == 1 {
+			wv := s.ord.commitTS(0)
+			s.orecs[0].Store(pack(wv))
+			_ = tx.Load(0)
+			t.Error("load of a too-new version returned without extension enabled")
+		}
+		return nil
+	})
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+	if s.Extensions() != 0 {
+		t.Fatalf("Extensions() = %d, want 0", s.Extensions())
+	}
+}

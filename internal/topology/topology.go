@@ -1,0 +1,296 @@
+// Package topology describes multicore machine models: socket/core/SMT
+// layout, one-way cache-line transfer latencies, and per-core invariant
+// clock skews (the residue of RESET signals arriving at different times).
+//
+// The four models mirror the paper's evaluation machines (Table 1):
+//
+//	Intel Xeon     120 cores × 2 SMT, 8 sockets, 2.4 GHz — offsets  70–276 ns
+//	Intel Xeon Phi  64 cores × 4 SMT, 1 socket,  1.3 GHz — offsets  90–270 ns
+//	AMD             32 cores,         8 sockets, 2.8 GHz — offsets  93–203 ns
+//	ARM             96 cores,         2 sockets, 2.0 GHz — offsets 100–1100 ns
+//
+// Latencies and skews are calibrated so that running the Ordo boundary
+// algorithm against the simulated machine reproduces the paper's measured
+// offsets, including the asymmetric socket on Xeon and ARM (one socket's
+// clock lags by ~100 ns / ~500 ns, making offsets 4–8× higher in one
+// direction — §6.2, Figure 9).
+//
+// All simulated clocks tick in nanoseconds: one tick == 1 ns of virtual
+// time, so boundary values are directly comparable with Table 1.
+package topology
+
+import "fmt"
+
+// Machine is a multicore machine model. All latency fields are one-way
+// cache-line transfer costs in nanoseconds as observed by software (they
+// include the instruction overhead of the measuring loop, which is why the
+// smallest values match the paper's measured minima rather than raw
+// interconnect numbers).
+type Machine struct {
+	Name           string
+	Sockets        int
+	CoresPerSocket int
+	SMT            int     // hardware threads per core
+	GHz            float64 // core clock (Table 1)
+
+	// TimestampCostNS is the latency of one hardware timestamp read
+	// (RDTSC/cntvct) on an otherwise idle physical core (Figure 8a).
+	TimestampCostNS float64
+
+	// SMTTimestampPenalty scales timestamp cost when several hardware
+	// threads of one core issue timestamps concurrently: cost grows by
+	// this fraction per extra active sibling (Figure 8a's rise past the
+	// physical core count; ~3× at 4 siblings on Phi).
+	SMTTimestampPenalty float64
+
+	// AtomicBaseNS is the cost of an uncontended atomic RMW whose line is
+	// already owned locally.
+	AtomicBaseNS float64
+
+	// SMTSiblingNS is the one-way transfer between SMT siblings of the
+	// same physical core.
+	SMTSiblingNS float64
+
+	// IntraSocketNS is the minimum one-way transfer between two cores of
+	// the same socket; IntraSocketSpreadNS is added proportionally to the
+	// normalized core distance (ring/mesh position) within the socket.
+	IntraSocketNS       float64
+	IntraSocketSpreadNS float64
+
+	// CrossSocketNS is the one-way transfer between distinct sockets.
+	// (All the paper machines show essentially symmetric socket bandwidth,
+	// so a single scalar suffices; asymmetry in measured *offsets* comes
+	// from clock skew, not from the interconnect.)
+	CrossSocketNS float64
+
+	// SocketSkewNS is each socket's clock offset relative to socket 0
+	// (positive = that socket's counter reads ahead). This models sockets
+	// receiving RESET at different instants.
+	SocketSkewNS []float64
+
+	// CoreJitterNS bounds a deterministic per-core skew jitter within a
+	// socket (cores of one socket start within this many ns of each other).
+	CoreJitterNS float64
+
+	// MemoryNS is the cost of a cache-missing data access (used by
+	// workload kernels for object copies etc.).
+	MemoryNS float64
+
+	// ReadServiceNS is the occupancy at a dirty line's holder for
+	// servicing one remote read miss: misses to a hot, frequently written
+	// line serialize at its owner's cache, which is what saturates a
+	// global clock line even for its readers.
+	ReadServiceNS float64
+
+	// MemServiceNS is the occupancy per cache line at a socket's memory
+	// controller: cache-missing data accesses queue here, bounding each
+	// socket's memory bandwidth (64B / MemServiceNS per second). The Phi's
+	// MCDRAM gives it several times the per-socket bandwidth of the
+	// others, which §6.4 credits for its saturation-without-collapse.
+	MemServiceNS float64
+}
+
+// Threads returns the total number of hardware threads.
+func (m *Machine) Threads() int { return m.Sockets * m.CoresPerSocket * m.SMT }
+
+// PhysicalCores returns the number of physical cores.
+func (m *Machine) PhysicalCores() int { return m.Sockets * m.CoresPerSocket }
+
+// Core returns the physical core index of a hardware thread. Threads are
+// numbered Linux-style: thread t addresses physical core t mod PhysicalCores
+// (all first siblings, then all second siblings, …), and physical cores are
+// numbered socket-major, matching the paper's heatmap axes (e.g. ARM cores
+// 48–95 are the second socket).
+func (m *Machine) Core(thread int) int { return thread % m.PhysicalCores() }
+
+// Socket returns the socket index of a hardware thread.
+func (m *Machine) Socket(thread int) int { return m.Core(thread) / m.CoresPerSocket }
+
+// SMTIndex returns which hardware thread of its physical core this is.
+func (m *Machine) SMTIndex(thread int) int { return thread / m.PhysicalCores() }
+
+// OneWayLatencyNS returns the one-way cache-line transfer latency between
+// two hardware threads as seen by the measuring software.
+func (m *Machine) OneWayLatencyNS(from, to int) float64 {
+	cf, ct := m.Core(from), m.Core(to)
+	if cf == ct {
+		if from == to {
+			return 0
+		}
+		return m.SMTSiblingNS
+	}
+	sf, st := cf/m.CoresPerSocket, ct/m.CoresPerSocket
+	if sf == st {
+		// Position on the socket's ring/mesh: farther apart costs more.
+		dist := cf - ct
+		if dist < 0 {
+			dist = -dist
+		}
+		frac := float64(dist) / float64(m.CoresPerSocket)
+		return m.IntraSocketNS + m.IntraSocketSpreadNS*frac
+	}
+	return m.CrossSocketNS
+}
+
+// SkewNS returns the invariant-clock offset of a hardware thread's clock
+// relative to true time, in nanoseconds: socket skew plus a deterministic
+// per-core jitter. SMT siblings share their core's clock.
+func (m *Machine) SkewNS(thread int) float64 {
+	c := m.Core(thread)
+	s := c / m.CoresPerSocket
+	skew := m.SocketSkewNS[s]
+	if m.CoreJitterNS > 0 {
+		skew += m.CoreJitterNS * jitter01(c)
+	}
+	return skew
+}
+
+// jitter01 is a deterministic hash of the core id into [0, 1).
+func jitter01(core int) float64 {
+	x := uint64(core)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	return float64(x%1000) / 1000
+}
+
+// MaxSkewDiffNS returns the largest physical clock offset between any two
+// hardware threads — the quantity the Ordo boundary must upper-bound.
+func (m *Machine) MaxSkewDiffNS() float64 {
+	lo, hi := m.SkewNS(0), m.SkewNS(0)
+	for t := 1; t < m.Threads(); t++ {
+		s := m.SkewNS(t)
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	return hi - lo
+}
+
+func (m *Machine) String() string {
+	return fmt.Sprintf("%s (%d sockets × %d cores × %d SMT = %d threads, %.1f GHz)",
+		m.Name, m.Sockets, m.CoresPerSocket, m.SMT, m.Threads(), m.GHz)
+}
+
+// Xeon models the paper's 120-core, 8-socket, 2-way-SMT Intel Xeon.
+// The eighth socket's clock lags ~102 ns: offsets measured into it reach
+// 276 ns while the reverse direction reads ~72 ns (Figure 9a).
+func Xeon() *Machine {
+	return &Machine{
+		Name:                "Intel Xeon",
+		Sockets:             8,
+		CoresPerSocket:      15,
+		SMT:                 2,
+		GHz:                 2.4,
+		TimestampCostNS:     10.3,
+		SMTTimestampPenalty: 0.8,
+		AtomicBaseNS:        18,
+		SMTSiblingNS:        70,
+		IntraSocketNS:       78,
+		IntraSocketSpreadNS: 14,
+		CrossSocketNS:       174,
+		SocketSkewNS:        []float64{0, 4, -6, 8, -3, 6, 2, -102},
+		CoreJitterNS:        5,
+		MemoryNS:            90,
+		ReadServiceNS:       44,
+		MemServiceNS:        3.0,
+	}
+}
+
+// Phi models the 64-core, 4-way-SMT, single-socket Intel Xeon Phi: a slow
+// mesh where adjacent cores have the smallest offsets and most pairs fall
+// inside a 200 ns window (Figure 9b), with higher memory bandwidth and a
+// slower core clock than Xeon.
+func Phi() *Machine {
+	return &Machine{
+		Name:                "Intel Xeon Phi",
+		Sockets:             1,
+		CoresPerSocket:      64,
+		SMT:                 4,
+		GHz:                 1.3,
+		TimestampCostNS:     32,
+		SMTTimestampPenalty: 0.65,
+		AtomicBaseNS:        35,
+		SMTSiblingNS:        90,
+		IntraSocketNS:       92,
+		IntraSocketSpreadNS: 155,
+		CrossSocketNS:       0, // single socket
+		SocketSkewNS:        []float64{0},
+		CoreJitterNS:        22,
+		MemoryNS:            60,  // high-bandwidth MCDRAM
+		ReadServiceNS:       60,  // slow uncore
+		MemServiceNS:        0.7, // MCDRAM bandwidth
+	}
+}
+
+// AMD models the 32-core, 8-socket AMD machine (4 cores per socket).
+func AMD() *Machine {
+	return &Machine{
+		Name:                "AMD",
+		Sockets:             8,
+		CoresPerSocket:      4,
+		SMT:                 1,
+		GHz:                 2.8,
+		TimestampCostNS:     9.0,
+		SMTTimestampPenalty: 0,
+		AtomicBaseNS:        16,
+		SMTSiblingNS:        0,
+		IntraSocketNS:       93,
+		IntraSocketSpreadNS: 7,
+		CrossSocketNS:       155,
+		SocketSkewNS:        []float64{0, 3, -8, 6, -40, 5, -4, 8},
+		CoreJitterNS:        4,
+		MemoryNS:            95,
+		ReadServiceNS:       44,
+		MemServiceNS:        3.2,
+	}
+}
+
+// ARM models the 96-core, 2-socket ARM machine with its generic timer.
+// The second socket's clock runs ~500 ns ahead: cross-socket offsets are
+// 1100 ns in one direction but only 100 ns in the other (§6.2, Figure 9d).
+func ARM() *Machine {
+	return &Machine{
+		Name:                "ARM",
+		Sockets:             2,
+		CoresPerSocket:      48,
+		SMT:                 1,
+		GHz:                 2.0,
+		TimestampCostNS:     11.5,
+		SMTTimestampPenalty: 0,
+		AtomicBaseNS:        22,
+		SMTSiblingNS:        0,
+		IntraSocketNS:       100,
+		IntraSocketSpreadNS: 28,
+		CrossSocketNS:       600,
+		SocketSkewNS:        []float64{0, 500},
+		CoreJitterNS:        8,
+		MemoryNS:            110,
+		ReadServiceNS:       50,
+		MemServiceNS:        3.0,
+	}
+}
+
+// All returns the four paper machines in presentation order.
+func All() []*Machine {
+	return []*Machine{Xeon(), Phi(), AMD(), ARM()}
+}
+
+// ByName returns the machine model with the given name (case-sensitive
+// short names: "xeon", "phi", "amd", "arm").
+func ByName(name string) (*Machine, error) {
+	switch name {
+	case "xeon":
+		return Xeon(), nil
+	case "phi":
+		return Phi(), nil
+	case "amd":
+		return AMD(), nil
+	case "arm":
+		return ARM(), nil
+	}
+	return nil, fmt.Errorf("topology: unknown machine %q (want xeon|phi|amd|arm)", name)
+}

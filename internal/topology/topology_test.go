@@ -1,0 +1,145 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestThreadCounts(t *testing.T) {
+	tests := []struct {
+		m       *Machine
+		threads int
+		cores   int
+	}{
+		{Xeon(), 240, 120},
+		{Phi(), 256, 64},
+		{AMD(), 32, 32},
+		{ARM(), 96, 96},
+	}
+	for _, tc := range tests {
+		if got := tc.m.Threads(); got != tc.threads {
+			t.Errorf("%s: Threads() = %d, want %d", tc.m.Name, got, tc.threads)
+		}
+		if got := tc.m.PhysicalCores(); got != tc.cores {
+			t.Errorf("%s: PhysicalCores() = %d, want %d", tc.m.Name, got, tc.cores)
+		}
+	}
+}
+
+func TestSocketNumberingMatchesPaper(t *testing.T) {
+	// Paper §6.2: ARM's second socket is cores 48–95; Xeon's eighth socket
+	// is cores 105–119.
+	arm := ARM()
+	if arm.Socket(47) != 0 || arm.Socket(48) != 1 || arm.Socket(95) != 1 {
+		t.Errorf("ARM socket boundaries wrong: s(47)=%d s(48)=%d s(95)=%d",
+			arm.Socket(47), arm.Socket(48), arm.Socket(95))
+	}
+	xeon := Xeon()
+	if xeon.Socket(104) != 6 || xeon.Socket(105) != 7 || xeon.Socket(119) != 7 {
+		t.Errorf("Xeon socket boundaries wrong: s(104)=%d s(105)=%d s(119)=%d",
+			xeon.Socket(104), xeon.Socket(105), xeon.Socket(119))
+	}
+}
+
+func TestSMTSiblingsShareCoreAndClock(t *testing.T) {
+	xeon := Xeon()
+	// Thread 0 and thread 120 are siblings on physical core 0.
+	if xeon.Core(0) != xeon.Core(120) {
+		t.Fatalf("threads 0 and 120 not siblings: cores %d, %d", xeon.Core(0), xeon.Core(120))
+	}
+	if xeon.SMTIndex(0) != 0 || xeon.SMTIndex(120) != 1 {
+		t.Fatalf("SMT indexes wrong: %d, %d", xeon.SMTIndex(0), xeon.SMTIndex(120))
+	}
+	if xeon.SkewNS(0) != xeon.SkewNS(120) {
+		t.Fatalf("SMT siblings have different clock skews: %f vs %f",
+			xeon.SkewNS(0), xeon.SkewNS(120))
+	}
+	if got := xeon.OneWayLatencyNS(0, 120); got != xeon.SMTSiblingNS {
+		t.Fatalf("sibling latency = %f, want %f", got, xeon.SMTSiblingNS)
+	}
+}
+
+func TestLatencySymmetricAndPositive(t *testing.T) {
+	// The paper verified socket bandwidth is symmetric on both asymmetric-
+	// offset machines; asymmetry must come from skew only.
+	for _, m := range All() {
+		f := func(a, b uint16) bool {
+			i := int(a) % m.Threads()
+			j := int(b) % m.Threads()
+			lij := m.OneWayLatencyNS(i, j)
+			lji := m.OneWayLatencyNS(j, i)
+			if i == j {
+				return lij == 0
+			}
+			return lij == lji && lij > 0
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestCrossSocketCostsMoreThanIntra(t *testing.T) {
+	for _, m := range All() {
+		if m.Sockets == 1 {
+			continue
+		}
+		intra := m.OneWayLatencyNS(0, 1)
+		cross := m.OneWayLatencyNS(0, m.CoresPerSocket)
+		if cross <= intra {
+			t.Errorf("%s: cross-socket %f <= intra-socket %f", m.Name, cross, intra)
+		}
+	}
+}
+
+func TestSkewDeterministic(t *testing.T) {
+	a, b := Xeon(), Xeon()
+	for i := 0; i < a.Threads(); i++ {
+		if a.SkewNS(i) != b.SkewNS(i) {
+			t.Fatalf("skew not deterministic at thread %d", i)
+		}
+	}
+}
+
+func TestAsymmetricSockets(t *testing.T) {
+	// Xeon's last socket and ARM's second socket must lag/lead enough that
+	// measured offsets in one direction are several times the other
+	// (paper: 4–8×).
+	xeon := Xeon()
+	d := xeon.SocketSkewNS[7]
+	if d > -50 {
+		t.Errorf("Xeon socket 7 skew %f, want strongly negative", d)
+	}
+	arm := ARM()
+	if arm.SocketSkewNS[1] < 300 {
+		t.Errorf("ARM socket 1 skew %f, want >= 300", arm.SocketSkewNS[1])
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"xeon", "phi", "amd", "arm"} {
+		m, err := ByName(name)
+		if err != nil || m == nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("sparc"); err == nil {
+		t.Error("ByName(sparc) succeeded, want error")
+	}
+}
+
+func TestMaxSkewDiffPositive(t *testing.T) {
+	for _, m := range All() {
+		if m.MaxSkewDiffNS() <= 0 {
+			t.Errorf("%s: MaxSkewDiffNS() = %f, want > 0 (clocks are not synchronized)",
+				m.Name, m.MaxSkewDiffNS())
+		}
+	}
+}
+
+func TestStringContainsName(t *testing.T) {
+	m := Phi()
+	if s := m.String(); len(s) == 0 || s[:5] != "Intel" {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,91 @@
+// Package tsc provides access to the hardware timestamp counter.
+//
+// On amd64 it issues RDTSCP (or LFENCE;RDTSC when RDTSCP is unavailable),
+// which reads the processor's invariant time-stamp counter: a counter that
+// modern x86 parts guarantee increases at a constant rate regardless of
+// frequency scaling and sleep states. On other architectures it falls back
+// to the runtime's monotonic clock expressed in nanoseconds, which is also
+// invariant but carries vDSO overhead.
+//
+// The counter value is NOT guaranteed to be synchronized across cores or
+// sockets — that is the entire premise of the Ordo primitive built on top
+// of this package (see internal/core).
+package tsc
+
+import (
+	"sync"
+	"time"
+)
+
+// Read returns the current value of the invariant hardware counter.
+//
+// The read is ordered: earlier loads complete before the counter is read,
+// so a value written by another core and observed by this one was produced
+// before Read returns. Values from different cores may only be compared
+// using a calibrated uncertainty window (see internal/core).
+func Read() uint64 { return readCounter() }
+
+// Frequency returns the counter frequency in ticks per second, measured
+// once by comparing the counter against the OS monotonic clock over a
+// short interval. The result is cached.
+func Frequency() uint64 {
+	freqOnce.Do(measureFrequency)
+	return freq
+}
+
+// ToDuration converts a tick delta to a time.Duration using the measured
+// frequency.
+func ToDuration(ticks uint64) time.Duration {
+	f := Frequency()
+	if f == 0 {
+		return 0
+	}
+	// Split to avoid overflow for large tick counts.
+	sec := ticks / f
+	rem := ticks % f
+	return time.Duration(sec)*time.Second + time.Duration(rem*uint64(time.Second)/f)
+}
+
+// FromDuration converts a duration to counter ticks.
+func FromDuration(d time.Duration) uint64 {
+	if d <= 0 {
+		return 0
+	}
+	f := Frequency()
+	return uint64(d) * f / uint64(time.Second)
+}
+
+// Supported reports whether a true hardware cycle counter backs Read on
+// this platform (as opposed to the monotonic-clock fallback).
+func Supported() bool { return counterIsHardware }
+
+var (
+	freqOnce sync.Once
+	freq     uint64
+)
+
+func measureFrequency() {
+	// Two short windows; keep the one with the smaller wall-clock error.
+	best := uint64(0)
+	for i := 0; i < 3; i++ {
+		t0 := time.Now()
+		c0 := readCounter()
+		// Busy-spin a short, bounded window: sleeping would let the OS
+		// migrate or descale us on some systems.
+		for time.Since(t0) < 2*time.Millisecond {
+		}
+		c1 := readCounter()
+		el := time.Since(t0)
+		if el <= 0 || c1 <= c0 {
+			continue
+		}
+		f := uint64(float64(c1-c0) / el.Seconds())
+		if f > best {
+			best = f
+		}
+	}
+	if best == 0 {
+		best = uint64(time.Second) // fallback pretends 1 tick == 1ns
+	}
+	freq = best
+}

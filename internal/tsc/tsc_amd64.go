@@ -1,0 +1,24 @@
+//go:build amd64
+
+package tsc
+
+const counterIsHardware = true
+
+// rdtscp reads the time-stamp counter with RDTSCP, which waits for all
+// earlier instructions to execute before reading the counter.
+func rdtscp() uint64
+
+// rdtscFenced reads the counter with LFENCE;RDTSC for CPUs without RDTSCP.
+func rdtscFenced() uint64
+
+// hasRDTSCP reports CPUID.80000001H:EDX[27].
+func hasRDTSCP() bool
+
+var useRDTSCP = hasRDTSCP()
+
+func readCounter() uint64 {
+	if useRDTSCP {
+		return rdtscp()
+	}
+	return rdtscFenced()
+}

@@ -1,0 +1,36 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func rdtscp() uint64
+TEXT ·rdtscp(SB), NOSPLIT, $0-8
+	RDTSCP
+	SHLQ $32, DX
+	ORQ  DX, AX
+	MOVQ AX, ret+0(FP)
+	RET
+
+// func rdtscFenced() uint64
+TEXT ·rdtscFenced(SB), NOSPLIT, $0-8
+	LFENCE
+	RDTSC
+	SHLQ $32, DX
+	ORQ  DX, AX
+	MOVQ AX, ret+0(FP)
+	RET
+
+// func hasRDTSCP() bool
+TEXT ·hasRDTSCP(SB), NOSPLIT, $0-1
+	MOVL $0x80000000, AX
+	CPUID
+	CMPL AX, $0x80000001
+	JB   no
+	MOVL $0x80000001, AX
+	CPUID
+	BTL  $27, DX
+	JNC  no
+	MOVB $1, ret+0(FP)
+	RET
+no:
+	MOVB $0, ret+0(FP)
+	RET

@@ -1,0 +1,14 @@
+//go:build !amd64
+
+package tsc
+
+import "time"
+
+const counterIsHardware = false
+
+var base = time.Now()
+
+// readCounter falls back to the OS monotonic clock in nanoseconds. It is
+// invariant (constant rate, never steps backwards) but slower than a raw
+// cycle-counter read.
+func readCounter() uint64 { return uint64(time.Since(base)) }

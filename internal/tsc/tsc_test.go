@@ -1,0 +1,68 @@
+package tsc
+
+import (
+	"testing"
+	"time"
+)
+
+func TestReadMonotonicOnSingleThread(t *testing.T) {
+	prev := Read()
+	for i := 0; i < 100000; i++ {
+		cur := Read()
+		if cur < prev {
+			t.Fatalf("counter went backwards on one thread: %d -> %d", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestReadAdvances(t *testing.T) {
+	c0 := Read()
+	time.Sleep(time.Millisecond)
+	c1 := Read()
+	if c1 <= c0 {
+		t.Fatalf("counter did not advance across 1ms sleep: %d -> %d", c0, c1)
+	}
+}
+
+func TestFrequencyPlausible(t *testing.T) {
+	f := Frequency()
+	// Anything between 1 MHz and 10 GHz is plausible for a TSC or a
+	// nanosecond fallback clock.
+	if f < 1e6 || f > 1e10 {
+		t.Fatalf("implausible counter frequency: %d Hz", f)
+	}
+}
+
+func TestToFromDurationRoundTrip(t *testing.T) {
+	for _, d := range []time.Duration{0, time.Nanosecond, time.Microsecond, time.Millisecond, time.Second, 3 * time.Second} {
+		ticks := FromDuration(d)
+		back := ToDuration(ticks)
+		// Allow 1% relative error plus 2ns absolute from integer rounding.
+		diff := back - d
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > d/100+2 {
+			t.Errorf("round trip %v -> %d ticks -> %v (diff %v)", d, ticks, back, diff)
+		}
+	}
+}
+
+func TestToDurationMeasuresRealTime(t *testing.T) {
+	c0 := Read()
+	time.Sleep(20 * time.Millisecond)
+	c1 := Read()
+	el := ToDuration(c1 - c0)
+	if el < 10*time.Millisecond || el > 500*time.Millisecond {
+		t.Fatalf("20ms sleep measured as %v via counter", el)
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = Read()
+	}
+	_ = sink
+}

@@ -1,0 +1,30 @@
+package tsstack
+
+import (
+	"testing"
+
+	"ordo/internal/oplog"
+)
+
+func BenchmarkPushPop(b *testing.B) {
+	s := New[int](oplog.RawTSC{})
+	h := s.NewHandle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Push(i)
+		if _, ok := h.Pop(); !ok {
+			b.Fatal("empty after push")
+		}
+	}
+}
+
+func BenchmarkPushPopParallel(b *testing.B) {
+	s := New[int](oplog.RawTSC{})
+	b.RunParallel(func(pb *testing.PB) {
+		h := s.NewHandle()
+		for pb.Next() {
+			h.Push(1)
+			h.Pop()
+		}
+	})
+}

@@ -1,0 +1,182 @@
+// Package tsstack implements a timestamped stack in the style of Dodds,
+// Haas and Kirsch (POPL'15) — the physical-timestamping data structure
+// the paper cites as assuming synchronized hardware clocks (§2.1) and
+// names as an Ordo client (§2.1, §7).
+//
+// Each thread pushes into its own single-producer pool and stamps the
+// element with a timestamp taken AFTER insertion (the "delayed timestamp"
+// trick: an element is visible before its timestamp settles, so
+// concurrent pushes may be popped in either order). Pop scans the pools
+// and removes the element with the newest timestamp.
+//
+// LIFO correctness requires that timestamps of non-concurrent pushes
+// order correctly across threads, which raw unsynchronized TSCs do not
+// guarantee. The Ordo timestamper restores the guarantee: timestamps are
+// drawn with new_time, and two elements whose stamps fall within one
+// ORDO_BOUNDARY are treated as concurrent — popping either is
+// linearizable, exactly the paper's treatment of uncertainty in Oplog's
+// merge.
+package tsstack
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ordo/internal/core"
+	"ordo/internal/oplog"
+)
+
+// tsPending marks an element whose timestamp has not settled yet; it
+// compares as newer than everything (a concurrent push may be taken by
+// any pop).
+const tsPending = ^uint64(0)
+
+// node is one stack element inside a thread's pool.
+type node[T any] struct {
+	ts    atomic.Uint64
+	taken atomic.Bool
+	value T
+	next  *node[T] // older elements of the same pool
+}
+
+// pool is one thread's single-producer element list.
+type pool[T any] struct {
+	head atomic.Pointer[node[T]]
+}
+
+// Stack is a concurrent timestamped stack. Operations go through
+// per-goroutine handles (the push pool is single-producer).
+type Stack[T any] struct {
+	stamp oplog.Timestamper
+
+	mu    sync.Mutex
+	pools []*pool[T]
+	// poolsView is an immutable snapshot for lock-free pop scans.
+	poolsView atomic.Pointer[[]*pool[T]]
+}
+
+// New creates a stack whose elements are stamped by the given
+// timestamper (oplog.OrdoStamp for correctness on unsynchronized clocks;
+// oplog.RawTSC reproduces the original's assumption).
+func New[T any](stamp oplog.Timestamper) *Stack[T] {
+	if stamp == nil {
+		stamp = oplog.RawTSC{}
+	}
+	s := &Stack[T]{stamp: stamp}
+	empty := []*pool[T]{}
+	s.poolsView.Store(&empty)
+	return s
+}
+
+// Handle is one goroutine's access point.
+type Handle[T any] struct {
+	s      *Stack[T]
+	p      *pool[T]
+	lastTS uint64
+}
+
+// NewHandle registers a new per-goroutine pool.
+func (s *Stack[T]) NewHandle() *Handle[T] {
+	h := &Handle[T]{s: s, p: &pool[T]{}}
+	s.mu.Lock()
+	s.pools = append(s.pools, h.p)
+	snap := make([]*pool[T], len(s.pools))
+	copy(snap, s.pools)
+	s.poolsView.Store(&snap)
+	s.mu.Unlock()
+	return h
+}
+
+// Push adds v to the stack. The element becomes visible immediately with
+// a pending timestamp and is stamped afterwards — the delayed-timestamp
+// linearization of the original algorithm.
+func (h *Handle[T]) Push(v T) {
+	n := &node[T]{value: v}
+	n.ts.Store(tsPending)
+	for {
+		old := h.p.head.Load()
+		n.next = old
+		if h.p.head.CompareAndSwap(old, n) {
+			break
+		}
+	}
+	h.lastTS = h.s.stamp.Next(h.lastTS)
+	n.ts.Store(h.lastTS)
+}
+
+// Pop removes and returns the youngest element it can claim; ok reports
+// whether the stack had any element. Elements whose timestamps cannot be
+// ordered (pending, or within one boundary under an Ordo timestamper)
+// count as concurrent, and claiming any of them is linearizable.
+func (h *Handle[T]) Pop() (v T, ok bool) {
+	for {
+		pools := *h.s.poolsView.Load()
+		var best *node[T]
+		var bestTS uint64
+		empty := true
+		for _, p := range pools {
+			for n := p.head.Load(); n != nil; n = n.next {
+				if n.taken.Load() {
+					continue
+				}
+				empty = false
+				ts := n.ts.Load()
+				if ts == tsPending {
+					// A concurrent push: newest by definition.
+					best, bestTS = n, tsPending
+					break
+				}
+				if best == nil || ts > bestTS {
+					best, bestTS = n, ts
+				}
+				// Only the youngest un-taken element of a pool can be the
+				// pool's candidate (per-pool LIFO), so stop descending.
+				break
+			}
+			if bestTS == tsPending {
+				break
+			}
+		}
+		if empty {
+			return v, false
+		}
+		if best != nil && best.taken.CompareAndSwap(false, true) {
+			// Opportunistically trim taken prefixes so scans stay short.
+			for _, p := range pools {
+				trim(p)
+			}
+			return best.value, true
+		}
+		// Lost the race; rescan.
+	}
+}
+
+// trim unlinks taken nodes from the head of a pool. Only heads are
+// trimmed (interior nodes unlink when they become heads), which is enough
+// to keep scans amortized O(pools).
+func trim[T any](p *pool[T]) {
+	for {
+		head := p.head.Load()
+		if head == nil || !head.taken.Load() {
+			return
+		}
+		p.head.CompareAndSwap(head, head.next)
+	}
+}
+
+// Len counts un-taken elements (diagnostics; O(n)).
+func (s *Stack[T]) Len() int {
+	pools := *s.poolsView.Load()
+	total := 0
+	for _, p := range pools {
+		for n := p.head.Load(); n != nil; n = n.next {
+			if !n.taken.Load() {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// OrdoStamp is a convenience constructor for the Ordo timestamper.
+func OrdoStamp(o *core.Ordo) oplog.Timestamper { return oplog.OrdoStamp{O: o} }

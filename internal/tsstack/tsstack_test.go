@@ -1,0 +1,202 @@
+package tsstack
+
+import (
+	"sync"
+	"testing"
+
+	"ordo/internal/core"
+	"ordo/internal/oplog"
+)
+
+func stamps(t *testing.T) map[string]oplog.Timestamper {
+	t.Helper()
+	o, _, err := core.CalibrateHardware(core.CalibrationOptions{Runs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]oplog.Timestamper{
+		"raw":  oplog.RawTSC{},
+		"ordo": OrdoStamp(o),
+	}
+}
+
+func TestSequentialLIFO(t *testing.T) {
+	for name, st := range stamps(t) {
+		t.Run(name, func(t *testing.T) {
+			s := New[int](st)
+			h := s.NewHandle()
+			for i := 1; i <= 50; i++ {
+				h.Push(i)
+			}
+			for want := 50; want >= 1; want-- {
+				got, ok := h.Pop()
+				if !ok {
+					t.Fatalf("Pop() empty at %d", want)
+				}
+				if got != want {
+					t.Fatalf("Pop() = %d, want %d (LIFO)", got, want)
+				}
+			}
+			if _, ok := h.Pop(); ok {
+				t.Fatal("Pop() on empty stack returned ok")
+			}
+		})
+	}
+}
+
+func TestPopEmpty(t *testing.T) {
+	s := New[string](nil)
+	h := s.NewHandle()
+	if v, ok := h.Pop(); ok || v != "" {
+		t.Fatalf("Pop() on fresh stack = %q, %v", v, ok)
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	s := New[int](oplog.RawTSC{})
+	h := s.NewHandle()
+	h.Push(1)
+	h.Push(2)
+	if v, _ := h.Pop(); v != 2 {
+		t.Fatalf("got %d, want 2", v)
+	}
+	h.Push(3)
+	if v, _ := h.Pop(); v != 3 {
+		t.Fatalf("got %d, want 3", v)
+	}
+	if v, _ := h.Pop(); v != 1 {
+		t.Fatalf("got %d, want 1", v)
+	}
+}
+
+func TestCrossHandleNewestWins(t *testing.T) {
+	for name, st := range stamps(t) {
+		t.Run(name, func(t *testing.T) {
+			s := New[int](st)
+			h1, h2 := s.NewHandle(), s.NewHandle()
+			h1.Push(1) // oldest
+			h2.Push(2)
+			h1.Push(3) // newest
+			if v, _ := h2.Pop(); v != 3 {
+				t.Fatalf("pop = %d, want 3 (globally newest)", v)
+			}
+			if v, _ := h2.Pop(); v != 2 {
+				t.Fatalf("pop = %d, want 2", v)
+			}
+			if v, _ := h1.Pop(); v != 1 {
+				t.Fatalf("pop = %d, want 1", v)
+			}
+		})
+	}
+}
+
+func TestConcurrentNoLossNoDup(t *testing.T) {
+	for name, st := range stamps(t) {
+		t.Run(name, func(t *testing.T) {
+			s := New[int](st)
+			const producers = 3
+			const consumers = 3
+			const perProducer = 400
+			total := producers * perProducer
+
+			var wg sync.WaitGroup
+			seen := make(chan int, total)
+			for p := 0; p < producers; p++ {
+				h := s.NewHandle()
+				wg.Add(1)
+				go func(base int) {
+					defer wg.Done()
+					for i := 0; i < perProducer; i++ {
+						h.Push(base + i)
+					}
+				}(p * 10000)
+			}
+			var popped sync.WaitGroup
+			var remaining = make(chan struct{})
+			for c := 0; c < consumers; c++ {
+				h := s.NewHandle()
+				popped.Add(1)
+				go func() {
+					defer popped.Done()
+					for {
+						select {
+						case <-remaining:
+							return
+						default:
+						}
+						if v, ok := h.Pop(); ok {
+							seen <- v
+						}
+					}
+				}()
+			}
+			wg.Wait() // all pushes done
+			// Drain what's left single-threaded after stopping consumers.
+			close(remaining)
+			popped.Wait()
+			h := s.NewHandle()
+			for {
+				v, ok := h.Pop()
+				if !ok {
+					break
+				}
+				seen <- v
+			}
+			close(seen)
+
+			got := map[int]int{}
+			for v := range seen {
+				got[v]++
+			}
+			if len(got) != total {
+				t.Fatalf("popped %d distinct values, want %d", len(got), total)
+			}
+			for v, n := range got {
+				if n != 1 {
+					t.Fatalf("value %d popped %d times", v, n)
+				}
+			}
+			if s.Len() != 0 {
+				t.Fatalf("Len() = %d after full drain", s.Len())
+			}
+		})
+	}
+}
+
+func TestPerHandleOrderRespected(t *testing.T) {
+	// Pops must never return an OLDER element of a pool while a NEWER
+	// un-taken one exists (per-pool LIFO): push k values on one handle,
+	// pop them from another, and require strictly descending values.
+	s := New[int](oplog.RawTSC{})
+	producer := s.NewHandle()
+	for i := 1; i <= 100; i++ {
+		producer.Push(i)
+	}
+	consumer := s.NewHandle()
+	prev := 101
+	for i := 0; i < 100; i++ {
+		v, ok := consumer.Pop()
+		if !ok {
+			t.Fatal("ran dry early")
+		}
+		if v >= prev {
+			t.Fatalf("pop order violated per-pool LIFO: %d after %d", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestLenCounts(t *testing.T) {
+	s := New[int](nil)
+	h := s.NewHandle()
+	for i := 0; i < 5; i++ {
+		h.Push(i)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len() = %d, want 5", s.Len())
+	}
+	h.Pop()
+	if s.Len() != 4 {
+		t.Fatalf("Len() = %d, want 4", s.Len())
+	}
+}

@@ -1,0 +1,42 @@
+package wal
+
+import (
+	"testing"
+
+	"ordo/internal/oplog"
+)
+
+func BenchmarkAppend(b *testing.B) {
+	l := New(&MemDevice{}, oplog.RawTSC{})
+	h := l.NewHandle()
+	payload := []byte("0123456789abcdef")
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Append(payload)
+		if i%4096 == 4095 {
+			b.StopTimer()
+			if _, err := l.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkFlush4k(b *testing.B) {
+	l := New(&MemDevice{}, oplog.RawTSC{})
+	h := l.NewHandle()
+	payload := []byte("x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := 0; j < 4096; j++ {
+			h.Append(payload)
+		}
+		b.StartTimer()
+		if _, err := l.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"ordo/internal/core"
+	"ordo/internal/oplog"
+)
+
+func stamps(t *testing.T) map[string]oplog.Timestamper {
+	t.Helper()
+	o, _, err := core.CalibrateHardware(core.CalibrationOptions{Runs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]oplog.Timestamper{
+		"raw":  oplog.RawTSC{},
+		"ordo": oplog.OrdoStamp{O: o},
+	}
+}
+
+func TestAppendFlushRecover(t *testing.T) {
+	for name, st := range stamps(t) {
+		t.Run(name, func(t *testing.T) {
+			dev := &MemDevice{}
+			l := New(dev, st)
+			h := l.NewHandle()
+			for i := 0; i < 20; i++ {
+				h.Append([]byte{byte(i)})
+			}
+			hz, err := l.Flush()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hz == 0 {
+				t.Fatal("horizon still zero after flush")
+			}
+			recs := dev.Records()
+			if len(recs) != 20 {
+				t.Fatalf("device holds %d records, want 20", len(recs))
+			}
+			if err := Verify(recs); err != nil {
+				t.Fatal(err)
+			}
+			// Single-handle appends must recover in append order.
+			for i, r := range recs {
+				if r.Data[0] != byte(i) {
+					t.Fatalf("record %d carries payload %d", i, r.Data[0])
+				}
+			}
+		})
+	}
+}
+
+func TestLSNsDenseAcrossFlushes(t *testing.T) {
+	dev := &MemDevice{}
+	l := New(dev, oplog.RawTSC{})
+	h := l.NewHandle()
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 7; i++ {
+			h.Append([]byte("x"))
+		}
+		if _, err := l.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := dev.Records()
+	if len(recs) != 35 {
+		t.Fatalf("%d records, want 35", len(recs))
+	}
+	if err := Verify(recs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyFlushKeepsHorizon(t *testing.T) {
+	l := New(&MemDevice{}, oplog.RawTSC{})
+	h := l.NewHandle()
+	h.Append([]byte("a"))
+	hz1, err := l.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz2, err := l.Flush() // nothing pending
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hz2 != hz1 {
+		t.Fatalf("empty flush moved horizon %d -> %d", hz1, hz2)
+	}
+	if l.Horizon() != hz1 {
+		t.Fatalf("Horizon() = %d, want %d", l.Horizon(), hz1)
+	}
+}
+
+func TestGroupCommitContract(t *testing.T) {
+	// Every append that returned before Flush must be on the device
+	// afterwards, across concurrent appenders.
+	for name, st := range stamps(t) {
+		t.Run(name, func(t *testing.T) {
+			dev := &MemDevice{}
+			l := New(dev, st)
+			const workers = 4
+			const per = 200
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				h := l.NewHandle()
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						h.Append([]byte(fmt.Sprintf("%d/%d", id, i)))
+					}
+				}(w)
+			}
+			wg.Wait()
+			if _, err := l.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			recs := dev.Records()
+			if len(recs) != workers*per {
+				t.Fatalf("device holds %d, want %d", len(recs), workers*per)
+			}
+			if err := Verify(recs); err != nil {
+				t.Fatal(err)
+			}
+			// Per-handle order must be preserved in the merged stream.
+			lastSeq := map[int]uint64{}
+			for _, r := range recs {
+				if last, ok := lastSeq[r.H]; ok && r.Seq <= last {
+					t.Fatalf("handle %d seq went %d -> %d in merge", r.H, last, r.Seq)
+				}
+				lastSeq[r.H] = r.Seq
+			}
+		})
+	}
+}
+
+func TestConcurrentAppendAndFlush(t *testing.T) {
+	dev := &MemDevice{}
+	l := New(dev, oplog.RawTSC{})
+	const per = 500
+	h := l.NewHandle()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < per; i++ {
+			h.Append([]byte{1})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if _, err := l.Flush(); err != nil {
+				t.Errorf("flush: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if _, err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs := dev.Records()
+	if len(recs) != per {
+		t.Fatalf("device holds %d, want %d", len(recs), per)
+	}
+	if err := Verify(recs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviceFailureLosesNothing(t *testing.T) {
+	inner := &MemDevice{}
+	dev := &FailingDevice{Inner: inner, OK: 1}
+	l := New(dev, oplog.RawTSC{})
+	h := l.NewHandle()
+	h.Append([]byte("a"))
+	if _, err := l.Flush(); err != nil {
+		t.Fatalf("first flush should succeed: %v", err)
+	}
+	h.Append([]byte("b"))
+	if _, err := l.Flush(); !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("second flush err = %v, want ErrDeviceFailed", err)
+	}
+	if h.Pending() != 1 {
+		t.Fatalf("failed flush dropped records: pending = %d, want 1", h.Pending())
+	}
+	// Device recovers: everything lands with dense LSNs.
+	dev.OK = 1000
+	if _, err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs := inner.Records()
+	if len(recs) != 2 {
+		t.Fatalf("device holds %d, want 2", len(recs))
+	}
+	if err := Verify(recs); err != nil {
+		t.Fatal(err)
+	}
+	if string(recs[0].Data) != "a" || string(recs[1].Data) != "b" {
+		t.Fatalf("recovered order wrong: %q, %q", recs[0].Data, recs[1].Data)
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	good := []Record{{LSN: 1, TS: 10}, {LSN: 2, TS: 20}}
+	if err := Verify(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify([]Record{{LSN: 2, TS: 10}}); err == nil {
+		t.Error("Verify accepted a hole at LSN 1")
+	}
+	if err := Verify([]Record{{LSN: 1, TS: 20}, {LSN: 2, TS: 10}}); err == nil {
+		t.Error("Verify accepted decreasing timestamps")
+	}
+	if err := Verify([]Record{{LSN: 1, TS: 10, H: 2}, {LSN: 2, TS: 10, H: 1}}); err == nil {
+		t.Error("Verify accepted broken tie order")
+	}
+}

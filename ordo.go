@@ -1,0 +1,87 @@
+// Package ordo is the public API of the Ordo scalable ordering primitive
+// (Kashyap, Min, Kim, Kim — "A Scalable Ordering Primitive for Multicore
+// Machines", EuroSys 2018).
+//
+// Ordo gives concurrent algorithms a drop-in replacement for a contended
+// global logical clock: per-core invariant hardware timestamps plus a
+// calibrated machine-wide uncertainty window (the ORDO_BOUNDARY) within
+// which two timestamps cannot be ordered. Three methods suffice for every
+// algorithm the paper re-designs:
+//
+//	o, _, err := ordo.Calibrate(ordo.CalibrationOptions{})
+//	t0 := o.GetTime()            // local invariant clock, ordered read
+//	t1 := o.NewTime(t0)          // certainly greater than t0, machine-wide
+//	switch o.CmpTime(a, b) {     // After / Before / Uncertain
+//	case ordo.After:  ...
+//	case ordo.Before: ...
+//	case ordo.Uncertain: // within one boundary: defer, retry, or abort
+//	}
+//
+// The repository also contains full Ordo-based re-designs of RLU, TL2,
+// OCC/Hekaton database concurrency control and Oplog under internal/, with
+// runnable examples under examples/ and the paper's evaluation harness
+// under cmd/ordo-bench.
+package ordo
+
+import "ordo/internal/core"
+
+// Time is an invariant-clock timestamp in ticks. See core.Time.
+type Time = core.Time
+
+// Clock is a source of invariant timestamps. See core.Clock.
+type Clock = core.Clock
+
+// ClockFunc adapts a function to the Clock interface.
+type ClockFunc = core.ClockFunc
+
+// Ordo is the calibrated primitive exposing GetTime, CmpTime and NewTime.
+type Ordo = core.Ordo
+
+// Boundary is the result of a calibration pass.
+type Boundary = core.Boundary
+
+// CalibrationOptions tunes Calibrate / ComputeBoundary.
+type CalibrationOptions = core.CalibrationOptions
+
+// PairSampler measures one-way-delay clock offsets between CPU pairs.
+type PairSampler = core.PairSampler
+
+// HardwareSampler samples the host machine's clocks with pinned threads.
+type HardwareSampler = core.HardwareSampler
+
+// CmpTime results.
+const (
+	Before    = core.Before
+	Uncertain = core.Uncertain
+	After     = core.After
+)
+
+// Hardware is the invariant hardware clock of the host (RDTSCP on amd64).
+var Hardware = core.Hardware
+
+// New builds an Ordo primitive from a clock and a known boundary, for
+// callers that calibrate out of band (e.g. a hypervisor-provided bound).
+func New(clock Clock, boundary Time) *Ordo { return core.New(clock, boundary) }
+
+// Calibrate measures the host machine's ORDO_BOUNDARY by running the
+// one-way-delay protocol across every CPU pair (subject to opts) and
+// returns a ready-to-use primitive over the hardware clock.
+func Calibrate(opts CalibrationOptions) (*Ordo, Boundary, error) {
+	return core.CalibrateHardware(opts)
+}
+
+// ComputeBoundary runs the boundary algorithm over any PairSampler —
+// hardware, simulated, or recorded.
+func ComputeBoundary(s PairSampler, opts CalibrationOptions) (Boundary, error) {
+	return core.ComputeBoundary(s, opts)
+}
+
+// PairTable is the per-CPU-pair boundary extension (§7 of the paper):
+// smaller uncertainty windows between close cores, at the cost of O(n²)
+// memory and a thread-pinning requirement. See core.PairTable.
+type PairTable = core.PairTable
+
+// ComputePairTable measures every pair and retains per-pair windows.
+func ComputePairTable(s PairSampler, opts CalibrationOptions) (*PairTable, error) {
+	return core.ComputePairTable(s, opts)
+}

@@ -1,0 +1,80 @@
+package ordo_test
+
+import (
+	"testing"
+
+	"ordo"
+)
+
+// The root package is a façade over internal/core; these tests pin the
+// exported surface a downstream user programs against.
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	o, b, err := ordo.Calibrate(ordo.CalibrationOptions{Runs: 10})
+	if err != nil {
+		t.Fatalf("Calibrate: %v", err)
+	}
+	if b.CPUs < 1 {
+		t.Fatalf("calibrated over %d CPUs", b.CPUs)
+	}
+	t0 := o.GetTime()
+	t1 := o.NewTime(t0)
+	if o.CmpTime(t1, t0) != ordo.After {
+		t.Fatalf("NewTime result not After: %d vs %d", t1, t0)
+	}
+	if o.CmpTime(t0, t1) != ordo.Before {
+		t.Fatal("CmpTime not antisymmetric")
+	}
+}
+
+func TestPublicNewWithExplicitBoundary(t *testing.T) {
+	// A system that calibrates out of band (hypervisor-provided bound,
+	// §7) constructs the primitive directly.
+	var now ordo.Time
+	clock := ordo.ClockFunc(func() ordo.Time { now += 10; return now })
+	o := ordo.New(clock, 100)
+	if o.Boundary() != 100 {
+		t.Fatalf("Boundary() = %d", o.Boundary())
+	}
+	if got := o.CmpTime(50, 200); got != ordo.Before {
+		t.Fatalf("CmpTime(50,200) = %d", got)
+	}
+	if got := o.CmpTime(150, 200); got != ordo.Uncertain {
+		t.Fatalf("CmpTime(150,200) = %d, want Uncertain", got)
+	}
+}
+
+func TestPublicComputeBoundaryWithCustomSampler(t *testing.T) {
+	s := pairSampler{n: 3, offset: 40}
+	b, err := ordo.ComputeBoundary(s, ordo.CalibrationOptions{Runs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Global != 40 {
+		t.Fatalf("Global = %d, want 40", b.Global)
+	}
+}
+
+type pairSampler struct {
+	n      int
+	offset int64
+}
+
+func (p pairSampler) NumCPUs() int { return p.n }
+func (p pairSampler) MeasureOffset(w, r, runs int) (int64, error) {
+	return p.offset, nil
+}
+
+func TestHardwareClockExported(t *testing.T) {
+	a := ordo.Hardware.Now()
+	b := ordo.Hardware.Now()
+	if b < a {
+		t.Fatalf("hardware clock went backwards: %d -> %d", a, b)
+	}
+}
+
+func TestConstantsMatch(t *testing.T) {
+	if ordo.Before != -1 || ordo.Uncertain != 0 || ordo.After != 1 {
+		t.Fatal("comparison constants changed")
+	}
+}
