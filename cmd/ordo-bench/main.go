@@ -10,9 +10,13 @@
 //	ordo-bench -exp table1,fig1 # several
 //	ordo-bench -quick           # fewer sweep points (CI-friendly)
 //	ordo-bench -list            # list experiment ids
+//	ordo-bench -monitor -health-json health.json
+//	                            # run with background clock-health
+//	                            # monitoring; dump the snapshot as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,13 +24,21 @@ import (
 	"time"
 
 	"ordo/internal/bench"
+	"ordo/internal/core"
+	"ordo/internal/health"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		quick = flag.Bool("quick", false, "fewer sweep points and shorter runs")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp     = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		quick   = flag.Bool("quick", false, "fewer sweep points and shorter runs")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		monitor = flag.Bool("monitor", false,
+			"calibrate the host and run a background clock-health monitor for the duration")
+		monInterval = flag.Duration("monitor-interval", 2*time.Second,
+			"recalibration cadence for -monitor")
+		healthJSON = flag.String("health-json", "",
+			"write the final clock-health snapshot as JSON to this file ('-' for stdout); implies -monitor")
 	)
 	flag.Parse()
 
@@ -57,10 +69,87 @@ func main() {
 		}
 	}
 
+	var finishHealth func()
+	if *monitor || *healthJSON != "" {
+		var err error
+		finishHealth, err = startHealth(*monInterval, *healthJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "health monitor: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	for _, e := range selected {
 		start := time.Now()
 		fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
 		e.Run(os.Stdout, quality)
 		fmt.Printf("---- %s done in %v ----\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if finishHealth != nil {
+		finishHealth()
+	}
+}
+
+// startHealth calibrates the host, starts a background health monitor plus
+// a probe goroutine that keeps the hot-path counters live, and returns a
+// function that stops both and emits the final snapshot.
+func startHealth(interval time.Duration, jsonPath string) (func(), error) {
+	o, b, err := core.CalibrateHardware(core.CalibrationOptions{Runs: 200})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("host ORDO_BOUNDARY: %d ticks over %d CPUs; monitoring every %v\n\n",
+		b.Global, b.CPUs, interval)
+
+	stats := health.NewStats()
+	m := health.NewMonitor(o, health.Options{
+		Interval:    interval,
+		Calibration: core.CalibrationOptions{Runs: 200},
+		Stats:       stats,
+	})
+	m.Start()
+
+	// The benchmarks run against simulated machine models, so exercise the
+	// host primitive from a probe loop to populate hot-path counters.
+	ins := health.Instrument(o, stats)
+	probeStop := make(chan struct{})
+	probeDone := make(chan struct{})
+	go func() {
+		defer close(probeDone)
+		for {
+			select {
+			case <-probeStop:
+				return
+			default:
+				ins.Probe()
+			}
+		}
+	}()
+
+	return func() {
+		close(probeStop)
+		<-probeDone
+		m.Stop()
+		emitSnapshot(m.Snapshot(), jsonPath)
+	}, nil
+}
+
+func emitSnapshot(snap health.Snapshot, jsonPath string) {
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "health snapshot: %v\n", err)
+		return
+	}
+	buf = append(buf, '\n')
+	switch jsonPath {
+	case "", "-":
+		fmt.Printf("==== clock health ====\n%s", buf)
+	default:
+		if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "health snapshot: %v\n", err)
+			return
+		}
+		fmt.Printf("clock-health snapshot written to %s\n", jsonPath)
 	}
 }

@@ -9,9 +9,12 @@
 //	ordo-calibrate -runs 200       # fewer protocol iterations
 //	ordo-calibrate -stride 4       # sample every 4th CPU
 //	ordo-calibrate -matrix         # print the pairwise offset matrix
+//	ordo-calibrate -monitor-passes 5 -health-json -
+//	                               # keep recalibrating and report health
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,14 +23,19 @@ import (
 
 	"ordo/internal/affinity"
 	"ordo/internal/core"
+	"ordo/internal/health"
 	"ordo/internal/tsc"
 )
 
 func main() {
 	var (
-		runs   = flag.Int("runs", 1000, "protocol iterations per direction per pair")
-		stride = flag.Int("stride", 1, "sample every Nth CPU")
-		matrix = flag.Bool("matrix", false, "print the full pairwise offset matrix (ns)")
+		runs     = flag.Int("runs", 1000, "protocol iterations per direction per pair")
+		stride   = flag.Int("stride", 1, "sample every Nth CPU")
+		matrix   = flag.Bool("matrix", false, "print the full pairwise offset matrix (ns)")
+		monPass  = flag.Int("monitor-passes", 0, "extra recalibration passes after the initial one")
+		monEvery = flag.Duration("monitor-interval", time.Second, "delay between -monitor-passes")
+		healthJS = flag.String("health-json", "",
+			"write a clock-health snapshot as JSON to this file ('-' for stdout)")
 	)
 	flag.Parse()
 
@@ -56,6 +64,47 @@ func main() {
 	t1 := o.NewTime(t0)
 	fmt.Printf("\nsanity: get_time=%d, new_time=%d (delta %v), cmp=%+d\n",
 		t0, t1, tsc.ToDuration(uint64(t1-t0)), o.CmpTime(t1, t0))
+
+	if *monPass > 0 || *healthJS != "" {
+		runMonitor(o, s, *runs, *stride, *monPass, *monEvery, *healthJS)
+	}
+}
+
+// runMonitor drives extra recalibration passes by hand, printing the
+// boundary and drift estimate after each, then dumps the health snapshot.
+func runMonitor(o *core.Ordo, s *core.HardwareSampler, runs, stride, passes int,
+	every time.Duration, jsonPath string) {
+	m := health.NewMonitor(o, health.Options{
+		Sampler:     s,
+		Calibration: core.CalibrationOptions{Runs: runs, Stride: stride},
+	})
+	for i := 0; i < passes; i++ {
+		time.Sleep(every)
+		if err := m.RunOnce(); err != nil {
+			fmt.Fprintf(os.Stderr, "monitor pass %d: %v\n", i+1, err)
+			continue
+		}
+		snap := m.Snapshot()
+		fmt.Printf("pass %2d: boundary %8d ticks  widenings %d  anomalies %d  drift %+.1f ppm\n",
+			i+1, snap.BoundaryTicks, snap.Widenings, snap.Anomalies, snap.DriftPPM)
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(m.Snapshot(), "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "health snapshot: %v\n", err)
+			return
+		}
+		buf = append(buf, '\n')
+		if jsonPath == "-" {
+			fmt.Printf("\n%s", buf)
+			return
+		}
+		if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "health snapshot: %v\n", err)
+			return
+		}
+		fmt.Printf("clock-health snapshot written to %s\n", jsonPath)
+	}
 }
 
 func printMatrix(s *core.HardwareSampler, runs, stride int) {

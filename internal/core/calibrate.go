@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+
+	"ordo/internal/topology"
 )
 
 // PairSampler measures clock offsets between pairs of CPUs using the
@@ -37,10 +39,21 @@ type CalibrationOptions struct {
 	// every clock-reset domain (in practice, every socket).
 	Stride int
 
-	// MaxPairs, if positive, caps the number of (i,j) pairs visited after
-	// striding; pairs are then chosen to still cover all (si,sj) socket
-	// combinations first. Zero means unlimited.
+	// MaxPairs, if positive, caps the number of unordered {i,j} CPU pairs
+	// measured after striding; each pair costs two ordered measurements
+	// (one per direction), so Boundary.Pairs ≤ 2*MaxPairs. When Topology
+	// is set, pairs are visited so that every (socket_i, socket_j)
+	// combination is covered before any combination repeats, keeping
+	// cross-socket skew visible under a tight cap; without topology, pairs
+	// are visited in index order and a cap may miss distant sockets. Zero
+	// means unlimited.
 	MaxPairs int
+
+	// Topology, if non-nil, describes the socket layout of the sampled
+	// CPUs (CPU index → socket via Topology.Socket). It only affects the
+	// order pairs are visited in, which matters when MaxPairs truncates
+	// the walk.
+	Topology *topology.Machine
 }
 
 func (o *CalibrationOptions) defaults() {
@@ -62,7 +75,9 @@ type Boundary struct {
 	// diagnostics (Table 1 of the paper reports both min and max).
 	Min Time
 
-	// Pairs is the number of ordered (writer, reader) measurements taken.
+	// Pairs is the number of ordered (writer, reader) measurements taken:
+	// two per unordered {i,j} pair visited, so a calibration capped at
+	// CalibrationOptions.MaxPairs reports Pairs ≤ 2*MaxPairs.
 	Pairs int
 
 	// CPUs is the number of clock domains sampled.
@@ -90,41 +105,40 @@ func ComputeBoundary(s PairSampler, opts CalibrationOptions) (Boundary, error) {
 		cpus = append(cpus, c)
 	}
 	b := Boundary{CPUs: len(cpus)}
+	pairs := orderPairs(cpus, opts.Topology)
+	if opts.MaxPairs > 0 && len(pairs) > opts.MaxPairs {
+		pairs = pairs[:opts.MaxPairs]
+	}
 	var (
 		globalMax int64
 		globalMin int64
 		haveAny   bool
 	)
-	for ii := 0; ii < len(cpus); ii++ {
-		for jj := ii + 1; jj < len(cpus); jj++ {
-			if opts.MaxPairs > 0 && b.Pairs/2 >= opts.MaxPairs {
-				break
-			}
-			i, j := cpus[ii], cpus[jj]
-			dij, err := s.MeasureOffset(i, j, opts.Runs)
-			if err != nil {
-				return Boundary{}, fmt.Errorf("ordo: measuring offset %d->%d: %w", i, j, err)
-			}
-			dji, err := s.MeasureOffset(j, i, opts.Runs)
-			if err != nil {
-				return Boundary{}, fmt.Errorf("ordo: measuring offset %d->%d: %w", j, i, err)
-			}
-			b.Pairs += 2
-			pair := dij
-			if dji > pair {
-				pair = dji
-			}
-			if pair > globalMax {
-				globalMax = pair
-			}
-			low := dij
-			if dji < low {
-				low = dji
-			}
-			if !haveAny || low < globalMin {
-				globalMin = low
-				haveAny = true
-			}
+	for _, p := range pairs {
+		i, j := p[0], p[1]
+		dij, err := s.MeasureOffset(i, j, opts.Runs)
+		if err != nil {
+			return Boundary{}, fmt.Errorf("ordo: measuring offset %d->%d: %w", i, j, err)
+		}
+		dji, err := s.MeasureOffset(j, i, opts.Runs)
+		if err != nil {
+			return Boundary{}, fmt.Errorf("ordo: measuring offset %d->%d: %w", j, i, err)
+		}
+		b.Pairs += 2
+		pair := dij
+		if dji > pair {
+			pair = dji
+		}
+		if pair > globalMax {
+			globalMax = pair
+		}
+		low := dij
+		if dji < low {
+			low = dji
+		}
+		if !haveAny || low < globalMin {
+			globalMin = low
+			haveAny = true
 		}
 	}
 	if globalMax < 0 {
@@ -139,4 +153,47 @@ func ComputeBoundary(s PairSampler, opts CalibrationOptions) (Boundary, error) {
 	b.Global = Time(globalMax)
 	b.Min = Time(globalMin)
 	return b, nil
+}
+
+// orderPairs returns every unordered {i,j} pair of cpus as (CPU id, CPU id)
+// tuples. With a topology, pairs are emitted round-robin across the socket
+// combinations they belong to — the k-th pair of every (si,sj) combination
+// comes before the (k+1)-th pair of any — so a MaxPairs prefix covers all
+// socket combinations before revisiting any of them. The largest clock
+// offsets are between sockets (RESET arrives per socket), which is what
+// makes a capped walk sound on multi-socket machines.
+func orderPairs(cpus []int, topo *topology.Machine) [][2]int {
+	n := len(cpus)
+	all := make([][2]int, 0, n*(n-1)/2)
+	for ii := 0; ii < n; ii++ {
+		for jj := ii + 1; jj < n; jj++ {
+			all = append(all, [2]int{cpus[ii], cpus[jj]})
+		}
+	}
+	if topo == nil || len(all) == 0 {
+		return all
+	}
+	type combo struct{ a, b int }
+	var order []combo // first-appearance order keeps the walk deterministic
+	buckets := make(map[combo][][2]int)
+	for _, p := range all {
+		si, sj := topo.Socket(p[0]), topo.Socket(p[1])
+		if si > sj {
+			si, sj = sj, si
+		}
+		k := combo{si, sj}
+		if _, ok := buckets[k]; !ok {
+			order = append(order, k)
+		}
+		buckets[k] = append(buckets[k], p)
+	}
+	out := make([][2]int, 0, len(all))
+	for round := 0; len(out) < len(all); round++ {
+		for _, k := range order {
+			if round < len(buckets[k]) {
+				out = append(out, buckets[k][round])
+			}
+		}
+	}
+	return out
 }

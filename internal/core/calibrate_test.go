@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"ordo/internal/topology"
 )
 
 // skewSampler models a machine with per-CPU physical skews and a delay
@@ -179,6 +181,120 @@ func TestComputeBoundaryMaxPairs(t *testing.T) {
 	}
 	if b.Pairs > 20 {
 		t.Fatalf("Pairs = %d, want <= 20 (10 unordered pairs)", b.Pairs)
+	}
+}
+
+// countingSampler wraps a sampler, counting MeasureOffset calls.
+type countingSampler struct {
+	inner PairSampler
+	calls int
+}
+
+func (c *countingSampler) NumCPUs() int { return c.inner.NumCPUs() }
+func (c *countingSampler) MeasureOffset(w, r, runs int) (int64, error) {
+	c.calls++
+	return c.inner.MeasureOffset(w, r, runs)
+}
+
+// TestComputeBoundaryMaxPairsExact is the regression test for the broken
+// cap: the old guard used a bare break that only exited the inner loop, so
+// a 32-CPU walk capped at 10 pairs still measured hundreds of pairs.
+func TestComputeBoundaryMaxPairsExact(t *testing.T) {
+	for _, maxPairs := range []int{1, 3, 10, 496, 1000} {
+		s := &countingSampler{inner: newSkewSampler(make([]int64, 32), 100, 0, 1)}
+		b, err := ComputeBoundary(s, CalibrationOptions{Runs: 1, MaxPairs: maxPairs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPairs := maxPairs
+		if total := 32 * 31 / 2; wantPairs > total {
+			wantPairs = total
+		}
+		if s.calls != 2*wantPairs {
+			t.Errorf("MaxPairs=%d: %d MeasureOffset calls, want %d",
+				maxPairs, s.calls, 2*wantPairs)
+		}
+		if b.Pairs != 2*wantPairs {
+			t.Errorf("MaxPairs=%d: Boundary.Pairs = %d, want %d (ordered measurements)",
+				maxPairs, b.Pairs, 2*wantPairs)
+		}
+	}
+}
+
+// TestComputeBoundarySocketCoverageFirst: with a topology, a capped walk
+// must still measure at least one pair from every socket combination, so
+// cross-socket skew cannot hide behind a tight MaxPairs.
+func TestComputeBoundarySocketCoverageFirst(t *testing.T) {
+	topo := &topology.Machine{
+		Name:           "test-2x4",
+		Sockets:        2,
+		CoresPerSocket: 4,
+		SMT:            1,
+		SocketSkewNS:   []float64{0, 0},
+	}
+	// CPUs 0-3 are socket 0, CPUs 4-7 socket 1; only cross-socket pairs
+	// see the big skew.
+	skew := []int64{0, 0, 0, 0, 500, 500, 500, 500}
+	s := newSkewSampler(skew, 100, 0, 1)
+
+	// 3 socket combos exist: (0,0), (0,1), (1,1). A cap of 3 with the
+	// topology must include a cross-socket pair and find the 500-tick skew.
+	b, err := ComputeBoundary(s, CalibrationOptions{Runs: 1, MaxPairs: 3, Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(b.Global) < 500 {
+		t.Fatalf("capped topology-ordered boundary = %d, want >= 500 (cross-socket skew)", b.Global)
+	}
+
+	// Without the topology, index order measures (0,1),(0,2),(0,3) — all
+	// same-socket — demonstrating why the ordering matters.
+	b, err = ComputeBoundary(s, CalibrationOptions{Runs: 1, MaxPairs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(b.Global) >= 500 {
+		t.Fatalf("flat-ordered capped boundary = %d; expected it to miss the cross-socket skew", b.Global)
+	}
+}
+
+// TestOrderPairsRoundRobinAcrossCombos pins the ordering contract: the k-th
+// pair of every socket combination is emitted before the (k+1)-th of any,
+// and all pairs appear exactly once.
+func TestOrderPairsRoundRobinAcrossCombos(t *testing.T) {
+	topo := &topology.Machine{
+		Name:           "test-2x2",
+		Sockets:        2,
+		CoresPerSocket: 2,
+		SMT:            1,
+		SocketSkewNS:   []float64{0, 0},
+	}
+	cpus := []int{0, 1, 2, 3}
+	pairs := orderPairs(cpus, topo)
+	if len(pairs) != 6 {
+		t.Fatalf("got %d pairs, want 6", len(pairs))
+	}
+	combo := func(p [2]int) [2]int {
+		a, b := topo.Socket(p[0]), topo.Socket(p[1])
+		if a > b {
+			a, b = b, a
+		}
+		return [2]int{a, b}
+	}
+	// First three pairs must cover all three combos.
+	seen := map[[2]int]bool{}
+	for _, p := range pairs[:3] {
+		seen[combo(p)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("first 3 pairs cover %d combos, want 3: %v", len(seen), pairs[:3])
+	}
+	uniq := map[[2]int]bool{}
+	for _, p := range pairs {
+		uniq[p] = true
+	}
+	if len(uniq) != 6 {
+		t.Fatalf("pairs not unique: %v", pairs)
 	}
 }
 

@@ -25,6 +25,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 )
 
 // Time is a timestamp drawn from an invariant clock domain, in clock ticks.
@@ -63,11 +64,14 @@ const (
 // Ordo exposes the paper's three-method API over a Clock and a calibrated
 // uncertainty boundary. The zero value is unusable; construct with New.
 //
-// Ordo is immutable after construction and safe for concurrent use by any
-// number of goroutines without synchronization.
+// Ordo is safe for concurrent use by any number of goroutines without
+// synchronization. The boundary lives in an atomic holder so a background
+// recalibrator (internal/health.Monitor) can widen it while CmpTime and
+// NewTime callers proceed uninterrupted; each call reads the boundary once
+// and uses that value consistently.
 type Ordo struct {
 	clock    Clock
-	boundary Time
+	boundary atomic.Uint64
 }
 
 // New builds an Ordo primitive from a clock and a calibrated boundary
@@ -76,11 +80,22 @@ func New(clock Clock, boundary Time) *Ordo {
 	if clock == nil {
 		panic("ordo: nil clock")
 	}
-	return &Ordo{clock: clock, boundary: boundary}
+	o := &Ordo{clock: clock}
+	o.boundary.Store(uint64(boundary))
+	return o
 }
 
 // Boundary returns the uncertainty window in clock ticks.
-func (o *Ordo) Boundary() Time { return o.boundary }
+func (o *Ordo) Boundary() Time { return Time(o.boundary.Load()) }
+
+// SetBoundary atomically publishes a new uncertainty window. Widening is
+// always safe — a larger window only turns some certain comparisons into
+// uncertain ones, which callers already handle conservatively. Shrinking is
+// safe only if the new value still upper-bounds the physical clock skew;
+// health.Monitor therefore only ever widens unless explicitly configured
+// otherwise. Calls concurrent with CmpTime/NewTime are fine: in-flight
+// calls use whichever value they loaded, later calls see the new one.
+func (o *Ordo) SetBoundary(b Time) { o.boundary.Store(uint64(b)) }
 
 // GetTime returns the current timestamp of the local invariant clock.
 func (o *Ordo) GetTime() Time { return o.clock.Now() }
@@ -94,10 +109,11 @@ func (o *Ordo) GetTime() Time { return o.clock.Now() }
 // An Uncertain result means the physical clocks cannot distinguish the two
 // events; timestamp-based algorithms must treat it conservatively.
 func (o *Ordo) CmpTime(t1, t2 Time) int {
+	b := Time(o.boundary.Load())
 	switch {
-	case t1 > t2+o.boundary:
+	case t1 > t2+b:
 		return After
-	case t1+o.boundary < t2:
+	case t1+b < t2:
 		return Before
 	default:
 		return Uncertain
@@ -112,7 +128,7 @@ func (o *Ordo) CmpTime(t1, t2 Time) int {
 func (o *Ordo) NewTime(t Time) Time {
 	for i := 0; ; i++ {
 		now := o.clock.Now()
-		if now > t+o.boundary {
+		if now > t+Time(o.boundary.Load()) {
 			return now
 		}
 		if i%64 == 63 {
@@ -125,5 +141,5 @@ func (o *Ordo) NewTime(t Time) Time {
 
 // String describes the primitive for diagnostics.
 func (o *Ordo) String() string {
-	return fmt.Sprintf("ordo{boundary=%d ticks}", o.boundary)
+	return fmt.Sprintf("ordo{boundary=%d ticks}", o.boundary.Load())
 }

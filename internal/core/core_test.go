@@ -29,6 +29,50 @@ func TestNewPanicsOnNilClock(t *testing.T) {
 	New(nil, 0)
 }
 
+func TestSetBoundaryVisibleToComparisons(t *testing.T) {
+	o := New(&fakeClock{}, 100)
+	if o.CmpTime(200, 0) != After {
+		t.Fatal("200 vs 0 under boundary 100 should be After")
+	}
+	o.SetBoundary(300)
+	if o.Boundary() != 300 {
+		t.Fatalf("Boundary() = %d after SetBoundary(300)", o.Boundary())
+	}
+	if o.CmpTime(200, 0) != Uncertain {
+		t.Fatal("200 vs 0 under widened boundary 300 should be Uncertain")
+	}
+}
+
+// TestSetBoundaryConcurrentWithHotPath: widening must never interrupt or
+// corrupt concurrent CmpTime/NewTime callers (run under -race).
+func TestSetBoundaryConcurrentWithHotPath(t *testing.T) {
+	clk := &tickingClock{step: 50}
+	o := New(clk, 100)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var prev Time
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			prev = o.NewTime(prev)
+			o.CmpTime(prev, o.GetTime())
+		}
+	}()
+	for b := Time(100); b <= 5000; b += 100 {
+		o.SetBoundary(b)
+	}
+	close(stop)
+	<-done
+	if o.Boundary() != 5000 {
+		t.Fatalf("Boundary() = %d, want 5000", o.Boundary())
+	}
+}
+
 func TestCmpTimeCertainty(t *testing.T) {
 	o := New(&fakeClock{}, 100)
 	tests := []struct {

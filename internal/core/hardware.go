@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"ordo/internal/affinity"
@@ -39,6 +38,16 @@ type HardwareSampler struct {
 	// the measured offsets, which keeps the boundary conservative (larger),
 	// never incorrect.
 	AllowUnpinned bool
+
+	// pin overrides thread pinning in tests; nil means pinOrLock.
+	pin func(cpu int, allowUnpinned bool) (func(), error)
+}
+
+func (h *HardwareSampler) pinFunc() func(int, bool) (func(), error) {
+	if h.pin != nil {
+		return h.pin
+	}
+	return pinOrLock
 }
 
 // NumCPUs implements PairSampler.
@@ -49,38 +58,49 @@ func (h *HardwareSampler) NumCPUs() int {
 	return runtime.NumCPU()
 }
 
+// skipSample is the sentinel a writer that failed to pin publishes instead
+// of a clock value: the protocol must still complete every round (the peer
+// is spinning), but the reader must discard the sample. A real counter
+// cannot reach this value within the uptime of any machine.
+const skipSample = ^uint64(0)
+
 // MeasureOffset implements PairSampler: minimum over `runs` of
 // (reader clock at observation − writer clock at publication).
+//
+// Each side communicates its pinning error back over a channel so the two
+// goroutines share nothing but the measurement cache line — the protocol
+// itself is the only cross-goroutine traffic, and the error/result paths
+// are race-free by construction (go test -race covers the failing-pinner
+// paths in hardware_test.go).
 func (h *HardwareSampler) MeasureOffset(writer, reader, runs int) (int64, error) {
 	if runs <= 0 {
 		runs = 1
 	}
-	var (
-		sh      line
-		minD    = int64(1<<63 - 1)
-		wg      sync.WaitGroup
-		werr    error
-		rerr    error
-		spinCap = 1 << 14 // Gosched interval: keeps single-CPU hosts live
-	)
-	wg.Add(2)
+	const spinCap = 1 << 14 // Gosched interval: keeps single-CPU hosts live
+	pin := h.pinFunc()
+	var sh line
+	werrCh := make(chan error, 1)
+	type readerResult struct {
+		min int64
+		err error
+	}
+	resCh := make(chan readerResult, 1)
 
-	// Writer: waits for the reader to open round r, then publishes its clock.
+	// Writer: waits for the reader to open round r, then publishes its
+	// clock — or the skip sentinel if it could not pin, so the reader both
+	// terminates and knows to discard the round.
 	go func() {
-		defer wg.Done()
-		restore, err := pinOrLock(writer, h.AllowUnpinned)
+		restore, err := pin(writer, h.AllowUnpinned)
 		if err != nil {
-			werr = err
-			// Unblock the reader by publishing garbage rounds.
 			for r := 1; r <= runs; r++ {
 				for sh.round.Load() != uint64(r) {
 					runtime.Gosched()
 				}
-				sh.clock.Store(^uint64(0))
+				sh.clock.Store(skipSample)
 			}
+			werrCh <- err
 			return
 		}
-		defer restore()
 		for r := 1; r <= runs; r++ {
 			spins := 0
 			for sh.round.Load() != uint64(r) {
@@ -89,22 +109,24 @@ func (h *HardwareSampler) MeasureOffset(writer, reader, runs int) (int64, error)
 				}
 			}
 			ts := tsc.Read()
-			if ts == 0 {
+			if ts == 0 || ts == skipSample {
 				ts = 1
 			}
 			sh.clock.Store(ts)
 		}
+		restore()
+		werrCh <- nil
 	}()
 
-	// Reader: opens the round, spins for the publication, subtracts.
+	// Reader: opens the round, spins for the publication, subtracts. A
+	// reader that failed to pin still runs the full protocol (the writer is
+	// spinning on our round openings) and reports its error afterwards.
 	go func() {
-		defer wg.Done()
-		restore, err := pinOrLock(reader, h.AllowUnpinned)
+		restore, err := pin(reader, h.AllowUnpinned)
 		if err != nil {
-			rerr = err
 			restore = func() {}
 		}
-		defer restore()
+		minD := int64(1<<63 - 1)
 		for r := 1; r <= runs; r++ {
 			sh.clock.Store(0)
 			sh.round.Store(uint64(r))
@@ -118,21 +140,26 @@ func (h *HardwareSampler) MeasureOffset(writer, reader, runs int) (int64, error)
 					runtime.Gosched()
 				}
 			}
-			d := int64(tsc.Read()) - int64(v)
-			if rerr == nil && werr == nil && d < minD {
+			if v == skipSample {
+				continue // writer could not pin; sample explicitly skipped
+			}
+			if d := int64(tsc.Read()) - int64(v); d < minD {
 				minD = d
 			}
 		}
+		restore()
+		resCh <- readerResult{min: minD, err: err}
 	}()
 
-	wg.Wait()
+	werr := <-werrCh
+	res := <-resCh
 	if werr != nil {
 		return 0, fmt.Errorf("writer cpu %d: %w", writer, werr)
 	}
-	if rerr != nil {
-		return 0, fmt.Errorf("reader cpu %d: %w", reader, rerr)
+	if res.err != nil {
+		return 0, fmt.Errorf("reader cpu %d: %w", reader, res.err)
 	}
-	return minD, nil
+	return res.min, nil
 }
 
 func pinOrLock(cpu int, allowUnpinned bool) (func(), error) {

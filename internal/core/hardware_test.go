@@ -1,7 +1,10 @@
 package core
 
 import (
+	"errors"
 	"runtime"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -84,4 +87,86 @@ func TestPinOrLockFallback(t *testing.T) {
 		t.Fatalf("pinOrLock(0, true): %v", err)
 	}
 	restore()
+}
+
+// failPin builds a pin function that fails for the given CPUs. The restore
+// func is a no-op; the error path must never require calling it.
+func failPin(failing ...int) func(int, bool) (func(), error) {
+	bad := map[int]bool{}
+	for _, c := range failing {
+		bad[c] = true
+	}
+	return func(cpu int, _ bool) (func(), error) {
+		if bad[cpu] {
+			return nil, errors.New("pin refused")
+		}
+		return func() {}, nil
+	}
+}
+
+// TestMeasureOffsetWriterPinFailure is the regression test for the
+// werr/rerr data race: before the fix, the reader goroutine's measurement
+// loop read the writer's error variable while the writer goroutine wrote
+// it, which go test -race flags on exactly this path.
+func TestMeasureOffsetWriterPinFailure(t *testing.T) {
+	s := &HardwareSampler{CPUs: 2, pin: failPin(0)}
+	if _, err := s.MeasureOffset(0, 1, 20); err == nil {
+		t.Fatal("expected error from failing writer pin")
+	} else if !strings.Contains(err.Error(), "writer cpu 0") {
+		t.Fatalf("error %q does not name the writer", err)
+	}
+}
+
+func TestMeasureOffsetReaderPinFailure(t *testing.T) {
+	s := &HardwareSampler{CPUs: 2, pin: failPin(1)}
+	if _, err := s.MeasureOffset(0, 1, 20); err == nil {
+		t.Fatal("expected error from failing reader pin")
+	} else if !strings.Contains(err.Error(), "reader cpu 1") {
+		t.Fatalf("error %q does not name the reader", err)
+	}
+}
+
+func TestMeasureOffsetBothPinsFail(t *testing.T) {
+	s := &HardwareSampler{CPUs: 2, pin: failPin(0, 1)}
+	if _, err := s.MeasureOffset(0, 1, 20); err == nil {
+		t.Fatal("expected error when both pins fail")
+	}
+}
+
+// TestMeasureOffsetHammerMixedPinners drives many concurrent measurements
+// whose pinners succeed or fail per-CPU, exercising every combination of
+// the writer/reader error paths under the race detector.
+func TestMeasureOffsetHammerMixedPinners(t *testing.T) {
+	s := &HardwareSampler{CPUs: 4, pin: failPin(1, 3)}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				w := (g + i) % 4
+				r := (g + i + 1 + i%3) % 4
+				if w == r {
+					r = (r + 1) % 4
+				}
+				d, err := s.MeasureOffset(w, r, 5)
+				wantErr := w == 1 || w == 3 || r == 1 || r == 3
+				if wantErr && err == nil {
+					t.Errorf("MeasureOffset(%d,%d) succeeded with failing pinner", w, r)
+					return
+				}
+				if !wantErr {
+					if err != nil {
+						t.Errorf("MeasureOffset(%d,%d): %v", w, r, err)
+						return
+					}
+					if d == int64(1<<63-1) {
+						t.Errorf("MeasureOffset(%d,%d) returned sentinel min", w, r)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

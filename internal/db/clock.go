@@ -29,6 +29,20 @@ type sessionClock interface {
 	// certainlyAtOrBefore reports that a ≤ b is safe to assume. For the
 	// logical clock this is exact; for Ordo it requires certainty.
 	certainlyAtOrBefore(a, b uint64) bool
+	// stats returns cumulative comparison counters: total comparisons and
+	// how many fell inside the uncertainty window. Exact clocks report
+	// zero uncertain.
+	stats() (cmps, uncertain uint64)
+}
+
+// ClockHealth is implemented by sessions whose timestamp comparisons can
+// come out uncertain — the Ordo-based protocols. ClockStats reports how
+// many clock comparisons the session performed and how many fell inside
+// the uncertainty window (each of which forced a conservative abort or
+// restart); the ratio is the session's Uncertain rate, the figure a
+// health.Monitor snapshot reports machine-wide.
+type ClockHealth interface {
+	ClockStats() (cmps, uncertain uint64)
 }
 
 // logicalAllocator: one shared atomic counter.
@@ -48,6 +62,11 @@ func (c *logicalSessionClock) read() uint64                         { return (*a
 func (c *logicalSessionClock) certainlyBefore(a, b uint64) bool     { return a < b }
 func (c *logicalSessionClock) certainlyAtOrBefore(a, b uint64) bool { return a <= b }
 
+// stats: a logical clock is exact — no comparison is ever uncertain, and
+// the handle is shared across sessions, so per-session counting is neither
+// meaningful nor race-free. Report nothing.
+func (c *logicalSessionClock) stats() (uint64, uint64) { return 0, 0 }
+
 // ordoAllocator: per-worker invariant-clock reads.
 func ordoAllocator(o *core.Ordo) tsAllocator {
 	return func() sessionClock { return &ordoSessionClock{o: o} }
@@ -56,6 +75,11 @@ func ordoAllocator(o *core.Ordo) tsAllocator {
 type ordoSessionClock struct {
 	o    *core.Ordo
 	prev uint64
+
+	// Comparison counters: sessions are single-goroutine, so plain fields
+	// suffice (same discipline as the sessions' commit/abort counters).
+	cmps      uint64
+	uncertain uint64
 }
 
 func (c *ordoSessionClock) next() uint64 {
@@ -65,12 +89,23 @@ func (c *ordoSessionClock) next() uint64 {
 
 func (c *ordoSessionClock) read() uint64 { return uint64(c.o.GetTime()) }
 
+func (c *ordoSessionClock) cmp(a, b uint64) int {
+	r := c.o.CmpTime(core.Time(a), core.Time(b))
+	c.cmps++
+	if r == core.Uncertain {
+		c.uncertain++
+	}
+	return r
+}
+
 func (c *ordoSessionClock) certainlyBefore(a, b uint64) bool {
-	return c.o.CmpTime(core.Time(a), core.Time(b)) == core.Before
+	return c.cmp(a, b) == core.Before
 }
 
 func (c *ordoSessionClock) certainlyAtOrBefore(a, b uint64) bool {
 	// Conservative: within the uncertainty window the relation cannot be
 	// assumed; callers abort (§4.2's later-conflict rule).
-	return c.o.CmpTime(core.Time(a), core.Time(b)) == core.Before
+	return c.cmp(a, b) == core.Before
 }
+
+func (c *ordoSessionClock) stats() (uint64, uint64) { return c.cmps, c.uncertain }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"ordo/internal/core"
@@ -354,6 +355,55 @@ func TestSessionStats(t *testing.T) {
 			_, aborts := s.Stats()
 			if aborts < 1 {
 				t.Fatalf("aborts = %d, want >= 1", aborts)
+			}
+		})
+	}
+}
+
+func TestOrdoSessionClockCountsUncertain(t *testing.T) {
+	var now atomic.Uint64
+	o := core.New(core.ClockFunc(func() core.Time { return core.Time(now.Add(50)) }), 100)
+	c := &ordoSessionClock{o: o}
+	if c.certainlyBefore(50, 120) { // gap 70 ≤ boundary: uncertain
+		t.Fatal("within-window pair reported certainly before")
+	}
+	if !c.certainlyBefore(50, 500) { // certain
+		t.Fatal("beyond-window pair not certainly before")
+	}
+	if c.certainlyAtOrBefore(400, 450) { // uncertain → must refuse
+		t.Fatal("within-window certainlyAtOrBefore must be false")
+	}
+	cmps, uncertain := c.stats()
+	if cmps != 3 || uncertain != 2 {
+		t.Fatalf("stats() = %d,%d, want 3,2", cmps, uncertain)
+	}
+}
+
+func TestClockStatsSurfacedThroughSessions(t *testing.T) {
+	// Every engine's sessions implement ClockHealth; the Ordo variants
+	// surface their session clock's counters, the others report zero.
+	for name, d := range engines(t) {
+		t.Run(name, func(t *testing.T) {
+			s := d.NewSession()
+			retry(t, s, func(tx Tx) error { return tx.Insert(1, 7, []uint64{1}) })
+			retry(t, s, func(tx Tx) error { _, err := tx.Read(1, 7); return err })
+			ch, ok := s.(ClockHealth)
+			if !ok {
+				t.Skipf("%s session has no clock-health reporting", name)
+			}
+			cmps, uncertain := ch.ClockStats()
+			if uncertain > cmps {
+				t.Fatalf("ClockStats() = %d,%d: uncertain exceeds total", cmps, uncertain)
+			}
+			switch d.Protocol() {
+			case OCCOrdo, HekatonOrdo:
+				if cmps == 0 {
+					t.Fatal("Ordo session performed no counted clock comparisons")
+				}
+			case OCC, Hekaton:
+				if cmps != 0 || uncertain != 0 {
+					t.Fatalf("logical session ClockStats() = %d,%d, want 0,0", cmps, uncertain)
+				}
 			}
 		})
 	}

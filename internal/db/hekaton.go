@@ -85,6 +85,10 @@ type hekSession struct {
 
 func (s *hekSession) Stats() (uint64, uint64) { return s.commits, s.aborts }
 
+// ClockStats implements ClockHealth: visibility/validation timestamp
+// comparisons and how many were uncertain (zero for the logical variant).
+func (s *hekSession) ClockStats() (cmps, uncertain uint64) { return s.clock.stats() }
+
 // hekRead is a read-set entry: the version observed.
 type hekRead struct{ v *version }
 

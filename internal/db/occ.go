@@ -48,6 +48,10 @@ type occSession struct {
 
 func (s *occSession) Stats() (uint64, uint64) { return s.commits, s.aborts }
 
+// ClockStats implements ClockHealth: validation-time timestamp comparisons
+// and how many were uncertain (zero for the logical-clock variant).
+func (s *occSession) ClockStats() (cmps, uncertain uint64) { return s.clock.stats() }
+
 type occTx struct {
 	s     *occSession
 	ts    uint64

@@ -1,0 +1,322 @@
+package health
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ordo/internal/core"
+)
+
+// fakeClock is an invariant clock advancing by a fixed step per read, so
+// NewTime always terminates quickly regardless of the boundary.
+type fakeClock struct {
+	now  atomic.Uint64
+	step uint64
+}
+
+func (c *fakeClock) Now() core.Time { return core.Time(c.now.Add(c.step)) }
+
+// driftingSampler reports offsets that grow with every calibration pass,
+// modelling clocks whose skew is drifting apart after the initial
+// calibration (the scenario continuous recalibration exists for).
+type driftingSampler struct {
+	passes atomic.Uint64 // bumped by the test between passes
+	base   int64
+	growth int64
+	calls  atomic.Uint64
+}
+
+func (s *driftingSampler) NumCPUs() int { return 4 }
+
+func (s *driftingSampler) MeasureOffset(w, r, runs int) (int64, error) {
+	s.calls.Add(1)
+	return s.base + s.growth*int64(s.passes.Load()), nil
+}
+
+func TestStatsExactUnderConcurrency(t *testing.T) {
+	s := NewStats()
+	const workers = 16
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s.RecordCmp(core.Before)
+				s.RecordCmp(core.Uncertain)
+				s.RecordCmp(core.After)
+				s.RecordNewTime(3, 10)
+			}
+		}()
+	}
+	wg.Wait()
+	b, u, a := s.CmpCounts()
+	want := uint64(workers * perWorker)
+	if b != want || u != want || a != want {
+		t.Fatalf("CmpCounts() = %d,%d,%d, want %d each", b, u, a, want)
+	}
+	calls, spins, ticks := s.NewTimeCounts()
+	if calls != want || spins != 3*want || ticks != 10*want {
+		t.Fatalf("NewTimeCounts() = %d,%d,%d, want %d,%d,%d",
+			calls, spins, ticks, want, 3*want, 10*want)
+	}
+	if r := s.UncertainRate(); r < 0.33 || r > 0.34 {
+		t.Fatalf("UncertainRate() = %v, want ~1/3", r)
+	}
+}
+
+func TestInstrumentedCountsOutcomes(t *testing.T) {
+	o := core.New(&fakeClock{step: 10}, 100)
+	i := Instrument(o, nil)
+	if got := i.CmpTime(1000, 10); got != core.After {
+		t.Fatalf("CmpTime = %d, want After", got)
+	}
+	if got := i.CmpTime(10, 1000); got != core.Before {
+		t.Fatalf("CmpTime = %d, want Before", got)
+	}
+	if got := i.CmpTime(50, 60); got != core.Uncertain {
+		t.Fatalf("CmpTime = %d, want Uncertain", got)
+	}
+	b, u, a := i.Stats().CmpCounts()
+	if b != 1 || u != 1 || a != 1 {
+		t.Fatalf("counts = %d,%d,%d, want 1,1,1", b, u, a)
+	}
+
+	t0 := i.GetTime()
+	t1 := i.NewTime(t0)
+	if o.CmpTime(t1, t0) != core.After {
+		t.Fatalf("NewTime(%d) = %d not certainly after", t0, t1)
+	}
+	calls, spins, ticks := i.Stats().NewTimeCounts()
+	if calls != 1 || spins == 0 || ticks == 0 {
+		t.Fatalf("NewTime counts = %d,%d,%d, want 1,>0,>0", calls, spins, ticks)
+	}
+}
+
+// TestMonitorWidensUnderDriftWhileHot is the tentpole acceptance test: a
+// drifting sampler makes each recalibration measure a larger skew, and the
+// published boundary must widen while concurrent CmpTime/NewTime callers
+// hammer the primitive uninterrupted (run under -race).
+func TestMonitorWidensUnderDriftWhileHot(t *testing.T) {
+	clk := &fakeClock{step: 50}
+	o := core.New(clk, 100)
+	sampler := &driftingSampler{base: 100, growth: 40}
+	m := NewMonitor(o, Options{
+		Sampler:     sampler,
+		Calibration: core.CalibrationOptions{Runs: 1},
+		TickHz:      1e9,
+	})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var prev core.Time
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := o.GetTime()
+				prev = o.NewTime(prev)
+				if o.CmpTime(prev, t0) == core.Before {
+					t.Error("NewTime went certainly backwards")
+					return
+				}
+			}
+		}()
+	}
+
+	start := o.Boundary()
+	for pass := 0; pass < 5; pass++ {
+		if err := m.RunOnce(); err != nil {
+			t.Fatal(err)
+		}
+		sampler.passes.Add(1)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := o.Boundary(); got <= start {
+		t.Fatalf("boundary did not widen: %d -> %d", start, got)
+	}
+	// Last applied pass measured base + growth*4 = 260.
+	if got := o.Boundary(); got != 260 {
+		t.Fatalf("boundary = %d, want 260", got)
+	}
+	snap := m.Snapshot()
+	if snap.Passes != 5 {
+		t.Fatalf("Passes = %d, want 5", snap.Passes)
+	}
+	if snap.Widenings < 2 {
+		t.Fatalf("Widenings = %d, want >= 2", snap.Widenings)
+	}
+	if len(snap.History) != 5 {
+		t.Fatalf("history length = %d, want 5", len(snap.History))
+	}
+}
+
+func TestMonitorWidenOnlyByDefault(t *testing.T) {
+	o := core.New(&fakeClock{step: 10}, 1000)
+	sampler := &driftingSampler{base: 100}
+	m := NewMonitor(o, Options{
+		Sampler:     sampler,
+		Calibration: core.CalibrationOptions{Runs: 1},
+		TickHz:      1e9,
+	})
+	if err := m.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Boundary(); got != 1000 {
+		t.Fatalf("boundary shrank to %d; default must only widen", got)
+	}
+
+	shrink := NewMonitor(o, Options{
+		Sampler:     sampler,
+		Calibration: core.CalibrationOptions{Runs: 1},
+		AllowShrink: true,
+		TickHz:      1e9,
+	})
+	if err := shrink.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Boundary(); got != 100 {
+		t.Fatalf("boundary = %d, want 100 with AllowShrink", got)
+	}
+}
+
+func TestMonitorDriftDetection(t *testing.T) {
+	o := core.New(&fakeClock{step: 10}, 100)
+	// Fake tick/wall pair: the counter claims 1 GHz but actually advances
+	// at 1.002 GHz against the wall clock — a 2000 ppm anomaly.
+	var (
+		wall = time.Unix(0, 0)
+		tick core.Time
+	)
+	m := NewMonitor(o, Options{
+		Sampler:           &driftingSampler{base: 100},
+		Calibration:       core.CalibrationOptions{Runs: 1},
+		TickHz:            1_000_000_000,
+		DriftThresholdPPM: 500,
+		ReadClock:         func() core.Time { return tick },
+		WallClock:         func() time.Time { return wall },
+	})
+	if err := m.RunOnce(); err != nil { // establishes the baseline
+		t.Fatal(err)
+	}
+	wall = wall.Add(time.Second)
+	tick += 1_002_000_000
+	if err := m.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if snap.Anomalies != 1 {
+		t.Fatalf("Anomalies = %d, want 1", snap.Anomalies)
+	}
+	if snap.DriftPPM < 1900 || snap.DriftPPM > 2100 {
+		t.Fatalf("DriftPPM = %v, want ~2000", snap.DriftPPM)
+	}
+
+	// An in-tolerance pass does not add an anomaly but updates the gauge.
+	wall = wall.Add(time.Second)
+	tick += 1_000_000_100
+	if err := m.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+	snap = m.Snapshot()
+	if snap.Anomalies != 1 {
+		t.Fatalf("Anomalies = %d after clean pass, want 1", snap.Anomalies)
+	}
+}
+
+func TestMonitorStartStop(t *testing.T) {
+	o := core.New(&fakeClock{step: 10}, 100)
+	sampler := &driftingSampler{base: 100, growth: 10}
+	m := NewMonitor(o, Options{
+		Sampler:     sampler,
+		Calibration: core.CalibrationOptions{Runs: 1},
+		Interval:    time.Millisecond,
+		TickHz:      1e9,
+	})
+	m.Start()
+	deadline := time.After(2 * time.Second)
+	for m.Snapshot().Passes < 3 {
+		select {
+		case <-deadline:
+			t.Fatal("background monitor made no progress")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	m.Stop()
+	m.Stop() // idempotent
+	after := m.Snapshot().Passes
+	time.Sleep(5 * time.Millisecond)
+	if got := m.Snapshot().Passes; got != after {
+		t.Fatalf("passes advanced after Stop: %d -> %d", after, got)
+	}
+	if calls := sampler.calls.Load(); calls == 0 {
+		t.Fatal("sampler never called")
+	}
+}
+
+func TestMonitorHistoryBounded(t *testing.T) {
+	o := core.New(&fakeClock{step: 10}, 0)
+	m := NewMonitor(o, Options{
+		Sampler:     &driftingSampler{base: 10},
+		Calibration: core.CalibrationOptions{Runs: 1},
+		HistorySize: 3,
+		TickHz:      1e9,
+	})
+	for i := 0; i < 10; i++ {
+		if err := m.RunOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := m.Snapshot()
+	if len(snap.History) != 3 {
+		t.Fatalf("history length = %d, want 3", len(snap.History))
+	}
+	if snap.Passes != 10 {
+		t.Fatalf("Passes = %d, want 10", snap.Passes)
+	}
+}
+
+func TestSnapshotMarshalsToJSON(t *testing.T) {
+	o := core.New(&fakeClock{step: 10}, 100)
+	m := NewMonitor(o, Options{
+		Sampler:     &driftingSampler{base: 100},
+		Calibration: core.CalibrationOptions{Runs: 1},
+		TickHz:      2_000_000_000,
+	})
+	if err := m.RunOnce(); err != nil {
+		t.Fatal(err)
+	}
+	i := Instrument(o, m.Stats())
+	i.Probe()
+
+	raw, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"boundary_ticks", "boundary_ns", "calibration_passes",
+		"calibration_history", "drift_ppm", "cmp_uncertain", "uncertain_rate", "newtime_calls"} {
+		if _, ok := decoded[key]; !ok {
+			t.Fatalf("snapshot JSON missing %q: %s", key, raw)
+		}
+	}
+	// Expvar adapter produces the same JSON value.
+	if got := m.Expvar().String(); got == "" {
+		t.Fatal("Expvar().String() empty")
+	}
+}

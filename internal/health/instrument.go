@@ -1,0 +1,79 @@
+package health
+
+import (
+	"runtime"
+
+	"ordo/internal/core"
+)
+
+// Instrumented wraps an Ordo primitive with the same three methods,
+// recording every CmpTime outcome and NewTime spin into a Stats. It is the
+// opt-in path for callers that want observability: the underlying *core.Ordo
+// stays unchanged (and can be shared with uninstrumented callers), so the
+// uninstrumented hot path pays nothing.
+//
+// Instrumented is safe for concurrent use.
+type Instrumented struct {
+	o *core.Ordo
+	s *Stats
+}
+
+// Instrument wraps o so that its comparisons and waits are counted in s.
+// A nil s allocates a fresh Stats.
+func Instrument(o *core.Ordo, s *Stats) *Instrumented {
+	if s == nil {
+		s = NewStats()
+	}
+	return &Instrumented{o: o, s: s}
+}
+
+// Ordo returns the wrapped primitive.
+func (i *Instrumented) Ordo() *core.Ordo { return i.o }
+
+// Stats returns the counter sink outcomes are recorded into.
+func (i *Instrumented) Stats() *Stats { return i.s }
+
+// Boundary returns the current uncertainty window in ticks.
+func (i *Instrumented) Boundary() core.Time { return i.o.Boundary() }
+
+// GetTime returns the current timestamp of the local invariant clock.
+func (i *Instrumented) GetTime() core.Time { return i.o.GetTime() }
+
+// CmpTime orders two timestamps like core.Ordo.CmpTime, counting the
+// outcome.
+func (i *Instrumented) CmpTime(t1, t2 core.Time) int {
+	c := i.o.CmpTime(t1, t2)
+	i.s.RecordCmp(c)
+	return c
+}
+
+// NewTime returns a timestamp certainly greater than t like
+// core.Ordo.NewTime, recording how many clock reads the wait took and how
+// many ticks elapsed from entry to the returned timestamp. It re-reads the
+// boundary every iteration, so a Monitor widening it mid-spin lengthens the
+// wait correctly.
+func (i *Instrumented) NewTime(t core.Time) core.Time {
+	start := i.o.GetTime()
+	for spins := uint64(1); ; spins++ {
+		now := i.o.GetTime()
+		if now > t+i.o.Boundary() {
+			i.s.RecordNewTime(spins, uint64(now-start))
+			return now
+		}
+		if spins%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Probe exercises the primitive once through the instrumented hot paths:
+// two back-to-back clock reads compared (at one boundary apart they are
+// the canonical Uncertain case), and one NewTime wait. CLIs use it to give
+// the counters a live signal when the embedding program has no Ordo
+// traffic of its own to observe.
+func (i *Instrumented) Probe() {
+	t0 := i.GetTime()
+	t1 := i.GetTime()
+	i.CmpTime(t1, t0)
+	i.NewTime(t1)
+}

@@ -1,0 +1,334 @@
+package health
+
+import (
+	"expvar"
+	"fmt"
+	"sync"
+	"time"
+
+	"ordo/internal/core"
+	"ordo/internal/tsc"
+)
+
+// Options configures a Monitor. The zero value is usable on real hardware:
+// it recalibrates through a HardwareSampler every DefaultInterval and
+// cross-checks the hardware counter against time.Now.
+type Options struct {
+	// Sampler measures pairwise clock offsets on recalibration passes.
+	// Nil means a HardwareSampler over all CPUs with AllowUnpinned set.
+	Sampler core.PairSampler
+
+	// Calibration tunes each recalibration pass. Background passes should
+	// be much cheaper than the startup calibration — cap the work with
+	// Runs/Stride/MaxPairs; zero values get core's defaults.
+	Calibration core.CalibrationOptions
+
+	// Interval is the period between background passes when the Monitor is
+	// Started. Zero means DefaultInterval.
+	Interval time.Duration
+
+	// Stats is the counter sink shared with Instrumented wrappers so the
+	// snapshot can report Uncertain rates alongside calibration state. Nil
+	// allocates a fresh one.
+	Stats *Stats
+
+	// HistorySize bounds the retained calibration-pass history (newest
+	// kept). Zero means 32.
+	HistorySize int
+
+	// AllowShrink lets a pass publish a boundary smaller than the current
+	// one. Shrinking is only sound when no in-flight comparison depends on
+	// the wider window, which the Monitor cannot know, so the default is
+	// to only widen (see Ordo.SetBoundary).
+	AllowShrink bool
+
+	// DriftThresholdPPM is the frequency cross-check tolerance in parts
+	// per million before a pass counts a clock anomaly. Zero means 500.
+	DriftThresholdPPM float64
+
+	// TickHz is the expected counter frequency for the drift cross-check.
+	// Zero means tsc.Frequency().
+	TickHz uint64
+
+	// ReadClock and WallClock supply the tick/wall clock pair for the
+	// drift cross-check; tests substitute fakes. Nil means the hardware
+	// counter and time.Now.
+	ReadClock func() core.Time
+	WallClock func() time.Time
+}
+
+// DefaultInterval is the background recalibration period when Options does
+// not set one.
+const DefaultInterval = 10 * time.Second
+
+// Pass records one recalibration pass for the history ring.
+type Pass struct {
+	When     time.Time     `json:"when"`
+	Boundary uint64        `json:"boundary_ticks"` // this pass's measured global
+	Min      uint64        `json:"min_ticks"`
+	Pairs    int           `json:"pairs"`
+	CPUs     int           `json:"cpus"`
+	Duration time.Duration `json:"duration_ns"`
+	Applied  bool          `json:"applied"` // published via SetBoundary
+	Err      string        `json:"err,omitempty"`
+}
+
+// Snapshot is the expvar-compatible view of the whole subsystem: current
+// boundary, calibration history, drift estimate, and the hot-path counters.
+type Snapshot struct {
+	BoundaryTicks uint64  `json:"boundary_ticks"`
+	BoundaryNS    float64 `json:"boundary_ns,omitempty"`
+	TickHz        uint64  `json:"tick_hz,omitempty"`
+
+	Passes    uint64 `json:"calibration_passes"`
+	Widenings uint64 `json:"boundary_widenings"`
+	Anomalies uint64 `json:"clock_anomalies"`
+	History   []Pass `json:"calibration_history"`
+
+	DriftPPM float64 `json:"drift_ppm"`
+
+	CmpBefore     uint64  `json:"cmp_before"`
+	CmpUncertain  uint64  `json:"cmp_uncertain"`
+	CmpAfter      uint64  `json:"cmp_after"`
+	UncertainRate float64 `json:"uncertain_rate"`
+
+	NewTimeCalls uint64 `json:"newtime_calls"`
+	NewTimeSpins uint64 `json:"newtime_spins"`
+	NewTimeTicks uint64 `json:"newtime_ticks"`
+}
+
+// Monitor keeps one Ordo primitive's boundary honest: each pass re-runs the
+// boundary calibration and atomically widens the published boundary when
+// the measured skew exceeds it, and compares the invariant counter's rate
+// against the OS monotonic clock to detect frequency anomalies. Concurrent
+// CmpTime/NewTime callers are never interrupted — they observe the boundary
+// through its atomic holder.
+//
+// Monitor is safe for concurrent use; Start/Stop manage the background
+// goroutine, RunOnce drives a pass synchronously (used by CLIs and tests).
+type Monitor struct {
+	o     *core.Ordo
+	opt   Options
+	stats *Stats
+
+	mu        sync.Mutex // cold state only: history, drift baseline
+	history   []Pass
+	passes    uint64
+	widenings uint64
+	anomalies uint64
+	driftPPM  float64
+	haveBase  bool
+	baseTick  core.Time
+	baseWall  time.Time
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewMonitor builds a Monitor for o. The monitor does nothing until Start
+// or RunOnce is called.
+func NewMonitor(o *core.Ordo, opt Options) *Monitor {
+	if o == nil {
+		panic("health: nil Ordo")
+	}
+	if opt.Sampler == nil {
+		opt.Sampler = &core.HardwareSampler{AllowUnpinned: true}
+	}
+	if opt.Interval <= 0 {
+		opt.Interval = DefaultInterval
+	}
+	if opt.HistorySize <= 0 {
+		opt.HistorySize = 32
+	}
+	if opt.DriftThresholdPPM <= 0 {
+		opt.DriftThresholdPPM = 500
+	}
+	if opt.ReadClock == nil {
+		opt.ReadClock = core.Hardware.Now
+	}
+	if opt.WallClock == nil {
+		opt.WallClock = time.Now
+	}
+	s := opt.Stats
+	if s == nil {
+		s = NewStats()
+	}
+	return &Monitor{o: o, opt: opt, stats: s}
+}
+
+// Stats returns the counter sink; share it with Instrument so hot-path
+// outcomes appear in the Monitor's snapshot.
+func (m *Monitor) Stats() *Stats { return m.stats }
+
+// Ordo returns the monitored primitive.
+func (m *Monitor) Ordo() *core.Ordo { return m.o }
+
+// RunOnce performs one health pass synchronously: the drift cross-check,
+// then a full boundary recalibration, publishing a widened boundary if the
+// measured skew drifted past the current one. The returned error reflects
+// calibration failure; the pass is still recorded in the history.
+func (m *Monitor) RunOnce() error {
+	m.driftCheck()
+
+	start := m.opt.WallClock()
+	b, err := core.ComputeBoundary(m.opt.Sampler, m.opt.Calibration)
+	pass := Pass{
+		When:     start,
+		Duration: m.opt.WallClock().Sub(start),
+	}
+	if err != nil {
+		pass.Err = err.Error()
+		m.record(pass)
+		return fmt.Errorf("health: recalibration: %w", err)
+	}
+	pass.Boundary = uint64(b.Global)
+	pass.Min = uint64(b.Min)
+	pass.Pairs = b.Pairs
+	pass.CPUs = b.CPUs
+
+	cur := m.o.Boundary()
+	if b.Global > cur || (m.opt.AllowShrink && b.Global < cur) {
+		m.o.SetBoundary(b.Global)
+		pass.Applied = true
+	}
+	m.record(pass)
+	return nil
+}
+
+// driftCheck compares the invariant counter's advance against the OS
+// monotonic clock since the previous pass. A deviation beyond the
+// threshold means the counter is not running at its calibrated frequency —
+// a VM migration, an unstable TSC, or a miscalibrated tick rate — and is
+// counted as a clock anomaly. The boundary itself is re-established by the
+// calibration pass that follows; the drift figure is observability.
+func (m *Monitor) driftCheck() {
+	tick := m.opt.ReadClock()
+	wall := m.opt.WallClock()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.haveBase {
+		m.haveBase = true
+		m.baseTick, m.baseWall = tick, wall
+		return
+	}
+	dt := wall.Sub(m.baseWall).Seconds()
+	dticks := float64(tick - m.baseTick)
+	m.baseTick, m.baseWall = tick, wall
+	if dt <= 0 || dticks <= 0 {
+		return
+	}
+	hz := m.tickHz()
+	if hz == 0 {
+		return
+	}
+	observed := dticks / dt
+	m.driftPPM = (observed - float64(hz)) / float64(hz) * 1e6
+	if m.driftPPM > m.opt.DriftThresholdPPM || m.driftPPM < -m.opt.DriftThresholdPPM {
+		m.anomalies++
+	}
+}
+
+func (m *Monitor) tickHz() uint64 {
+	if m.opt.TickHz != 0 {
+		return m.opt.TickHz
+	}
+	return tsc.Frequency()
+}
+
+func (m *Monitor) record(p Pass) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.passes++
+	if p.Applied {
+		m.widenings++
+	}
+	m.history = append(m.history, p)
+	if over := len(m.history) - m.opt.HistorySize; over > 0 {
+		m.history = append(m.history[:0], m.history[over:]...)
+	}
+}
+
+// Start launches the background recalibration loop. It panics if the
+// Monitor is already running.
+func (m *Monitor) Start() {
+	m.mu.Lock()
+	if m.stop != nil {
+		m.mu.Unlock()
+		panic("health: Monitor already started")
+	}
+	m.stop = make(chan struct{})
+	m.done = make(chan struct{})
+	stop, done := m.stop, m.done
+	m.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(m.opt.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				// Calibration errors are recorded in the history; the
+				// loop keeps going — a transient pinning failure must not
+				// kill long-running health monitoring.
+				_ = m.RunOnce()
+			}
+		}
+	}()
+}
+
+// Stop halts the background loop and waits for it to exit. Stopping a
+// never-started or already-stopped Monitor is a no-op.
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	stop, done := m.stop, m.done
+	m.stop, m.done = nil, nil
+	m.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Snapshot returns a consistent point-in-time view of the subsystem.
+func (m *Monitor) Snapshot() Snapshot {
+	before, uncertain, after := m.stats.CmpCounts()
+	calls, spins, ticks := m.stats.NewTimeCounts()
+
+	m.mu.Lock()
+	snap := Snapshot{
+		BoundaryTicks: uint64(m.o.Boundary()),
+		Passes:        m.passes,
+		Widenings:     m.widenings,
+		Anomalies:     m.anomalies,
+		DriftPPM:      m.driftPPM,
+		History:       append([]Pass(nil), m.history...),
+		CmpBefore:     before,
+		CmpUncertain:  uncertain,
+		CmpAfter:      after,
+		NewTimeCalls:  calls,
+		NewTimeSpins:  spins,
+		NewTimeTicks:  ticks,
+	}
+	m.mu.Unlock()
+
+	snap.TickHz = m.tickHz()
+	if snap.TickHz != 0 {
+		snap.BoundaryNS = float64(snap.BoundaryTicks) / float64(snap.TickHz) * 1e9
+	}
+	if total := before + uncertain + after; total > 0 {
+		snap.UncertainRate = float64(uncertain) / float64(total)
+	}
+	return snap
+}
+
+// Expvar adapts the Monitor to the expvar interface; publish it with
+// expvar.Publish("ordo.health", m.Expvar()) to expose the snapshot on
+// /debug/vars.
+func (m *Monitor) Expvar() expvar.Func {
+	return expvar.Func(func() any { return m.Snapshot() })
+}

@@ -1,0 +1,126 @@
+// Package health is the clock-health observability and continuous
+// recalibration subsystem for the Ordo primitive.
+//
+// Ordo's correctness rests on one inequality: the calibrated ORDO_BOUNDARY
+// must stay an upper bound on the physical clock skew between any two
+// cores. A single calibration pass at startup establishes it, but nothing
+// re-checks it afterwards, and nothing tells an operator whether CmpTime
+// comparisons are coming out Uncertain at 0.1% or at 50%. This package
+// closes both gaps:
+//
+//   - Stats is a lock-free sharded counter sink for the hot paths: CmpTime
+//     outcome counts (Before / Uncertain / After), NewTime call, spin and
+//     tick totals. Sharding by goroutine-stack address keeps concurrent
+//     writers off each other's cache lines, which matters because the
+//     whole point of Ordo is to avoid contended cache lines.
+//   - Instrumented wraps an *core.Ordo with the same three methods,
+//     recording every outcome into a Stats.
+//   - Monitor periodically re-runs the boundary calibration in the
+//     background, atomically widening the published boundary when the
+//     measured skew has drifted past it, and cross-checks the invariant
+//     counter against the OS monotonic clock to catch frequency anomalies.
+//     Snapshot exposes everything as one expvar-compatible JSON value.
+package health
+
+import (
+	"sync/atomic"
+	"unsafe"
+
+	"ordo/internal/core"
+)
+
+// shardCount is the number of counter shards; a power of two so the shard
+// pick is a mask, sized well past the core counts where sharing would hurt.
+const shardCount = 64
+
+// shard is one cache line of counters. 6×8 bytes of counters + 16 bytes of
+// padding keeps each shard the sole occupant of its 64-byte line.
+type shard struct {
+	cmpBefore    atomic.Uint64
+	cmpUncertain atomic.Uint64
+	cmpAfter     atomic.Uint64
+	newTimeCalls atomic.Uint64
+	newTimeSpins atomic.Uint64
+	newTimeTicks atomic.Uint64
+	_            [2]uint64
+}
+
+// Stats accumulates hot-path counters without locks: writers atomically add
+// to a shard chosen from their goroutine's stack address, readers sum all
+// shards. Adds never contend with reads and rarely with each other, and
+// totals are exact — a collision only means two goroutines share a line,
+// never that a count is lost.
+//
+// The zero value is ready to use; Stats must not be copied after first use.
+type Stats struct {
+	shards [shardCount]shard
+}
+
+// NewStats returns an empty counter sink.
+func NewStats() *Stats { return &Stats{} }
+
+// shard picks this goroutine's counter shard. Goroutine stacks are distinct
+// heap allocations, so the address of any stack variable identifies the
+// goroutine cheaply; folding the bits above the typical stack-slot range
+// spreads goroutines across shards while keeping one goroutine on one shard
+// (good locality) between stack moves.
+func (s *Stats) shard() *shard {
+	var probe byte
+	h := uintptr(unsafe.Pointer(&probe)) >> 10 // drop in-stack offset bits
+	h ^= h >> 7
+	h *= 0x9E3779B9 // odd Fibonacci-hash multiplier, fits 32-bit uintptr
+	return &s.shards[h&(shardCount-1)]
+}
+
+// RecordCmp counts one CmpTime outcome (core.Before / Uncertain / After).
+func (s *Stats) RecordCmp(outcome int) {
+	sh := s.shard()
+	switch outcome {
+	case core.Before:
+		sh.cmpBefore.Add(1)
+	case core.After:
+		sh.cmpAfter.Add(1)
+	default:
+		sh.cmpUncertain.Add(1)
+	}
+}
+
+// RecordNewTime counts one NewTime call that spun `spins` times and took
+// `ticks` clock ticks from entry to the returned timestamp.
+func (s *Stats) RecordNewTime(spins, ticks uint64) {
+	sh := s.shard()
+	sh.newTimeCalls.Add(1)
+	sh.newTimeSpins.Add(spins)
+	sh.newTimeTicks.Add(ticks)
+}
+
+// CmpCounts returns the totals of each CmpTime outcome.
+func (s *Stats) CmpCounts() (before, uncertain, after uint64) {
+	for i := range s.shards {
+		before += s.shards[i].cmpBefore.Load()
+		uncertain += s.shards[i].cmpUncertain.Load()
+		after += s.shards[i].cmpAfter.Load()
+	}
+	return before, uncertain, after
+}
+
+// NewTimeCounts returns NewTime call, spin-iteration and tick totals.
+func (s *Stats) NewTimeCounts() (calls, spins, ticks uint64) {
+	for i := range s.shards {
+		calls += s.shards[i].newTimeCalls.Load()
+		spins += s.shards[i].newTimeSpins.Load()
+		ticks += s.shards[i].newTimeTicks.Load()
+	}
+	return calls, spins, ticks
+}
+
+// UncertainRate returns the fraction of recorded comparisons that came out
+// Uncertain, or 0 when nothing has been recorded.
+func (s *Stats) UncertainRate() float64 {
+	b, u, a := s.CmpCounts()
+	total := b + u + a
+	if total == 0 {
+		return 0
+	}
+	return float64(u) / float64(total)
+}

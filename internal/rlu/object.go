@@ -43,7 +43,9 @@ func Dereference[T any](t *Thread, o *Object[T]) *T {
 		return &c.data
 	}
 	wc := c.owner.writeClock.Load()
-	if t.d.ord.certainlyBefore(t.localClock.Load(), wc) {
+	before, unc := t.d.ord.certainlyBefore(t.localClock.Load(), wc)
+	t.countCmp(unc)
+	if before {
 		// Our section certainly predates the owner's commit (or the owner
 		// has no commit in flight): read the original snapshot.
 		return &o.data

@@ -12,21 +12,25 @@ import (
 // the negative-skew snapshot hazard that the extra commit-time
 // ORDO_BOUNDARY plus the conservative steal rule eliminate.
 
+// cb/ca discard the uncertainty flag for tests that only assert certainty.
+func cb(o ordering, a, b uint64) bool { r, _ := o.certainlyBefore(a, b); return r }
+func ca(o ordering, a, b uint64) bool { r, _ := o.certainlyAfter(a, b); return r }
+
 func TestLogicalOrderingRules(t *testing.T) {
 	l := &logicalClock{}
 	// Original RLU steal rule: steal iff write_clock <= local_clock, i.e.
 	// read the original iff local < write.
-	if !l.certainlyBefore(4, 5) {
+	if !cb(l, 4, 5) {
 		t.Error("logical certainlyBefore(4,5) = false")
 	}
-	if l.certainlyBefore(5, 5) {
+	if cb(l, 5, 5) {
 		t.Error("logical certainlyBefore(5,5) = true; equal clocks must steal")
 	}
 	// Quiescence: a reader that started at or after the commit is safe.
-	if !l.certainlyAfter(5, 5) {
+	if !ca(l, 5, 5) {
 		t.Error("logical certainlyAfter(5,5) = false")
 	}
-	if l.certainlyAfter(4, 5) {
+	if ca(l, 4, 5) {
 		t.Error("logical certainlyAfter(4,5) = true")
 	}
 	// commitClock returns global+1 and advances, in one step.
@@ -47,18 +51,18 @@ func TestOrdoOrderingRules(t *testing.T) {
 	c := ordoClock{o}
 
 	// Inactive markers are never stolen from and never "after" anything.
-	if !c.certainlyBefore(5000, inactive) {
+	if !cb(c, 5000, inactive) {
 		t.Error("certainlyBefore(x, inactive) must be true (no steal)")
 	}
-	if c.certainlyAfter(5000, inactive) {
+	if ca(c, 5000, inactive) {
 		t.Error("certainlyAfter(x, inactive) must be false")
 	}
 	// Within the boundary: neither certainly before nor after.
-	if c.certainlyBefore(1000, 1050) || c.certainlyAfter(1050, 1000) {
+	if cb(c, 1000, 1050) || ca(c, 1050, 1000) {
 		t.Error("within-boundary pair treated as certain")
 	}
 	// Outside the boundary: both directions certain.
-	if !c.certainlyBefore(1000, 1200) || !c.certainlyAfter(1200, 1000) {
+	if !cb(c, 1000, 1200) || !ca(c, 1200, 1000) {
 		t.Error("beyond-boundary pair treated as uncertain")
 	}
 	// commitClock adds an extra boundary: result > local + 2*boundary.
@@ -93,7 +97,7 @@ func TestNegativeSkewSnapshotHazard(t *testing.T) {
 		writeClock := commitReal            // writer's clock at new_time return (skew 0 WLOG)
 		readerLocal := commitReal - lag + 1 // begins just after the commit
 		// The reader must NOT be directed to the original object.
-		return !c.certainlyBefore(readerLocal, writeClock)
+		return !cb(c, readerLocal, writeClock)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Error(err)
@@ -104,10 +108,10 @@ func TestNegativeSkewSnapshotHazard(t *testing.T) {
 	// the original mid-writeback.
 	writeClock := uint64(1 << 20)
 	readerLocal := writeClock - 100 // began after commit, clock lags 100ns
-	if c.certainlyAfter(readerLocal, writeClock) {
+	if ca(c, readerLocal, writeClock) {
 		t.Fatal("test setup broken: reader should be inside the window")
 	}
-	if c.certainlyBefore(readerLocal, writeClock) {
+	if cb(c, readerLocal, writeClock) {
 		t.Fatal("conservative rule failed: lagging post-commit reader sent to original")
 	}
 }
@@ -118,7 +122,7 @@ func TestStealRuleDegeneratesToOriginal(t *testing.T) {
 	l := &logicalClock{}
 	f := func(local, write uint64) bool {
 		originalSteals := write <= local
-		oursReadsOriginal := l.certainlyBefore(local, write)
+		oursReadsOriginal := cb(l, local, write)
 		return originalSteals == !oursReadsOriginal
 	}
 	if err := quick.Check(f, nil); err != nil {

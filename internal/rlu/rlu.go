@@ -40,7 +40,10 @@ import (
 // no reader can consider stealing from it.
 const inactive = math.MaxUint64
 
-// ordering abstracts the two clock designs.
+// ordering abstracts the two clock designs. The comparison methods also
+// report whether the outcome was uncertain — always false for the exact
+// logical clock — so call sites can count how often the Ordo design's
+// conservatism actually fires (clock-health observability).
 type ordering interface {
 	// readClock returns the value a beginning operation records.
 	readClock() uint64
@@ -48,11 +51,11 @@ type ordering interface {
 	// the global clock in the logical design.
 	commitClock(localClock uint64) uint64
 	// certainlyAfter reports a > b with certainty (quiescence check).
-	certainlyAfter(a, b uint64) bool
+	certainlyAfter(a, b uint64) (after, uncertain bool)
 	// certainlyBefore reports a < b with certainty (steal check: a reader
 	// reads the original object only when its clock is certainly before
 	// the owner's commit; otherwise it steals the committed copy).
-	certainlyBefore(a, b uint64) bool
+	certainlyBefore(a, b uint64) (before, uncertain bool)
 }
 
 // logicalClock is the original RLU ordering: one contended cache line.
@@ -69,12 +72,12 @@ func (l *logicalClock) commitClock(uint64) uint64 {
 	// of lines, but in one atomic step.
 	return l.clock.Add(1)
 }
-func (l *logicalClock) certainlyAfter(a, b uint64) bool { return a >= b }
+func (l *logicalClock) certainlyAfter(a, b uint64) (bool, bool) { return a >= b, false }
 
 // certainlyBefore(a, b) == a < b makes the steal check "steal unless
 // certainly before" identical to the original RLU rule
 // "steal iff write_clock <= local_clock".
-func (l *logicalClock) certainlyBefore(a, b uint64) bool { return a < b }
+func (l *logicalClock) certainlyBefore(a, b uint64) (bool, bool) { return a < b, false }
 
 // ordoClock is the Ordo ordering from §4.1.
 type ordoClock struct{ o *core.Ordo }
@@ -85,13 +88,15 @@ func (c ordoClock) commitClock(localClock uint64) uint64 {
 	// the stealing reader's clock lags the committer's by a full skew.
 	return uint64(c.o.NewTime(core.Time(localClock) + c.o.Boundary()))
 }
-func (c ordoClock) certainlyAfter(a, b uint64) bool {
+func (c ordoClock) certainlyAfter(a, b uint64) (bool, bool) {
 	if b == inactive {
 		// Nothing can be certainly after an inactive marker; guards the
-		// CmpTime arithmetic against wraparound at MaxUint64.
-		return false
+		// CmpTime arithmetic against wraparound at MaxUint64. Not a clock
+		// comparison, so not an uncertain outcome either.
+		return false, false
 	}
-	return c.o.CmpTime(core.Time(a), core.Time(b)) == core.After
+	r := c.o.CmpTime(core.Time(a), core.Time(b))
+	return r == core.After, r == core.Uncertain
 }
 
 // certainlyBefore treats the uncertain window conservatively on the steal
@@ -101,11 +106,12 @@ func (c ordoClock) certainlyAfter(a, b uint64) bool {
 // after the commit is legal, and stealing keeps it away from the original
 // object that the writer is about to write back — the hazard the paper's
 // extra commit-time ORDO_BOUNDARY addresses (§4.1).
-func (c ordoClock) certainlyBefore(a, b uint64) bool {
+func (c ordoClock) certainlyBefore(a, b uint64) (bool, bool) {
 	if b == inactive {
-		return true // an inactive owner's copy is never stolen
+		return true, false // an inactive owner's copy is never stolen
 	}
-	return c.o.CmpTime(core.Time(a), core.Time(b)) == core.Before
+	r := c.o.CmpTime(core.Time(a), core.Time(b))
+	return r == core.Before, r == core.Uncertain
 }
 
 // Mode selects the clock design for a Domain.
@@ -177,6 +183,20 @@ type Thread struct {
 	commits uint64
 	aborts  uint64
 	syncs   uint64
+
+	// Clock-health stats: comparisons this thread performed (steal checks
+	// in Dereference, quiescence checks in synchronize) and how many came
+	// out uncertain — always zero under the exact logical clock.
+	clockCmps      uint64
+	clockUncertain uint64
+}
+
+// countCmp tallies one clock comparison outcome for ClockStats.
+func (t *Thread) countCmp(uncertain bool) {
+	t.clockCmps++
+	if uncertain {
+		t.clockUncertain++
+	}
 }
 
 // logged is one write-log entry; the concrete type carries the object.
@@ -305,7 +325,9 @@ func (t *Thread) synchronize() {
 			if other.runCount.Load() != wait[i] {
 				break // has since progressed
 			}
-			if t.d.ord.certainlyAfter(other.localClock.Load(), wc) {
+			after, unc := t.d.ord.certainlyAfter(other.localClock.Load(), wc)
+			t.countCmp(unc)
+			if after {
 				break // started after my commit: reads the new snapshot
 			}
 			if spins%128 == 127 {
@@ -318,4 +340,13 @@ func (t *Thread) synchronize() {
 // Stats reports per-thread counters.
 func (t *Thread) Stats() (commits, aborts, syncs uint64) {
 	return t.commits, t.aborts, t.syncs
+}
+
+// ClockStats reports this thread's clock-comparison counters: how many
+// steal/quiescence comparisons it performed and how many fell inside the
+// uncertainty window (forcing a conservative steal or a longer quiescence
+// wait). The ratio is the thread's Uncertain rate; always 0/cmps under the
+// logical clock.
+func (t *Thread) ClockStats() (cmps, uncertain uint64) {
+	return t.clockCmps, t.clockUncertain
 }

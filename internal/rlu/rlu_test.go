@@ -355,3 +355,50 @@ func TestReadOnlySectionNoCommit(t *testing.T) {
 		t.Fatalf("read-only section committed/synchronized: %d/%d", commits, syncs)
 	}
 }
+
+func TestClockStatsCountComparisons(t *testing.T) {
+	// A thread that steals another writer's copy and a writer that waits
+	// out a concurrent reader both perform counted clock comparisons; the
+	// logical clock must never report an uncertain outcome.
+	for name, d := range domains(t) {
+		t.Run(name, func(t *testing.T) {
+			writer := d.RegisterThread()
+			reader := d.RegisterThread()
+			obj := NewObject(1)
+
+			writer.ReaderLock()
+			if p, ok := TryLock(writer, obj); !ok {
+				t.Fatal("TryLock failed with no contention")
+			} else {
+				*p = 2
+			}
+			writer.ReaderUnlock() // commit: quiescence scan over reader
+
+			reader.ReaderLock()
+			_ = *Dereference(reader, obj) // unlocked: no comparison needed
+			reader.ReaderUnlock()
+
+			// A second section overlapping a locked object forces the
+			// steal check through the ordering interface.
+			writer.ReaderLock()
+			if _, ok := TryLock(writer, obj); !ok {
+				t.Fatal("relock failed")
+			}
+			reader.ReaderLock()
+			_ = *Dereference(reader, obj)
+			rc, ru := reader.ClockStats()
+			reader.ReaderUnlock()
+			writer.ReaderUnlock()
+
+			if rc == 0 {
+				t.Fatal("reader performed no counted clock comparisons")
+			}
+			if ru > rc {
+				t.Fatalf("reader ClockStats() = %d,%d: uncertain exceeds total", rc, ru)
+			}
+			if name == "logical" && ru != 0 {
+				t.Fatalf("logical clock reported %d uncertain comparisons", ru)
+			}
+		})
+	}
+}

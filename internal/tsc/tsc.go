@@ -65,23 +65,30 @@ var (
 )
 
 func measureFrequency() {
-	// Two short windows; keep the one with the smaller wall-clock error.
+	// Three short windows; keep the one with the shortest elapsed time.
+	// Elapsed beyond the 2ms target is overshoot — preemption or a slow
+	// time.Since path inside the window — so the shortest window carries
+	// the smallest wall-clock error. The loop's own final time.Since
+	// reading is reused as the divisor so no extra call lands between the
+	// wall-clock read and the counter read it is paired with.
 	best := uint64(0)
+	bestEl := time.Duration(1<<63 - 1)
 	for i := 0; i < 3; i++ {
 		t0 := time.Now()
 		c0 := readCounter()
 		// Busy-spin a short, bounded window: sleeping would let the OS
 		// migrate or descale us on some systems.
-		for time.Since(t0) < 2*time.Millisecond {
+		var el time.Duration
+		for el < 2*time.Millisecond {
+			el = time.Since(t0)
 		}
 		c1 := readCounter()
-		el := time.Since(t0)
 		if el <= 0 || c1 <= c0 {
 			continue
 		}
-		f := uint64(float64(c1-c0) / el.Seconds())
-		if f > best {
-			best = f
+		if el < bestEl {
+			bestEl = el
+			best = uint64(float64(c1-c0) / el.Seconds())
 		}
 	}
 	if best == 0 {

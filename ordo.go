@@ -23,7 +23,10 @@
 // under cmd/ordo-bench.
 package ordo
 
-import "ordo/internal/core"
+import (
+	"ordo/internal/core"
+	"ordo/internal/health"
+)
 
 // Time is an invariant-clock timestamp in ticks. See core.Time.
 type Time = core.Time
@@ -84,4 +87,46 @@ type PairTable = core.PairTable
 // ComputePairTable measures every pair and retains per-pair windows.
 func ComputePairTable(s PairSampler, opts CalibrationOptions) (*PairTable, error) {
 	return core.ComputePairTable(s, opts)
+}
+
+// Monitor watches a calibrated Ordo primitive in the background: it
+// periodically re-runs the calibration protocol, publishes a widened
+// boundary when clock drift demands one, and cross-checks the invariant
+// clock's advertised frequency against the OS monotonic clock. See
+// internal/health for the full behavior.
+type Monitor = health.Monitor
+
+// MonitorOptions tunes a Monitor (calibration cadence, drift threshold,
+// stats sink). The zero value is usable.
+type MonitorOptions = health.Options
+
+// HealthStats is a lock-free sharded sink for hot-path clock statistics
+// (CmpTime outcome counts, NewTime spin durations). Share one instance
+// between Instrument and NewMonitor to see hot-path rates in snapshots.
+type HealthStats = health.Stats
+
+// HealthSnapshot is a point-in-time, JSON-marshalable view of boundary,
+// calibration history, drift estimate and hot-path counters.
+type HealthSnapshot = health.Snapshot
+
+// CalibrationPass records one background recalibration in a snapshot.
+type CalibrationPass = health.Pass
+
+// Instrumented wraps an Ordo primitive so every CmpTime / NewTime call
+// is tallied into a HealthStats sink.
+type Instrumented = health.Instrumented
+
+// NewHealthStats allocates a stats sink for Instrument / MonitorOptions.
+func NewHealthStats() *HealthStats { return health.NewStats() }
+
+// Instrument wraps o with hot-path counting. A nil stats allocates one.
+func Instrument(o *Ordo, stats *HealthStats) *Instrumented {
+	return health.Instrument(o, stats)
+}
+
+// NewMonitor builds a health monitor for o. Call Start for background
+// recalibration, or RunOnce to drive passes manually; Snapshot at any
+// time for the current health view.
+func NewMonitor(o *Ordo, opts MonitorOptions) *Monitor {
+	return health.NewMonitor(o, opts)
 }

@@ -1,6 +1,7 @@
 package ordo_test
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"ordo"
@@ -77,4 +78,43 @@ func TestConstantsMatch(t *testing.T) {
 	if ordo.Before != -1 || ordo.Uncertain != 0 || ordo.After != 1 {
 		t.Fatal("comparison constants changed")
 	}
+}
+
+func TestPublicHealthMonitorSmoke(t *testing.T) {
+	// The health façade: instrument a primitive, drive a pass by hand,
+	// and read a snapshot that reflects both hot-path and cold-path state.
+	var now atomic.Uint64
+	clock := ordo.ClockFunc(func() ordo.Time { return ordo.Time(now.Add(25)) })
+	o := ordo.New(clock, 100)
+
+	stats := ordo.NewHealthStats()
+	ins := ordo.Instrument(o, stats)
+	ins.CmpTime(ins.GetTime(), ins.GetTime())
+	ins.NewTime(ins.GetTime())
+
+	m := ordo.NewMonitor(o, ordo.MonitorOptions{
+		Sampler: fixedSampler{offset: 200},
+		Stats:   stats,
+	})
+	if err := m.RunOnce(); err != nil {
+		t.Fatalf("RunOnce: %v", err)
+	}
+	snap := m.Snapshot()
+	if snap.Passes != 1 {
+		t.Fatalf("Passes = %d, want 1", snap.Passes)
+	}
+	if snap.BoundaryTicks <= 100 {
+		t.Fatalf("boundary not widened: %d", snap.BoundaryTicks)
+	}
+	if snap.NewTimeCalls == 0 || snap.CmpUncertain+snap.CmpBefore+snap.CmpAfter == 0 {
+		t.Fatal("snapshot missing hot-path counters")
+	}
+}
+
+// fixedSampler reports a constant offset between every CPU pair.
+type fixedSampler struct{ offset int64 }
+
+func (fixedSampler) NumCPUs() int { return 2 }
+func (s fixedSampler) MeasureOffset(_, _, _ int) (int64, error) {
+	return s.offset, nil
 }
