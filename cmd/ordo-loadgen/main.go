@@ -1,0 +1,316 @@
+// Command ordo-loadgen drives an ordod server with a YCSB-shaped workload
+// over the wire protocol: a pool of closed-loop client connections, each
+// pipelining a window of requests, measuring throughput and per-op-type
+// latency quantiles (p50/p99/p999) from the client side of the socket.
+//
+// Usage:
+//
+//	ordo-loadgen -addr 127.0.0.1:7421 -conns 4 -ops 10000
+//	ordo-loadgen -seconds 2 -reads 0.5 -theta 0.9
+//	ordo-loadgen -txn-ops 2            # TXN frames of 2 ops (paper §6.5 shape)
+//
+// CONFLICT and BUSY responses are legitimate protocol answers: the op is
+// re-issued and counted separately. Any ERR status, decode failure or
+// transport error is a protocol error; the process exits 1 if any occur.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"ordo/internal/db/ycsb"
+	"ordo/internal/hist"
+	"ordo/internal/wire"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7421", "ordod address")
+		conns   = flag.Int("conns", 4, "client connections (one goroutine each)")
+		window  = flag.Int("pipeline", 32, "pipelined requests in flight per connection")
+		ops     = flag.Int("ops", 10000, "ops per connection (ignored when -seconds > 0)")
+		seconds = flag.Float64("seconds", 0, "run duration; overrides -ops when positive")
+		records = flag.Int("records", 4096, "keyspace size (preloaded before the run)")
+		reads   = flag.Float64("reads", 0.5, "fraction of ops that are GETs")
+		theta   = flag.Float64("theta", 0, "Zipfian skew (0 = uniform)")
+		txnOps  = flag.Int("txn-ops", 0, "when positive, send TXN frames of this many ops instead of simple ops")
+		seed    = flag.Int64("seed", 1, "base RNG seed (connection i uses seed+i)")
+		dialFor = flag.Duration("dial-for", 5*time.Second, "keep retrying the first dial for this long")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *conns, *window, *ops, *seconds, *records,
+		*reads, *theta, *txnOps, *seed, *dialFor); err != nil {
+		fmt.Fprintf(os.Stderr, "ordo-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// opClasses index the per-type histograms.
+const (
+	clGet = iota
+	clPut
+	clTxn
+	nClasses
+)
+
+var classNames = [nClasses]string{"GET", "PUT", "TXN"}
+
+// workerResult is one connection's tallies.
+type workerResult struct {
+	hists     [nClasses]hist.H
+	done      uint64 // ops completed OK
+	conflicts uint64 // CONFLICT answers (re-issued)
+	busy      uint64 // BUSY answers (re-issued)
+	err       error
+}
+
+func run(addr string, conns, window, ops int, seconds float64, records int,
+	reads, theta float64, txnOps int, seed int64, dialFor time.Duration) error {
+	if conns <= 0 || window <= 0 || records <= 0 {
+		return fmt.Errorf("-conns, -pipeline and -records must be positive")
+	}
+	cfg := ycsb.Config{Records: records, ReadRatio: reads, Theta: theta}
+	if _, err := ycsb.NewGen(cfg, 0); err != nil {
+		return err
+	}
+
+	// Wait for the server, then preload the keyspace on one connection.
+	nc, err := dialRetry(addr, dialFor)
+	if err != nil {
+		return err
+	}
+	if err := preload(wire.NewConn(nc), records, window); err != nil {
+		nc.Close()
+		return fmt.Errorf("preload: %w", err)
+	}
+	nc.Close()
+
+	var deadline time.Time
+	if seconds > 0 {
+		deadline = time.Now().Add(time.Duration(seconds * float64(time.Second)))
+	}
+
+	results := make([]workerResult, conns)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			gen, err := ycsb.NewGen(cfg, seed+int64(i))
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			results[i].err = runConn(addr, gen, &results[i], window, ops, deadline, txnOps)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Aggregate.
+	var total workerResult
+	for i := range results {
+		if results[i].err != nil && total.err == nil {
+			total.err = fmt.Errorf("conn %d: %w", i, results[i].err)
+		}
+		total.done += results[i].done
+		total.conflicts += results[i].conflicts
+		total.busy += results[i].busy
+		for c := 0; c < nClasses; c++ {
+			total.hists[c].Merge(&results[i].hists[c])
+		}
+	}
+
+	fmt.Printf("ran %d ops on %d conns (pipeline %d) in %v: %.0f ops/s\n",
+		total.done, conns, window, elapsed.Round(time.Millisecond),
+		float64(total.done)/elapsed.Seconds())
+	fmt.Printf("re-issued: %d conflicts, %d busy\n", total.conflicts, total.busy)
+	for c := 0; c < nClasses; c++ {
+		if total.hists[c].Count() == 0 {
+			continue
+		}
+		fmt.Printf("%-4s %s\n", classNames[c], total.hists[c].String())
+	}
+
+	// Close with the server's own view of the run.
+	if nc, err := dialRetry(addr, dialFor); err == nil {
+		c := wire.NewConn(nc)
+		if resp, err := c.Do(&wire.Request{Op: wire.OpStats}); err == nil && resp.Stats != nil {
+			s := resp.Stats
+			fmt.Printf("server [%s]: commits=%d aborts=%d batches=%d batched_ops=%d shed=%d clock_cmps=%d uncertain=%d\n",
+				s.Protocol, s.Commits, s.Aborts, s.Batches, s.BatchedOps,
+				s.Busy, s.ClockCmps, s.ClockUncertain)
+		}
+		nc.Close()
+	}
+
+	if total.err != nil {
+		return total.err
+	}
+	if total.done == 0 {
+		return fmt.Errorf("no ops completed")
+	}
+	return nil
+}
+
+// dialRetry dials addr, retrying while the server comes up.
+func dialRetry(addr string, dialFor time.Duration) (net.Conn, error) {
+	var lastErr error
+	stop := time.Now().Add(dialFor)
+	for {
+		nc, err := net.Dial("tcp", addr)
+		if err == nil {
+			return nc, nil
+		}
+		lastErr = err
+		if time.Now().After(stop) {
+			return nil, fmt.Errorf("dial %s: %w", addr, lastErr)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// preload pipelines INSERTs for the whole keyspace; DUPLICATE answers are
+// fine (another loadgen or an earlier run already loaded the row).
+func preload(c *wire.Conn, records, window int) error {
+	inFlight := 0
+	next := 0
+	answered := 0
+	for answered < records {
+		for inFlight < window && next < records {
+			vals := make([]uint64, ycsb.Cols)
+			for j := range vals {
+				vals[j] = uint64(next)
+			}
+			if err := c.WriteRequest(&wire.Request{Op: wire.OpInsert, Key: uint64(next), Vals: vals}); err != nil {
+				return err
+			}
+			next++
+			inFlight++
+		}
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		resp, err := c.ReadResponse()
+		if err != nil {
+			return err
+		}
+		if resp.Status != wire.StatusOK && resp.Status != wire.StatusDuplicate {
+			return fmt.Errorf("key %d: %v", answered, resp.Status)
+		}
+		answered++
+		inFlight--
+	}
+	return nil
+}
+
+// pendingOp is one in-flight request with its issue time and class.
+type pendingOp struct {
+	req   wire.Request
+	class int
+	sent  time.Time
+}
+
+// runConn is one closed-loop connection: keep the pipeline full, read one
+// response, classify it, refill.
+func runConn(addr string, gen *ycsb.Gen, res *workerResult,
+	window, ops int, deadline time.Time, txnOps int) error {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	c := wire.NewConn(nc)
+
+	mkReq := func() (wire.Request, int) {
+		if txnOps > 0 {
+			sub := make([]wire.Request, txnOps)
+			for i := range sub {
+				sub[i] = simpleReq(gen)
+			}
+			return wire.Request{Op: wire.OpTxn, Ops: sub}, clTxn
+		}
+		r := simpleReq(gen)
+		if r.Op == wire.OpGet {
+			return r, clGet
+		}
+		return r, clPut
+	}
+
+	timed := !deadline.IsZero()
+	stopIssuing := func(issued int) bool {
+		if timed {
+			return time.Now().After(deadline)
+		}
+		return issued >= ops
+	}
+
+	var inFlight []pendingOp
+	issued := 0
+	send := func(p pendingOp) error {
+		if err := c.WriteRequest(&p.req); err != nil {
+			return err
+		}
+		p.sent = time.Now()
+		inFlight = append(inFlight, p)
+		return nil
+	}
+
+	for {
+		for len(inFlight) < window && !stopIssuing(issued) {
+			req, class := mkReq()
+			if err := send(pendingOp{req: req, class: class}); err != nil {
+				return err
+			}
+			issued++
+		}
+		if len(inFlight) == 0 {
+			return nil // issued everything and drained
+		}
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		resp, err := c.ReadResponse()
+		if err != nil {
+			return fmt.Errorf("after %d ops: %w", res.done, err)
+		}
+		p := inFlight[0]
+		inFlight = inFlight[1:]
+		switch resp.Status {
+		case wire.StatusOK:
+			res.hists[p.class].RecordDuration(time.Since(p.sent))
+			res.done++
+		case wire.StatusConflict:
+			res.conflicts++
+			if err := send(p); err != nil {
+				return err
+			}
+		case wire.StatusBusy:
+			res.busy++
+			if err := send(p); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("op %v answered %v", p.req.Op, resp.Status)
+		}
+	}
+}
+
+// simpleReq draws one GET or PUT from the generator.
+func simpleReq(gen *ycsb.Gen) wire.Request {
+	k := gen.Key()
+	if gen.IsRead() {
+		return wire.Request{Op: wire.OpGet, Key: k}
+	}
+	vals := make([]uint64, ycsb.Cols)
+	for j := range vals {
+		vals[j] = k
+	}
+	return wire.Request{Op: wire.OpPut, Key: k, Vals: vals}
+}

@@ -1,0 +1,171 @@
+// Command ordod serves an Ordo-timestamped key-value engine over TCP using
+// the wire protocol (internal/wire). It is the network face of the paper's
+// result: start it with -protocol OCC and again with -protocol OCC_ORDO and
+// the same workload measures logical-clock versus hardware-clock timestamp
+// allocation through a socket.
+//
+// Usage:
+//
+//	ordod -protocol OCC_ORDO -addr :7421
+//	ordod -protocol OCC_ORDO -monitor -health-json health.json
+//
+// SIGINT/SIGTERM drain gracefully: accepted requests finish, responses
+// flush, then the process exits 0 and (with -health-json) writes a combined
+// server + clock-health snapshot.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ordo/internal/core"
+	"ordo/internal/db"
+	"ordo/internal/health"
+	"ordo/internal/server"
+)
+
+func main() {
+	var (
+		proto = flag.String("protocol", "OCC_ORDO",
+			"engine protocol (OCC, OCC_ORDO, SILO, TICTOC, HEKATON, HEKATON_ORDO)")
+		addr     = flag.String("addr", "127.0.0.1:7421", "listen address")
+		cols     = flag.Int("cols", 10, "row width of the single served table")
+		maxBatch = flag.Int("max-batch", server.DefaultMaxBatch,
+			"max pipelined ops folded into one engine transaction")
+		queue = flag.Int("queue", server.DefaultQueueDepth,
+			"per-connection pending-op bound; ops beyond it are shed with BUSY")
+		retries = flag.Int("retries", server.DefaultMaxRetries,
+			"conflict retries per transaction before surfacing CONFLICT")
+		monitor = flag.Bool("monitor", false,
+			"run a background clock-health monitor (recalibrates the boundary periodically)")
+		monInterval = flag.Duration("monitor-interval", 2*time.Second,
+			"recalibration cadence for -monitor")
+		healthJSON = flag.String("health-json", "",
+			"write the final server+clock snapshot as JSON to this file ('-' for stdout) on shutdown")
+		calRuns = flag.Int("calibration-runs", 200, "clock-pair samples per calibration")
+	)
+	flag.Parse()
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("ordod: ")
+
+	if err := run(*proto, *addr, *cols, *maxBatch, *queue, *retries,
+		*monitor, *monInterval, *healthJSON, *calRuns); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(protoName, addr string, cols, maxBatch, queue, retries int,
+	monitor bool, monInterval time.Duration, healthJSON string, calRuns int) error {
+	proto, err := db.ParseProtocol(protoName)
+	if err != nil {
+		return err
+	}
+	if cols <= 0 {
+		return fmt.Errorf("-cols must be positive, got %d", cols)
+	}
+
+	// Calibrate the host clock only when something will use it: an
+	// Ordo-timestamped protocol, or the health monitor.
+	var (
+		ordo *core.Ordo
+		mon  *health.Monitor
+	)
+	needsOrdo := proto == db.OCCOrdo || proto == db.HekatonOrdo
+	if needsOrdo || monitor {
+		var b core.Boundary
+		ordo, b, err = core.CalibrateHardware(core.CalibrationOptions{Runs: calRuns})
+		if err != nil {
+			return fmt.Errorf("calibration: %w", err)
+		}
+		log.Printf("host ORDO_BOUNDARY: %d ticks over %d CPUs", b.Global, b.CPUs)
+	}
+	if monitor {
+		mon = health.NewMonitor(ordo, health.Options{
+			Interval:    monInterval,
+			Calibration: core.CalibrationOptions{Runs: calRuns},
+			Stats:       health.NewStats(),
+		})
+		mon.Start()
+		defer mon.Stop()
+	}
+
+	schema := db.Schema{Tables: []db.TableDef{{Name: "t0", Cols: cols}}}
+	engine, err := db.New(proto, schema, ordo)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		DB:         engine,
+		Schema:     schema,
+		MaxBatch:   maxBatch,
+		QueueDepth: queue,
+		MaxRetries: retries,
+		Monitor:    mon,
+		Logf:       log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("serving %s on %s (max-batch=%d queue=%d retries=%d)",
+		proto, ln.Addr(), maxBatch, queue, retries)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("%v: draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		if err := <-serveErr; err != nil {
+			return err
+		}
+	case err := <-serveErr:
+		return err
+	}
+
+	snap := srv.Snapshot()
+	log.Printf("drained: %d conns, %d commits, %d aborts, %d batches (avg %.1f ops), %d shed",
+		snap.ConnsTotal, snap.Commits, snap.Aborts, snap.Batches, snap.AvgBatch, snap.Busy)
+	if healthJSON != "" {
+		if err := emitSnapshot(snap, healthJSON); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func emitSnapshot(snap server.Snapshot, path string) error {
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	log.Printf("snapshot written to %s", path)
+	return nil
+}

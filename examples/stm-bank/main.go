@@ -3,10 +3,15 @@
 // observe the invariant total. It runs both clock designs and reports
 // throughput and abort rates.
 //
+// Transactions run through db.RunWithRetry over a thin adapter (tl2.Try
+// mapped onto the db.Session surface), so the STM demo and the database
+// engines share one conflict-retry policy.
+//
 //	go run ./examples/stm-bank -workers 4 -accounts 64 -seconds 1
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -15,8 +20,58 @@ import (
 	"time"
 
 	"ordo/internal/core"
+	"ordo/internal/db"
 	"ordo/internal/tl2"
 )
+
+// maxRetries caps each transaction's conflict retries; the bank's small
+// transactions never come close under a correct STM.
+const maxRetries = 1 << 20
+
+// stmSession adapts one STM heap to db.Session: each Run is one tl2.Try
+// attempt, with tl2.ErrConflict translated to db.ErrConflict so
+// db.RunWithRetry drives the retry loop. Accounts are one-column rows
+// keyed by index; the table id is ignored.
+type stmSession struct {
+	stm     *tl2.STM
+	commits uint64
+	aborts  uint64
+}
+
+func (s *stmSession) Stats() (commits, aborts uint64) { return s.commits, s.aborts }
+
+func (s *stmSession) Run(fn func(tx db.Tx) error) error {
+	var bodyErr error
+	err := s.stm.Try(func(tx *tl2.Txn) error {
+		bodyErr = fn(stmTx{tx})
+		return bodyErr
+	})
+	if err == nil {
+		s.commits++
+		return nil
+	}
+	s.aborts++
+	if errors.Is(err, tl2.ErrConflict) {
+		return db.ErrConflict
+	}
+	return bodyErr
+}
+
+type stmTx struct{ tx *tl2.Txn }
+
+func (t stmTx) Read(_ int, key uint64) ([]uint64, error) {
+	return []uint64{t.tx.Load(int(key))}, nil
+}
+func (t stmTx) Update(_ int, key uint64, vals []uint64) error {
+	t.tx.Store(int(key), vals[0])
+	return nil
+}
+func (t stmTx) Insert(int, uint64, []uint64) error {
+	return errors.New("stm-bank: fixed account set, no inserts")
+}
+func (t stmTx) Delete(int, uint64) error {
+	return errors.New("stm-bank: fixed account set, no deletes")
+}
 
 func main() {
 	var (
@@ -55,6 +110,7 @@ func runBank(name string, s *tl2.STM, workers, accounts int, seconds float64) {
 		wg.Add(1)
 		go func(seed int64) {
 			defer wg.Done()
+			sess := &stmSession{stm: s}
 			rng := rand.New(rand.NewSource(seed))
 			for {
 				select {
@@ -64,15 +120,28 @@ func runBank(name string, s *tl2.STM, workers, accounts int, seconds float64) {
 				}
 				from, to := rng.Intn(accounts), rng.Intn(accounts)
 				amount := uint64(1 + rng.Intn(10))
-				_ = s.Atomically(func(tx *tl2.Txn) error {
-					bal := tx.Load(from)
-					if bal < amount {
+				err := db.RunWithRetry(sess, maxRetries, func(tx db.Tx) error {
+					fromRow, err := tx.Read(0, uint64(from))
+					if err != nil {
+						return err
+					}
+					if fromRow[0] < amount {
 						return nil // insufficient funds: no-op commit
 					}
-					tx.Store(from, bal-amount)
-					tx.Store(to, tx.Load(to)+amount)
-					return nil
+					// Debit before reading the destination: read-your-writes
+					// keeps a self-transfer (from == to) balance-neutral.
+					if err := tx.Update(0, uint64(from), []uint64{fromRow[0] - amount}); err != nil {
+						return err
+					}
+					toRow, err := tx.Read(0, uint64(to))
+					if err != nil {
+						return err
+					}
+					return tx.Update(0, uint64(to), []uint64{toRow[0] + amount})
 				})
+				if err != nil {
+					log.Fatalf("%s: transfer failed: %v", name, err)
+				}
 			}
 		}(int64(w + 1))
 	}
@@ -82,6 +151,7 @@ func runBank(name string, s *tl2.STM, workers, accounts int, seconds float64) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		sess := &stmSession{stm: s}
 		want := uint64(accounts * initial)
 		for {
 			select {
@@ -90,13 +160,18 @@ func runBank(name string, s *tl2.STM, workers, accounts int, seconds float64) {
 			default:
 			}
 			var sum uint64
-			if err := s.Atomically(func(tx *tl2.Txn) error {
+			err := db.RunWithRetry(sess, maxRetries, func(tx db.Tx) error {
 				sum = 0
 				for a := 0; a < accounts; a++ {
-					sum += tx.Load(a)
+					row, err := tx.Read(0, uint64(a))
+					if err != nil {
+						return err
+					}
+					sum += row[0]
 				}
 				return nil
-			}); err == nil {
+			})
+			if err == nil {
 				audits++
 				if sum != want {
 					bad++

@@ -16,6 +16,7 @@ package db
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"ordo/internal/core"
 )
@@ -153,4 +154,21 @@ func MustNew(p Protocol, schema Schema, o *core.Ordo) DB {
 // (Figure 13's legend).
 func AllProtocols() []Protocol {
 	return []Protocol{Silo, TicToc, OCC, OCCOrdo, Hekaton, HekatonOrdo}
+}
+
+// ParseProtocol maps a protocol's conventional name (as printed by
+// Protocol.String, e.g. "OCC_ORDO") back to the Protocol, ignoring case.
+// Command-line -protocol flags parse through here so every binary accepts
+// exactly the names every binary prints.
+func ParseProtocol(s string) (Protocol, error) {
+	for _, p := range AllProtocols() {
+		if strings.EqualFold(s, p.String()) {
+			return p, nil
+		}
+	}
+	names := make([]string, 0, len(AllProtocols()))
+	for _, p := range AllProtocols() {
+		names = append(names, p.String())
+	}
+	return 0, fmt.Errorf("db: unknown protocol %q (known: %s)", s, strings.Join(names, ", "))
 }

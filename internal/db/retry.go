@@ -1,0 +1,49 @@
+package db
+
+import (
+	"errors"
+	"runtime"
+	"time"
+)
+
+// Retry backoff schedule: the first few conflicts only yield the processor
+// (an immediate retry usually wins — the conflicting transaction has
+// already committed), then sleeps double from retryBaseSleep up to
+// retryMaxSleep. The cap keeps worst-case added latency proportional to
+// the retry count instead of exponential in it.
+const (
+	retrySpinAttempts = 4
+	retryBaseSleep    = time.Microsecond
+	retryMaxSleep     = 256 * time.Microsecond
+)
+
+// RunWithRetry runs fn in a transaction on s, retrying attempts that abort
+// with ErrConflict up to max more times (max+1 attempts in total) with
+// capped exponential backoff between attempts. The final conflict — or any
+// error that is not a conflict, including fn's own — is returned as-is.
+//
+// This is the one conflict-retry loop in the tree: the server's batch
+// executor, the YCSB driver and the examples all funnel through it, so the
+// backoff policy is tuned in exactly one place.
+func RunWithRetry(s Session, max int, fn func(Tx) error) error {
+	for attempt := 0; ; attempt++ {
+		err := s.Run(fn)
+		if err == nil || !errors.Is(err, ErrConflict) || attempt >= max {
+			return err
+		}
+		backoff(attempt)
+	}
+}
+
+// backoff delays the (attempt+1)-th retry.
+func backoff(attempt int) {
+	if attempt < retrySpinAttempts {
+		runtime.Gosched()
+		return
+	}
+	d := retryBaseSleep << (attempt - retrySpinAttempts)
+	if d <= 0 || d > retryMaxSleep {
+		d = retryMaxSleep
+	}
+	time.Sleep(d)
+}

@@ -1,0 +1,101 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fakeSession scripts Run outcomes: it pops errors from script until the
+// script is exhausted, then succeeds.
+type fakeSession struct {
+	script []error
+	runs   int
+}
+
+func (f *fakeSession) Run(fn func(tx Tx) error) error {
+	f.runs++
+	if len(f.script) == 0 {
+		return nil
+	}
+	err := f.script[0]
+	f.script = f.script[1:]
+	return err
+}
+
+func (f *fakeSession) Stats() (uint64, uint64) { return 0, 0 }
+
+// conflictForever always conflicts.
+type conflictForever struct{ runs int }
+
+func (c *conflictForever) Run(func(tx Tx) error) error { c.runs++; return ErrConflict }
+func (c *conflictForever) Stats() (uint64, uint64)     { return 0, 0 }
+
+func TestRunWithRetryExhaustsThenSurfacesConflict(t *testing.T) {
+	for _, max := range []int{0, 1, 3, 10} {
+		s := &conflictForever{}
+		err := RunWithRetry(s, max, func(Tx) error { return nil })
+		if !errors.Is(err, ErrConflict) {
+			t.Fatalf("max=%d: want ErrConflict, got %v", max, err)
+		}
+		// The first attempt plus exactly max retries.
+		if want := max + 1; s.runs != want {
+			t.Fatalf("max=%d: %d attempts, want %d", max, s.runs, want)
+		}
+	}
+}
+
+func TestRunWithRetrySucceedsAfterConflicts(t *testing.T) {
+	s := &fakeSession{script: []error{ErrConflict, ErrConflict}}
+	if err := RunWithRetry(s, 5, func(Tx) error { return nil }); err != nil {
+		t.Fatalf("want success, got %v", err)
+	}
+	if s.runs != 3 {
+		t.Fatalf("%d attempts, want 3", s.runs)
+	}
+}
+
+func TestRunWithRetryDoesNotRetryOtherErrors(t *testing.T) {
+	mine := fmt.Errorf("application says no")
+	for _, e := range []error{mine, ErrNotFound, ErrDuplicate} {
+		s := &fakeSession{script: []error{e, ErrConflict}}
+		if err := RunWithRetry(s, 5, func(Tx) error { return nil }); !errors.Is(err, e) {
+			t.Fatalf("want %v surfaced, got %v", e, err)
+		}
+		if s.runs != 1 {
+			t.Fatalf("%v: %d attempts, want 1 (no retry)", e, s.runs)
+		}
+	}
+	// Wrapped conflicts still count as conflicts.
+	s := &fakeSession{script: []error{fmt.Errorf("attempt: %w", ErrConflict)}}
+	if err := RunWithRetry(s, 5, func(Tx) error { return nil }); err != nil {
+		t.Fatalf("wrapped conflict must retry; got %v", err)
+	}
+	if s.runs != 2 {
+		t.Fatalf("wrapped conflict: %d attempts, want 2", s.runs)
+	}
+}
+
+func TestParseProtocolRoundTrip(t *testing.T) {
+	for _, p := range AllProtocols() {
+		got, err := ParseProtocol(p.String())
+		if err != nil {
+			t.Fatalf("ParseProtocol(%q): %v", p.String(), err)
+		}
+		if got != p {
+			t.Fatalf("ParseProtocol(%q) = %v, want %v", p.String(), got, p)
+		}
+		// Case-insensitive: flags are typed by humans.
+		lower, err := ParseProtocol(strings.ToLower(p.String()))
+		if err != nil || lower != p {
+			t.Fatalf("ParseProtocol(%q) = %v, %v; want %v", strings.ToLower(p.String()), lower, err, p)
+		}
+	}
+	if _, err := ParseProtocol("MYSQL"); err == nil {
+		t.Fatal("ParseProtocol must reject unknown names")
+	}
+	if _, err := ParseProtocol(""); err == nil {
+		t.Fatal("ParseProtocol must reject the empty string")
+	}
+}

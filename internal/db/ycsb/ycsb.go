@@ -5,7 +5,6 @@
 package ycsb
 
 import (
-	"errors"
 	"fmt"
 	"math/rand"
 
@@ -38,6 +37,42 @@ func Schema() db.Schema {
 	return db.Schema{Tables: []db.TableDef{{Name: "usertable", Cols: Cols}}}
 }
 
+// Gen produces the workload's access pattern detached from any engine, so
+// network clients (cmd/ordo-loadgen) draw the exact key distribution and
+// read/write mix the in-process benchmark uses. Not goroutine-safe; give
+// each worker its own seed.
+type Gen struct {
+	cfg  Config
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// NewGen validates cfg and returns a deterministic generator.
+func NewGen(cfg Config, seed int64) (*Gen, error) {
+	if cfg.Records <= 0 {
+		return nil, fmt.Errorf("ycsb: Records must be positive, got %d", cfg.Records)
+	}
+	if cfg.ReadRatio < 0 || cfg.ReadRatio > 1 {
+		return nil, fmt.Errorf("ycsb: ReadRatio %f out of [0,1]", cfg.ReadRatio)
+	}
+	g := &Gen{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	if cfg.Theta > 0 {
+		g.zipf = rand.NewZipf(g.rng, 1+cfg.Theta, 1, uint64(cfg.Records-1))
+	}
+	return g, nil
+}
+
+// Key draws the next key.
+func (g *Gen) Key() uint64 {
+	if g.zipf != nil {
+		return g.zipf.Uint64()
+	}
+	return uint64(g.rng.Intn(g.cfg.Records))
+}
+
+// IsRead draws whether the next query is a read.
+func (g *Gen) IsRead() bool { return g.rng.Float64() < g.cfg.ReadRatio }
+
 // Workload drives one engine instance.
 type Workload struct {
 	cfg Config
@@ -67,7 +102,7 @@ func (w *Workload) Load() error {
 		if end > w.cfg.Records {
 			end = w.cfg.Records
 		}
-		err := runRetry(s, func(tx db.Tx) error {
+		err := db.RunWithRetry(s, maxRetries, func(tx db.Tx) error {
 			for k := base; k < end; k++ {
 				vals := make([]uint64, Cols)
 				for c := range vals {
@@ -86,12 +121,16 @@ func (w *Workload) Load() error {
 	return nil
 }
 
+// maxRetries caps a transaction's conflict retries; far above any abort
+// chain a correct engine produces, so hitting it surfaces the conflict
+// instead of spinning forever.
+const maxRetries = 1 << 20
+
 // Worker is one benchmark thread.
 type Worker struct {
-	w    *Workload
-	s    db.Session
-	rng  *rand.Rand
-	zipf *rand.Zipf
+	w   *Workload
+	s   db.Session
+	gen *Gen
 
 	// Txns and Aborts count completed transactions and aborted attempts.
 	Txns   uint64
@@ -100,72 +139,51 @@ type Worker struct {
 
 // NewWorker creates a deterministic per-thread driver.
 func (w *Workload) NewWorker(seed int64) *Worker {
-	rng := rand.New(rand.NewSource(seed))
-	wk := &Worker{w: w, s: w.d.NewSession(), rng: rng}
-	if w.cfg.Theta > 0 {
-		wk.zipf = rand.NewZipf(rng, 1+w.cfg.Theta, 1, uint64(w.cfg.Records-1))
+	gen, err := NewGen(w.cfg, seed)
+	if err != nil {
+		// New already validated cfg; this cannot fail.
+		panic(err)
 	}
-	return wk
+	return &Worker{w: w, s: w.d.NewSession(), gen: gen}
 }
 
-func (wk *Worker) key() uint64 {
-	if wk.zipf != nil {
-		return wk.zipf.Uint64()
-	}
-	return uint64(wk.rng.Intn(wk.w.cfg.Records))
-}
-
-// RunOne executes one transaction to completion, retrying aborted attempts,
-// and records stats.
+// RunOne executes one transaction to completion, retrying aborted attempts
+// with capped backoff (db.RunWithRetry), and records stats from the
+// session's own counters.
 func (wk *Worker) RunOne() error {
 	cfg := wk.w.cfg
 	// Pre-draw the access pattern so retries replay the same transaction.
 	keys := make([]uint64, cfg.OpsPerTxn)
 	reads := make([]bool, cfg.OpsPerTxn)
 	for i := range keys {
-		keys[i] = wk.key()
-		reads[i] = wk.rng.Float64() < cfg.ReadRatio
+		keys[i] = wk.gen.Key()
+		reads[i] = wk.gen.IsRead()
 	}
-	for {
-		err := wk.s.Run(func(tx db.Tx) error {
-			for i := range keys {
-				if reads[i] {
-					if _, err := tx.Read(Table, keys[i]); err != nil {
-						return err
-					}
-					continue
-				}
-				vals, err := tx.Read(Table, keys[i])
-				if err != nil {
+	_, abortsBefore := wk.s.Stats()
+	err := db.RunWithRetry(wk.s, maxRetries, func(tx db.Tx) error {
+		for i := range keys {
+			if reads[i] {
+				if _, err := tx.Read(Table, keys[i]); err != nil {
 					return err
 				}
-				vals[0]++
-				if err := tx.Update(Table, keys[i], vals); err != nil {
-					return err
-				}
+				continue
 			}
-			return nil
-		})
-		if err == nil {
-			wk.Txns++
-			return nil
+			vals, err := tx.Read(Table, keys[i])
+			if err != nil {
+				return err
+			}
+			vals[0]++
+			if err := tx.Update(Table, keys[i], vals); err != nil {
+				return err
+			}
 		}
-		if errors.Is(err, db.ErrConflict) {
-			wk.Aborts++
-			continue
-		}
+		return nil
+	})
+	_, abortsAfter := wk.s.Stats()
+	wk.Aborts += abortsAfter - abortsBefore
+	if err != nil {
 		return err
 	}
-}
-
-func runRetry(s db.Session, fn func(tx db.Tx) error) error {
-	for i := 0; ; i++ {
-		err := s.Run(fn)
-		if err == nil {
-			return nil
-		}
-		if !errors.Is(err, db.ErrConflict) || i > 100000 {
-			return err
-		}
-	}
+	wk.Txns++
+	return nil
 }

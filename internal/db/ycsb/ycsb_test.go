@@ -110,7 +110,7 @@ func TestZipfWorkerSkewsKeys(t *testing.T) {
 	lowKeys := 0
 	const draws = 2000
 	for i := 0; i < draws; i++ {
-		if wk.key() < 100 {
+		if wk.gen.Key() < 100 {
 			lowKeys++
 		}
 	}

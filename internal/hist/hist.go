@@ -1,0 +1,132 @@
+// Package hist is a fixed-size log-linear latency histogram: constant-time
+// recording, bounded memory, mergeable across workers, and quantile
+// estimates with bounded relative error — what a load generator needs to
+// report p50/p99/p999 without keeping every sample.
+//
+// Values bucket by their power-of-two octave split into 2^mantBits linear
+// sub-buckets, so the relative quantile error is at most 1/2^mantBits
+// (~3%). This is the same shape HdrHistogram popularized, reduced to the
+// uint64-nanoseconds case.
+package hist
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"time"
+)
+
+// mantBits is the number of linear sub-bucket bits per octave.
+const mantBits = 5
+
+// nBuckets covers the full uint64 range: 64 octaves of 2^mantBits buckets
+// (the first two rows are the exact values 0..2^(mantBits+1)).
+const nBuckets = (64 - mantBits + 1) << mantBits
+
+// H is one histogram. The zero value is ready to use. Not goroutine-safe;
+// give each worker its own and Merge.
+type H struct {
+	counts [nBuckets]uint64
+	n      uint64
+	sum    uint64
+	max    uint64
+}
+
+// bucket maps a value to its bucket index.
+func bucket(v uint64) int {
+	if v < 1<<mantBits {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1
+	shift := exp - mantBits
+	return int(uint64(shift+1)<<mantBits | (v>>shift)&(1<<mantBits-1))
+}
+
+// value returns a bucket's representative value (its lower bound; exact for
+// the linear rows).
+func value(i int) uint64 {
+	row := i >> mantBits
+	if row == 0 {
+		return uint64(i)
+	}
+	mant := uint64(i&(1<<mantBits-1)) | 1<<mantBits
+	return mant << (row - 1)
+}
+
+// Record adds one value.
+func (h *H) Record(v uint64) {
+	h.counts[bucket(v)]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// RecordDuration adds one duration in nanoseconds.
+func (h *H) RecordDuration(d time.Duration) { h.Record(uint64(d)) }
+
+// Merge folds other into h.
+func (h *H) Merge(other *H) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count returns the number of recorded values.
+func (h *H) Count() uint64 { return h.n }
+
+// Mean returns the exact mean of recorded values (sums are kept exactly).
+func (h *H) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Max returns the largest recorded value, exactly.
+func (h *H) Max() uint64 { return h.max }
+
+// Quantile returns an estimate of the q-quantile (q in [0,1]) with relative
+// error bounded by the bucket width. Quantile(1) returns the exact max.
+func (h *H) Quantile(q float64) uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.max
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := uint64(q * float64(h.n))
+	if rank >= h.n {
+		rank = h.n - 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum > rank {
+			return value(i)
+		}
+	}
+	return h.max
+}
+
+// String renders count, mean and the standard latency quantiles, reading
+// values as nanoseconds.
+func (h *H) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%v p50=%v p99=%v p999=%v max=%v",
+		h.n, time.Duration(h.Mean()),
+		time.Duration(h.Quantile(0.50)),
+		time.Duration(h.Quantile(0.99)),
+		time.Duration(h.Quantile(0.999)),
+		time.Duration(h.max))
+	return b.String()
+}

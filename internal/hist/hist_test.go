@@ -1,0 +1,97 @@
+package hist
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestExactSmallValues(t *testing.T) {
+	var h H
+	for v := uint64(0); v < 1<<mantBits; v++ {
+		h.Record(v)
+	}
+	// Small values land in their own exact bucket.
+	for v := uint64(0); v < 1<<mantBits; v++ {
+		if got := value(bucket(v)); got != v {
+			t.Fatalf("value(bucket(%d)) = %d", v, got)
+		}
+	}
+}
+
+func TestBucketMonotonicAndBounded(t *testing.T) {
+	prev := -1
+	for _, v := range []uint64{0, 1, 31, 32, 33, 63, 64, 100, 1 << 20, 1 << 40, 1<<64 - 1} {
+		b := bucket(v)
+		if b < 0 || b >= nBuckets {
+			t.Fatalf("bucket(%d) = %d out of range", v, b)
+		}
+		if b < prev {
+			t.Fatalf("bucket not monotonic at %d", v)
+		}
+		prev = b
+		// The representative value must not exceed the recorded value
+		// (lower-bound convention) and must be within one sub-bucket.
+		if rep := value(b); rep > v {
+			t.Fatalf("value(bucket(%d)) = %d > input", v, rep)
+		}
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h H
+	samples := make([]uint64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~6 decades, like a latency distribution tail.
+		v := uint64(1) << uint(rng.Intn(30))
+		v += uint64(rng.Int63n(int64(v)))
+		h.Record(v)
+		samples = append(samples, v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := samples[int(q*float64(len(samples)))]
+		got := h.Quantile(q)
+		// Log-linear bound: relative error ≤ 2^-mantBits on the bucket
+		// lower bound, so allow one bucket width each way.
+		lo := float64(exact) * (1 - 2.0/(1<<mantBits))
+		hi := float64(exact) * (1 + 2.0/(1<<mantBits))
+		if float64(got) < lo || float64(got) > hi {
+			t.Fatalf("q%v: got %d, exact %d (allowed [%.0f, %.0f])", q, got, exact, lo, hi)
+		}
+	}
+	if h.Quantile(1) != samples[len(samples)-1] {
+		t.Fatalf("Quantile(1) = %d, want exact max %d", h.Quantile(1), samples[len(samples)-1])
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b, whole H
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.Int63n(1 << 20))
+		whole.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Max() != whole.Max() || a.Mean() != whole.Mean() {
+		t.Fatalf("merge mismatch: %v vs %v", a.String(), whole.String())
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("q%v: merged %d, whole %d", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	var h H
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}

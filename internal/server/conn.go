@@ -1,0 +1,369 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"ordo/internal/db"
+	"ordo/internal/wire"
+)
+
+// item is one queued unit of work. Exactly one of the flags is set for
+// non-request items; otherwise req holds a decoded request.
+type item struct {
+	req wire.Request
+	// shed marks an op that arrived past the queue bound: the worker
+	// answers BUSY in order without touching the engine.
+	shed bool
+	// protoErr marks an undecodable frame: the worker answers ERR and the
+	// connection closes after it (the stream offset is unrecoverable).
+	protoErr bool
+}
+
+// serverConn is one connection's state: a reader goroutine that decodes
+// and enqueues, and a worker goroutine that executes, responds in request
+// order, and flushes when the pipeline goes idle. The engine session is
+// touched only by the worker, matching db.Session's single-goroutine
+// contract.
+type serverConn struct {
+	srv  *Server
+	nc   net.Conn
+	wc   *wire.Conn
+	sess db.Session
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []item
+	// readerDone means no further items will be enqueued (EOF, error, or
+	// drain); the worker exits once pending empties.
+	readerDone bool
+	draining   bool
+
+	// Session-counter baselines for delta-flushing into server metrics.
+	lastCommits, lastAborts uint64
+	lastCmps, lastUncertain uint64
+}
+
+// hardCap is the absolute pending bound: past it the reader blocks rather
+// than queueing even shed markers, so one connection's memory stays O(cap)
+// no matter how fast it pumps frames.
+func (c *serverConn) hardCap() int { return 2 * c.srv.cfg.QueueDepth }
+
+func newServerConn(s *Server, nc net.Conn) *serverConn {
+	c := &serverConn{
+		srv:  s,
+		nc:   nc,
+		wc:   wire.NewConn(nc),
+		sess: s.cfg.DB.NewSession(),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// beginDrain stops the reader (unblocking a pending read via deadline) and
+// wakes the worker so it can finish the queue and close. Requests already
+// accepted are still executed and their responses flushed.
+func (c *serverConn) beginDrain() {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	c.nc.SetReadDeadline(time.Now())
+}
+
+// readLoop decodes frames and enqueues work until EOF, error, or drain.
+func (c *serverConn) readLoop() {
+	for {
+		req, err := c.wc.ReadRequest()
+		if err != nil {
+			quiet := errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed)
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				quiet = true // drain deadline, not a protocol fault
+			}
+			if !quiet {
+				c.srv.m.protoErrs.Add(1)
+				c.srv.logf("server: %v: protocol error: %v", c.nc.RemoteAddr(), err)
+				c.enqueue(item{protoErr: true})
+			}
+			c.mu.Lock()
+			c.readerDone = true
+			c.mu.Unlock()
+			c.cond.Broadcast()
+			return
+		}
+		c.enqueue(item{req: req})
+	}
+}
+
+// enqueue appends one item, shedding it if the queue is past QueueDepth and
+// blocking if it is past the hard cap.
+func (c *serverConn) enqueue(it item) {
+	c.mu.Lock()
+	for len(c.pending) >= c.hardCap() && !c.draining {
+		c.cond.Wait()
+	}
+	if !it.protoErr && len(c.pending) >= c.srv.cfg.QueueDepth {
+		it.shed = true
+	}
+	c.pending = append(c.pending, it)
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// workLoop pops runs of work, executes them, writes responses in order,
+// and flushes whenever the queue goes idle. It owns the write side and the
+// engine session exclusively.
+func (c *serverConn) workLoop() {
+	defer c.nc.Close()
+	for {
+		c.mu.Lock()
+		for len(c.pending) == 0 && !c.readerDone {
+			c.cond.Wait()
+		}
+		if len(c.pending) == 0 && c.readerDone {
+			c.mu.Unlock()
+			// Reader is gone and nothing is queued: flush any buffered
+			// responses and finish.
+			c.wc.Flush()
+			c.flushSessionStats()
+			return
+		}
+		run, last := c.popRun()
+		c.mu.Unlock()
+		c.cond.Broadcast() // queue space freed
+
+		if err := c.process(run); err != nil {
+			c.srv.logf("server: %v: write: %v", c.nc.RemoteAddr(), err)
+			c.abortReader()
+			c.flushSessionStats()
+			return
+		}
+		c.flushSessionStats()
+		if last {
+			// The queue looked empty after the pop: flush so the client
+			// sees its responses now rather than at the next batch.
+			if err := c.wc.Flush(); err != nil {
+				c.abortReader()
+				return
+			}
+		}
+		if run[len(run)-1].protoErr {
+			// The stream is unrecoverable past a protocol error.
+			c.abortReader()
+			return
+		}
+	}
+}
+
+// popRun pops the next execution unit under c.mu: either one special item
+// (shed, protocol error, TXN, STATS) or a maximal contiguous run of simple
+// ops up to MaxBatch. It reports whether the queue drained.
+func (c *serverConn) popRun() ([]item, bool) {
+	special := func(it *item) bool {
+		return it.shed || it.protoErr || !it.req.Op.Simple()
+	}
+	n := 1
+	if !special(&c.pending[0]) {
+		for n < len(c.pending) && n < c.srv.cfg.MaxBatch && !special(&c.pending[n]) {
+			n++
+		}
+	}
+	run := make([]item, n)
+	copy(run, c.pending[:n])
+	rest := copy(c.pending, c.pending[n:])
+	for i := rest; i < len(c.pending); i++ {
+		c.pending[i] = item{} // release request payloads
+	}
+	c.pending = c.pending[:rest]
+	return run, rest == 0
+}
+
+// abortReader makes a stuck reader exit so the connection can die: mark
+// done, unblock the hard-cap wait, and poison the socket's read side.
+func (c *serverConn) abortReader() {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	c.nc.SetReadDeadline(time.Now())
+}
+
+// flushSessionStats adds the session's counter deltas to server metrics.
+// Only the worker calls it, so the plain session counters stay race-free.
+func (c *serverConn) flushSessionStats() {
+	commits, aborts := c.sess.Stats()
+	c.srv.m.commits.Add(commits - c.lastCommits)
+	c.srv.m.aborts.Add(aborts - c.lastAborts)
+	c.lastCommits, c.lastAborts = commits, aborts
+	if ch, ok := c.sess.(db.ClockHealth); ok {
+		cmps, unc := ch.ClockStats()
+		c.srv.m.clockCmps.Add(cmps - c.lastCmps)
+		c.srv.m.clockUncertain.Add(unc - c.lastUncertain)
+		c.lastCmps, c.lastUncertain = cmps, unc
+	}
+}
+
+// process executes one run and writes its responses in order.
+func (c *serverConn) process(run []item) error {
+	if len(run) == 1 {
+		it := &run[0]
+		switch {
+		case it.shed:
+			c.srv.m.busy.Add(1)
+			return c.wc.WriteResponse(&wire.Response{Kind: wire.RespEmpty, Status: wire.StatusBusy})
+		case it.protoErr:
+			return c.wc.WriteResponse(&wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr})
+		case it.req.Op == wire.OpTxn:
+			resp := c.execTxn(&it.req)
+			return c.wc.WriteResponse(&resp)
+		case it.req.Op == wire.OpStats:
+			resp := c.execStats()
+			return c.wc.WriteResponse(&resp)
+		}
+	}
+	resps := c.execBatch(run)
+	for i := range resps {
+		if err := c.wc.WriteResponse(&resps[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// countOp tallies one executed simple op into server metrics.
+func (c *serverConn) countOp(op wire.Op) {
+	switch op {
+	case wire.OpGet:
+		c.srv.m.gets.Add(1)
+	case wire.OpPut:
+		c.srv.m.puts.Add(1)
+	case wire.OpInsert:
+		c.srv.m.inserts.Add(1)
+	case wire.OpDelete:
+		c.srv.m.deletes.Add(1)
+	}
+}
+
+// execBatch runs a contiguous run of simple ops as one engine transaction —
+// the batching that amortizes timestamp allocation across a pipeline. If
+// the batch cannot commit (a conflict that survived the retries, or a
+// commit-time duplicate that cannot be attributed to one op), it degrades
+// to one transaction per op so each response carries its own status.
+func (c *serverConn) execBatch(run []item) []wire.Response {
+	resps := make([]wire.Response, len(run))
+	err := db.RunWithRetry(c.sess, c.srv.cfg.MaxRetries, func(tx db.Tx) error {
+		for i := range run {
+			r, err := c.execOp(tx, &run[i].req)
+			if err != nil {
+				return err
+			}
+			resps[i] = r
+		}
+		return nil
+	})
+	c.srv.m.batches.Add(1)
+	c.srv.m.batchedOps.Add(uint64(len(run)))
+	for i := range run {
+		c.countOp(run[i].req.Op)
+	}
+	if err == nil {
+		return resps
+	}
+	if len(run) == 1 {
+		resps[0] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusOf(err)}
+		return resps
+	}
+	// Degraded path: per-op transactions for status attribution.
+	for i := range run {
+		req := &run[i].req
+		err := db.RunWithRetry(c.sess, c.srv.cfg.MaxRetries, func(tx db.Tx) error {
+			r, err := c.execOp(tx, req)
+			if err != nil {
+				return err
+			}
+			resps[i] = r
+			return nil
+		})
+		if err != nil {
+			resps[i] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusOf(err)}
+		}
+	}
+	return resps
+}
+
+// execTxn runs one TXN frame atomically. On commit the response carries
+// per-op results; on failure the batch status stands alone (the client
+// retries or surfaces it — partial results would be unordered fiction).
+func (c *serverConn) execTxn(req *wire.Request) wire.Response {
+	c.srv.m.txns.Add(1)
+	c.srv.m.txnOps.Add(uint64(len(req.Ops)))
+	resps := make([]wire.Response, len(req.Ops))
+	err := db.RunWithRetry(c.sess, c.srv.cfg.MaxRetries, func(tx db.Tx) error {
+		for i := range req.Ops {
+			r, err := c.execOp(tx, &req.Ops[i])
+			if err != nil {
+				return err
+			}
+			resps[i] = r
+		}
+		return nil
+	})
+	if err != nil {
+		return wire.Response{Kind: wire.RespBatch, Status: wire.StatusOf(err)}
+	}
+	return wire.Response{Kind: wire.RespBatch, Status: wire.StatusOK, Batch: resps}
+}
+
+// execStats answers a STATS frame from server metrics.
+func (c *serverConn) execStats() wire.Response {
+	c.srv.m.statsOps.Add(1)
+	m := &c.srv.m
+	return wire.Response{Kind: wire.RespStats, Status: wire.StatusOK, Stats: &wire.Stats{
+		Protocol:       c.srv.cfg.DB.Protocol().String(),
+		Commits:        m.commits.Load(),
+		Aborts:         m.aborts.Load(),
+		Batches:        m.batches.Load(),
+		BatchedOps:     m.batchedOps.Load(),
+		Busy:           m.busy.Load(),
+		ClockCmps:      m.clockCmps.Load(),
+		ClockUncertain: m.clockUncertain.Load(),
+	}}
+}
+
+// execOp applies one simple op inside tx. Row-level outcomes (NOT_FOUND,
+// DUPLICATE) become per-op statuses and do not abort the surrounding
+// transaction; conflicts and unexpected errors propagate so the whole
+// attempt aborts and retries.
+func (c *serverConn) execOp(tx db.Tx, req *wire.Request) (wire.Response, error) {
+	if err := c.srv.validateOp(req); err != nil {
+		return wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr}, nil
+	}
+	var err error
+	switch req.Op {
+	case wire.OpGet:
+		var vals []uint64
+		vals, err = tx.Read(int(req.Table), req.Key)
+		if err == nil {
+			return wire.Response{Kind: wire.RespRow, Status: wire.StatusOK, Row: vals}, nil
+		}
+	case wire.OpPut:
+		err = tx.Update(int(req.Table), req.Key, req.Vals)
+	case wire.OpInsert:
+		err = tx.Insert(int(req.Table), req.Key, req.Vals)
+	case wire.OpDelete:
+		err = tx.Delete(int(req.Table), req.Key)
+	default:
+		return wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr}, nil
+	}
+	if err == nil {
+		return wire.Response{Kind: wire.RespEmpty, Status: wire.StatusOK}, nil
+	}
+	if errors.Is(err, db.ErrNotFound) || errors.Is(err, db.ErrDuplicate) {
+		return wire.Response{Kind: wire.RespEmpty, Status: wire.StatusOf(err)}, nil
+	}
+	return wire.Response{}, err
+}

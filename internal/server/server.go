@@ -1,0 +1,347 @@
+// Package server is ordod's network engine: it serves the wire protocol
+// over TCP on top of any db.DB, which makes the Ordo-vs-logical-clock
+// choice observable from outside the process for the first time — the same
+// engine, the same workload, different timestamp allocation, measured
+// through a socket.
+//
+// The serving model is built around the paper's economics. Timestamp
+// allocation is the scalability bottleneck (§6.5), so the server amortizes
+// it: each connection has one reader goroutine and one worker goroutine,
+// and the worker folds a connection's pipelined simple ops into a single
+// engine transaction — one begin timestamp, one commit timestamp, one
+// validation — instead of one commit per op (see DESIGN.md §8 for why that
+// preserves the ordering argument). Responses flow back in request order
+// through a flushing buffered writer, so a pipelining client never pays a
+// syscall per op on either side.
+//
+// Overload is handled by shedding, not queueing: each connection's pending
+// queue is bounded, and ops beyond the bound are answered with a typed BUSY
+// status in order, without touching the engine. Conflicted batches retry
+// with capped exponential backoff (db.RunWithRetry); batches that still
+// fail fall back to per-op transactions so every op gets an attributable
+// status. Shutdown drains: accepted requests are executed and their
+// responses flushed before connections close.
+package server
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ordo/internal/db"
+	"ordo/internal/health"
+	"ordo/internal/wire"
+)
+
+// Config parameterizes a Server. DB is required; everything else defaults.
+type Config struct {
+	// DB is the engine to serve.
+	DB db.DB
+
+	// Schema, when non-zero, enables request validation: table ids must be
+	// in range and PUT/INSERT rows must match the table's fixed width.
+	// Invalid ops are answered with ERR without reaching the engine.
+	Schema db.Schema
+
+	// MaxBatch caps how many pipelined simple ops one engine transaction
+	// absorbs. Zero means DefaultMaxBatch.
+	MaxBatch int
+
+	// QueueDepth bounds each connection's pending-op queue; ops arriving
+	// beyond it are shed with BUSY. Zero means DefaultQueueDepth.
+	QueueDepth int
+
+	// MaxRetries caps conflict retries per engine transaction (attempts =
+	// MaxRetries+1). Zero means DefaultMaxRetries; negative means none.
+	MaxRetries int
+
+	// Monitor, when set, contributes the clock-health snapshot to
+	// Snapshot(); the server does not start or stop it.
+	Monitor *health.Monitor
+
+	// Logf receives connection-level diagnostics. Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Defaults for Config's zero values.
+const (
+	DefaultMaxBatch   = 64
+	DefaultQueueDepth = 1024
+	DefaultMaxRetries = 10
+)
+
+// Server serves the wire protocol over accepted connections.
+type Server struct {
+	cfg Config
+
+	mu         sync.Mutex
+	listeners  map[net.Listener]struct{}
+	conns      map[*serverConn]struct{}
+	inShutdown atomic.Bool
+	wg         sync.WaitGroup
+
+	m metrics
+}
+
+// metrics is the server-wide counter set. Workers add deltas after every
+// execution unit, so reads are race-free and never touch live sessions.
+type metrics struct {
+	connsTotal  atomic.Uint64
+	connsActive atomic.Int64
+
+	gets, puts, inserts, deletes atomic.Uint64
+	txns, txnOps, statsOps       atomic.Uint64
+
+	batches, batchedOps atomic.Uint64
+	busy                atomic.Uint64
+	protoErrs           atomic.Uint64
+
+	commits, aborts           atomic.Uint64
+	clockCmps, clockUncertain atomic.Uint64
+}
+
+// Snapshot is a point-in-time JSON-marshalable view of the server,
+// following the same expvar conventions as health.Snapshot; when a Monitor
+// is attached its clock-health snapshot rides along, so one document shows
+// protocol-level commits next to boundary state and uncertainty rates.
+type Snapshot struct {
+	Protocol    string `json:"protocol"`
+	ConnsTotal  uint64 `json:"conns_total"`
+	ConnsActive int64  `json:"conns_active"`
+
+	Gets     uint64 `json:"ops_get"`
+	Puts     uint64 `json:"ops_put"`
+	Inserts  uint64 `json:"ops_insert"`
+	Deletes  uint64 `json:"ops_delete"`
+	Txns     uint64 `json:"ops_txn"`
+	TxnOps   uint64 `json:"txn_inner_ops"`
+	StatsOps uint64 `json:"ops_stats"`
+
+	Batches    uint64  `json:"batches"`
+	BatchedOps uint64  `json:"batched_ops"`
+	AvgBatch   float64 `json:"avg_batch,omitempty"`
+	Busy       uint64  `json:"busy_shed"`
+	ProtoErrs  uint64  `json:"protocol_errors"`
+
+	Commits        uint64  `json:"commits"`
+	Aborts         uint64  `json:"aborts"`
+	ClockCmps      uint64  `json:"clock_cmps"`
+	ClockUncertain uint64  `json:"clock_uncertain"`
+	UncertainRate  float64 `json:"uncertain_rate"`
+
+	Clock *health.Snapshot `json:"clock_health,omitempty"`
+}
+
+// New validates cfg and builds a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("server: Config.DB is required")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	} else if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	return &Server{
+		cfg:       cfg,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[*serverConn]struct{}),
+	}, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections from ln until Shutdown (returning nil) or a
+// fatal accept error. Multiple Serve calls on different listeners are
+// allowed.
+func (s *Server) Serve(ln net.Listener) error {
+	if s.inShutdown.Load() {
+		return errors.New("server: already shut down")
+	}
+	s.mu.Lock()
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+	}()
+
+	var delay time.Duration
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.inShutdown.Load() {
+				return nil
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				// Transient accept failure: back off briefly and keep
+				// serving instead of tearing the listener down.
+				if delay == 0 {
+					delay = 5 * time.Millisecond
+				} else if delay *= 2; delay > 250*time.Millisecond {
+					delay = 250 * time.Millisecond
+				}
+				time.Sleep(delay)
+				continue
+			}
+			return err
+		}
+		delay = 0
+		s.startConn(nc)
+	}
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// startConn registers and launches one connection's goroutine pair.
+func (s *Server) startConn(nc net.Conn) {
+	c := newServerConn(s, nc)
+	s.mu.Lock()
+	if s.inShutdown.Load() {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+
+	s.m.connsTotal.Add(1)
+	s.m.connsActive.Add(1)
+	s.wg.Add(2)
+	go func() {
+		defer s.wg.Done()
+		c.readLoop()
+	}()
+	go func() {
+		defer s.wg.Done()
+		defer func() {
+			s.mu.Lock()
+			delete(s.conns, c)
+			s.mu.Unlock()
+			s.m.connsActive.Add(-1)
+		}()
+		c.workLoop()
+	}()
+}
+
+// Shutdown gracefully drains the server: listeners stop accepting, every
+// connection finishes the requests it has already read — responses flushed
+// — and then closes. It returns ctx's error if the drain outlives it, in
+// which case remaining connections are closed hard.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.inShutdown.Store(true)
+	s.mu.Lock()
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	conns := make([]*serverConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.beginDrain()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Snapshot returns the server's counter snapshot, including the attached
+// Monitor's clock-health snapshot when one is configured.
+func (s *Server) Snapshot() Snapshot {
+	m := &s.m
+	snap := Snapshot{
+		Protocol:       s.cfg.DB.Protocol().String(),
+		ConnsTotal:     m.connsTotal.Load(),
+		ConnsActive:    m.connsActive.Load(),
+		Gets:           m.gets.Load(),
+		Puts:           m.puts.Load(),
+		Inserts:        m.inserts.Load(),
+		Deletes:        m.deletes.Load(),
+		Txns:           m.txns.Load(),
+		TxnOps:         m.txnOps.Load(),
+		StatsOps:       m.statsOps.Load(),
+		Batches:        m.batches.Load(),
+		BatchedOps:     m.batchedOps.Load(),
+		Busy:           m.busy.Load(),
+		ProtoErrs:      m.protoErrs.Load(),
+		Commits:        m.commits.Load(),
+		Aborts:         m.aborts.Load(),
+		ClockCmps:      m.clockCmps.Load(),
+		ClockUncertain: m.clockUncertain.Load(),
+	}
+	if snap.Batches > 0 {
+		snap.AvgBatch = float64(snap.BatchedOps) / float64(snap.Batches)
+	}
+	if snap.ClockCmps > 0 {
+		snap.UncertainRate = float64(snap.ClockUncertain) / float64(snap.ClockCmps)
+	}
+	if s.cfg.Monitor != nil {
+		clock := s.cfg.Monitor.Snapshot()
+		snap.Clock = &clock
+	}
+	return snap
+}
+
+// Expvar adapts the Server to the expvar interface; publish it with
+// expvar.Publish("ordod", srv.Expvar()) to expose the snapshot on
+// /debug/vars alongside ordo.health.
+func (s *Server) Expvar() expvar.Func {
+	return expvar.Func(func() any { return s.Snapshot() })
+}
+
+// validateOp pre-checks one simple op against the configured schema.
+func (s *Server) validateOp(r *wire.Request) error {
+	if len(s.cfg.Schema.Tables) == 0 {
+		return nil
+	}
+	if int(r.Table) >= len(s.cfg.Schema.Tables) {
+		return fmt.Errorf("table %d out of range", r.Table)
+	}
+	if r.Op == wire.OpPut || r.Op == wire.OpInsert {
+		if want := s.cfg.Schema.Tables[r.Table].Cols; len(r.Vals) != want {
+			return fmt.Errorf("table %d row width %d, want %d", r.Table, len(r.Vals), want)
+		}
+	}
+	return nil
+}

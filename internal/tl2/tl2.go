@@ -184,6 +184,35 @@ func (s *STM) Atomically(fn func(tx *Txn) error) error {
 	}
 }
 
+// ErrConflict is returned by Try when its single attempt lost a conflict.
+var ErrConflict = errors.New("tl2: conflict")
+
+// Try runs fn as exactly one transaction attempt. A conflict — a locked or
+// moved orec at a read, or commit-time validation failure — aborts the
+// attempt and returns ErrConflict instead of retrying internally, which
+// lets callers own the retry policy (e.g. db.RunWithRetry through an
+// adapter). A non-nil error from fn aborts the attempt and is returned
+// wrapped in ErrAborted, exactly as Atomically does.
+func (s *STM) Try(fn func(tx *Txn) error) error {
+	tx := &Txn{stm: s, writes: make(map[int]uint64)}
+	tx.rv = s.ord.begin()
+	err, conflicted := tx.run(fn)
+	if conflicted {
+		s.aborts.Add(1)
+		return ErrConflict
+	}
+	if err != nil {
+		s.aborts.Add(1)
+		return errors.Join(ErrAborted, err)
+	}
+	if tx.commit() {
+		s.commits.Add(1)
+		return nil
+	}
+	s.aborts.Add(1)
+	return ErrConflict
+}
+
 // run executes the body, converting the internal retry panic into a
 // conflict result.
 func (tx *Txn) run(fn func(tx *Txn) error) (err error, conflicted bool) {

@@ -1,0 +1,75 @@
+package tl2
+
+import (
+	"errors"
+	"testing"
+)
+
+// Try must make exactly one attempt and surface conflicts as ErrConflict
+// rather than retrying internally.
+func TestTryConflictIsSingleAttempt(t *testing.T) {
+	s := New(Logical, nil, 4)
+	s.orecs[1].Store(pack(9) | lockedBit) // word 1 is locked by "someone"
+
+	calls := 0
+	err := s.Try(func(tx *Txn) error {
+		calls++
+		tx.Load(1) // hits the locked orec and unwinds
+		return nil
+	})
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("Try on locked word: %v, want ErrConflict", err)
+	}
+	if calls != 1 {
+		t.Fatalf("Try made %d attempts, want exactly 1", calls)
+	}
+	if _, aborts := s.Stats(); aborts != 1 {
+		t.Fatalf("aborts = %d, want 1", aborts)
+	}
+}
+
+func TestTryCommitValidationConflict(t *testing.T) {
+	s := New(Logical, nil, 4)
+	s.WriteDirect(0, 5)
+	s.WriteDirect(2, 7)
+
+	err := s.Try(func(tx *Txn) error {
+		_ = tx.Load(0)
+		// A concurrent writer advances word 0's version past our read
+		// timestamp before we commit.
+		s.orecs[0].Store(pack(tx.rv + 100))
+		tx.Store(2, 8)
+		return nil
+	})
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("invalidated read set: %v, want ErrConflict", err)
+	}
+	if v := s.ReadDirect(2); v != 7 {
+		t.Fatalf("conflicted Try leaked its write: word 2 = %d", v)
+	}
+}
+
+func TestTryCommitsAndPropagatesBodyError(t *testing.T) {
+	s := New(Logical, nil, 4)
+	if err := s.Try(func(tx *Txn) error {
+		tx.Store(3, 42)
+		return nil
+	}); err != nil {
+		t.Fatalf("uncontended Try: %v", err)
+	}
+	if v := s.ReadDirect(3); v != 42 {
+		t.Fatalf("committed write lost: word 3 = %d", v)
+	}
+
+	boom := errors.New("boom")
+	err := s.Try(func(tx *Txn) error {
+		tx.Store(3, 99)
+		return boom
+	})
+	if !errors.Is(err, ErrAborted) || !errors.Is(err, boom) {
+		t.Fatalf("body error: %v, want ErrAborted wrapping boom", err)
+	}
+	if v := s.ReadDirect(3); v != 42 {
+		t.Fatalf("aborted Try leaked its write: word 3 = %d", v)
+	}
+}

@@ -1,0 +1,92 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Conn frames and codes protocol messages over one byte stream. It is the
+// single I/O type both ends use: a client calls WriteRequest/Flush and
+// ReadResponse, a server calls ReadRequest and WriteResponse/Flush.
+//
+// Writes are buffered; nothing reaches the stream until Flush (or the
+// buffer fills), which is what makes client-side pipelining one syscall per
+// window instead of one per op. Reads reuse one payload buffer, so decoded
+// messages never alias it (the codec allocates fresh slices).
+//
+// Conn is not safe for concurrent use of the same direction; one goroutine
+// may read while another writes.
+type Conn struct {
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	rbuf []byte // frame payload scratch, reused across reads
+	wbuf []byte // encode scratch, reused across writes
+}
+
+// NewConn wraps rw.
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{
+		br: bufio.NewReaderSize(rw, 64<<10),
+		bw: bufio.NewWriterSize(rw, 64<<10),
+	}
+}
+
+// WriteRequest encodes and frames r into the write buffer.
+func (c *Conn) WriteRequest(r *Request) error {
+	payload, err := AppendRequest(c.wbuf[:0], r)
+	if err != nil {
+		return err
+	}
+	c.wbuf = payload[:0]
+	return WriteFrame(c.bw, payload)
+}
+
+// WriteResponse encodes and frames r into the write buffer.
+func (c *Conn) WriteResponse(r *Response) error {
+	payload, err := AppendResponse(c.wbuf[:0], r)
+	if err != nil {
+		return err
+	}
+	c.wbuf = payload[:0]
+	return WriteFrame(c.bw, payload)
+}
+
+// Flush pushes buffered frames to the underlying stream.
+func (c *Conn) Flush() error { return c.bw.Flush() }
+
+// ReadRequest reads and decodes one request frame.
+func (c *Conn) ReadRequest() (Request, error) {
+	buf, err := ReadFrame(c.br, c.rbuf)
+	c.rbuf = buf
+	if err != nil {
+		return Request{}, err
+	}
+	return DecodeRequest(buf)
+}
+
+// ReadResponse reads and decodes one response frame.
+func (c *Conn) ReadResponse() (Response, error) {
+	buf, err := ReadFrame(c.br, c.rbuf)
+	c.rbuf = buf
+	if err != nil {
+		return Response{}, err
+	}
+	return DecodeResponse(buf)
+}
+
+// Do writes r, flushes, and reads the single response — the unpipelined
+// convenience path for tools and tests.
+func (c *Conn) Do(r *Request) (Response, error) {
+	if err := c.WriteRequest(r); err != nil {
+		return Response{}, err
+	}
+	if err := c.Flush(); err != nil {
+		return Response{}, err
+	}
+	resp, err := c.ReadResponse()
+	if err != nil {
+		return Response{}, fmt.Errorf("wire: reading response: %w", err)
+	}
+	return resp, nil
+}

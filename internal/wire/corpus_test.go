@@ -1,0 +1,68 @@
+package wire
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRegenSeedCorpus rewrites the checked-in seed corpus from
+// seedPayloads when WIRE_WRITE_CORPUS=1 is set; otherwise it is a no-op.
+// Run it after changing the codec or the seed set:
+//
+//	WIRE_WRITE_CORPUS=1 go test ./internal/wire -run TestRegenSeedCorpus
+func TestRegenSeedCorpus(t *testing.T) {
+	if os.Getenv("WIRE_WRITE_CORPUS") != "1" {
+		t.Skip("set WIRE_WRITE_CORPUS=1 to rewrite the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeFrame")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range seedPayloads(t) {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(p)))
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// corpusEntries parses every Go fuzz corpus file in dir ("go test fuzz v1"
+// format, one []byte literal per line) into raw payloads.
+func corpusEntries(dir string) ([][]byte, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no corpus files in %s", dir)
+	}
+	var out [][]byte
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		lines := strings.Split(string(data), "\n")
+		if len(lines) == 0 || strings.TrimSpace(lines[0]) != "go test fuzz v1" {
+			return nil, fmt.Errorf("%s: not a go fuzz corpus file", name)
+		}
+		for _, line := range lines[1:] {
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			quoted := strings.TrimSuffix(strings.TrimPrefix(line, "[]byte("), ")")
+			s, err := strconv.Unquote(quoted)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %q: %w", name, line, err)
+			}
+			out = append(out, []byte(s))
+		}
+	}
+	return out, nil
+}

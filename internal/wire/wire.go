@@ -1,0 +1,242 @@
+// Package wire is ordod's client/server protocol: a compact length-prefixed
+// binary framing with varint-encoded payloads, designed so a pipelining
+// client and a batching server agree on exactly one thing — frames arrive
+// and are answered in order on each connection.
+//
+// A frame is a uvarint byte length followed by that many payload bytes.
+// Request payloads start with an opcode byte; response payloads with a kind
+// byte and a status byte. All integers are unsigned varints
+// (encoding/binary's Uvarint). The protocol is deliberately free of
+// connection state: any frame can be decoded in isolation, which is what
+// makes the codec property-testable and fuzzable.
+//
+// Status codes are typed and round-trip the engine's error taxonomy:
+// db.ErrConflict, db.ErrNotFound and db.ErrDuplicate each have a code, plus
+// BUSY for server load-shedding and ERR for everything else. StatusOf and
+// Status.Err convert in both directions.
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"ordo/internal/db"
+)
+
+// MaxFrame is the largest accepted frame payload in bytes. Frames beyond it
+// are a protocol error: the bound is what lets a reader pre-validate the
+// length prefix before allocating.
+const MaxFrame = 1 << 20
+
+// Limits on repeated elements inside one frame. They exist to reject
+// hostile length prefixes early; all are far above what the engines serve.
+const (
+	// MaxCols bounds the columns of one row.
+	MaxCols = 1 << 12
+	// MaxTxnOps bounds the sub-operations of one TXN frame.
+	MaxTxnOps = 1 << 14
+	// MaxProtoName bounds the protocol-name string in a STATS response.
+	MaxProtoName = 64
+)
+
+// Op identifies a request operation.
+type Op byte
+
+// Request opcodes.
+const (
+	opInvalid Op = iota
+	// OpGet reads one row: table, key → status + row.
+	OpGet
+	// OpPut replaces one existing row: table, key, row → status.
+	OpPut
+	// OpInsert creates one row: table, key, row → status.
+	OpInsert
+	// OpDelete removes one row: table, key → status.
+	OpDelete
+	// OpTxn executes a batch of simple ops as one atomic transaction.
+	OpTxn
+	// OpStats asks the server for its counter snapshot.
+	OpStats
+)
+
+// String returns the opcode's wire-level name.
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "GET"
+	case OpPut:
+		return "PUT"
+	case OpInsert:
+		return "INSERT"
+	case OpDelete:
+		return "DELETE"
+	case OpTxn:
+		return "TXN"
+	case OpStats:
+		return "STATS"
+	}
+	return fmt.Sprintf("Op(%d)", byte(o))
+}
+
+// Status is a response's typed outcome code.
+type Status byte
+
+// Response status codes.
+const (
+	// StatusOK reports success.
+	StatusOK Status = iota
+	// StatusNotFound maps db.ErrNotFound.
+	StatusNotFound
+	// StatusDuplicate maps db.ErrDuplicate.
+	StatusDuplicate
+	// StatusConflict maps db.ErrConflict: the operation lost a concurrency
+	// conflict even after the server's capped retries and may be re-issued.
+	StatusConflict
+	// StatusBusy reports load shedding: the connection's pipeline exceeded
+	// the server's bounded queue and the op was rejected without running.
+	StatusBusy
+	// StatusErr is any other server-side failure.
+	StatusErr
+)
+
+// String returns the status code's wire-level name.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusNotFound:
+		return "NOT_FOUND"
+	case StatusDuplicate:
+		return "DUPLICATE"
+	case StatusConflict:
+		return "CONFLICT"
+	case StatusBusy:
+		return "BUSY"
+	case StatusErr:
+		return "ERR"
+	}
+	return fmt.Sprintf("Status(%d)", byte(s))
+}
+
+// Errors a Status maps back to when it does not correspond to a db error.
+var (
+	// ErrBusy is the client-side view of StatusBusy.
+	ErrBusy = errors.New("wire: server busy, op shed")
+	// ErrServer is the client-side view of StatusErr.
+	ErrServer = errors.New("wire: server error")
+)
+
+// StatusOf maps an engine error to its wire status. nil maps to StatusOK;
+// unrecognized errors map to StatusErr.
+func StatusOf(err error) Status {
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, db.ErrNotFound):
+		return StatusNotFound
+	case errors.Is(err, db.ErrDuplicate):
+		return StatusDuplicate
+	case errors.Is(err, db.ErrConflict):
+		return StatusConflict
+	case errors.Is(err, ErrBusy):
+		return StatusBusy
+	}
+	return StatusErr
+}
+
+// Err maps a status back to an error; StatusOK maps to nil. The db statuses
+// return the db sentinel errors, so StatusOf(s.Err()) == s for every code.
+func (s Status) Err() error {
+	switch s {
+	case StatusOK:
+		return nil
+	case StatusNotFound:
+		return db.ErrNotFound
+	case StatusDuplicate:
+		return db.ErrDuplicate
+	case StatusConflict:
+		return db.ErrConflict
+	case StatusBusy:
+		return ErrBusy
+	}
+	return ErrServer
+}
+
+// RespKind identifies a response payload's shape.
+type RespKind byte
+
+// Response kinds.
+const (
+	// RespEmpty carries only a status (PUT/INSERT/DELETE, shed ops).
+	RespEmpty RespKind = iota
+	// RespRow carries a status and one row (GET).
+	RespRow
+	// RespBatch carries an overall status and per-op responses (TXN).
+	RespBatch
+	// RespStats carries a server counter snapshot (STATS).
+	RespStats
+)
+
+// String returns the kind's wire-level name.
+func (k RespKind) String() string {
+	switch k {
+	case RespEmpty:
+		return "EMPTY"
+	case RespRow:
+		return "ROW"
+	case RespBatch:
+		return "BATCH"
+	case RespStats:
+		return "STATS"
+	}
+	return fmt.Sprintf("RespKind(%d)", byte(k))
+}
+
+// Request is one decoded request frame.
+type Request struct {
+	Op    Op
+	Table uint32
+	Key   uint64
+	// Vals is the row payload for PUT/INSERT.
+	Vals []uint64
+	// Ops holds a TXN frame's sub-operations; each must be a simple op
+	// (GET/PUT/INSERT/DELETE — no nesting).
+	Ops []Request
+}
+
+// Response is one decoded response frame.
+type Response struct {
+	Kind   RespKind
+	Status Status
+	// Row is the row read by a GET; Kind RespRow distinguishes a present
+	// zero-column row from no row at all.
+	Row []uint64
+	// Batch holds a TXN's per-op responses when the batch committed.
+	Batch []Response
+	// Stats is the STATS snapshot.
+	Stats *Stats
+}
+
+// Stats is the server counter snapshot carried by a STATS response. Fields
+// mirror server metrics; clock counters are the engine sessions' timestamp
+// comparisons and how many fell inside the Ordo uncertainty window.
+type Stats struct {
+	Protocol       string `json:"protocol"`
+	Commits        uint64 `json:"commits"`
+	Aborts         uint64 `json:"aborts"`
+	Batches        uint64 `json:"batches"`
+	BatchedOps     uint64 `json:"batched_ops"`
+	Busy           uint64 `json:"busy_shed"`
+	ClockCmps      uint64 `json:"clock_cmps"`
+	ClockUncertain uint64 `json:"clock_uncertain"`
+}
+
+// Simple reports whether the op is a valid simple (non-composite)
+// operation — executable inside a TXN batch.
+func (o Op) Simple() bool {
+	switch o {
+	case OpGet, OpPut, OpInsert, OpDelete:
+		return true
+	}
+	return false
+}
