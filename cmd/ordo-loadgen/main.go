@@ -40,11 +40,13 @@ func main() {
 		txnOps  = flag.Int("txn-ops", 0, "when positive, send TXN frames of this many ops instead of simple ops")
 		seed    = flag.Int64("seed", 1, "base RNG seed (connection i uses seed+i)")
 		dialFor = flag.Duration("dial-for", 5*time.Second, "keep retrying the first dial for this long")
+		opTO    = flag.Duration("op-timeout", 10*time.Second,
+			"per-I/O deadline; a read or flush exceeding it fails the run instead of hanging (0 disables)")
 	)
 	flag.Parse()
 
 	if err := run(*addr, *conns, *window, *ops, *seconds, *records,
-		*reads, *theta, *txnOps, *seed, *dialFor); err != nil {
+		*reads, *theta, *txnOps, *seed, *dialFor, *opTO); err != nil {
 		fmt.Fprintf(os.Stderr, "ordo-loadgen: %v\n", err)
 		os.Exit(1)
 	}
@@ -70,7 +72,7 @@ type workerResult struct {
 }
 
 func run(addr string, conns, window, ops int, seconds float64, records int,
-	reads, theta float64, txnOps int, seed int64, dialFor time.Duration) error {
+	reads, theta float64, txnOps int, seed int64, dialFor, opTO time.Duration) error {
 	if conns <= 0 || window <= 0 || records <= 0 {
 		return fmt.Errorf("-conns, -pipeline and -records must be positive")
 	}
@@ -84,7 +86,7 @@ func run(addr string, conns, window, ops int, seconds float64, records int,
 	if err != nil {
 		return err
 	}
-	if err := preload(wire.NewConn(nc), records, window); err != nil {
+	if err := preload(wire.NewConn(deadlineConn{nc, opTO}), records, window); err != nil {
 		nc.Close()
 		return fmt.Errorf("preload: %w", err)
 	}
@@ -107,7 +109,7 @@ func run(addr string, conns, window, ops int, seconds float64, records int,
 				results[i].err = err
 				return
 			}
-			results[i].err = runConn(addr, gen, &results[i], window, ops, deadline, txnOps)
+			results[i].err = runConn(addr, gen, &results[i], window, ops, deadline, txnOps, opTO)
 		}(i)
 	}
 	wg.Wait()
@@ -140,7 +142,7 @@ func run(addr string, conns, window, ops int, seconds float64, records int,
 
 	// Close with the server's own view of the run.
 	if nc, err := dialRetry(addr, dialFor); err == nil {
-		c := wire.NewConn(nc)
+		c := wire.NewConn(deadlineConn{nc, opTO})
 		if resp, err := c.Do(&wire.Request{Op: wire.OpStats}); err == nil && resp.Stats != nil {
 			s := resp.Stats
 			fmt.Printf("server [%s]: commits=%d aborts=%d batches=%d batched_ops=%d shed=%d clock_cmps=%d uncertain=%d\n",
@@ -157,6 +159,29 @@ func run(addr string, conns, window, ops int, seconds float64, records int,
 		return fmt.Errorf("no ops completed")
 	}
 	return nil
+}
+
+// deadlineConn arms a fresh deadline before every Read and Write, turning
+// -op-timeout into a per-I/O bound: any single blocking syscall past it
+// surfaces a net timeout error instead of hanging the connection forever
+// (e.g. against a wedged or drop-everything server).
+type deadlineConn struct {
+	net.Conn
+	d time.Duration
+}
+
+func (c deadlineConn) Read(p []byte) (int, error) {
+	if c.d > 0 {
+		c.Conn.SetReadDeadline(time.Now().Add(c.d))
+	}
+	return c.Conn.Read(p)
+}
+
+func (c deadlineConn) Write(p []byte) (int, error) {
+	if c.d > 0 {
+		c.Conn.SetWriteDeadline(time.Now().Add(c.d))
+	}
+	return c.Conn.Write(p)
 }
 
 // dialRetry dials addr, retrying while the server comes up.
@@ -220,13 +245,13 @@ type pendingOp struct {
 // runConn is one closed-loop connection: keep the pipeline full, read one
 // response, classify it, refill.
 func runConn(addr string, gen *ycsb.Gen, res *workerResult,
-	window, ops int, deadline time.Time, txnOps int) error {
+	window, ops int, deadline time.Time, txnOps int, opTO time.Duration) error {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
 	}
 	defer nc.Close()
-	c := wire.NewConn(nc)
+	c := wire.NewConn(deadlineConn{nc, opTO})
 
 	mkReq := func() (wire.Request, int) {
 		if txnOps > 0 {

@@ -48,6 +48,10 @@ func main() {
 			"run a background clock-health monitor (recalibrates the boundary periodically)")
 		monInterval = flag.Duration("monitor-interval", 2*time.Second,
 			"recalibration cadence for -monitor")
+		idleTimeout = flag.Duration("idle-timeout", 0,
+			"evict connections that send no complete request for this long (0 disables)")
+		writeTimeout = flag.Duration("write-timeout", 0,
+			"evict connections whose response writes stall for this long (0 disables)")
 		healthJSON = flag.String("health-json", "",
 			"write the final server+clock snapshot as JSON to this file ('-' for stdout) on shutdown")
 		calRuns = flag.Int("calibration-runs", 200, "clock-pair samples per calibration")
@@ -57,12 +61,14 @@ func main() {
 	log.SetPrefix("ordod: ")
 
 	if err := run(*proto, *addr, *cols, *maxBatch, *queue, *retries,
+		*idleTimeout, *writeTimeout,
 		*monitor, *monInterval, *healthJSON, *calRuns); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func run(protoName, addr string, cols, maxBatch, queue, retries int,
+	idleTimeout, writeTimeout time.Duration,
 	monitor bool, monInterval time.Duration, healthJSON string, calRuns int) error {
 	proto, err := db.ParseProtocol(protoName)
 	if err != nil {
@@ -103,13 +109,15 @@ func run(protoName, addr string, cols, maxBatch, queue, retries int,
 		return err
 	}
 	srv, err := server.New(server.Config{
-		DB:         engine,
-		Schema:     schema,
-		MaxBatch:   maxBatch,
-		QueueDepth: queue,
-		MaxRetries: retries,
-		Monitor:    mon,
-		Logf:       log.Printf,
+		DB:           engine,
+		Schema:       schema,
+		MaxBatch:     maxBatch,
+		QueueDepth:   queue,
+		MaxRetries:   retries,
+		IdleTimeout:  idleTimeout,
+		WriteTimeout: writeTimeout,
+		Monitor:      mon,
+		Logf:         log.Printf,
 	})
 	if err != nil {
 		return err
@@ -119,8 +127,8 @@ func run(protoName, addr string, cols, maxBatch, queue, retries int,
 	if err != nil {
 		return err
 	}
-	log.Printf("serving %s on %s (max-batch=%d queue=%d retries=%d)",
-		proto, ln.Addr(), maxBatch, queue, retries)
+	log.Printf("serving %s on %s (max-batch=%d queue=%d retries=%d idle-timeout=%v write-timeout=%v)",
+		proto, ln.Addr(), maxBatch, queue, retries, idleTimeout, writeTimeout)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
@@ -143,8 +151,9 @@ func run(protoName, addr string, cols, maxBatch, queue, retries int,
 	}
 
 	snap := srv.Snapshot()
-	log.Printf("drained: %d conns, %d commits, %d aborts, %d batches (avg %.1f ops), %d shed",
-		snap.ConnsTotal, snap.Commits, snap.Aborts, snap.Batches, snap.AvgBatch, snap.Busy)
+	log.Printf("drained: %d conns, %d commits, %d aborts, %d batches (avg %.1f ops), %d shed, %d degraded, %d evicted",
+		snap.ConnsTotal, snap.Commits, snap.Aborts, snap.Batches, snap.AvgBatch,
+		snap.Busy, snap.Degraded, snap.Evictions)
 	if healthJSON != "" {
 		if err := emitSnapshot(snap, healthJSON); err != nil {
 			return err

@@ -1,0 +1,274 @@
+// Package faultnet wraps net.Listener/net.Conn with seeded, deterministic
+// fault injection: added latency, long stalls, chunked ("partial") writes,
+// and hard connection resets. It exists to drive ordod's serving path
+// through the failure modes a production network actually produces —
+// stalled peers, half-written frames, RSTs mid-pipeline — inside ordinary
+// Go tests, repeatably.
+//
+// Determinism: every accepted connection derives its own pair of splitmix64
+// streams (one per direction) from Config.Seed and the connection's accept
+// index, so the *decision sequence* — which I/O gets which fault — is a
+// pure function of the seed and per-connection I/O counts. Wall-clock
+// effects (how goroutines interleave around an injected sleep) naturally
+// still vary; what reproduces is which writes are chopped and which
+// connections die, which is what a regression needs.
+//
+// The wrapper injects faults, it never corrupts: bytes that are delivered
+// are delivered intact and in order. A reset truncates the stream — the
+// peer sees a prefix of valid frames and then a connection error, exactly
+// the contract the wire protocol must survive.
+package faultnet
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedReset is returned by a Read or Write whose connection the
+// injector chose to reset. The underlying socket is closed (with SO_LINGER
+// zeroed when the transport supports it, so TCP peers see an RST rather
+// than a graceful FIN). It wraps net.ErrClosed — the socket really is
+// closed — so error classification on the injected side matches a genuine
+// local hangup.
+var ErrInjectedReset = fmt.Errorf("faultnet: injected connection reset: %w", net.ErrClosed)
+
+// Config sets fault probabilities and magnitudes. Probabilities are per
+// I/O call in [0,1]; zero values inject nothing, so Config{} is a
+// transparent wrapper.
+type Config struct {
+	// Seed roots the per-connection decision streams.
+	Seed int64
+
+	// LatencyProb is the chance an I/O is delayed by a uniform duration in
+	// [0, MaxLatency).
+	LatencyProb float64
+	MaxLatency  time.Duration
+
+	// StallProb is the chance an I/O stalls for Stall before proceeding —
+	// long enough, by construction, to trip a peer's idle/write deadline.
+	StallProb float64
+	Stall     time.Duration
+
+	// PartialProb is the chance a Write is delivered in two chunks with a
+	// ChunkDelay pause between them, exposing every frame boundary
+	// assumption in the peer's reader.
+	PartialProb float64
+	ChunkDelay  time.Duration
+
+	// ResetProb is the chance an I/O hard-closes the connection instead of
+	// completing. When it strikes a chunked write the first chunk is
+	// delivered and the rest never is: the peer reads a truncated frame.
+	ResetProb float64
+}
+
+// InjectedStats reports how many faults a Listener's connections have
+// actually applied, so a chaos harness can assert its run really exercised
+// each fault class instead of passing vacuously.
+type InjectedStats struct {
+	Delays   uint64 // latency injections applied
+	Stalls   uint64 // long stalls applied
+	Partials uint64 // writes delivered in two chunks
+	Resets   uint64 // connections hard-closed
+}
+
+// stats is the shared atomic backing for InjectedStats.
+type stats struct {
+	delays, stalls, partials, resets atomic.Uint64
+}
+
+// Listener wraps an accept loop; every accepted conn is wrapped with a
+// deterministic per-connection fault stream.
+type Listener struct {
+	net.Listener
+	cfg     Config
+	accepts atomic.Uint64
+	stats   stats
+}
+
+// Stats snapshots the faults injected so far across all accepted conns.
+func (l *Listener) Stats() InjectedStats {
+	return InjectedStats{
+		Delays:   l.stats.delays.Load(),
+		Stalls:   l.stats.stalls.Load(),
+		Partials: l.stats.partials.Load(),
+		Resets:   l.stats.resets.Load(),
+	}
+}
+
+// Wrap returns ln with fault injection applied to every accepted conn.
+func Wrap(ln net.Listener, cfg Config) *Listener {
+	return &Listener{Listener: ln, cfg: cfg}
+}
+
+// Accept accepts from the underlying listener and wraps the conn.
+func (l *Listener) Accept() (net.Conn, error) {
+	nc, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	id := l.accepts.Add(1)
+	c := WrapConn(nc, l.cfg, id)
+	c.stats = &l.stats
+	return c, nil
+}
+
+// Conn is one fault-injected connection. Reads and writes may be used
+// concurrently (one goroutine per direction, like net.Conn); each
+// direction owns an independent decision stream.
+type Conn struct {
+	net.Conn
+	cfg   Config
+	rrng  rng    // read-direction decisions
+	wrng  rng    // write-direction decisions
+	stats *stats // shared with the Listener; nil for bare WrapConn
+	reset atomic.Bool
+}
+
+// WrapConn wraps one conn; id differentiates connections under one seed
+// (the Listener passes its accept index).
+func WrapConn(nc net.Conn, cfg Config, id uint64) *Conn {
+	base := uint64(cfg.Seed)*0x9E3779B97F4A7C15 + id
+	return &Conn{
+		Conn: nc,
+		cfg:  cfg,
+		rrng: rng{state: base ^ 0x5265616452656164}, // "ReadRead"
+		wrng: rng{state: base ^ 0x5772697465577269}, // "WriteWri"
+	}
+}
+
+// fault is one I/O's drawn decision.
+type fault struct {
+	delay   time.Duration
+	delayed bool // latency fired (vs. delay==0 draw)
+	stalled bool // long stall fired, overrides latency
+	partial bool
+	reset   bool
+	cutFrac float64 // where a partial write splits, in (0,1)
+}
+
+// draw consumes a fixed number of rng steps per call (six), so the
+// decision stream depends only on how many I/Os ran in each direction,
+// not on which faults earlier I/Os happened to take.
+func (c *Conn) draw(r *rng, isWrite bool) fault {
+	var f fault
+	pLat, pStall, pReset := r.float(), r.float(), r.float()
+	latFrac := r.float()
+	pPartial := r.float()
+	f.cutFrac = r.float()
+	if c.cfg.LatencyProb > 0 && pLat < c.cfg.LatencyProb {
+		f.delay = time.Duration(latFrac * float64(c.cfg.MaxLatency))
+		f.delayed = true
+	}
+	if c.cfg.StallProb > 0 && pStall < c.cfg.StallProb {
+		f.delay = c.cfg.Stall
+		f.stalled = true
+	}
+	if isWrite && c.cfg.PartialProb > 0 && pPartial < c.cfg.PartialProb {
+		f.partial = true
+	}
+	if c.cfg.ResetProb > 0 && pReset < c.cfg.ResetProb {
+		f.reset = true
+	}
+	if c.stats != nil {
+		if f.stalled {
+			c.stats.stalls.Add(1)
+		} else if f.delayed {
+			c.stats.delays.Add(1)
+		}
+		if f.reset {
+			c.stats.resets.Add(1)
+		}
+	}
+	return f
+}
+
+// Read injects read-direction faults, then reads from the wrapped conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.reset.Load() {
+		return 0, ErrInjectedReset
+	}
+	f := c.draw(&c.rrng, false)
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	if f.reset {
+		c.hardClose()
+		return 0, ErrInjectedReset
+	}
+	return c.Conn.Read(p)
+}
+
+// Write injects write-direction faults, then writes to the wrapped conn.
+// A partial fault splits p into two chunks with a pause between them; a
+// reset fault combined with it delivers only the first chunk.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.reset.Load() {
+		return 0, ErrInjectedReset
+	}
+	f := c.draw(&c.wrng, true)
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	if f.reset && !f.partial {
+		c.hardClose()
+		return 0, ErrInjectedReset
+	}
+	if f.partial && len(p) > 1 {
+		if c.stats != nil {
+			c.stats.partials.Add(1)
+		}
+		cut := 1 + int(f.cutFrac*float64(len(p)-1))
+		n, err := c.Conn.Write(p[:cut])
+		if err != nil {
+			return n, err
+		}
+		if c.cfg.ChunkDelay > 0 {
+			time.Sleep(c.cfg.ChunkDelay)
+		}
+		if f.reset {
+			// The nastiest case: a frame chopped mid-payload, then RST.
+			c.hardClose()
+			return n, ErrInjectedReset
+		}
+		m, err := c.Conn.Write(p[cut:])
+		return n + m, err
+	}
+	if f.reset {
+		c.hardClose()
+		return 0, ErrInjectedReset
+	}
+	return c.Conn.Write(p)
+}
+
+// hardClose abandons the connection abruptly: SO_LINGER is zeroed when the
+// transport supports it so the peer sees an RST, then the socket closes.
+func (c *Conn) hardClose() {
+	if c.reset.Swap(true) {
+		return
+	}
+	type lingerer interface{ SetLinger(int) error }
+	if tc, ok := c.Conn.(lingerer); ok {
+		tc.SetLinger(0)
+	}
+	c.Conn.Close()
+}
+
+// rng is splitmix64: tiny, seedable, and stateful per direction so the
+// fault sequence is reproducible without any global locking.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform float64 in [0,1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / float64(math.MaxUint64>>11+1)
+}

@@ -1,0 +1,195 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// chattyCfg exercises every fault kind with magnitudes small enough for a
+// unit test.
+var chattyCfg = Config{
+	Seed:        7,
+	LatencyProb: 0.2,
+	MaxLatency:  time.Millisecond,
+	StallProb:   0.05,
+	Stall:       5 * time.Millisecond,
+	PartialProb: 0.5,
+	ChunkDelay:  time.Millisecond,
+	ResetProb:   0.1,
+}
+
+// TestDecisionsDeterministic: the same seed and connection id produce the
+// same fault sequence, a different id produces a different one.
+func TestDecisionsDeterministic(t *testing.T) {
+	draws := func(id uint64) []fault {
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		c := WrapConn(a, chattyCfg, id)
+		out := make([]fault, 0, 200)
+		for i := 0; i < 100; i++ {
+			out = append(out, c.draw(&c.wrng, true))
+			out = append(out, c.draw(&c.rrng, false))
+		}
+		return out
+	}
+	first, again := draws(1), draws(1)
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatalf("draw %d differs across identical configs: %+v vs %+v", i, first[i], again[i])
+		}
+	}
+	other := draws(2)
+	same := true
+	for i := range first {
+		if first[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("connection ids 1 and 2 produced identical fault sequences")
+	}
+}
+
+// TestTransparentWhenZero: Config{} must not alter the byte stream or
+// inject any error.
+func TestTransparentWhenZero(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fln := Wrap(ln, Config{})
+	defer fln.Close()
+
+	msg := bytes.Repeat([]byte("ordo"), 1024)
+	go func() {
+		nc, err := fln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		io.Copy(nc, nc)
+	}()
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if _, err := nc.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(nc, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("zero config altered the byte stream")
+	}
+}
+
+// TestDeliveredBytesIntact: with latency and partial writes (but no
+// resets) every byte still arrives intact and in order — the injector
+// delays and chops, it never corrupts.
+func TestDeliveredBytesIntact(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Seed:        3,
+		LatencyProb: 0.3, MaxLatency: time.Millisecond,
+		PartialProb: 0.8, ChunkDelay: time.Millisecond,
+	}
+	fln := Wrap(ln, cfg)
+	defer fln.Close()
+	go func() {
+		nc, err := fln.Accept()
+		if err != nil {
+			return
+		}
+		defer nc.Close()
+		io.Copy(nc, nc)
+	}()
+
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(10 * time.Second))
+
+	var msg []byte
+	for i := 0; i < 2048; i++ {
+		msg = append(msg, byte(i), byte(i>>8))
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := nc.Write(msg)
+		done <- err
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(nc, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("faulted stream delivered corrupted bytes")
+	}
+}
+
+// TestResetSurfacesCleanly: a reset-heavy config must fail I/O with
+// ErrInjectedReset on the wrapped side (a net.ErrClosed underneath) and a
+// hard connection error — never a hang — on the peer.
+func TestResetSurfacesCleanly(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fln := Wrap(ln, Config{Seed: 9, ResetProb: 1})
+	defer fln.Close()
+
+	// Dial and write before the server touches the conn, so the injected
+	// RST cannot race the TCP handshake.
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := nc.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+
+	srvErr := make(chan error, 1)
+	go func() {
+		nc, err := fln.Accept()
+		if err != nil {
+			srvErr <- err
+			return
+		}
+		defer nc.Close()
+		buf := make([]byte, 16)
+		_, err = nc.Read(buf)
+		srvErr <- err
+	}()
+
+	if err := <-srvErr; !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("wrapped read error = %v, want ErrInjectedReset", err)
+	}
+	if !errors.Is(ErrInjectedReset, net.ErrClosed) {
+		t.Fatal("ErrInjectedReset must wrap net.ErrClosed")
+	}
+	// The peer sees the connection die (reset or EOF) within its deadline,
+	// never a hang or a clean read.
+	buf := make([]byte, 16)
+	if n, err := nc.Read(buf); err == nil {
+		t.Fatalf("peer read %d bytes from a reset connection", n)
+	}
+}

@@ -4,12 +4,18 @@ import (
 	"errors"
 	"io"
 	"net"
+	"runtime/debug"
 	"sync"
+	"syscall"
 	"time"
 
 	"ordo/internal/db"
 	"ordo/internal/wire"
 )
+
+// errWorkerPanic is the internal sentinel a recovered worker panic turns
+// into so the normal connection-teardown path runs.
+var errWorkerPanic = errors.New("server: worker panicked")
 
 // item is one queued unit of work. Exactly one of the flags is set for
 // non-request items; otherwise req holds a decoded request.
@@ -41,6 +47,10 @@ type serverConn struct {
 	// drain); the worker exits once pending empties.
 	readerDone bool
 	draining   bool
+	// evicting marks a connection the server decided to get rid of (idle
+	// client, write stall): the deadline errors that follow are expected
+	// and must not count as protocol faults.
+	evicting bool
 
 	// Session-counter baselines for delta-flushing into server metrics.
 	lastCommits, lastAborts uint64
@@ -65,38 +75,109 @@ func newServerConn(s *Server, nc net.Conn) *serverConn {
 
 // beginDrain stops the reader (unblocking a pending read via deadline) and
 // wakes the worker so it can finish the queue and close. Requests already
-// accepted are still executed and their responses flushed.
+// accepted are still executed and their responses flushed. The deadline is
+// set under c.mu so a reader about to arm its idle deadline cannot
+// overwrite it (armReadDeadline checks draining under the same lock).
 func (c *serverConn) beginDrain() {
 	c.mu.Lock()
 	c.draining = true
+	c.nc.SetReadDeadline(time.Now())
 	c.mu.Unlock()
 	c.cond.Broadcast()
-	c.nc.SetReadDeadline(time.Now())
 }
 
-// readLoop decodes frames and enqueues work until EOF, error, or drain.
+// armReadDeadline arms the reader's idle deadline for the next read. It is
+// serialized with beginDrain/abortReader through c.mu: once draining is
+// set, their immediate deadline stands.
+func (c *serverConn) armReadDeadline() {
+	d := c.srv.cfg.IdleTimeout
+	c.mu.Lock()
+	if !c.draining && d > 0 {
+		c.nc.SetReadDeadline(time.Now().Add(d))
+	}
+	c.mu.Unlock()
+}
+
+// armWriteDeadline arms the worker's deadline before a response write or
+// flush, so a client that stopped reading cannot park the worker (and its
+// engine session) on a full send buffer forever.
+func (c *serverConn) armWriteDeadline() {
+	if d := c.srv.cfg.WriteTimeout; d > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(d))
+	}
+}
+
+// evict marks the connection evicted (counted once) and records why.
+func (c *serverConn) evict(reason string) {
+	c.mu.Lock()
+	first := !c.evicting
+	c.evicting = true
+	c.mu.Unlock()
+	if first {
+		c.srv.m.evictions.Add(1)
+		c.srv.logf("server: %v: evicting: %s", c.nc.RemoteAddr(), reason)
+	}
+}
+
+// readLoop decodes frames and enqueues work until EOF, error, drain, or
+// idle eviction.
 func (c *serverConn) readLoop() {
+	defer func() {
+		if r := recover(); r != nil {
+			c.srv.m.panics.Add(1)
+			c.srv.logf("server: %v: panic in reader: %v\n%s", c.nc.RemoteAddr(), r, debug.Stack())
+			c.finishRead()
+		}
+	}()
 	for {
+		c.armReadDeadline()
 		req, err := c.wc.ReadRequest()
 		if err != nil {
-			quiet := errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed)
-			var ne net.Error
-			if errors.As(err, &ne) && ne.Timeout() {
-				quiet = true // drain deadline, not a protocol fault
-			}
-			if !quiet {
-				c.srv.m.protoErrs.Add(1)
-				c.srv.logf("server: %v: protocol error: %v", c.nc.RemoteAddr(), err)
-				c.enqueue(item{protoErr: true})
-			}
-			c.mu.Lock()
-			c.readerDone = true
-			c.mu.Unlock()
-			c.cond.Broadcast()
+			c.classifyReadError(err)
+			c.finishRead()
 			return
 		}
 		c.enqueue(item{req: req})
 	}
+}
+
+// finishRead marks the reader done and wakes the worker so it can finish
+// the queue and close.
+func (c *serverConn) finishRead() {
+	c.mu.Lock()
+	c.readerDone = true
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// classifyReadError decides what ended the read loop. EOF, a closed
+// socket, and a peer reset are a quiet hangup. A deadline error is quiet
+// only when the server itself armed it — a drain or an eviction in
+// progress — or when it is the idle deadline firing, which evicts the
+// client. Any other failure (including a timeout nobody armed) is a
+// protocol fault: logged, counted, and answered with ERR before the
+// connection closes.
+func (c *serverConn) classifyReadError(err error) {
+	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		c.mu.Lock()
+		expected := c.draining || c.evicting
+		c.mu.Unlock()
+		if expected {
+			return // drain/eviction deadline, not a protocol fault
+		}
+		if d := c.srv.cfg.IdleTimeout; d > 0 {
+			c.evict("idle for " + d.String())
+			return
+		}
+	}
+	c.srv.m.protoErrs.Add(1)
+	c.srv.logf("server: %v: protocol error: %v", c.nc.RemoteAddr(), err)
+	c.enqueue(item{protoErr: true})
 }
 
 // enqueue appends one item, shedding it if the queue is past QueueDepth and
@@ -128,6 +209,7 @@ func (c *serverConn) workLoop() {
 			c.mu.Unlock()
 			// Reader is gone and nothing is queued: flush any buffered
 			// responses and finish.
+			c.armWriteDeadline()
 			c.wc.Flush()
 			c.flushSessionStats()
 			return
@@ -136,8 +218,9 @@ func (c *serverConn) workLoop() {
 		c.mu.Unlock()
 		c.cond.Broadcast() // queue space freed
 
-		if err := c.process(run); err != nil {
-			c.srv.logf("server: %v: write: %v", c.nc.RemoteAddr(), err)
+		c.armWriteDeadline()
+		if err := c.runOne(run); err != nil {
+			c.noteWriteError(err)
 			c.abortReader()
 			c.flushSessionStats()
 			return
@@ -146,7 +229,9 @@ func (c *serverConn) workLoop() {
 		if last {
 			// The queue looked empty after the pop: flush so the client
 			// sees its responses now rather than at the next batch.
+			c.armWriteDeadline()
 			if err := c.wc.Flush(); err != nil {
+				c.noteWriteError(err)
 				c.abortReader()
 				return
 			}
@@ -157,6 +242,45 @@ func (c *serverConn) workLoop() {
 			return
 		}
 	}
+}
+
+// runOne executes one run with panic containment: a request that panics the
+// engine (or the server's own execution path) is answered with ERR for the
+// whole run, counted, and tears down only this connection — the process and
+// the other connections keep serving.
+func (c *serverConn) runOne(run []item) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.srv.m.panics.Add(1)
+			c.srv.logf("server: %v: panic in worker: %v\n%s", c.nc.RemoteAddr(), r, debug.Stack())
+			// Best effort: the run produced no responses yet (responses are
+			// written only after the engine returns), so answer ERR for each
+			// of its ops to keep the stream ordered, then kill the conn.
+			for range run {
+				if werr := c.wc.WriteResponse(&wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr}); werr != nil {
+					break
+				}
+			}
+			c.wc.Flush()
+			err = errWorkerPanic
+		}
+	}()
+	return c.process(run)
+}
+
+// noteWriteError classifies a response-path failure: a deadline expiry
+// means a client that stopped reading — evict it; anything else is an
+// ordinary broken connection.
+func (c *serverConn) noteWriteError(err error) {
+	if errors.Is(err, errWorkerPanic) {
+		return // already logged with its stack
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		c.evict("write stalled past " + c.srv.cfg.WriteTimeout.String())
+		return
+	}
+	c.srv.logf("server: %v: write: %v", c.nc.RemoteAddr(), err)
 }
 
 // popRun pops the next execution unit under c.mu: either one special item
@@ -187,9 +311,9 @@ func (c *serverConn) popRun() ([]item, bool) {
 func (c *serverConn) abortReader() {
 	c.mu.Lock()
 	c.draining = true
+	c.nc.SetReadDeadline(time.Now())
 	c.mu.Unlock()
 	c.cond.Broadcast()
-	c.nc.SetReadDeadline(time.Now())
 }
 
 // flushSessionStats adds the session's counter deltas to server metrics.
@@ -248,11 +372,25 @@ func (c *serverConn) countOp(op wire.Op) {
 	}
 }
 
+// countOps tallies a finished run's ops, skipping ops whose final status is
+// ERR (schema-validation failures, unattributable engine errors): only ops
+// the engine actually answered count as served.
+func (c *serverConn) countOps(run []item, resps []wire.Response) {
+	for i := range run {
+		if resps[i].Status != wire.StatusErr {
+			c.countOp(run[i].req.Op)
+		}
+	}
+}
+
 // execBatch runs a contiguous run of simple ops as one engine transaction —
 // the batching that amortizes timestamp allocation across a pipeline. If
 // the batch cannot commit (a conflict that survived the retries, or a
 // commit-time duplicate that cannot be attributed to one op), it degrades
-// to one transaction per op so each response carries its own status.
+// to one transaction per op so each response carries its own status. Only
+// runs that committed as one transaction count in batches/batchedOps;
+// degraded runs count in degraded, so the two counters partition the
+// simple-op runs and the batching rate stays honest under failures.
 func (c *serverConn) execBatch(run []item) []wire.Response {
 	resps := make([]wire.Response, len(run))
 	err := db.RunWithRetry(c.sess, c.srv.cfg.MaxRetries, func(tx db.Tx) error {
@@ -265,16 +403,16 @@ func (c *serverConn) execBatch(run []item) []wire.Response {
 		}
 		return nil
 	})
-	c.srv.m.batches.Add(1)
-	c.srv.m.batchedOps.Add(uint64(len(run)))
-	for i := range run {
-		c.countOp(run[i].req.Op)
-	}
 	if err == nil {
+		c.srv.m.batches.Add(1)
+		c.srv.m.batchedOps.Add(uint64(len(run)))
+		c.countOps(run, resps)
 		return resps
 	}
+	c.srv.m.degraded.Add(1)
 	if len(run) == 1 {
 		resps[0] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusOf(err)}
+		c.countOps(run, resps)
 		return resps
 	}
 	// Degraded path: per-op transactions for status attribution.
@@ -292,6 +430,7 @@ func (c *serverConn) execBatch(run []item) []wire.Response {
 			resps[i] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusOf(err)}
 		}
 	}
+	c.countOps(run, resps)
 	return resps
 }
 
@@ -329,6 +468,7 @@ func (c *serverConn) execStats() wire.Response {
 		Batches:        m.batches.Load(),
 		BatchedOps:     m.batchedOps.Load(),
 		Busy:           m.busy.Load(),
+		Degraded:       m.degraded.Load(),
 		ClockCmps:      m.clockCmps.Load(),
 		ClockUncertain: m.clockUncertain.Load(),
 	}}

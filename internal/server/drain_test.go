@@ -1,0 +1,237 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"ordo/internal/wire"
+)
+
+// startRawServer boots a server without the convenience client, for tests
+// that manage their own connections and shutdown sequencing.
+func startRawServer(t *testing.T, cfg Config) (*Server, net.Listener, chan error) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	return srv, ln, serveDone
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// onlyConn returns the single registered serverConn.
+func onlyConn(srv *Server) *serverConn {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	for c := range srv.conns {
+		return c
+	}
+	return nil
+}
+
+// TestDrainWhileReaderBlockedAtHardCap wedges the reader in the hard-cap
+// wait (engine blocked, queue full) and fires Shutdown: the drain must
+// unwedge the reader, answer everything that was accepted — responses in
+// order — and tear down without leaking either goroutine.
+func TestDrainWhileReaderBlockedAtHardCap(t *testing.T) {
+	defer requireNoGoroutineLeak(t)()
+	f := &fakeDB{block: make(chan struct{})}
+	srv, ln, serveDone := startRawServer(t, Config{DB: f, QueueDepth: 2, MaxBatch: 2})
+
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	c := wire.NewConn(nc)
+	const total = 50
+	for i := 0; i < total; i++ {
+		if err := c.WriteRequest(&wire.Request{Op: wire.OpGet, Key: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The worker popped one run and is blocked in the engine; wait until
+	// the reader has filled pending to the hard cap, where it blocks.
+	waitFor(t, "reader blocked at hard cap", func() bool {
+		sc := onlyConn(srv)
+		if sc == nil {
+			return false
+		}
+		sc.mu.Lock()
+		defer sc.mu.Unlock()
+		return len(sc.pending) >= sc.hardCap()
+	})
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	time.Sleep(20 * time.Millisecond) // drain begins with the engine still blocked
+	close(f.block)
+
+	// Every accepted op answers OK (keys in order) or BUSY, then the
+	// connection closes cleanly.
+	var okKeys []uint64
+	responses := 0
+	for {
+		r, err := c.ReadResponse()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				t.Fatalf("response %d: %v", responses, err)
+			}
+			break
+		}
+		responses++
+		switch r.Status {
+		case wire.StatusOK:
+			okKeys = append(okKeys, r.Row[0]/10)
+		case wire.StatusBusy:
+		default:
+			t.Fatalf("response %d: status %v", responses, r.Status)
+		}
+	}
+	if responses < 5 || responses > total {
+		t.Fatalf("answered %d responses, want between 5 (hard cap + in flight) and %d", responses, total)
+	}
+	for i := 1; i < len(okKeys); i++ {
+		if okKeys[i] <= okKeys[i-1] {
+			t.Fatalf("OK responses out of order: %v", okKeys)
+		}
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+// TestProtoErrFlushOrdering interleaves valid frames with garbage in one
+// client flush: every valid op must be answered in order, then exactly one
+// ERR for the garbage, all flushed before the connection closes.
+func TestProtoErrFlushOrdering(t *testing.T) {
+	defer requireNoGoroutineLeak(t)()
+	f := &fakeDB{}
+	srv, ln, serveDone := startRawServer(t, Config{DB: f})
+
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	c := wire.NewConn(nc)
+	for k := 1; k <= 3; k++ {
+		if err := c.WriteRequest(&wire.Request{Op: wire.OpGet, Key: uint64(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// A well-framed payload with a bogus opcode: undecodable, stream dead.
+	if _, err := nc.Write([]byte{0x02, 0xEE, 0xEE}); err != nil {
+		t.Fatal(err)
+	}
+
+	for k := 1; k <= 3; k++ {
+		r, err := c.ReadResponse()
+		if err != nil {
+			t.Fatalf("valid op %d: %v", k, err)
+		}
+		if r.Status != wire.StatusOK || r.Row[0] != uint64(k*10) {
+			t.Fatalf("valid op %d answered out of order: %+v", k, r)
+		}
+	}
+	r, err := c.ReadResponse()
+	if err != nil {
+		t.Fatalf("ERR response must be flushed before close, got %v", err)
+	}
+	if r.Status != wire.StatusErr {
+		t.Fatalf("garbage answered %v, want ERR", r.Status)
+	}
+	if _, err := c.ReadResponse(); !errors.Is(err, io.EOF) {
+		t.Fatalf("connection must close after protocol error, got %v", err)
+	}
+	if snap := srv.Snapshot(); snap.ProtoErrs != 1 {
+		t.Fatalf("protoErrs=%d, want 1", snap.ProtoErrs)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+// TestShutdownCtxExpiresMidBatch expires the drain deadline while a worker
+// sits inside the engine: Shutdown must hard-close the sockets, return the
+// context error once the worker surfaces, and leak nothing.
+func TestShutdownCtxExpiresMidBatch(t *testing.T) {
+	defer requireNoGoroutineLeak(t)()
+	f := &fakeDB{block: make(chan struct{})}
+	srv, ln, serveDone := startRawServer(t, Config{DB: f})
+
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	c := wire.NewConn(nc)
+	if err := c.WriteRequest(&wire.Request{Op: wire.OpGet, Key: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "worker inside the engine", func() bool {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return f.runs >= 1
+	})
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	time.Sleep(250 * time.Millisecond) // let the drain deadline expire mid-batch
+	close(f.block)                     // the engine finally returns
+
+	if err := <-shutdownDone; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("shutdown = %v, want DeadlineExceeded", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -14,6 +15,32 @@ import (
 	"ordo/internal/wire"
 )
 
+// requireNoGoroutineLeak snapshots the goroutine count and returns a check
+// to defer: it polls until the count returns to the baseline (background
+// teardown is asynchronous) and fails with a full stack dump if goroutines
+// are still alive after the grace period — a goleak-style guard for every
+// teardown path in this package.
+func requireNoGoroutineLeak(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			n := runtime.NumGoroutine()
+			if n <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				buf = buf[:runtime.Stack(buf, true)]
+				t.Fatalf("goroutine leak: %d at start, %d after teardown\n%s", before, n, buf)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
 // TestEndToEnd drives ≥10k pipelined ops through real engines over TCP —
 // once with logical timestamps (OCC) and once with Ordo hardware timestamps
 // (OCC_ORDO) — and requires a clean protocol run: every op answers OK or
@@ -23,6 +50,7 @@ import (
 func TestEndToEnd(t *testing.T) {
 	for _, proto := range []db.Protocol{db.OCC, db.OCCOrdo} {
 		t.Run(proto.String(), func(t *testing.T) {
+			defer requireNoGoroutineLeak(t)()
 			var ordo *core.Ordo
 			if proto == db.OCCOrdo {
 				// Single-vCPU CI boxes make calibration degenerate (one

@@ -60,6 +60,18 @@ type Config struct {
 	// MaxRetries+1). Zero means DefaultMaxRetries; negative means none.
 	MaxRetries int
 
+	// IdleTimeout evicts a connection whose client sends no complete
+	// request for this long: the reader's deadline expires, the worker
+	// finishes whatever was already queued, and the connection closes.
+	// Zero disables idle eviction.
+	IdleTimeout time.Duration
+
+	// WriteTimeout bounds each response write and flush. A client that
+	// stops reading long enough for the kernel's send buffer to fill is
+	// evicted instead of parking the worker (and its engine session) on a
+	// blocked write. Zero disables write deadlines.
+	WriteTimeout time.Duration
+
 	// Monitor, when set, contributes the clock-health snapshot to
 	// Snapshot(); the server does not start or stop it.
 	Monitor *health.Monitor
@@ -99,7 +111,10 @@ type metrics struct {
 
 	batches, batchedOps atomic.Uint64
 	busy                atomic.Uint64
+	degraded            atomic.Uint64
 	protoErrs           atomic.Uint64
+	evictions           atomic.Uint64
+	panics              atomic.Uint64
 
 	commits, aborts           atomic.Uint64
 	clockCmps, clockUncertain atomic.Uint64
@@ -126,7 +141,10 @@ type Snapshot struct {
 	BatchedOps uint64  `json:"batched_ops"`
 	AvgBatch   float64 `json:"avg_batch,omitempty"`
 	Busy       uint64  `json:"busy_shed"`
+	Degraded   uint64  `json:"degraded"`
 	ProtoErrs  uint64  `json:"protocol_errors"`
+	Evictions  uint64  `json:"evictions"`
+	Panics     uint64  `json:"panics"`
 
 	Commits        uint64  `json:"commits"`
 	Aborts         uint64  `json:"aborts"`
@@ -170,10 +188,15 @@ func (s *Server) logf(format string, args ...any) {
 // fatal accept error. Multiple Serve calls on different listeners are
 // allowed.
 func (s *Server) Serve(ln net.Listener) error {
+	// Register under the lock Shutdown holds while closing listeners:
+	// checking inShutdown before taking s.mu would let a listener slip in
+	// concurrently with Shutdown and keep accepting after the drain.
+	s.mu.Lock()
 	if s.inShutdown.Load() {
+		s.mu.Unlock()
+		ln.Close()
 		return errors.New("server: already shut down")
 	}
-	s.mu.Lock()
 	s.listeners[ln] = struct{}{}
 	s.mu.Unlock()
 	defer func() {
@@ -304,7 +327,10 @@ func (s *Server) Snapshot() Snapshot {
 		Batches:        m.batches.Load(),
 		BatchedOps:     m.batchedOps.Load(),
 		Busy:           m.busy.Load(),
+		Degraded:       m.degraded.Load(),
 		ProtoErrs:      m.protoErrs.Load(),
+		Evictions:      m.evictions.Load(),
+		Panics:         m.panics.Load(),
 		Commits:        m.commits.Load(),
 		Aborts:         m.aborts.Load(),
 		ClockCmps:      m.clockCmps.Load(),

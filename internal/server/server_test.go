@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"sync"
@@ -15,14 +16,27 @@ import (
 )
 
 // fakeDB is a scriptable engine for deterministic server tests: GETs answer
-// key*10, the first Run can be blocked on a channel, and a prefix of Runs
-// can be forced to conflict.
+// key*10, the first Run can be blocked on a channel, a prefix of Runs can
+// be forced to conflict, touching panicKey panics (poisoned-request tests),
+// and rowWidth pads GET rows (write-backpressure tests).
 type fakeDB struct {
-	mu        sync.Mutex
-	block     chan struct{} // nil means never block; else first Run waits
-	conflicts int           // forced ErrConflict count before success
-	runs      int
-	executed  []uint64 // keys touched by committed Runs, in order
+	mu         sync.Mutex
+	block      chan struct{} // nil means never block; else first Run waits
+	conflicts  int           // forced ErrConflict count before success
+	panicKey   uint64        // ops on this key panic when panicArmed
+	panicArmed bool
+	rowWidth   int // extra columns padded onto GET rows (0 = just one)
+	runs       int
+	executed   []uint64 // keys touched by committed Runs, in order
+}
+
+func (f *fakeDB) checkPoison(key uint64) {
+	f.mu.Lock()
+	armed := f.panicArmed && key == f.panicKey
+	f.mu.Unlock()
+	if armed {
+		panic(fmt.Sprintf("poisoned request: key %d", key))
+	}
 }
 
 func (f *fakeDB) Protocol() db.Protocol { return db.OCC }
@@ -71,10 +85,14 @@ type fakeTx struct {
 }
 
 func (t *fakeTx) Read(table int, key uint64) ([]uint64, error) {
+	t.db.checkPoison(key)
 	t.keys = append(t.keys, key)
-	return []uint64{key * 10}, nil
+	row := make([]uint64, 1+t.db.rowWidth)
+	row[0] = key * 10
+	return row, nil
 }
 func (t *fakeTx) Update(table int, key uint64, vals []uint64) error {
+	t.db.checkPoison(key)
 	t.keys = append(t.keys, key)
 	return nil
 }

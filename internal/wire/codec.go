@@ -214,7 +214,7 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 		dst = append(dst, s.Protocol...)
 		for _, v := range [...]uint64{
 			s.Commits, s.Aborts, s.Batches, s.BatchedOps,
-			s.Busy, s.ClockCmps, s.ClockUncertain,
+			s.Busy, s.Degraded, s.ClockCmps, s.ClockUncertain,
 		} {
 			dst = binary.AppendUvarint(dst, v)
 		}
@@ -285,7 +285,7 @@ func decodeResponse(b []byte, inBatch bool) (Response, []byte, error) {
 		rest = rest[n:]
 		for _, field := range [...]*uint64{
 			&s.Commits, &s.Aborts, &s.Batches, &s.BatchedOps,
-			&s.Busy, &s.ClockCmps, &s.ClockUncertain,
+			&s.Busy, &s.Degraded, &s.ClockCmps, &s.ClockUncertain,
 		} {
 			*field, rest, err = uvarint(rest)
 			if err != nil {

@@ -32,7 +32,7 @@ func seedPayloads(t interface{ Fatal(...any) }) [][]byte {
 		}},
 		{Kind: RespStats, Status: StatusOK, Stats: &Stats{
 			Protocol: "OCC_ORDO", Commits: 10, Aborts: 1, Batches: 4,
-			BatchedOps: 20, Busy: 2, ClockCmps: 30, ClockUncertain: 1,
+			BatchedOps: 20, Busy: 2, Degraded: 3, ClockCmps: 30, ClockUncertain: 1,
 		}},
 	}
 	var out [][]byte

@@ -220,6 +220,8 @@ type Response struct {
 // Stats is the server counter snapshot carried by a STATS response. Fields
 // mirror server metrics; clock counters are the engine sessions' timestamp
 // comparisons and how many fell inside the Ordo uncertainty window.
+// Degraded counts runs that failed as one batched transaction and fell
+// back to per-op transactions for status attribution.
 type Stats struct {
 	Protocol       string `json:"protocol"`
 	Commits        uint64 `json:"commits"`
@@ -227,6 +229,7 @@ type Stats struct {
 	Batches        uint64 `json:"batches"`
 	BatchedOps     uint64 `json:"batched_ops"`
 	Busy           uint64 `json:"busy_shed"`
+	Degraded       uint64 `json:"degraded"`
 	ClockCmps      uint64 `json:"clock_cmps"`
 	ClockUncertain uint64 `json:"clock_uncertain"`
 }

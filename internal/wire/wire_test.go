@@ -110,7 +110,7 @@ func TestResponseRoundTrip(t *testing.T) {
 		}},
 		{Kind: RespStats, Status: StatusOK, Stats: &Stats{
 			Protocol: "OCC_ORDO", Commits: 12, Aborts: 3, Batches: 5,
-			BatchedOps: 40, Busy: 1, ClockCmps: 99, ClockUncertain: 2,
+			BatchedOps: 40, Busy: 1, Degraded: 4, ClockCmps: 99, ClockUncertain: 2,
 		}},
 		{Kind: RespStats, Status: StatusOK, Stats: &Stats{}},
 	}
