@@ -1,0 +1,305 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"ordo/internal/wire"
+)
+
+// The kill-crash harness: a real ordod subprocess serving durably is
+// SIGKILLed at a seeded random point under write load, restarted on the
+// same log directory, and the recovered state is checked against exactly
+// what the client saw acknowledged:
+//
+//   - no acked write is lost (recovered seq ≥ last acked seq per key),
+//   - no unacked write resurrects as acked (recovered seq ≤ max issued),
+//   - keys never issued stay absent,
+//   - the restart reports a non-trivial recovery in STATS.
+//
+// SIGKILL gives the process no chance to flush anything it hadn't already
+// fsynced, while the page cache (and so everything fsynced) survives — the
+// honest model of a process crash.
+
+// ordodBin is the test-built server binary, compiled once in TestMain.
+var ordodBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "ordod-crash")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ordodBin = filepath.Join(dir, "ordod")
+	out, err := exec.Command("go", "build", "-o", ordodBin, ".").CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "building ordod: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+const (
+	crashSeeds  = 8
+	crashKeys   = 48
+	crashWindow = 16
+	bootTimeout = 30 * time.Second
+)
+
+// ordodProc is one running server subprocess.
+type ordodProc struct {
+	cmd  *exec.Cmd
+	addr string
+	log  string
+}
+
+// startOrdod boots the binary on a :0 port with the given WAL dir and
+// waits for the address file.
+func startOrdod(t *testing.T, walDir, tag string) *ordodProc {
+	t.Helper()
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	logFile := filepath.Join(dir, "ordod-"+tag+".log")
+	lf, err := os.Create(logFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(ordodBin,
+		"-protocol", "OCC_ORDO",
+		"-addr", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-wal-dir", walDir,
+		"-calibration-runs", "20",
+	)
+	cmd.Stdout = lf
+	cmd.Stderr = lf
+	if err := cmd.Start(); err != nil {
+		lf.Close()
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(bootTimeout)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			lf.Close()
+			return &ordodProc{cmd: cmd, addr: strings.TrimSpace(string(b)), log: logFile}
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			lf.Close()
+			b, _ := os.ReadFile(logFile)
+			t.Fatalf("ordod (%s) never wrote its address; log:\n%s", tag, b)
+		}
+		if cmd.ProcessState != nil {
+			t.Fatalf("ordod (%s) exited before listening", tag)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func dumpLog(t *testing.T, p *ordodProc) {
+	t.Helper()
+	if b, err := os.ReadFile(p.log); err == nil {
+		t.Logf("ordod log:\n%s", b)
+	}
+}
+
+// crashClient is the load phase's bookkeeping: per-key sequence numbers
+// issued and acked, in strict pipeline order on one connection.
+type crashClient struct {
+	nc        net.Conn
+	c         *wire.Conn
+	issued    []crashOp // in-flight window, response order
+	maxIssued [crashKeys]uint64
+	lastAcked [crashKeys]uint64
+	ackedAny  bool
+}
+
+type crashOp struct {
+	key uint64
+	seq uint64
+}
+
+// crashRow builds the served table's row for (key, seq): vals[0] is the
+// key, vals[1] the per-key sequence number, the rest padding.
+func crashRow(key, seq uint64) []uint64 {
+	vals := make([]uint64, 10) // ordod's default -cols
+	vals[0] = key
+	vals[1] = seq
+	return vals
+}
+
+// drainWindow reads one response per in-flight op; an error means the
+// server died mid-window (expected once the kill fires).
+func (cc *crashClient) drainWindow() error {
+	for len(cc.issued) > 0 {
+		cc.nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+		r, err := cc.c.ReadResponse()
+		if err != nil {
+			return err
+		}
+		op := cc.issued[0]
+		cc.issued = cc.issued[1:]
+		if r.Status == wire.StatusOK {
+			cc.lastAcked[op.key] = op.seq
+			cc.ackedAny = true
+		}
+	}
+	return nil
+}
+
+// killCrashRun drives one seed: load, SIGKILL, restart, verify.
+func killCrashRun(t *testing.T, seed int) {
+	walDir := t.TempDir()
+	p1 := startOrdod(t, walDir, fmt.Sprintf("seed%d-a", seed))
+
+	nc, err := net.Dial("tcp", p1.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	cc := &crashClient{nc: nc, c: wire.NewConn(nc)}
+
+	// Phase A: insert every key with seq 0, fully acked before the kill
+	// timer starts, so after recovery every key must exist.
+	for k := uint64(0); k < crashKeys; k++ {
+		if err := cc.c.WriteRequest(&wire.Request{Op: wire.OpInsert, Key: k, Vals: crashRow(k, 0)}); err != nil {
+			t.Fatal(err)
+		}
+		cc.issued = append(cc.issued, crashOp{key: k, seq: 0})
+		cc.maxIssued[k] = 0
+	}
+	if err := cc.c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.drainWindow(); err != nil {
+		dumpLog(t, p1)
+		t.Fatalf("insert phase died: %v", err)
+	}
+	for k := range cc.lastAcked {
+		if cc.lastAcked[k] != 0 {
+			t.Fatalf("key %d insert not acked", k)
+		}
+	}
+
+	// Phase B: per-key increasing PUT sequence under a seeded kill timer.
+	// The seed spreads the SIGKILL across 150–850ms of live write load, so
+	// the eight runs die at different log offsets — some mid-write (torn
+	// tail), some between flushes.
+	killDelay := 150*time.Millisecond + time.Duration((seed*97)%700)*time.Millisecond
+	killed := make(chan struct{})
+	go func() {
+		time.Sleep(killDelay)
+		p1.cmd.Process.Signal(syscall.SIGKILL)
+		close(killed)
+	}()
+
+	seq := uint64(1)
+	var deadErr error
+	for deadErr == nil {
+		for i := 0; i < crashWindow; i++ {
+			k := (seq + uint64(i)) % crashKeys
+			s := seq + uint64(i)
+			if err := cc.c.WriteRequest(&wire.Request{Op: wire.OpPut, Key: k, Vals: crashRow(k, s)}); err != nil {
+				deadErr = err
+				break
+			}
+			cc.issued = append(cc.issued, crashOp{key: k, seq: s})
+			cc.maxIssued[k] = s
+		}
+		seq += crashWindow
+		if deadErr == nil {
+			if err := cc.c.Flush(); err != nil {
+				deadErr = err
+				break
+			}
+			deadErr = cc.drainWindow()
+		}
+	}
+	<-killed
+	p1.cmd.Wait() // reaps the SIGKILLed process
+	if !cc.ackedAny {
+		t.Fatalf("seed %d: nothing acked before the kill (delay %v); harness too slow", seed, killDelay)
+	}
+
+	// Restart on the same directory and sweep every key.
+	p2 := startOrdod(t, walDir, fmt.Sprintf("seed%d-b", seed))
+	nc2, err := net.Dial("tcp", p2.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc2.Close()
+	c2 := wire.NewConn(nc2)
+
+	for k := uint64(0); k < crashKeys; k++ {
+		nc2.SetReadDeadline(time.Now().Add(10 * time.Second))
+		r, err := c2.Do(&wire.Request{Op: wire.OpGet, Key: k})
+		if err != nil {
+			dumpLog(t, p2)
+			t.Fatalf("seed %d: GET %d after restart: %v", seed, k, err)
+		}
+		if r.Status != wire.StatusOK {
+			t.Fatalf("seed %d: acked key %d lost after crash: %v", seed, k, r.Status)
+		}
+		if r.Row[0] != k {
+			t.Fatalf("seed %d: key %d recovered wrong row %v", seed, k, r.Row)
+		}
+		got := r.Row[1]
+		if got < cc.lastAcked[k] {
+			t.Fatalf("seed %d: key %d recovered seq %d < last acked %d — acked write lost",
+				seed, k, got, cc.lastAcked[k])
+		}
+		if got > cc.maxIssued[k] {
+			t.Fatalf("seed %d: key %d recovered seq %d > max issued %d — phantom write",
+				seed, k, got, cc.maxIssued[k])
+		}
+	}
+	// A key never issued must not exist.
+	if r, err := c2.Do(&wire.Request{Op: wire.OpGet, Key: crashKeys + 7}); err != nil || r.Status != wire.StatusNotFound {
+		t.Fatalf("seed %d: unissued key: %v %v, want NOT_FOUND", seed, r.Status, err)
+	}
+	// The restart must have recovered the pre-crash log, and its device
+	// must be healthy.
+	r, err := c2.Do(&wire.Request{Op: wire.OpStats})
+	if err != nil || r.Stats == nil {
+		t.Fatalf("seed %d: stats after restart: %v", seed, err)
+	}
+	if r.Stats.RecoveredRecords == 0 {
+		t.Fatalf("seed %d: restart recovered zero records with %d keys live", seed, crashKeys)
+	}
+	if r.Stats.WALDeviceErrors != 0 {
+		t.Fatalf("seed %d: device errors after restart: %d", seed, r.Stats.WALDeviceErrors)
+	}
+	nc2.Close()
+
+	// Clean exit on SIGTERM: the drain must succeed (exit 0).
+	p2.cmd.Process.Signal(syscall.SIGTERM)
+	if err := p2.cmd.Wait(); err != nil {
+		dumpLog(t, p2)
+		t.Fatalf("seed %d: drain after recovery: %v", seed, err)
+	}
+}
+
+// TestKillCrashRecovery runs the harness across fixed seeds; each seed
+// kills the server at a different point of the write load.
+func TestKillCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess kill-crash harness skipped in -short")
+	}
+	for seed := 1; seed <= crashSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			killCrashRun(t, seed)
+		})
+	}
+}

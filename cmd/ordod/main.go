@@ -8,6 +8,13 @@
 //
 //	ordod -protocol OCC_ORDO -addr :7421
 //	ordod -protocol OCC_ORDO -monitor -health-json health.json
+//	ordod -protocol OCC_ORDO -wal-dir /var/lib/ordod/wal -wal-sync flush
+//
+// With -wal-dir the server is crash-safe: committed write-sets append to a
+// file-backed write-ahead log and responses are withheld until a
+// group-commit flush covers them; on startup the log is recovered (torn
+// tail truncated, retried flushes deduped) and replayed into the engine in
+// timestamp order before the listener opens.
 //
 // SIGINT/SIGTERM drain gracefully: accepted requests finish, responses
 // flush, then the process exits 0 and (with -health-json) writes a combined
@@ -30,52 +37,82 @@ import (
 	"ordo/internal/db"
 	"ordo/internal/health"
 	"ordo/internal/server"
+	"ordo/internal/wal"
 )
 
+// options bundles the parsed flags run() serves from.
+type options struct {
+	proto    string
+	addr     string
+	addrFile string
+	cols     int
+	maxBatch int
+	queue    int
+	retries  int
+
+	monitor     bool
+	monInterval time.Duration
+	calRuns     int
+
+	idleTimeout  time.Duration
+	writeTimeout time.Duration
+	healthJSON   string
+
+	walDir       string
+	walSync      string
+	walSyncEvery time.Duration
+	walSegBytes  int64
+}
+
 func main() {
-	var (
-		proto = flag.String("protocol", "OCC_ORDO",
-			"engine protocol (OCC, OCC_ORDO, SILO, TICTOC, HEKATON, HEKATON_ORDO)")
-		addr     = flag.String("addr", "127.0.0.1:7421", "listen address")
-		cols     = flag.Int("cols", 10, "row width of the single served table")
-		maxBatch = flag.Int("max-batch", server.DefaultMaxBatch,
-			"max pipelined ops folded into one engine transaction")
-		queue = flag.Int("queue", server.DefaultQueueDepth,
-			"per-connection pending-op bound; ops beyond it are shed with BUSY")
-		retries = flag.Int("retries", server.DefaultMaxRetries,
-			"conflict retries per transaction before surfacing CONFLICT")
-		monitor = flag.Bool("monitor", false,
-			"run a background clock-health monitor (recalibrates the boundary periodically)")
-		monInterval = flag.Duration("monitor-interval", 2*time.Second,
-			"recalibration cadence for -monitor")
-		idleTimeout = flag.Duration("idle-timeout", 0,
-			"evict connections that send no complete request for this long (0 disables)")
-		writeTimeout = flag.Duration("write-timeout", 0,
-			"evict connections whose response writes stall for this long (0 disables)")
-		healthJSON = flag.String("health-json", "",
-			"write the final server+clock snapshot as JSON to this file ('-' for stdout) on shutdown")
-		calRuns = flag.Int("calibration-runs", 200, "clock-pair samples per calibration")
-	)
+	var o options
+	flag.StringVar(&o.proto, "protocol", "OCC_ORDO",
+		"engine protocol (OCC, OCC_ORDO, SILO, TICTOC, HEKATON, HEKATON_ORDO)")
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:7421", "listen address")
+	flag.StringVar(&o.addrFile, "addr-file", "",
+		"write the bound listen address to this file once listening (for :0 port discovery)")
+	flag.IntVar(&o.cols, "cols", 10, "row width of the single served table")
+	flag.IntVar(&o.maxBatch, "max-batch", server.DefaultMaxBatch,
+		"max pipelined ops folded into one engine transaction")
+	flag.IntVar(&o.queue, "queue", server.DefaultQueueDepth,
+		"per-connection pending-op bound; ops beyond it are shed with BUSY")
+	flag.IntVar(&o.retries, "retries", server.DefaultMaxRetries,
+		"conflict retries per transaction before surfacing CONFLICT")
+	flag.BoolVar(&o.monitor, "monitor", false,
+		"run a background clock-health monitor (recalibrates the boundary periodically)")
+	flag.DurationVar(&o.monInterval, "monitor-interval", 2*time.Second,
+		"recalibration cadence for -monitor")
+	flag.DurationVar(&o.idleTimeout, "idle-timeout", 0,
+		"evict connections that send no complete request for this long (0 disables)")
+	flag.DurationVar(&o.writeTimeout, "write-timeout", 0,
+		"evict connections whose response writes stall for this long (0 disables)")
+	flag.StringVar(&o.healthJSON, "health-json", "",
+		"write the final server+clock snapshot as JSON to this file ('-' for stdout) on shutdown")
+	flag.IntVar(&o.calRuns, "calibration-runs", 200, "clock-pair samples per calibration")
+	flag.StringVar(&o.walDir, "wal-dir", "",
+		"write-ahead log directory; enables durable serving with startup recovery (empty disables)")
+	flag.StringVar(&o.walSync, "wal-sync", "flush",
+		"WAL sync policy: 'flush' fsyncs every group-commit flush, 'batched' fsyncs on a timer")
+	flag.DurationVar(&o.walSyncEvery, "wal-sync-every", 0,
+		"fsync cadence for -wal-sync batched (0 means the device default)")
+	flag.Int64Var(&o.walSegBytes, "wal-segment-bytes", 0,
+		"WAL segment rotation size (0 means the device default)")
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 	log.SetPrefix("ordod: ")
 
-	if err := run(*proto, *addr, *cols, *maxBatch, *queue, *retries,
-		*idleTimeout, *writeTimeout,
-		*monitor, *monInterval, *healthJSON, *calRuns); err != nil {
+	if err := run(o); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(protoName, addr string, cols, maxBatch, queue, retries int,
-	idleTimeout, writeTimeout time.Duration,
-	monitor bool, monInterval time.Duration, healthJSON string, calRuns int) error {
-	proto, err := db.ParseProtocol(protoName)
+func run(o options) error {
+	proto, err := db.ParseProtocol(o.proto)
 	if err != nil {
 		return err
 	}
-	if cols <= 0 {
-		return fmt.Errorf("-cols must be positive, got %d", cols)
+	if o.cols <= 0 {
+		return fmt.Errorf("-cols must be positive, got %d", o.cols)
 	}
 
 	// Calibrate the host clock only when something will use it: an
@@ -85,50 +122,99 @@ func run(protoName, addr string, cols, maxBatch, queue, retries int,
 		mon  *health.Monitor
 	)
 	needsOrdo := proto == db.OCCOrdo || proto == db.HekatonOrdo
-	if needsOrdo || monitor {
+	if needsOrdo || o.monitor {
 		var b core.Boundary
-		ordo, b, err = core.CalibrateHardware(core.CalibrationOptions{Runs: calRuns})
+		ordo, b, err = core.CalibrateHardware(core.CalibrationOptions{Runs: o.calRuns})
 		if err != nil {
 			return fmt.Errorf("calibration: %w", err)
 		}
 		log.Printf("host ORDO_BOUNDARY: %d ticks over %d CPUs", b.Global, b.CPUs)
 	}
-	if monitor {
+	if o.monitor {
 		mon = health.NewMonitor(ordo, health.Options{
-			Interval:    monInterval,
-			Calibration: core.CalibrationOptions{Runs: calRuns},
+			Interval:    o.monInterval,
+			Calibration: core.CalibrationOptions{Runs: o.calRuns},
 			Stats:       health.NewStats(),
 		})
 		mon.Start()
 		defer mon.Stop()
 	}
 
-	schema := db.Schema{Tables: []db.TableDef{{Name: "t0", Cols: cols}}}
+	schema := db.Schema{Tables: []db.TableDef{{Name: "t0", Cols: o.cols}}}
 	engine, err := db.New(proto, schema, ordo)
 	if err != nil {
 		return err
 	}
+
+	// Durable mode: recover and replay the log into the fresh engine, then
+	// open the device for appending — all before the listener exists, so no
+	// client ever observes pre-recovery state.
+	var (
+		walLog  *wal.Log
+		recInfo *wal.RecoveryInfo
+	)
+	if o.walDir != "" {
+		var sync wal.SyncPolicy
+		switch o.walSync {
+		case "flush":
+			sync = wal.SyncEachWrite
+		case "batched":
+			sync = wal.SyncBatched
+		default:
+			return fmt.Errorf("-wal-sync must be 'flush' or 'batched', got %q", o.walSync)
+		}
+		recs, info, err := wal.Recover(o.walDir)
+		if err != nil {
+			return fmt.Errorf("wal recovery: %w", err)
+		}
+		st, err := server.Replay(engine, recs)
+		if err != nil {
+			return fmt.Errorf("wal replay: %w", err)
+		}
+		log.Printf("wal recovered: %d records (%d ops) from %d segments, %d incarnations; %d duplicates dropped, %d torn bytes truncated, %d replay anomalies",
+			info.Records, st.Ops, info.Segments, info.Incarnations,
+			info.Duplicates, info.TruncatedBytes, st.Anomalies)
+		dev, err := wal.OpenFile(o.walDir, wal.FileConfig{
+			SegmentBytes: o.walSegBytes,
+			Sync:         sync,
+			SyncEvery:    o.walSyncEvery,
+		})
+		if err != nil {
+			return fmt.Errorf("wal open: %w", err)
+		}
+		defer dev.Close()
+		walLog = wal.New(dev, nil)
+		recInfo = &info
+	}
+
 	srv, err := server.New(server.Config{
 		DB:           engine,
 		Schema:       schema,
-		MaxBatch:     maxBatch,
-		QueueDepth:   queue,
-		MaxRetries:   retries,
-		IdleTimeout:  idleTimeout,
-		WriteTimeout: writeTimeout,
+		MaxBatch:     o.maxBatch,
+		QueueDepth:   o.queue,
+		MaxRetries:   o.retries,
+		IdleTimeout:  o.idleTimeout,
+		WriteTimeout: o.writeTimeout,
 		Monitor:      mon,
+		WAL:          walLog,
+		Recovery:     recInfo,
 		Logf:         log.Printf,
 	})
 	if err != nil {
 		return err
 	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("serving %s on %s (max-batch=%d queue=%d retries=%d idle-timeout=%v write-timeout=%v)",
-		proto, ln.Addr(), maxBatch, queue, retries, idleTimeout, writeTimeout)
+	if o.addrFile != "" {
+		if err := os.WriteFile(o.addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			return fmt.Errorf("-addr-file: %w", err)
+		}
+	}
+	log.Printf("serving %s on %s (max-batch=%d queue=%d retries=%d idle-timeout=%v write-timeout=%v durable=%v)",
+		proto, ln.Addr(), o.maxBatch, o.queue, o.retries, o.idleTimeout, o.writeTimeout, walLog != nil)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
@@ -151,11 +237,12 @@ func run(protoName, addr string, cols, maxBatch, queue, retries int,
 	}
 
 	snap := srv.Snapshot()
-	log.Printf("drained: %d conns, %d commits, %d aborts, %d batches (avg %.1f ops), %d shed, %d degraded, %d evicted",
+	log.Printf("drained: %d conns, %d commits, %d aborts, %d batches (avg %.1f ops), %d shed, %d degraded, %d evicted, %d wal flushes (%d records, %d device errors)",
 		snap.ConnsTotal, snap.Commits, snap.Aborts, snap.Batches, snap.AvgBatch,
-		snap.Busy, snap.Degraded, snap.Evictions)
-	if healthJSON != "" {
-		if err := emitSnapshot(snap, healthJSON); err != nil {
+		snap.Busy, snap.Degraded, snap.Evictions,
+		snap.WALFlushes, snap.WALRecords, snap.WALDeviceErrors)
+	if o.healthJSON != "" {
+		if err := emitSnapshot(snap, o.healthJSON); err != nil {
 			return err
 		}
 	}

@@ -109,6 +109,19 @@ type Session interface {
 	Stats() (commits, aborts uint64)
 }
 
+// CommitTS is an optional Session extension for engines that allocate an
+// explicit per-transaction commit timestamp (OCC and Hekaton variants; the
+// epoch/data-driven protocols have no machine-wide commit point to expose).
+// Durable serving needs it: a committed batch's redo record is stamped with
+// the engine's own commit timestamp so log replay order matches commit
+// order machine-wide.
+type CommitTS interface {
+	// LastCommitTS returns the commit timestamp of the session's most
+	// recent successful Run. Valid only between a successful Run and the
+	// next Run on the same session (sessions are single-goroutine).
+	LastCommitTS() uint64
+}
+
 // DB is a protocol instance over a schema.
 type DB interface {
 	NewSession() Session

@@ -79,11 +79,16 @@ type hekSession struct {
 
 	commits uint64
 	aborts  uint64
+	lastCTS uint64
 
 	tx hekTx
 }
 
 func (s *hekSession) Stats() (uint64, uint64) { return s.commits, s.aborts }
+
+// LastCommitTS implements CommitTS: the commit timestamp the session's
+// latest successful Run published its versions under.
+func (s *hekSession) LastCommitTS() uint64 { return s.lastCTS }
 
 // ClockStats implements ClockHealth: visibility/validation timestamp
 // comparisons and how many were uncertain (zero for the logical variant).
@@ -457,5 +462,6 @@ func (t *hekTx) commit() error {
 			w.old.end.Store(cts)
 		}
 	}
+	s.lastCTS = cts
 	return nil
 }

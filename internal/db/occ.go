@@ -42,11 +42,16 @@ type occSession struct {
 
 	commits uint64
 	aborts  uint64
+	lastCTS uint64
 
 	tx occTx // reused across attempts
 }
 
 func (s *occSession) Stats() (uint64, uint64) { return s.commits, s.aborts }
+
+// LastCommitTS implements CommitTS: the commit timestamp the session's
+// latest successful Run allocated while its write locks were held.
+func (s *occSession) LastCommitTS() uint64 { return s.lastCTS }
 
 // ClockStats implements ClockHealth: validation-time timestamp comparisons
 // and how many were uncertain (zero for the logical-clock variant).
@@ -175,6 +180,7 @@ func (t *occTx) commit() error {
 				return ErrConflict
 			}
 		}
+		s.lastCTS = cts
 		return nil
 	}
 	sort.Slice(writes, func(i, j int) bool {
@@ -258,6 +264,7 @@ func (t *occTx) commit() error {
 		a.r.wts.Store(cts)
 	}
 	unlockAll()
+	s.lastCTS = cts
 	return nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"ordo/internal/db"
 	"ordo/internal/db/ycsb"
 	"ordo/internal/faultnet"
+	"ordo/internal/wal"
 	"ordo/internal/wire"
 )
 
@@ -78,6 +79,13 @@ func chaosRun(t *testing.T, proto db.Protocol) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The chaos run serves durably over a real file-backed device, so the
+	// network fault injector and the group-commit path stress each other.
+	walDir := t.TempDir()
+	dev, err := wal.OpenFile(walDir, wal.FileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv, err := New(Config{
 		DB:           engine,
 		Schema:       ycsb.Schema(),
@@ -85,6 +93,7 @@ func chaosRun(t *testing.T, proto db.Protocol) {
 		QueueDepth:   64,
 		IdleTimeout:  2 * time.Second,
 		WriteTimeout: 2 * time.Second,
+		WAL:          wal.New(dev, nil),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -149,6 +158,22 @@ func chaosRun(t *testing.T, proto db.Protocol) {
 
 	snap := srv.Snapshot()
 	assertSnapshotConsistent(t, proto, snap)
+	// The drained log must recover cleanly and account for every record the
+	// server counted: no duplicates (no device failures happened), no torn
+	// tail (the final flush completed before the device closed).
+	if err := dev.Close(); err != nil {
+		t.Fatalf("closing wal device: %v", err)
+	}
+	_, info, err := wal.Recover(walDir)
+	if err != nil {
+		t.Fatalf("recovering drained chaos log: %v", err)
+	}
+	if uint64(info.Records) != snap.WALRecords {
+		t.Fatalf("device holds %d records, server counted %d", info.Records, snap.WALRecords)
+	}
+	if info.Duplicates != 0 || info.TruncatedBytes != 0 {
+		t.Fatalf("clean drain left duplicates=%d truncated=%d", info.Duplicates, info.TruncatedBytes)
+	}
 	// The run must actually have exercised the fault classes — a chaos test
 	// whose injector never fires passes for the wrong reason.
 	inj := faultLn.Stats()
@@ -247,6 +272,25 @@ func assertSnapshotConsistent(t *testing.T, proto db.Protocol, snap Snapshot) {
 	}
 	if snap.Panics != 0 {
 		t.Fatalf("worker panics under chaos: %d", snap.Panics)
+	}
+	// Durable-mode arithmetic: the preload alone guarantees logged writes;
+	// each redo record rides exactly one committed transaction; a counted
+	// flush wrote at least one record and recorded its sync latency; and a
+	// tmpdir device must never fail.
+	if snap.WALRecords == 0 {
+		t.Fatal("durable chaos run logged no redo records")
+	}
+	if snap.WALRecords > snap.Commits {
+		t.Fatalf("wal_records=%d > commits=%d: a redo record without a commit", snap.WALRecords, snap.Commits)
+	}
+	if snap.WALFlushes == 0 || snap.WALFlushes > snap.WALRecords {
+		t.Fatalf("wal_flushes=%d inconsistent with wal_records=%d", snap.WALFlushes, snap.WALRecords)
+	}
+	if snap.WALSyncNsP99 == 0 {
+		t.Fatal("wal_sync_ns_p99 is zero with flushes recorded")
+	}
+	if snap.WALDeviceErrors != 0 {
+		t.Fatalf("wal_device_errors=%d on a healthy device", snap.WALDeviceErrors)
 	}
 }
 

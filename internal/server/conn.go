@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ordo/internal/db"
+	"ordo/internal/wal"
 	"ordo/internal/wire"
 )
 
@@ -39,6 +40,10 @@ type serverConn struct {
 	nc   net.Conn
 	wc   *wire.Conn
 	sess db.Session
+	// wh is the connection's WAL append buffer in durable mode (nil
+	// otherwise). Only the worker touches it; closed in workLoop teardown
+	// so the slot recycles.
+	wh *wal.Handle
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -68,6 +73,9 @@ func newServerConn(s *Server, nc net.Conn) *serverConn {
 		nc:   nc,
 		wc:   wire.NewConn(nc),
 		sess: s.cfg.DB.NewSession(),
+	}
+	if s.gc != nil {
+		c.wh = s.gc.log.NewHandle()
 	}
 	c.cond = sync.NewCond(&c.mu)
 	return c
@@ -200,6 +208,7 @@ func (c *serverConn) enqueue(it item) {
 // engine session exclusively.
 func (c *serverConn) workLoop() {
 	defer c.nc.Close()
+	defer c.closeWAL()
 	for {
 		c.mu.Lock()
 		for len(c.pending) == 0 && !c.readerDone {
@@ -391,7 +400,15 @@ func (c *serverConn) countOps(run []item, resps []wire.Response) {
 // runs that committed as one transaction count in batches/batchedOps;
 // degraded runs count in degraded, so the two counters partition the
 // simple-op runs and the batching rate stays honest under failures.
+//
+// In durable mode the batch's acked write-set is logged as one redo record
+// at the engine's commit timestamp and the responses wait for the
+// group-commit horizon; a WAL failure flips the would-be-acked writes to
+// ERR, so the client never sees an acknowledgment the log cannot honor.
 func (c *serverConn) execBatch(run []item) []wire.Response {
+	if gc := c.srv.gc; gc != nil && gc.failed() != nil && runHasWrites(run) {
+		return c.execDeviceDegraded(run)
+	}
 	resps := make([]wire.Response, len(run))
 	err := db.RunWithRetry(c.sess, c.srv.cfg.MaxRetries, func(tx db.Tx) error {
 		for i := range run {
@@ -404,6 +421,7 @@ func (c *serverConn) execBatch(run []item) []wire.Response {
 		return nil
 	})
 	if err == nil {
+		c.walCommitRun(run, resps)
 		c.srv.m.batches.Add(1)
 		c.srv.m.batchedOps.Add(uint64(len(run)))
 		c.countOps(run, resps)
@@ -415,9 +433,78 @@ func (c *serverConn) execBatch(run []item) []wire.Response {
 		c.countOps(run, resps)
 		return resps
 	}
-	// Degraded path: per-op transactions for status attribution.
+	// Degraded path: per-op transactions for status attribution. Each
+	// committed write logs its own redo record; one wait at the end covers
+	// the highest timestamp, so the fallback still pays one group commit.
+	var (
+		ackTS  uint64
+		walIdx []int
+	)
 	for i := range run {
 		req := &run[i].req
+		err := db.RunWithRetry(c.sess, c.srv.cfg.MaxRetries, func(tx db.Tx) error {
+			r, err := c.execOp(tx, req)
+			if err != nil {
+				return err
+			}
+			resps[i] = r
+			return nil
+		})
+		if err != nil {
+			resps[i] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusOf(err)}
+			continue
+		}
+		if c.wh != nil && isWrite(req.Op) && resps[i].Status == wire.StatusOK {
+			ts, aerr := c.walAppend(req)
+			if aerr != nil {
+				resps[i] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr}
+				continue
+			}
+			walIdx = append(walIdx, i)
+			if ts > ackTS {
+				ackTS = ts
+			}
+		}
+	}
+	if len(walIdx) > 0 {
+		if werr := c.srv.gc.wait(ackTS); werr != nil {
+			for _, i := range walIdx {
+				resps[i] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr}
+			}
+		}
+	}
+	c.countOps(run, resps)
+	return resps
+}
+
+// isWrite reports whether a simple op mutates engine state.
+func isWrite(op wire.Op) bool {
+	return op == wire.OpPut || op == wire.OpInsert || op == wire.OpDelete
+}
+
+// runHasWrites reports whether any op in the run mutates engine state.
+func runHasWrites(run []item) bool {
+	for i := range run {
+		if isWrite(run[i].req.Op) {
+			return true
+		}
+	}
+	return false
+}
+
+// execDeviceDegraded serves a run after the WAL device failed: reads still
+// serve from the intact in-memory engine, writes are refused with ERR
+// without touching the engine, because their durability could never be
+// acknowledged.
+func (c *serverConn) execDeviceDegraded(run []item) []wire.Response {
+	c.srv.m.degraded.Add(1)
+	resps := make([]wire.Response, len(run))
+	for i := range run {
+		req := &run[i].req
+		if req.Op != wire.OpGet {
+			resps[i] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr}
+			continue
+		}
 		err := db.RunWithRetry(c.sess, c.srv.cfg.MaxRetries, func(tx db.Tx) error {
 			r, err := c.execOp(tx, req)
 			if err != nil {
@@ -434,12 +521,78 @@ func (c *serverConn) execBatch(run []item) []wire.Response {
 	return resps
 }
 
+// closeWAL releases the connection's WAL handle so its slot recycles;
+// anything still buffered drains into the log's next flush.
+func (c *serverConn) closeWAL() {
+	if c.wh != nil {
+		c.wh.Close()
+	}
+}
+
+// commitTS returns the engine commit timestamp of the worker's last
+// successful transaction. New() guarantees the session implements
+// db.CommitTS whenever durable mode is on.
+func (c *serverConn) commitTS() uint64 {
+	return c.sess.(db.CommitTS).LastCommitTS()
+}
+
+// walAppend logs one committed op's redo record without waiting for
+// durability; the caller waits once for the run's highest timestamp.
+func (c *serverConn) walAppend(req *wire.Request) (uint64, error) {
+	redo, err := encodeRedo([]*wire.Request{req})
+	if err != nil {
+		return 0, err
+	}
+	return c.srv.gc.append(c.wh, c.commitTS(), redo)
+}
+
+// walCommitWrites logs a committed transaction's write-set as one redo
+// record and blocks until it is durable.
+func (c *serverConn) walCommitWrites(writes []*wire.Request) error {
+	redo, err := encodeRedo(writes)
+	if err != nil {
+		return err
+	}
+	return c.srv.gc.commit(c.wh, c.commitTS(), redo)
+}
+
+// walCommitRun logs a batched run's acked write-set and waits for
+// durability; on failure every would-be-acked write flips to ERR.
+func (c *serverConn) walCommitRun(run []item, resps []wire.Response) {
+	if c.wh == nil {
+		return
+	}
+	var writes []*wire.Request
+	for i := range run {
+		if isWrite(run[i].req.Op) && resps[i].Status == wire.StatusOK {
+			writes = append(writes, &run[i].req)
+		}
+	}
+	if len(writes) == 0 {
+		return
+	}
+	if err := c.walCommitWrites(writes); err == nil {
+		return
+	}
+	for i := range run {
+		if isWrite(run[i].req.Op) && resps[i].Status == wire.StatusOK {
+			resps[i] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr}
+		}
+	}
+}
+
 // execTxn runs one TXN frame atomically. On commit the response carries
 // per-op results; on failure the batch status stands alone (the client
 // retries or surfaces it — partial results would be unordered fiction).
+// In durable mode the whole TXN acks only after its write-set is durable;
+// a WAL failure turns the committed-but-unloggable TXN into one ERR.
 func (c *serverConn) execTxn(req *wire.Request) wire.Response {
 	c.srv.m.txns.Add(1)
 	c.srv.m.txnOps.Add(uint64(len(req.Ops)))
+	if gc := c.srv.gc; gc != nil && gc.failed() != nil && txnHasWrites(req) {
+		c.srv.m.degraded.Add(1)
+		return wire.Response{Kind: wire.RespBatch, Status: wire.StatusErr}
+	}
 	resps := make([]wire.Response, len(req.Ops))
 	err := db.RunWithRetry(c.sess, c.srv.cfg.MaxRetries, func(tx db.Tx) error {
 		for i := range req.Ops {
@@ -454,24 +607,58 @@ func (c *serverConn) execTxn(req *wire.Request) wire.Response {
 	if err != nil {
 		return wire.Response{Kind: wire.RespBatch, Status: wire.StatusOf(err)}
 	}
+	if c.wh != nil {
+		var writes []*wire.Request
+		for i := range req.Ops {
+			if isWrite(req.Ops[i].Op) && resps[i].Status == wire.StatusOK {
+				writes = append(writes, &req.Ops[i])
+			}
+		}
+		if len(writes) > 0 {
+			if werr := c.walCommitWrites(writes); werr != nil {
+				return wire.Response{Kind: wire.RespBatch, Status: wire.StatusErr}
+			}
+		}
+	}
 	return wire.Response{Kind: wire.RespBatch, Status: wire.StatusOK, Batch: resps}
+}
+
+// txnHasWrites reports whether a TXN frame contains any mutating sub-op.
+func txnHasWrites(req *wire.Request) bool {
+	for i := range req.Ops {
+		if isWrite(req.Ops[i].Op) {
+			return true
+		}
+	}
+	return false
 }
 
 // execStats answers a STATS frame from server metrics.
 func (c *serverConn) execStats() wire.Response {
 	c.srv.m.statsOps.Add(1)
 	m := &c.srv.m
-	return wire.Response{Kind: wire.RespStats, Status: wire.StatusOK, Stats: &wire.Stats{
-		Protocol:       c.srv.cfg.DB.Protocol().String(),
-		Commits:        m.commits.Load(),
-		Aborts:         m.aborts.Load(),
-		Batches:        m.batches.Load(),
-		BatchedOps:     m.batchedOps.Load(),
-		Busy:           m.busy.Load(),
-		Degraded:       m.degraded.Load(),
-		ClockCmps:      m.clockCmps.Load(),
-		ClockUncertain: m.clockUncertain.Load(),
-	}}
+	st := &wire.Stats{
+		Protocol:        c.srv.cfg.DB.Protocol().String(),
+		Commits:         m.commits.Load(),
+		Aborts:          m.aborts.Load(),
+		Batches:         m.batches.Load(),
+		BatchedOps:      m.batchedOps.Load(),
+		Busy:            m.busy.Load(),
+		Degraded:        m.degraded.Load(),
+		ClockCmps:       m.clockCmps.Load(),
+		ClockUncertain:  m.clockUncertain.Load(),
+		WALFlushes:      m.walFlushes.Load(),
+		WALRecords:      m.walRecords.Load(),
+		WALDeviceErrors: m.walDeviceErrors.Load(),
+	}
+	if c.srv.gc != nil {
+		st.WALSyncNsP99 = c.srv.gc.syncP99()
+	}
+	if r := c.srv.cfg.Recovery; r != nil {
+		st.RecoveredRecords = uint64(r.Records)
+		st.TruncatedBytes = uint64(r.TruncatedBytes)
+	}
+	return wire.Response{Kind: wire.RespStats, Status: wire.StatusOK, Stats: st}
 }
 
 // execOp applies one simple op inside tx. Row-level outcomes (NOT_FOUND,

@@ -8,6 +8,9 @@ import (
 	"testing"
 	"time"
 
+	"ordo/internal/db"
+	"ordo/internal/db/ycsb"
+	"ordo/internal/wal"
 	"ordo/internal/wire"
 )
 
@@ -190,6 +193,111 @@ func TestProtoErrFlushOrdering(t *testing.T) {
 	}
 	if err := <-serveDone; err != nil {
 		t.Fatalf("serve: %v", err)
+	}
+}
+
+// TestDurableDrainCoversAckedWrites pipelines inserts and fires Shutdown
+// while responses are still streaming: the drained snapshot's WAL counters
+// must match the device exactly, and every insert acked OK before the
+// connection closed must be recoverable from the log directory — the
+// drain's final flush is part of the durability contract.
+func TestDurableDrainCoversAckedWrites(t *testing.T) {
+	defer requireNoGoroutineLeak(t)()
+	dir := t.TempDir()
+	cfg, dev := durableConfig(t, dir)
+	srv, ln, serveDone := startRawServer(t, cfg)
+
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	c := wire.NewConn(nc)
+	const total = 200
+	for i := 0; i < total; i++ {
+		if err := c.WriteRequest(&wire.Request{Op: wire.OpInsert, Key: uint64(i), Vals: row(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the first ack so the drain genuinely races an in-progress
+	// pipeline; some tail of the window may then be cut off, but whatever
+	// is acked OK must be durable.
+	acked := make(map[uint64]bool)
+	idx := uint64(0)
+	r, err := c.ReadResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != wire.StatusOK {
+		t.Fatalf("first insert answered %v", r.Status)
+	}
+	acked[idx] = true
+	idx++
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	for idx < total {
+		r, err := c.ReadResponse()
+		if err != nil {
+			break // drain closed the connection mid-window
+		}
+		switch r.Status {
+		case wire.StatusOK:
+			acked[idx] = true
+		case wire.StatusBusy:
+		default:
+			t.Fatalf("insert %d answered %v", idx, r.Status)
+		}
+		idx++
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if err := dev.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, info, err := wal.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := srv.Snapshot(); uint64(info.Records) != snap.WALRecords {
+		t.Fatalf("device holds %d records, server counted %d", info.Records, snap.WALRecords)
+	}
+	if info.Duplicates != 0 || info.TruncatedBytes != 0 {
+		t.Fatalf("clean drain left duplicates=%d truncated=%d", info.Duplicates, info.TruncatedBytes)
+	}
+	fresh, err := db.New(db.OCC, ycsb.Schema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(fresh, recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(acked) == 0 {
+		t.Fatal("no insert was acked before the drain; the race never happened")
+	}
+	sess := fresh.NewSession()
+	if err := sess.Run(func(tx db.Tx) error {
+		for k := range acked {
+			if _, err := tx.Read(0, k); err != nil {
+				t.Errorf("acked key %d not recovered: %v", k, err)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
 	}
 }
 

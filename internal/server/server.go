@@ -35,6 +35,7 @@ import (
 
 	"ordo/internal/db"
 	"ordo/internal/health"
+	"ordo/internal/wal"
 	"ordo/internal/wire"
 )
 
@@ -76,6 +77,19 @@ type Config struct {
 	// Snapshot(); the server does not start or stop it.
 	Monitor *health.Monitor
 
+	// WAL, when set, enables durable serving: committed write-sets append
+	// redo records to per-connection handles and responses are withheld
+	// until a group-commit flush covers the batch's commit timestamp. The
+	// engine must expose commit timestamps (db.CommitTS) — the OCC and
+	// Hekaton families do; Silo and TicToc have no machine-wide commit
+	// point and cannot serve durably. The server owns flushing but not the
+	// underlying device: close the device after Shutdown returns.
+	WAL *wal.Log
+
+	// Recovery, when set, is the startup recovery this server's engine was
+	// seeded from; it rides along in Snapshot() and STATS responses.
+	Recovery *wal.RecoveryInfo
+
 	// Logf receives connection-level diagnostics. Nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -96,6 +110,9 @@ type Server struct {
 	conns      map[*serverConn]struct{}
 	inShutdown atomic.Bool
 	wg         sync.WaitGroup
+
+	// gc is the group committer; nil when serving without durability.
+	gc *groupCommitter
 
 	m metrics
 }
@@ -118,6 +135,9 @@ type metrics struct {
 
 	commits, aborts           atomic.Uint64
 	clockCmps, clockUncertain atomic.Uint64
+
+	walFlushes, walRecords atomic.Uint64
+	walDeviceErrors        atomic.Uint64
 }
 
 // Snapshot is a point-in-time JSON-marshalable view of the server,
@@ -152,6 +172,14 @@ type Snapshot struct {
 	ClockUncertain uint64  `json:"clock_uncertain"`
 	UncertainRate  float64 `json:"uncertain_rate"`
 
+	// WAL counters; all zero when serving without durability.
+	WALFlushes       uint64 `json:"wal_flushes"`
+	WALRecords       uint64 `json:"wal_records"`
+	WALSyncNsP99     uint64 `json:"wal_sync_ns_p99"`
+	WALDeviceErrors  uint64 `json:"wal_device_errors"`
+	RecoveredRecords uint64 `json:"recovered_records"`
+	TruncatedBytes   uint64 `json:"truncated_bytes"`
+
 	Clock *health.Snapshot `json:"clock_health,omitempty"`
 }
 
@@ -171,11 +199,20 @@ func New(cfg Config) (*Server, error) {
 	} else if cfg.MaxRetries < 0 {
 		cfg.MaxRetries = 0
 	}
-	return &Server{
+	s := &Server{
 		cfg:       cfg,
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[*serverConn]struct{}),
-	}, nil
+	}
+	if cfg.WAL != nil {
+		// Durable serving needs the engine's own commit timestamps so
+		// replay order matches commit order; probe a throwaway session.
+		if _, ok := cfg.DB.NewSession().(db.CommitTS); !ok {
+			return nil, fmt.Errorf("server: durable serving requires commit timestamps; protocol %v does not expose them (use OCC, OCC_ORDO, HEKATON, or HEKATON_ORDO)", cfg.DB.Protocol())
+		}
+		s.gc = newGroupCommitter(s, cfg.WAL)
+	}
+	return s, nil
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -297,6 +334,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.stopWAL()
 		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
@@ -305,7 +343,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 		<-done
+		s.stopWAL()
 		return ctx.Err()
+	}
+}
+
+// stopWAL runs the group committer's final flush and stops its flusher.
+// Called after every connection has drained, so no commit races the close.
+func (s *Server) stopWAL() {
+	if s.gc != nil {
+		s.gc.closeAndWait()
 	}
 }
 
@@ -341,6 +388,16 @@ func (s *Server) Snapshot() Snapshot {
 	}
 	if snap.ClockCmps > 0 {
 		snap.UncertainRate = float64(snap.ClockUncertain) / float64(snap.ClockCmps)
+	}
+	snap.WALFlushes = m.walFlushes.Load()
+	snap.WALRecords = m.walRecords.Load()
+	snap.WALDeviceErrors = m.walDeviceErrors.Load()
+	if s.gc != nil {
+		snap.WALSyncNsP99 = s.gc.syncP99()
+	}
+	if r := s.cfg.Recovery; r != nil {
+		snap.RecoveredRecords = uint64(r.Records)
+		snap.TruncatedBytes = uint64(r.TruncatedBytes)
 	}
 	if s.cfg.Monitor != nil {
 		clock := s.cfg.Monitor.Snapshot()

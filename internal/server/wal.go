@@ -1,0 +1,349 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ordo/internal/db"
+	"ordo/internal/hist"
+	"ordo/internal/wal"
+	"ordo/internal/wire"
+)
+
+// errWALClosed reports a commit racing server shutdown: the flusher exited
+// before the batch's timestamp became durable.
+var errWALClosed = errors.New("server: wal closed")
+
+// groupCommitter sits between committed engine transactions and the
+// write-ahead log: it drives wal.Log.Flush from one flusher goroutine and
+// lets connection workers block until the durability horizon covers their
+// commit timestamp (DESIGN.md §10).
+//
+// A committed batch's write-set is encoded as one redo record, appended to
+// the connection's WAL handle at the engine's own commit timestamp (so
+// replay order matches commit order machine-wide), and the responses are
+// withheld until a flush covers that timestamp. Many connections' commits
+// ride one flush: while a flush's fsync is in flight, appends accumulate
+// and the next flush covers them all — group commit emerges from the
+// device latency itself, with no batching timer.
+//
+// Device failure is sticky (see wal.FileDevice: after a failed fsync the
+// kernel may have dropped dirty pages, so nothing past it can be trusted).
+// The committer refuses further appends, every waiter gets the error, and
+// the connection layer answers ERR for unacknowledged writes while serving
+// reads from the intact in-memory engine.
+type groupCommitter struct {
+	srv *Server
+	log *wal.Log
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	horizon uint64 // highest timestamp known durable
+	dirty   bool   // appends pending since the last flush
+	err     error  // sticky device failure
+	closing bool   // closeAndWait ran; no further appends
+	closed  bool   // flusher exited
+
+	done      chan struct{}
+	closeOnce sync.Once
+
+	// syncHist records non-empty flush durations (append-to-durable,
+	// dominated by fsync) for the wal_sync_ns_p99 stat. Its own lock keeps
+	// Snapshot() off the commit path's mutex.
+	histMu   sync.Mutex
+	syncHist hist.H
+}
+
+func newGroupCommitter(s *Server, log *wal.Log) *groupCommitter {
+	gc := &groupCommitter{srv: s, log: log, done: make(chan struct{})}
+	gc.cond = sync.NewCond(&gc.mu)
+	gc.horizon = log.Horizon()
+	go gc.flushLoop()
+	return gc
+}
+
+// failed returns the sticky device error, if any. Connection workers check
+// it before running a write transaction so a dead device degrades to
+// reads-only serving instead of committing writes that can never be
+// acknowledged.
+func (gc *groupCommitter) failed() error {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return gc.err
+}
+
+// commit appends one redo record at the engine commit timestamp and blocks
+// until the group-commit horizon covers it. Any error means the write must
+// not be acknowledged.
+func (gc *groupCommitter) commit(h *wal.Handle, cts uint64, redo []byte) error {
+	ts, err := gc.append(h, cts, redo)
+	if err != nil {
+		return err
+	}
+	return gc.wait(ts)
+}
+
+// append buffers one redo record and wakes the flusher. It returns the
+// timestamp actually recorded (the handle may clamp cts up to its
+// watermark), which is what wait must cover.
+func (gc *groupCommitter) append(h *wal.Handle, cts uint64, redo []byte) (uint64, error) {
+	gc.mu.Lock()
+	if gc.err != nil {
+		err := gc.err
+		gc.mu.Unlock()
+		return 0, err
+	}
+	if gc.closing {
+		gc.mu.Unlock()
+		return 0, errWALClosed
+	}
+	gc.mu.Unlock()
+	ts := h.AppendAt(cts, redo)
+	gc.mu.Lock()
+	gc.dirty = true
+	gc.mu.Unlock()
+	gc.cond.Broadcast()
+	return ts, nil
+}
+
+// wait blocks until the durability horizon reaches ts, the device fails,
+// or the flusher shuts down.
+func (gc *groupCommitter) wait(ts uint64) error {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	for gc.err == nil && gc.horizon < ts && !gc.closed {
+		gc.cond.Wait()
+	}
+	switch {
+	case gc.horizon >= ts:
+		return nil
+	case gc.err != nil:
+		return gc.err
+	default:
+		return errWALClosed
+	}
+}
+
+// flushLoop is the single flusher goroutine: it waits for dirty appends,
+// flushes, advances the horizon, and wakes waiters. After closeAndWait it
+// performs one final flush and exits.
+func (gc *groupCommitter) flushLoop() {
+	defer close(gc.done)
+	for {
+		gc.mu.Lock()
+		for !gc.dirty && !gc.closing {
+			gc.cond.Wait()
+		}
+		closing := gc.closing
+		gc.dirty = false
+		gc.mu.Unlock()
+
+		gc.flushOnce()
+
+		if closing {
+			gc.mu.Lock()
+			gc.closed = true
+			gc.mu.Unlock()
+			gc.cond.Broadcast()
+			return
+		}
+	}
+}
+
+// flushOnce runs one Log.Flush, folding the outcome into the horizon,
+// metrics, and the sticky error.
+func (gc *groupCommitter) flushOnce() {
+	gc.mu.Lock()
+	if gc.err != nil {
+		gc.mu.Unlock()
+		return // dead device: waiters were already woken with the error
+	}
+	gc.mu.Unlock()
+
+	before := gc.log.Flushed()
+	start := time.Now()
+	hz, err := gc.log.Flush()
+	elapsed := time.Since(start)
+
+	if err == nil {
+		if delta := gc.log.Flushed() - before; delta > 0 {
+			gc.srv.m.walFlushes.Add(1)
+			gc.srv.m.walRecords.Add(delta)
+			gc.histMu.Lock()
+			gc.syncHist.RecordDuration(elapsed)
+			gc.histMu.Unlock()
+		}
+	}
+
+	gc.mu.Lock()
+	if err != nil {
+		gc.err = err
+		gc.srv.m.walDeviceErrors.Add(1)
+		gc.srv.logf("server: wal device failed, degrading to reads-only: %v", err)
+	} else if hz > gc.horizon {
+		gc.horizon = hz
+	}
+	gc.mu.Unlock()
+	gc.cond.Broadcast()
+}
+
+// syncP99 returns the p99 of non-empty flush durations in nanoseconds.
+func (gc *groupCommitter) syncP99() uint64 {
+	gc.histMu.Lock()
+	defer gc.histMu.Unlock()
+	if gc.syncHist.Count() == 0 {
+		return 0
+	}
+	return gc.syncHist.Quantile(0.99)
+}
+
+// closeAndWait forces a final flush and stops the flusher. Call it only
+// after every connection has drained (Shutdown's ordering), so no appends
+// race the close.
+func (gc *groupCommitter) closeAndWait() {
+	gc.closeOnce.Do(func() {
+		gc.mu.Lock()
+		gc.closing = true
+		gc.mu.Unlock()
+		gc.cond.Broadcast()
+		<-gc.done
+	})
+}
+
+// maxRedoOps bounds a decoded redo record's op count; a committed run is at
+// most MaxBatch simple ops or one TXN's wire.MaxTxnOps, both far below it.
+const maxRedoOps = 1 << 20
+
+// encodeRedo flattens a committed run's write-set into one redo payload:
+// a uvarint op count, then each op as a uvarint-length-prefixed request
+// encoding. Reusing the wire codec means the redo format inherits its
+// validation and fuzz coverage.
+func encodeRedo(ops []*wire.Request) ([]byte, error) {
+	buf := binary.AppendUvarint(nil, uint64(len(ops)))
+	for _, op := range ops {
+		p, err := wire.AppendRequest(nil, op)
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(p)))
+		buf = append(buf, p...)
+	}
+	return buf, nil
+}
+
+// decodeRedo parses one redo payload back into its write-set.
+func decodeRedo(data []byte) ([]wire.Request, error) {
+	n, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, errors.New("server: redo: bad op count")
+	}
+	data = data[k:]
+	if n > maxRedoOps || n > uint64(len(data)) {
+		return nil, fmt.Errorf("server: redo: implausible op count %d", n)
+	}
+	ops := make([]wire.Request, 0, n)
+	for i := uint64(0); i < n; i++ {
+		sz, k := binary.Uvarint(data)
+		if k <= 0 || sz > uint64(len(data)-k) {
+			return nil, fmt.Errorf("server: redo: op %d: bad length", i)
+		}
+		op, err := wire.DecodeRequest(data[k : k+int(sz)])
+		if err != nil {
+			return nil, fmt.Errorf("server: redo: op %d: %w", i, err)
+		}
+		ops = append(ops, op)
+		data = data[k+int(sz):]
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("server: redo: %d trailing bytes", len(data))
+	}
+	return ops, nil
+}
+
+// ReplayStats summarizes one startup replay.
+type ReplayStats struct {
+	// Records is the redo records applied.
+	Records int
+	// Ops is the total write ops inside them.
+	Ops int
+	// Anomalies counts ops whose expected engine outcome did not hold (a
+	// PUT on a missing row, an INSERT over an existing one, a DELETE of a
+	// missing row). Replay applies them as upserts so it is idempotent, but
+	// a non-zero count on a replay into an empty engine means the log and
+	// the acknowledged history disagree — worth surfacing.
+	Anomalies int
+}
+
+// Replay applies recovered redo records to an engine in log order. The
+// records must already be the recovery-canonical sequence (wal.Recover's
+// output: deduped, timestamp-ordered, verified). Each record replays as
+// one transaction, matching the atomicity the original commit had.
+func Replay(d db.DB, recs []wal.Record) (ReplayStats, error) {
+	var st ReplayStats
+	if len(recs) == 0 {
+		return st, nil
+	}
+	sess := d.NewSession()
+	for i := range recs {
+		r := &recs[i]
+		ops, err := decodeRedo(r.Data)
+		if err != nil {
+			return st, fmt.Errorf("server: replay LSN %d: %w", r.LSN, err)
+		}
+		err = db.RunWithRetry(sess, DefaultMaxRetries, func(tx db.Tx) error {
+			for j := range ops {
+				if err := replayOp(tx, &ops[j], &st); err != nil {
+					return fmt.Errorf("op %d (%v): %w", j, ops[j].Op, err)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return st, fmt.Errorf("server: replay LSN %d: %w", r.LSN, err)
+		}
+		st.Records++
+		st.Ops += len(ops)
+	}
+	return st, nil
+}
+
+// replayOp applies one logged write as an idempotent upsert. The
+// insert-vs-update decision is made by reading first rather than by
+// catching errors, because engines may defer duplicate detection to commit
+// time (OCC buffers inserts); Tx reads see the transaction's own buffered
+// writes, so in-record sequences (insert then put of one key) still
+// dispatch correctly. Row-level surprises are tolerated (and counted):
+// replay must converge on the logged state even if a previous partial
+// replay already applied a prefix.
+func replayOp(tx db.Tx, op *wire.Request, st *ReplayStats) error {
+	table, key := int(op.Table), op.Key
+	_, rerr := tx.Read(table, key)
+	exists := rerr == nil
+	if rerr != nil && !errors.Is(rerr, db.ErrNotFound) {
+		return rerr
+	}
+	switch op.Op {
+	case wire.OpPut:
+		if !exists {
+			st.Anomalies++
+			return tx.Insert(table, key, op.Vals)
+		}
+		return tx.Update(table, key, op.Vals)
+	case wire.OpInsert:
+		if exists {
+			st.Anomalies++
+			return tx.Update(table, key, op.Vals)
+		}
+		return tx.Insert(table, key, op.Vals)
+	case wire.OpDelete:
+		if !exists {
+			st.Anomalies++
+			return nil
+		}
+		return tx.Delete(table, key)
+	}
+	return fmt.Errorf("server: replay: unexpected op %v in redo record", op.Op)
+}

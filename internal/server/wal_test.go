@@ -1,0 +1,316 @@
+package server
+
+import (
+	"reflect"
+	"testing"
+
+	"ordo/internal/db"
+	"ordo/internal/db/ycsb"
+	"ordo/internal/wal"
+	"ordo/internal/wire"
+)
+
+// TestRedoRoundTrip checks the redo codec: every write-set encodes to one
+// payload that decodes back to the same ops, and mangled payloads are
+// rejected rather than misparsed.
+func TestRedoRoundTrip(t *testing.T) {
+	sets := [][]*wire.Request{
+		{{Op: wire.OpInsert, Table: 0, Key: 1, Vals: []uint64{1, 2}}},
+		{
+			{Op: wire.OpPut, Table: 1, Key: 9, Vals: []uint64{}},
+			{Op: wire.OpDelete, Table: 0, Key: 3},
+			{Op: wire.OpInsert, Table: 2, Key: 4, Vals: []uint64{7}},
+		},
+	}
+	for si, ops := range sets {
+		redo, err := encodeRedo(ops)
+		if err != nil {
+			t.Fatalf("set %d: encode: %v", si, err)
+		}
+		got, err := decodeRedo(redo)
+		if err != nil {
+			t.Fatalf("set %d: decode: %v", si, err)
+		}
+		if len(got) != len(ops) {
+			t.Fatalf("set %d: decoded %d ops, want %d", si, len(got), len(ops))
+		}
+		for i := range ops {
+			if got[i].Op != ops[i].Op || got[i].Table != ops[i].Table || got[i].Key != ops[i].Key {
+				t.Fatalf("set %d op %d: got %+v, want %+v", si, i, got[i], *ops[i])
+			}
+			if len(got[i].Vals) != len(ops[i].Vals) ||
+				(len(ops[i].Vals) > 0 && !reflect.DeepEqual(got[i].Vals, ops[i].Vals)) {
+				t.Fatalf("set %d op %d: vals %v, want %v", si, i, got[i].Vals, ops[i].Vals)
+			}
+		}
+		// Trailing garbage and truncation must both be detected.
+		if _, err := decodeRedo(append(append([]byte(nil), redo...), 0xFF)); err == nil {
+			t.Fatalf("set %d: trailing byte accepted", si)
+		}
+		if _, err := decodeRedo(redo[:len(redo)-1]); err == nil {
+			t.Fatalf("set %d: truncated payload accepted", si)
+		}
+	}
+	if _, err := decodeRedo(nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+}
+
+// durableConfig builds a YCSB OCC server config over a FileDevice in a
+// temp dir, returning the config and the open device (closed by the test).
+func durableConfig(t *testing.T, dir string) (Config, *wal.FileDevice) {
+	t.Helper()
+	dev, err := wal.OpenFile(dir, wal.FileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := db.New(db.OCC, ycsb.Schema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{DB: engine, Schema: ycsb.Schema(), WAL: wal.New(dev, nil)}, dev
+}
+
+// TestDurableServeRecoverReplay is the durability e2e: serve writes over a
+// real FileDevice, shut down, recover the directory, replay into a fresh
+// engine, and check the replayed state equals exactly what was acked.
+func TestDurableServeRecoverReplay(t *testing.T) {
+	dir := t.TempDir()
+	cfg, dev := durableConfig(t, dir)
+	ts, cleanup := startServer(t, cfg)
+	c := ts.c
+
+	// A mix of shapes: pipelined inserts (one batched commit), an update,
+	// a delete, and a TXN — all acked, so all must survive the restart.
+	reqs := []wire.Request{
+		{Op: wire.OpInsert, Key: 1, Vals: row(1)},
+		{Op: wire.OpInsert, Key: 2, Vals: row(2)},
+		{Op: wire.OpInsert, Key: 3, Vals: row(3)},
+	}
+	for i := range reqs {
+		if err := c.WriteRequest(&reqs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		r, err := c.ReadResponse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Status != wire.StatusOK {
+			t.Fatalf("insert %d: %v", i, r.Status)
+		}
+	}
+	for _, req := range []wire.Request{
+		{Op: wire.OpPut, Key: 2, Vals: row(22)},
+		{Op: wire.OpDelete, Key: 3},
+		{Op: wire.OpTxn, Ops: []wire.Request{
+			{Op: wire.OpInsert, Key: 4, Vals: row(4)},
+			{Op: wire.OpPut, Key: 1, Vals: row(11)},
+		}},
+	} {
+		r, err := c.Do(&req)
+		if err != nil {
+			t.Fatalf("%v: %v", req.Op, err)
+		}
+		if r.Status != wire.StatusOK {
+			t.Fatalf("%v: %v", req.Op, r.Status)
+		}
+	}
+
+	snap := ts.srv.Snapshot()
+	if snap.WALRecords == 0 || snap.WALFlushes == 0 {
+		t.Fatalf("wal counters not moving: flushes=%d records=%d", snap.WALFlushes, snap.WALRecords)
+	}
+	if snap.WALSyncNsP99 == 0 {
+		t.Fatal("wal_sync_ns_p99 is zero with flushes recorded")
+	}
+	if snap.WALDeviceErrors != 0 {
+		t.Fatalf("wal_device_errors=%d on a healthy device", snap.WALDeviceErrors)
+	}
+
+	cleanup()
+	if err := dev.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, info, err := wal.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.TruncatedBytes != 0 {
+		t.Fatalf("clean shutdown truncated %d bytes", info.TruncatedBytes)
+	}
+	fresh, err := db.New(db.OCC, ycsb.Schema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Replay(fresh, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Anomalies != 0 {
+		t.Fatalf("replay into empty engine hit %d anomalies", st.Anomalies)
+	}
+	if st.Records != len(recs) {
+		t.Fatalf("replayed %d of %d records", st.Records, len(recs))
+	}
+
+	want := map[uint64][]uint64{1: row(11), 2: row(22), 4: row(4)}
+	gone := []uint64{3, 99}
+	sess := fresh.NewSession()
+	err = sess.Run(func(tx db.Tx) error {
+		for k, v := range want {
+			got, err := tx.Read(0, k)
+			if err != nil {
+				t.Errorf("key %d: %v", k, err)
+				continue
+			}
+			if !reflect.DeepEqual(got, v) {
+				t.Errorf("key %d: %v, want %v", k, got, v)
+			}
+		}
+		for _, k := range gone {
+			if _, err := tx.Read(0, k); err != db.ErrNotFound {
+				t.Errorf("key %d: err %v, want ErrNotFound", k, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableDeviceFailureDegrades kills the device mid-serving and checks
+// the contract: the in-flight write is ERRed (never acked), later writes
+// are refused without touching the engine, reads keep serving, and the
+// failure is counted exactly once.
+func TestDurableDeviceFailureDegrades(t *testing.T) {
+	engine, err := db.New(db.OCC, ycsb.Schema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := &wal.FailingDevice{Inner: &wal.MemDevice{}, OK: 1}
+	cfg := Config{DB: engine, Schema: ycsb.Schema(), WAL: wal.New(fd, nil)}
+	ts, cleanup := startServer(t, cfg)
+	defer cleanup()
+	c := ts.c
+
+	// First write rides the device's one good flush.
+	if r, err := c.Do(&wire.Request{Op: wire.OpInsert, Key: 1, Vals: row(1)}); err != nil || r.Status != wire.StatusOK {
+		t.Fatalf("first insert: %v %v", r.Status, err)
+	}
+	// Second write hits the dead device: committed in memory but never
+	// durable, so the server must answer ERR, not OK.
+	if r, err := c.Do(&wire.Request{Op: wire.OpInsert, Key: 2, Vals: row(2)}); err != nil || r.Status != wire.StatusErr {
+		t.Fatalf("insert on failed device: %v %v, want ERR", r.Status, err)
+	}
+	// Subsequent writes are refused up front; reads still serve.
+	if r, err := c.Do(&wire.Request{Op: wire.OpPut, Key: 1, Vals: row(9)}); err != nil || r.Status != wire.StatusErr {
+		t.Fatalf("degraded put: %v %v, want ERR", r.Status, err)
+	}
+	if r, err := c.Do(&wire.Request{Op: wire.OpTxn, Ops: []wire.Request{
+		{Op: wire.OpPut, Key: 1, Vals: row(9)},
+	}}); err != nil || r.Status != wire.StatusErr {
+		t.Fatalf("degraded txn: %v %v, want ERR", r.Status, err)
+	}
+	if r, err := c.Do(&wire.Request{Op: wire.OpGet, Key: 1}); err != nil || r.Status != wire.StatusOK || r.Row[0] != 1 {
+		t.Fatalf("degraded read: %+v %v, want key 1 served", r, err)
+	}
+	// Read-only TXNs still serve too.
+	if r, err := c.Do(&wire.Request{Op: wire.OpTxn, Ops: []wire.Request{
+		{Op: wire.OpGet, Key: 1},
+	}}); err != nil || r.Status != wire.StatusOK {
+		t.Fatalf("degraded read-only txn: %v %v, want OK", r.Status, err)
+	}
+
+	snap := ts.srv.Snapshot()
+	if snap.WALDeviceErrors != 1 {
+		t.Fatalf("wal_device_errors=%d, want exactly 1 (sticky failure counts once)", snap.WALDeviceErrors)
+	}
+	// STATS over the wire reports the same degradation.
+	r, err := c.Do(&wire.Request{Op: wire.OpStats})
+	if err != nil || r.Stats == nil {
+		t.Fatalf("stats: %+v %v", r, err)
+	}
+	if r.Stats.WALDeviceErrors != 1 {
+		t.Fatalf("wire wal_device_errors=%d, want 1", r.Stats.WALDeviceErrors)
+	}
+}
+
+// TestReplayIdempotent replays the same records twice into one engine: the
+// second pass must converge on the same state (upsert semantics) while
+// counting the anomalies it absorbed.
+func TestReplayIdempotent(t *testing.T) {
+	redo1, err := encodeRedo([]*wire.Request{
+		{Op: wire.OpInsert, Table: 0, Key: 1, Vals: row(1)},
+		{Op: wire.OpInsert, Table: 0, Key: 2, Vals: row(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	redo2, err := encodeRedo([]*wire.Request{
+		{Op: wire.OpPut, Table: 0, Key: 1, Vals: row(10)},
+		{Op: wire.OpDelete, Table: 0, Key: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []wal.Record{
+		{LSN: 1, TS: 100, H: 0, Seq: 0, Data: redo1},
+		{LSN: 2, TS: 200, H: 0, Seq: 1, Data: redo2},
+	}
+
+	engine, err := db.New(db.OCC, ycsb.Schema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := Replay(engine, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Anomalies != 0 || st1.Records != 2 || st1.Ops != 4 {
+		t.Fatalf("first replay: %+v", st1)
+	}
+	st2, err := Replay(engine, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Anomalies == 0 {
+		t.Fatal("second replay reported no anomalies; upsert paths never ran")
+	}
+
+	sess := engine.NewSession()
+	if err := sess.Run(func(tx db.Tx) error {
+		got, err := tx.Read(0, 1)
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(got, row(10)) {
+			t.Errorf("key 1: %v, want %v", got, row(10))
+		}
+		if _, err := tx.Read(0, 2); err != db.ErrNotFound {
+			t.Errorf("key 2: err %v, want ErrNotFound", err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableRequiresCommitTS checks the configuration guard: protocols
+// without a machine-wide commit timestamp cannot serve durably.
+func TestDurableRequiresCommitTS(t *testing.T) {
+	engine, err := db.New(db.Silo, ycsb.Schema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(Config{DB: engine, WAL: wal.New(&wal.MemDevice{}, nil)})
+	if err == nil {
+		t.Fatal("New accepted a durable SILO server; Silo has no commit timestamps")
+	}
+}

@@ -1,0 +1,149 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Chaos injects storage faults into a FileDevice with the same seeded
+// splitmix64 discipline as internal/faultnet: each Write draws a fixed
+// number of rng steps and each Sync draws a fixed number, so *which* write
+// is cut short and which sync fails is a pure function of Seed and the
+// call sequence. Faults only ever drop a suffix of the current write or
+// delay/deny a sync — bytes the device has reported synced are never
+// touched, matching what a real disk that honors fsync can do to you.
+type Chaos struct {
+	// Seed roots the decision stream.
+	Seed int64
+
+	// ShortWriteProb is the chance a Write persists only a whole-frame
+	// prefix of the batch (possibly zero frames) and then fails — the
+	// prefix-persisted-then-retried case recovery must dedupe.
+	ShortWriteProb float64
+
+	// TornWriteProb is the chance a Write is cut mid-frame and then fails:
+	// recovery sees a torn tail and must truncate it.
+	TornWriteProb float64
+
+	// SyncFailProb is the chance a Sync reports failure without syncing.
+	// The written bytes may still survive (the OS has them), so a retried
+	// flush after a sync failure also produces duplicates.
+	SyncFailProb float64
+
+	// SyncDelayProb delays a sync by SyncDelay before performing it,
+	// widening the window in which a crash catches unsynced bytes.
+	SyncDelayProb float64
+	SyncDelay     time.Duration
+
+	mu    sync.Mutex
+	rng   chaosRNG
+	init  bool
+	stats ChaosStats
+}
+
+// ChaosStats reports how many faults actually fired, so a chaos harness
+// can assert its run exercised each class instead of passing vacuously.
+type ChaosStats struct {
+	ShortWrites uint64
+	TornWrites  uint64
+	SyncFails   uint64
+	SyncDelays  uint64
+}
+
+// ErrInjectedFault marks a Chaos-injected device error.
+var ErrInjectedFault = errors.New("wal: injected storage fault")
+
+// Stats snapshots the injected-fault counters.
+func (c *Chaos) Stats() ChaosStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// drawWrite decides one Write's fate. boundaries holds the cumulative
+// byte offset after each encoded frame; total is the full payload length.
+// It returns how many bytes to persist and whether a fault fires. Three
+// rng steps are consumed regardless of outcome.
+func (c *Chaos) drawWrite(boundaries []int, total int) (cut int, fault bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seed()
+	pShort := c.rng.float()
+	pTorn := c.rng.float()
+	frac := c.rng.float()
+	switch {
+	case pShort < c.ShortWriteProb && len(boundaries) > 0:
+		// Keep a whole-frame prefix: 0..len(boundaries)-1 frames.
+		k := int(frac * float64(len(boundaries)))
+		if k >= len(boundaries) {
+			k = len(boundaries) - 1
+		}
+		cut = 0
+		if k > 0 {
+			cut = boundaries[k-1]
+		}
+		c.stats.ShortWrites++
+		return cut, true, fmt.Errorf("short write (%d of %d bytes): %w", cut, total, ErrInjectedFault)
+	case pTorn < c.TornWriteProb && total > 0:
+		// Cut mid-frame: strictly inside (0, total) and never on a frame
+		// boundary, so recovery sees a torn frame, not a clean prefix.
+		cut = 1 + int(frac*float64(total-1))
+		for _, b := range boundaries {
+			if cut == b {
+				cut++
+				break
+			}
+		}
+		if cut >= total {
+			cut = total - 1
+		}
+		c.stats.TornWrites++
+		return cut, true, fmt.Errorf("torn write (%d of %d bytes): %w", cut, total, ErrInjectedFault)
+	}
+	return total, false, nil
+}
+
+// drawSync decides one Sync's fate: delay (performed before the sync) and
+// failure. Two rng steps are consumed regardless of outcome.
+func (c *Chaos) drawSync() (delay time.Duration, fail bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seed()
+	pFail := c.rng.float()
+	pDelay := c.rng.float()
+	if pDelay < c.SyncDelayProb {
+		delay = c.SyncDelay
+		c.stats.SyncDelays++
+	}
+	if pFail < c.SyncFailProb {
+		fail = true
+		c.stats.SyncFails++
+	}
+	return delay, fail
+}
+
+func (c *Chaos) seed() {
+	if !c.init {
+		c.rng.state = uint64(c.Seed)*0x9E3779B97F4A7C15 ^ 0x57414C4368616F73 // "WALChaos"
+		c.init = true
+	}
+}
+
+// chaosRNG is the splitmix64 step shared with internal/faultnet.
+type chaosRNG struct{ state uint64 }
+
+func (r *chaosRNG) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform float64 in [0,1).
+func (r *chaosRNG) float() float64 {
+	return float64(r.next()>>11) / float64(math.MaxUint64>>11+1)
+}

@@ -1,0 +1,323 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ordo/internal/oplog"
+)
+
+func openTestDevice(t *testing.T, dir string, cfg FileConfig) *FileDevice {
+	t.Helper()
+	d, err := OpenFile(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFileDeviceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDevice(t, dir, FileConfig{})
+	l := New(d, oplog.RawTSC{})
+	h := l.NewHandle()
+	for i := 0; i < 40; i++ {
+		h.Append([]byte{byte(i)})
+		if i%7 == 0 {
+			if _, err := l.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, info, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 40 || info.Duplicates != 0 || info.TruncatedBytes != 0 {
+		t.Fatalf("info = %+v, want 40 records, clean", info)
+	}
+	for i, r := range recs {
+		if r.Data[0] != byte(i) {
+			t.Fatalf("record %d carries payload %d", i, r.Data[0])
+		}
+	}
+}
+
+func TestFileDeviceRotation(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDevice(t, dir, FileConfig{SegmentBytes: 256})
+	l := New(d, oplog.RawTSC{})
+	h := l.NewHandle()
+	const n = 64
+	for i := 0; i < n; i++ {
+		h.Append(bytes.Repeat([]byte{byte(i)}, 16))
+		if _, err := l.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("only %d segments after %d oversized flushes, rotation never fired", len(segs), n)
+	}
+	recs, info, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != n {
+		t.Fatalf("recovered %d records across segments, want %d", info.Records, n)
+	}
+	for i, r := range recs {
+		if r.Data[0] != byte(i) {
+			t.Fatalf("record %d carries payload %d", i, r.Data[0])
+		}
+	}
+}
+
+func TestRecoverMissingAndEmptyDir(t *testing.T) {
+	recs, info, err := Recover(filepath.Join(t.TempDir(), "nonexistent"))
+	if err != nil || len(recs) != 0 || info.Records != 0 {
+		t.Fatalf("missing dir: recs=%d info=%+v err=%v", len(recs), info, err)
+	}
+	recs, info, err = Recover(t.TempDir())
+	if err != nil || len(recs) != 0 || info.Records != 0 {
+		t.Fatalf("empty dir: recs=%d info=%+v err=%v", len(recs), info, err)
+	}
+}
+
+// TestTornTailFixture is the hand-built regression for the torn-tail
+// rule: a valid segment with garbage appended — a torn frame followed by
+// a frame that would checksum — must recover to the pre-tear prefix, with
+// everything from the first bad byte truncated, and a second recovery
+// must find nothing left to repair.
+func TestTornTailFixture(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDevice(t, dir, FileConfig{})
+	l := New(d, oplog.RawTSC{})
+	h := l.NewHandle()
+	h.Append([]byte("keep-0"))
+	h.Append([]byte("keep-1"))
+	if _, err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v, %v", segs, err)
+	}
+	// Tear: half a frame header, then a fully valid frame after it. The
+	// scan must stop at the tear — a valid frame beyond a torn one is
+	// unreachable by contract (nothing after the tear was acknowledged).
+	torn := appendFrame(nil, &Record{LSN: 3, TS: 99, H: 0, Seq: 2, Data: []byte("torn")})
+	var ghost []byte
+	ghost = appendFrame(ghost, &Record{LSN: 4, TS: 100, H: 0, Seq: 3, Data: []byte("ghost")})
+	f, err := os.OpenFile(segs[0].path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(torn[:recHeaderLen/2])
+	f.Write(ghost)
+	f.Close()
+	tearBytes := int64(recHeaderLen/2 + len(ghost))
+
+	recs, info, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 2 || info.TruncatedBytes != tearBytes {
+		t.Fatalf("info = %+v, want 2 records and %d truncated bytes", info, tearBytes)
+	}
+	if string(recs[0].Data) != "keep-0" || string(recs[1].Data) != "keep-1" {
+		t.Fatalf("recovered %q, %q", recs[0].Data, recs[1].Data)
+	}
+	// Idempotent: the tail is physically gone.
+	_, info2, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Records != 2 || info2.TruncatedBytes != 0 {
+		t.Fatalf("second recovery not clean: %+v", info2)
+	}
+}
+
+// TestCorruptionBitFlipTruncates: a flipped payload byte fails the CRC
+// and everything from that frame on is torn tail.
+func TestCorruptionBitFlipTruncates(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDevice(t, dir, FileConfig{})
+	l := New(d, oplog.RawTSC{})
+	h := l.NewHandle()
+	for i := 0; i < 3; i++ {
+		h.Append([]byte{byte(i), 0xAA})
+	}
+	if _, err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	buf, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := recHeaderLen + 2
+	buf[segHeaderLen+frame+recHeaderLen] ^= 0xFF // second record's payload
+	if err := os.WriteFile(segs[0].path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, info, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Data[0] != 0 {
+		t.Fatalf("recovered %d records, want only the one before the flip", len(recs))
+	}
+	if info.TruncatedBytes != int64(2*frame) {
+		t.Fatalf("truncated %d bytes, want %d", info.TruncatedBytes, 2*frame)
+	}
+}
+
+// TestInteriorCorruptionRejected: a bad frame in a non-final segment is
+// not a torn tail — no crash can produce it — so recovery must refuse.
+func TestInteriorCorruptionRejected(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDevice(t, dir, FileConfig{SegmentBytes: 128})
+	l := New(d, oplog.RawTSC{})
+	h := l.NewHandle()
+	for i := 0; i < 16; i++ {
+		h.Append(bytes.Repeat([]byte{byte(i)}, 32))
+		if _, err := l.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	if len(segs) < 2 {
+		t.Fatalf("need ≥ 2 segments, got %d", len(segs))
+	}
+	buf, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-1] ^= 0xFF
+	if err := os.WriteFile(segs[0].path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Recover(dir); err == nil {
+		t.Fatal("Recover accepted interior corruption")
+	}
+}
+
+// TestRecoverDedupesRetriedFlush forces a short write through Chaos: the
+// device persists a whole-frame prefix and fails, the log re-queues, the
+// retry rewrites the batch, and recovery must collapse the duplicates.
+func TestRecoverDedupesRetriedFlush(t *testing.T) {
+	// The short-write cut point is seed-dependent and may be zero frames;
+	// scan for a seed that leaves a non-empty prefix so dedupe is really
+	// exercised.
+	for seed := int64(1); seed <= 32; seed++ {
+		dir := t.TempDir()
+		chaos := &Chaos{Seed: seed, ShortWriteProb: 1}
+		d := openTestDevice(t, dir, FileConfig{Chaos: chaos})
+		l := New(d, oplog.RawTSC{})
+		h := l.NewHandle()
+		for i := 0; i < 8; i++ {
+			h.Append([]byte{byte(i)})
+		}
+		if _, err := l.Flush(); err == nil {
+			t.Fatal("flush should have hit the injected short write")
+		}
+		if st := chaos.Stats(); st.ShortWrites != 1 {
+			t.Fatalf("chaos stats = %+v, want one short write", st)
+		}
+		persisted := d.good - segHeaderLen // bytes of whole frames the dying write left
+		chaos.ShortWriteProb = 0
+		if _, err := l.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		recs, info, err := Recover(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Records != 8 {
+			t.Fatalf("recovered %d records, want 8 (info %+v)", info.Records, info)
+		}
+		for i, r := range recs {
+			if r.Data[0] != byte(i) {
+				t.Fatalf("record %d carries payload %d", i, r.Data[0])
+			}
+		}
+		if persisted == 0 {
+			continue // this seed cut before the first frame; try another
+		}
+		if info.Duplicates == 0 {
+			t.Fatalf("device kept a %d-byte prefix but recovery dropped no duplicates", persisted)
+		}
+		return
+	}
+	t.Fatal("no seed in 1..32 produced a non-empty persisted prefix")
+}
+
+// TestIncarnationsConcatenate: two open/write/close generations recover
+// in order, even though the second generation's handle ids and seqs
+// restart at zero — the incarnation in the segment header scopes the
+// dedupe key.
+func TestIncarnationsConcatenate(t *testing.T) {
+	dir := t.TempDir()
+	for gen := 0; gen < 2; gen++ {
+		if _, _, err := Recover(dir); err != nil {
+			t.Fatal(err)
+		}
+		d := openTestDevice(t, dir, FileConfig{})
+		if want := uint64(gen + 1); d.Incarnation() != want {
+			t.Fatalf("generation %d got incarnation %d, want %d", gen, d.Incarnation(), want)
+		}
+		l := New(d, oplog.RawTSC{})
+		h := l.NewHandle()
+		for i := 0; i < 3; i++ {
+			h.Append([]byte{byte(gen), byte(i)})
+		}
+		if _, err := l.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, info, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 6 || info.Incarnations != 2 || info.Duplicates != 0 {
+		t.Fatalf("info = %+v, want 6 records over 2 incarnations", info)
+	}
+	for i, r := range recs {
+		if r.Data[0] != byte(i/3) || r.Data[1] != byte(i%3) {
+			t.Fatalf("record %d = %v, incarnations misordered", i, r.Data)
+		}
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d after global renumber", i, r.LSN)
+		}
+	}
+}

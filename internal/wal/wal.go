@@ -13,6 +13,11 @@
 // Durability contract (group commit): every Append that returned before a
 // Flush began is on the device when that Flush returns. Records appended
 // concurrently with a flush survive in their buffers to the next flush.
+//
+// Devices may persist a prefix of a failed write (a real disk dies
+// mid-batch); the re-queue path then rewrites the whole batch, so the
+// device can legitimately hold duplicate (H, Seq) pairs. Recovery dedupes
+// on that key — see Compact and FileDevice's Recover.
 package wal
 
 import (
@@ -36,7 +41,9 @@ type Record struct {
 // Device receives flushed records in order. Implementations must be safe
 // for use by one flusher at a time.
 type Device interface {
-	// Write persists records; records arrive LSN-ordered.
+	// Write persists records; records arrive LSN-ordered. On error the
+	// device may have persisted any prefix of recs — callers re-queue and
+	// rewrite the full batch, and recovery dedupes by (H, Seq).
 	Write(recs []Record) error
 }
 
@@ -62,11 +69,15 @@ func (d *MemDevice) Records() []Record {
 }
 
 // FailingDevice wraps a Device and fails after N successful writes
-// (failure injection for tests).
+// (failure injection for tests). PersistFirst models a real device dying
+// mid-batch: on each failing call the first PersistFirst records still
+// reach the inner device before the error — the prefix-persisted case
+// that forces recovery to dedupe.
 type FailingDevice struct {
-	Inner Device
-	OK    int
-	calls int
+	Inner        Device
+	OK           int
+	PersistFirst int
+	calls        int
 }
 
 // ErrDeviceFailed is returned by FailingDevice once its budget is spent.
@@ -76,6 +87,14 @@ var ErrDeviceFailed = errors.New("wal: injected device failure")
 func (d *FailingDevice) Write(recs []Record) error {
 	d.calls++
 	if d.calls > d.OK {
+		if n := d.PersistFirst; n > 0 {
+			if n > len(recs) {
+				n = len(recs)
+			}
+			if err := d.Inner.Write(recs[:n]); err != nil {
+				return err
+			}
+		}
 		return ErrDeviceFailed
 	}
 	return d.Inner.Write(recs)
@@ -86,10 +105,23 @@ type Log struct {
 	stamp oplog.Timestamper
 	dev   Device
 
-	mu      sync.Mutex // guards flush and the handle registry
+	mu      sync.Mutex // guards flush, the handle registry, free list, orphans
 	handles []*Handle
+	free    []handleState // closed slots available for reuse
+	orphans []Record      // drained from closed handles or a failed flush
 	nextLSN uint64
 	horizon uint64 // highest timestamp guaranteed durable
+	flushed uint64 // total records successfully written
+}
+
+// handleState is what survives a Handle's close: the slot id plus the
+// (lastTS, seq) watermark, so a reused slot keeps (H, Seq) unique and
+// timestamps non-decreasing for the device's whole lifetime — recovery's
+// dedupe key and tie order depend on it.
+type handleState struct {
+	id     int
+	lastTS uint64
+	seq    uint64
 }
 
 // New creates a log over a device with the given timestamper
@@ -111,12 +143,22 @@ type Handle struct {
 	buf    []Record
 	lastTS uint64
 	seq    uint64
+	closed bool
 }
 
-// NewHandle registers a per-thread buffer.
+// NewHandle registers a per-thread buffer, reusing a closed slot when one
+// is free so a churning caller (one handle per connection) doesn't grow
+// the registry forever.
 func (l *Log) NewHandle() *Handle {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if n := len(l.free); n > 0 {
+		st := l.free[n-1]
+		l.free = l.free[:n-1]
+		h := &Handle{log: l, id: st.id, lastTS: st.lastTS, seq: st.seq}
+		l.handles[st.id] = h
+		return h
+	}
 	h := &Handle{log: l, id: len(l.handles)}
 	l.handles = append(l.handles, h)
 	return h
@@ -126,13 +168,36 @@ func (l *Log) NewHandle() *Handle {
 // synchronization is the handle's own lock (uncontended in the
 // one-goroutine-per-handle discipline).
 func (h *Handle) Append(data []byte) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		panic("wal: Append on closed handle")
+	}
 	ts := h.log.stamp.Next(h.lastTS)
 	h.lastTS = ts
-	h.mu.Lock()
 	h.buf = append(h.buf, Record{TS: ts, H: h.id, Seq: h.seq,
 		Data: append([]byte(nil), data...)})
 	h.seq++
-	h.mu.Unlock()
+	return ts
+}
+
+// AppendAt buffers a record carrying a caller-supplied timestamp — an
+// engine commit timestamp, so replay order matches commit order — clamped
+// up to the handle's watermark to keep its records non-decreasing. It
+// returns the timestamp actually recorded.
+func (h *Handle) AppendAt(ts uint64, data []byte) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		panic("wal: AppendAt on closed handle")
+	}
+	if ts < h.lastTS {
+		ts = h.lastTS
+	}
+	h.lastTS = ts
+	h.buf = append(h.buf, Record{TS: ts, H: h.id, Seq: h.seq,
+		Data: append([]byte(nil), data...)})
+	h.seq++
 	return ts
 }
 
@@ -143,20 +208,63 @@ func (h *Handle) Pending() int {
 	return len(h.buf)
 }
 
-// Flush drains every handle, merges by (timestamp, handle, seq), assigns
-// LSNs and writes to the device.
+// Close releases the handle's slot for reuse by a future NewHandle. Any
+// buffered records drain into the log's next flush, so closing never loses
+// an append. Close is idempotent; the handle must not be used afterwards.
+func (h *Handle) Close() {
+	l := h.log
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	if len(h.buf) > 0 {
+		l.orphans = append(l.orphans, h.buf...)
+		h.buf = nil
+	}
+	l.handles[h.id] = nil
+	l.free = append(l.free, handleState{id: h.id, lastTS: h.lastTS, seq: h.seq})
+}
+
+// Pending reports the total unflushed record count across live handles,
+// closed-handle orphans, and any batch re-queued by a failed flush.
+func (l *Log) Pending() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := len(l.orphans)
+	for _, h := range l.handles {
+		if h == nil {
+			continue
+		}
+		h.mu.Lock()
+		n += len(h.buf)
+		h.mu.Unlock()
+	}
+	return n
+}
+
+// Flush drains every handle (plus orphans from closed handles), merges by
+// (timestamp, handle, seq), assigns LSNs and writes to the device.
 //
 // Durability contract: every Append that returned before Flush was called
 // is persisted when Flush returns (group commit). The returned horizon is
 // the highest persisted timestamp. On device failure the drained records
 // are NOT lost — they are re-queued for the next flush and the error is
-// returned.
+// returned; since the device may have persisted a prefix, the retry can
+// leave duplicate (H, Seq) pairs on it, which recovery dedupes.
 func (l *Log) Flush() (horizon uint64, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 
-	var merged []Record
+	merged := l.orphans
+	l.orphans = nil
 	for _, h := range l.handles {
+		if h == nil {
+			continue
+		}
 		h.mu.Lock()
 		if len(h.buf) > 0 {
 			merged = append(merged, h.buf...)
@@ -181,17 +289,16 @@ func (l *Log) Flush() (horizon uint64, err error) {
 		merged[i].LSN = l.nextLSN + uint64(i)
 	}
 	if err := l.dev.Write(merged); err != nil {
-		// Re-queue under each owner so nothing is lost.
-		for _, r := range merged {
-			h := l.handles[r.H]
-			h.mu.Lock()
-			r.LSN = 0
-			h.buf = append(h.buf, r)
-			h.mu.Unlock()
+		// Re-queue as orphans so nothing is lost — the owning handle may
+		// be closed, or its slot already reused by a fresh handle.
+		for i := range merged {
+			merged[i].LSN = 0
 		}
+		l.orphans = merged
 		return l.horizon, fmt.Errorf("wal: flush: %w", err)
 	}
 	l.nextLSN += uint64(len(merged))
+	l.flushed += uint64(len(merged))
 	if hz := merged[len(merged)-1].TS; hz > l.horizon {
 		l.horizon = hz
 	}
@@ -203,6 +310,13 @@ func (l *Log) Horizon() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.horizon
+}
+
+// Flushed returns the total records successfully written to the device.
+func (l *Log) Flushed() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushed
 }
 
 // Verify checks a recovered record sequence: dense LSNs from 1, and
@@ -224,4 +338,44 @@ func Verify(recs []Record) error {
 		}
 	}
 	return nil
+}
+
+// Compact canonicalizes a raw device record sequence for replay: it drops
+// duplicate (H, Seq) pairs — a prefix-persisted-then-retried flush writes
+// the same records twice — re-sorts by (TS, H, Seq) (a retried batch can
+// interleave with appends newer than the persisted prefix), and renumbers
+// LSNs densely from 1. The result satisfies Verify by construction, and
+// Verify is still run by recovery as the end-to-end invariant check.
+// It returns the compacted sequence and the number of duplicates dropped.
+func Compact(recs []Record) ([]Record, int) {
+	type key struct {
+		h   int
+		seq uint64
+	}
+	seen := make(map[key]struct{}, len(recs))
+	out := make([]Record, 0, len(recs))
+	dups := 0
+	for _, r := range recs {
+		k := key{r.H, r.Seq}
+		if _, ok := seen[k]; ok {
+			dups++
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.H != b.H {
+			return a.H < b.H
+		}
+		return a.Seq < b.Seq
+	})
+	for i := range out {
+		out[i].LSN = uint64(i + 1)
+	}
+	return out, dups
 }

@@ -187,8 +187,9 @@ func TestDeviceFailureLosesNothing(t *testing.T) {
 	if _, err := l.Flush(); !errors.Is(err, ErrDeviceFailed) {
 		t.Fatalf("second flush err = %v, want ErrDeviceFailed", err)
 	}
-	if h.Pending() != 1 {
-		t.Fatalf("failed flush dropped records: pending = %d, want 1", h.Pending())
+	if h.Pending() != 0 || l.Pending() != 1 {
+		t.Fatalf("failed flush should re-queue on the log: handle pending = %d, log pending = %d, want 0 and 1",
+			h.Pending(), l.Pending())
 	}
 	// Device recovers: everything lands with dense LSNs.
 	dev.OK = 1000
@@ -204,6 +205,156 @@ func TestDeviceFailureLosesNothing(t *testing.T) {
 	}
 	if string(recs[0].Data) != "a" || string(recs[1].Data) != "b" {
 		t.Fatalf("recovered order wrong: %q, %q", recs[0].Data, recs[1].Data)
+	}
+}
+
+// TestPartialPersistenceDedupes models the real failure the old atomic
+// FailingDevice couldn't: the device persists a prefix of the batch, then
+// dies. The re-queue path rewrites the whole batch, so the device ends up
+// with duplicate (H, Seq) pairs — and Compact must reduce them to exactly
+// one copy each, in merge order.
+func TestPartialPersistenceDedupes(t *testing.T) {
+	inner := &MemDevice{}
+	dev := &FailingDevice{Inner: inner, OK: 0, PersistFirst: 3}
+	l := New(dev, oplog.RawTSC{})
+	h := l.NewHandle()
+	for i := 0; i < 5; i++ {
+		h.Append([]byte{byte(i)})
+	}
+	if _, err := l.Flush(); !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("flush err = %v, want ErrDeviceFailed", err)
+	}
+	if got := len(inner.Records()); got != 3 {
+		t.Fatalf("device persisted %d records before dying, want 3", got)
+	}
+	if l.Pending() != 5 {
+		t.Fatalf("log re-queued %d records, want all 5", l.Pending())
+	}
+	// A record appended between the failure and the retry rides along.
+	h.Append([]byte{5})
+	dev.OK = 1 << 30
+	if _, err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := inner.Records()
+	if len(raw) != 3+6 {
+		t.Fatalf("device holds %d raw records, want 9 (3 orphaned + 6 retried)", len(raw))
+	}
+	recs, dups := Compact(raw)
+	if dups != 3 {
+		t.Fatalf("Compact dropped %d duplicates, want 3", dups)
+	}
+	if len(recs) != 6 {
+		t.Fatalf("Compact kept %d records, want 6", len(recs))
+	}
+	if err := Verify(recs); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range recs {
+		if r.Data[0] != byte(i) {
+			t.Fatalf("record %d carries payload %d after dedupe", i, r.Data[0])
+		}
+	}
+}
+
+// TestHandleCloseDrainsAndReuses: closing a handle must not lose buffered
+// records, must free the slot for reuse, and the reused slot must carry
+// the old (Seq, lastTS) watermark so (H, Seq) stays unique on the device.
+func TestHandleCloseDrainsAndReuses(t *testing.T) {
+	dev := &MemDevice{}
+	l := New(dev, oplog.RawTSC{})
+	a := l.NewHandle()
+	b := l.NewHandle()
+	a.Append([]byte("a0"))
+	a.Append([]byte("a1"))
+	a.Close()
+	a.Close() // idempotent
+	if l.Pending() != 2 {
+		t.Fatalf("close lost buffered records: pending = %d, want 2", l.Pending())
+	}
+	c := l.NewHandle() // must reuse a's slot
+	if c == a {
+		t.Fatal("NewHandle returned the closed handle itself")
+	}
+	if len(l.handles) != 2 {
+		t.Fatalf("registry grew to %d slots despite a free one", len(l.handles))
+	}
+	c.Append([]byte("c0"))
+	b.Append([]byte("b0"))
+	if _, err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs := dev.Records()
+	if len(recs) != 4 {
+		t.Fatalf("device holds %d records, want 4", len(recs))
+	}
+	if err := Verify(recs); err != nil {
+		t.Fatal(err)
+	}
+	// a and c share a handle id; their seqs must not collide.
+	seen := map[[2]uint64]bool{}
+	for _, r := range recs {
+		k := [2]uint64{uint64(r.H), r.Seq}
+		if seen[k] {
+			t.Fatalf("duplicate (H,Seq) = %v after slot reuse", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestCloseDuringDeviceFailure(t *testing.T) {
+	// Records re-queued by a failed flush must survive their handle's
+	// close and its slot's reuse.
+	inner := &MemDevice{}
+	dev := &FailingDevice{Inner: inner, OK: 0}
+	l := New(dev, oplog.RawTSC{})
+	h := l.NewHandle()
+	h.Append([]byte("x"))
+	if _, err := l.Flush(); err == nil {
+		t.Fatal("flush should have failed")
+	}
+	h.Close()
+	h2 := l.NewHandle()
+	h2.Append([]byte("y"))
+	dev.OK = 1 << 30
+	if _, err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs, dups := Compact(inner.Records())
+	if dups != 0 || len(recs) != 2 {
+		t.Fatalf("got %d records (%d dups), want 2 and 0", len(recs), dups)
+	}
+	if err := Verify(recs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendAt: caller-supplied timestamps land on the record, are
+// clamped to keep the handle non-decreasing, and order the merge.
+func TestAppendAt(t *testing.T) {
+	dev := &MemDevice{}
+	l := New(dev, oplog.RawTSC{})
+	a := l.NewHandle()
+	b := l.NewHandle()
+	if got := a.AppendAt(100, []byte("a@100")); got != 100 {
+		t.Fatalf("AppendAt returned %d, want 100", got)
+	}
+	if got := a.AppendAt(50, []byte("a@50->100")); got != 100 {
+		t.Fatalf("AppendAt should clamp to the watermark: got %d, want 100", got)
+	}
+	b.AppendAt(75, []byte("b@75"))
+	if _, err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	recs := dev.Records()
+	if err := Verify(recs); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"b@75", "a@100", "a@50->100"}
+	for i, w := range want {
+		if string(recs[i].Data) != w {
+			t.Fatalf("record %d = %q, want %q", i, recs[i].Data, w)
+		}
 	}
 }
 

@@ -215,6 +215,8 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 		for _, v := range [...]uint64{
 			s.Commits, s.Aborts, s.Batches, s.BatchedOps,
 			s.Busy, s.Degraded, s.ClockCmps, s.ClockUncertain,
+			s.WALFlushes, s.WALRecords, s.WALSyncNsP99, s.WALDeviceErrors,
+			s.RecoveredRecords, s.TruncatedBytes,
 		} {
 			dst = binary.AppendUvarint(dst, v)
 		}
@@ -286,6 +288,8 @@ func decodeResponse(b []byte, inBatch bool) (Response, []byte, error) {
 		for _, field := range [...]*uint64{
 			&s.Commits, &s.Aborts, &s.Batches, &s.BatchedOps,
 			&s.Busy, &s.Degraded, &s.ClockCmps, &s.ClockUncertain,
+			&s.WALFlushes, &s.WALRecords, &s.WALSyncNsP99, &s.WALDeviceErrors,
+			&s.RecoveredRecords, &s.TruncatedBytes,
 		} {
 			*field, rest, err = uvarint(rest)
 			if err != nil {

@@ -221,17 +221,25 @@ type Response struct {
 // mirror server metrics; clock counters are the engine sessions' timestamp
 // comparisons and how many fell inside the Ordo uncertainty window.
 // Degraded counts runs that failed as one batched transaction and fell
-// back to per-op transactions for status attribution.
+// back to per-op transactions for status attribution. The WAL fields are
+// zero on a server running without durability; RecoveredRecords and
+// TruncatedBytes describe the startup recovery that seeded the engine.
 type Stats struct {
-	Protocol       string `json:"protocol"`
-	Commits        uint64 `json:"commits"`
-	Aborts         uint64 `json:"aborts"`
-	Batches        uint64 `json:"batches"`
-	BatchedOps     uint64 `json:"batched_ops"`
-	Busy           uint64 `json:"busy_shed"`
-	Degraded       uint64 `json:"degraded"`
-	ClockCmps      uint64 `json:"clock_cmps"`
-	ClockUncertain uint64 `json:"clock_uncertain"`
+	Protocol         string `json:"protocol"`
+	Commits          uint64 `json:"commits"`
+	Aborts           uint64 `json:"aborts"`
+	Batches          uint64 `json:"batches"`
+	BatchedOps       uint64 `json:"batched_ops"`
+	Busy             uint64 `json:"busy_shed"`
+	Degraded         uint64 `json:"degraded"`
+	ClockCmps        uint64 `json:"clock_cmps"`
+	ClockUncertain   uint64 `json:"clock_uncertain"`
+	WALFlushes       uint64 `json:"wal_flushes"`
+	WALRecords       uint64 `json:"wal_records"`
+	WALSyncNsP99     uint64 `json:"wal_sync_ns_p99"`
+	WALDeviceErrors  uint64 `json:"wal_device_errors"`
+	RecoveredRecords uint64 `json:"recovered_records"`
+	TruncatedBytes   uint64 `json:"truncated_bytes"`
 }
 
 // Simple reports whether the op is a valid simple (non-composite)
