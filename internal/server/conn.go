@@ -403,8 +403,9 @@ func (c *serverConn) countOps(run []item, resps []wire.Response) {
 //
 // In durable mode the batch's acked write-set is logged as one redo record
 // at the engine's commit timestamp and the responses wait for the
-// group-commit horizon; a WAL failure flips the would-be-acked writes to
-// ERR, so the client never sees an acknowledgment the log cannot honor.
+// group-commit flush that covers the append; a WAL failure flips the
+// would-be-acked writes to ERR, so the client never sees an
+// acknowledgment the log cannot honor.
 func (c *serverConn) execBatch(run []item) []wire.Response {
 	if gc := c.srv.gc; gc != nil && gc.failed() != nil && runHasWrites(run) {
 		return c.execDeviceDegraded(run)
@@ -435,9 +436,10 @@ func (c *serverConn) execBatch(run []item) []wire.Response {
 	}
 	// Degraded path: per-op transactions for status attribution. Each
 	// committed write logs its own redo record; one wait at the end covers
-	// the highest timestamp, so the fallback still pays one group commit.
+	// the last append's durability sequence, so the fallback still pays one
+	// group commit.
 	var (
-		ackTS  uint64
+		ackSeq uint64
 		walIdx []int
 	)
 	for i := range run {
@@ -455,19 +457,19 @@ func (c *serverConn) execBatch(run []item) []wire.Response {
 			continue
 		}
 		if c.wh != nil && isWrite(req.Op) && resps[i].Status == wire.StatusOK {
-			ts, aerr := c.walAppend(req)
+			seq, aerr := c.walAppend(req)
 			if aerr != nil {
+				c.srv.m.walUnackedWrites.Add(1)
 				resps[i] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr}
 				continue
 			}
 			walIdx = append(walIdx, i)
-			if ts > ackTS {
-				ackTS = ts
-			}
+			ackSeq = seq
 		}
 	}
 	if len(walIdx) > 0 {
-		if werr := c.srv.gc.wait(ackTS); werr != nil {
+		if werr := c.srv.gc.wait(ackSeq); werr != nil {
+			c.srv.m.walUnackedWrites.Add(uint64(len(walIdx)))
 			for _, i := range walIdx {
 				resps[i] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr}
 			}
@@ -537,7 +539,7 @@ func (c *serverConn) commitTS() uint64 {
 }
 
 // walAppend logs one committed op's redo record without waiting for
-// durability; the caller waits once for the run's highest timestamp.
+// durability; the caller waits once on the run's last durability sequence.
 func (c *serverConn) walAppend(req *wire.Request) (uint64, error) {
 	redo, err := encodeRedo([]*wire.Request{req})
 	if err != nil {
@@ -557,7 +559,11 @@ func (c *serverConn) walCommitWrites(writes []*wire.Request) error {
 }
 
 // walCommitRun logs a batched run's acked write-set and waits for
-// durability; on failure every would-be-acked write flips to ERR.
+// durability; on failure every would-be-acked write flips to ERR. The
+// flipped writes already committed in the in-memory engine, so until the
+// process restarts they remain visible to readers despite the ERR — the
+// read-of-unacked-data window DESIGN.md §10 describes, counted under
+// wal_unacked_writes.
 func (c *serverConn) walCommitRun(run []item, resps []wire.Response) {
 	if c.wh == nil {
 		return
@@ -574,6 +580,7 @@ func (c *serverConn) walCommitRun(run []item, resps []wire.Response) {
 	if err := c.walCommitWrites(writes); err == nil {
 		return
 	}
+	c.srv.m.walUnackedWrites.Add(uint64(len(writes)))
 	for i := range run {
 		if isWrite(run[i].req.Op) && resps[i].Status == wire.StatusOK {
 			resps[i] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr}
@@ -616,6 +623,7 @@ func (c *serverConn) execTxn(req *wire.Request) wire.Response {
 		}
 		if len(writes) > 0 {
 			if werr := c.walCommitWrites(writes); werr != nil {
+				c.srv.m.walUnackedWrites.Add(uint64(len(writes)))
 				return wire.Response{Kind: wire.RespBatch, Status: wire.StatusErr}
 			}
 		}

@@ -138,6 +138,12 @@ type metrics struct {
 
 	walFlushes, walRecords atomic.Uint64
 	walDeviceErrors        atomic.Uint64
+	// walUnackedWrites counts writes that committed in the in-memory engine
+	// but were answered ERR because the log could not make them durable:
+	// until restart they are visible to readers despite never being acked
+	// (DESIGN.md §10), so operators can see how much unlogged state a
+	// degraded engine is serving.
+	walUnackedWrites atomic.Uint64
 }
 
 // Snapshot is a point-in-time JSON-marshalable view of the server,
@@ -177,6 +183,7 @@ type Snapshot struct {
 	WALRecords       uint64 `json:"wal_records"`
 	WALSyncNsP99     uint64 `json:"wal_sync_ns_p99"`
 	WALDeviceErrors  uint64 `json:"wal_device_errors"`
+	WALUnackedWrites uint64 `json:"wal_unacked_writes"`
 	RecoveredRecords uint64 `json:"recovered_records"`
 	TruncatedBytes   uint64 `json:"truncated_bytes"`
 
@@ -392,6 +399,7 @@ func (s *Server) Snapshot() Snapshot {
 	snap.WALFlushes = m.walFlushes.Load()
 	snap.WALRecords = m.walRecords.Load()
 	snap.WALDeviceErrors = m.walDeviceErrors.Load()
+	snap.WALUnackedWrites = m.walUnackedWrites.Load()
 	if s.gc != nil {
 		snap.WALSyncNsP99 = s.gc.syncP99()
 	}

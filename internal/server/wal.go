@@ -19,16 +19,27 @@ var errWALClosed = errors.New("server: wal closed")
 
 // groupCommitter sits between committed engine transactions and the
 // write-ahead log: it drives wal.Log.Flush from one flusher goroutine and
-// lets connection workers block until the durability horizon covers their
-// commit timestamp (DESIGN.md §10).
+// lets connection workers block until a flush has covered their own append
+// (DESIGN.md §10).
 //
 // A committed batch's write-set is encoded as one redo record, appended to
 // the connection's WAL handle at the engine's own commit timestamp (so
 // replay order matches commit order machine-wide), and the responses are
-// withheld until a flush covers that timestamp. Many connections' commits
+// withheld until a flush covers that append. Many connections' commits
 // ride one flush: while a flush's fsync is in flight, appends accumulate
 // and the next flush covers them all — group commit emerges from the
 // device latency itself, with no batching timer.
+//
+// Durability is tracked per append, not by timestamp. append assigns each
+// record a dense sequence number under gc.mu strictly after the record
+// lands in its handle buffer, and flushOnce snapshots the latest assigned
+// sequence before invoking Flush — so "durableSeq covers my seq" proves my
+// record was in a buffer when a successful flush drained them. A timestamp
+// high-water mark cannot prove that: a worker descheduled between engine
+// commit (cts=T) and its append would see the horizon pass T on the back
+// of other connections' commits and ack while its record was still
+// buffered, losing an acknowledged write on crash (same-handle timestamp
+// ties from AppendAt clamping open the same hole).
 //
 // Device failure is sticky (see wal.FileDevice: after a failed fsync the
 // kernel may have dropped dirty pages, so nothing past it can be trusted).
@@ -39,13 +50,14 @@ type groupCommitter struct {
 	srv *Server
 	log *wal.Log
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	horizon uint64 // highest timestamp known durable
-	dirty   bool   // appends pending since the last flush
-	err     error  // sticky device failure
-	closing bool   // closeAndWait ran; no further appends
-	closed  bool   // flusher exited
+	mu         sync.Mutex
+	cond       *sync.Cond
+	appendSeq  uint64 // last sequence assigned to a buffered append
+	durableSeq uint64 // appends with seq <= durableSeq are on the device
+	dirty      bool   // appends pending since the last flush
+	err        error  // sticky device failure
+	closing    bool   // closeAndWait ran; no further appends
+	closed     bool   // flusher exited
 
 	done      chan struct{}
 	closeOnce sync.Once
@@ -60,7 +72,6 @@ type groupCommitter struct {
 func newGroupCommitter(s *Server, log *wal.Log) *groupCommitter {
 	gc := &groupCommitter{srv: s, log: log, done: make(chan struct{})}
 	gc.cond = sync.NewCond(&gc.mu)
-	gc.horizon = log.Horizon()
 	go gc.flushLoop()
 	return gc
 }
@@ -76,19 +87,22 @@ func (gc *groupCommitter) failed() error {
 }
 
 // commit appends one redo record at the engine commit timestamp and blocks
-// until the group-commit horizon covers it. Any error means the write must
-// not be acknowledged.
+// until a flush has covered it. Any error means the write must not be
+// acknowledged.
 func (gc *groupCommitter) commit(h *wal.Handle, cts uint64, redo []byte) error {
-	ts, err := gc.append(h, cts, redo)
+	seq, err := gc.append(h, cts, redo)
 	if err != nil {
 		return err
 	}
-	return gc.wait(ts)
+	return gc.wait(seq)
 }
 
-// append buffers one redo record and wakes the flusher. It returns the
-// timestamp actually recorded (the handle may clamp cts up to its
-// watermark), which is what wait must cover.
+// append buffers one redo record at the engine commit timestamp (the
+// handle may clamp cts up to its watermark; the recorded timestamp is the
+// replay order) and wakes the flusher. It returns the record's durability
+// sequence, which is what wait must cover — assigned only after the record
+// is in its handle buffer, so a flush draining after the assignment is
+// guaranteed to carry it.
 func (gc *groupCommitter) append(h *wal.Handle, cts uint64, redo []byte) (uint64, error) {
 	gc.mu.Lock()
 	if gc.err != nil {
@@ -101,24 +115,26 @@ func (gc *groupCommitter) append(h *wal.Handle, cts uint64, redo []byte) (uint64
 		return 0, errWALClosed
 	}
 	gc.mu.Unlock()
-	ts := h.AppendAt(cts, redo)
+	h.AppendAt(cts, redo)
 	gc.mu.Lock()
+	gc.appendSeq++
+	seq := gc.appendSeq
 	gc.dirty = true
 	gc.mu.Unlock()
 	gc.cond.Broadcast()
-	return ts, nil
+	return seq, nil
 }
 
-// wait blocks until the durability horizon reaches ts, the device fails,
+// wait blocks until the durable sequence reaches seq, the device fails,
 // or the flusher shuts down.
-func (gc *groupCommitter) wait(ts uint64) error {
+func (gc *groupCommitter) wait(seq uint64) error {
 	gc.mu.Lock()
 	defer gc.mu.Unlock()
-	for gc.err == nil && gc.horizon < ts && !gc.closed {
+	for gc.err == nil && gc.durableSeq < seq && !gc.closed {
 		gc.cond.Wait()
 	}
 	switch {
-	case gc.horizon >= ts:
+	case gc.durableSeq >= seq:
 		return nil
 	case gc.err != nil:
 		return gc.err
@@ -128,8 +144,8 @@ func (gc *groupCommitter) wait(ts uint64) error {
 }
 
 // flushLoop is the single flusher goroutine: it waits for dirty appends,
-// flushes, advances the horizon, and wakes waiters. After closeAndWait it
-// performs one final flush and exits.
+// flushes, advances the durable sequence, and wakes waiters. After
+// closeAndWait it performs one final flush and exits.
 func (gc *groupCommitter) flushLoop() {
 	defer close(gc.done)
 	for {
@@ -153,19 +169,24 @@ func (gc *groupCommitter) flushLoop() {
 	}
 }
 
-// flushOnce runs one Log.Flush, folding the outcome into the horizon,
-// metrics, and the sticky error.
+// flushOnce runs one Log.Flush, folding the outcome into the durable
+// sequence, metrics, and the sticky error. The sequence snapshot must be
+// taken before Flush is called: every append whose seq it covers had its
+// record buffered before the snapshot, so Log.Flush's group-commit
+// contract (every Append that returned before Flush began is persisted
+// when it returns) makes the whole prefix durable on success.
 func (gc *groupCommitter) flushOnce() {
 	gc.mu.Lock()
 	if gc.err != nil {
 		gc.mu.Unlock()
 		return // dead device: waiters were already woken with the error
 	}
+	upTo := gc.appendSeq
 	gc.mu.Unlock()
 
 	before := gc.log.Flushed()
 	start := time.Now()
-	hz, err := gc.log.Flush()
+	_, err := gc.log.Flush()
 	elapsed := time.Since(start)
 
 	if err == nil {
@@ -183,8 +204,8 @@ func (gc *groupCommitter) flushOnce() {
 		gc.err = err
 		gc.srv.m.walDeviceErrors.Add(1)
 		gc.srv.logf("server: wal device failed, degrading to reads-only: %v", err)
-	} else if hz > gc.horizon {
-		gc.horizon = hz
+	} else if upTo > gc.durableSeq {
+		gc.durableSeq = upTo
 	}
 	gc.mu.Unlock()
 	gc.cond.Broadcast()

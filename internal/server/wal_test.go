@@ -2,7 +2,9 @@ package server
 
 import (
 	"reflect"
+	"sync"
 	"testing"
+	"time"
 
 	"ordo/internal/db"
 	"ordo/internal/db/ycsb"
@@ -232,6 +234,11 @@ func TestDurableDeviceFailureDegrades(t *testing.T) {
 	if snap.WALDeviceErrors != 1 {
 		t.Fatalf("wal_device_errors=%d, want exactly 1 (sticky failure counts once)", snap.WALDeviceErrors)
 	}
+	// Exactly one write committed in memory and was then ERRed (key 2);
+	// the refused-up-front writes never committed, so they don't count.
+	if snap.WALUnackedWrites != 1 {
+		t.Fatalf("wal_unacked_writes=%d, want 1 (the ERRed insert is committed but unlogged)", snap.WALUnackedWrites)
+	}
 	// STATS over the wire reports the same degradation.
 	r, err := c.Do(&wire.Request{Op: wire.OpStats})
 	if err != nil || r.Stats == nil {
@@ -313,4 +320,56 @@ func TestDurableRequiresCommitTS(t *testing.T) {
 	if err == nil {
 		t.Fatal("New accepted a durable SILO server; Silo has no commit timestamps")
 	}
+}
+
+// TestGroupCommitAckRequiresOwnFlush pins the fix for the acked-write-loss
+// race: durability is tracked per append (flush-generation style), so a
+// record appended at a stale commit timestamp — its worker descheduled
+// while another connection's later-timestamped commit already flushed —
+// must not be acknowledged until a flush actually drains it. A timestamp
+// high-water mark acked it immediately, and a crash before the next flush
+// lost an acknowledged write. Flushes are driven by hand (no flusher
+// goroutine) so the adversarial interleaving is exact.
+func TestGroupCommitAckRequiresOwnFlush(t *testing.T) {
+	dev := &wal.MemDevice{}
+	log := wal.New(dev, nil)
+	gc := &groupCommitter{srv: &Server{}, log: log, done: make(chan struct{})}
+	gc.cond = sync.NewCond(&gc.mu)
+	hA, hB := log.NewHandle(), log.NewHandle()
+
+	// Connection B commits at cts=200, appends, and its flush completes.
+	seqB, err := gc.append(hB, 200, []byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc.flushOnce()
+	if err := gc.wait(seqB); err != nil {
+		t.Fatalf("flushed append not acked: %v", err)
+	}
+
+	// Connection A committed earlier (cts=100) but its worker only now runs
+	// the append: the record is buffered, nothing covering it has flushed.
+	seqA, err := gc.append(hA, 100, []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := make(chan error, 1)
+	go func() { acked <- gc.wait(seqA) }()
+	select {
+	case err := <-acked:
+		t.Fatalf("wait returned (err=%v) with the record still buffered", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	gc.flushOnce()
+	if err := <-acked; err != nil {
+		t.Fatalf("append not acked by its own flush: %v", err)
+	}
+	// The ack must imply the record is on the device.
+	for _, r := range dev.Records() {
+		if string(r.Data) == "a" {
+			return
+		}
+	}
+	t.Fatal("acknowledged record missing from the device")
 }

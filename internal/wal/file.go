@@ -2,8 +2,10 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -506,8 +508,15 @@ func readSegHeader(path string) (segHeader, error) {
 		return segHeader{}, err
 	}
 	defer f.Close()
+	// io.ReadFull, not f.Read: a bare Read may legally return fewer bytes
+	// without error, and misparsing a partial header here could skip the
+	// true max incarnation in OpenFile's scan — letting a new writer reuse
+	// an incarnation number and weakening the (H, Seq) dedupe scope.
 	var buf [segHeaderLen]byte
-	if _, err := f.Read(buf[:]); err != nil {
+	if _, err := io.ReadFull(f, buf[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return segHeader{}, fmt.Errorf("wal: %s: short segment header", path)
+		}
 		return segHeader{}, err
 	}
 	if string(buf[:8]) != segMagic {

@@ -321,3 +321,44 @@ func TestIncarnationsConcatenate(t *testing.T) {
 		}
 	}
 }
+
+// TestSegHeaderShortRead pins readSegHeader's short-read handling: a
+// truncated header must be an explicit error, never a misparse — OpenFile
+// skips unreadable headers in its incarnation scan, and parsing garbage
+// there could let a new writer reuse an incarnation number. OpenFile over
+// the same directory must still pick the incarnation above every readable
+// header's.
+func TestSegHeaderShortRead(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDevice(t, dir, FileConfig{})
+	l := New(d, oplog.RawTSC{})
+	l.NewHandle().Append([]byte{1})
+	if _, err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readSegHeader(segPath(dir, 1)); err != nil {
+		t.Fatalf("whole header: %v", err)
+	}
+
+	// A header torn mid-way (shorter than segHeaderLen but with intact
+	// magic) must error, not parse the missing fields as zeros.
+	short := filepath.Join(dir, "seg-00000099.wal")
+	if err := os.WriteFile(short, []byte(segMagic+"xx"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readSegHeader(short); err == nil {
+		t.Fatal("short header parsed without error")
+	}
+
+	d2, err := OpenFile(dir, FileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Incarnation() != 2 {
+		t.Fatalf("incarnation %d after a short-header segment, want 2", d2.Incarnation())
+	}
+}
