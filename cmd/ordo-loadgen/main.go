@@ -42,11 +42,13 @@ func main() {
 		dialFor = flag.Duration("dial-for", 5*time.Second, "keep retrying the first dial for this long")
 		opTO    = flag.Duration("op-timeout", 10*time.Second,
 			"per-I/O deadline; a read or flush exceeding it fails the run instead of hanging (0 disables)")
+		report = flag.Duration("report-interval", 0,
+			"print ops/s and latency quantiles for each interval while running (0 disables)")
 	)
 	flag.Parse()
 
 	if err := run(*addr, *conns, *window, *ops, *seconds, *records,
-		*reads, *theta, *txnOps, *seed, *dialFor, *opTO); err != nil {
+		*reads, *theta, *txnOps, *seed, *dialFor, *opTO, *report); err != nil {
 		fmt.Fprintf(os.Stderr, "ordo-loadgen: %v\n", err)
 		os.Exit(1)
 	}
@@ -62,17 +64,24 @@ const (
 
 var classNames = [nClasses]string{"GET", "PUT", "TXN"}
 
-// workerResult is one connection's tallies.
+// workerResult is one connection's tallies. The hists and counters belong
+// to the worker alone until wg.Wait; only tick is shared with the
+// interval reporter, under mu.
 type workerResult struct {
 	hists     [nClasses]hist.H
 	done      uint64 // ops completed OK
 	conflicts uint64 // CONFLICT answers (re-issued)
 	busy      uint64 // BUSY answers (re-issued)
 	err       error
+
+	// reporting turns on tick recording; set once before the worker starts.
+	reporting bool
+	mu        sync.Mutex
+	tick      hist.H // completed ops since the reporter's last drain
 }
 
 func run(addr string, conns, window, ops int, seconds float64, records int,
-	reads, theta float64, txnOps int, seed int64, dialFor, opTO time.Duration) error {
+	reads, theta float64, txnOps int, seed int64, dialFor, opTO, report time.Duration) error {
 	if conns <= 0 || window <= 0 || records <= 0 {
 		return fmt.Errorf("-conns, -pipeline and -records must be positive")
 	}
@@ -98,6 +107,9 @@ func run(addr string, conns, window, ops int, seconds float64, records int,
 	}
 
 	results := make([]workerResult, conns)
+	for i := range results {
+		results[i].reporting = report > 0
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i := 0; i < conns; i++ {
@@ -112,8 +124,16 @@ func run(addr string, conns, window, ops int, seconds float64, records int,
 			results[i].err = runConn(addr, gen, &results[i], window, ops, deadline, txnOps, opTO)
 		}(i)
 	}
+	var stopReport chan struct{}
+	if report > 0 {
+		stopReport = make(chan struct{})
+		go reporter(results, report, stopReport)
+	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	if stopReport != nil {
+		close(stopReport)
+	}
 
 	// Aggregate.
 	var total workerResult
@@ -159,6 +179,41 @@ func run(addr string, conns, window, ops int, seconds float64, records int,
 		return fmt.Errorf("no ops completed")
 	}
 	return nil
+}
+
+// reporter prints one progress line per interval: throughput and latency
+// quantiles over the ops completed since the previous line, from a merge
+// of every worker's tick histogram (drained and reset under its lock).
+func reporter(results []workerResult, every time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-t.C:
+			var h hist.H
+			for i := range results {
+				r := &results[i]
+				r.mu.Lock()
+				h.Merge(&r.tick)
+				r.tick = hist.H{}
+				r.mu.Unlock()
+			}
+			dt := now.Sub(last).Seconds()
+			last = now
+			if h.Count() == 0 || dt <= 0 {
+				fmt.Printf("interval: 0 ops\n")
+				continue
+			}
+			fmt.Printf("interval: %.0f ops/s p50=%v p99=%v p999=%v\n",
+				float64(h.Count())/dt,
+				time.Duration(h.Quantile(0.5)).Round(time.Microsecond),
+				time.Duration(h.Quantile(0.99)).Round(time.Microsecond),
+				time.Duration(h.Quantile(0.999)).Round(time.Microsecond))
+		}
+	}
 }
 
 // deadlineConn arms a fresh deadline before every Read and Write, turning
@@ -309,7 +364,13 @@ func runConn(addr string, gen *ycsb.Gen, res *workerResult,
 		inFlight = inFlight[1:]
 		switch resp.Status {
 		case wire.StatusOK:
-			res.hists[p.class].RecordDuration(time.Since(p.sent))
+			d := time.Since(p.sent)
+			res.hists[p.class].RecordDuration(d)
+			if res.reporting {
+				res.mu.Lock()
+				res.tick.RecordDuration(d)
+				res.mu.Unlock()
+			}
 			res.done++
 		case wire.StatusConflict:
 			res.conflicts++

@@ -37,6 +37,8 @@ import (
 	"ordo/internal/db"
 	"ordo/internal/health"
 	"ordo/internal/server"
+	"ordo/internal/telemetry"
+	"ordo/internal/tsc"
 	"ordo/internal/wal"
 )
 
@@ -57,6 +59,11 @@ type options struct {
 	idleTimeout  time.Duration
 	writeTimeout time.Duration
 	healthJSON   string
+
+	adminAddr     string
+	adminAddrFile string
+	slowOp        time.Duration
+	traceEvents   int
 
 	walDir       string
 	walSync      string
@@ -88,6 +95,14 @@ func main() {
 		"evict connections whose response writes stall for this long (0 disables)")
 	flag.StringVar(&o.healthJSON, "health-json", "",
 		"write the final server+clock snapshot as JSON to this file ('-' for stdout) on shutdown")
+	flag.StringVar(&o.adminAddr, "admin-addr", "",
+		"admin HTTP listen address serving /metrics, /healthz, /varz, /trace, /debug/pprof (empty disables)")
+	flag.StringVar(&o.adminAddrFile, "admin-addr-file", "",
+		"write the bound admin address to this file once listening (for :0 port discovery)")
+	flag.DurationVar(&o.slowOp, "slow-op", server.DefaultSlowOp,
+		"runs and WAL syncs slower than this are recorded in the event trace")
+	flag.IntVar(&o.traceEvents, "trace-events", telemetry.DefaultTraceEvents,
+		"event-trace ring capacity for /trace")
 	flag.IntVar(&o.calRuns, "calibration-runs", 200, "clock-pair samples per calibration")
 	flag.StringVar(&o.walDir, "wal-dir", "",
 		"write-ahead log directory; enables durable serving with startup recovery (empty disables)")
@@ -140,6 +155,32 @@ func run(o options) error {
 		defer mon.Stop()
 	}
 
+	// Telemetry rides the admin endpoint: no -admin-addr means no registry,
+	// and the serving path stays observation-free.
+	var tel *server.Telemetry
+	if o.adminAddr != "" {
+		reg := telemetry.NewRegistry()
+		tracer := telemetry.NewTracer(o.traceEvents)
+		tel = server.NewTelemetry(reg, tracer, o.slowOp)
+		switch {
+		case mon != nil:
+			mon.Telemetry(reg, tracer)
+		case ordo != nil:
+			// No monitor, but an Ordo engine: export the boundary directly
+			// so ordo_boundary_ns is on every scrape of an ordo server.
+			hz := tsc.Frequency()
+			reg.GaugeFunc("ordo_boundary_ns", "Current ORDO_BOUNDARY in nanoseconds.",
+				func() float64 {
+					if hz == 0 {
+						return 0
+					}
+					return float64(ordo.Boundary()) / float64(hz) * 1e9
+				})
+			reg.GaugeFunc("ordo_boundary_ticks", "Current ORDO_BOUNDARY in invariant-counter ticks.",
+				func() float64 { return float64(ordo.Boundary()) })
+		}
+	}
+
 	schema := db.Schema{Tables: []db.TableDef{{Name: "t0", Cols: o.cols}}}
 	engine, err := db.New(proto, schema, ordo)
 	if err != nil {
@@ -174,11 +215,15 @@ func run(o options) error {
 		log.Printf("wal recovered: %d records (%d ops) from %d segments, %d incarnations; %d duplicates dropped, %d torn bytes truncated, %d replay anomalies",
 			info.Records, st.Ops, info.Segments, info.Incarnations,
 			info.Duplicates, info.TruncatedBytes, st.Anomalies)
-		dev, err := wal.OpenFile(o.walDir, wal.FileConfig{
+		fcfg := wal.FileConfig{
 			SegmentBytes: o.walSegBytes,
 			Sync:         sync,
 			SyncEvery:    o.walSyncEvery,
-		})
+		}
+		if tel != nil {
+			fcfg.SyncObserver = tel.WALSyncObserver()
+		}
+		dev, err := wal.OpenFile(o.walDir, fcfg)
 		if err != nil {
 			return fmt.Errorf("wal open: %w", err)
 		}
@@ -198,11 +243,38 @@ func run(o options) error {
 		Monitor:      mon,
 		WAL:          walLog,
 		Recovery:     recInfo,
+		Telemetry:    tel,
 		Logf:         log.Printf,
 	})
 	if err != nil {
 		return err
 	}
+
+	// The admin endpoint opens before the serving listener so an operator
+	// (or a readiness probe) can watch recovery-to-serving transitions.
+	var admin *server.AdminServer
+	if o.adminAddr != "" {
+		admin, err = server.ServeAdmin(o.adminAddr, server.NewAdminHandler(srv))
+		if err != nil {
+			return fmt.Errorf("admin listen: %w", err)
+		}
+		if o.adminAddrFile != "" {
+			if err := os.WriteFile(o.adminAddrFile, []byte(admin.Addr().String()), 0o644); err != nil {
+				return fmt.Errorf("-admin-addr-file: %w", err)
+			}
+		}
+		log.Printf("admin endpoint on http://%s (/metrics /healthz /varz /trace /debug/pprof/)", admin.Addr())
+	}
+	closeAdmin := func() {
+		if admin == nil {
+			return
+		}
+		if err := admin.Close(); err != nil {
+			log.Printf("admin close: %v", err)
+		}
+		admin = nil
+	}
+	defer closeAdmin()
 
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
@@ -232,6 +304,7 @@ func run(o options) error {
 		if err := <-serveErr; err != nil {
 			return err
 		}
+		closeAdmin()
 	case err := <-serveErr:
 		return err
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ordo/internal/core"
+	"ordo/internal/telemetry"
 	"ordo/internal/tsc"
 )
 
@@ -120,6 +121,9 @@ type Monitor struct {
 	haveBase  bool
 	baseTick  core.Time
 	baseWall  time.Time
+	// tracer receives recalibration and anomaly events when Telemetry
+	// wired one; nil otherwise (telemetry.go).
+	tracer *telemetry.Tracer
 
 	stop chan struct{}
 	done chan struct{}
@@ -226,6 +230,7 @@ func (m *Monitor) driftCheck() {
 	m.driftPPM = (observed - float64(hz)) / float64(hz) * 1e6
 	if m.driftPPM > m.opt.DriftThresholdPPM || m.driftPPM < -m.opt.DriftThresholdPPM {
 		m.anomalies++
+		m.tracer.Record("clock_anomaly", fmt.Sprintf("drift %.1f ppm", m.driftPPM), 0)
 	}
 }
 
@@ -247,6 +252,7 @@ func (m *Monitor) record(p Pass) {
 	if over := len(m.history) - m.opt.HistorySize; over > 0 {
 		m.history = append(m.history[:0], m.history[over:]...)
 	}
+	m.traceRecalibration(p)
 }
 
 // Start launches the background recalibration loop. It panics if the

@@ -81,6 +81,52 @@ func (h *H) Merge(other *H) {
 // Count returns the number of recorded values.
 func (h *H) Count() uint64 { return h.n }
 
+// Sum returns the exact sum of recorded values.
+func (h *H) Sum() uint64 { return h.sum }
+
+// Snapshot returns an independent copy of the histogram, so an exporter
+// can merge, iterate, or compute quantiles without holding whatever lock
+// protects the live histogram for longer than the copy.
+func (h *H) Snapshot() *H {
+	c := *h
+	return &c
+}
+
+// Bucket is one non-empty histogram bucket in cumulative form — the shape
+// Prometheus histogram exposition wants. UpperBound is the bucket's
+// inclusive upper edge: every recorded value v ≤ UpperBound is counted in
+// CumCount (values are integers, so an inclusive integer edge is an exact
+// `le` bound).
+type Bucket struct {
+	UpperBound uint64
+	CumCount   uint64
+}
+
+// upperBound returns bucket i's inclusive upper edge: one below the next
+// bucket's lower bound, and the full range for the last bucket.
+func upperBound(i int) uint64 {
+	if i >= nBuckets-1 {
+		return ^uint64(0)
+	}
+	return value(i+1) - 1
+}
+
+// Buckets returns the non-empty buckets with cumulative counts, upper
+// bounds ascending. The last entry's CumCount equals Count(). The slice is
+// freshly allocated; an empty histogram returns nil.
+func (h *H) Buckets() []Bucket {
+	var out []Bucket
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		out = append(out, Bucket{UpperBound: upperBound(i), CumCount: cum})
+	}
+	return out
+}
+
 // Mean returns the exact mean of recorded values (sums are kept exactly).
 func (h *H) Mean() float64 {
 	if h.n == 0 {

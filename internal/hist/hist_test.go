@@ -94,4 +94,86 @@ func TestEmpty(t *testing.T) {
 	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Count() != 0 {
 		t.Fatal("empty histogram must report zeros")
 	}
+	if h.Buckets() != nil {
+		t.Fatal("empty histogram must export no buckets")
+	}
+}
+
+// TestBucketsProperty cross-checks Buckets() against Quantile() on random
+// sample sets: recomputing any quantile from the cumulative bucket counts
+// must select the bucket Quantile() answers from — i.e. the estimate falls
+// in (prevUpper, upper] of the first bucket whose cumulative count exceeds
+// the rank. Also checks the cumulative invariants the Prometheus export
+// depends on: ascending upper bounds, non-decreasing counts, final count
+// equal to Count().
+func TestBucketsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		var h H
+		n := 1 + rng.Intn(5000)
+		for i := 0; i < n; i++ {
+			var v uint64
+			switch rng.Intn(3) {
+			case 0: // small exact values
+				v = uint64(rng.Intn(1 << (mantBits + 2)))
+			case 1: // mid-range
+				v = uint64(rng.Int63n(1 << 30))
+			default: // heavy tail across many octaves
+				v = uint64(1) << uint(rng.Intn(60))
+				v += uint64(rng.Int63n(int64(v)))
+			}
+			h.Record(v)
+		}
+		bs := h.Buckets()
+		if len(bs) == 0 {
+			t.Fatalf("trial %d: no buckets for %d samples", trial, n)
+		}
+		for i := range bs {
+			if i > 0 {
+				if bs[i].UpperBound <= bs[i-1].UpperBound {
+					t.Fatalf("trial %d: upper bounds not ascending at %d", trial, i)
+				}
+				if bs[i].CumCount <= bs[i-1].CumCount {
+					t.Fatalf("trial %d: cumulative counts not increasing at %d (empty buckets must be dropped)", trial, i)
+				}
+			}
+		}
+		if last := bs[len(bs)-1].CumCount; last != h.Count() {
+			t.Fatalf("trial %d: final cumulative count %d != Count() %d", trial, last, h.Count())
+		}
+		if max := h.Max(); max > bs[len(bs)-1].UpperBound {
+			t.Fatalf("trial %d: max %d above last bucket bound %d", trial, max, bs[len(bs)-1].UpperBound)
+		}
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999} {
+			// Recompute the quantile's bucket from the cumulative counts,
+			// mirroring Quantile's rank rule.
+			rank := uint64(q * float64(h.Count()))
+			if rank >= h.Count() {
+				rank = h.Count() - 1
+			}
+			idx := sort.Search(len(bs), func(i int) bool { return bs[i].CumCount > rank })
+			got := h.Quantile(q)
+			if got > bs[idx].UpperBound {
+				t.Fatalf("trial %d q%v: Quantile()=%d above recomputed bucket bound %d", trial, q, got, bs[idx].UpperBound)
+			}
+			if idx > 0 && got <= bs[idx-1].UpperBound {
+				t.Fatalf("trial %d q%v: Quantile()=%d at or below previous bound %d", trial, q, got, bs[idx-1].UpperBound)
+			}
+		}
+	}
+}
+
+// TestSnapshotIndependent checks Snapshot returns a copy that later
+// records do not mutate.
+func TestSnapshotIndependent(t *testing.T) {
+	var h H
+	h.Record(10)
+	snap := h.Snapshot()
+	h.Record(1 << 30)
+	if snap.Count() != 1 || snap.Max() != 10 {
+		t.Fatalf("snapshot mutated: n=%d max=%d", snap.Count(), snap.Max())
+	}
+	if h.Count() != 2 {
+		t.Fatalf("live histogram lost a record: n=%d", h.Count())
+	}
 }

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"ordo/internal/telemetry"
+)
+
+// NewAdminHandler builds ordod's admin mux over one server:
+//
+//	/metrics       Prometheus text exposition of the bound registry
+//	/healthz       JSON liveness: 200 while serving, 503 when the WAL
+//	               device failed (reads-only) or a drain is in progress
+//	/varz          the full Snapshot() JSON document
+//	/trace         the event tracer's ring dump
+//	/debug/pprof/  the standard profiles, on this mux only — the admin
+//	               port works in binaries that never touch DefaultServeMux
+//
+// The handler is safe to serve before Serve is called and after Shutdown
+// returns; endpoints read counters, never live sessions.
+func NewAdminHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		t := s.cfg.Telemetry
+		if t == nil {
+			http.Error(w, "telemetry disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", telemetry.ContentType)
+		_ = t.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/varz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Snapshot())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		var tr *telemetry.Tracer
+		if s.cfg.Telemetry != nil {
+			tr = s.cfg.Telemetry.tracer
+		}
+		body, err := tr.DumpJSON() // nil tracer dumps an empty document
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// healthzBody is the /healthz JSON document. WALUnackedWrites rides along
+// because it is the one counter an operator must check before trusting a
+// degraded server's reads: it bounds how much acknowledged-looking state
+// exists only in memory (DESIGN.md §10).
+type healthzBody struct {
+	Status           string  `json:"status"`
+	Protocol         string  `json:"protocol"`
+	WALDegraded      bool    `json:"wal_degraded"`
+	WALUnackedWrites uint64  `json:"wal_unacked_writes"`
+	ShuttingDown     bool    `json:"shutting_down"`
+	BoundaryNS       float64 `json:"boundary_ns,omitempty"`
+	UncertainRate    float64 `json:"uncertain_rate,omitempty"`
+}
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	body := healthzBody{
+		Status:           "ok",
+		Protocol:         s.cfg.DB.Protocol().String(),
+		WALDegraded:      s.Degraded(),
+		WALUnackedWrites: s.m.walUnackedWrites.Load(),
+		ShuttingDown:     s.inShutdown.Load(),
+	}
+	if m := s.cfg.Monitor; m != nil {
+		cs := m.Snapshot()
+		body.BoundaryNS = cs.BoundaryNS
+		body.UncertainRate = cs.UncertainRate
+	}
+	code := http.StatusOK
+	switch {
+	case body.WALDegraded:
+		body.Status = "degraded"
+		code = http.StatusServiceUnavailable
+	case body.ShuttingDown:
+		body.Status = "shutting_down"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(body)
+}
+
+// AdminServer is the admin HTTP listener's lifecycle handle.
+type AdminServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// ServeAdmin listens on addr and serves h in a background goroutine. The
+// caller owns the returned handle and must Close it during drain; Close
+// waits for the serve goroutine, so the goroutine-leak guard in tests
+// holds.
+func ServeAdmin(addr string, h http.Handler) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	a := &AdminServer{ln: ln, srv: &http.Server{Handler: h}, done: make(chan struct{})}
+	go func() {
+		defer close(a.done)
+		_ = a.srv.Serve(ln)
+	}()
+	return a, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (a *AdminServer) Addr() net.Addr { return a.ln.Addr() }
+
+// Close drains the admin server: graceful shutdown with a short grace
+// period (in-flight scrapes finish), then a hard close for stragglers — a
+// 30-second pprof profile must not block the daemon's exit.
+func (a *AdminServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	err := a.srv.Shutdown(ctx)
+	if err != nil {
+		err = a.srv.Close()
+	}
+	<-a.done
+	return err
+}

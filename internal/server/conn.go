@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"runtime/debug"
@@ -28,6 +29,9 @@ type item struct {
 	// protoErr marks an undecodable frame: the worker answers ERR and the
 	// connection closes after it (the stream offset is unrecoverable).
 	protoErr bool
+	// enq is the enqueue time for the queue-wait histogram; zero when
+	// telemetry is off, so the plain path never calls time.Now.
+	enq time.Time
 }
 
 // serverConn is one connection's state: a reader goroutine that decodes
@@ -44,6 +48,10 @@ type serverConn struct {
 	// otherwise). Only the worker touches it; closed in workLoop teardown
 	// so the slot recycles.
 	wh *wal.Handle
+	// tel is the connection's histogram shard set (nil when telemetry is
+	// off). Only the worker observes into it; closed in workLoop teardown
+	// so the counts retire into the parent histograms.
+	tel *connShards
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -76,6 +84,9 @@ func newServerConn(s *Server, nc net.Conn) *serverConn {
 	}
 	if s.gc != nil {
 		c.wh = s.gc.log.NewHandle()
+	}
+	if s.cfg.Telemetry != nil {
+		c.tel = s.cfg.Telemetry.newConnShards()
 	}
 	c.cond = sync.NewCond(&c.mu)
 	return c
@@ -123,6 +134,7 @@ func (c *serverConn) evict(reason string) {
 	c.mu.Unlock()
 	if first {
 		c.srv.m.evictions.Add(1)
+		c.srv.tracer().Record("eviction", c.nc.RemoteAddr().String()+": "+reason, 0)
 		c.srv.logf("server: %v: evicting: %s", c.nc.RemoteAddr(), reason)
 	}
 }
@@ -133,6 +145,7 @@ func (c *serverConn) readLoop() {
 	defer func() {
 		if r := recover(); r != nil {
 			c.srv.m.panics.Add(1)
+			c.srv.tracer().Record("panic", fmt.Sprintf("reader: %v", r), 0)
 			c.srv.logf("server: %v: panic in reader: %v\n%s", c.nc.RemoteAddr(), r, debug.Stack())
 			c.finishRead()
 		}
@@ -191,6 +204,9 @@ func (c *serverConn) classifyReadError(err error) {
 // enqueue appends one item, shedding it if the queue is past QueueDepth and
 // blocking if it is past the hard cap.
 func (c *serverConn) enqueue(it item) {
+	if c.tel != nil {
+		it.enq = time.Now()
+	}
 	c.mu.Lock()
 	for len(c.pending) >= c.hardCap() && !c.draining {
 		c.cond.Wait()
@@ -209,6 +225,7 @@ func (c *serverConn) enqueue(it item) {
 func (c *serverConn) workLoop() {
 	defer c.nc.Close()
 	defer c.closeWAL()
+	defer c.tel.close()
 	for {
 		c.mu.Lock()
 		for len(c.pending) == 0 && !c.readerDone {
@@ -227,8 +244,21 @@ func (c *serverConn) workLoop() {
 		c.mu.Unlock()
 		c.cond.Broadcast() // queue space freed
 
+		// Queue wait ends here: the run is in the worker's hands. The same
+		// timestamp starts the service-latency clock.
+		var start time.Time
+		if c.tel != nil {
+			start = time.Now()
+			for i := range run {
+				c.tel.wait.ObserveDuration(start.Sub(run[i].enq))
+			}
+		}
 		c.armWriteDeadline()
-		if err := c.runOne(run); err != nil {
+		err := c.runOne(run)
+		if c.tel != nil {
+			c.observeRun(run, time.Since(start))
+		}
+		if err != nil {
 			c.noteWriteError(err)
 			c.abortReader()
 			c.flushSessionStats()
@@ -261,6 +291,7 @@ func (c *serverConn) runOne(run []item) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			c.srv.m.panics.Add(1)
+			c.srv.tracer().Record("panic", fmt.Sprintf("worker: %v", r), 0)
 			c.srv.logf("server: %v: panic in worker: %v\n%s", c.nc.RemoteAddr(), r, debug.Stack())
 			// Best effort: the run produced no responses yet (responses are
 			// written only after the engine returns), so answer ERR for each
@@ -468,7 +499,15 @@ func (c *serverConn) execBatch(run []item) []wire.Response {
 		}
 	}
 	if len(walIdx) > 0 {
-		if werr := c.srv.gc.wait(ackSeq); werr != nil {
+		var ackStart time.Time
+		if c.tel != nil {
+			ackStart = time.Now()
+		}
+		werr := c.srv.gc.wait(ackSeq)
+		if c.tel != nil {
+			c.tel.ack.ObserveDuration(time.Since(ackStart))
+		}
+		if werr != nil {
 			c.srv.m.walUnackedWrites.Add(uint64(len(walIdx)))
 			for _, i := range walIdx {
 				resps[i] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr}
@@ -555,7 +594,13 @@ func (c *serverConn) walCommitWrites(writes []*wire.Request) error {
 	if err != nil {
 		return err
 	}
-	return c.srv.gc.commit(c.wh, c.commitTS(), redo)
+	if c.tel == nil {
+		return c.srv.gc.commit(c.wh, c.commitTS(), redo)
+	}
+	start := time.Now()
+	err = c.srv.gc.commit(c.wh, c.commitTS(), redo)
+	c.tel.ack.ObserveDuration(time.Since(start))
+	return err
 }
 
 // walCommitRun logs a batched run's acked write-set and waits for
@@ -655,9 +700,10 @@ func (c *serverConn) execStats() wire.Response {
 		Degraded:        m.degraded.Load(),
 		ClockCmps:       m.clockCmps.Load(),
 		ClockUncertain:  m.clockUncertain.Load(),
-		WALFlushes:      m.walFlushes.Load(),
-		WALRecords:      m.walRecords.Load(),
-		WALDeviceErrors: m.walDeviceErrors.Load(),
+		WALFlushes:       m.walFlushes.Load(),
+		WALRecords:       m.walRecords.Load(),
+		WALDeviceErrors:  m.walDeviceErrors.Load(),
+		WALUnackedWrites: m.walUnackedWrites.Load(),
 	}
 	if c.srv.gc != nil {
 		st.WALSyncNsP99 = c.srv.gc.syncP99()

@@ -90,6 +90,12 @@ type Config struct {
 	// seeded from; it rides along in Snapshot() and STATS responses.
 	Recovery *wal.RecoveryInfo
 
+	// Telemetry, when set, wires the server's counters and latency
+	// histograms into a metrics registry and event tracer (telemetry.go).
+	// New binds it and installs the WAL flush observer on Config.WAL; a
+	// Telemetry instance serves exactly one Server.
+	Telemetry *Telemetry
+
 	// Logf receives connection-level diagnostics. Nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -219,7 +225,22 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.gc = newGroupCommitter(s, cfg.WAL)
 	}
+	if cfg.Telemetry != nil {
+		if err := cfg.Telemetry.bind(s); err != nil {
+			return nil, err
+		}
+		if cfg.WAL != nil {
+			cfg.WAL.SetObserver(cfg.Telemetry.WALFlushObserver())
+		}
+	}
 	return s, nil
+}
+
+// Degraded reports whether the WAL device has failed: the server still
+// serves reads from the intact in-memory engine but refuses writes, and
+// the admin /healthz endpoint turns non-200.
+func (s *Server) Degraded() bool {
+	return s.gc != nil && s.gc.failed() != nil
 }
 
 func (s *Server) logf(format string, args ...any) {

@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Event is one traced occurrence: a slow op, a WAL flush or fsync, a
+// device error, a monitor recalibration, an eviction, a contained panic.
+// Kind is a stable small vocabulary so dumps are greppable; Detail is
+// free-form context.
+type Event struct {
+	Time   time.Time `json:"time"`
+	Kind   string    `json:"kind"`
+	DurNS  int64     `json:"dur_ns,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// Tracer is a bounded ring buffer of Events: recording is O(1) under one
+// short lock, old events are overwritten, and the whole ring dumps as
+// JSON for the admin /trace endpoint. A nil *Tracer is valid and records
+// nothing, so instrumented code paths need no nil checks.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  int    // slot the next event lands in
+	total uint64 // events ever recorded
+}
+
+// DefaultTraceEvents is the ring capacity NewTracer uses for size ≤ 0.
+const DefaultTraceEvents = 1024
+
+// NewTracer returns a tracer retaining the newest size events.
+func NewTracer(size int) *Tracer {
+	if size <= 0 {
+		size = DefaultTraceEvents
+	}
+	return &Tracer{ring: make([]Event, size)}
+}
+
+// Record adds one event with the current time. dur ≤ 0 means the event
+// has no duration (omitted from the dump).
+func (t *Tracer) Record(kind, detail string, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	ev := Event{Time: time.Now(), Kind: kind, Detail: detail}
+	if dur > 0 {
+		ev.DurNS = int64(dur)
+	}
+	t.mu.Lock()
+	t.ring[t.next] = ev
+	t.next = (t.next + 1) % len(t.ring)
+	t.total++
+	t.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := int(t.total)
+	if uint64(len(t.ring)) < t.total {
+		n = len(t.ring)
+	}
+	out := make([]Event, 0, n)
+	start := t.next - n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// Dump is the JSON document /trace serves: total recorded, how many the
+// ring has dropped, and the retained events oldest-first.
+type Dump struct {
+	Total   uint64  `json:"total_events"`
+	Dropped uint64  `json:"dropped_events"`
+	Events  []Event `json:"events"`
+}
+
+// DumpJSON marshals the tracer's current state. A nil tracer dumps an
+// empty document.
+func (t *Tracer) DumpJSON() ([]byte, error) {
+	d := Dump{Events: []Event{}}
+	if t != nil {
+		d.Events = t.Events()
+		t.mu.Lock()
+		d.Total = t.total
+		t.mu.Unlock()
+		if d.Total > uint64(len(d.Events)) {
+			d.Dropped = d.Total - uint64(len(d.Events))
+		}
+	}
+	return json.MarshalIndent(d, "", "  ")
+}

@@ -69,6 +69,13 @@ type FileConfig struct {
 	Sync         SyncPolicy    // default SyncEachWrite
 	SyncEvery    time.Duration // SyncBatched cadence (default 2ms)
 	Chaos        *Chaos        // fault injection; nil in production
+
+	// SyncObserver, when set, receives every attempted fsync's duration
+	// and outcome — the telemetry series that shows fsync stalls, which a
+	// flush-level view blurs together with the write. Called with the
+	// device lock held; must be quick and must not call back into the
+	// device.
+	SyncObserver func(d time.Duration, err error)
 }
 
 // FileDevice is a production Device over segmented log files. Call
@@ -231,6 +238,20 @@ func (d *FileDevice) syncLocked() error {
 	if !d.dirty {
 		return nil
 	}
+	var start time.Time
+	if d.cfg.SyncObserver != nil {
+		start = time.Now()
+	}
+	err := d.syncOnceLocked()
+	if d.cfg.SyncObserver != nil {
+		d.cfg.SyncObserver(time.Since(start), err)
+	}
+	return err
+}
+
+// syncOnceLocked performs the fsync (or its injected stand-in) and makes
+// any failure sticky.
+func (d *FileDevice) syncOnceLocked() error {
 	if c := d.cfg.Chaos; c != nil {
 		delay, fail := c.drawSync()
 		if delay > 0 {

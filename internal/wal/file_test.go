@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"ordo/internal/oplog"
 )
@@ -360,5 +361,42 @@ func TestSegHeaderShortRead(t *testing.T) {
 	defer d2.Close()
 	if d2.Incarnation() != 2 {
 		t.Fatalf("incarnation %d after a short-header segment, want 2", d2.Incarnation())
+	}
+}
+
+// TestSyncObserver checks the fsync telemetry hook: SyncEachWrite invokes
+// it once per dirty write, skips clean syncs, and reports the sticky
+// failure exactly when it happens.
+func TestSyncObserver(t *testing.T) {
+	dir := t.TempDir()
+	var calls int
+	var lastErr error
+	d := openTestDevice(t, dir, FileConfig{
+		SyncObserver: func(dur time.Duration, err error) {
+			calls++
+			lastErr = err
+			if dur < 0 {
+				t.Errorf("negative sync duration %v", dur)
+			}
+		},
+	})
+	l := New(d, oplog.RawTSC{})
+	h := l.NewHandle()
+	h.Append([]byte("a"))
+	if _, err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 || lastErr != nil {
+		t.Fatalf("after one dirty flush: %d observed syncs (err %v), want 1 clean", calls, lastErr)
+	}
+	// Sync with nothing dirty: no fsync attempted, nothing observed.
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("clean Sync was observed: %d calls", calls)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"ordo/internal/oplog"
 )
@@ -100,18 +101,37 @@ func (d *FailingDevice) Write(recs []Record) error {
 	return d.Inner.Write(recs)
 }
 
+// FlushObserver receives the outcome of every non-empty Flush: how many
+// records the batch carried, how long the merge+device write (including
+// any fsync the device's policy performs) took, and the device error if
+// the flush failed. It is called with the log's flush lock held, so
+// implementations must be quick and must not call back into the Log —
+// recording into a metrics shard or a trace ring is the intended shape.
+type FlushObserver interface {
+	ObserveFlush(records int, d time.Duration, err error)
+}
+
 // Log is a write-ahead log instance.
 type Log struct {
 	stamp oplog.Timestamper
 	dev   Device
 
 	mu      sync.Mutex // guards flush, the handle registry, free list, orphans
+	obs     FlushObserver
 	handles []*Handle
 	free    []handleState // closed slots available for reuse
 	orphans []Record      // drained from closed handles or a failed flush
 	nextLSN uint64
 	horizon uint64 // highest timestamp guaranteed durable
 	flushed uint64 // total records successfully written
+}
+
+// SetObserver installs the flush observer (nil removes it). Set it before
+// serving starts; it feeds the telemetry flush-latency series.
+func (l *Log) SetObserver(o FlushObserver) {
+	l.mu.Lock()
+	l.obs = o
+	l.mu.Unlock()
 }
 
 // handleState is what survives a Handle's close: the slot id plus the
@@ -288,7 +308,15 @@ func (l *Log) Flush() (horizon uint64, err error) {
 	for i := range merged {
 		merged[i].LSN = l.nextLSN + uint64(i)
 	}
-	if err := l.dev.Write(merged); err != nil {
+	start := time.Time{}
+	if l.obs != nil {
+		start = time.Now()
+	}
+	werr := l.dev.Write(merged)
+	if l.obs != nil {
+		l.obs.ObserveFlush(len(merged), time.Since(start), werr)
+	}
+	if err := werr; err != nil {
 		// Re-queue as orphans so nothing is lost — the owning handle may
 		// be closed, or its slot already reused by a fresh handle.
 		for i := range merged {

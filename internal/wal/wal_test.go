@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"ordo/internal/core"
 	"ordo/internal/oplog"
@@ -371,5 +372,50 @@ func TestVerifyCatchesCorruption(t *testing.T) {
 	}
 	if err := Verify([]Record{{LSN: 1, TS: 10, H: 2}, {LSN: 2, TS: 10, H: 1}}); err == nil {
 		t.Error("Verify accepted broken tie order")
+	}
+}
+
+// obsRecorder is a FlushObserver capturing every call for assertions.
+type obsRecorder struct {
+	records []int
+	errs    []error
+}
+
+func (o *obsRecorder) ObserveFlush(records int, d time.Duration, err error) {
+	o.records = append(o.records, records)
+	o.errs = append(o.errs, err)
+}
+
+// TestFlushObserver checks the telemetry hook: every non-empty flush is
+// observed with its record count and outcome, empty flushes are not, and
+// a failing device's error reaches the observer.
+func TestFlushObserver(t *testing.T) {
+	mem := &MemDevice{}
+	fd := &FailingDevice{Inner: mem, OK: 1}
+	l := New(fd, nil)
+	var obs obsRecorder
+	l.SetObserver(&obs)
+
+	h := l.NewHandle()
+	h.Append([]byte("a"))
+	h.Append([]byte("b"))
+	if _, err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Flush(); err != nil { // empty: not observed
+		t.Fatal(err)
+	}
+	h.Append([]byte("c"))
+	if _, err := l.Flush(); err == nil {
+		t.Fatal("flush on failed device succeeded")
+	}
+	if len(obs.records) != 2 {
+		t.Fatalf("observed %d flushes, want 2 (empty flush must be skipped): %v", len(obs.records), obs.records)
+	}
+	if obs.records[0] != 2 || obs.errs[0] != nil {
+		t.Fatalf("first flush observed as (%d, %v), want (2, nil)", obs.records[0], obs.errs[0])
+	}
+	if obs.records[1] != 1 || obs.errs[1] == nil {
+		t.Fatalf("failed flush observed as (%d, %v), want (1, error)", obs.records[1], obs.errs[1])
 	}
 }

@@ -216,7 +216,7 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 			s.Commits, s.Aborts, s.Batches, s.BatchedOps,
 			s.Busy, s.Degraded, s.ClockCmps, s.ClockUncertain,
 			s.WALFlushes, s.WALRecords, s.WALSyncNsP99, s.WALDeviceErrors,
-			s.RecoveredRecords, s.TruncatedBytes,
+			s.WALUnackedWrites, s.RecoveredRecords, s.TruncatedBytes,
 		} {
 			dst = binary.AppendUvarint(dst, v)
 		}
@@ -289,7 +289,7 @@ func decodeResponse(b []byte, inBatch bool) (Response, []byte, error) {
 			&s.Commits, &s.Aborts, &s.Batches, &s.BatchedOps,
 			&s.Busy, &s.Degraded, &s.ClockCmps, &s.ClockUncertain,
 			&s.WALFlushes, &s.WALRecords, &s.WALSyncNsP99, &s.WALDeviceErrors,
-			&s.RecoveredRecords, &s.TruncatedBytes,
+			&s.WALUnackedWrites, &s.RecoveredRecords, &s.TruncatedBytes,
 		} {
 			*field, rest, err = uvarint(rest)
 			if err != nil {

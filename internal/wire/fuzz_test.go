@@ -34,7 +34,7 @@ func seedPayloads(t interface{ Fatal(...any) }) [][]byte {
 			Protocol: "OCC_ORDO", Commits: 10, Aborts: 1, Batches: 4,
 			BatchedOps: 20, Busy: 2, Degraded: 3, ClockCmps: 30, ClockUncertain: 1,
 			WALFlushes: 5, WALRecords: 12, WALSyncNsP99: 40000, WALDeviceErrors: 1,
-			RecoveredRecords: 7, TruncatedBytes: 128,
+			WALUnackedWrites: 2, RecoveredRecords: 7, TruncatedBytes: 128,
 		}},
 	}
 	var out [][]byte

@@ -238,6 +238,7 @@ type Stats struct {
 	WALRecords       uint64 `json:"wal_records"`
 	WALSyncNsP99     uint64 `json:"wal_sync_ns_p99"`
 	WALDeviceErrors  uint64 `json:"wal_device_errors"`
+	WALUnackedWrites uint64 `json:"wal_unacked_writes"`
 	RecoveredRecords uint64 `json:"recovered_records"`
 	TruncatedBytes   uint64 `json:"truncated_bytes"`
 }

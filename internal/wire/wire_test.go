@@ -111,6 +111,7 @@ func TestResponseRoundTrip(t *testing.T) {
 		{Kind: RespStats, Status: StatusOK, Stats: &Stats{
 			Protocol: "OCC_ORDO", Commits: 12, Aborts: 3, Batches: 5,
 			BatchedOps: 40, Busy: 1, Degraded: 4, ClockCmps: 99, ClockUncertain: 2,
+			WALUnackedWrites: 6,
 		}},
 		{Kind: RespStats, Status: StatusOK, Stats: &Stats{}},
 	}
