@@ -1,0 +1,399 @@
+// Command ordo-benchrun is the reproducible end-to-end benchmark harness:
+// it boots an ordod server in-process, drives it with the shared
+// internal/loadgen client pool across a fixed scenario grid, measures the
+// allocation microbenches for the serving hot paths, and emits one
+// schema-versioned benchjson file. A compare subcommand diffs two such
+// files against regression thresholds and exits non-zero past them.
+//
+// Usage:
+//
+//	ordo-benchrun run -out BENCH_6.json -seconds 1 -seed 1
+//	ordo-benchrun compare BENCH_6.json new.json
+//
+// The scenario grid is {read-heavy, write-heavy} x {wal=off, wal=batched}
+// x a -conns list, each cell a freshly booted server on a loopback
+// ephemeral port with a freshly preloaded keyspace — so a run's numbers
+// depend only on the machine, the seed, and the code.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"ordo/internal/benchjson"
+	"ordo/internal/core"
+	"ordo/internal/db"
+	"ordo/internal/db/ycsb"
+	"ordo/internal/loadgen"
+	"ordo/internal/server"
+	"ordo/internal/wal"
+	"ordo/internal/wire"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ordo-benchrun: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  ordo-benchrun run [-out FILE] [-seconds N] [-conns LIST] [-protocol P] [-seed N]
+  ordo-benchrun compare BASE.json CURRENT.json [-max-ops-drop F] [-max-p99-grow F] [-max-alloc-grow F]
+`)
+}
+
+// mix is one workload shape of the grid.
+type mix struct {
+	name  string
+	reads float64
+}
+
+var mixes = []mix{
+	{"read-heavy", 0.95},
+	{"write-heavy", 0.20},
+}
+
+var walModes = []string{"off", "batched"}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var (
+		out     = fs.String("out", "BENCH.json", "output file")
+		seconds = fs.Float64("seconds", 1.0, "measured duration per scenario")
+		connsCS = fs.String("conns", "1,4", "comma-separated connection counts")
+		window  = fs.Int("pipeline", 32, "pipelined requests in flight per connection")
+		records = fs.Int("records", 4096, "keyspace size per scenario")
+		theta   = fs.Float64("theta", 0, "Zipfian skew (0 = uniform)")
+		proto   = fs.String("protocol", "OCC", "engine protocol for every scenario")
+		seed    = fs.Int64("seed", 1, "base RNG seed (connection i uses seed+i)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	connCounts, err := parseConns(*connsCS)
+	if err != nil {
+		return err
+	}
+	p, err := db.ParseProtocol(*proto)
+	if err != nil {
+		return err
+	}
+
+	f := &benchjson.File{
+		Schema: benchjson.SchemaVersion,
+		Meta: benchjson.Meta{
+			CreatedBy:   "ordo-benchrun",
+			GoVersion:   runtime.Version(),
+			GOOS:        runtime.GOOS,
+			GOARCH:      runtime.GOARCH,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			NumCPU:      runtime.NumCPU(),
+			GitRev:      gitRev(),
+			Seed:        *seed,
+			DurationSec: *seconds,
+		},
+	}
+
+	for _, m := range mixes {
+		for _, walMode := range walModes {
+			for _, conns := range connCounts {
+				sc, err := runScenario(p, m, walMode, conns, *window, *records, *theta, *seconds, *seed)
+				if err != nil {
+					return fmt.Errorf("%s: %w", sc.Name, err)
+				}
+				fmt.Printf("%-34s %10.0f ops/s  p50=%-9v p99=%-9v p999=%v\n",
+					sc.Name, sc.OpsPerSec,
+					time.Duration(sc.P50Ns).Round(time.Microsecond),
+					time.Duration(sc.P99Ns).Round(time.Microsecond),
+					time.Duration(sc.P999Ns).Round(time.Microsecond))
+				f.Scenarios = append(f.Scenarios, sc)
+			}
+		}
+	}
+
+	f.Micro = runMicros()
+	for _, mi := range f.Micro {
+		fmt.Printf("%-34s %10.2f allocs/op\n", mi.Name, mi.AllocsPerOp)
+	}
+
+	if err := benchjson.Write(*out, f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d scenarios, %d micros)\n", *out, len(f.Scenarios), len(f.Micro))
+	return nil
+}
+
+func parseConns(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("-conns: bad count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// runScenario boots one fresh server, drives one measured run against it,
+// and tears everything down.
+func runScenario(p db.Protocol, m mix, walMode string, conns, window, records int,
+	theta, seconds float64, seed int64) (benchjson.Scenario, error) {
+	sc := benchjson.Scenario{
+		Name:     fmt.Sprintf("%s/wal=%s/conns=%d", m.name, walMode, conns),
+		Protocol: p.String(),
+		WAL:      walMode,
+		Conns:    conns,
+		Window:   window,
+		Records:  records,
+		Reads:    m.reads,
+		Theta:    theta,
+	}
+
+	// An Ordo-timestamped protocol needs a calibrated hardware clock; the
+	// default OCC grid does not, keeping the harness runnable on machines
+	// without invariant-TSC guarantees.
+	var ordo *core.Ordo
+	if p == db.OCCOrdo || p == db.HekatonOrdo {
+		var err error
+		ordo, _, err = core.CalibrateHardware(core.CalibrationOptions{Runs: 50})
+		if err != nil {
+			return sc, fmt.Errorf("calibration: %w", err)
+		}
+	}
+	engine, err := db.New(p, ycsb.Schema(), ordo)
+	if err != nil {
+		return sc, err
+	}
+
+	cfg := server.Config{DB: engine, Schema: ycsb.Schema()}
+	var closeWAL func()
+	if walMode != "off" {
+		dir, err := os.MkdirTemp("", "ordo-benchrun-wal-")
+		if err != nil {
+			return sc, err
+		}
+		sync := wal.SyncEachWrite
+		if walMode == "batched" {
+			sync = wal.SyncBatched
+		}
+		dev, err := wal.OpenFile(dir, wal.FileConfig{Sync: sync})
+		if err != nil {
+			os.RemoveAll(dir)
+			return sc, err
+		}
+		cfg.WAL = wal.New(dev, nil)
+		closeWAL = func() {
+			dev.Close()
+			os.RemoveAll(dir)
+		}
+	}
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		if closeWAL != nil {
+			closeWAL()
+		}
+		return sc, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		if closeWAL != nil {
+			closeWAL()
+		}
+		return sc, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	res, runErr := loadgen.Run(loadgen.Config{
+		Addr:      ln.Addr().String(),
+		Conns:     conns,
+		Window:    window,
+		Seconds:   seconds,
+		Records:   records,
+		Reads:     m.reads,
+		Theta:     theta,
+		Seed:      seed,
+		DialFor:   5 * time.Second,
+		OpTimeout: 30 * time.Second,
+	})
+
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	shutErr := srv.Shutdown(sctx)
+	cancel()
+	serveErr := <-serveDone
+	if closeWAL != nil {
+		closeWAL()
+	}
+	if runErr != nil {
+		return sc, runErr
+	}
+	if shutErr != nil {
+		return sc, fmt.Errorf("shutdown: %w", shutErr)
+	}
+	if serveErr != nil {
+		return sc, fmt.Errorf("serve: %w", serveErr)
+	}
+
+	overall := res.Overall()
+	sc.Ops = res.Done
+	sc.Conflicts = res.Conflicts
+	sc.Busy = res.Busy
+	sc.ElapsedSec = res.Elapsed.Seconds()
+	sc.OpsPerSec = res.OpsPerSec()
+	sc.P50Ns = overall.Quantile(0.5)
+	sc.P99Ns = overall.Quantile(0.99)
+	sc.P999Ns = overall.Quantile(0.999)
+	return sc, nil
+}
+
+// runMicros measures allocs/op on the serving hot paths with
+// testing.AllocsPerRun — the same quantities the alloc-gate tests assert
+// are zero, recorded here so a regression shows up in the committed
+// numbers too.
+func runMicros() []benchjson.Micro {
+	req := wire.Request{Op: wire.OpPut, Table: 0, Key: 123456,
+		Vals: []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}}
+	resp := wire.Response{Kind: wire.RespRow, Status: wire.StatusOK,
+		Row: []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}}
+
+	var encBuf []byte
+	encReq := testing.AllocsPerRun(2000, func() {
+		p, err := wire.AppendRequest(encBuf[:0], &req)
+		if err != nil {
+			panic(err)
+		}
+		encBuf = p
+	})
+
+	var respBuf []byte
+	encResp := testing.AllocsPerRun(2000, func() {
+		p, err := wire.AppendResponse(respBuf[:0], &resp)
+		if err != nil {
+			panic(err)
+		}
+		respBuf = p
+	})
+
+	payload, err := wire.AppendRequest(nil, &req)
+	if err != nil {
+		panic(err)
+	}
+	var arena wire.Arena
+	decReq := testing.AllocsPerRun(2000, func() {
+		arena.Reset()
+		if _, err := wire.DecodeRequestArena(payload, &arena); err != nil {
+			panic(err)
+		}
+	})
+
+	redoOps := []*wire.Request{&req}
+	var redoBuf []byte
+	encRedo := testing.AllocsPerRun(2000, func() {
+		p, err := server.AppendRedo(redoBuf[:0], redoOps)
+		if err != nil {
+			panic(err)
+		}
+		redoBuf = p
+	})
+
+	return []benchjson.Micro{
+		{Name: "wire_encode_request", AllocsPerOp: encReq},
+		{Name: "wire_encode_response", AllocsPerOp: encResp},
+		{Name: "wire_decode_request_arena", AllocsPerOp: decReq},
+		{Name: "server_redo_encode", AllocsPerOp: encRedo},
+	}
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	var (
+		maxOpsDrop   = fs.Float64("max-ops-drop", 0.40, "tolerated fractional ops/s drop per scenario")
+		maxP99Grow   = fs.Float64("max-p99-grow", 1.00, "tolerated fractional p99 growth per scenario")
+		maxAllocGrow = fs.Float64("max-alloc-grow", 0.5, "tolerated absolute allocs/op growth per micro")
+	)
+	// Accept "compare base cur [flags]" and "compare [flags] base cur".
+	var paths []string
+	rest := args
+	for len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+		paths = append(paths, rest[0])
+		rest = rest[1:]
+	}
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	paths = append(paths, fs.Args()...)
+	if len(paths) != 2 {
+		return fmt.Errorf("compare needs exactly two files, got %d", len(paths))
+	}
+
+	base, err := benchjson.Load(paths[0])
+	if err != nil {
+		return err
+	}
+	cur, err := benchjson.Load(paths[1])
+	if err != nil {
+		return err
+	}
+	r := benchjson.Compare(base, cur, benchjson.Thresholds{
+		MaxOpsDrop:   *maxOpsDrop,
+		MaxP99Grow:   *maxP99Grow,
+		MaxAllocGrow: *maxAllocGrow,
+	})
+	for _, line := range r.Lines {
+		fmt.Println(line)
+	}
+	if !r.OK() {
+		return fmt.Errorf("%d regression(s) past thresholds", len(r.Violations))
+	}
+	fmt.Printf("compare: %s vs %s within thresholds\n", paths[0], paths[1])
+	return nil
+}
+
+// gitRev pulls the VCS revision the binary was built from, when the Go
+// toolchain stamped one.
+func gitRev() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		rev, dirty := "", ""
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
+		}
+		if rev != "" {
+			return rev + dirty
+		}
+	}
+	return "unknown"
+}

@@ -2,6 +2,8 @@
 // over the wire protocol: a pool of closed-loop client connections, each
 // pipelining a window of requests, measuring throughput and per-op-type
 // latency quantiles (p50/p99/p999) from the client side of the socket.
+// The measurement engine lives in internal/loadgen, shared with
+// cmd/ordo-benchrun.
 //
 // Usage:
 //
@@ -17,14 +19,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net"
 	"os"
-	"sync"
 	"time"
 
-	"ordo/internal/db/ycsb"
-	"ordo/internal/hist"
-	"ordo/internal/wire"
+	"ordo/internal/loadgen"
 )
 
 func main() {
@@ -47,356 +45,48 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*addr, *conns, *window, *ops, *seconds, *records,
-		*reads, *theta, *txnOps, *seed, *dialFor, *opTO, *report); err != nil {
+	cfg := loadgen.Config{
+		Addr:        *addr,
+		Conns:       *conns,
+		Window:      *window,
+		Ops:         *ops,
+		Seconds:     *seconds,
+		Records:     *records,
+		Reads:       *reads,
+		Theta:       *theta,
+		TxnOps:      *txnOps,
+		Seed:        *seed,
+		DialFor:     *dialFor,
+		OpTimeout:   *opTO,
+		ReportEvery: *report,
+		ReportTo:    os.Stdout,
+	}
+	res, err := loadgen.Run(cfg)
+	if res != nil {
+		printResult(cfg, res)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "ordo-loadgen: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-// opClasses index the per-type histograms.
-const (
-	clGet = iota
-	clPut
-	clTxn
-	nClasses
-)
-
-var classNames = [nClasses]string{"GET", "PUT", "TXN"}
-
-// workerResult is one connection's tallies. The hists and counters belong
-// to the worker alone until wg.Wait; only tick is shared with the
-// interval reporter, under mu.
-type workerResult struct {
-	hists     [nClasses]hist.H
-	done      uint64 // ops completed OK
-	conflicts uint64 // CONFLICT answers (re-issued)
-	busy      uint64 // BUSY answers (re-issued)
-	err       error
-
-	// reporting turns on tick recording; set once before the worker starts.
-	reporting bool
-	mu        sync.Mutex
-	tick      hist.H // completed ops since the reporter's last drain
-}
-
-func run(addr string, conns, window, ops int, seconds float64, records int,
-	reads, theta float64, txnOps int, seed int64, dialFor, opTO, report time.Duration) error {
-	if conns <= 0 || window <= 0 || records <= 0 {
-		return fmt.Errorf("-conns, -pipeline and -records must be positive")
-	}
-	cfg := ycsb.Config{Records: records, ReadRatio: reads, Theta: theta}
-	if _, err := ycsb.NewGen(cfg, 0); err != nil {
-		return err
-	}
-
-	// Wait for the server, then preload the keyspace on one connection.
-	nc, err := dialRetry(addr, dialFor)
-	if err != nil {
-		return err
-	}
-	if err := preload(wire.NewConn(deadlineConn{nc, opTO}), records, window); err != nil {
-		nc.Close()
-		return fmt.Errorf("preload: %w", err)
-	}
-	nc.Close()
-
-	var deadline time.Time
-	if seconds > 0 {
-		deadline = time.Now().Add(time.Duration(seconds * float64(time.Second)))
-	}
-
-	results := make([]workerResult, conns)
-	for i := range results {
-		results[i].reporting = report > 0
-	}
-	start := time.Now()
-	var wg sync.WaitGroup
-	for i := 0; i < conns; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			gen, err := ycsb.NewGen(cfg, seed+int64(i))
-			if err != nil {
-				results[i].err = err
-				return
-			}
-			results[i].err = runConn(addr, gen, &results[i], window, ops, deadline, txnOps, opTO)
-		}(i)
-	}
-	var stopReport chan struct{}
-	if report > 0 {
-		stopReport = make(chan struct{})
-		go reporter(results, report, stopReport)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	if stopReport != nil {
-		close(stopReport)
-	}
-
-	// Aggregate.
-	var total workerResult
-	for i := range results {
-		if results[i].err != nil && total.err == nil {
-			total.err = fmt.Errorf("conn %d: %w", i, results[i].err)
-		}
-		total.done += results[i].done
-		total.conflicts += results[i].conflicts
-		total.busy += results[i].busy
-		for c := 0; c < nClasses; c++ {
-			total.hists[c].Merge(&results[i].hists[c])
-		}
-	}
-
+// printResult renders the run summary: aggregate throughput, re-issue
+// counts, per-class latency lines, and the server's own counters.
+func printResult(cfg loadgen.Config, res *loadgen.Result) {
 	fmt.Printf("ran %d ops on %d conns (pipeline %d) in %v: %.0f ops/s\n",
-		total.done, conns, window, elapsed.Round(time.Millisecond),
-		float64(total.done)/elapsed.Seconds())
-	fmt.Printf("re-issued: %d conflicts, %d busy\n", total.conflicts, total.busy)
-	for c := 0; c < nClasses; c++ {
-		if total.hists[c].Count() == 0 {
+		res.Done, cfg.Conns, cfg.Window, res.Elapsed.Round(time.Millisecond),
+		res.OpsPerSec())
+	fmt.Printf("re-issued: %d conflicts, %d busy\n", res.Conflicts, res.Busy)
+	for c := 0; c < loadgen.NClasses; c++ {
+		if res.Hists[c].Count() == 0 {
 			continue
 		}
-		fmt.Printf("%-4s %s\n", classNames[c], total.hists[c].String())
+		fmt.Printf("%-4s %s\n", loadgen.ClassNames[c], res.Hists[c].String())
 	}
-
-	// Close with the server's own view of the run.
-	if nc, err := dialRetry(addr, dialFor); err == nil {
-		c := wire.NewConn(deadlineConn{nc, opTO})
-		if resp, err := c.Do(&wire.Request{Op: wire.OpStats}); err == nil && resp.Stats != nil {
-			s := resp.Stats
-			fmt.Printf("server [%s]: commits=%d aborts=%d batches=%d batched_ops=%d shed=%d clock_cmps=%d uncertain=%d\n",
-				s.Protocol, s.Commits, s.Aborts, s.Batches, s.BatchedOps,
-				s.Busy, s.ClockCmps, s.ClockUncertain)
-		}
-		nc.Close()
+	if s := res.Server; s != nil {
+		fmt.Printf("server [%s]: commits=%d aborts=%d batches=%d batched_ops=%d shed=%d clock_cmps=%d uncertain=%d\n",
+			s.Protocol, s.Commits, s.Aborts, s.Batches, s.BatchedOps,
+			s.Busy, s.ClockCmps, s.ClockUncertain)
 	}
-
-	if total.err != nil {
-		return total.err
-	}
-	if total.done == 0 {
-		return fmt.Errorf("no ops completed")
-	}
-	return nil
-}
-
-// reporter prints one progress line per interval: throughput and latency
-// quantiles over the ops completed since the previous line, from a merge
-// of every worker's tick histogram (drained and reset under its lock).
-func reporter(results []workerResult, every time.Duration, stop <-chan struct{}) {
-	t := time.NewTicker(every)
-	defer t.Stop()
-	last := time.Now()
-	for {
-		select {
-		case <-stop:
-			return
-		case now := <-t.C:
-			var h hist.H
-			for i := range results {
-				r := &results[i]
-				r.mu.Lock()
-				h.Merge(&r.tick)
-				r.tick = hist.H{}
-				r.mu.Unlock()
-			}
-			dt := now.Sub(last).Seconds()
-			last = now
-			if h.Count() == 0 || dt <= 0 {
-				fmt.Printf("interval: 0 ops\n")
-				continue
-			}
-			fmt.Printf("interval: %.0f ops/s p50=%v p99=%v p999=%v\n",
-				float64(h.Count())/dt,
-				time.Duration(h.Quantile(0.5)).Round(time.Microsecond),
-				time.Duration(h.Quantile(0.99)).Round(time.Microsecond),
-				time.Duration(h.Quantile(0.999)).Round(time.Microsecond))
-		}
-	}
-}
-
-// deadlineConn arms a fresh deadline before every Read and Write, turning
-// -op-timeout into a per-I/O bound: any single blocking syscall past it
-// surfaces a net timeout error instead of hanging the connection forever
-// (e.g. against a wedged or drop-everything server).
-type deadlineConn struct {
-	net.Conn
-	d time.Duration
-}
-
-func (c deadlineConn) Read(p []byte) (int, error) {
-	if c.d > 0 {
-		c.Conn.SetReadDeadline(time.Now().Add(c.d))
-	}
-	return c.Conn.Read(p)
-}
-
-func (c deadlineConn) Write(p []byte) (int, error) {
-	if c.d > 0 {
-		c.Conn.SetWriteDeadline(time.Now().Add(c.d))
-	}
-	return c.Conn.Write(p)
-}
-
-// dialRetry dials addr, retrying while the server comes up.
-func dialRetry(addr string, dialFor time.Duration) (net.Conn, error) {
-	var lastErr error
-	stop := time.Now().Add(dialFor)
-	for {
-		nc, err := net.Dial("tcp", addr)
-		if err == nil {
-			return nc, nil
-		}
-		lastErr = err
-		if time.Now().After(stop) {
-			return nil, fmt.Errorf("dial %s: %w", addr, lastErr)
-		}
-		time.Sleep(100 * time.Millisecond)
-	}
-}
-
-// preload pipelines INSERTs for the whole keyspace; DUPLICATE answers are
-// fine (another loadgen or an earlier run already loaded the row).
-func preload(c *wire.Conn, records, window int) error {
-	inFlight := 0
-	next := 0
-	answered := 0
-	for answered < records {
-		for inFlight < window && next < records {
-			vals := make([]uint64, ycsb.Cols)
-			for j := range vals {
-				vals[j] = uint64(next)
-			}
-			if err := c.WriteRequest(&wire.Request{Op: wire.OpInsert, Key: uint64(next), Vals: vals}); err != nil {
-				return err
-			}
-			next++
-			inFlight++
-		}
-		if err := c.Flush(); err != nil {
-			return err
-		}
-		resp, err := c.ReadResponse()
-		if err != nil {
-			return err
-		}
-		if resp.Status != wire.StatusOK && resp.Status != wire.StatusDuplicate {
-			return fmt.Errorf("key %d: %v", answered, resp.Status)
-		}
-		answered++
-		inFlight--
-	}
-	return nil
-}
-
-// pendingOp is one in-flight request with its issue time and class.
-type pendingOp struct {
-	req   wire.Request
-	class int
-	sent  time.Time
-}
-
-// runConn is one closed-loop connection: keep the pipeline full, read one
-// response, classify it, refill.
-func runConn(addr string, gen *ycsb.Gen, res *workerResult,
-	window, ops int, deadline time.Time, txnOps int, opTO time.Duration) error {
-	nc, err := net.Dial("tcp", addr)
-	if err != nil {
-		return err
-	}
-	defer nc.Close()
-	c := wire.NewConn(deadlineConn{nc, opTO})
-
-	mkReq := func() (wire.Request, int) {
-		if txnOps > 0 {
-			sub := make([]wire.Request, txnOps)
-			for i := range sub {
-				sub[i] = simpleReq(gen)
-			}
-			return wire.Request{Op: wire.OpTxn, Ops: sub}, clTxn
-		}
-		r := simpleReq(gen)
-		if r.Op == wire.OpGet {
-			return r, clGet
-		}
-		return r, clPut
-	}
-
-	timed := !deadline.IsZero()
-	stopIssuing := func(issued int) bool {
-		if timed {
-			return time.Now().After(deadline)
-		}
-		return issued >= ops
-	}
-
-	var inFlight []pendingOp
-	issued := 0
-	send := func(p pendingOp) error {
-		if err := c.WriteRequest(&p.req); err != nil {
-			return err
-		}
-		p.sent = time.Now()
-		inFlight = append(inFlight, p)
-		return nil
-	}
-
-	for {
-		for len(inFlight) < window && !stopIssuing(issued) {
-			req, class := mkReq()
-			if err := send(pendingOp{req: req, class: class}); err != nil {
-				return err
-			}
-			issued++
-		}
-		if len(inFlight) == 0 {
-			return nil // issued everything and drained
-		}
-		if err := c.Flush(); err != nil {
-			return err
-		}
-		resp, err := c.ReadResponse()
-		if err != nil {
-			return fmt.Errorf("after %d ops: %w", res.done, err)
-		}
-		p := inFlight[0]
-		inFlight = inFlight[1:]
-		switch resp.Status {
-		case wire.StatusOK:
-			d := time.Since(p.sent)
-			res.hists[p.class].RecordDuration(d)
-			if res.reporting {
-				res.mu.Lock()
-				res.tick.RecordDuration(d)
-				res.mu.Unlock()
-			}
-			res.done++
-		case wire.StatusConflict:
-			res.conflicts++
-			if err := send(p); err != nil {
-				return err
-			}
-		case wire.StatusBusy:
-			res.busy++
-			if err := send(p); err != nil {
-				return err
-			}
-		default:
-			return fmt.Errorf("op %v answered %v", p.req.Op, resp.Status)
-		}
-	}
-}
-
-// simpleReq draws one GET or PUT from the generator.
-func simpleReq(gen *ycsb.Gen) wire.Request {
-	k := gen.Key()
-	if gen.IsRead() {
-		return wire.Request{Op: wire.OpGet, Key: k}
-	}
-	vals := make([]uint64, ycsb.Cols)
-	for j := range vals {
-		vals[j] = k
-	}
-	return wire.Request{Op: wire.OpPut, Key: k, Vals: vals}
 }

@@ -1,0 +1,235 @@
+// Package benchjson defines the schema-versioned benchmark result file the
+// ordo-benchrun harness emits (BENCH_<n>.json at the repo root) and the
+// threshold comparison CI uses to catch regressions between two such files.
+//
+// The format is deliberately flat and append-only: new fields may be added,
+// existing fields never change meaning, and SchemaVersion bumps only on an
+// incompatible reshape — so a committed baseline stays comparable across
+// the PRs that follow it.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// SchemaVersion is the current file schema. Compare refuses to diff files
+// from different schemas: a silent cross-schema comparison would report
+// nonsense as regression (or worse, as a pass).
+const SchemaVersion = 1
+
+// File is one harness run: metadata, the macro scenario grid, and the
+// allocation microbenches.
+type File struct {
+	Schema    int        `json:"schema"`
+	Meta      Meta       `json:"meta"`
+	Scenarios []Scenario `json:"scenarios"`
+	Micro     []Micro    `json:"micro"`
+}
+
+// Meta records everything needed to judge whether two files are comparable
+// and to reproduce a run.
+type Meta struct {
+	CreatedBy  string `json:"created_by"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GitRev     string `json:"git_rev"`
+	Seed       int64  `json:"seed"`
+	// DurationSec is the per-scenario wall-clock budget the run was invoked
+	// with. It is metadata, not part of scenario names, so a short CI run
+	// still matches a longer committed baseline scenario-for-scenario.
+	DurationSec float64 `json:"duration_sec"`
+}
+
+// Scenario is one cell of the macro grid: a workload mix driven through a
+// freshly booted server, measured from the client side.
+type Scenario struct {
+	// Name identifies the cell (e.g. "read-heavy/wal=off/conns=4") and is
+	// the comparison key; it must not embed anything machine- or
+	// duration-specific.
+	Name     string  `json:"name"`
+	Protocol string  `json:"protocol"`
+	WAL      string  `json:"wal"` // "off", "flush", or "batched"
+	Conns    int     `json:"conns"`
+	Window   int     `json:"window"`
+	Records  int     `json:"records"`
+	Reads    float64 `json:"reads"`
+	Theta    float64 `json:"theta"`
+
+	Ops        uint64  `json:"ops"`
+	Conflicts  uint64  `json:"conflicts"`
+	Busy       uint64  `json:"busy"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	P50Ns      uint64  `json:"p50_ns"`
+	P99Ns      uint64  `json:"p99_ns"`
+	P999Ns     uint64  `json:"p999_ns"`
+}
+
+// Micro is one allocation microbench: allocs per operation on a hot path,
+// measured with testing.AllocsPerRun semantics (deterministic, so its
+// comparison threshold can be tight even across machines).
+type Micro struct {
+	Name        string  `json:"name"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Load reads and validates one benchmark file.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != SchemaVersion {
+		return nil, fmt.Errorf("%s: schema %d, this tool speaks %d", path, f.Schema, SchemaVersion)
+	}
+	return &f, nil
+}
+
+// Write marshals f to path, indented for reviewable diffs.
+func Write(path string, f *File) error {
+	buf, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// Thresholds bound how much worse the current file may be than the
+// baseline before Compare reports a violation. Fractions are relative
+// (0.25 = 25% worse); MaxAllocGrow is absolute allocs/op, because the
+// baseline is usually exactly zero.
+type Thresholds struct {
+	// MaxOpsDrop is the tolerated fractional throughput drop per scenario.
+	MaxOpsDrop float64
+	// MaxP99Grow is the tolerated fractional p99 latency growth per
+	// scenario.
+	MaxP99Grow float64
+	// MaxAllocGrow is the tolerated absolute allocs/op growth per micro.
+	MaxAllocGrow float64
+}
+
+// Report is a comparison's outcome: human-readable per-metric lines, and
+// the subset that violated thresholds. OK reports whether the current file
+// is within thresholds on every metric the baseline has.
+type Report struct {
+	Lines      []string
+	Violations []string
+}
+
+// OK reports whether no threshold was violated.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Compare diffs cur against base. Scenarios and micros are matched by
+// name; a baseline entry missing from cur is itself a violation (a
+// benchmark that silently disappears is indistinguishable from one that
+// regressed), while entries new in cur are informational only.
+func Compare(base, cur *File, th Thresholds) *Report {
+	r := &Report{}
+	violate := func(format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		r.Lines = append(r.Lines, "FAIL "+msg)
+		r.Violations = append(r.Violations, msg)
+	}
+	pass := func(format string, args ...any) {
+		r.Lines = append(r.Lines, "ok   "+fmt.Sprintf(format, args...))
+	}
+
+	curScen := make(map[string]*Scenario, len(cur.Scenarios))
+	for i := range cur.Scenarios {
+		curScen[cur.Scenarios[i].Name] = &cur.Scenarios[i]
+	}
+	for i := range base.Scenarios {
+		b := &base.Scenarios[i]
+		c, ok := curScen[b.Name]
+		if !ok {
+			violate("%s: scenario missing from current file", b.Name)
+			continue
+		}
+		if b.OpsPerSec > 0 {
+			drop := (b.OpsPerSec - c.OpsPerSec) / b.OpsPerSec
+			if drop > th.MaxOpsDrop {
+				violate("%s: ops/s %.0f -> %.0f (-%.1f%%, limit %.1f%%)",
+					b.Name, b.OpsPerSec, c.OpsPerSec, drop*100, th.MaxOpsDrop*100)
+			} else {
+				pass("%s: ops/s %.0f -> %.0f (%+.1f%%)",
+					b.Name, b.OpsPerSec, c.OpsPerSec, -drop*100)
+			}
+		}
+		if b.P99Ns > 0 {
+			grow := (float64(c.P99Ns) - float64(b.P99Ns)) / float64(b.P99Ns)
+			if grow > th.MaxP99Grow {
+				violate("%s: p99 %dns -> %dns (+%.1f%%, limit %.1f%%)",
+					b.Name, b.P99Ns, c.P99Ns, grow*100, th.MaxP99Grow*100)
+			} else {
+				pass("%s: p99 %dns -> %dns (%+.1f%%)", b.Name, b.P99Ns, c.P99Ns, grow*100)
+			}
+		}
+	}
+
+	curMicro := make(map[string]*Micro, len(cur.Micro))
+	for i := range cur.Micro {
+		curMicro[cur.Micro[i].Name] = &cur.Micro[i]
+	}
+	for i := range base.Micro {
+		b := &base.Micro[i]
+		c, ok := curMicro[b.Name]
+		if !ok {
+			violate("%s: micro missing from current file", b.Name)
+			continue
+		}
+		grow := c.AllocsPerOp - b.AllocsPerOp
+		if grow > th.MaxAllocGrow {
+			violate("%s: allocs/op %.2f -> %.2f (+%.2f, limit %.2f)",
+				b.Name, b.AllocsPerOp, c.AllocsPerOp, grow, th.MaxAllocGrow)
+		} else {
+			pass("%s: allocs/op %.2f -> %.2f", b.Name, b.AllocsPerOp, c.AllocsPerOp)
+		}
+	}
+
+	// New entries, for the reader's benefit.
+	var news []string
+	for name := range curScen {
+		if !hasScenario(base, name) {
+			news = append(news, name)
+		}
+	}
+	for name := range curMicro {
+		if !hasMicro(base, name) {
+			news = append(news, name)
+		}
+	}
+	sort.Strings(news)
+	for _, name := range news {
+		r.Lines = append(r.Lines, "new  "+name)
+	}
+	return r
+}
+
+func hasScenario(f *File, name string) bool {
+	for i := range f.Scenarios {
+		if f.Scenarios[i].Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func hasMicro(f *File, name string) bool {
+	for i := range f.Micro {
+		if f.Micro[i].Name == name {
+			return true
+		}
+	}
+	return false
+}

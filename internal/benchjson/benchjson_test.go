@@ -1,0 +1,130 @@
+package benchjson
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample() *File {
+	return &File{
+		Schema: SchemaVersion,
+		Meta:   Meta{CreatedBy: "test", GOMAXPROCS: 4, Seed: 1},
+		Scenarios: []Scenario{
+			{Name: "read-heavy/wal=off/conns=4", OpsPerSec: 100000, P50Ns: 1000, P99Ns: 5000, P999Ns: 9000, Ops: 5000},
+			{Name: "write-heavy/wal=batched/conns=1", OpsPerSec: 20000, P50Ns: 4000, P99Ns: 30000, P999Ns: 80000, Ops: 1000},
+		},
+		Micro: []Micro{
+			{Name: "wire_encode_request", AllocsPerOp: 0},
+			{Name: "server_redo_encode", AllocsPerOp: 0},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	f := sample()
+	if err := Write(path, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion || len(got.Scenarios) != 2 || len(got.Micro) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.Scenarios[0].Name != f.Scenarios[0].Name || got.Scenarios[0].OpsPerSec != f.Scenarios[0].OpsPerSec {
+		t.Fatalf("scenario mismatch: %+v", got.Scenarios[0])
+	}
+}
+
+func TestLoadRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	f := sample()
+	f.Schema = SchemaVersion + 1
+	if err := Write(path, f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+// TestCompareSelfIsClean is the acceptance-criterion shape: a file diffed
+// against itself must pass with zero violations.
+func TestCompareSelfIsClean(t *testing.T) {
+	f := sample()
+	r := Compare(f, f, Thresholds{})
+	if !r.OK() {
+		t.Fatalf("self-compare violations: %v", r.Violations)
+	}
+	if len(r.Lines) == 0 {
+		t.Fatal("self-compare produced no report lines")
+	}
+}
+
+func TestCompareCatchesRegressions(t *testing.T) {
+	base, cur := sample(), sample()
+	cur.Scenarios[0].OpsPerSec = base.Scenarios[0].OpsPerSec * 0.5 // -50%
+	cur.Scenarios[1].P99Ns = base.Scenarios[1].P99Ns * 3           // +200%
+	cur.Micro[0].AllocsPerOp = 2
+
+	th := Thresholds{MaxOpsDrop: 0.3, MaxP99Grow: 0.5, MaxAllocGrow: 0.5}
+	r := Compare(base, cur, th)
+	if r.OK() {
+		t.Fatal("regressions not flagged")
+	}
+	wantSubstrings := []string{"ops/s", "p99", "allocs/op"}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, v := range r.Violations {
+			if strings.Contains(v, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("no violation mentioning %q in %v", want, r.Violations)
+		}
+	}
+}
+
+func TestCompareToleratesWithinThreshold(t *testing.T) {
+	base, cur := sample(), sample()
+	cur.Scenarios[0].OpsPerSec = base.Scenarios[0].OpsPerSec * 0.8 // -20%
+	cur.Scenarios[1].P99Ns = uint64(float64(base.Scenarios[1].P99Ns) * 1.3)
+
+	th := Thresholds{MaxOpsDrop: 0.3, MaxP99Grow: 0.5, MaxAllocGrow: 0.5}
+	if r := Compare(base, cur, th); !r.OK() {
+		t.Fatalf("within-threshold drift flagged: %v", r.Violations)
+	}
+}
+
+func TestCompareFlagsMissingEntries(t *testing.T) {
+	base, cur := sample(), sample()
+	cur.Scenarios = cur.Scenarios[:1]
+	cur.Micro = cur.Micro[:1]
+	r := Compare(base, cur, Thresholds{MaxOpsDrop: 1, MaxP99Grow: 1, MaxAllocGrow: 10})
+	if len(r.Violations) != 2 {
+		t.Fatalf("violations=%v, want exactly the two missing entries", r.Violations)
+	}
+}
+
+func TestCompareListsNewEntries(t *testing.T) {
+	base, cur := sample(), sample()
+	cur.Scenarios = append(cur.Scenarios, Scenario{Name: "brand-new", OpsPerSec: 1})
+	r := Compare(base, cur, Thresholds{})
+	if !r.OK() {
+		t.Fatalf("new entry treated as violation: %v", r.Violations)
+	}
+	found := false
+	for _, l := range r.Lines {
+		if strings.HasPrefix(l, "new  ") && strings.Contains(l, "brand-new") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("new entry not reported: %v", r.Lines)
+	}
+}

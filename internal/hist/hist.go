@@ -11,6 +11,7 @@ package hist
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"strings"
 	"time"
@@ -138,8 +139,17 @@ func (h *H) Mean() float64 {
 // Max returns the largest recorded value, exactly.
 func (h *H) Max() uint64 { return h.max }
 
-// Quantile returns an estimate of the q-quantile (q in [0,1]) with relative
-// error bounded by the bucket width. Quantile(1) returns the exact max.
+// Quantile returns an estimate of the q-quantile (q in [0,1]) using
+// nearest-rank (ceil) semantics: the k-th smallest recorded value with
+// k = ceil(q·n). The estimate is the inclusive upper bound of that value's
+// bucket (capped at the exact max), so it never under-reports — it is ≥ the
+// exact sample quantile and within one bucket width (relative error
+// ≤ 1/2^mantBits) above it. Quantile(1) returns the exact max.
+//
+// Returning the bucket's lower bound here would systematically under-report
+// tail latencies by up to the bucket width: every sample in the bucket is
+// ≥ the lower bound, so p99/p999 would quote a latency better than what at
+// least 1% of requests actually saw.
 func (h *H) Quantile(q float64) uint64 {
 	if h.n == 0 {
 		return 0
@@ -150,15 +160,24 @@ func (h *H) Quantile(q float64) uint64 {
 	if q < 0 {
 		q = 0
 	}
-	rank := uint64(q * float64(h.n))
-	if rank >= h.n {
-		rank = h.n - 1
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
 	}
 	var cum uint64
 	for i, c := range h.counts {
 		cum += c
-		if cum > rank {
-			return value(i)
+		if cum >= rank {
+			ub := upperBound(i)
+			// The max lives in the highest non-empty bucket; its upper bound
+			// may overshoot the largest value actually recorded.
+			if ub > h.max {
+				ub = h.max
+			}
+			return ub
 		}
 	}
 	return h.max

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -19,30 +20,46 @@ import (
 // into so the normal connection-teardown path runs.
 var errWorkerPanic = errors.New("server: worker panicked")
 
+// maxRecycledBuf bounds the frame buffers kept on the connection's free
+// list: a rare giant frame gets its slab dropped to the GC instead of
+// pinning MaxFrame-sized memory for the connection's lifetime.
+const maxRecycledBuf = 64 << 10
+
 // item is one queued unit of work. Exactly one of the flags is set for
-// non-request items; otherwise req holds a decoded request.
+// non-request items; otherwise payload holds a raw undecoded frame and op
+// its peeked opcode byte. The reader does no decoding — the worker decodes
+// into its arena so a pipelined run costs no per-request allocations — but
+// the opcode is always payload byte 0, so the reader can peek it for run
+// classification without parsing.
 type item struct {
-	req wire.Request
+	payload []byte
+	op      wire.Op
 	// shed marks an op that arrived past the queue bound: the worker
 	// answers BUSY in order without touching the engine.
 	shed bool
-	// protoErr marks an undecodable frame: the worker answers ERR and the
-	// connection closes after it (the stream offset is unrecoverable).
+	// protoErr marks a frame-level read failure: the worker answers ERR and
+	// the connection closes after it (the stream offset is unrecoverable).
 	protoErr bool
 	// enq is the enqueue time for the queue-wait histogram; zero when
 	// telemetry is off, so the plain path never calls time.Now.
 	enq time.Time
 }
 
-// serverConn is one connection's state: a reader goroutine that decodes
-// and enqueues, and a worker goroutine that executes, responds in request
-// order, and flushes when the pipeline goes idle. The engine session is
-// touched only by the worker, matching db.Session's single-goroutine
-// contract.
+// serverConn is one connection's state: a reader goroutine that frames and
+// enqueues, and a worker goroutine that decodes, executes, responds in
+// request order, and flushes when the pipeline goes idle. The engine
+// session is touched only by the worker, matching db.Session's
+// single-goroutine contract.
 type serverConn struct {
-	srv  *Server
-	nc   net.Conn
-	wc   *wire.Conn
+	srv *Server
+	nc  net.Conn
+	// br is the reader goroutine's buffered stream; bw is the worker's
+	// response batcher. Splitting the wire.Conn pair this way lets the
+	// worker coalesce a pipelined window's responses into one Write while
+	// the reader owns framing alone.
+	br *bufio.Reader
+	bw *wire.BatchWriter
+
 	sess db.Session
 	// wh is the connection's WAL append buffer in durable mode (nil
 	// otherwise). Only the worker touches it; closed in workLoop teardown
@@ -56,6 +73,10 @@ type serverConn struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	pending []item
+	// freeBufs recycles frame payload buffers between the worker (which
+	// returns them after a run) and the reader (which fills them), so a
+	// steady-state pipeline reads every frame into memory it already owns.
+	freeBufs [][]byte
 	// readerDone means no further items will be enqueued (EOF, error, or
 	// drain); the worker exits once pending empties.
 	readerDone bool
@@ -64,6 +85,22 @@ type serverConn struct {
 	// client, write stall): the deadline errors that follow are expected
 	// and must not count as protocol faults.
 	evicting bool
+
+	// Worker-owned scratch, reused across runs so the execBatch path is
+	// allocation-free in steady state. arena backs decoded rows and TXN
+	// sub-ops; its carvings live until the next run's Reset, which is after
+	// every response of the current run has been encoded.
+	arena     wire.Arena
+	reqs      []wire.Request
+	resps     []wire.Response
+	runBuf    []item
+	redoBuf   []byte
+	writePtrs []*wire.Request
+	// protoFatal is set by the worker when a well-framed payload fails to
+	// decode: the decoded prefix was served, the bad op answered ERR, and
+	// nothing past it can be trusted, so the connection must close after a
+	// flush.
+	protoFatal bool
 
 	// Session-counter baselines for delta-flushing into server metrics.
 	lastCommits, lastAborts uint64
@@ -79,7 +116,8 @@ func newServerConn(s *Server, nc net.Conn) *serverConn {
 	c := &serverConn{
 		srv:  s,
 		nc:   nc,
-		wc:   wire.NewConn(nc),
+		br:   bufio.NewReaderSize(nc, 64<<10),
+		bw:   wire.NewBatchWriter(nc),
 		sess: s.cfg.DB.NewSession(),
 	}
 	if s.gc != nil {
@@ -139,8 +177,38 @@ func (c *serverConn) evict(reason string) {
 	}
 }
 
-// readLoop decodes frames and enqueues work until EOF, error, drain, or
-// idle eviction.
+// getBuf pops a recycled frame buffer, or nil when none is free (ReadFrame
+// allocates one that will join the cycle once the worker returns it).
+func (c *serverConn) getBuf() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := len(c.freeBufs); n > 0 {
+		b := c.freeBufs[n-1]
+		c.freeBufs[n-1] = nil
+		c.freeBufs = c.freeBufs[:n-1]
+		return b
+	}
+	return nil
+}
+
+// recycleRun returns a finished run's payload buffers to the free list and
+// clears the items so nothing pins them.
+func (c *serverConn) recycleRun(run []item) {
+	c.mu.Lock()
+	for i := range run {
+		b := run[i].payload
+		if b != nil && cap(b) <= maxRecycledBuf && len(c.freeBufs) < c.hardCap() {
+			c.freeBufs = append(c.freeBufs, b[:0])
+		}
+		run[i] = item{}
+	}
+	c.mu.Unlock()
+}
+
+// readLoop reads raw frames and enqueues them until EOF, error, drain, or
+// idle eviction. It never decodes payloads: framing is the reader's whole
+// job, so a slow decode or execution cannot stall frame intake, and the
+// worker's arena owns every decoded byte.
 func (c *serverConn) readLoop() {
 	defer func() {
 		if r := recover(); r != nil {
@@ -152,13 +220,17 @@ func (c *serverConn) readLoop() {
 	}()
 	for {
 		c.armReadDeadline()
-		req, err := c.wc.ReadRequest()
+		payload, err := wire.ReadFrame(c.br, c.getBuf())
 		if err != nil {
 			c.classifyReadError(err)
 			c.finishRead()
 			return
 		}
-		c.enqueue(item{req: req})
+		var op wire.Op
+		if len(payload) > 0 {
+			op = wire.Op(payload[0])
+		}
+		c.enqueue(item{payload: payload, op: op})
 	}
 }
 
@@ -175,9 +247,12 @@ func (c *serverConn) finishRead() {
 // socket, and a peer reset are a quiet hangup. A deadline error is quiet
 // only when the server itself armed it — a drain or an eviction in
 // progress — or when it is the idle deadline firing, which evicts the
-// client. Any other failure (including a timeout nobody armed) is a
-// protocol fault: logged, counted, and answered with ERR before the
-// connection closes.
+// client. An oversize length prefix is a special protocol fault: the
+// varint was consumed but the payload was not, so every byte that follows
+// would be misparsed as frame headers — the connection is evicted as
+// hostile and closes after the ERR. Any other failure (including a timeout
+// nobody armed) is an ordinary protocol fault: logged, counted, and
+// answered with ERR before the connection closes.
 func (c *serverConn) classifyReadError(err error) {
 	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) ||
 		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
@@ -195,6 +270,9 @@ func (c *serverConn) classifyReadError(err error) {
 			c.evict("idle for " + d.String())
 			return
 		}
+	}
+	if errors.Is(err, wire.ErrFrameTooBig) {
+		c.evict("oversize frame")
 	}
 	c.srv.m.protoErrs.Add(1)
 	c.srv.logf("server: %v: protocol error: %v", c.nc.RemoteAddr(), err)
@@ -236,7 +314,7 @@ func (c *serverConn) workLoop() {
 			// Reader is gone and nothing is queued: flush any buffered
 			// responses and finish.
 			c.armWriteDeadline()
-			c.wc.Flush()
+			c.bw.Flush()
 			c.flushSessionStats()
 			return
 		}
@@ -258,6 +336,8 @@ func (c *serverConn) workLoop() {
 		if c.tel != nil {
 			c.observeRun(run, time.Since(start))
 		}
+		protoErrTail := run[len(run)-1].protoErr
+		c.recycleRun(run)
 		if err != nil {
 			c.noteWriteError(err)
 			c.abortReader()
@@ -265,17 +345,26 @@ func (c *serverConn) workLoop() {
 			return
 		}
 		c.flushSessionStats()
+		if c.protoFatal {
+			// A worker-detected decode error: the reader may still be
+			// pumping frames, so the flush cannot ride the idle-queue path —
+			// push the prefix responses and the ERR out explicitly, then die.
+			c.armWriteDeadline()
+			c.bw.Flush()
+			c.abortReader()
+			return
+		}
 		if last {
 			// The queue looked empty after the pop: flush so the client
 			// sees its responses now rather than at the next batch.
 			c.armWriteDeadline()
-			if err := c.wc.Flush(); err != nil {
+			if err := c.bw.Flush(); err != nil {
 				c.noteWriteError(err)
 				c.abortReader()
 				return
 			}
 		}
-		if run[len(run)-1].protoErr {
+		if protoErrTail {
 			// The stream is unrecoverable past a protocol error.
 			c.abortReader()
 			return
@@ -297,11 +386,11 @@ func (c *serverConn) runOne(run []item) (err error) {
 			// written only after the engine returns), so answer ERR for each
 			// of its ops to keep the stream ordered, then kill the conn.
 			for range run {
-				if werr := c.wc.WriteResponse(&wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr}); werr != nil {
+				if werr := c.bw.WriteResponse(&wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr}); werr != nil {
 					break
 				}
 			}
-			c.wc.Flush()
+			c.bw.Flush()
 			err = errWorkerPanic
 		}
 	}()
@@ -325,10 +414,11 @@ func (c *serverConn) noteWriteError(err error) {
 
 // popRun pops the next execution unit under c.mu: either one special item
 // (shed, protocol error, TXN, STATS) or a maximal contiguous run of simple
-// ops up to MaxBatch. It reports whether the queue drained.
+// ops up to MaxBatch, classified by the peeked opcode byte. It reports
+// whether the queue drained.
 func (c *serverConn) popRun() ([]item, bool) {
 	special := func(it *item) bool {
-		return it.shed || it.protoErr || !it.req.Op.Simple()
+		return it.shed || it.protoErr || !it.op.Simple()
 	}
 	n := 1
 	if !special(&c.pending[0]) {
@@ -336,7 +426,10 @@ func (c *serverConn) popRun() ([]item, bool) {
 			n++
 		}
 	}
-	run := make([]item, n)
+	if cap(c.runBuf) < n {
+		c.runBuf = make([]item, n)
+	}
+	run := c.runBuf[:n]
 	copy(run, c.pending[:n])
 	rest := copy(c.pending, c.pending[n:])
 	for i := rest; i < len(c.pending); i++ {
@@ -371,31 +464,73 @@ func (c *serverConn) flushSessionStats() {
 	}
 }
 
-// process executes one run and writes its responses in order.
+// process decodes one run into the worker's arena and executes it, writing
+// responses in order. A payload that fails to decode ends the connection:
+// the decoded prefix is served normally, the bad op answers ERR, and
+// protoFatal tells workLoop to flush and tear down — the frames already
+// queued past it are dropped, because a client that framed garbage cannot
+// be trusted to have meant them.
 func (c *serverConn) process(run []item) error {
 	if len(run) == 1 {
 		it := &run[0]
 		switch {
 		case it.shed:
 			c.srv.m.busy.Add(1)
-			return c.wc.WriteResponse(&wire.Response{Kind: wire.RespEmpty, Status: wire.StatusBusy})
+			return c.bw.WriteResponse(&wire.Response{Kind: wire.RespEmpty, Status: wire.StatusBusy})
 		case it.protoErr:
-			return c.wc.WriteResponse(&wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr})
-		case it.req.Op == wire.OpTxn:
-			resp := c.execTxn(&it.req)
-			return c.wc.WriteResponse(&resp)
-		case it.req.Op == wire.OpStats:
-			resp := c.execStats()
-			return c.wc.WriteResponse(&resp)
+			return c.bw.WriteResponse(&wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr})
 		}
 	}
-	resps := c.execBatch(run)
-	for i := range resps {
-		if err := c.wc.WriteResponse(&resps[i]); err != nil {
+	c.arena.Reset()
+	reqs := c.reqs[:0]
+	var derr error
+	for i := range run {
+		req, err := wire.DecodeRequestArena(run[i].payload, &c.arena)
+		if err != nil {
+			derr = err
+			break
+		}
+		reqs = append(reqs, req)
+	}
+	c.reqs = reqs
+	if len(reqs) == 1 && reqs[0].Op == wire.OpTxn {
+		resp := c.execTxn(&reqs[0])
+		if err := c.bw.WriteResponse(&resp); err != nil {
 			return err
 		}
+	} else if len(reqs) == 1 && reqs[0].Op == wire.OpStats {
+		resp := c.execStats()
+		if err := c.bw.WriteResponse(&resp); err != nil {
+			return err
+		}
+	} else if len(reqs) > 0 {
+		resps := c.execBatch(reqs)
+		for i := range resps {
+			if err := c.bw.WriteResponse(&resps[i]); err != nil {
+				return err
+			}
+		}
+	}
+	if derr != nil {
+		c.srv.m.protoErrs.Add(1)
+		c.srv.logf("server: %v: protocol error: %v", c.nc.RemoteAddr(), derr)
+		c.protoFatal = true
+		return c.bw.WriteResponse(&wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr})
 	}
 	return nil
+}
+
+// scratchResps returns a zeroed response slice of length n backed by the
+// worker's reusable buffer; valid until the next call.
+func (c *serverConn) scratchResps(n int) []wire.Response {
+	if cap(c.resps) < n {
+		c.resps = make([]wire.Response, n)
+	}
+	resps := c.resps[:n]
+	for i := range resps {
+		resps[i] = wire.Response{}
+	}
+	return resps
 }
 
 // countOp tallies one executed simple op into server metrics.
@@ -415,10 +550,10 @@ func (c *serverConn) countOp(op wire.Op) {
 // countOps tallies a finished run's ops, skipping ops whose final status is
 // ERR (schema-validation failures, unattributable engine errors): only ops
 // the engine actually answered count as served.
-func (c *serverConn) countOps(run []item, resps []wire.Response) {
-	for i := range run {
+func (c *serverConn) countOps(reqs []wire.Request, resps []wire.Response) {
+	for i := range reqs {
 		if resps[i].Status != wire.StatusErr {
-			c.countOp(run[i].req.Op)
+			c.countOp(reqs[i].Op)
 		}
 	}
 }
@@ -437,14 +572,17 @@ func (c *serverConn) countOps(run []item, resps []wire.Response) {
 // group-commit flush that covers the append; a WAL failure flips the
 // would-be-acked writes to ERR, so the client never sees an
 // acknowledgment the log cannot honor.
-func (c *serverConn) execBatch(run []item) []wire.Response {
-	if gc := c.srv.gc; gc != nil && gc.failed() != nil && runHasWrites(run) {
-		return c.execDeviceDegraded(run)
+//
+// The returned responses are backed by worker scratch and valid until the
+// next run.
+func (c *serverConn) execBatch(reqs []wire.Request) []wire.Response {
+	if gc := c.srv.gc; gc != nil && gc.failed() != nil && runHasWrites(reqs) {
+		return c.execDeviceDegraded(reqs)
 	}
-	resps := make([]wire.Response, len(run))
+	resps := c.scratchResps(len(reqs))
 	err := db.RunWithRetry(c.sess, c.srv.cfg.MaxRetries, func(tx db.Tx) error {
-		for i := range run {
-			r, err := c.execOp(tx, &run[i].req)
+		for i := range reqs {
+			r, err := c.execOp(tx, &reqs[i])
 			if err != nil {
 				return err
 			}
@@ -453,16 +591,16 @@ func (c *serverConn) execBatch(run []item) []wire.Response {
 		return nil
 	})
 	if err == nil {
-		c.walCommitRun(run, resps)
+		c.walCommitRun(reqs, resps)
 		c.srv.m.batches.Add(1)
-		c.srv.m.batchedOps.Add(uint64(len(run)))
-		c.countOps(run, resps)
+		c.srv.m.batchedOps.Add(uint64(len(reqs)))
+		c.countOps(reqs, resps)
 		return resps
 	}
 	c.srv.m.degraded.Add(1)
-	if len(run) == 1 {
+	if len(reqs) == 1 {
 		resps[0] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusOf(err)}
-		c.countOps(run, resps)
+		c.countOps(reqs, resps)
 		return resps
 	}
 	// Degraded path: per-op transactions for status attribution. Each
@@ -473,8 +611,8 @@ func (c *serverConn) execBatch(run []item) []wire.Response {
 		ackSeq uint64
 		walIdx []int
 	)
-	for i := range run {
-		req := &run[i].req
+	for i := range reqs {
+		req := &reqs[i]
 		err := db.RunWithRetry(c.sess, c.srv.cfg.MaxRetries, func(tx db.Tx) error {
 			r, err := c.execOp(tx, req)
 			if err != nil {
@@ -514,7 +652,7 @@ func (c *serverConn) execBatch(run []item) []wire.Response {
 			}
 		}
 	}
-	c.countOps(run, resps)
+	c.countOps(reqs, resps)
 	return resps
 }
 
@@ -524,9 +662,9 @@ func isWrite(op wire.Op) bool {
 }
 
 // runHasWrites reports whether any op in the run mutates engine state.
-func runHasWrites(run []item) bool {
-	for i := range run {
-		if isWrite(run[i].req.Op) {
+func runHasWrites(reqs []wire.Request) bool {
+	for i := range reqs {
+		if isWrite(reqs[i].Op) {
 			return true
 		}
 	}
@@ -537,11 +675,11 @@ func runHasWrites(run []item) bool {
 // serve from the intact in-memory engine, writes are refused with ERR
 // without touching the engine, because their durability could never be
 // acknowledged.
-func (c *serverConn) execDeviceDegraded(run []item) []wire.Response {
+func (c *serverConn) execDeviceDegraded(reqs []wire.Request) []wire.Response {
 	c.srv.m.degraded.Add(1)
-	resps := make([]wire.Response, len(run))
-	for i := range run {
-		req := &run[i].req
+	resps := c.scratchResps(len(reqs))
+	for i := range reqs {
+		req := &reqs[i]
 		if req.Op != wire.OpGet {
 			resps[i] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr}
 			continue
@@ -558,7 +696,7 @@ func (c *serverConn) execDeviceDegraded(run []item) []wire.Response {
 			resps[i] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusOf(err)}
 		}
 	}
-	c.countOps(run, resps)
+	c.countOps(reqs, resps)
 	return resps
 }
 
@@ -580,20 +718,25 @@ func (c *serverConn) commitTS() uint64 {
 // walAppend logs one committed op's redo record without waiting for
 // durability; the caller waits once on the run's last durability sequence.
 func (c *serverConn) walAppend(req *wire.Request) (uint64, error) {
-	redo, err := encodeRedo([]*wire.Request{req})
+	c.writePtrs = append(c.writePtrs[:0], req)
+	redo, err := AppendRedo(c.redoBuf[:0], c.writePtrs)
 	if err != nil {
 		return 0, err
 	}
+	c.redoBuf = redo
 	return c.srv.gc.append(c.wh, c.commitTS(), redo)
 }
 
 // walCommitWrites logs a committed transaction's write-set as one redo
-// record and blocks until it is durable.
+// record and blocks until it is durable. The encode buffer is the worker's
+// reusable scratch: wal.Handle.AppendAt copies the record, so the buffer
+// is free again the moment append returns.
 func (c *serverConn) walCommitWrites(writes []*wire.Request) error {
-	redo, err := encodeRedo(writes)
+	redo, err := AppendRedo(c.redoBuf[:0], writes)
 	if err != nil {
 		return err
 	}
+	c.redoBuf = redo
 	if c.tel == nil {
 		return c.srv.gc.commit(c.wh, c.commitTS(), redo)
 	}
@@ -609,16 +752,17 @@ func (c *serverConn) walCommitWrites(writes []*wire.Request) error {
 // process restarts they remain visible to readers despite the ERR — the
 // read-of-unacked-data window DESIGN.md §10 describes, counted under
 // wal_unacked_writes.
-func (c *serverConn) walCommitRun(run []item, resps []wire.Response) {
+func (c *serverConn) walCommitRun(reqs []wire.Request, resps []wire.Response) {
 	if c.wh == nil {
 		return
 	}
-	var writes []*wire.Request
-	for i := range run {
-		if isWrite(run[i].req.Op) && resps[i].Status == wire.StatusOK {
-			writes = append(writes, &run[i].req)
+	writes := c.writePtrs[:0]
+	for i := range reqs {
+		if isWrite(reqs[i].Op) && resps[i].Status == wire.StatusOK {
+			writes = append(writes, &reqs[i])
 		}
 	}
+	c.writePtrs = writes
 	if len(writes) == 0 {
 		return
 	}
@@ -626,8 +770,8 @@ func (c *serverConn) walCommitRun(run []item, resps []wire.Response) {
 		return
 	}
 	c.srv.m.walUnackedWrites.Add(uint64(len(writes)))
-	for i := range run {
-		if isWrite(run[i].req.Op) && resps[i].Status == wire.StatusOK {
+	for i := range reqs {
+		if isWrite(reqs[i].Op) && resps[i].Status == wire.StatusOK {
 			resps[i] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr}
 		}
 	}
@@ -660,12 +804,13 @@ func (c *serverConn) execTxn(req *wire.Request) wire.Response {
 		return wire.Response{Kind: wire.RespBatch, Status: wire.StatusOf(err)}
 	}
 	if c.wh != nil {
-		var writes []*wire.Request
+		writes := c.writePtrs[:0]
 		for i := range req.Ops {
 			if isWrite(req.Ops[i].Op) && resps[i].Status == wire.StatusOK {
 				writes = append(writes, &req.Ops[i])
 			}
 		}
+		c.writePtrs = writes
 		if len(writes) > 0 {
 			if werr := c.walCommitWrites(writes); werr != nil {
 				c.srv.m.walUnackedWrites.Add(uint64(len(writes)))

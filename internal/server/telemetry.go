@@ -260,10 +260,10 @@ func (c *serverConn) observeRun(run []item, d time.Duration) {
 		if it.shed || it.protoErr {
 			continue
 		}
-		if cl := opClassOf(it.req.Op); cl >= 0 {
+		if cl := opClassOf(it.op); cl >= 0 {
 			c.tel.op[cl].ObserveDuration(d)
 		}
-		if it.req.Op.Simple() {
+		if it.op.Simple() {
 			simple++
 		}
 	}

@@ -238,25 +238,39 @@ func (gc *groupCommitter) closeAndWait() {
 // most MaxBatch simple ops or one TXN's wire.MaxTxnOps, both far below it.
 const maxRedoOps = 1 << 20
 
-// encodeRedo flattens a committed run's write-set into one redo payload:
-// a uvarint op count, then each op as a uvarint-length-prefixed request
-// encoding. Reusing the wire codec means the redo format inherits its
-// validation and fuzz coverage.
-func encodeRedo(ops []*wire.Request) ([]byte, error) {
-	buf := binary.AppendUvarint(nil, uint64(len(ops)))
+// AppendRedo flattens a committed run's write-set into one redo payload
+// appended to dst: a uvarint op count, then each op as a
+// uvarint-length-prefixed request encoding. Reusing the wire codec means
+// the redo format inherits its validation and fuzz coverage; appending to a
+// caller-owned buffer means the group-commit path encodes every record into
+// scratch it already owns. Each op's length prefix is reserved at maximum
+// varint width, the op encoded in place, and the prefix backfilled with the
+// payload shifted down — one buffer, no per-op staging allocation.
+func AppendRedo(dst []byte, ops []*wire.Request) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, uint64(len(ops)))
 	for _, op := range ops {
-		p, err := wire.AppendRequest(nil, op)
-		if err != nil {
-			return nil, err
+		base := len(dst)
+		const reserve = binary.MaxVarintLen32
+		for i := 0; i < reserve; i++ {
+			dst = append(dst, 0)
 		}
-		buf = binary.AppendUvarint(buf, uint64(len(p)))
-		buf = append(buf, p...)
+		p, err := wire.AppendRequest(dst, op)
+		if err != nil {
+			return dst[:0], err
+		}
+		dst = p
+		n := len(dst) - base - reserve
+		w := binary.PutUvarint(dst[base:], uint64(n))
+		if w < reserve {
+			copy(dst[base+w:], dst[base+reserve:])
+			dst = dst[:base+w+n]
+		}
 	}
-	return buf, nil
+	return dst, nil
 }
 
-// decodeRedo parses one redo payload back into its write-set.
-func decodeRedo(data []byte) ([]wire.Request, error) {
+// DecodeRedo parses one redo payload back into its write-set.
+func DecodeRedo(data []byte) ([]wire.Request, error) {
 	n, k := binary.Uvarint(data)
 	if k <= 0 {
 		return nil, errors.New("server: redo: bad op count")
@@ -310,7 +324,7 @@ func Replay(d db.DB, recs []wal.Record) (ReplayStats, error) {
 	sess := d.NewSession()
 	for i := range recs {
 		r := &recs[i]
-		ops, err := decodeRedo(r.Data)
+		ops, err := DecodeRedo(r.Data)
 		if err != nil {
 			return st, fmt.Errorf("server: replay LSN %d: %w", r.LSN, err)
 		}

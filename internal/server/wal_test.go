@@ -25,11 +25,11 @@ func TestRedoRoundTrip(t *testing.T) {
 		},
 	}
 	for si, ops := range sets {
-		redo, err := encodeRedo(ops)
+		redo, err := AppendRedo(nil, ops)
 		if err != nil {
 			t.Fatalf("set %d: encode: %v", si, err)
 		}
-		got, err := decodeRedo(redo)
+		got, err := DecodeRedo(redo)
 		if err != nil {
 			t.Fatalf("set %d: decode: %v", si, err)
 		}
@@ -46,14 +46,14 @@ func TestRedoRoundTrip(t *testing.T) {
 			}
 		}
 		// Trailing garbage and truncation must both be detected.
-		if _, err := decodeRedo(append(append([]byte(nil), redo...), 0xFF)); err == nil {
+		if _, err := DecodeRedo(append(append([]byte(nil), redo...), 0xFF)); err == nil {
 			t.Fatalf("set %d: trailing byte accepted", si)
 		}
-		if _, err := decodeRedo(redo[:len(redo)-1]); err == nil {
+		if _, err := DecodeRedo(redo[:len(redo)-1]); err == nil {
 			t.Fatalf("set %d: truncated payload accepted", si)
 		}
 	}
-	if _, err := decodeRedo(nil); err == nil {
+	if _, err := DecodeRedo(nil); err == nil {
 		t.Fatal("empty payload accepted")
 	}
 }
@@ -253,14 +253,14 @@ func TestDurableDeviceFailureDegrades(t *testing.T) {
 // second pass must converge on the same state (upsert semantics) while
 // counting the anomalies it absorbed.
 func TestReplayIdempotent(t *testing.T) {
-	redo1, err := encodeRedo([]*wire.Request{
+	redo1, err := AppendRedo(nil, []*wire.Request{
 		{Op: wire.OpInsert, Table: 0, Key: 1, Vals: row(1)},
 		{Op: wire.OpInsert, Table: 0, Key: 2, Vals: row(2)},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	redo2, err := encodeRedo([]*wire.Request{
+	redo2, err := AppendRedo(nil, []*wire.Request{
 		{Op: wire.OpPut, Table: 0, Key: 1, Vals: row(10)},
 		{Op: wire.OpDelete, Table: 0, Key: 2},
 	})

@@ -1,0 +1,72 @@
+package wire
+
+// Arena is a scratch allocator for decoded request payloads: row value
+// slices and TXN sub-op slices are carved out of reusable blocks instead of
+// being freshly allocated per decode. It exists for the server's hot path,
+// where decoded requests do not outlive the batch they execute in — the
+// owner decodes a run with DecodeRequestArena, executes it, writes the
+// responses, and calls Reset, after which every slice handed out since the
+// previous Reset is invalid.
+//
+// Growing a block never invalidates slices already carved: when the current
+// block is too small a fresh, larger block is allocated and earlier carvings
+// keep referencing the old one (which the next Reset abandons to the
+// collector). In steady state the blocks are big enough for a whole run and
+// decode performs zero allocations.
+//
+// An Arena is not safe for concurrent use; the zero value is ready.
+type Arena struct {
+	vals []uint64
+	voff int
+	reqs []Request
+	roff int
+}
+
+// arenaMinBlock sizes the first block of each kind; past it blocks double.
+const arenaMinBlock = 64
+
+// Reset invalidates everything carved since the previous Reset and makes
+// the arena's current blocks reusable.
+func (a *Arena) Reset() {
+	a.voff, a.roff = 0, 0
+}
+
+// vals64 carves an n-value slice. The result is non-nil even for n == 0 (a
+// decoded zero-column row must stay distinguishable from "no row") and has
+// its capacity clipped so appends cannot clobber a neighboring carving.
+func (a *Arena) vals64(n int) []uint64 {
+	// len(a.vals) == 0 must also grow: carving [0:0:0] out of a nil block
+	// would produce a nil slice and break the non-nil empty-row contract.
+	if a.voff+n > len(a.vals) || len(a.vals) == 0 {
+		size := 2 * len(a.vals)
+		if size < n {
+			size = n
+		}
+		if size < arenaMinBlock {
+			size = arenaMinBlock
+		}
+		a.vals = make([]uint64, size)
+		a.voff = 0
+	}
+	s := a.vals[a.voff : a.voff+n : a.voff+n]
+	a.voff += n
+	return s
+}
+
+// requests carves an n-request slice, capacity-clipped like vals64.
+func (a *Arena) requests(n int) []Request {
+	if a.roff+n > len(a.reqs) || len(a.reqs) == 0 {
+		size := 2 * len(a.reqs)
+		if size < n {
+			size = n
+		}
+		if size < arenaMinBlock {
+			size = arenaMinBlock
+		}
+		a.reqs = make([]Request, size)
+		a.roff = 0
+	}
+	s := a.reqs[a.roff : a.roff+n : a.roff+n]
+	a.roff += n
+	return s
+}

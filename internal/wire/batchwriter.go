@@ -1,0 +1,96 @@
+package wire
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// DefaultFlushThreshold is the buffered-byte level past which BatchWriter
+// flushes on its own.
+const DefaultFlushThreshold = 64 << 10
+
+// BatchWriter coalesces framed messages into one contiguous buffer so a
+// pipelined window of responses reaches the socket as a single Write — the
+// server's answer to a client's pipelined flush. Unlike bufio.Writer it
+// never splits a frame across two syscalls mid-stream on its own: bytes
+// accumulate until Flush (or the threshold trips at a frame boundary), then
+// leave in one Write.
+//
+// Encoding reuses one scratch buffer, so steady-state writes allocate
+// nothing. A write error is sticky: a partial socket write leaves the
+// stream mid-frame, and emitting anything further would desynchronize the
+// peer. Not safe for concurrent use.
+type BatchWriter struct {
+	w       io.Writer
+	buf     []byte // framed messages since the last flush
+	scratch []byte // payload encode scratch, reused across messages
+	thresh  int
+	err     error // sticky stream error
+}
+
+// NewBatchWriter wraps w with the default flush threshold.
+func NewBatchWriter(w io.Writer) *BatchWriter {
+	return &BatchWriter{w: w, thresh: DefaultFlushThreshold}
+}
+
+// append frames one encoded payload into the buffer and flushes past the
+// threshold.
+func (b *BatchWriter) append(payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooBig
+	}
+	b.buf = binary.AppendUvarint(b.buf, uint64(len(payload)))
+	b.buf = append(b.buf, payload...)
+	if len(b.buf) >= b.thresh {
+		return b.Flush()
+	}
+	return nil
+}
+
+// WriteResponse encodes and frames r into the buffer. An encoding error
+// leaves the stream intact (nothing was buffered); only transport errors
+// from a threshold flush are sticky.
+func (b *BatchWriter) WriteResponse(r *Response) error {
+	if b.err != nil {
+		return b.err
+	}
+	payload, err := AppendResponse(b.scratch[:0], r)
+	if err != nil {
+		return err
+	}
+	b.scratch = payload[:0]
+	return b.append(payload)
+}
+
+// WriteRequest encodes and frames r into the buffer, for clients batching
+// a pipeline window.
+func (b *BatchWriter) WriteRequest(r *Request) error {
+	if b.err != nil {
+		return b.err
+	}
+	payload, err := AppendRequest(b.scratch[:0], r)
+	if err != nil {
+		return err
+	}
+	b.scratch = payload[:0]
+	return b.append(payload)
+}
+
+// Flush writes everything buffered in one Write and resets the buffer.
+func (b *BatchWriter) Flush() error {
+	if b.err != nil {
+		return b.err
+	}
+	if len(b.buf) == 0 {
+		return nil
+	}
+	_, err := b.w.Write(b.buf)
+	b.buf = b.buf[:0]
+	if err != nil {
+		b.err = err
+	}
+	return err
+}
+
+// Buffered returns the bytes accumulated since the last flush.
+func (b *BatchWriter) Buffered() int { return len(b.buf) }

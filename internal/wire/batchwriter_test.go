@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestBatchWriterStreamEquivalence: a window of responses written through
+// BatchWriter produces byte-for-byte the same stream as per-frame
+// WriteFrame, arrives in one Write, and decodes back in order.
+func TestBatchWriterStreamEquivalence(t *testing.T) {
+	resps := []Response{
+		{Kind: RespEmpty, Status: StatusOK},
+		{Kind: RespRow, Status: StatusOK, Row: []uint64{7, 8, 9}},
+		{Kind: RespEmpty, Status: StatusBusy},
+		{Kind: RespRow, Status: StatusOK, Row: []uint64{}},
+		{Kind: RespBatch, Status: StatusOK, Batch: []Response{
+			{Kind: RespEmpty, Status: StatusNotFound},
+		}},
+	}
+
+	var want bytes.Buffer
+	for i := range resps {
+		p, err := AppendResponse(nil, &resps[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteFrame(&want, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sink := &countingWriter{}
+	bw := NewBatchWriter(sink)
+	for i := range resps {
+		if err := bw.WriteResponse(&resps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sink.writes != 0 {
+		t.Fatalf("writer hit the stream before Flush: %d writes", sink.writes)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.writes != 1 {
+		t.Fatalf("window flushed in %d writes, want 1", sink.writes)
+	}
+	if !bytes.Equal(sink.buf.Bytes(), want.Bytes()) {
+		t.Fatalf("batched stream differs from per-frame stream:\n got %x\nwant %x",
+			sink.buf.Bytes(), want.Bytes())
+	}
+	if bw.Buffered() != 0 {
+		t.Fatalf("Buffered()=%d after flush", bw.Buffered())
+	}
+}
+
+type countingWriter struct {
+	buf    bytes.Buffer
+	writes int
+	err    error
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	w.writes++
+	return w.buf.Write(p)
+}
+
+// TestBatchWriterThreshold: crossing the threshold flushes on its own, at a
+// frame boundary.
+func TestBatchWriterThreshold(t *testing.T) {
+	sink := &countingWriter{}
+	bw := NewBatchWriter(sink)
+	bw.thresh = 64
+	resp := Response{Kind: RespRow, Status: StatusOK, Row: []uint64{1, 2, 3, 4, 5}}
+	for i := 0; i < 20; i++ {
+		if err := bw.WriteResponse(&resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sink.writes == 0 {
+		t.Fatal("threshold never triggered a flush")
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Whatever the write segmentation, the byte stream must still decode to
+	// the 20 responses in order.
+	br := bufio.NewReader(bytes.NewReader(sink.buf.Bytes()))
+	for i := 0; i < 20; i++ {
+		payload, err := ReadFrame(br, nil)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got, err := DecodeResponse(payload)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Status != StatusOK || len(got.Row) != 5 {
+			t.Fatalf("frame %d decoded wrong: %+v", i, got)
+		}
+	}
+}
+
+// TestBatchWriterStickyError: once the underlying writer fails, every
+// subsequent call repeats the error instead of emitting a mid-frame stream.
+func TestBatchWriterStickyError(t *testing.T) {
+	sink := &countingWriter{}
+	bw := NewBatchWriter(sink)
+	resp := Response{Kind: RespEmpty, Status: StatusOK}
+	if err := bw.WriteResponse(&resp); err != nil {
+		t.Fatal(err)
+	}
+	injected := errors.New("boom")
+	sink.err = injected
+	if err := bw.Flush(); !errors.Is(err, injected) {
+		t.Fatalf("flush error = %v, want %v", err, injected)
+	}
+	if err := bw.WriteResponse(&resp); !errors.Is(err, injected) {
+		t.Fatalf("write after failure = %v, want sticky %v", err, injected)
+	}
+	if err := bw.Flush(); !errors.Is(err, injected) {
+		t.Fatalf("flush after failure = %v, want sticky %v", err, injected)
+	}
+}

@@ -51,16 +51,22 @@ func appendRow(dst []byte, vals []uint64) []byte {
 	return dst
 }
 
-// row decodes a column-count-prefixed row. The returned slice is freshly
-// allocated — it never aliases b, so frame buffers can be reused. A
-// zero-column row decodes to a non-nil empty slice to stay distinguishable
-// from "no row".
-func row(b []byte) ([]uint64, []byte, error) {
+// row decodes a column-count-prefixed row. The returned slice never aliases
+// b, so frame buffers can be reused: it is freshly allocated when a is nil,
+// or carved from the arena (valid until its Reset) otherwise. A zero-column
+// row decodes to a non-nil empty slice to stay distinguishable from
+// "no row".
+func row(b []byte, a *Arena) ([]uint64, []byte, error) {
 	n, rest, err := count(b, MaxCols, "column")
 	if err != nil {
 		return nil, nil, err
 	}
-	vals := make([]uint64, n)
+	var vals []uint64
+	if a != nil {
+		vals = a.vals64(n)
+	} else {
+		vals = make([]uint64, n)
+	}
 	for i := range vals {
 		vals[i], rest, err = uvarint(rest)
 		if err != nil {
@@ -113,7 +119,16 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 // consumed; trailing bytes are a protocol error. Decoded slices never alias
 // b.
 func DecodeRequest(b []byte) (Request, error) {
-	r, rest, err := decodeRequest(b, false)
+	return DecodeRequestArena(b, nil)
+}
+
+// DecodeRequestArena is DecodeRequest with the decoded row and sub-op
+// slices carved from a (freshly allocated when a is nil): the zero-alloc
+// decode path for a server worker that owns the requests only until the
+// batch finishes. The decoded request is valid until a.Reset; it still
+// never aliases b.
+func DecodeRequestArena(b []byte, a *Arena) (Request, error) {
+	r, rest, err := decodeRequest(b, false, a)
 	if err != nil {
 		return Request{}, err
 	}
@@ -123,7 +138,7 @@ func DecodeRequest(b []byte) (Request, error) {
 	return r, nil
 }
 
-func decodeRequest(b []byte, inTxn bool) (Request, []byte, error) {
+func decodeRequest(b []byte, inTxn bool, a *Arena) (Request, []byte, error) {
 	var r Request
 	if len(b) == 0 {
 		return r, nil, fmt.Errorf("request opcode: %w", ErrTruncated)
@@ -145,7 +160,7 @@ func decodeRequest(b []byte, inTxn bool) (Request, []byte, error) {
 			return r, nil, fmt.Errorf("%v key: %w", r.Op, err)
 		}
 		if r.Op == OpPut || r.Op == OpInsert {
-			r.Vals, rest, err = row(rest)
+			r.Vals, rest, err = row(rest, a)
 			if err != nil {
 				return r, nil, fmt.Errorf("%v row: %w", r.Op, err)
 			}
@@ -159,9 +174,13 @@ func decodeRequest(b []byte, inTxn bool) (Request, []byte, error) {
 		if err != nil {
 			return r, nil, err
 		}
-		r.Ops = make([]Request, n)
+		if a != nil {
+			r.Ops = a.requests(n)
+		} else {
+			r.Ops = make([]Request, n)
+		}
 		for i := range r.Ops {
-			r.Ops[i], rest, err = decodeRequest(rest, true)
+			r.Ops[i], rest, err = decodeRequest(rest, true, a)
 			if err != nil {
 				return r, nil, fmt.Errorf("TXN op %d: %w", i, err)
 			}
@@ -254,7 +273,7 @@ func decodeResponse(b []byte, inBatch bool) (Response, []byte, error) {
 		return r, b, nil
 	case RespRow:
 		var err error
-		r.Row, b, err = row(b)
+		r.Row, b, err = row(b, nil)
 		if err != nil {
 			return r, nil, fmt.Errorf("response row: %w", err)
 		}

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -22,6 +23,11 @@ type Conn struct {
 	bw   *bufio.Writer
 	rbuf []byte // frame payload scratch, reused across reads
 	wbuf []byte // encode scratch, reused across writes
+	// rerr poisons the read side after a frame-level failure that leaves
+	// the stream desynchronized (an oversize length prefix whose payload
+	// was never consumed): any further read would misparse payload bytes
+	// as frame headers, so it returns the original error instead.
+	rerr error
 }
 
 // NewConn wraps rw.
@@ -55,10 +61,25 @@ func (c *Conn) WriteResponse(r *Response) error {
 // Flush pushes buffered frames to the underlying stream.
 func (c *Conn) Flush() error { return c.bw.Flush() }
 
-// ReadRequest reads and decodes one request frame.
-func (c *Conn) ReadRequest() (Request, error) {
+// readFrame reads one frame, enforcing the desync poison: after
+// ErrFrameTooBig the length varint has been consumed but the payload has
+// not, so the next byte on the stream is payload, not a frame header —
+// every subsequent read repeats the error rather than misparse it.
+func (c *Conn) readFrame() ([]byte, error) {
+	if c.rerr != nil {
+		return nil, c.rerr
+	}
 	buf, err := ReadFrame(c.br, c.rbuf)
 	c.rbuf = buf
+	if errors.Is(err, ErrFrameTooBig) {
+		c.rerr = err
+	}
+	return buf, err
+}
+
+// ReadRequest reads and decodes one request frame.
+func (c *Conn) ReadRequest() (Request, error) {
+	buf, err := c.readFrame()
 	if err != nil {
 		return Request{}, err
 	}
@@ -67,8 +88,7 @@ func (c *Conn) ReadRequest() (Request, error) {
 
 // ReadResponse reads and decodes one response frame.
 func (c *Conn) ReadResponse() (Response, error) {
-	buf, err := ReadFrame(c.br, c.rbuf)
-	c.rbuf = buf
+	buf, err := c.readFrame()
 	if err != nil {
 		return Response{}, err
 	}
@@ -76,13 +96,15 @@ func (c *Conn) ReadResponse() (Response, error) {
 }
 
 // Do writes r, flushes, and reads the single response — the unpipelined
-// convenience path for tools and tests.
+// convenience path for tools and tests. Every failure carries wire context
+// naming the phase, so callers can attribute a broken exchange to the
+// request write, the flush, or the response read.
 func (c *Conn) Do(r *Request) (Response, error) {
 	if err := c.WriteRequest(r); err != nil {
-		return Response{}, err
+		return Response{}, fmt.Errorf("wire: writing request: %w", err)
 	}
 	if err := c.Flush(); err != nil {
-		return Response{}, err
+		return Response{}, fmt.Errorf("wire: flushing request: %w", err)
 	}
 	resp, err := c.ReadResponse()
 	if err != nil {

@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// TestConnReadPoisonedAfterOversizeFrame: an oversize length prefix leaves
+// the stream desynchronized (varint consumed, payload not). If the reader
+// kept going, the payload bytes — attacker-controlled — would be parsed as
+// fresh frame headers. The Conn must instead repeat ErrFrameTooBig on every
+// subsequent read, even though a perfectly valid frame follows in the
+// buffer.
+func TestConnReadPoisonedAfterOversizeFrame(t *testing.T) {
+	var stream bytes.Buffer
+
+	// One valid frame first, to prove reads work before the poison.
+	good, err := AppendResponse(nil, &Response{Kind: RespEmpty, Status: StatusOK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&stream, good); err != nil {
+		t.Fatal(err)
+	}
+
+	// Oversize header: length > MaxFrame, no payload behind it.
+	var hdr [binary.MaxVarintLen32]byte
+	n := binary.PutUvarint(hdr[:], uint64(MaxFrame)+1)
+	stream.Write(hdr[:n])
+
+	// Followed by bytes that would decode as a valid frame if the reader
+	// desynchronized and treated them as a new header.
+	if err := WriteFrame(&stream, good); err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewConn(&readWriter{r: &stream})
+	if _, err := c.ReadResponse(); err != nil {
+		t.Fatalf("first read: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.ReadResponse(); !errors.Is(err, ErrFrameTooBig) {
+			t.Fatalf("read %d after oversize frame: err=%v, want ErrFrameTooBig", i, err)
+		}
+	}
+}
+
+// readWriter glues a reader and a discard writer into an io.ReadWriter for
+// NewConn.
+type readWriter struct{ r *bytes.Buffer }
+
+func (rw *readWriter) Read(p []byte) (int, error)  { return rw.r.Read(p) }
+func (rw *readWriter) Write(p []byte) (int, error) { return len(p), nil }

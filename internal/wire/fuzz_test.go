@@ -64,6 +64,21 @@ func FuzzDecodeFrame(f *testing.F) {
 		f.Add(p)
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// The arena decode path must be observationally identical to the
+		// allocating one: same error outcome, same decoded value — including
+		// across a Reset-and-reuse cycle, which is how the server uses it.
+		var arena Arena
+		for pass := 0; pass < 2; pass++ {
+			areq, aerr := DecodeRequestArena(data, &arena)
+			req, err := DecodeRequest(data)
+			if (err == nil) != (aerr == nil) {
+				t.Fatalf("pass %d: arena decode error mismatch: %v vs %v", pass, aerr, err)
+			}
+			if err == nil && !reflect.DeepEqual(normalizeReq(req), normalizeReq(areq)) {
+				t.Fatalf("pass %d: arena decode mismatch:\n plain %+v\n arena %+v", pass, req, areq)
+			}
+			arena.Reset()
+		}
 		if req, err := DecodeRequest(data); err == nil {
 			enc, err := AppendRequest(nil, &req)
 			if err != nil {
