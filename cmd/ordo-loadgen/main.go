@@ -10,6 +10,18 @@
 //	ordo-loadgen -addr 127.0.0.1:7421 -conns 4 -ops 10000
 //	ordo-loadgen -seconds 2 -reads 0.5 -theta 0.9
 //	ordo-loadgen -txn-ops 2            # TXN frames of 2 ops (paper §6.5 shape)
+//	ordo-loadgen -replicas 127.0.0.1:7422    # probe follower read-your-writes
+//	ordo-loadgen -sweep -replicas 127.0.0.1:7422  # leader/follower checksum compare
+//
+// With -replicas, each listed follower gets a dedicated prober alongside
+// the bulk load: write on the leader, read the ack's durability token back
+// through the follower's GET_AT, counting NOT_YET answers and staleness
+// violations and reporting the ack-to-visible p99. Any staleness violation
+// exits 1.
+//
+// With -sweep, no load runs: every key in [0, records) is read from -addr
+// and digested; each -replicas follower is then re-swept until its digest
+// matches (bounded by -sweep-wait), so a converged pair exits 0.
 //
 // CONFLICT and BUSY responses are legitimate protocol answers: the op is
 // re-issued and counted separately. Any ERR status, decode failure or
@@ -20,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"ordo/internal/loadgen"
@@ -42,8 +55,30 @@ func main() {
 			"per-I/O deadline; a read or flush exceeding it fails the run instead of hanging (0 disables)")
 		report = flag.Duration("report-interval", 0,
 			"print ops/s and latency quantiles for each interval while running (0 disables)")
+		replicas = flag.String("replicas", "",
+			"comma-separated follower addresses to probe (read fan-out with a read-your-writes check)")
+		sweep = flag.Bool("sweep", false,
+			"no load: checksum every key in [0, records) on -addr, then verify each -replicas follower converges to the same digest")
+		sweepWait = flag.Duration("sweep-wait", 30*time.Second,
+			"how long -sweep keeps re-reading a lagging follower before declaring divergence")
 	)
 	flag.Parse()
+
+	var replicaAddrs []string
+	if *replicas != "" {
+		for _, a := range strings.Split(*replicas, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				replicaAddrs = append(replicaAddrs, a)
+			}
+		}
+	}
+	if *sweep {
+		if err := runSweep(*addr, replicaAddrs, *records, *window, *dialFor, *opTO, *sweepWait); err != nil {
+			fmt.Fprintf(os.Stderr, "ordo-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := loadgen.Config{
 		Addr:        *addr,
@@ -60,6 +95,7 @@ func main() {
 		OpTimeout:   *opTO,
 		ReportEvery: *report,
 		ReportTo:    os.Stdout,
+		Replicas:    replicaAddrs,
 	}
 	res, err := loadgen.Run(cfg)
 	if res != nil {
@@ -69,6 +105,44 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ordo-loadgen: %v\n", err)
 		os.Exit(1)
 	}
+	if res != nil {
+		for i := range res.Replicas {
+			if res.Replicas[i].Stale > 0 {
+				fmt.Fprintf(os.Stderr, "ordo-loadgen: replica %s served %d stale read(s)\n",
+					res.Replicas[i].Addr, res.Replicas[i].Stale)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// runSweep digests the key range on the primary, then requires every
+// follower to converge to the same digest within wait.
+func runSweep(addr string, replicas []string, records, window int, dialFor, opTO, wait time.Duration) error {
+	lead, err := loadgen.Sweep(addr, records, window, dialFor, opTO)
+	if err != nil {
+		return fmt.Errorf("sweep %s: %w", addr, err)
+	}
+	fmt.Printf("sweep %s: records=%d found=%d checksum=%016x\n", addr, records, lead.Found, lead.Checksum)
+	for _, r := range replicas {
+		deadline := time.Now().Add(wait)
+		for {
+			got, err := loadgen.Sweep(r, records, window, dialFor, opTO)
+			if err != nil {
+				return fmt.Errorf("sweep %s: %w", r, err)
+			}
+			if got == lead {
+				fmt.Printf("sweep %s: records=%d found=%d checksum=%016x (match)\n", r, records, got.Found, got.Checksum)
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("sweep %s: diverged after %v: found=%d checksum=%016x, want found=%d checksum=%016x",
+					r, wait, got.Found, got.Checksum, lead.Found, lead.Checksum)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	return nil
 }
 
 // printResult renders the run summary: aggregate throughput, re-issue
@@ -88,5 +162,15 @@ func printResult(cfg loadgen.Config, res *loadgen.Result) {
 		fmt.Printf("server [%s]: commits=%d aborts=%d batches=%d batched_ops=%d shed=%d clock_cmps=%d uncertain=%d\n",
 			s.Protocol, s.Commits, s.Aborts, s.Batches, s.BatchedOps,
 			s.Busy, s.ClockCmps, s.ClockUncertain)
+	}
+	for i := range res.Replicas {
+		r := &res.Replicas[i]
+		fmt.Printf("replica %s: probes=%d not_yet=%d stale=%d", r.Addr, r.Probes, r.NotYet, r.Stale)
+		if r.Visibility.Count() > 0 {
+			fmt.Printf(" visible p50=%v p99=%v",
+				time.Duration(r.Visibility.Quantile(0.5)).Round(time.Microsecond),
+				time.Duration(r.Visibility.Quantile(0.99)).Round(time.Microsecond))
+		}
+		fmt.Println()
 	}
 }

@@ -64,8 +64,9 @@ type ordodProc struct {
 }
 
 // startOrdod boots the binary on a :0 port with the given WAL dir and
-// waits for the address file.
-func startOrdod(t *testing.T, walDir, tag string) *ordodProc {
+// waits for the address file. Extra flags (replication roles) append to
+// the base invocation.
+func startOrdod(t *testing.T, walDir, tag string, extra ...string) *ordodProc {
 	t.Helper()
 	dir := t.TempDir()
 	addrFile := filepath.Join(dir, "addr")
@@ -74,13 +75,15 @@ func startOrdod(t *testing.T, walDir, tag string) *ordodProc {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmd := exec.Command(ordodBin,
+	args := []string{
 		"-protocol", "OCC_ORDO",
 		"-addr", "127.0.0.1:0",
 		"-addr-file", addrFile,
 		"-wal-dir", walDir,
 		"-calibration-runs", "20",
-	)
+	}
+	args = append(args, extra...)
+	cmd := exec.Command(ordodBin, args...)
 	cmd.Stdout = lf
 	cmd.Stderr = lf
 	if err := cmd.Start(); err != nil {
@@ -301,5 +304,282 @@ func TestKillCrashRecovery(t *testing.T) {
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			killCrashRun(t, seed)
 		})
+	}
+}
+
+// ---- replication crash scenarios ----
+//
+// The same SIGKILL model, applied to a leader/follower pair: kill the
+// leader mid-load and restart it on the same log directory and replication
+// address, or kill the follower mid-apply and restart it on its own log
+// directory. Either way the end state must satisfy, on both processes,
+//
+//	last acked seq ≤ recovered seq ≤ max issued seq   (per key)
+//
+// and every leader-acked write must eventually be visible on the follower.
+
+// startLeader boots ordod as a replication leader. replAddr "" picks a
+// port; the bound address is returned so a restart can reclaim it (the
+// follower keeps dialing the address it was given).
+func startLeader(t *testing.T, walDir, tag, replAddr string) (*ordodProc, string) {
+	t.Helper()
+	if replAddr != "" {
+		return startOrdod(t, walDir, tag, "-repl-addr", replAddr), replAddr
+	}
+	raf := filepath.Join(t.TempDir(), "repl-addr")
+	p := startOrdod(t, walDir, tag, "-repl-addr", "127.0.0.1:0", "-repl-addr-file", raf)
+	// The replication listener opens before the client listener, so once
+	// startOrdod returns the address file is already written.
+	b, err := os.ReadFile(raf)
+	if err != nil || len(b) == 0 {
+		dumpLog(t, p)
+		t.Fatalf("leader (%s) wrote no replication address: %v", tag, err)
+	}
+	return p, strings.TrimSpace(string(b))
+}
+
+// waitConverge polls the server at addr until every key carries at least
+// its last acked sequence number, then asserts nothing beyond the max
+// issued sequence leaked in. The deadline covers follower catch-up after a
+// reconnect, which includes a disk backfill of the whole missed range.
+func waitConverge(t *testing.T, addr, who string, cc *crashClient) {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	c := wire.NewConn(nc)
+	deadline := time.Now().Add(30 * time.Second)
+	for k := uint64(0); k < crashKeys; k++ {
+		for {
+			nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+			r, err := c.Do(&wire.Request{Op: wire.OpGet, Key: k})
+			if err != nil {
+				t.Fatalf("%s: GET %d: %v", who, k, err)
+			}
+			if r.Status == wire.StatusOK && r.Row[1] >= cc.lastAcked[k] {
+				if r.Row[0] != k {
+					t.Fatalf("%s: key %d served wrong row %v", who, k, r.Row)
+				}
+				if r.Row[1] > cc.maxIssued[k] {
+					t.Fatalf("%s: key %d seq %d > max issued %d — phantom write",
+						who, k, r.Row[1], cc.maxIssued[k])
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: key %d stuck at %v (status %v), want seq ≥ %d",
+					who, k, r.Row, r.Status, cc.lastAcked[k])
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	// A key never issued must not have appeared either.
+	if r, err := c.Do(&wire.Request{Op: wire.OpGet, Key: crashKeys + 7}); err != nil || r.Status != wire.StatusNotFound {
+		t.Fatalf("%s: unissued key: %v %v, want NOT_FOUND", who, r.Status, err)
+	}
+}
+
+// replInsertPhase runs the fully-acked seed inserts (seq 0 on every key)
+// through cc, failing the test on any error.
+func replInsertPhase(t *testing.T, cc *crashClient, p *ordodProc) {
+	t.Helper()
+	for k := uint64(0); k < crashKeys; k++ {
+		if err := cc.c.WriteRequest(&wire.Request{Op: wire.OpInsert, Key: k, Vals: crashRow(k, 0)}); err != nil {
+			t.Fatal(err)
+		}
+		cc.issued = append(cc.issued, crashOp{key: k, seq: 0})
+		cc.maxIssued[k] = 0
+	}
+	if err := cc.c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.drainWindow(); err != nil {
+		dumpLog(t, p)
+		t.Fatalf("insert phase died: %v", err)
+	}
+}
+
+// TestReplCrashLeaderKill SIGKILLs the leader under pipelined write load
+// with a live follower attached, restarts it on the same WAL directory and
+// replication address, and requires the follower to reconnect, resume by
+// cursor, and converge on exactly the recovered leader state.
+func TestReplCrashLeaderKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess replication crash harness skipped in -short")
+	}
+	walDirL, walDirF := t.TempDir(), t.TempDir()
+
+	p1, replAddr := startLeader(t, walDirL, "lkill-lead-a", "")
+	fol := startOrdod(t, walDirF, "lkill-fol", "-follow", replAddr)
+	defer func() {
+		fol.cmd.Process.Kill()
+		fol.cmd.Wait()
+	}()
+
+	nc, err := net.Dial("tcp", p1.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	cc := &crashClient{nc: nc, c: wire.NewConn(nc)}
+	replInsertPhase(t, cc, p1)
+
+	// PUT load with a mid-stream SIGKILL, as in killCrashRun.
+	killed := make(chan struct{})
+	go func() {
+		time.Sleep(400 * time.Millisecond)
+		p1.cmd.Process.Signal(syscall.SIGKILL)
+		close(killed)
+	}()
+	seq := uint64(1)
+	var deadErr error
+	for deadErr == nil {
+		for i := 0; i < crashWindow; i++ {
+			k := (seq + uint64(i)) % crashKeys
+			s := seq + uint64(i)
+			if err := cc.c.WriteRequest(&wire.Request{Op: wire.OpPut, Key: k, Vals: crashRow(k, s)}); err != nil {
+				deadErr = err
+				break
+			}
+			cc.issued = append(cc.issued, crashOp{key: k, seq: s})
+			cc.maxIssued[k] = s
+		}
+		seq += crashWindow
+		if deadErr == nil {
+			if err := cc.c.Flush(); err != nil {
+				deadErr = err
+				break
+			}
+			deadErr = cc.drainWindow()
+		}
+	}
+	<-killed
+	p1.cmd.Wait()
+	if !cc.ackedAny {
+		t.Fatal("nothing acked before the leader kill; harness too slow")
+	}
+
+	// Restart the leader on the same directory AND the same replication
+	// address, so the follower's retry loop finds it again.
+	p2, _ := startLeader(t, walDirL, "lkill-lead-b", replAddr)
+	defer func() {
+		p2.cmd.Process.Signal(syscall.SIGTERM)
+		p2.cmd.Wait()
+	}()
+
+	// acked ≤ recovered ≤ issued on the restarted leader...
+	waitConverge(t, p2.addr, "restarted leader", cc)
+	// ...and, eventually, on the follower: every leader-acked write must
+	// become visible there, and nothing unissued may materialize.
+	waitConverge(t, fol.addr, "follower", cc)
+}
+
+// TestReplCrashFollowerKill SIGKILLs the follower mid-apply while the
+// leader keeps serving writes, restarts it on its own WAL directory, and
+// requires it to recover from local disk, resume from its durable cursor
+// (not from scratch), and converge on the full acked state.
+func TestReplCrashFollowerKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess replication crash harness skipped in -short")
+	}
+	walDirL, walDirF := t.TempDir(), t.TempDir()
+
+	lead, replAddr := startLeader(t, walDirL, "fkill-lead", "")
+	defer func() {
+		lead.cmd.Process.Signal(syscall.SIGTERM)
+		lead.cmd.Wait()
+	}()
+	f1 := startOrdod(t, walDirF, "fkill-fol-a", "-follow", replAddr)
+
+	nc, err := net.Dial("tcp", lead.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	cc := &crashClient{nc: nc, c: wire.NewConn(nc)}
+	replInsertPhase(t, cc, lead)
+
+	// Make sure the follower is actively applying before aiming the kill
+	// at it, so the SIGKILL genuinely lands mid-stream.
+	waitConverge(t, f1.addr, "follower pre-kill", cc)
+
+	killed := make(chan struct{})
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		f1.cmd.Process.Signal(syscall.SIGKILL)
+		close(killed)
+	}()
+
+	// The leader stays alive: every window must drain acked. Keep writing
+	// a few windows past the kill so the stream moves on without the dead
+	// follower.
+	seq := uint64(1)
+	extra := 0
+	for extra < 4 {
+		select {
+		case <-killed:
+			extra++
+		default:
+		}
+		for i := 0; i < crashWindow; i++ {
+			k := (seq + uint64(i)) % crashKeys
+			s := seq + uint64(i)
+			if err := cc.c.WriteRequest(&wire.Request{Op: wire.OpPut, Key: k, Vals: crashRow(k, s)}); err != nil {
+				t.Fatalf("leader write with dead follower: %v", err)
+			}
+			cc.issued = append(cc.issued, crashOp{key: k, seq: s})
+			cc.maxIssued[k] = s
+		}
+		seq += crashWindow
+		if err := cc.c.Flush(); err != nil {
+			t.Fatalf("leader flush with dead follower: %v", err)
+		}
+		if err := cc.drainWindow(); err != nil {
+			dumpLog(t, lead)
+			t.Fatalf("leader died while follower was down: %v", err)
+		}
+	}
+	f1.cmd.Wait()
+	if !cc.ackedAny {
+		t.Fatal("nothing acked; harness too slow")
+	}
+
+	// Restart the follower on its own WAL directory: it must recover the
+	// locally persisted prefix from disk and resume the stream from its
+	// durable cursor rather than refetching all of history.
+	f2 := startOrdod(t, walDirF, "fkill-fol-b", "-follow", replAddr)
+	defer func() {
+		f2.cmd.Process.Kill()
+		f2.cmd.Wait()
+	}()
+	waitConverge(t, f2.addr, "restarted follower", cc)
+
+	// Local-disk resume, not a refetch: the restart recovered records from
+	// its own WAL, and the boot log shows a nonzero stream cursor.
+	nc2, err := net.Dial("tcp", f2.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc2.Close()
+	c2 := wire.NewConn(nc2)
+	nc2.SetReadDeadline(time.Now().Add(10 * time.Second))
+	r, err := c2.Do(&wire.Request{Op: wire.OpStats})
+	if err != nil || r.Stats == nil {
+		t.Fatalf("follower stats after restart: %v", err)
+	}
+	if r.Stats.RecoveredRecords == 0 {
+		t.Fatal("restarted follower recovered zero records from its local WAL")
+	}
+	b, err := os.ReadFile(f2.log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "following ") {
+		t.Fatalf("follower boot log missing cursor line:\n%s", b)
+	}
+	if strings.Contains(string(b), "from cursor (0, 0)") {
+		t.Fatalf("restarted follower resumed from (0, 0) — cursor not persisted:\n%s", b)
 	}
 }

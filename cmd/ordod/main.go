@@ -30,12 +30,14 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"ordo/internal/core"
 	"ordo/internal/db"
 	"ordo/internal/health"
+	"ordo/internal/repl"
 	"ordo/internal/server"
 	"ordo/internal/telemetry"
 	"ordo/internal/tsc"
@@ -69,6 +71,12 @@ type options struct {
 	walSync      string
 	walSyncEvery time.Duration
 	walSegBytes  int64
+
+	follow       string
+	replAddr     string
+	replAddrFile string
+	replCursor   string
+	replLagBound time.Duration
 }
 
 func main() {
@@ -112,6 +120,16 @@ func main() {
 		"fsync cadence for -wal-sync batched (0 means the device default)")
 	flag.Int64Var(&o.walSegBytes, "wal-segment-bytes", 0,
 		"WAL segment rotation size (0 means the device default)")
+	flag.StringVar(&o.follow, "follow", "",
+		"run as a read-only follower tailing this leader replication address (requires -wal-dir)")
+	flag.StringVar(&o.replAddr, "repl-addr", "",
+		"leader replication listen address; followers subscribe here (requires -wal-dir, empty disables)")
+	flag.StringVar(&o.replAddrFile, "repl-addr-file", "",
+		"write the bound replication address to this file once listening (for :0 port discovery)")
+	flag.StringVar(&o.replCursor, "repl-cursor", "",
+		"follower stream-cursor sidecar path (default <wal-dir>/cursor.json)")
+	flag.DurationVar(&o.replLagBound, "repl-lag-bound", server.DefaultLagBound,
+		"follower health bound: /healthz turns 503 when the leader is silent this long")
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 	log.SetPrefix("ordod: ")
@@ -187,11 +205,28 @@ func run(o options) error {
 		return err
 	}
 
+	// Replication roles are decided up front so durable-mode setup below
+	// can build on them. Both roles require a WAL: the leader streams it,
+	// the follower appends the stream to its own.
+	role := server.RoleNone
+	switch {
+	case o.follow != "" && o.replAddr != "":
+		return fmt.Errorf("-follow and -repl-addr are mutually exclusive (no chained replication)")
+	case o.follow != "":
+		role = server.RoleFollower
+	case o.replAddr != "":
+		role = server.RoleLeader
+	}
+	if role != server.RoleNone && o.walDir == "" {
+		return fmt.Errorf("replication requires -wal-dir")
+	}
+
 	// Durable mode: recover and replay the log into the fresh engine, then
 	// open the device for appending — all before the listener exists, so no
 	// client ever observes pre-recovery state.
 	var (
 		walLog  *wal.Log
+		walDev  *wal.FileDevice
 		recInfo *wal.RecoveryInfo
 	)
 	if o.walDir != "" {
@@ -228,11 +263,39 @@ func run(o options) error {
 			return fmt.Errorf("wal open: %w", err)
 		}
 		defer dev.Close()
+		walDev = dev
 		walLog = wal.New(dev, nil)
 		recInfo = &info
 	}
 
-	srv, err := server.New(server.Config{
+	// boundary reports the current Ordo uncertainty window in clock ticks,
+	// doubled while the health monitor is flagging anomalies — a suspect
+	// clock widens the replication watermark rather than serving reads it
+	// cannot vouch for.
+	boundary := func() uint64 {
+		if mon != nil {
+			cs := mon.Snapshot()
+			b := cs.BoundaryTicks
+			if cs.Anomalies > 0 {
+				b *= 2
+			}
+			return b
+		}
+		if ordo != nil {
+			return uint64(ordo.Boundary())
+		}
+		return 0
+	}
+	var replState *server.ReplState
+	if role != server.RoleNone {
+		var tickHz uint64
+		if ordo != nil {
+			tickHz = tsc.Frequency()
+		}
+		replState = server.NewReplState(role, tickHz, o.replLagBound, 0)
+	}
+
+	scfg := server.Config{
 		DB:           engine,
 		Schema:       schema,
 		MaxBatch:     o.maxBatch,
@@ -244,10 +307,84 @@ func run(o options) error {
 		WAL:          walLog,
 		Recovery:     recInfo,
 		Telemetry:    tel,
+		Repl:         replState,
 		Logf:         log.Printf,
-	})
+	}
+	if role == server.RoleFollower {
+		// The apply loop is the local log's only writer and the engine's
+		// only mutator; the serving path is reads-only over both.
+		scfg.WAL = nil
+		scfg.ReadOnly = true
+	}
+	srv, err := server.New(scfg)
 	if err != nil {
 		return err
+	}
+
+	// Leader: stream the WAL to followers on the replication listener.
+	// The Source installs itself as the log's sink here — before the
+	// serving listener exists — so no flushed record can predate it.
+	var src *repl.Source
+	if role == server.RoleLeader {
+		src, err = repl.NewSource(repl.SourceConfig{
+			Dir:         o.walDir,
+			Log:         walLog,
+			Incarnation: walDev.Incarnation(),
+			State:       replState,
+			Boundary:    boundary,
+			Logf:        log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		replLn, err := net.Listen("tcp", o.replAddr)
+		if err != nil {
+			return fmt.Errorf("repl listen: %w", err)
+		}
+		if o.replAddrFile != "" {
+			if err := os.WriteFile(o.replAddrFile, []byte(replLn.Addr().String()), 0o644); err != nil {
+				return fmt.Errorf("-repl-addr-file: %w", err)
+			}
+		}
+		log.Printf("replication source on %s (incarnation %d)", replLn.Addr(), walDev.Incarnation())
+		go func() {
+			if err := src.Serve(replLn); err != nil {
+				log.Printf("repl serve: %v", err)
+			}
+		}()
+		defer src.Close()
+	}
+
+	// Follower: tail the leader in the background until shutdown.
+	if role == server.RoleFollower {
+		cursor := o.replCursor
+		if cursor == "" {
+			cursor = filepath.Join(o.walDir, "cursor.json")
+		}
+		fol, err := repl.NewFollower(repl.FollowerConfig{
+			Addr:      o.follow,
+			DB:        engine,
+			Log:       walLog,
+			State:     replState,
+			Telemetry: tel,
+			StateFile: cursor,
+			Boundary:  boundary,
+			Logf:      log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		log.Printf("following %s from cursor (%d, %d)", o.follow, fol.Position().Inc, fol.Position().Seq)
+		fctx, fcancel := context.WithCancel(context.Background())
+		folDone := make(chan struct{})
+		go func() {
+			defer close(folDone)
+			_ = fol.Run(fctx)
+		}()
+		defer func() {
+			fcancel()
+			<-folDone
+		}()
 	}
 
 	// The admin endpoint opens before the serving listener so an operator
@@ -285,8 +422,8 @@ func run(o options) error {
 			return fmt.Errorf("-addr-file: %w", err)
 		}
 	}
-	log.Printf("serving %s on %s (max-batch=%d queue=%d retries=%d idle-timeout=%v write-timeout=%v durable=%v)",
-		proto, ln.Addr(), o.maxBatch, o.queue, o.retries, o.idleTimeout, o.writeTimeout, walLog != nil)
+	log.Printf("serving %s on %s (max-batch=%d queue=%d retries=%d idle-timeout=%v write-timeout=%v durable=%v role=%v)",
+		proto, ln.Addr(), o.maxBatch, o.queue, o.retries, o.idleTimeout, o.writeTimeout, walLog != nil, role)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()

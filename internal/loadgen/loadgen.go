@@ -73,6 +73,11 @@ type Config struct {
 	// SkipPreload assumes the keyspace is already loaded (a previous run
 	// against the same server).
 	SkipPreload bool
+	// Replicas lists follower addresses to probe during the run: each gets
+	// a dedicated write→read-your-writes prober against a reserved key,
+	// counting NOT_YET answers and staleness violations and timing
+	// ack-to-visible latency (see replica.go).
+	Replicas []string
 }
 
 // Result is one run's aggregated tallies.
@@ -89,6 +94,8 @@ type Result struct {
 	// Server is the server's own stats snapshot fetched after the run; nil
 	// when the fetch failed.
 	Server *wire.Stats
+	// Replicas holds one prober tally per configured follower.
+	Replicas []ReplicaResult
 }
 
 // Overall merges every class histogram into one latency distribution.
@@ -158,6 +165,10 @@ func Run(cfg Config) (*Result, error) {
 	for i := range results {
 		results[i].reporting = cfg.ReportEvery > 0 && cfg.ReportTo != nil
 	}
+	// Replica probers run for the span of the worker pool: they write on
+	// the leader and chase the writes onto each follower.
+	stopProbe := make(chan struct{})
+	joinProbers := runProbers(&cfg, stopProbe)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Conns; i++ {
@@ -184,6 +195,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	close(stopProbe)
 	if stopReport != nil {
 		// Join, not just signal: the caller may read ReportTo (or its own
 		// buffer behind it) the moment Run returns.
@@ -193,6 +205,10 @@ func Run(cfg Config) (*Result, error) {
 
 	res := &Result{Elapsed: elapsed}
 	var firstErr error
+	res.Replicas, err = joinProbers()
+	if err != nil {
+		firstErr = fmt.Errorf("replica probe: %w", err)
+	}
 	for i := range results {
 		if results[i].err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("conn %d: %w", i, results[i].err)

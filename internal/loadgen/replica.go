@@ -1,0 +1,252 @@
+// Replica probing and key-range sweeps: the read-fan-out half of a
+// replicated load run.
+//
+// A prober measures what the serving path promises, end to end: every
+// leader-acked write carries a durability token (the commit timestamp the
+// redo record was logged at), and a GET_AT on a follower with MinTS set to
+// that token must either answer NOT_YET — the safe-read watermark has not
+// reached the token — or serve a row that includes the write. A served row
+// that predates the token is a read-your-writes violation and is counted,
+// never excused.
+package loadgen
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"ordo/internal/db/ycsb"
+	"ordo/internal/hist"
+	"ordo/internal/wire"
+)
+
+// probeKeyBase places probe keys far outside any YCSB keyspace, so the
+// probers never conflict with the bulk workload.
+const probeKeyBase = uint64(1) << 60
+
+// probeRetryEvery is the poll cadence while a follower answers NOT_YET.
+const probeRetryEvery = 200 * time.Microsecond
+
+// ReplicaResult tallies one follower's prober.
+type ReplicaResult struct {
+	// Addr is the follower's serving address.
+	Addr string
+	// Probes is the completed write→visible rounds.
+	Probes uint64
+	// NotYet counts NOT_YET answers observed while waiting for the
+	// watermark to reach a token. Expected and healthy; its ratio to
+	// Probes is a lag signal, not a failure.
+	NotYet uint64
+	// Stale counts read-your-writes violations: the follower served a
+	// read at/above the token but the row predated the write (or was
+	// missing). Any nonzero value is a correctness failure.
+	Stale uint64
+	// Visibility is the leader-ack→follower-visible latency distribution;
+	// its p99 is the run's staleness bound.
+	Visibility hist.H
+}
+
+// probeReplica runs one write→read-your-writes loop against a follower
+// until stop closes: PUT on the leader, then GET_AT(token) on the replica
+// until the watermark admits it, timing ack-to-visible.
+func probeReplica(cfg *Config, replica string, key uint64, stop <-chan struct{}) (ReplicaResult, error) {
+	res := ReplicaResult{Addr: replica}
+	stopped := func() bool {
+		select {
+		case <-stop:
+			return true
+		default:
+			return false
+		}
+	}
+
+	lnc, err := dialRetry(cfg.Addr, cfg.DialFor)
+	if err != nil {
+		return res, err
+	}
+	defer lnc.Close()
+	lc := wire.NewConn(deadlineConn{lnc, cfg.OpTimeout})
+	rnc, err := dialRetry(replica, cfg.DialFor)
+	if err != nil {
+		return res, err
+	}
+	defer rnc.Close()
+	rc := wire.NewConn(deadlineConn{rnc, cfg.OpTimeout})
+
+	row := func(seq uint64) []uint64 {
+		vals := make([]uint64, ycsb.Cols)
+		vals[0] = key
+		vals[1] = seq
+		return vals
+	}
+	// write puts (key, seq) on the leader and returns the durability
+	// token, re-issuing CONFLICT/BUSY like every other loadgen op.
+	write := func(op wire.Op, seq uint64) (uint64, error) {
+		for {
+			r, err := lc.Do(&wire.Request{Op: op, Key: key, Vals: row(seq)})
+			if err != nil {
+				return 0, err
+			}
+			switch r.Status {
+			case wire.StatusOK:
+				if r.TS == 0 {
+					return 0, fmt.Errorf("replica probe: leader acked without a durability token (not durable?)")
+				}
+				return r.TS, nil
+			case wire.StatusConflict, wire.StatusBusy:
+				continue
+			default:
+				return 0, fmt.Errorf("replica probe: %v on leader answered %v", op, r.Status)
+			}
+		}
+	}
+
+	seq := uint64(0)
+	op := wire.OpInsert
+	for !stopped() {
+		token, err := write(op, seq)
+		if err != nil {
+			if stopped() {
+				break
+			}
+			return res, err
+		}
+		op = wire.OpPut
+
+		// Poll the follower at the token until the watermark admits the
+		// read; each refusal is an honest NOT_YET, each admission must
+		// include the write.
+		acked := time.Now()
+		for {
+			r, err := rc.Do(&wire.Request{Op: wire.OpGetAt, Key: key, MinTS: token})
+			if err != nil {
+				if stopped() {
+					return res, nil
+				}
+				return res, err
+			}
+			if r.Status == wire.StatusNotYet {
+				res.NotYet++
+				if stopped() {
+					return res, nil
+				}
+				time.Sleep(probeRetryEvery)
+				continue
+			}
+			switch {
+			case r.Status == wire.StatusOK && r.Row[1] >= seq:
+				res.Visibility.RecordDuration(time.Since(acked))
+			case r.Status == wire.StatusOK, r.Status == wire.StatusNotFound:
+				// Admitted the read but served state older than the
+				// token: the watermark lied.
+				res.Stale++
+			default:
+				return res, fmt.Errorf("GET_AT answered %v", r.Status)
+			}
+			break
+		}
+		res.Probes++
+		seq++
+	}
+	return res, nil
+}
+
+// SweepResult is a deterministic digest of a server's key range.
+type SweepResult struct {
+	// Found is how many keys in [0, records) exist.
+	Found uint64
+	// Checksum folds every key's status and row into one FNV-1a value;
+	// two servers agree on the range iff their checksums match.
+	Checksum uint64
+}
+
+// Sweep reads every key in [0, records) from addr in pipelined order and
+// digests the answers. Comparing a leader's and a follower's sweep checks
+// convergence without shipping either data set anywhere.
+func Sweep(addr string, records, window int, dialFor, opTimeout time.Duration) (SweepResult, error) {
+	var res SweepResult
+	if records <= 0 || window <= 0 {
+		return res, fmt.Errorf("loadgen: sweep records and window must be positive")
+	}
+	nc, err := dialRetry(addr, dialFor)
+	if err != nil {
+		return res, err
+	}
+	defer nc.Close()
+	c := wire.NewConn(deadlineConn{nc, opTimeout})
+
+	h := fnv.New64a()
+	var buf [8]byte
+	sum := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+
+	inFlight, next, answered := 0, uint64(0), uint64(0)
+	for answered < uint64(records) {
+		for inFlight < window && next < uint64(records) {
+			if err := c.WriteRequest(&wire.Request{Op: wire.OpGet, Key: next}); err != nil {
+				return res, err
+			}
+			next++
+			inFlight++
+		}
+		if err := c.Flush(); err != nil {
+			return res, err
+		}
+		r, err := c.ReadResponse()
+		if err != nil {
+			return res, err
+		}
+		sum(answered)
+		sum(uint64(r.Status))
+		switch r.Status {
+		case wire.StatusOK:
+			res.Found++
+			for _, v := range r.Row {
+				sum(v)
+			}
+		case wire.StatusNotFound:
+		default:
+			return res, fmt.Errorf("sweep key %d: %v", answered, r.Status)
+		}
+		answered++
+		inFlight--
+	}
+	res.Checksum = h.Sum64()
+	return res, nil
+}
+
+// runProbers starts one prober per configured replica and returns a join
+// function that stops them and collects their tallies.
+func runProbers(cfg *Config, stop <-chan struct{}) func() ([]ReplicaResult, error) {
+	if len(cfg.Replicas) == 0 {
+		return func() ([]ReplicaResult, error) { return nil, nil }
+	}
+	results := make([]ReplicaResult, len(cfg.Replicas))
+	errs := make([]error, len(cfg.Replicas))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var inner sync.WaitGroup
+		for i, addr := range cfg.Replicas {
+			inner.Add(1)
+			go func(i int, addr string) {
+				defer inner.Done()
+				results[i], errs[i] = probeReplica(cfg, addr, probeKeyBase+uint64(i), stop)
+			}(i, addr)
+		}
+		inner.Wait()
+	}()
+	return func() ([]ReplicaResult, error) {
+		<-done
+		for i, err := range errs {
+			if err != nil {
+				return results, fmt.Errorf("replica %s: %w", cfg.Replicas[i], err)
+			}
+		}
+		return results, nil
+	}
+}

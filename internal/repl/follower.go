@@ -1,0 +1,309 @@
+package repl
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ordo/internal/db"
+	"ordo/internal/server"
+	"ordo/internal/wal"
+	"ordo/internal/wire"
+)
+
+// DefaultRetryEvery is the reconnect backoff between follower sessions.
+const DefaultRetryEvery = 250 * time.Millisecond
+
+// Position is a follower's durable stream cursor: the last leader
+// (incarnation, seq) whose record is appended to the local WAL and
+// replayed into the engine.
+type Position struct {
+	Inc uint64 `json:"inc"`
+	Seq uint64 `json:"seq"`
+}
+
+// FollowerConfig configures a Follower.
+type FollowerConfig struct {
+	// Addr is the leader's replication listen address.
+	Addr string
+	// DB is the live engine the apply loop replays into; the serving
+	// server must be read-only so this loop is the engine's only writer.
+	DB db.DB
+	// Log is the follower's own durable WAL: every leader record is
+	// appended (at the leader's commit timestamp) and flushed before it is
+	// replayed or acknowledged, so a restart recovers from local disk and
+	// promotion is just a restart without the follower flag.
+	Log *wal.Log
+	// State is the shared scoreboard; applied counters, lag, contact and
+	// the safe-read watermark are published into it.
+	State *server.ReplState
+	// Telemetry, when set, records per-batch apply latency. Optional.
+	Telemetry *server.Telemetry
+	// StateFile persists the Position cursor (JSON, temp+rename). A lost
+	// or stale-low cursor only costs a resend — replay is idempotent — so
+	// the sidecar needs no stronger guarantee than rename atomicity.
+	StateFile string
+	// Boundary reports the follower's own Ordo uncertainty window in clock
+	// ticks, already widened for clock-health anomalies by the caller. The
+	// effective window is the max of this and the leader's advertised one.
+	// Optional (0).
+	Boundary func() uint64
+	// RetryEvery is the reconnect backoff; ≤ 0 means DefaultRetryEvery.
+	RetryEvery time.Duration
+	// DialTimeout bounds each dial; ≤ 0 means 3 s.
+	DialTimeout time.Duration
+	// Logf receives operational messages. Optional.
+	Logf func(format string, args ...any)
+}
+
+// Follower tails a leader: it subscribes from its durable cursor, appends
+// every streamed record to its own WAL, replays it into the engine, and
+// maintains the safe-read watermark W = appliedTS − effective uncertainty
+// window. The GentleRain-style argument for W (DESIGN.md §13): records
+// apply in leader log order, which within an incarnation is commit
+// timestamp order, and any commit the leader has not yet streamed carries a
+// timestamp above its current clock minus the uncertainty window — so once
+// appliedTS reaches T, no record with timestamp ≤ T − window can still be
+// in flight, and a read as of that bound sees a frozen prefix.
+type Follower struct {
+	cfg FollowerConfig
+	h   *wal.Handle
+	pos Position
+
+	leaderBoundary uint64
+	leaderInc      uint64
+	leaderTail     uint64
+
+	recsBuf []wal.Record
+	posBuf  []byte
+}
+
+// NewFollower builds a Follower, loading the durable cursor from
+// cfg.StateFile when it exists.
+func NewFollower(cfg FollowerConfig) (*Follower, error) {
+	if cfg.Addr == "" || cfg.DB == nil || cfg.Log == nil {
+		return nil, fmt.Errorf("repl: Follower requires Addr, DB and Log")
+	}
+	if cfg.RetryEvery <= 0 {
+		cfg.RetryEvery = DefaultRetryEvery
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 3 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	f := &Follower{cfg: cfg, h: cfg.Log.NewHandle()}
+	if cfg.StateFile != "" {
+		data, err := os.ReadFile(cfg.StateFile)
+		switch {
+		case os.IsNotExist(err):
+		case err != nil:
+			return nil, fmt.Errorf("repl: reading cursor: %w", err)
+		default:
+			if err := json.Unmarshal(data, &f.pos); err != nil {
+				// A corrupt cursor is recoverable: resume from (0, 0) and
+				// let idempotent replay absorb the resend.
+				cfg.Logf("repl: cursor %s corrupt (%v), resuming from scratch", cfg.StateFile, err)
+				f.pos = Position{}
+			}
+		}
+	}
+	return f, nil
+}
+
+// Position returns the current durable cursor.
+func (f *Follower) Position() Position { return f.pos }
+
+// Run tails the leader until ctx is done, reconnecting (and resuming by
+// cursor) across leader restarts and link failures.
+func (f *Follower) Run(ctx context.Context) error {
+	for {
+		if err := f.session(ctx); err != nil {
+			f.cfg.Logf("repl: session: %v", err)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(f.cfg.RetryEvery):
+		}
+	}
+}
+
+// session runs one leader connection: subscribe from the cursor, then
+// apply WALBATCH frames and track WATERMARK heartbeats until the link or
+// ctx dies.
+func (f *Follower) session(ctx context.Context) error {
+	d := net.Dialer{Timeout: f.cfg.DialTimeout}
+	nc, err := d.DialContext(ctx, "tcp", f.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	stop := context.AfterFunc(ctx, func() { nc.Close() })
+	defer stop()
+
+	w := &frameWriter{nc: nc}
+	if err := w.writeMsg(&wire.ReplMsg{Kind: wire.ReplSubscribe, Inc: f.pos.Inc, Seq: f.pos.Seq}); err != nil {
+		return err
+	}
+	f.cfg.Logf("repl: subscribed to %s after (%d, %d)", f.cfg.Addr, f.pos.Inc, f.pos.Seq)
+
+	br := newFrameReader(nc)
+	var buf []byte
+	for {
+		buf, err = wire.ReadReplFrame(br, buf)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		m, err := wire.DecodeReplMsg(buf)
+		if err != nil {
+			return err
+		}
+		if st := f.cfg.State; st != nil {
+			st.NoteContact()
+		}
+		switch m.Kind {
+		case wire.ReplBatch:
+			if err := f.applyBatch(&m); err != nil {
+				return err
+			}
+			if err := w.writeMsg(&wire.ReplMsg{Kind: wire.ReplAck, Inc: f.pos.Inc, Seq: f.pos.Seq}); err != nil {
+				return err
+			}
+			f.publishLag()
+		case wire.ReplWatermark:
+			f.leaderBoundary = m.BoundaryTicks
+			f.leaderInc, f.leaderTail = m.Inc, m.Seq
+			f.publishLag()
+			f.publishWatermark()
+		default:
+			return fmt.Errorf("repl: unexpected %v from leader", m.Kind)
+		}
+	}
+}
+
+// applyBatch makes one streamed batch durable and visible, in that order:
+// append to the local WAL at the leader's commit timestamps, flush, replay
+// into the engine, persist the cursor, publish the watermark. A crash
+// between any two steps re-applies a suffix on restart — harmless, because
+// replay is an ordered idempotent upsert and the cursor is never ahead of
+// the local log.
+func (f *Follower) applyBatch(m *wire.ReplMsg) error {
+	start := time.Now()
+	recs := f.recsBuf[:0]
+	var bytes int
+	var maxTS uint64
+	for i := range m.Recs {
+		r := &m.Recs[i]
+		// Overlap from a conservative leader resume: already applied.
+		if m.Inc == f.pos.Inc && r.Seq <= f.pos.Seq {
+			continue
+		}
+		f.h.AppendAt(r.TS, r.Data)
+		recs = append(recs, wal.Record{TS: r.TS, H: int(r.H), Seq: r.HSeq, Data: r.Data})
+		bytes += len(r.Data)
+		if r.TS > maxTS {
+			maxTS = r.TS
+		}
+	}
+	f.recsBuf = recs[:0]
+	if len(recs) == 0 {
+		return nil
+	}
+	if _, err := f.cfg.Log.Flush(); err != nil {
+		return fmt.Errorf("repl: local wal flush: %w", err)
+	}
+	if _, err := server.Replay(f.cfg.DB, recs); err != nil {
+		return fmt.Errorf("repl: apply: %w", err)
+	}
+	f.pos = Position{Inc: m.Inc, Seq: m.Recs[len(m.Recs)-1].Seq}
+	if err := f.persistPos(); err != nil {
+		return err
+	}
+	if st := f.cfg.State; st != nil {
+		st.NoteApplied(len(recs), bytes, maxTS)
+	}
+	f.publishWatermark()
+	if t := f.cfg.Telemetry; t != nil {
+		t.ObserveReplApply(time.Since(start))
+	}
+	return nil
+}
+
+// persistPos writes the cursor sidecar atomically (temp + rename).
+func (f *Follower) persistPos() error {
+	if f.cfg.StateFile == "" {
+		return nil
+	}
+	data, err := json.Marshal(f.pos)
+	if err != nil {
+		return err
+	}
+	f.posBuf = append(data, '\n')
+	tmp := f.cfg.StateFile + ".tmp"
+	if err := os.WriteFile(tmp, f.posBuf, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, f.cfg.StateFile); err != nil {
+		return err
+	}
+	// Renames are metadata; sync the directory so the cursor survives a
+	// machine crash as reliably as the log it points into.
+	if dir, err := os.Open(filepath.Dir(f.cfg.StateFile)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// publishLag posts how far the apply cursor trails the leader's advertised
+// tail. Catching up on an older incarnation counts as the full tail.
+func (f *Follower) publishLag() {
+	st := f.cfg.State
+	if st == nil || f.leaderInc == 0 {
+		return
+	}
+	switch {
+	case f.pos.Inc == f.leaderInc && f.pos.Seq >= f.leaderTail:
+		st.SetLag(0)
+	case f.pos.Inc == f.leaderInc:
+		st.SetLag(f.leaderTail - f.pos.Seq)
+	default:
+		st.SetLag(f.leaderTail)
+	}
+}
+
+// publishWatermark recomputes W = appliedTS − max(own boundary, leader
+// boundary) and publishes it. The scoreboard keeps W monotone, so a
+// transient widening of either uncertainty window narrows future advances
+// without retracting reads already allowed.
+func (f *Follower) publishWatermark() {
+	st := f.cfg.State
+	if st == nil {
+		return
+	}
+	eff := f.leaderBoundary
+	if f.cfg.Boundary != nil {
+		if own := f.cfg.Boundary(); own > eff {
+			eff = own
+		}
+	}
+	applied := st.AppliedTS()
+	if applied > eff {
+		st.SetWatermark(applied - eff)
+	}
+}
+
+// newFrameReader wraps a socket for wire frame reads.
+func newFrameReader(nc net.Conn) wire.FrameReader {
+	return bufio.NewReaderSize(nc, 64<<10)
+}

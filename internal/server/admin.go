@@ -74,6 +74,12 @@ type healthzBody struct {
 	ShuttingDown     bool    `json:"shutting_down"`
 	BoundaryNS       float64 `json:"boundary_ns,omitempty"`
 	UncertainRate    float64 `json:"uncertain_rate,omitempty"`
+
+	// Replication fields, present only on replicated servers.
+	ReplRole        string `json:"repl_role,omitempty"`
+	ReplLagRecords  uint64 `json:"repl_lag_records,omitempty"`
+	ReplContactMS   int64  `json:"repl_contact_ms,omitempty"`
+	ReplLagExceeded bool   `json:"repl_lag_exceeded,omitempty"`
 }
 
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
@@ -89,6 +95,12 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 		body.BoundaryNS = cs.BoundaryNS
 		body.UncertainRate = cs.UncertainRate
 	}
+	if rs := s.cfg.Repl; rs != nil {
+		body.ReplRole = rs.Role().String()
+		body.ReplLagRecords = rs.Lag()
+		body.ReplContactMS = rs.ContactAge().Milliseconds()
+		body.ReplLagExceeded = rs.LagExceeded()
+	}
 	code := http.StatusOK
 	switch {
 	case body.WALDegraded:
@@ -96,6 +108,12 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 	case body.ShuttingDown:
 		body.Status = "shutting_down"
+		code = http.StatusServiceUnavailable
+	case body.ReplLagExceeded:
+		// A follower that lost its leader or fell too far behind must stop
+		// looking healthy, so a balancer routes reads elsewhere and an
+		// operator notices before promoting a stale replica.
+		body.Status = "repl_lagging"
 		code = http.StatusServiceUnavailable
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -536,7 +536,7 @@ func (c *serverConn) scratchResps(n int) []wire.Response {
 // countOp tallies one executed simple op into server metrics.
 func (c *serverConn) countOp(op wire.Op) {
 	switch op {
-	case wire.OpGet:
+	case wire.OpGet, wire.OpGetAt:
 		c.srv.m.gets.Add(1)
 	case wire.OpPut:
 		c.srv.m.puts.Add(1)
@@ -576,8 +576,14 @@ func (c *serverConn) countOps(reqs []wire.Request, resps []wire.Response) {
 // The returned responses are backed by worker scratch and valid until the
 // next run.
 func (c *serverConn) execBatch(reqs []wire.Request) []wire.Response {
+	if c.srv.cfg.ReadOnly && runHasWrites(reqs) {
+		// Follower mode: the replication apply loop is the engine's only
+		// writer; client writes never touch the engine. Not counted as
+		// degraded — this is the configured serving mode, not a failure.
+		return c.execReadsOnly(reqs, false)
+	}
 	if gc := c.srv.gc; gc != nil && gc.failed() != nil && runHasWrites(reqs) {
-		return c.execDeviceDegraded(reqs)
+		return c.execReadsOnly(reqs, true)
 	}
 	resps := c.scratchResps(len(reqs))
 	err := db.RunWithRetry(c.sess, c.srv.cfg.MaxRetries, func(tx db.Tx) error {
@@ -626,12 +632,13 @@ func (c *serverConn) execBatch(reqs []wire.Request) []wire.Response {
 			continue
 		}
 		if c.wh != nil && isWrite(req.Op) && resps[i].Status == wire.StatusOK {
-			seq, aerr := c.walAppend(req)
+			seq, ts, aerr := c.walAppend(req)
 			if aerr != nil {
 				c.srv.m.walUnackedWrites.Add(1)
 				resps[i] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr}
 				continue
 			}
+			resps[i].TS = ts // provisional ack token; erased if the wait fails
 			walIdx = append(walIdx, i)
 			ackSeq = seq
 		}
@@ -661,6 +668,11 @@ func isWrite(op wire.Op) bool {
 	return op == wire.OpPut || op == wire.OpInsert || op == wire.OpDelete
 }
 
+// isRead reports whether an op only reads engine state.
+func isRead(op wire.Op) bool {
+	return op == wire.OpGet || op == wire.OpGetAt
+}
+
 // runHasWrites reports whether any op in the run mutates engine state.
 func runHasWrites(reqs []wire.Request) bool {
 	for i := range reqs {
@@ -671,16 +683,18 @@ func runHasWrites(reqs []wire.Request) bool {
 	return false
 }
 
-// execDeviceDegraded serves a run after the WAL device failed: reads still
-// serve from the intact in-memory engine, writes are refused with ERR
-// without touching the engine, because their durability could never be
-// acknowledged.
-func (c *serverConn) execDeviceDegraded(reqs []wire.Request) []wire.Response {
-	c.srv.m.degraded.Add(1)
+// execReadsOnly serves a run on a server that cannot take writes — a
+// follower (configured read-only serving) or a leader whose WAL device
+// failed (countDegraded). Reads still serve from the intact in-memory
+// engine; writes are refused with ERR without touching the engine.
+func (c *serverConn) execReadsOnly(reqs []wire.Request, countDegraded bool) []wire.Response {
+	if countDegraded {
+		c.srv.m.degraded.Add(1)
+	}
 	resps := c.scratchResps(len(reqs))
 	for i := range reqs {
 		req := &reqs[i]
-		if req.Op != wire.OpGet {
+		if !isRead(req.Op) {
 			resps[i] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr}
 			continue
 		}
@@ -717,33 +731,36 @@ func (c *serverConn) commitTS() uint64 {
 
 // walAppend logs one committed op's redo record without waiting for
 // durability; the caller waits once on the run's last durability sequence.
-func (c *serverConn) walAppend(req *wire.Request) (uint64, error) {
+// The returned timestamp is what the record was logged at — the op's ack
+// token once the wait succeeds.
+func (c *serverConn) walAppend(req *wire.Request) (seq, ts uint64, err error) {
 	c.writePtrs = append(c.writePtrs[:0], req)
 	redo, err := AppendRedo(c.redoBuf[:0], c.writePtrs)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	c.redoBuf = redo
 	return c.srv.gc.append(c.wh, c.commitTS(), redo)
 }
 
 // walCommitWrites logs a committed transaction's write-set as one redo
-// record and blocks until it is durable. The encode buffer is the worker's
-// reusable scratch: wal.Handle.AppendAt copies the record, so the buffer
-// is free again the moment append returns.
-func (c *serverConn) walCommitWrites(writes []*wire.Request) error {
+// record and blocks until it is durable, returning the logged timestamp —
+// the durability token stamped on the write acks. The encode buffer is the
+// worker's reusable scratch: wal.Handle.AppendAt copies the record, so the
+// buffer is free again the moment append returns.
+func (c *serverConn) walCommitWrites(writes []*wire.Request) (uint64, error) {
 	redo, err := AppendRedo(c.redoBuf[:0], writes)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	c.redoBuf = redo
 	if c.tel == nil {
 		return c.srv.gc.commit(c.wh, c.commitTS(), redo)
 	}
 	start := time.Now()
-	err = c.srv.gc.commit(c.wh, c.commitTS(), redo)
+	ts, err := c.srv.gc.commit(c.wh, c.commitTS(), redo)
 	c.tel.ack.ObserveDuration(time.Since(start))
-	return err
+	return ts, err
 }
 
 // walCommitRun logs a batched run's acked write-set and waits for
@@ -766,7 +783,14 @@ func (c *serverConn) walCommitRun(reqs []wire.Request, resps []wire.Response) {
 	if len(writes) == 0 {
 		return
 	}
-	if err := c.walCommitWrites(writes); err == nil {
+	if ts, err := c.walCommitWrites(writes); err == nil {
+		// Stamp the ack token: the timestamp the run's redo record was
+		// logged at, which is also what it replays at on a replica.
+		for i := range reqs {
+			if isWrite(reqs[i].Op) && resps[i].Status == wire.StatusOK {
+				resps[i].TS = ts
+			}
+		}
 		return
 	}
 	c.srv.m.walUnackedWrites.Add(uint64(len(writes)))
@@ -785,6 +809,9 @@ func (c *serverConn) walCommitRun(reqs []wire.Request, resps []wire.Response) {
 func (c *serverConn) execTxn(req *wire.Request) wire.Response {
 	c.srv.m.txns.Add(1)
 	c.srv.m.txnOps.Add(uint64(len(req.Ops)))
+	if c.srv.cfg.ReadOnly && txnHasWrites(req) {
+		return wire.Response{Kind: wire.RespBatch, Status: wire.StatusErr}
+	}
 	if gc := c.srv.gc; gc != nil && gc.failed() != nil && txnHasWrites(req) {
 		c.srv.m.degraded.Add(1)
 		return wire.Response{Kind: wire.RespBatch, Status: wire.StatusErr}
@@ -812,9 +839,17 @@ func (c *serverConn) execTxn(req *wire.Request) wire.Response {
 		}
 		c.writePtrs = writes
 		if len(writes) > 0 {
-			if werr := c.walCommitWrites(writes); werr != nil {
+			ts, werr := c.walCommitWrites(writes)
+			if werr != nil {
 				c.srv.m.walUnackedWrites.Add(uint64(len(writes)))
 				return wire.Response{Kind: wire.RespBatch, Status: wire.StatusErr}
+			}
+			// The ack token rides the per-op sub-responses: RespBatch itself
+			// carries no TS on the wire.
+			for i := range req.Ops {
+				if isWrite(req.Ops[i].Op) && resps[i].Status == wire.StatusOK {
+					resps[i].TS = ts
+				}
 			}
 		}
 	}
@@ -857,6 +892,11 @@ func (c *serverConn) execStats() wire.Response {
 		st.RecoveredRecords = uint64(r.Records)
 		st.TruncatedBytes = uint64(r.TruncatedBytes)
 	}
+	if rs := c.srv.cfg.Repl; rs != nil {
+		st.ReplFollowers = uint64(rs.Followers())
+		st.ReplLagRecords = rs.Lag()
+		st.ReplWatermarkNS = rs.WatermarkNS()
+	}
 	return wire.Response{Kind: wire.RespStats, Status: wire.StatusOK, Stats: st}
 }
 
@@ -871,6 +911,24 @@ func (c *serverConn) execOp(tx db.Tx, req *wire.Request) (wire.Response, error) 
 	var err error
 	switch req.Op {
 	case wire.OpGet:
+		var vals []uint64
+		vals, err = tx.Read(int(req.Table), req.Key)
+		if err == nil {
+			return wire.Response{Kind: wire.RespRow, Status: wire.StatusOK, Row: vals}, nil
+		}
+	case wire.OpGetAt:
+		// The watermark gate: on a follower, a read demanding MinTS above
+		// the safe-read watermark cannot be answered consistently yet —
+		// the apply stream may still hold earlier-timestamped commits. The
+		// NOT_YET answer carries the current watermark so the client can
+		// back off or fall to another replica. Leaders and unreplicated
+		// servers serve GET_AT exactly like GET: every acked write is
+		// already visible there.
+		if st := c.srv.cfg.Repl; st != nil && st.Role() == RoleFollower {
+			if w := st.Watermark(); req.MinTS > w {
+				return wire.Response{Kind: wire.RespEmpty, Status: wire.StatusNotYet, TS: w}, nil
+			}
+		}
 		var vals []uint64
 		vals, err = tx.Read(int(req.Table), req.Key)
 		if err == nil {

@@ -90,6 +90,17 @@ type Config struct {
 	// seeded from; it rides along in Snapshot() and STATS responses.
 	Recovery *wal.RecoveryInfo
 
+	// ReadOnly refuses every mutating op with ERR without touching the
+	// engine — follower-mode serving, where the engine's only writer is the
+	// replication apply loop. Reads (GET, GET_AT, read-only TXNs) serve
+	// normally.
+	ReadOnly bool
+
+	// Repl, when set, attaches the replication scoreboard: STATS and
+	// Snapshot() gain repl fields, /healthz applies the follower lag rule,
+	// and on a follower GET_AT is gated on the safe-read watermark.
+	Repl *ReplState
+
 	// Telemetry, when set, wires the server's counters and latency
 	// histograms into a metrics registry and event tracer (telemetry.go).
 	// New binds it and installs the WAL flush observer on Config.WAL; a
@@ -192,6 +203,14 @@ type Snapshot struct {
 	WALUnackedWrites uint64 `json:"wal_unacked_writes"`
 	RecoveredRecords uint64 `json:"recovered_records"`
 	TruncatedBytes   uint64 `json:"truncated_bytes"`
+
+	// Replication fields; zero/absent on an unreplicated server.
+	ReplRole        string `json:"repl_role,omitempty"`
+	ReplFollowers   uint64 `json:"repl_followers"`
+	ReplLagRecords  uint64 `json:"repl_lag_records"`
+	ReplWatermarkNS uint64 `json:"repl_watermark_ns"`
+	ReplAppliedRecs uint64 `json:"repl_applied_records"`
+	ReplAppliedB    uint64 `json:"repl_applied_bytes"`
 
 	Clock *health.Snapshot `json:"clock_health,omitempty"`
 }
@@ -427,6 +446,14 @@ func (s *Server) Snapshot() Snapshot {
 	if r := s.cfg.Recovery; r != nil {
 		snap.RecoveredRecords = uint64(r.Records)
 		snap.TruncatedBytes = uint64(r.TruncatedBytes)
+	}
+	if st := s.cfg.Repl; st != nil {
+		snap.ReplRole = st.Role().String()
+		snap.ReplFollowers = uint64(st.Followers())
+		snap.ReplLagRecords = st.Lag()
+		snap.ReplWatermarkNS = st.WatermarkNS()
+		snap.ReplAppliedRecs = st.AppliedRecords()
+		snap.ReplAppliedB = st.AppliedBytes()
 	}
 	if s.cfg.Monitor != nil {
 		clock := s.cfg.Monitor.Snapshot()

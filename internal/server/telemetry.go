@@ -27,7 +27,7 @@ var opClassNames = [nOpClass]string{"get", "put", "insert", "delete", "txn"}
 // opClassOf maps a wire op to its latency class, -1 for untracked ops.
 func opClassOf(op wire.Op) int {
 	switch op {
-	case wire.OpGet:
+	case wire.OpGet, wire.OpGetAt:
 		return opClassGet
 	case wire.OpPut:
 		return opClassPut
@@ -61,12 +61,15 @@ type Telemetry struct {
 	ackLat    *telemetry.Histogram
 	walFlush  *telemetry.Histogram
 	walSync   *telemetry.Histogram
+	replApply *telemetry.Histogram
 
 	// Dedicated shards for the WAL observers. The flush observer runs on
 	// the group committer's flusher goroutine and the sync observer under
 	// the device lock, so each shard has one writer.
 	walFlushShard *telemetry.HistShard
 	walSyncShard  *telemetry.HistShard
+	// replApplyShard has one writer too: the follower's apply loop.
+	replApplyShard *telemetry.HistShard
 
 	bound atomic.Bool
 }
@@ -99,9 +102,18 @@ func NewTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer, slowOp time
 		"WAL device write duration per non-empty flush.", 1e9)
 	t.walSync = reg.Histogram("ordod_wal_sync_seconds",
 		"WAL fsync duration.", 1e9)
+	t.replApply = reg.Histogram("ordod_repl_apply_seconds",
+		"Replication apply latency per batch: leader frame received to engine replay durable.", 1e9)
 	t.walFlushShard = t.walFlush.NewShard()
 	t.walSyncShard = t.walSync.NewShard()
+	t.replApplyShard = t.replApply.NewShard()
 	return t
+}
+
+// ObserveReplApply records one replication apply batch's latency; called
+// only from the follower's single apply goroutine.
+func (t *Telemetry) ObserveReplApply(d time.Duration) {
+	t.replApplyShard.ObserveDuration(d)
 }
 
 // Registry returns the registry this Telemetry records into, for the admin
@@ -176,6 +188,18 @@ func (t *Telemetry) bind(s *Server) error {
 			}
 			return 0
 		})
+	if rs := s.cfg.Repl; rs != nil {
+		reg.GaugeFunc("ordod_repl_followers", "Followers currently subscribed (leader).",
+			func() float64 { return float64(rs.Followers()) })
+		reg.GaugeFunc("ordod_repl_lag_records", "Replication lag in redo records (worst follower on a leader; own lag on a follower).",
+			func() float64 { return float64(rs.Lag()) })
+		reg.GaugeFunc("ordod_repl_watermark_ns", "Safe-read watermark in clock nanoseconds (follower).",
+			func() float64 { return float64(rs.WatermarkNS()) })
+		reg.CounterFunc("ordod_repl_applied_records_total", "Redo records applied from the leader stream (follower).",
+			rs.AppliedRecords)
+		reg.CounterFunc("ordod_repl_applied_bytes_total", "Redo bytes applied from the leader stream (follower).",
+			rs.AppliedBytes)
+	}
 	return nil
 }
 

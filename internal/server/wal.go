@@ -87,14 +87,17 @@ func (gc *groupCommitter) failed() error {
 }
 
 // commit appends one redo record at the engine commit timestamp and blocks
-// until a flush has covered it. Any error means the write must not be
+// until a flush has covered it. It returns the timestamp the record was
+// actually logged at (AppendAt may clamp cts up to the handle watermark) —
+// the durability token a write ack carries so a client can later demand
+// read-your-writes from a replica. Any error means the write must not be
 // acknowledged.
-func (gc *groupCommitter) commit(h *wal.Handle, cts uint64, redo []byte) error {
-	seq, err := gc.append(h, cts, redo)
+func (gc *groupCommitter) commit(h *wal.Handle, cts uint64, redo []byte) (uint64, error) {
+	seq, ts, err := gc.append(h, cts, redo)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	return gc.wait(seq)
+	return ts, gc.wait(seq)
 }
 
 // append buffers one redo record at the engine commit timestamp (the
@@ -102,27 +105,27 @@ func (gc *groupCommitter) commit(h *wal.Handle, cts uint64, redo []byte) error {
 // replay order) and wakes the flusher. It returns the record's durability
 // sequence, which is what wait must cover — assigned only after the record
 // is in its handle buffer, so a flush draining after the assignment is
-// guaranteed to carry it.
-func (gc *groupCommitter) append(h *wal.Handle, cts uint64, redo []byte) (uint64, error) {
+// guaranteed to carry it — and the recorded timestamp.
+func (gc *groupCommitter) append(h *wal.Handle, cts uint64, redo []byte) (uint64, uint64, error) {
 	gc.mu.Lock()
 	if gc.err != nil {
 		err := gc.err
 		gc.mu.Unlock()
-		return 0, err
+		return 0, 0, err
 	}
 	if gc.closing {
 		gc.mu.Unlock()
-		return 0, errWALClosed
+		return 0, 0, errWALClosed
 	}
 	gc.mu.Unlock()
-	h.AppendAt(cts, redo)
+	ts := h.AppendAt(cts, redo)
 	gc.mu.Lock()
 	gc.appendSeq++
 	seq := gc.appendSeq
 	gc.dirty = true
 	gc.mu.Unlock()
 	gc.cond.Broadcast()
-	return seq, nil
+	return seq, ts, nil
 }
 
 // wait blocks until the durable sequence reaches seq, the device fails,

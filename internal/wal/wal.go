@@ -111,6 +111,16 @@ type FlushObserver interface {
 	ObserveFlush(records int, d time.Duration, err error)
 }
 
+// RecordSink receives every successfully flushed batch, records in LSN
+// order, with LSNs assigned — the live feed a replication source streams
+// from. It is called with the log's flush lock held, so calls are strictly
+// ordered and must be quick (append to a buffer, signal a goroutine); it
+// must not call back into the Log. The slice and the records' Data buffers
+// are not reused by the log afterwards, so the sink may retain them.
+type RecordSink interface {
+	DeliverFlushed(recs []Record)
+}
+
 // Log is a write-ahead log instance.
 type Log struct {
 	stamp oplog.Timestamper
@@ -118,6 +128,7 @@ type Log struct {
 
 	mu      sync.Mutex // guards flush, the handle registry, free list, orphans
 	obs     FlushObserver
+	sink    RecordSink
 	handles []*Handle
 	free    []handleState // closed slots available for reuse
 	orphans []Record      // drained from closed handles or a failed flush
@@ -131,6 +142,14 @@ type Log struct {
 func (l *Log) SetObserver(o FlushObserver) {
 	l.mu.Lock()
 	l.obs = o
+	l.mu.Unlock()
+}
+
+// SetSink installs the flushed-record sink (nil removes it). Set it before
+// serving starts so the sink sees every record the log ever flushes.
+func (l *Log) SetSink(s RecordSink) {
+	l.mu.Lock()
+	l.sink = s
 	l.mu.Unlock()
 }
 
@@ -329,6 +348,11 @@ func (l *Log) Flush() (horizon uint64, err error) {
 	l.flushed += uint64(len(merged))
 	if hz := merged[len(merged)-1].TS; hz > l.horizon {
 		l.horizon = hz
+	}
+	if l.sink != nil {
+		// merged is not reused after a successful flush (handles drained
+		// into fresh buffers), so handing it off is safe.
+		l.sink.DeliverFlushed(merged)
 	}
 	return l.horizon, nil
 }

@@ -109,6 +109,10 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 		}
 	case OpStats:
 		// No body.
+	case OpGetAt:
+		dst = binary.AppendUvarint(dst, uint64(r.Table))
+		dst = binary.AppendUvarint(dst, r.Key)
+		dst = binary.AppendUvarint(dst, r.MinTS)
 	default:
 		return nil, fmt.Errorf("wire: cannot encode %v", r.Op)
 	}
@@ -191,6 +195,27 @@ func decodeRequest(b []byte, inTxn bool, a *Arena) (Request, []byte, error) {
 		return r, rest, nil
 	case OpStats:
 		return r, b, nil
+	case OpGetAt:
+		if inTxn {
+			return r, nil, errors.New("wire: GET_AT inside TXN")
+		}
+		table, rest, err := uvarint(b)
+		if err != nil {
+			return r, nil, fmt.Errorf("%v table: %w", r.Op, err)
+		}
+		if table > 1<<31 {
+			return r, nil, fmt.Errorf("wire: %v table id %d out of range", r.Op, table)
+		}
+		r.Table = uint32(table)
+		r.Key, rest, err = uvarint(rest)
+		if err != nil {
+			return r, nil, fmt.Errorf("%v key: %w", r.Op, err)
+		}
+		r.MinTS, rest, err = uvarint(rest)
+		if err != nil {
+			return r, nil, fmt.Errorf("%v min_ts: %w", r.Op, err)
+		}
+		return r, rest, nil
 	}
 	return r, nil, fmt.Errorf("wire: unknown opcode %d", byte(r.Op))
 }
@@ -200,7 +225,7 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 	dst = append(dst, byte(r.Kind), byte(r.Status))
 	switch r.Kind {
 	case RespEmpty:
-		// No body.
+		dst = binary.AppendUvarint(dst, r.TS)
 	case RespRow:
 		if len(r.Row) > MaxCols {
 			return nil, fmt.Errorf("wire: response row has %d columns, limit %d", len(r.Row), MaxCols)
@@ -236,6 +261,7 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 			s.Busy, s.Degraded, s.ClockCmps, s.ClockUncertain,
 			s.WALFlushes, s.WALRecords, s.WALSyncNsP99, s.WALDeviceErrors,
 			s.WALUnackedWrites, s.RecoveredRecords, s.TruncatedBytes,
+			s.ReplFollowers, s.ReplLagRecords, s.ReplWatermarkNS,
 		} {
 			dst = binary.AppendUvarint(dst, v)
 		}
@@ -264,12 +290,17 @@ func decodeResponse(b []byte, inBatch bool) (Response, []byte, error) {
 		return r, nil, fmt.Errorf("response header: %w", ErrTruncated)
 	}
 	r.Kind, r.Status = RespKind(b[0]), Status(b[1])
-	if r.Status > StatusErr {
+	if r.Status > StatusNotYet {
 		return r, nil, fmt.Errorf("wire: unknown status %d", byte(r.Status))
 	}
 	b = b[2:]
 	switch r.Kind {
 	case RespEmpty:
+		var err error
+		r.TS, b, err = uvarint(b)
+		if err != nil {
+			return r, nil, fmt.Errorf("response ts: %w", err)
+		}
 		return r, b, nil
 	case RespRow:
 		var err error
@@ -309,6 +340,7 @@ func decodeResponse(b []byte, inBatch bool) (Response, []byte, error) {
 			&s.Busy, &s.Degraded, &s.ClockCmps, &s.ClockUncertain,
 			&s.WALFlushes, &s.WALRecords, &s.WALSyncNsP99, &s.WALDeviceErrors,
 			&s.WALUnackedWrites, &s.RecoveredRecords, &s.TruncatedBytes,
+			&s.ReplFollowers, &s.ReplLagRecords, &s.ReplWatermarkNS,
 		} {
 			*field, rest, err = uvarint(rest)
 			if err != nil {

@@ -18,17 +18,24 @@ func TestRegenSeedCorpus(t *testing.T) {
 	if os.Getenv("WIRE_WRITE_CORPUS") != "1" {
 		t.Skip("set WIRE_WRITE_CORPUS=1 to rewrite the seed corpus")
 	}
-	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeFrame")
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		t.Fatal(err)
-	}
-	for i, p := range seedPayloads(t) {
-		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(p)))
-		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
-		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+	write := func(sub string, seeds [][]byte) {
+		dir := filepath.Join("testdata", "fuzz", sub)
+		if err := os.RemoveAll(dir); err != nil {
 			t.Fatal(err)
 		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range seeds {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(p)))
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
 	}
+	write("FuzzDecodeFrame", seedPayloads(t))
+	write("FuzzDecodeRepl", seedReplPayloads(t))
 }
 
 // corpusEntries parses every Go fuzz corpus file in dir ("go test fuzz v1"

@@ -20,10 +20,13 @@ func seedPayloads(t interface{ Fatal(...any) }) [][]byte {
 			{Op: OpGet, Table: 0, Key: 1},
 			{Op: OpPut, Table: 0, Key: 2, Vals: []uint64{9}},
 		}},
+		{Op: OpGetAt, Table: 1, Key: 9, MinTS: 1 << 40},
 	}
 	resps := []Response{
 		{Kind: RespEmpty, Status: StatusOK},
 		{Kind: RespEmpty, Status: StatusBusy},
+		{Kind: RespEmpty, Status: StatusOK, TS: 1 << 50},
+		{Kind: RespEmpty, Status: StatusNotYet, TS: 77},
 		{Kind: RespRow, Status: StatusOK, Row: []uint64{1, 2}},
 		{Kind: RespRow, Status: StatusOK, Row: []uint64{}},
 		{Kind: RespBatch, Status: StatusOK, Batch: []Response{
@@ -35,6 +38,7 @@ func seedPayloads(t interface{ Fatal(...any) }) [][]byte {
 			BatchedOps: 20, Busy: 2, Degraded: 3, ClockCmps: 30, ClockUncertain: 1,
 			WALFlushes: 5, WALRecords: 12, WALSyncNsP99: 40000, WALDeviceErrors: 1,
 			WALUnackedWrites: 2, RecoveredRecords: 7, TruncatedBytes: 128,
+			ReplFollowers: 2, ReplLagRecords: 15, ReplWatermarkNS: 1 << 33,
 		}},
 	}
 	var out [][]byte
@@ -108,25 +112,98 @@ func FuzzDecodeFrame(f *testing.F) {
 	})
 }
 
-// TestSeedCorpus keeps the checked-in seed corpus under
-// testdata/fuzz/FuzzDecodeFrame in sync with the codec: every seed payload
-// must appear in some corpus file, so `go test -fuzz` starts from valid
-// frames of every shape even before its first mutation.
-func TestSeedCorpus(t *testing.T) {
-	files, err := corpusEntries("testdata/fuzz/FuzzDecodeFrame")
-	if err != nil {
-		t.Fatalf("reading seed corpus: %v", err)
+// seedReplPayloads returns one valid encoding of every replication frame
+// shape, mirroring seedPayloads for the repl codec.
+func seedReplPayloads(t interface{ Fatal(...any) }) [][]byte {
+	msgs := []ReplMsg{
+		{Kind: ReplSubscribe},
+		{Kind: ReplSubscribe, Inc: 3, Seq: 127},
+		{Kind: ReplAck, Inc: 4, Seq: 1 << 20},
+		{Kind: ReplWatermark, Inc: 4, Seq: 500, HorizonTS: 1 << 44, BoundaryTicks: 300},
+		{Kind: ReplBatch, Inc: 2, Seq: 10, Recs: []ReplRecord{
+			{Seq: 9, TS: 1000, H: 1, HSeq: 3, Data: []byte("redo")},
+			{Seq: 10, TS: 1001, H: 2, HSeq: 1, Data: []byte{}},
+		}},
+		{Kind: ReplBatch},
 	}
-	for i, p := range seedPayloads(t) {
-		found := false
-		for _, c := range files {
-			if bytes.Equal(c, p) {
-				found = true
-				break
+	var out [][]byte
+	for i := range msgs {
+		p, err := AppendReplMsg(nil, &msgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// normalizeReplMsg maps nil and empty slices to a canonical form: the wire
+// cannot distinguish a nil record list or data payload from an empty one.
+func normalizeReplMsg(m ReplMsg) ReplMsg {
+	if len(m.Recs) == 0 {
+		m.Recs = nil
+	} else {
+		recs := make([]ReplRecord, len(m.Recs))
+		copy(recs, m.Recs)
+		for i := range recs {
+			if len(recs[i].Data) == 0 {
+				recs[i].Data = nil
 			}
 		}
-		if !found {
-			t.Errorf("seed payload %d (%x) missing from checked-in corpus", i, p)
+		m.Recs = recs
+	}
+	return m
+}
+
+// FuzzDecodeRepl is FuzzDecodeFrame for the replication codec: decoding
+// arbitrary bytes never panics, and anything that decodes re-encodes to a
+// payload that decodes to the same value.
+func FuzzDecodeRepl(f *testing.F) {
+	for _, p := range seedReplPayloads(f) {
+		f.Add(p)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeReplMsg(data)
+		if err != nil {
+			return
+		}
+		enc, err := AppendReplMsg(nil, &m)
+		if err != nil {
+			t.Fatalf("decoded repl msg %+v does not re-encode: %v", m, err)
+		}
+		again, err := DecodeReplMsg(enc)
+		if err != nil {
+			t.Fatalf("re-encoded repl msg does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(normalizeReplMsg(m), normalizeReplMsg(again)) {
+			t.Fatalf("repl round-trip unstable:\n first %+v\n again %+v", m, again)
+		}
+	})
+}
+
+// TestSeedCorpus keeps the checked-in seed corpora under testdata/fuzz in
+// sync with the codecs: every seed payload must appear in some corpus file,
+// so `go test -fuzz` starts from valid frames of every shape even before
+// its first mutation.
+func TestSeedCorpus(t *testing.T) {
+	check := func(dir string, seeds [][]byte) {
+		files, err := corpusEntries(dir)
+		if err != nil {
+			t.Fatalf("reading seed corpus: %v", err)
+		}
+		for i, p := range seeds {
+			found := false
+			for _, c := range files {
+				if bytes.Equal(c, p) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: seed payload %d (%x) missing from checked-in corpus", dir, i, p)
+			}
 		}
 	}
+	check("testdata/fuzz/FuzzDecodeFrame", seedPayloads(t))
+	check("testdata/fuzz/FuzzDecodeRepl", seedReplPayloads(t))
 }

@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestReplMsgRoundTrip(t *testing.T) {
+	cases := []ReplMsg{
+		{Kind: ReplSubscribe},
+		{Kind: ReplSubscribe, Inc: math.MaxUint64, Seq: math.MaxUint64},
+		{Kind: ReplAck, Inc: 7, Seq: 42},
+		{Kind: ReplWatermark, Inc: 7, Seq: 42, HorizonTS: 1 << 50, BoundaryTicks: 275},
+		{Kind: ReplBatch, Inc: 1, Seq: 3, Recs: []ReplRecord{
+			{Seq: 1, TS: 10, H: 1, HSeq: 1, Data: []byte("a")},
+			{Seq: 2, TS: 11, H: math.MaxUint32, HSeq: math.MaxUint64, Data: nil},
+			{Seq: 3, TS: 11, H: 2, HSeq: 2, Data: bytes.Repeat([]byte{0xCD}, 4096)},
+		}},
+		{Kind: ReplBatch, Recs: []ReplRecord{}},
+	}
+	for _, m := range cases {
+		payload, err := AppendReplMsg(nil, &m)
+		if err != nil {
+			t.Fatalf("encode %v: %v", m.Kind, err)
+		}
+		got, err := DecodeReplMsg(payload)
+		if err != nil {
+			t.Fatalf("decode %v: %v", m.Kind, err)
+		}
+		if !reflect.DeepEqual(normalizeReplMsg(m), normalizeReplMsg(got)) {
+			t.Fatalf("round trip %v:\n sent %+v\n got  %+v", m.Kind, m, got)
+		}
+	}
+}
+
+func TestReplDecodeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"empty", nil},
+		{"unknown kind", []byte{0xEE, 0, 0}},
+		{"truncated position", []byte{byte(ReplSubscribe), 3}},
+		{"trailing bytes", []byte{byte(ReplAck), 0, 0, 9}},
+		{"huge record count", []byte{byte(ReplBatch), 0, 0, 0xFF, 0xFF, 0x7F}},
+		{"record data beyond payload", []byte{byte(ReplBatch), 0, 0, 1, 1, 1, 1, 1, 0x20}},
+		{"truncated watermark", []byte{byte(ReplWatermark), 0, 0, 5}},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeReplMsg(tc.b); err == nil {
+			t.Errorf("%s: decode accepted %x", tc.name, tc.b)
+		}
+	}
+}
+
+func TestReplFrameIO(t *testing.T) {
+	var buf bytes.Buffer
+	// A frame bigger than the client protocol's MaxFrame must pass: one
+	// WALBATCH can carry a redo record of up to wal.MaxRecordData bytes.
+	big := bytes.Repeat([]byte{0xAB}, MaxFrame+1)
+	payloads := [][]byte{{}, {1, 2, 3}, big}
+	for _, p := range payloads {
+		if err := WriteReplFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	var scratch []byte
+	for i, want := range payloads {
+		got, err := ReadReplFrame(r, scratch)
+		scratch = got
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := ReadReplFrame(r, scratch); err != io.EOF {
+		t.Fatalf("EOF expected, got %v", err)
+	}
+	if err := WriteReplFrame(io.Discard, make([]byte, MaxReplFrame+1)); !errors.Is(err, ErrReplFrameTooBig) {
+		t.Fatalf("oversized write: got %v", err)
+	}
+	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}
+	if _, err := ReadReplFrame(bytes.NewReader(huge), nil); !errors.Is(err, ErrReplFrameTooBig) {
+		t.Fatalf("oversized frame: got %v", err)
+	}
+}
+
+func TestReadSubscribe(t *testing.T) {
+	var buf bytes.Buffer
+	p, err := AppendReplMsg(nil, &ReplMsg{Kind: ReplSubscribe, Inc: 2, Seq: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteReplFrame(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	inc, seq, _, err := ReadSubscribe(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc != 2 || seq != 17 {
+		t.Fatalf("got position (%d, %d), want (2, 17)", inc, seq)
+	}
+
+	buf.Reset()
+	p, _ = AppendReplMsg(nil, &ReplMsg{Kind: ReplAck, Inc: 2, Seq: 17})
+	_ = WriteReplFrame(&buf, p)
+	if _, _, _, err := ReadSubscribe(bytes.NewReader(buf.Bytes()), nil); err == nil {
+		t.Fatal("non-SUBSCRIBE hello accepted")
+	}
+}

@@ -57,6 +57,12 @@ const (
 	OpTxn
 	// OpStats asks the server for its counter snapshot.
 	OpStats
+	// OpGetAt reads one row with a freshness requirement: table, key,
+	// min-timestamp → status + row. A read replica serves it only when its
+	// safe-read watermark covers MinTS; otherwise it answers NOT_YET with
+	// the watermark so the client can retry or fall back to the leader. A
+	// leader serves it exactly like GET (its state is authoritative).
+	OpGetAt
 )
 
 // String returns the opcode's wire-level name.
@@ -74,6 +80,8 @@ func (o Op) String() string {
 		return "TXN"
 	case OpStats:
 		return "STATS"
+	case OpGetAt:
+		return "GET_AT"
 	}
 	return fmt.Sprintf("Op(%d)", byte(o))
 }
@@ -97,6 +105,12 @@ const (
 	StatusBusy
 	// StatusErr is any other server-side failure.
 	StatusErr
+	// StatusNotYet reports that a read replica's safe-read watermark has
+	// not reached the GET_AT's MinTS: the replica cannot prove it has
+	// applied every leader write at or below that timestamp. The response's
+	// TS field carries the current watermark so the client can retry after
+	// it advances or fall back to the leader.
+	StatusNotYet
 )
 
 // String returns the status code's wire-level name.
@@ -114,6 +128,8 @@ func (s Status) String() string {
 		return "BUSY"
 	case StatusErr:
 		return "ERR"
+	case StatusNotYet:
+		return "NOT_YET"
 	}
 	return fmt.Sprintf("Status(%d)", byte(s))
 }
@@ -124,6 +140,9 @@ var (
 	ErrBusy = errors.New("wire: server busy, op shed")
 	// ErrServer is the client-side view of StatusErr.
 	ErrServer = errors.New("wire: server error")
+	// ErrNotYet is the client-side view of StatusNotYet: the replica's
+	// watermark has not covered the requested read timestamp.
+	ErrNotYet = errors.New("wire: replica watermark below requested read timestamp")
 )
 
 // StatusOf maps an engine error to its wire status. nil maps to StatusOK;
@@ -140,6 +159,8 @@ func StatusOf(err error) Status {
 		return StatusConflict
 	case errors.Is(err, ErrBusy):
 		return StatusBusy
+	case errors.Is(err, ErrNotYet):
+		return StatusNotYet
 	}
 	return StatusErr
 }
@@ -158,6 +179,8 @@ func (s Status) Err() error {
 		return db.ErrConflict
 	case StatusBusy:
 		return ErrBusy
+	case StatusNotYet:
+		return ErrNotYet
 	}
 	return ErrServer
 }
@@ -202,6 +225,10 @@ type Request struct {
 	// Ops holds a TXN frame's sub-operations; each must be a simple op
 	// (GET/PUT/INSERT/DELETE — no nesting).
 	Ops []Request
+	// MinTS is GET_AT's freshness requirement: the read must reflect every
+	// write with commit timestamp ≤ MinTS. Zero means "any watermark",
+	// which a replica always serves. Ignored by every other op.
+	MinTS uint64
 }
 
 // Response is one decoded response frame.
@@ -215,6 +242,12 @@ type Response struct {
 	Batch []Response
 	// Stats is the STATS snapshot.
 	Stats *Stats
+	// TS is the timestamp carried by RespEmpty responses. On a durable
+	// write ack it is the commit timestamp of the redo record that made the
+	// write durable — the token a client hands to GET_AT for
+	// read-your-writes on a replica. On NOT_YET it is the replica's current
+	// safe-read watermark. Zero otherwise (non-durable servers, errors).
+	TS uint64
 }
 
 // Stats is the server counter snapshot carried by a STATS response. Fields
@@ -241,6 +274,14 @@ type Stats struct {
 	WALUnackedWrites uint64 `json:"wal_unacked_writes"`
 	RecoveredRecords uint64 `json:"recovered_records"`
 	TruncatedBytes   uint64 `json:"truncated_bytes"`
+	// Replication fields. On a leader, ReplFollowers is the number of
+	// subscribed followers and ReplLagRecords the worst follower's
+	// acknowledged lag; on a follower, ReplLagRecords is its own apply lag
+	// behind the leader's advertised tail and ReplWatermarkNS the safe-read
+	// watermark converted to nanoseconds. Zero on an unreplicated server.
+	ReplFollowers   uint64 `json:"repl_followers"`
+	ReplLagRecords  uint64 `json:"repl_lag_records"`
+	ReplWatermarkNS uint64 `json:"repl_watermark_ns"`
 }
 
 // Simple reports whether the op is a valid simple (non-composite)

@@ -77,7 +77,9 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Op: OpPut, Table: 0, Key: 1, Vals: []uint64{}}, // zero-column row
 		{Op: OpInsert, Table: 0, Key: 5, Vals: maxRow},  // max-length payload
 		{Op: OpStats},
-		{Op: OpTxn}, // empty batch
+		{Op: OpGetAt, Table: 2, Key: 11, MinTS: math.MaxUint64},
+		{Op: OpGetAt}, // zero MinTS: "any watermark"
+		{Op: OpTxn},   // empty batch
 		{Op: OpTxn, Ops: []Request{
 			{Op: OpGet, Table: 0, Key: 1},
 			{Op: OpPut, Table: 0, Key: 2, Vals: []uint64{10, 20}},
@@ -99,6 +101,8 @@ func TestResponseRoundTrip(t *testing.T) {
 		{Kind: RespEmpty, Status: StatusOK},
 		{Kind: RespEmpty, Status: StatusBusy},
 		{Kind: RespEmpty, Status: StatusErr},
+		{Kind: RespEmpty, Status: StatusOK, TS: math.MaxUint64},
+		{Kind: RespEmpty, Status: StatusNotYet, TS: 12345},
 		{Kind: RespRow, Status: StatusOK, Row: []uint64{1, 2, 3}},
 		{Kind: RespRow, Status: StatusOK, Row: []uint64{}}, // zero-column row
 		{Kind: RespRow, Status: StatusOK, Row: maxRow},     // max-length payload
@@ -112,6 +116,7 @@ func TestResponseRoundTrip(t *testing.T) {
 			Protocol: "OCC_ORDO", Commits: 12, Aborts: 3, Batches: 5,
 			BatchedOps: 40, Busy: 1, Degraded: 4, ClockCmps: 99, ClockUncertain: 2,
 			WALUnackedWrites: 6,
+			ReplFollowers:    3, ReplLagRecords: 42, ReplWatermarkNS: 1 << 60,
 		}},
 		{Kind: RespStats, Status: StatusOK, Stats: &Stats{}},
 	}
@@ -176,6 +181,8 @@ func TestDecodeRejects(t *testing.T) {
 		{"huge column count", []byte{byte(OpPut), 0, 0, 0xFF, 0xFF, 0xFF, 0x7F}},
 		{"nested txn", append([]byte{byte(OpTxn), 1}, byte(OpTxn), 0)},
 		{"stats op in txn", []byte{byte(OpTxn), 1, byte(OpStats)}},
+		{"get_at in txn", []byte{byte(OpTxn), 1, byte(OpGetAt), 0, 0, 0}},
+		{"truncated get_at", []byte{byte(OpGetAt), 0, 5}},
 		{"trailing bytes", []byte{byte(OpStats), 0}},
 	}
 	for _, tc := range cases {
@@ -191,9 +198,10 @@ func TestDecodeRejects(t *testing.T) {
 		{"header only", []byte{byte(RespRow)}},
 		{"unknown kind", []byte{0xEE, 0}},
 		{"unknown status", []byte{byte(RespEmpty), 0xEE}},
-		{"nested batch", []byte{byte(RespBatch), 0, 1, byte(RespBatch), 0, 0}},
+		{"nested batch", []byte{byte(RespBatch), 0, 1, byte(RespBatch), 0, 0, 0}},
 		{"stats without body", []byte{byte(RespStats), 0}},
-		{"trailing bytes", []byte{byte(RespEmpty), 0, 0}},
+		{"empty without ts", []byte{byte(RespEmpty), 0}},
+		{"trailing bytes", []byte{byte(RespEmpty), 0, 0, 0}},
 	}
 	for _, tc := range respCases {
 		if _, err := DecodeResponse(tc.b); err == nil {
@@ -205,7 +213,7 @@ func TestDecodeRejects(t *testing.T) {
 // TestStatusRoundTrip checks both directions of the error mapping: every
 // status survives Err→StatusOf, and every engine error maps to its code.
 func TestStatusRoundTrip(t *testing.T) {
-	for s := StatusOK; s <= StatusErr; s++ {
+	for s := StatusOK; s <= StatusNotYet; s++ {
 		if got := StatusOf(s.Err()); got != s {
 			t.Errorf("StatusOf(%v.Err()) = %v", s, got)
 		}
