@@ -11,9 +11,9 @@
 //	ordo-benchrun compare BENCH_6.json new.json
 //
 // The scenario grid is {read-heavy, write-heavy} x {wal=off, wal=batched}
-// x a -conns list, each cell a freshly booted server on a loopback
-// ephemeral port with a freshly preloaded keyspace — so a run's numbers
-// depend only on the machine, the seed, and the code.
+// x a -conns list x a -shards list, each cell a freshly booted server on a
+// loopback ephemeral port with a freshly preloaded keyspace — so a run's
+// numbers depend only on the machine, the seed, and the code.
 package main
 
 import (
@@ -62,7 +62,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  ordo-benchrun run [-out FILE] [-seconds N] [-conns LIST] [-protocol P] [-seed N]
+  ordo-benchrun run [-out FILE] [-seconds N] [-conns LIST] [-shards LIST] [-protocol P] [-seed N]
   ordo-benchrun compare BASE.json CURRENT.json [-max-ops-drop F] [-max-p99-grow F] [-max-alloc-grow F]
 `)
 }
@@ -88,14 +88,19 @@ func cmdRun(args []string) error {
 		connsCS = fs.String("conns", "1,4", "comma-separated connection counts")
 		window  = fs.Int("pipeline", 32, "pipelined requests in flight per connection")
 		records = fs.Int("records", 4096, "keyspace size per scenario")
-		theta   = fs.Float64("theta", 0, "Zipfian skew (0 = uniform)")
-		proto   = fs.String("protocol", "OCC", "engine protocol for every scenario")
-		seed    = fs.Int64("seed", 1, "base RNG seed (connection i uses seed+i)")
+		theta    = fs.Float64("theta", 0, "Zipfian skew (0 = uniform)")
+		proto    = fs.String("protocol", "OCC", "engine protocol for every scenario")
+		seed     = fs.Int64("seed", 1, "base RNG seed (connection i uses seed+i)")
+		shardsCS = fs.String("shards", "1", "comma-separated single-writer lane counts (adds a shards axis to the grid)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	connCounts, err := parseConns(*connsCS)
+	if err != nil {
+		return err
+	}
+	shardCounts, err := parseConns(*shardsCS)
 	if err != nil {
 		return err
 	}
@@ -122,16 +127,18 @@ func cmdRun(args []string) error {
 	for _, m := range mixes {
 		for _, walMode := range walModes {
 			for _, conns := range connCounts {
-				sc, err := runScenario(p, m, walMode, conns, *window, *records, *theta, *seconds, *seed)
-				if err != nil {
-					return fmt.Errorf("%s: %w", sc.Name, err)
+				for _, shards := range shardCounts {
+					sc, err := runScenario(p, m, walMode, conns, shards, *window, *records, *theta, *seconds, *seed)
+					if err != nil {
+						return fmt.Errorf("%s: %w", sc.Name, err)
+					}
+					fmt.Printf("%-34s %10.0f ops/s  p50=%-9v p99=%-9v p999=%v\n",
+						sc.Name, sc.OpsPerSec,
+						time.Duration(sc.P50Ns).Round(time.Microsecond),
+						time.Duration(sc.P99Ns).Round(time.Microsecond),
+						time.Duration(sc.P999Ns).Round(time.Microsecond))
+					f.Scenarios = append(f.Scenarios, sc)
 				}
-				fmt.Printf("%-34s %10.0f ops/s  p50=%-9v p99=%-9v p999=%v\n",
-					sc.Name, sc.OpsPerSec,
-					time.Duration(sc.P50Ns).Round(time.Microsecond),
-					time.Duration(sc.P99Ns).Round(time.Microsecond),
-					time.Duration(sc.P999Ns).Round(time.Microsecond))
-				f.Scenarios = append(f.Scenarios, sc)
 			}
 		}
 	}
@@ -162,13 +169,20 @@ func parseConns(s string) ([]int, error) {
 
 // runScenario boots one fresh server, drives one measured run against it,
 // and tears everything down.
-func runScenario(p db.Protocol, m mix, walMode string, conns, window, records int,
+func runScenario(p db.Protocol, m mix, walMode string, conns, shards, window, records int,
 	theta, seconds float64, seed int64) (benchjson.Scenario, error) {
+	// The "/shards=N" suffix appears only above one lane, so pre-shard
+	// baseline files keep matching the unsharded cells by name.
+	name := fmt.Sprintf("%s/wal=%s/conns=%d", m.name, walMode, conns)
+	if shards > 1 {
+		name += fmt.Sprintf("/shards=%d", shards)
+	}
 	sc := benchjson.Scenario{
-		Name:     fmt.Sprintf("%s/wal=%s/conns=%d", m.name, walMode, conns),
+		Name:     name,
 		Protocol: p.String(),
 		WAL:      walMode,
 		Conns:    conns,
+		Shards:   shards,
 		Window:   window,
 		Records:  records,
 		Reads:    m.reads,
@@ -191,7 +205,7 @@ func runScenario(p db.Protocol, m mix, walMode string, conns, window, records in
 		return sc, err
 	}
 
-	cfg := server.Config{DB: engine, Schema: ycsb.Schema()}
+	cfg := server.Config{DB: engine, Schema: ycsb.Schema(), Shards: shards, Ordo: ordo}
 	var closeWAL func()
 	if walMode != "off" {
 		dir, err := os.MkdirTemp("", "ordo-benchrun-wal-")

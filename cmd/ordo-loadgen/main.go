@@ -166,11 +166,21 @@ func printResult(cfg loadgen.Config, res *loadgen.Result) {
 	for i := range res.Replicas {
 		r := &res.Replicas[i]
 		fmt.Printf("replica %s: probes=%d not_yet=%d stale=%d", r.Addr, r.Probes, r.NotYet, r.Stale)
-		if r.Visibility.Count() > 0 {
-			fmt.Printf(" visible p50=%v p99=%v",
+		// Quantiles from a handful of probes are noise dressed up as
+		// precision (p99 of 3 samples is just the max), so below the
+		// sample floor report only the count — suppressed, not zero.
+		if n := r.Visibility.Count(); n >= minVisibilitySamples {
+			fmt.Printf(" visible n=%d p50=%v p99=%v", n,
 				time.Duration(r.Visibility.Quantile(0.5)).Round(time.Microsecond),
 				time.Duration(r.Visibility.Quantile(0.99)).Round(time.Microsecond))
+		} else if n > 0 {
+			fmt.Printf(" visible n=%d (quantiles suppressed below %d samples)",
+				n, minVisibilitySamples)
 		}
 		fmt.Println()
 	}
 }
+
+// minVisibilitySamples is the floor below which ack-to-visible quantiles
+// are suppressed rather than reported from too little data.
+const minVisibilitySamples = 100

@@ -81,6 +81,9 @@ func startOrdod(t *testing.T, walDir, tag string, extra ...string) *ordodProc {
 		"-addr-file", addrFile,
 		"-wal-dir", walDir,
 		"-calibration-runs", "20",
+		// Every kill-crash scenario runs sharded: recovery must replay a
+		// log written by four lanes (plus coordinator records) correctly.
+		"-shards", "4",
 	}
 	args = append(args, extra...)
 	cmd := exec.Command(ordodBin, args...)

@@ -50,6 +50,7 @@ type options struct {
 	addr     string
 	addrFile string
 	cols     int
+	shards   int
 	maxBatch int
 	queue    int
 	retries  int
@@ -87,6 +88,8 @@ func main() {
 	flag.StringVar(&o.addrFile, "addr-file", "",
 		"write the bound listen address to this file once listening (for :0 port discovery)")
 	flag.IntVar(&o.cols, "cols", 10, "row width of the single served table")
+	flag.IntVar(&o.shards, "shards", 1,
+		"single-writer partition lanes the keyspace is hashed across (1 disables sharding)")
 	flag.IntVar(&o.maxBatch, "max-batch", server.DefaultMaxBatch,
 		"max pipelined ops folded into one engine transaction")
 	flag.IntVar(&o.queue, "queue", server.DefaultQueueDepth,
@@ -298,6 +301,8 @@ func run(o options) error {
 	scfg := server.Config{
 		DB:           engine,
 		Schema:       schema,
+		Shards:       o.shards,
+		Ordo:         ordo,
 		MaxBatch:     o.maxBatch,
 		QueueDepth:   o.queue,
 		MaxRetries:   o.retries,

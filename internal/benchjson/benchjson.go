@@ -56,6 +56,11 @@ type Scenario struct {
 	Protocol string  `json:"protocol"`
 	WAL      string  `json:"wal"` // "off", "flush", or "batched"
 	Conns    int     `json:"conns"`
+	// Shards is the single-writer lane count the server ran with. Zero
+	// (files from before the field existed) means 1; the name carries a
+	// "/shards=N" suffix only when N > 1, so pre-shard baselines keep
+	// matching cell-for-cell.
+	Shards int `json:"shards,omitempty"`
 	Window   int     `json:"window"`
 	Records  int     `json:"records"`
 	Reads    float64 `json:"reads"`

@@ -367,8 +367,14 @@ func (s *Source) sendBackfill(w *frameWriter, afterInc, afterSeq, gate uint64) e
 		return err
 	}
 	for _, sr := range recs {
+		// Current-incarnation records above the registration gate are the
+		// duplication window of the splice: flushed after register()
+		// snapshotted the tail, they are on disk by the time Backfill
+		// reads it AND queued on sub.ch (the subscriber was in s.subs
+		// before their DeliverFlushed ran — both happen under s.mu). Ship
+		// them from the live feed only, never from backfill.
 		if sr.Inc == s.cfg.Incarnation && sr.Rec.LSN > gate {
-			continue // the live feed covers these
+			continue
 		}
 		if len(batch) > 0 && (sr.Inc != batchInc ||
 			len(batch) >= wire.MaxReplBatch || bytes+len(sr.Rec.Data) > batchTargetBytes) {

@@ -1,0 +1,145 @@
+package repl
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ordo/internal/wal"
+	"ordo/internal/wire"
+)
+
+// TestConcurrentRegisterSplice pins the register/DeliverFlushed splice: a
+// writer flushing one record at a time (every flush is a splice window)
+// races followers that subscribe mid-stream, some from the origin and some
+// resuming by (incarnation, seq) from a position they learned while the
+// stream was moving. Each follower asserts the dense-LSN stream it receives
+// is exactly resume+1, resume+2, ... — any duplicated record (backfill and
+// live feed both shipping the window between gate snapshot and disk read)
+// or skipped record (a flush falling between the gate and the first live
+// delivery) fails immediately. Payloads carry the LSN they were appended
+// as, so a record shipped under the wrong sequence is also caught.
+func TestConcurrentRegisterSplice(t *testing.T) {
+	dir := t.TempDir()
+	dev, err := wal.OpenFile(dir, wal.FileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	log := wal.New(dev, nil)
+	src, err := NewSource(SourceConfig{
+		Dir:            dir,
+		Log:            log,
+		Incarnation:    dev.Incarnation(),
+		WatermarkEvery: 5 * time.Millisecond,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- src.Serve(ln) }()
+
+	const total = 400
+	var flushed atomic.Uint64
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		h := log.NewHandle()
+		defer h.Close()
+		var payload [8]byte
+		for i := uint64(1); i <= total; i++ {
+			binary.BigEndian.PutUint64(payload[:], i)
+			h.AppendAt(i, payload[:])
+			if _, err := log.Flush(); err != nil {
+				t.Errorf("flush %d: %v", i, err)
+				return
+			}
+			flushed.Store(i)
+		}
+	}()
+
+	// Followers subscribe at staggered points while the writer is mid-
+	// stream; odd ones resume from the middle of what they saw flushed,
+	// pinning that resume-by-position is strictly exclusive.
+	const followers = 8
+	var wg sync.WaitGroup
+	for j := 0; j < followers; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			join := uint64(j * total / followers)
+			for flushed.Load() < join {
+				time.Sleep(time.Millisecond)
+			}
+			var resume uint64
+			if j%2 == 1 {
+				resume = flushed.Load() / 2
+			}
+			nc, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				t.Errorf("follower %d: %v", j, err)
+				return
+			}
+			defer nc.Close()
+			nc.SetDeadline(time.Now().Add(30 * time.Second))
+			w := &frameWriter{nc: nc}
+			var inc uint64
+			if resume > 0 {
+				inc = dev.Incarnation()
+			}
+			if err := w.writeMsg(&wire.ReplMsg{Kind: wire.ReplSubscribe, Inc: inc, Seq: resume}); err != nil {
+				t.Errorf("follower %d: subscribe: %v", j, err)
+				return
+			}
+			br := newFrameReader(nc)
+			var buf []byte
+			want := resume + 1
+			for want <= total {
+				buf, err = wire.ReadReplFrame(br, buf)
+				if err != nil {
+					t.Errorf("follower %d: read at seq %d: %v", j, want, err)
+					return
+				}
+				m, err := wire.DecodeReplMsg(buf)
+				if err != nil {
+					t.Errorf("follower %d: decode: %v", j, err)
+					return
+				}
+				if m.Kind != wire.ReplBatch {
+					continue
+				}
+				if m.Inc != dev.Incarnation() {
+					t.Errorf("follower %d: batch from incarnation %d, want %d", j, m.Inc, dev.Incarnation())
+					return
+				}
+				for _, r := range m.Recs {
+					if r.Seq != want {
+						t.Errorf("follower %d (resume %d): got seq %d, want %d (dup or gap in splice)",
+							j, resume, r.Seq, want)
+						return
+					}
+					if got := binary.BigEndian.Uint64(r.Data); got != r.Seq {
+						t.Errorf("follower %d: seq %d carries payload %d", j, r.Seq, got)
+						return
+					}
+					want++
+				}
+			}
+		}(j)
+	}
+
+	<-writerDone
+	wg.Wait()
+	src.Close()
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}

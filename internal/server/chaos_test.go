@@ -89,6 +89,8 @@ func chaosRun(t *testing.T, proto db.Protocol) {
 	srv, err := New(Config{
 		DB:           engine,
 		Schema:       ycsb.Schema(),
+		Shards:       4,
+		Ordo:         ordo,
 		MaxBatch:     16,
 		QueueDepth:   64,
 		IdleTimeout:  2 * time.Second,

@@ -11,7 +11,9 @@ import (
 	"syscall"
 	"time"
 
+	"ordo/internal/core"
 	"ordo/internal/db"
+	"ordo/internal/shard"
 	"ordo/internal/wal"
 	"ordo/internal/wire"
 )
@@ -60,11 +62,23 @@ type serverConn struct {
 	br *bufio.Reader
 	bw *wire.BatchWriter
 
+	// sess is the worker's own engine session. Since the shard-lane
+	// refactor it is reserved for the paths that cannot ride a single
+	// lane: reads-only serving (follower mode, failed WAL device) and
+	// cross-shard transactions, where the worker acts as coordinator
+	// while the involved lanes are parked. Partitioned writes always go
+	// through lanes, preserving the single-writer-per-partition
+	// discipline.
 	sess db.Session
-	// wh is the connection's WAL append buffer in durable mode (nil
-	// otherwise). Only the worker touches it; closed in workLoop teardown
-	// so the slot recycles.
+	// wh is the worker's coordinator WAL append buffer in durable mode
+	// (nil otherwise): cross-shard transactions log their whole write-set
+	// as ONE record here, so recovery can never replay half a transfer.
+	// Only the worker touches it; closed in workLoop teardown so the slot
+	// recycles.
 	wh *wal.Handle
+	// ports is the connection's submission side to the shard lanes: one
+	// bounded SPSC ring per lane, worker-owned.
+	ports *shard.Ports
 	// tel is the connection's histogram shard set (nil when telemetry is
 	// off). Only the worker observes into it; closed in workLoop teardown
 	// so the counts retire into the parent histograms.
@@ -96,11 +110,30 @@ type serverConn struct {
 	runBuf    []item
 	redoBuf   []byte
 	writePtrs []*wire.Request
+
+	// Lane-dispatch scratch, reused across runs: per-lane request/response
+	// pointer groups (the scatter), the reusable batch per lane, the
+	// submitted set of the current run (the gather), involved-lane marks
+	// for cross-shard transactions, and publication-board snapshots for
+	// the cross-shard read stability check.
+	greqs    [][]*wire.Request
+	gresps   [][]*wire.Response
+	used     []int
+	lbatch   []*shard.Batch
+	subm     []*shard.Batch
+	laneMark []bool
+	tsV1     []uint64
+	tsV2     []uint64
 	// protoFatal is set by the worker when a well-framed payload fails to
 	// decode: the decoded prefix was served, the bad op answered ERR, and
 	// nothing past it can be trusted, so the connection must close after a
 	// flush.
 	protoFatal bool
+	// laneFatal is set when a lane panicked executing this connection's
+	// batch: the lane survived (answered ERR, replaced its session), but the
+	// submitting connection dies after the flush — the panic containment
+	// boundary stays the connection, as in the flat design.
+	laneFatal bool
 
 	// Session-counter baselines for delta-flushing into server metrics.
 	lastCommits, lastAborts uint64
@@ -126,8 +159,26 @@ func newServerConn(s *Server, nc net.Conn) *serverConn {
 	if s.cfg.Telemetry != nil {
 		c.tel = s.cfg.Telemetry.newConnShards()
 	}
+	n := s.lanes.N()
+	c.ports = s.lanes.NewPorts()
+	c.greqs = make([][]*wire.Request, n)
+	c.gresps = make([][]*wire.Response, n)
+	c.lbatch = make([]*shard.Batch, n)
+	c.laneMark = make([]bool, n)
 	c.cond = sync.NewCond(&c.mu)
 	return c
+}
+
+// laneBatch returns the connection's reusable batch for one lane, reset
+// for a new submission.
+func (c *serverConn) laneBatch(lane int) *shard.Batch {
+	b := c.lbatch[lane]
+	if b == nil {
+		b = shard.NewBatch()
+		c.lbatch[lane] = b
+	}
+	b.Seq, b.WalWrites, b.Err, b.Panicked = 0, 0, nil, false
+	return b
 }
 
 // beginDrain stops the reader (unblocking a pending read via deadline) and
@@ -304,6 +355,7 @@ func (c *serverConn) workLoop() {
 	defer c.nc.Close()
 	defer c.closeWAL()
 	defer c.tel.close()
+	defer c.ports.Close()
 	for {
 		c.mu.Lock()
 		for len(c.pending) == 0 && !c.readerDone {
@@ -345,10 +397,11 @@ func (c *serverConn) workLoop() {
 			return
 		}
 		c.flushSessionStats()
-		if c.protoFatal {
-			// A worker-detected decode error: the reader may still be
-			// pumping frames, so the flush cannot ride the idle-queue path —
-			// push the prefix responses and the ERR out explicitly, then die.
+		if c.protoFatal || c.laneFatal {
+			// A worker-detected decode error or a lane panic on this
+			// connection's batch: the reader may still be pumping frames, so
+			// the flush cannot ride the idle-queue path — push the responses
+			// (prefix + ERR) out explicitly, then die.
 			c.armWriteDeadline()
 			c.bw.Flush()
 			c.abortReader()
@@ -558,20 +611,21 @@ func (c *serverConn) countOps(reqs []wire.Request, resps []wire.Response) {
 	}
 }
 
-// execBatch runs a contiguous run of simple ops as one engine transaction —
-// the batching that amortizes timestamp allocation across a pipeline. If
-// the batch cannot commit (a conflict that survived the retries, or a
-// commit-time duplicate that cannot be attributed to one op), it degrades
-// to one transaction per op so each response carries its own status. Only
-// runs that committed as one transaction count in batches/batchedOps;
-// degraded runs count in degraded, so the two counters partition the
-// simple-op runs and the batching rate stays honest under failures.
+// execBatch serves a contiguous run of simple ops through the shard
+// lanes: the run is scattered by key hash into per-lane batches, each lane
+// executes its slice as one engine transaction on its own single-writer
+// session (the batching that amortizes timestamp allocation, now also
+// across connections), and the worker gathers completions before writing
+// responses in request order. Commit/degrade semantics live in the lane
+// runner (lane.go) and are unchanged from the flat design.
 //
-// In durable mode the batch's acked write-set is logged as one redo record
-// at the engine's commit timestamp and the responses wait for the
-// group-commit flush that covers the append; a WAL failure flips the
-// would-be-acked writes to ERR, so the client never sees an
-// acknowledgment the log cannot honor.
+// In durable mode each lane appends its slice's acked write-set as one
+// redo record without blocking; the worker here performs the run's single
+// durability wait on the highest appended sequence, so one fsync still
+// covers the whole pipelined window and a stalled device parks this
+// connection, never a lane. A failed wait flips exactly the provisionally
+// acked writes to ERR, so the client never sees an acknowledgment the log
+// cannot honor.
 //
 // The returned responses are backed by worker scratch and valid until the
 // next run.
@@ -586,81 +640,97 @@ func (c *serverConn) execBatch(reqs []wire.Request) []wire.Response {
 		return c.execReadsOnly(reqs, true)
 	}
 	resps := c.scratchResps(len(reqs))
-	err := db.RunWithRetry(c.sess, c.srv.cfg.MaxRetries, func(tx db.Tx) error {
-		for i := range reqs {
-			r, err := c.execOp(tx, &reqs[i])
-			if err != nil {
-				return err
-			}
-			resps[i] = r
-		}
-		return nil
-	})
-	if err == nil {
-		c.walCommitRun(reqs, resps)
-		c.srv.m.batches.Add(1)
-		c.srv.m.batchedOps.Add(uint64(len(reqs)))
-		c.countOps(reqs, resps)
-		return resps
-	}
-	c.srv.m.degraded.Add(1)
-	if len(reqs) == 1 {
-		resps[0] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusOf(err)}
-		c.countOps(reqs, resps)
-		return resps
-	}
-	// Degraded path: per-op transactions for status attribution. Each
-	// committed write logs its own redo record; one wait at the end covers
-	// the last append's durability sequence, so the fallback still pays one
-	// group commit.
-	var (
-		ackSeq uint64
-		walIdx []int
-	)
-	for i := range reqs {
-		req := &reqs[i]
-		err := db.RunWithRetry(c.sess, c.srv.cfg.MaxRetries, func(tx db.Tx) error {
-			r, err := c.execOp(tx, req)
-			if err != nil {
-				return err
-			}
-			resps[i] = r
-			return nil
-		})
-		if err != nil {
-			resps[i] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusOf(err)}
-			continue
-		}
-		if c.wh != nil && isWrite(req.Op) && resps[i].Status == wire.StatusOK {
-			seq, ts, aerr := c.walAppend(req)
-			if aerr != nil {
-				c.srv.m.walUnackedWrites.Add(1)
-				resps[i] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr}
-				continue
-			}
-			resps[i].TS = ts // provisional ack token; erased if the wait fails
-			walIdx = append(walIdx, i)
-			ackSeq = seq
-		}
-	}
-	if len(walIdx) > 0 {
-		var ackStart time.Time
-		if c.tel != nil {
-			ackStart = time.Now()
-		}
-		werr := c.srv.gc.wait(ackSeq)
-		if c.tel != nil {
-			c.tel.ack.ObserveDuration(time.Since(ackStart))
-		}
-		if werr != nil {
-			c.srv.m.walUnackedWrites.Add(uint64(len(walIdx)))
-			for _, i := range walIdx {
-				resps[i] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr}
-			}
-		}
-	}
+	c.scatter(reqs, resps)
+	c.submitGroups(shard.Ops)
+	maxSeq := c.gather()
+	c.waitDurable(reqs, resps, maxSeq)
 	c.countOps(reqs, resps)
 	return resps
+}
+
+// scatter partitions a run into per-lane request/response pointer groups,
+// resetting the previous run's groups first. Group slices are conn scratch
+// so the steady-state path allocates nothing.
+func (c *serverConn) scatter(reqs []wire.Request, resps []wire.Response) {
+	for _, ln := range c.used {
+		c.greqs[ln] = c.greqs[ln][:0]
+		c.gresps[ln] = c.gresps[ln][:0]
+	}
+	c.used = c.used[:0]
+	lanes := c.srv.lanes
+	for i := range reqs {
+		ln := lanes.Route(reqs[i].Key)
+		if len(c.greqs[ln]) == 0 {
+			c.used = append(c.used, ln)
+		}
+		c.greqs[ln] = append(c.greqs[ln], &reqs[i])
+		c.gresps[ln] = append(c.gresps[ln], &resps[i])
+	}
+}
+
+// submitGroups submits every non-empty scatter group as one batch of the
+// given kind, collecting the submitted set for gather. A submit that fails
+// (lanes closed — cannot happen while connections drain before lanes, but
+// guarded anyway) answers ERR in place.
+func (c *serverConn) submitGroups(kind shard.Kind) {
+	c.subm = c.subm[:0]
+	for _, ln := range c.used {
+		b := c.laneBatch(ln)
+		b.Kind = kind
+		b.Reqs, b.Resps = c.greqs[ln], c.gresps[ln]
+		if err := c.ports.Submit(ln, b); err != nil {
+			for _, rp := range c.gresps[ln] {
+				*rp = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr}
+			}
+			continue
+		}
+		c.subm = append(c.subm, b)
+	}
+}
+
+// gather waits out every submitted batch and returns the highest WAL
+// durability sequence any lane appended (0 when nothing was logged).
+func (c *serverConn) gather() uint64 {
+	var maxSeq uint64
+	for _, b := range c.subm {
+		b.Wait()
+		if b.Seq > maxSeq {
+			maxSeq = b.Seq
+		}
+		if b.Panicked {
+			c.laneFatal = true
+		}
+	}
+	return maxSeq
+}
+
+// waitDurable performs the run's single group-commit wait. On failure it
+// erases exactly the provisional ack tokens the lanes stamped, flipping
+// those writes to ERR: they committed in the in-memory engine but the log
+// could not honor them (DESIGN.md §10, wal_unacked_writes).
+func (c *serverConn) waitDurable(reqs []wire.Request, resps []wire.Response, maxSeq uint64) {
+	if maxSeq == 0 || c.srv.gc == nil {
+		return
+	}
+	var ackStart time.Time
+	if c.tel != nil {
+		ackStart = time.Now()
+	}
+	werr := c.srv.gc.wait(maxSeq)
+	if c.tel != nil {
+		c.tel.ack.ObserveDuration(time.Since(ackStart))
+	}
+	if werr == nil {
+		return
+	}
+	var flipped uint64
+	for i := range reqs {
+		if isWrite(reqs[i].Op) && resps[i].Status == wire.StatusOK && resps[i].TS != 0 {
+			resps[i] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr}
+			flipped++
+		}
+	}
+	c.srv.m.walUnackedWrites.Add(flipped)
 }
 
 // isWrite reports whether a simple op mutates engine state.
@@ -699,7 +769,7 @@ func (c *serverConn) execReadsOnly(reqs []wire.Request, countDegraded bool) []wi
 			continue
 		}
 		err := db.RunWithRetry(c.sess, c.srv.cfg.MaxRetries, func(tx db.Tx) error {
-			r, err := c.execOp(tx, req)
+			r, err := c.srv.execOp(tx, req)
 			if err != nil {
 				return err
 			}
@@ -729,20 +799,6 @@ func (c *serverConn) commitTS() uint64 {
 	return c.sess.(db.CommitTS).LastCommitTS()
 }
 
-// walAppend logs one committed op's redo record without waiting for
-// durability; the caller waits once on the run's last durability sequence.
-// The returned timestamp is what the record was logged at — the op's ack
-// token once the wait succeeds.
-func (c *serverConn) walAppend(req *wire.Request) (seq, ts uint64, err error) {
-	c.writePtrs = append(c.writePtrs[:0], req)
-	redo, err := AppendRedo(c.redoBuf[:0], c.writePtrs)
-	if err != nil {
-		return 0, 0, err
-	}
-	c.redoBuf = redo
-	return c.srv.gc.append(c.wh, c.commitTS(), redo)
-}
-
 // walCommitWrites logs a committed transaction's write-set as one redo
 // record and blocks until it is durable, returning the logged timestamp —
 // the durability token stamped on the write acks. The encode buffer is the
@@ -763,49 +819,14 @@ func (c *serverConn) walCommitWrites(writes []*wire.Request) (uint64, error) {
 	return ts, err
 }
 
-// walCommitRun logs a batched run's acked write-set and waits for
-// durability; on failure every would-be-acked write flips to ERR. The
-// flipped writes already committed in the in-memory engine, so until the
-// process restarts they remain visible to readers despite the ERR — the
-// read-of-unacked-data window DESIGN.md §10 describes, counted under
-// wal_unacked_writes.
-func (c *serverConn) walCommitRun(reqs []wire.Request, resps []wire.Response) {
-	if c.wh == nil {
-		return
-	}
-	writes := c.writePtrs[:0]
-	for i := range reqs {
-		if isWrite(reqs[i].Op) && resps[i].Status == wire.StatusOK {
-			writes = append(writes, &reqs[i])
-		}
-	}
-	c.writePtrs = writes
-	if len(writes) == 0 {
-		return
-	}
-	if ts, err := c.walCommitWrites(writes); err == nil {
-		// Stamp the ack token: the timestamp the run's redo record was
-		// logged at, which is also what it replays at on a replica.
-		for i := range reqs {
-			if isWrite(reqs[i].Op) && resps[i].Status == wire.StatusOK {
-				resps[i].TS = ts
-			}
-		}
-		return
-	}
-	c.srv.m.walUnackedWrites.Add(uint64(len(writes)))
-	for i := range reqs {
-		if isWrite(reqs[i].Op) && resps[i].Status == wire.StatusOK {
-			resps[i] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr}
-		}
-	}
-}
-
-// execTxn runs one TXN frame atomically. On commit the response carries
-// per-op results; on failure the batch status stands alone (the client
-// retries or surfaces it — partial results would be unordered fiction).
-// In durable mode the whole TXN acks only after its write-set is durable;
-// a WAL failure turns the committed-but-unloggable TXN into one ERR.
+// execTxn runs one TXN frame atomically. A TXN whose keys all hash to one
+// lane rides that lane like any batch; a TXN spanning lanes takes the
+// cross-shard path — the Ordo-merged read for read-only TXNs, the parked-
+// lane barrier for writes. On commit the response carries per-op results;
+// on failure the batch status stands alone (the client retries or surfaces
+// it — partial results would be unordered fiction). In durable mode the
+// whole TXN acks only after its write-set is durable; a WAL failure turns
+// the committed-but-unloggable TXN into one ERR.
 func (c *serverConn) execTxn(req *wire.Request) wire.Response {
 	c.srv.m.txns.Add(1)
 	c.srv.m.txnOps.Add(uint64(len(req.Ops)))
@@ -816,10 +837,124 @@ func (c *serverConn) execTxn(req *wire.Request) wire.Response {
 		c.srv.m.degraded.Add(1)
 		return wire.Response{Kind: wire.RespBatch, Status: wire.StatusErr}
 	}
+	if single := c.txnLanes(req); single >= 0 {
+		return c.execTxnSingleLane(req, single)
+	}
+	if txnHasWrites(req) {
+		return c.execTxnCrossWrite(req)
+	}
+	return c.execTxnCrossRead(req)
+}
+
+// txnLanes marks the lanes a TXN's keys route to in c.laneMark and returns
+// the lane index if exactly one is involved, -1 otherwise. An empty TXN
+// routes to lane 0.
+func (c *serverConn) txnLanes(req *wire.Request) int {
+	for i := range c.laneMark {
+		c.laneMark[i] = false
+	}
+	lanes := c.srv.lanes
+	if len(req.Ops) == 0 {
+		c.laneMark[0] = true
+		return 0
+	}
+	n, last := 0, -1
+	for i := range req.Ops {
+		ln := lanes.Route(req.Ops[i].Key)
+		if !c.laneMark[ln] {
+			c.laneMark[ln] = true
+			n++
+			last = ln
+		}
+	}
+	if n == 1 {
+		return last
+	}
+	return -1
+}
+
+// execTxnSingleLane runs a lane-confined TXN on its owning lane. The lane
+// appends the redo record without blocking; the worker waits here, and a
+// failed wait downgrades the whole TXN to one ERR — all-or-nothing ack.
+func (c *serverConn) execTxnSingleLane(req *wire.Request, lane int) wire.Response {
+	var resp wire.Response
+	b := c.laneBatch(lane)
+	b.Kind = shard.Txn
+	treq := [1]*wire.Request{req}
+	tresp := [1]*wire.Response{&resp}
+	b.Reqs, b.Resps = treq[:], tresp[:]
+	if err := c.ports.Submit(lane, b); err != nil {
+		return wire.Response{Kind: wire.RespBatch, Status: wire.StatusErr}
+	}
+	b.Wait()
+	if b.Panicked {
+		c.laneFatal = true
+	}
+	if b.Seq != 0 {
+		var ackStart time.Time
+		if c.tel != nil {
+			ackStart = time.Now()
+		}
+		werr := c.srv.gc.wait(b.Seq)
+		if c.tel != nil {
+			c.tel.ack.ObserveDuration(time.Since(ackStart))
+		}
+		if werr != nil {
+			c.srv.m.walUnackedWrites.Add(uint64(b.WalWrites))
+			return wire.Response{Kind: wire.RespBatch, Status: wire.StatusErr}
+		}
+	}
+	return resp
+}
+
+// parkInvolved submits a Hold barrier to every lane marked in c.laneMark
+// and waits until each is parked, returning the release function. While
+// parked a lane can commit nothing, so the coordinator's transaction on
+// the worker session sees and produces a state no lane write can tear.
+func (c *serverConn) parkInvolved() func() {
+	held := make([]*shard.Batch, 0, len(c.laneMark))
+	for ln, in := range c.laneMark {
+		if !in {
+			continue
+		}
+		h := shard.NewHold()
+		if c.ports.Submit(ln, h) != nil {
+			continue
+		}
+		held = append(held, h)
+	}
+	for _, h := range held {
+		<-h.Parked
+	}
+	return func() {
+		for _, h := range held {
+			close(h.Release)
+			h.Wait()
+		}
+	}
+}
+
+// execTxnCrossWrite coordinates a multi-lane writing TXN: park every
+// involved lane, execute atomically on the worker's own session (the
+// engine's concurrency control still backs it), log the whole write-set as
+// ONE redo record on the coordinator handle — split per-lane records could
+// replay a torn transfer after a crash — and publish the commit timestamp
+// onto every involved lane's board BEFORE releasing them, so a subsequent
+// cross-shard read's stability check cannot miss this commit.
+// Coordinators serialize on crossMu: overlapping lane subsets parked in
+// arbitrary order would deadlock otherwise.
+func (c *serverConn) execTxnCrossWrite(req *wire.Request) wire.Response {
+	srv := c.srv
+	srv.m.crossTxns.Add(1)
+	srv.crossMu.Lock()
+	defer srv.crossMu.Unlock()
+	release := c.parkInvolved()
+	defer release()
+
 	resps := make([]wire.Response, len(req.Ops))
-	err := db.RunWithRetry(c.sess, c.srv.cfg.MaxRetries, func(tx db.Tx) error {
+	err := db.RunWithRetry(c.sess, srv.cfg.MaxRetries, func(tx db.Tx) error {
 		for i := range req.Ops {
-			r, err := c.execOp(tx, &req.Ops[i])
+			r, err := srv.execOp(tx, &req.Ops[i])
 			if err != nil {
 				return err
 			}
@@ -841,7 +976,7 @@ func (c *serverConn) execTxn(req *wire.Request) wire.Response {
 		if len(writes) > 0 {
 			ts, werr := c.walCommitWrites(writes)
 			if werr != nil {
-				c.srv.m.walUnackedWrites.Add(uint64(len(writes)))
+				srv.m.walUnackedWrites.Add(uint64(len(writes)))
 				return wire.Response{Kind: wire.RespBatch, Status: wire.StatusErr}
 			}
 			// The ack token rides the per-op sub-responses: RespBatch itself
@@ -852,6 +987,109 @@ func (c *serverConn) execTxn(req *wire.Request) wire.Response {
 				}
 			}
 		}
+	}
+	if cs, ok := c.sess.(db.CommitTS); ok {
+		cts := cs.LastCommitTS()
+		for ln, in := range c.laneMark {
+			if in {
+				srv.lanes.Lane(ln).Publish(cts)
+			}
+		}
+	}
+	return wire.Response{Kind: wire.RespBatch, Status: wire.StatusOK, Batch: resps}
+}
+
+// crossReadAttempts bounds the optimistic passes of a cross-shard read
+// before it falls back to the pessimistic barrier. Logical-clock servers
+// have no uncertainty window and never answer NOT_YET, so without the
+// bound a hot lane could starve the read forever.
+const crossReadAttempts = 3
+
+// execTxnCrossRead serves a multi-lane read-only TXN the Ordo way: execute
+// per-lane, then decide with timestamp comparison whether the per-lane
+// answers form one consistent cut. Each pass snapshots the involved lanes'
+// publication boards (V1), scatters the reads, and snapshots again (V2).
+// Lanes publish before acking, so if V1 == V2 no write that any client
+// could have observed landed between the reads — the merge is a consistent
+// cut. If a board moved, cmp_time against the read's start classifies the
+// interfering commit: inside the uncertainty window the server answers
+// NOT_YET (the paper's honest refusal — order is not yet decidable, the
+// client retries with the board timestamp in hand); definitely ordered
+// commits just mean we raced a writer, so retry optimistically, and after
+// crossReadAttempts fall back to parking the involved lanes.
+func (c *serverConn) execTxnCrossRead(req *wire.Request) wire.Response {
+	srv := c.srv
+	srv.m.crossReads.Add(1)
+	var startTS uint64
+	if ord := srv.cfg.Ordo; ord != nil {
+		startTS = uint64(ord.GetTime())
+	}
+	resps := make([]wire.Response, len(req.Ops))
+	for attempt := 0; attempt < crossReadAttempts; attempt++ {
+		c.tsV1 = srv.lanes.Published(c.tsV1)
+		c.scatter(req.Ops, resps)
+		c.submitGroups(shard.TxnRead)
+		var berr error
+		for _, b := range c.subm {
+			b.Wait()
+			if b.Err != nil {
+				berr = b.Err
+			}
+			if b.Panicked {
+				c.laneFatal = true
+			}
+		}
+		if c.laneFatal {
+			return wire.Response{Kind: wire.RespBatch, Status: wire.StatusErr}
+		}
+		if berr != nil {
+			return wire.Response{Kind: wire.RespBatch, Status: wire.StatusOf(berr)}
+		}
+		c.tsV2 = srv.lanes.Published(c.tsV2)
+		stable, uncertain, high := true, false, uint64(0)
+		for ln, in := range c.laneMark {
+			if !in || c.tsV2[ln] == c.tsV1[ln] {
+				continue
+			}
+			stable = false
+			if c.tsV2[ln] > high {
+				high = c.tsV2[ln]
+			}
+			if ord := srv.cfg.Ordo; ord != nil &&
+				ord.CmpTime(core.Time(startTS), core.Time(c.tsV2[ln])) == 0 {
+				uncertain = true
+			}
+		}
+		if stable {
+			return wire.Response{Kind: wire.RespBatch, Status: wire.StatusOK, Batch: resps}
+		}
+		if uncertain {
+			// Only inside the uncertainty window: the client genuinely
+			// cannot be told an order yet. TS carries the interfering
+			// board timestamp, mirroring the follower watermark contract.
+			srv.m.crossNotYet.Add(1)
+			return wire.Response{Kind: wire.RespBatch, Status: wire.StatusNotYet, TS: high}
+		}
+		srv.m.crossRetries.Add(1)
+	}
+	// Stable conflict pressure: take the pessimistic barrier and read on
+	// the worker session while the involved lanes are parked.
+	srv.crossMu.Lock()
+	defer srv.crossMu.Unlock()
+	release := c.parkInvolved()
+	defer release()
+	err := db.RunWithRetry(c.sess, srv.cfg.MaxRetries, func(tx db.Tx) error {
+		for i := range req.Ops {
+			r, err := srv.execOp(tx, &req.Ops[i])
+			if err != nil {
+				return err
+			}
+			resps[i] = r
+		}
+		return nil
+	})
+	if err != nil {
+		return wire.Response{Kind: wire.RespBatch, Status: wire.StatusOf(err)}
 	}
 	return wire.Response{Kind: wire.RespBatch, Status: wire.StatusOK, Batch: resps}
 }
@@ -904,8 +1142,8 @@ func (c *serverConn) execStats() wire.Response {
 // DUPLICATE) become per-op statuses and do not abort the surrounding
 // transaction; conflicts and unexpected errors propagate so the whole
 // attempt aborts and retries.
-func (c *serverConn) execOp(tx db.Tx, req *wire.Request) (wire.Response, error) {
-	if err := c.srv.validateOp(req); err != nil {
+func (s *Server) execOp(tx db.Tx, req *wire.Request) (wire.Response, error) {
+	if err := s.validateOp(req); err != nil {
 		return wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr}, nil
 	}
 	var err error
@@ -924,7 +1162,7 @@ func (c *serverConn) execOp(tx db.Tx, req *wire.Request) (wire.Response, error) 
 		// back off or fall to another replica. Leaders and unreplicated
 		// servers serve GET_AT exactly like GET: every acked write is
 		// already visible there.
-		if st := c.srv.cfg.Repl; st != nil && st.Role() == RoleFollower {
+		if st := s.cfg.Repl; st != nil && st.Role() == RoleFollower {
 			if w := st.Watermark(); req.MinTS > w {
 				return wire.Response{Kind: wire.RespEmpty, Status: wire.StatusNotYet, TS: w}, nil
 			}

@@ -3,13 +3,16 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
 	"ordo/internal/db"
 	"ordo/internal/db/ycsb"
+	"ordo/internal/telemetry"
 	"ordo/internal/wal"
 	"ordo/internal/wire"
 )
@@ -341,5 +344,122 @@ func TestShutdownCtxExpiresMidBatch(t *testing.T) {
 	}
 	if err := <-serveDone; err != nil {
 		t.Fatalf("serve: %v", err)
+	}
+}
+
+// TestScrapeDuringDrain hammers /metrics, /healthz, and Snapshot() across
+// the whole drain window — workers mid-flight, workers exiting and closing
+// their histogram shards, lanes shutting down — and keeps scraping after
+// Shutdown returns. Run under -race this pins the invariant that a scrape
+// never reads a per-conn histogram shard or lane counter without
+// synchronization after its owner exits; it also asserts that counts
+// recorded by dying connections retire into the parent histograms instead
+// of vanishing with the shard.
+func TestScrapeDuringDrain(t *testing.T) {
+	defer requireNoGoroutineLeak(t)()
+	f := &fakeDB{block: make(chan struct{})}
+	tel := NewTelemetry(nil, telemetry.NewTracer(64), 0)
+	srv, ln, serveDone := startRawServer(t, Config{DB: f, QueueDepth: 8, Telemetry: tel})
+	base, closeAdmin := startAdmin(t, srv)
+	defer closeAdmin()
+
+	// Several connections with queued pipelines; the engine blocks the
+	// first Run, so drains must finish work with scrapes in flight.
+	const nConns = 3
+	conns := make([]*wire.Conn, nConns)
+	for i := range conns {
+		nc, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Close()
+		conns[i] = wire.NewConn(nc)
+		for k := 0; k < 10; k++ {
+			if err := conns[i].WriteRequest(&wire.Request{Op: wire.OpGet, Key: uint64(k)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := conns[i].Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "a worker inside the engine", func() bool {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return f.runs >= 1
+	})
+
+	stop := make(chan struct{})
+	scraperDone := make(chan error, 2)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				scraperDone <- nil
+				return
+			default:
+			}
+			if code, body := adminGet(t, base, "/metrics"); code != 200 {
+				scraperDone <- fmt.Errorf("/metrics during drain: %d\n%s", code, body)
+				return
+			}
+			adminGet(t, base, "/healthz")
+		}
+	}()
+	go func() {
+		for {
+			select {
+			case <-stop:
+				scraperDone <- nil
+				return
+			default:
+			}
+			snap := srv.Snapshot()
+			if snap.Panics != 0 {
+				scraperDone <- fmt.Errorf("panics mid-drain: %d", snap.Panics)
+				return
+			}
+		}
+	}()
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+	time.Sleep(20 * time.Millisecond) // scrapes overlap the drain beginning
+	close(f.block)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	// Scrape past the drain: every worker has exited and closed its shards.
+	for i := 0; i < 5; i++ {
+		if code, body := adminGet(t, base, "/metrics"); code != 200 {
+			t.Fatalf("/metrics after drain: %d\n%s", code, body)
+		} else if i == 4 {
+			// Retired shard counts must survive their connections: the
+			// queue-wait histogram saw every queued op.
+			if !strings.Contains(body, "ordod_queue_wait_seconds_count") {
+				t.Fatal("queue-wait series missing after drain")
+			}
+			for _, line := range strings.Split(body, "\n") {
+				if strings.HasPrefix(line, "ordod_queue_wait_seconds_count") {
+					var n float64
+					if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &n); err == nil && n == 0 {
+						t.Fatalf("queue-wait counts vanished with their connections: %q", line)
+					}
+				}
+			}
+		}
+	}
+	close(stop)
+	for i := 0; i < 2; i++ {
+		if err := <-scraperDone; err != nil {
+			t.Fatal(err)
+		}
 	}
 }

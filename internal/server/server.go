@@ -33,8 +33,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ordo/internal/core"
 	"ordo/internal/db"
 	"ordo/internal/health"
+	"ordo/internal/shard"
 	"ordo/internal/wal"
 	"ordo/internal/wire"
 )
@@ -48,6 +50,21 @@ type Config struct {
 	// in range and PUT/INSERT rows must match the table's fixed width.
 	// Invalid ops are answered with ERR without reaching the engine.
 	Schema db.Schema
+
+	// Shards is the number of single-writer partition lanes the keyspace is
+	// hashed across. Each lane owns one engine session and one WAL append
+	// stream, and is the only goroutine that writes its partition; cross-
+	// shard operations are stitched back into one order with Ordo timestamp
+	// comparison. Zero means one lane (the pre-shard behavior); values are
+	// clamped to MaxShards.
+	Shards int
+
+	// Ordo, when set, gives cross-shard reads an uncertainty test: a read
+	// that races a commit whose timestamp is Ordo-incomparable with the
+	// read's start answers NOT_YET instead of retrying blindly. Nil (logical
+	// clocks) means every interference is definitely ordered and the server
+	// never answers NOT_YET.
+	Ordo *core.Ordo
 
 	// MaxBatch caps how many pipelined simple ops one engine transaction
 	// absorbs. Zero means DefaultMaxBatch.
@@ -116,6 +133,11 @@ const (
 	DefaultMaxBatch   = 64
 	DefaultQueueDepth = 1024
 	DefaultMaxRetries = 10
+
+	// MaxShards bounds Config.Shards: past the core count lanes only add
+	// scheduling overhead, and per-conn ring memory scales with the product
+	// of connections and lanes.
+	MaxShards = 64
 )
 
 // Server serves the wire protocol over accepted connections.
@@ -131,6 +153,17 @@ type Server struct {
 	// gc is the group committer; nil when serving without durability.
 	gc *groupCommitter
 
+	// lanes is the single-writer partition fabric; runners hold each lane's
+	// server-side policy (session, WAL handle, scratch). Built in New,
+	// stopped once by closeLanes during Shutdown.
+	lanes     *shard.Set
+	runners   []*laneRunner
+	lanesOnce sync.Once
+
+	// crossMu serializes cross-shard coordinators: overlapping lane subsets
+	// parked in arbitrary order would deadlock otherwise.
+	crossMu sync.Mutex
+
 	m metrics
 }
 
@@ -144,7 +177,13 @@ type metrics struct {
 	txns, txnOps, statsOps       atomic.Uint64
 
 	batches, batchedOps atomic.Uint64
-	busy                atomic.Uint64
+	// Cross-shard coordination: TXNs that spanned lanes, Ordo-merged
+	// cross-shard reads, their optimistic retries, and the reads refused
+	// with NOT_YET because the interfering commit fell inside the
+	// uncertainty window.
+	crossTxns, crossReads     atomic.Uint64
+	crossRetries, crossNotYet atomic.Uint64
+	busy                      atomic.Uint64
 	degraded            atomic.Uint64
 	protoErrs           atomic.Uint64
 	evictions           atomic.Uint64
@@ -183,6 +222,13 @@ type Snapshot struct {
 	Batches    uint64  `json:"batches"`
 	BatchedOps uint64  `json:"batched_ops"`
 	AvgBatch   float64 `json:"avg_batch,omitempty"`
+
+	Shards       int    `json:"shards"`
+	CrossTxns    uint64 `json:"cross_shard_txns"`
+	CrossReads   uint64 `json:"cross_shard_reads"`
+	CrossRetries uint64 `json:"cross_shard_retries"`
+	CrossNotYet  uint64 `json:"cross_shard_not_yet"`
+
 	Busy       uint64  `json:"busy_shed"`
 	Degraded   uint64  `json:"degraded"`
 	ProtoErrs  uint64  `json:"protocol_errors"`
@@ -231,6 +277,11 @@ func New(cfg Config) (*Server, error) {
 	} else if cfg.MaxRetries < 0 {
 		cfg.MaxRetries = 0
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	} else if cfg.Shards > MaxShards {
+		cfg.Shards = MaxShards
+	}
 	s := &Server{
 		cfg:       cfg,
 		listeners: make(map[net.Listener]struct{}),
@@ -244,8 +295,24 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.gc = newGroupCommitter(s, cfg.WAL)
 	}
+	// The lane fabric: one runner (engine session + WAL append stream) per
+	// shard, then the goroutine set that drains connection rings into them.
+	// Runners must exist before NewSet starts the goroutines — a lane could
+	// drain a batch immediately.
+	s.runners = make([]*laneRunner, s.cfg.Shards)
+	for i := range s.runners {
+		r := &laneRunner{srv: s, id: i, sess: cfg.DB.NewSession()}
+		if s.gc != nil {
+			r.wh = s.gc.log.NewHandle()
+		}
+		s.runners[i] = r
+	}
+	s.lanes = shard.NewSet(s.cfg.Shards, func(lane int, b *shard.Batch) uint64 {
+		return s.runners[lane].exec(b)
+	})
 	if cfg.Telemetry != nil {
 		if err := cfg.Telemetry.bind(s); err != nil {
+			s.closeLanes()
 			return nil, err
 		}
 		if cfg.WAL != nil {
@@ -381,6 +448,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.closeLanes()
 		s.stopWAL()
 		return nil
 	case <-ctx.Done():
@@ -390,9 +458,26 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 		<-done
+		s.closeLanes()
 		s.stopWAL()
 		return ctx.Err()
 	}
+}
+
+// closeLanes stops the lane goroutines and releases their WAL handles.
+// Called after every connection worker has exited (no new submissions) and
+// before stopWAL (anything a lane appended still reaches the final flush).
+// Once-guarded: Shutdown can run without Serve ever having been called.
+func (s *Server) closeLanes() {
+	s.lanesOnce.Do(func() {
+		s.lanes.Close()
+		for _, r := range s.runners {
+			if r.wh != nil {
+				r.wh.Close()
+			}
+			r.flushSessionStats()
+		}
+	})
 }
 
 // stopWAL runs the group committer's final flush and stops its flusher.
@@ -420,6 +505,11 @@ func (s *Server) Snapshot() Snapshot {
 		StatsOps:       m.statsOps.Load(),
 		Batches:        m.batches.Load(),
 		BatchedOps:     m.batchedOps.Load(),
+		Shards:         s.cfg.Shards,
+		CrossTxns:      m.crossTxns.Load(),
+		CrossReads:     m.crossReads.Load(),
+		CrossRetries:   m.crossRetries.Load(),
+		CrossNotYet:    m.crossNotYet.Load(),
 		Busy:           m.busy.Load(),
 		Degraded:       m.degraded.Load(),
 		ProtoErrs:      m.protoErrs.Load(),

@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -151,6 +152,28 @@ func (t *Telemetry) bind(s *Server) error {
 
 	reg.CounterFunc("ordod_batches_total", "Simple-op runs committed as one transaction.", m.batches.Load)
 	reg.CounterFunc("ordod_batched_ops_total", "Simple ops inside committed batches.", m.batchedOps.Load)
+
+	// Shard-lane observability: one series per lane so imbalance — a hot
+	// partition starving its neighbors — shows up directly on a scrape, plus
+	// the cross-shard coordination counters.
+	reg.GaugeFunc("ordod_shards", "Configured single-writer partition lanes.",
+		func() float64 { return float64(s.cfg.Shards) })
+	for i := 0; i < s.lanes.N(); i++ {
+		ln := s.lanes.Lane(i)
+		lbl := telemetry.L("shard", strconv.Itoa(i))
+		reg.CounterFunc("ordod_shard_batches_total", "Batches executed by this lane.", ln.Batches, lbl)
+		reg.CounterFunc("ordod_shard_ops_total", "Ops executed by this lane.", ln.Ops, lbl)
+		reg.CounterFunc("ordod_shard_holds_total", "Cross-shard coordination barriers this lane parked for.", ln.Holds, lbl)
+		reg.GaugeFunc("ordod_shard_commit_ts", "Latest commit timestamp this lane published.",
+			func() float64 { return float64(ln.Published()) }, lbl)
+		reg.GaugeFunc("ordod_shard_queue_depth", "Batches queued in this lane's rings.",
+			func() float64 { return float64(ln.Queued()) }, lbl)
+	}
+	reg.CounterFunc("ordod_cross_shard_txns_total", "Write TXNs that spanned lanes (coordinator path).", m.crossTxns.Load)
+	reg.CounterFunc("ordod_cross_shard_reads_total", "Read-only TXNs merged across lanes with cmp_time.", m.crossReads.Load)
+	reg.CounterFunc("ordod_cross_shard_retries_total", "Cross-shard read passes retried after a definitely-ordered interfering commit.", m.crossRetries.Load)
+	reg.CounterFunc("ordod_cross_shard_not_yet_total", "Cross-shard reads refused with NOT_YET inside the uncertainty window.", m.crossNotYet.Load)
+
 	reg.CounterFunc("ordod_busy_total", "Ops shed with BUSY past the queue bound.", m.busy.Load)
 	reg.CounterFunc("ordod_degraded_runs_total", "Runs that fell back to per-op transactions or reads-only serving.", m.degraded.Load)
 	reg.CounterFunc("ordod_protocol_errors_total", "Undecodable frames.", m.protoErrs.Load)

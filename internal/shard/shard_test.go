@@ -1,0 +1,283 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ordo/internal/wire"
+)
+
+// TestRouteCoversLanesEvenly: the splitmix64 mixer must spread a sequential
+// keyspace across lanes without striping or starving any lane.
+func TestRouteCoversLanesEvenly(t *testing.T) {
+	s := NewSet(4, func(int, *Batch) uint64 { return 0 })
+	defer s.Close()
+	var counts [4]int
+	const keys = 4096
+	for k := uint64(0); k < keys; k++ {
+		ln := s.Route(k)
+		if ln < 0 || ln >= 4 {
+			t.Fatalf("Route(%d) = %d, out of range", k, ln)
+		}
+		counts[ln]++
+	}
+	for ln, n := range counts {
+		// A fair hash puts ~1024 keys per lane; 2x skew would mean the
+		// mixer is broken, not merely unlucky.
+		if n < keys/8 || n > keys/2 {
+			t.Fatalf("lane %d got %d of %d keys", ln, n, keys)
+		}
+	}
+	// Determinism: routing is a pure function of the key.
+	for k := uint64(0); k < 64; k++ {
+		if s.Route(k) != s.Route(k) {
+			t.Fatalf("Route(%d) unstable", k)
+		}
+	}
+}
+
+// TestSubmitWaitRoundTrip: batches execute on the right lane, results land
+// in the caller's response slots, and the batch is reusable.
+func TestSubmitWaitRoundTrip(t *testing.T) {
+	s := NewSet(2, func(lane int, b *Batch) uint64 {
+		for i := range b.Reqs {
+			*b.Resps[i] = wire.Response{Status: wire.StatusOK, TS: uint64(lane + 1)}
+		}
+		return uint64(lane + 1)
+	})
+	defer s.Close()
+	p := s.NewPorts()
+	defer p.Close()
+
+	b := NewBatch()
+	req := wire.Request{Op: wire.OpGet, Key: 7}
+	var resp wire.Response
+	for round := 0; round < 3; round++ {
+		b.Kind = Ops
+		b.Reqs = []*wire.Request{&req}
+		b.Resps = []*wire.Response{&resp}
+		resp = wire.Response{}
+		if err := p.Submit(1, b); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		b.Wait()
+		if resp.Status != wire.StatusOK || resp.TS != 2 {
+			t.Fatalf("round %d: resp = %+v", round, resp)
+		}
+	}
+	if got := s.Lane(1).Batches(); got != 3 {
+		t.Fatalf("lane 1 batches = %d, want 3", got)
+	}
+	if got := s.Lane(1).Published(); got != 2 {
+		t.Fatalf("lane 1 published = %d, want 2", got)
+	}
+	if got := s.Lane(0).Batches(); got != 0 {
+		t.Fatalf("lane 0 batches = %d, want 0", got)
+	}
+}
+
+// TestPublicationBeforeAck: when Wait returns, the lane's board must already
+// carry the commit timestamp exec returned — the invariant the cross-shard
+// read stability check is built on.
+func TestPublicationBeforeAck(t *testing.T) {
+	var ts atomic.Uint64
+	s := NewSet(1, func(_ int, b *Batch) uint64 { return ts.Add(1) })
+	defer s.Close()
+
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := s.NewPorts()
+			defer p.Close()
+			b := NewBatch()
+			for i := 0; i < 200; i++ {
+				if err := p.Submit(0, b); err != nil {
+					t.Error(err)
+					return
+				}
+				b.Wait()
+				// The board may have advanced past our batch, but it can
+				// never lag a completed one.
+				if got := s.Lane(0).Published(); got == 0 {
+					t.Error("board empty after completed batch")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Lane(0).Batches(); got != workers*200 {
+		t.Fatalf("batches = %d, want %d", got, workers*200)
+	}
+}
+
+// TestPublishNeverRegresses: Publish is CAS-max.
+func TestPublishNeverRegresses(t *testing.T) {
+	s := NewSet(1, func(int, *Batch) uint64 { return 0 })
+	defer s.Close()
+	l := s.Lane(0)
+	l.Publish(10)
+	l.Publish(5)
+	if got := l.Published(); got != 10 {
+		t.Fatalf("published = %d, want 10", got)
+	}
+}
+
+// TestHoldBarrier: while a lane is parked on a Hold, batches submitted
+// behind the hold do not execute; they run after Release.
+func TestHoldBarrier(t *testing.T) {
+	var execed atomic.Int32
+	s := NewSet(1, func(int, *Batch) uint64 {
+		execed.Add(1)
+		return 0
+	})
+	defer s.Close()
+	p := s.NewPorts()
+	defer p.Close()
+
+	h := NewHold()
+	if err := p.Submit(0, h); err != nil {
+		t.Fatal(err)
+	}
+	<-h.Parked
+
+	// Queue a batch behind the barrier from another subscriber.
+	p2 := s.NewPorts()
+	defer p2.Close()
+	b := NewBatch()
+	done := make(chan struct{})
+	go func() {
+		if err := p2.Submit(0, b); err != nil {
+			t.Error(err)
+		}
+		b.Wait()
+		close(done)
+	}()
+
+	select {
+	case <-done:
+		t.Fatal("batch executed while lane was parked")
+	default:
+	}
+	if n := execed.Load(); n != 0 {
+		t.Fatalf("execed = %d while parked", n)
+	}
+	close(h.Release)
+	h.Wait()
+	<-done
+	if n := execed.Load(); n != 1 {
+		t.Fatalf("execed = %d after release, want 1", n)
+	}
+	if got := s.Lane(0).Holds(); got != 1 {
+		t.Fatalf("holds = %d, want 1", got)
+	}
+}
+
+// TestCloseDrainsQueued: batches already queued when Close is called are
+// executed, not dropped, and Submit after close reports ErrClosed.
+func TestCloseDrainsQueued(t *testing.T) {
+	block := make(chan struct{})
+	var execed atomic.Int32
+	s := NewSet(1, func(_ int, b *Batch) uint64 {
+		if b.Kind == Hold {
+			return 0
+		}
+		<-block
+		execed.Add(1)
+		return 0
+	})
+	p := s.NewPorts()
+
+	const queued = 3
+	bs := make([]*Batch, queued)
+	for i := range bs {
+		bs[i] = NewBatch()
+		if err := p.Submit(0, bs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closed)
+	}()
+	close(block)
+	for _, b := range bs {
+		b.Wait()
+	}
+	<-closed
+	if n := execed.Load(); n != queued {
+		t.Fatalf("execed = %d, want %d", n, queued)
+	}
+	if err := p.Submit(0, NewBatch()); err == nil {
+		// The fast-path push can still land in the ring after close; only
+		// the blocking path detects it. Either outcome is acceptable for
+		// the server (lanes close only after all workers exit), so just
+		// exercise the slow path by filling the ring.
+		for i := 0; i < ringSize+1; i++ {
+			if err := p.Submit(0, NewBatch()); err != nil {
+				return
+			}
+		}
+		t.Fatal("Submit never reported ErrClosed on a closed, full lane")
+	}
+	p.Close()
+}
+
+// TestManyProducersOneLane: concurrent workers hammering one lane through
+// separate rings all complete, with per-ring FIFO preserved.
+func TestManyProducersOneLane(t *testing.T) {
+	type mark struct {
+		worker int
+		seq    int
+	}
+	var mu sync.Mutex
+	var order []mark
+	s := NewSet(1, func(_ int, b *Batch) uint64 {
+		mu.Lock()
+		order = append(order, mark{int(b.Reqs[0].Key >> 32), int(uint32(b.Reqs[0].Key))})
+		mu.Unlock()
+		return 0
+	})
+	defer s.Close()
+
+	const workers, rounds = 4, 100
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := s.NewPorts()
+			defer p.Close()
+			b := NewBatch()
+			req := wire.Request{}
+			var resp wire.Response
+			for i := 0; i < rounds; i++ {
+				req.Key = uint64(w)<<32 | uint64(i)
+				b.Kind = Ops
+				b.Reqs = []*wire.Request{&req}
+				b.Resps = []*wire.Response{&resp}
+				if err := p.Submit(0, b); err != nil {
+					t.Error(err)
+					return
+				}
+				b.Wait()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if len(order) != workers*rounds {
+		t.Fatalf("executed %d batches, want %d", len(order), workers*rounds)
+	}
+	last := map[int]int{}
+	for _, m := range order {
+		if prev, ok := last[m.worker]; ok && m.seq != prev+1 {
+			t.Fatalf("worker %d: seq %d after %d (per-ring FIFO broken)", m.worker, m.seq, prev)
+		}
+		last[m.worker] = m.seq
+	}
+}
