@@ -61,8 +61,23 @@ func main() {
 			"no load: checksum every key in [0, records) on -addr, then verify each -replicas follower converges to the same digest")
 		sweepWait = flag.Duration("sweep-wait", 30*time.Second,
 			"how long -sweep keeps re-reading a lagging follower before declaring divergence")
+		failover = flag.Bool("failover", false,
+			"failover mode: per-key monotone writes through the resilient client against -endpoints, then a read-back sweep asserting acked ≤ recovered ≤ issued")
+		endpoints = flag.String("endpoints", "",
+			"comma-separated client-facing addresses of every cluster node (failover mode)")
+		workers = flag.Int("workers", 4, "failover-mode writer goroutines")
+		retryFor = flag.Duration("retry-for", 15*time.Second,
+			"failover-mode per-op retry budget; must exceed the cluster's failover time")
 	)
 	flag.Parse()
+
+	if *failover {
+		if err := runFailover(*endpoints, *workers, *records, *seconds, *opTO, *retryFor); err != nil {
+			fmt.Fprintf(os.Stderr, "ordo-loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var replicaAddrs []string
 	if *replicas != "" {
@@ -114,6 +129,42 @@ func main() {
 			}
 		}
 	}
+}
+
+// runFailover runs the failover harness: monotone per-key writes through
+// the resilient client, a mid-run leader kill courtesy of the operator,
+// and a read-back sweep that fails the process if any acknowledged write
+// was lost.
+func runFailover(endpoints string, workers, records int, seconds float64, opTO, retryFor time.Duration) error {
+	var eps []string
+	for _, a := range strings.Split(endpoints, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			eps = append(eps, a)
+		}
+	}
+	if len(eps) == 0 {
+		return fmt.Errorf("-failover requires -endpoints")
+	}
+	if seconds <= 0 {
+		seconds = 10
+	}
+	res, err := loadgen.RunFailover(loadgen.FailoverConfig{
+		Endpoints: eps,
+		Workers:   workers,
+		Keys:      records,
+		Seconds:   seconds,
+		OpTimeout: opTO,
+		RetryFor:  retryFor,
+		ReportTo:  os.Stdout,
+	})
+	if res != nil {
+		fmt.Printf("failover: acked=%d writes in %v, max ack gap %v\n",
+			res.Acked, res.Elapsed.Round(time.Millisecond), res.MaxAckGap.Round(time.Millisecond))
+		fmt.Printf("failover: not_leader_retries=%d redirects=%d reconnects=%d\n",
+			res.Client.NotLeaderRetries, res.Client.Redirects, res.Client.Reconnects)
+		fmt.Printf("failover: swept=%d violations=%d\n", res.SweptKeys, res.Violations)
+	}
+	return err
 }
 
 // runSweep digests the key range on the primary, then requires every

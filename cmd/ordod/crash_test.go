@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"ordo/internal/loadgen"
 	"ordo/internal/wire"
 )
 
@@ -477,6 +478,176 @@ func TestReplCrashLeaderKill(t *testing.T) {
 	// ...and, eventually, on the follower: every leader-acked write must
 	// become visible there, and nothing unissued may materialize.
 	waitConverge(t, fol.addr, "follower", cc)
+}
+
+// ---- failover crash scenario ----
+
+// reservePort binds an ephemeral port, records it, and releases it so a
+// subprocess can claim it. The tiny claim race is acceptable in a test.
+func reservePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// failoverStats polls addr until its STATS snapshot satisfies ok, or the
+// deadline passes.
+func failoverStats(t *testing.T, addr, who string, wait time.Duration, ok func(*wire.Stats) bool) *wire.Stats {
+	t.Helper()
+	deadline := time.Now().Add(wait)
+	var last *wire.Stats
+	for {
+		if nc, err := net.Dial("tcp", addr); err == nil {
+			nc.SetDeadline(time.Now().Add(5 * time.Second))
+			r, err := wire.NewConn(nc).Do(&wire.Request{Op: wire.OpStats})
+			nc.Close()
+			if err == nil && r.Stats != nil {
+				last = r.Stats
+				if ok(r.Stats) {
+					return r.Stats
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: stats never converged (last %+v)", who, last)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestFailoverLeaderKill boots a three-node failover cluster, SIGKILLs the
+// leader under resilient-client write load, and requires: a follower
+// promotes itself (epoch 2, writes resume), the run's per-key sweep proves
+// acked ≤ recovered ≤ issued across the takeover, and the fenced
+// ex-leader rejoins as a follower and converges on the new regime.
+func TestFailoverLeaderKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess failover harness skipped in -short")
+	}
+	const n = 3
+	var clientAddrs, replAddrs [n]string
+	var peers []string
+	for i := 0; i < n; i++ {
+		clientAddrs[i] = reservePort(t)
+		replAddrs[i] = reservePort(t)
+		peers = append(peers, replAddrs[i]+"@"+clientAddrs[i])
+	}
+	peerList := strings.Join(peers, ",")
+
+	walDirs := [n]string{t.TempDir(), t.TempDir(), t.TempDir()}
+	var procs [n]*ordodProc
+	for i := 0; i < n; i++ {
+		procs[i] = startOrdod(t, walDirs[i], fmt.Sprintf("fo-node%d-a", i),
+			"-addr", clientAddrs[i],
+			"-failover",
+			"-peers", peerList,
+			"-peer-index", fmt.Sprint(i),
+			"-heartbeat-timeout", "500ms",
+		)
+	}
+	defer func() {
+		for _, p := range procs {
+			if p != nil {
+				p.cmd.Process.Kill()
+				p.cmd.Wait()
+			}
+		}
+	}()
+
+	// Cold cluster: priority index 0 must lead, at a fenced (nonzero) epoch.
+	failoverStats(t, clientAddrs[0], "cold leader", bootTimeout, func(s *wire.Stats) bool {
+		return s.ReplRoleCode == 1 && s.ReplEpoch >= 1
+	})
+
+	// Drive per-key monotone writes through the resilient client while the
+	// leader dies mid-run; RunFailover's read-back sweep is the per-key
+	// acked ≤ recovered ≤ issued check against the promoted leader.
+	type runOut struct {
+		res *loadgen.FailoverResult
+		err error
+	}
+	done := make(chan runOut, 1)
+	go func() {
+		res, err := loadgen.RunFailover(loadgen.FailoverConfig{
+			Endpoints: clientAddrs[:],
+			Workers:   4,
+			Keys:      crashKeys,
+			Seconds:   8,
+			OpTimeout: 2 * time.Second,
+			RetryFor:  30 * time.Second,
+		})
+		done <- runOut{res, err}
+	}()
+
+	time.Sleep(2500 * time.Millisecond)
+	procs[0].cmd.Process.Signal(syscall.SIGKILL)
+	procs[0].cmd.Wait()
+
+	out := <-done
+	if out.err != nil {
+		for i := 1; i < n; i++ {
+			dumpLog(t, procs[i])
+		}
+		t.Fatalf("failover load: %v", out.err)
+	}
+	if out.res.Violations != 0 {
+		t.Fatalf("%d per-key violations across the takeover", out.res.Violations)
+	}
+	if out.res.MaxAckGap <= 0 {
+		t.Fatal("no ack gap measured; the kill never interrupted the load")
+	}
+	t.Logf("failover run: acked=%d max ack gap=%v not_leader=%d redirects=%d",
+		out.res.Acked, out.res.MaxAckGap, out.res.Client.NotLeaderRetries, out.res.Client.Redirects)
+
+	// One survivor must now lead at a bumped epoch with a promotion counted.
+	newLeader := -1
+	for i := 1; i < n; i++ {
+		s := failoverStats(t, clientAddrs[i], fmt.Sprintf("node%d post-kill", i), bootTimeout,
+			func(s *wire.Stats) bool { return s.ReplEpoch >= 2 })
+		if s.ReplRoleCode == 1 {
+			if s.Promotions == 0 {
+				t.Fatalf("node%d leads epoch %d without counting a promotion", i, s.ReplEpoch)
+			}
+			newLeader = i
+		}
+	}
+	if newLeader < 0 {
+		t.Fatal("no survivor promoted to leader")
+	}
+
+	// The fenced ex-leader rejoins on its old WAL dir and ports: it must
+	// come back as a follower of the new regime and converge byte-for-byte.
+	procs[0] = startOrdod(t, walDirs[0], "fo-node0-b",
+		"-addr", clientAddrs[0],
+		"-failover",
+		"-peers", peerList,
+		"-peer-index", "0",
+		"-heartbeat-timeout", "500ms",
+	)
+	failoverStats(t, clientAddrs[0], "rejoined ex-leader", bootTimeout, func(s *wire.Stats) bool {
+		return s.ReplRoleCode == 2 && s.ReplEpoch >= 2
+	})
+	lead, err := loadgen.Sweep(clientAddrs[newLeader], crashKeys, crashWindow, 10*time.Second, 10*time.Second)
+	if err != nil {
+		t.Fatalf("sweep new leader: %v", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		got, err := loadgen.Sweep(clientAddrs[0], crashKeys, crashWindow, 10*time.Second, 10*time.Second)
+		if err == nil && got == lead {
+			break
+		}
+		if time.Now().After(deadline) {
+			dumpLog(t, procs[0])
+			t.Fatalf("rejoined ex-leader diverged: %+v want %+v (err %v)", got, lead, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
 }
 
 // TestReplCrashFollowerKill SIGKILLs the follower mid-apply while the

@@ -36,6 +36,7 @@ import (
 
 	"ordo/internal/core"
 	"ordo/internal/db"
+	"ordo/internal/failover"
 	"ordo/internal/health"
 	"ordo/internal/repl"
 	"ordo/internal/server"
@@ -78,6 +79,12 @@ type options struct {
 	replAddrFile string
 	replCursor   string
 	replLagBound time.Duration
+
+	failover         bool
+	peers            string
+	peerIndex        int
+	heartbeatTimeout time.Duration
+	replAckBound     time.Duration
 }
 
 func main() {
@@ -133,6 +140,15 @@ func main() {
 		"follower stream-cursor sidecar path (default <wal-dir>/cursor.json)")
 	flag.DurationVar(&o.replLagBound, "repl-lag-bound", server.DefaultLagBound,
 		"follower health bound: /healthz turns 503 when the leader is silent this long")
+	flag.BoolVar(&o.failover, "failover", false,
+		"run as a failover cluster member: probe -peers at boot, follow or lead per the epoch-fenced election (requires -wal-dir, -peers)")
+	flag.StringVar(&o.peers, "peers", "",
+		"failover cluster map as repl-addr@client-addr,... in priority order; must be identical on every member")
+	flag.IntVar(&o.peerIndex, "peer-index", 0, "this node's position in -peers")
+	flag.DurationVar(&o.heartbeatTimeout, "heartbeat-timeout", failover.DefaultHeartbeatTimeout,
+		"leader silence a follower tolerates before starting an election")
+	flag.DurationVar(&o.replAckBound, "repl-ack-bound", 0,
+		"gate durable write acks on follower replication acks, bounded by this wait (0 disables; failover mode defaults to 2s)")
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 	log.SetPrefix("ordod: ")
@@ -224,6 +240,51 @@ func run(o options) error {
 		return fmt.Errorf("replication requires -wal-dir")
 	}
 
+	// Failover mode decides the role itself, by probing the cluster —
+	// BEFORE recovery, because a fenced ex-leader must truncate its
+	// unshipped WAL suffix while nothing has the log open.
+	cursor := o.replCursor
+	if cursor == "" && o.walDir != "" {
+		cursor = filepath.Join(o.walDir, "cursor.json")
+	}
+	var (
+		fpeers []failover.Peer
+		boot   *failover.Bootstrap
+	)
+	if o.failover {
+		if role != server.RoleNone {
+			return fmt.Errorf("-failover is mutually exclusive with -follow and -repl-addr")
+		}
+		if o.walDir == "" {
+			return fmt.Errorf("-failover requires -wal-dir")
+		}
+		fpeers, err = failover.ParsePeers(o.peers)
+		if err != nil {
+			return err
+		}
+		if o.peerIndex < 0 || o.peerIndex >= len(fpeers) {
+			return fmt.Errorf("-peer-index %d outside -peers list of %d", o.peerIndex, len(fpeers))
+		}
+		if o.replAckBound <= 0 {
+			// Failover's no-lost-acks guarantee rests on the replication-ack
+			// gate; default it on rather than silently serving ungated.
+			o.replAckBound = 2 * time.Second
+		}
+		boot, err = failover.Decide(failover.BootstrapConfig{
+			Dir:        o.walDir,
+			Index:      o.peerIndex,
+			Peers:      fpeers,
+			CursorFile: cursor,
+			Logf:       log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		role = boot.Role
+		log.Printf("failover bootstrap: role=%v epoch=%d leader-index=%d truncated=%d",
+			boot.Role, boot.Epoch, boot.LeaderIndex, boot.Truncated)
+	}
+
 	// Durable mode: recover and replay the log into the fresh engine, then
 	// open the device for appending — all before the listener exists, so no
 	// client ever observes pre-recovery state.
@@ -257,6 +318,9 @@ func run(o options) error {
 			SegmentBytes: o.walSegBytes,
 			Sync:         sync,
 			SyncEvery:    o.walSyncEvery,
+		}
+		if boot != nil {
+			fcfg.Epoch = boot.Epoch
 		}
 		if tel != nil {
 			fcfg.SyncObserver = tel.WALSyncObserver()
@@ -315,11 +379,17 @@ func run(o options) error {
 		Repl:         replState,
 		Logf:         log.Printf,
 	}
+	scfg.ReplAckBound = o.replAckBound
 	if role == server.RoleFollower {
 		// The apply loop is the local log's only writer and the engine's
 		// only mutator; the serving path is reads-only over both.
 		scfg.WAL = nil
 		scfg.ReadOnly = true
+		if o.failover {
+			// Promotion happens in place: keep the group committer alive
+			// (ReadOnly keeps the serving path off it until the flip).
+			scfg.WAL = walLog
+		}
 	}
 	srv, err := server.New(scfg)
 	if err != nil {
@@ -330,7 +400,7 @@ func run(o options) error {
 	// The Source installs itself as the log's sink here — before the
 	// serving listener exists — so no flushed record can predate it.
 	var src *repl.Source
-	if role == server.RoleLeader {
+	if role == server.RoleLeader && !o.failover {
 		src, err = repl.NewSource(repl.SourceConfig{
 			Dir:         o.walDir,
 			Log:         walLog,
@@ -361,11 +431,7 @@ func run(o options) error {
 	}
 
 	// Follower: tail the leader in the background until shutdown.
-	if role == server.RoleFollower {
-		cursor := o.replCursor
-		if cursor == "" {
-			cursor = filepath.Join(o.walDir, "cursor.json")
-		}
+	if role == server.RoleFollower && !o.failover {
 		fol, err := repl.NewFollower(repl.FollowerConfig{
 			Addr:      o.follow,
 			DB:        engine,
@@ -389,6 +455,57 @@ func run(o options) error {
 		defer func() {
 			fcancel()
 			<-folDone
+		}()
+	}
+
+	// Failover mode: one supervisor owns the replication listener, the
+	// follower session loop, leader-death detection and promotion.
+	if o.failover {
+		fnode, err := failover.NewNode(failover.Config{
+			Index:            o.peerIndex,
+			Peers:            fpeers,
+			Dir:              o.walDir,
+			CursorFile:       cursor,
+			DB:               engine,
+			Log:              walLog,
+			Device:           walDev,
+			Server:           srv,
+			State:            replState,
+			Telemetry:        tel,
+			Boundary:         boundary,
+			Boot:             boot,
+			HeartbeatTimeout: o.heartbeatTimeout,
+			Logf:             log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		replLn, err := net.Listen("tcp", fpeers[o.peerIndex].Repl)
+		if err != nil {
+			return fmt.Errorf("failover repl listen: %w", err)
+		}
+		if o.replAddrFile != "" {
+			if err := os.WriteFile(o.replAddrFile, []byte(replLn.Addr().String()), 0o644); err != nil {
+				return fmt.Errorf("-repl-addr-file: %w", err)
+			}
+		}
+		log.Printf("failover node %d on %s: role=%v epoch=%d heartbeat-timeout=%v",
+			o.peerIndex, replLn.Addr(), fnode.Role(), fnode.Epoch(), o.heartbeatTimeout)
+		go func() {
+			if err := fnode.Serve(replLn); err != nil {
+				log.Printf("failover serve: %v", err)
+			}
+		}()
+		fctx, fcancel := context.WithCancel(context.Background())
+		fdone := make(chan struct{})
+		go func() {
+			defer close(fdone)
+			_ = fnode.Run(fctx)
+		}()
+		defer func() {
+			fcancel()
+			fnode.Close()
+			<-fdone
 		}()
 	}
 

@@ -1,0 +1,418 @@
+// Package client is a failover-aware ordod client: one logical connection
+// that survives leader death. It chases NOT_LEADER redirects, rotates
+// across the configured endpoints with capped exponential backoff and
+// jitter, keeps a per-endpoint circuit breaker so a dead node is not
+// re-dialed in a tight loop, and can hedge GET_AT reads across replicas
+// when the primary is slow.
+//
+// A Client is owned by one goroutine: Do, GetAt, Stats and Close must not
+// be called concurrently. Run one Client per worker goroutine; they are
+// cheap (one socket plus scratch buffers).
+package client
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"ordo/internal/wire"
+)
+
+// Defaults for the zero-value knobs of Config.
+const (
+	DefaultOpTimeout  = 2 * time.Second
+	DefaultRetryFor   = 15 * time.Second
+	DefaultRetryEvery = 25 * time.Millisecond
+	DefaultRetryMax   = 500 * time.Millisecond
+
+	// DefaultBreakerFailures consecutive endpoint failures open its
+	// breaker for DefaultBreakerCooldown.
+	DefaultBreakerFailures = 3
+	DefaultBreakerCooldown = time.Second
+)
+
+// Config parameterizes a Client. Endpoints is required; everything else
+// defaults sensibly for a LAN cluster.
+type Config struct {
+	// Endpoints are the client-facing addresses of every cluster node, in
+	// any order; the client discovers the leader by probing and by
+	// following NOT_LEADER redirects.
+	Endpoints []string
+	// OpTimeout bounds each dial and each single I/O on the wire; ≤ 0
+	// means DefaultOpTimeout.
+	OpTimeout time.Duration
+	// RetryFor is the total budget for retrying one op across redirects,
+	// reconnects and backoff before giving up; ≤ 0 means DefaultRetryFor.
+	// It must comfortably exceed the cluster's failover time.
+	RetryFor time.Duration
+	// RetryEvery is the initial retry backoff, doubling per consecutive
+	// failure up to RetryMax, with ±25% jitter. ≤ 0 means the defaults.
+	RetryEvery time.Duration
+	RetryMax   time.Duration
+	// HedgeAfter, when positive, hedges a GetAt that has not answered
+	// within this delay by racing a second leg on another endpoint.
+	HedgeAfter time.Duration
+	// BreakerFailures consecutive failures open an endpoint's breaker for
+	// BreakerCooldown; ≤ 0 means the defaults. An open breaker deprioritizes
+	// the endpoint but never makes the client give up: when every breaker
+	// is open the client dials anyway (availability beats politeness).
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	// Logf receives operational messages (reconnects, redirects). Optional.
+	Logf func(format string, args ...any)
+}
+
+// Stats counts the client's resilience events. Read it via Client.Stats
+// from the owning goroutine.
+type Stats struct {
+	// NotLeaderRetries counts ops answered NOT_LEADER and re-sent.
+	NotLeaderRetries uint64
+	// Redirects counts NOT_LEADER answers that carried a usable redirect
+	// address (a subset of NotLeaderRetries).
+	Redirects uint64
+	// Reconnects counts socket (re-)establishments after the first.
+	Reconnects uint64
+	// Hedges counts GetAt calls that fired a second leg.
+	Hedges uint64
+}
+
+// breaker is a per-endpoint consecutive-failure circuit breaker.
+type breaker struct {
+	fails     int
+	openUntil time.Time
+}
+
+// Client is one failover-aware logical connection. Not safe for
+// concurrent use.
+type Client struct {
+	cfg    Config
+	conn   *wire.Conn
+	nc     net.Conn
+	addr   string // endpoint the live socket is dialed to
+	leader string // believed leader endpoint ("" = unknown)
+	next   int    // rotation cursor over Endpoints
+	dialed bool   // a socket has been established at least once
+
+	breakers map[string]*breaker
+	stats    Stats
+	rng      *rand.Rand
+}
+
+// New builds a Client. No connection is made until the first op.
+func New(cfg Config) (*Client, error) {
+	if len(cfg.Endpoints) == 0 {
+		return nil, fmt.Errorf("client: at least one endpoint required")
+	}
+	if cfg.OpTimeout <= 0 {
+		cfg.OpTimeout = DefaultOpTimeout
+	}
+	if cfg.RetryFor <= 0 {
+		cfg.RetryFor = DefaultRetryFor
+	}
+	if cfg.RetryEvery <= 0 {
+		cfg.RetryEvery = DefaultRetryEvery
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = DefaultRetryMax
+	}
+	if cfg.BreakerFailures <= 0 {
+		cfg.BreakerFailures = DefaultBreakerFailures
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	c := &Client{cfg: cfg, breakers: make(map[string]*breaker, len(cfg.Endpoints))}
+	for _, e := range cfg.Endpoints {
+		c.breakers[e] = &breaker{}
+	}
+	// Deterministic per-client jitter stream; the seed only decorrelates
+	// clients created in the same nanosecond batch, so address identity
+	// is enough entropy.
+	c.rng = rand.New(rand.NewSource(int64(len(cfg.Endpoints))<<32 ^ time.Now().UnixNano()))
+	return c, nil
+}
+
+// Do executes one request, retrying across NOT_LEADER redirects, BUSY
+// shedding, reconnects and endpoint rotation until it gets a definitive
+// answer or the RetryFor budget runs out. Definitive answers — OK,
+// NOT_FOUND, DUPLICATE, CONFLICT, NOT_YET, ERR — are returned to the
+// caller; only leadership and availability failures are retried.
+func (c *Client) Do(req *wire.Request) (wire.Response, error) {
+	deadline := time.Now().Add(c.cfg.RetryFor)
+	delay := c.cfg.RetryEvery
+	var lastErr error
+	for {
+		resp, err, retry := c.attempt(req)
+		if !retry {
+			return resp, err
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return wire.Response{}, fmt.Errorf("client: giving up after %v: %w", c.cfg.RetryFor, lastErr)
+		}
+		c.sleep(&delay)
+	}
+}
+
+// attempt runs one try of req on the current (or a fresh) socket. retry
+// reports whether the outcome is worth another attempt.
+func (c *Client) attempt(req *wire.Request) (resp wire.Response, err error, retry bool) {
+	if err := c.ensureConn(); err != nil {
+		return wire.Response{}, err, true
+	}
+	resp, err = c.conn.Do(req)
+	if err != nil {
+		c.fail(c.addr)
+		c.cfg.Logf("client: %s: %v; reconnecting", c.addr, err)
+		c.dropConn()
+		return wire.Response{}, err, true
+	}
+	c.breakers[c.addr].fails = 0
+	switch resp.Status {
+	case wire.StatusNotLeader:
+		c.stats.NotLeaderRetries++
+		if resp.Redirect != "" && resp.Redirect != c.addr {
+			c.stats.Redirects++
+			c.cfg.Logf("client: %s redirected writes to %s", c.addr, resp.Redirect)
+			c.leader = resp.Redirect
+		} else {
+			// No usable hint: forget the stale leader and rotate.
+			c.leader = ""
+		}
+		c.dropConn()
+		return resp, wire.ErrNotLeader, true
+	case wire.StatusBusy:
+		return resp, wire.ErrBusy, true
+	}
+	return resp, nil, false
+}
+
+// GetAt reads key with the given freshness requirement, hedging a slow
+// primary across another endpoint when configured. The hedge leg runs on
+// a short-lived connection, so the pipelined primary socket stays clean —
+// unless the hedge wins, in which case the primary is abandoned (its
+// socket has an unconsumed response) and redialed lazily.
+func (c *Client) GetAt(table uint32, key, minTS uint64) (wire.Response, error) {
+	req := wire.Request{Op: wire.OpGetAt, Table: table, Key: key, MinTS: minTS}
+	if c.cfg.HedgeAfter <= 0 || len(c.cfg.Endpoints) < 2 {
+		return c.Do(&req)
+	}
+	if err := c.ensureConn(); err != nil {
+		return c.Do(&req)
+	}
+	type answer struct {
+		resp wire.Response
+		err  error
+	}
+	prim := make(chan answer, 1)
+	pc, pnc, paddr := c.conn, c.nc, c.addr
+	go func() {
+		r, err := pc.Do(&req)
+		prim <- answer{r, err}
+	}()
+	select {
+	case a := <-prim:
+		return c.settleGetAt(a.resp, a.err, &req)
+	case <-time.After(c.cfg.HedgeAfter):
+	}
+
+	c.stats.Hedges++
+	hed := make(chan answer, 1)
+	go func() {
+		r, err := c.hedgeOnce(&req, paddr)
+		hed <- answer{r, err}
+	}()
+	for prim != nil || hed != nil {
+		select {
+		case a := <-prim:
+			prim = nil
+			if a.err == nil && a.resp.Status != wire.StatusNotYet && a.resp.Status != wire.StatusNotLeader {
+				return a.resp, nil
+			}
+		case a := <-hed:
+			hed = nil
+			if a.err == nil && a.resp.Status != wire.StatusNotYet && a.resp.Status != wire.StatusNotLeader {
+				// The primary socket still owes a response; abandon it.
+				if c.nc == pnc {
+					pnc.Close()
+					c.conn, c.nc, c.addr = nil, nil, ""
+				}
+				return a.resp, nil
+			}
+		}
+	}
+	// Both legs failed or answered NOT_YET/NOT_LEADER: fall back to the
+	// full retry loop, which chases the leader.
+	if c.nc == pnc {
+		pnc.Close()
+		c.conn, c.nc, c.addr = nil, nil, ""
+	}
+	return c.Do(&req)
+}
+
+// settleGetAt resolves an unhedged primary answer: transport errors and
+// leadership refusals go through the retry loop, everything else is the
+// answer.
+func (c *Client) settleGetAt(resp wire.Response, err error, req *wire.Request) (wire.Response, error) {
+	if err != nil {
+		c.fail(c.addr)
+		c.dropConn()
+		return c.Do(req)
+	}
+	if resp.Status == wire.StatusNotLeader {
+		c.dropConn()
+		return c.Do(req)
+	}
+	return resp, nil
+}
+
+// hedgeOnce runs one GET_AT on a short-lived connection to an endpoint
+// other than avoid.
+func (c *Client) hedgeOnce(req *wire.Request, avoid string) (wire.Response, error) {
+	var target string
+	now := time.Now()
+	for _, e := range c.cfg.Endpoints {
+		if e == avoid {
+			continue
+		}
+		if b := c.breakers[e]; now.Before(b.openUntil) {
+			continue
+		}
+		target = e
+		break
+	}
+	if target == "" {
+		return wire.Response{}, fmt.Errorf("client: no hedge target")
+	}
+	nc, err := net.DialTimeout("tcp", target, c.cfg.OpTimeout)
+	if err != nil {
+		return wire.Response{}, err
+	}
+	defer nc.Close()
+	return wire.NewConn(deadlineConn{nc, c.cfg.OpTimeout}).Do(req)
+}
+
+// ServerStats fetches the current node's STATS snapshot.
+func (c *Client) ServerStats() (*wire.Stats, error) {
+	resp, err := c.Do(&wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Stats == nil {
+		return nil, fmt.Errorf("client: STATS answered %v without a snapshot", resp.Status)
+	}
+	return resp.Stats, nil
+}
+
+// Stats returns the resilience tallies so far.
+func (c *Client) Stats() Stats { return c.stats }
+
+// Close releases the socket. The Client may be used again afterwards; it
+// will redial.
+func (c *Client) Close() {
+	c.dropConn()
+}
+
+// ensureConn makes sure a live socket exists, preferring the believed
+// leader, then rotating over endpoints whose breaker is closed, then —
+// if every breaker is open — rotating over all of them anyway.
+func (c *Client) ensureConn() error {
+	if c.conn != nil {
+		return nil
+	}
+	now := time.Now()
+	var candidates []string
+	if c.leader != "" {
+		candidates = append(candidates, c.leader)
+	}
+	for range c.cfg.Endpoints {
+		e := c.cfg.Endpoints[c.next%len(c.cfg.Endpoints)]
+		c.next++
+		if e == c.leader {
+			continue
+		}
+		if b := c.breakers[e]; now.Before(b.openUntil) {
+			continue
+		}
+		candidates = append(candidates, e)
+	}
+	if len(candidates) == 0 {
+		// Every breaker open: try them all; one may be back.
+		candidates = append(candidates, c.cfg.Endpoints...)
+	}
+	var lastErr error
+	for _, e := range candidates {
+		nc, err := net.DialTimeout("tcp", e, c.cfg.OpTimeout)
+		if err != nil {
+			c.fail(e)
+			lastErr = err
+			continue
+		}
+		if c.dialed {
+			c.stats.Reconnects++
+		}
+		c.dialed = true
+		c.nc = nc
+		c.conn = wire.NewConn(deadlineConn{nc, c.cfg.OpTimeout})
+		c.addr = e
+		return nil
+	}
+	return fmt.Errorf("client: no endpoint reachable: %w", lastErr)
+}
+
+// dropConn closes and forgets the current socket.
+func (c *Client) dropConn() {
+	if c.nc != nil {
+		c.nc.Close()
+	}
+	c.conn, c.nc, c.addr = nil, nil, ""
+}
+
+// fail records one failure against an endpoint, opening its breaker after
+// the configured consecutive count.
+func (c *Client) fail(addr string) {
+	b := c.breakers[addr]
+	if b == nil {
+		return // redirect target outside the configured endpoint set
+	}
+	b.fails++
+	if b.fails >= c.cfg.BreakerFailures {
+		b.openUntil = time.Now().Add(c.cfg.BreakerCooldown)
+		b.fails = 0
+	}
+}
+
+// sleep applies one capped, jittered backoff step and doubles the delay.
+func (c *Client) sleep(delay *time.Duration) {
+	d := *delay
+	jittered := d*3/4 + time.Duration(c.rng.Int63n(int64(d)/2))
+	time.Sleep(jittered)
+	if *delay *= 2; *delay > c.cfg.RetryMax {
+		*delay = c.cfg.RetryMax
+	}
+}
+
+// deadlineConn arms a fresh deadline before every Read and Write, making
+// OpTimeout a per-I/O bound rather than a whole-connection one.
+type deadlineConn struct {
+	net.Conn
+	d time.Duration
+}
+
+func (c deadlineConn) Read(p []byte) (int, error) {
+	if c.d > 0 {
+		c.Conn.SetReadDeadline(time.Now().Add(c.d))
+	}
+	return c.Conn.Read(p)
+}
+
+func (c deadlineConn) Write(p []byte) (int, error) {
+	if c.d > 0 {
+		c.Conn.SetWriteDeadline(time.Now().Add(c.d))
+	}
+	return c.Conn.Write(p)
+}

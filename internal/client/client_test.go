@@ -1,0 +1,234 @@
+package client
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ordo/internal/wire"
+)
+
+// fakeNode is a minimal ordod stand-in: every accepted connection is
+// served by handler, one request at a time.
+type fakeNode struct {
+	ln       net.Listener
+	requests atomic.Uint64
+}
+
+func startFakeNode(t *testing.T, handler func(*wire.Request) wire.Response) *fakeNode {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &fakeNode{ln: ln}
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer nc.Close()
+				conn := wire.NewConn(nc)
+				for {
+					req, err := conn.ReadRequest()
+					if err != nil {
+						return
+					}
+					n.requests.Add(1)
+					resp := handler(&req)
+					if conn.WriteResponse(&resp) != nil || conn.Flush() != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return n
+}
+
+func (n *fakeNode) addr() string { return n.ln.Addr().String() }
+
+func newTestClient(t *testing.T, endpoints ...string) *Client {
+	t.Helper()
+	c, err := New(Config{
+		Endpoints:  endpoints,
+		OpTimeout:  2 * time.Second,
+		RetryFor:   5 * time.Second,
+		RetryEvery: time.Millisecond,
+		RetryMax:   5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestRedirectChasing(t *testing.T) {
+	leader := startFakeNode(t, func(req *wire.Request) wire.Response {
+		return wire.Response{Kind: wire.RespEmpty, Status: wire.StatusOK, TS: 42}
+	})
+	var follower *fakeNode
+	follower = startFakeNode(t, func(req *wire.Request) wire.Response {
+		return wire.Response{Kind: wire.RespEmpty, Status: wire.StatusNotLeader, Redirect: leader.addr()}
+	})
+	// The follower is listed first, so the cold client dials it, gets
+	// refused with a redirect, and must chase it to the leader.
+	c := newTestClient(t, follower.addr(), leader.addr())
+	resp, err := c.Do(&wire.Request{Op: wire.OpPut, Key: 1, Vals: []uint64{7}})
+	if err != nil || resp.Status != wire.StatusOK {
+		t.Fatalf("Do after redirect: %v, %v", resp.Status, err)
+	}
+	if s := c.Stats(); s.NotLeaderRetries != 1 || s.Redirects != 1 {
+		t.Fatalf("stats after one redirect: %+v", s)
+	}
+	// The believed leader sticks: the next op must go straight there.
+	before := follower.requests.Load()
+	if _, err := c.Do(&wire.Request{Op: wire.OpPut, Key: 2, Vals: []uint64{8}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := follower.requests.Load(); got != before {
+		t.Fatalf("second op touched the follower (%d requests, was %d)", got, before)
+	}
+}
+
+func TestDefinitiveAnswerNotRetried(t *testing.T) {
+	node := startFakeNode(t, func(req *wire.Request) wire.Response {
+		return wire.Response{Kind: wire.RespEmpty, Status: wire.StatusNotFound}
+	})
+	c := newTestClient(t, node.addr())
+	resp, err := c.Do(&wire.Request{Op: wire.OpPut, Key: 1, Vals: []uint64{7}})
+	if err != nil || resp.Status != wire.StatusNotFound {
+		t.Fatalf("Do: %v, %v; want NOT_FOUND with nil error", resp.Status, err)
+	}
+	if n := node.requests.Load(); n != 1 {
+		t.Fatalf("NOT_FOUND was retried: %d requests", n)
+	}
+}
+
+func TestRotationPastDeadEndpoint(t *testing.T) {
+	// Reserve an address that refuses connections by closing its listener.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+	live := startFakeNode(t, func(req *wire.Request) wire.Response {
+		return wire.Response{Kind: wire.RespEmpty, Status: wire.StatusOK}
+	})
+	c := newTestClient(t, deadAddr, live.addr())
+	resp, err := c.Do(&wire.Request{Op: wire.OpGet, Key: 1})
+	if err != nil || resp.Status != wire.StatusOK {
+		t.Fatalf("Do past dead endpoint: %v, %v", resp.Status, err)
+	}
+	if b := c.breakers[deadAddr]; b.fails == 0 && !time.Now().Before(b.openUntil) {
+		t.Fatal("dead endpoint's failure was not recorded")
+	}
+}
+
+func TestBreakerOpensButNeverStrands(t *testing.T) {
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+	c, err := New(Config{
+		Endpoints:       []string{deadAddr},
+		OpTimeout:       200 * time.Millisecond,
+		RetryFor:        250 * time.Millisecond,
+		RetryEvery:      time.Millisecond,
+		RetryMax:        5 * time.Millisecond,
+		BreakerFailures: 1,
+		BreakerCooldown: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Do(&wire.Request{Op: wire.OpGet, Key: 1}); err == nil {
+		t.Fatal("Do against a dead cluster returned nil error")
+	}
+	if b := c.breakers[deadAddr]; !time.Now().Before(b.openUntil) {
+		t.Fatal("breaker did not open after consecutive failures")
+	}
+	// The endpoint comes back while its breaker is still open: the client
+	// must dial it anyway (all breakers open → try everything).
+	revived, err := net.Listen("tcp", deadAddr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", deadAddr, err)
+	}
+	node := &fakeNode{ln: revived}
+	go func() {
+		for {
+			nc, err := revived.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer nc.Close()
+				conn := wire.NewConn(nc)
+				for {
+					if _, err := conn.ReadRequest(); err != nil {
+						return
+					}
+					node.requests.Add(1)
+					resp := wire.Response{Kind: wire.RespEmpty, Status: wire.StatusOK}
+					if conn.WriteResponse(&resp) != nil || conn.Flush() != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	defer revived.Close()
+	resp, err := c.Do(&wire.Request{Op: wire.OpGet, Key: 1})
+	if err != nil || resp.Status != wire.StatusOK {
+		t.Fatalf("Do after revival with open breaker: %v, %v", resp.Status, err)
+	}
+}
+
+func TestHedgedGetAt(t *testing.T) {
+	slow := startFakeNode(t, func(req *wire.Request) wire.Response {
+		time.Sleep(500 * time.Millisecond)
+		return wire.Response{Kind: wire.RespRow, Status: wire.StatusOK, Row: []uint64{1}}
+	})
+	fast := startFakeNode(t, func(req *wire.Request) wire.Response {
+		return wire.Response{Kind: wire.RespRow, Status: wire.StatusOK, Row: []uint64{2}}
+	})
+	c, err := New(Config{
+		Endpoints:  []string{slow.addr(), fast.addr()},
+		OpTimeout:  2 * time.Second,
+		RetryFor:   5 * time.Second,
+		RetryEvery: time.Millisecond,
+		HedgeAfter: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	resp, err := c.GetAt(0, 1, 0)
+	if err != nil || resp.Status != wire.StatusOK {
+		t.Fatalf("hedged GetAt: %v, %v", resp.Status, err)
+	}
+	if len(resp.Row) != 1 || resp.Row[0] != 2 {
+		t.Fatalf("hedged GetAt row = %v, want the fast replica's", resp.Row)
+	}
+	if d := time.Since(start); d >= 500*time.Millisecond {
+		t.Fatalf("hedge did not beat the slow primary (%v)", d)
+	}
+	if s := c.Stats(); s.Hedges != 1 {
+		t.Fatalf("stats: %+v, want 1 hedge", s)
+	}
+	// The abandoned primary socket must have been dropped: the next op
+	// redials rather than reading the stale in-flight response.
+	if c.conn != nil {
+		t.Fatal("primary socket kept after losing the hedge race")
+	}
+}

@@ -1,0 +1,207 @@
+package failover
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"ordo/internal/server"
+	"ordo/internal/wal"
+)
+
+// DefaultDialTimeout bounds each peer probe and election dial.
+const DefaultDialTimeout = time.Second
+
+// Bootstrap is a node's starting regime, decided before WAL recovery so
+// a fenced rejoin can truncate the log while nothing has it open.
+type Bootstrap struct {
+	// Role this node boots into.
+	Role server.ReplRole
+	// Epoch the node serves under (and opens its WAL device with).
+	Epoch uint64
+	// LeaderIndex is the believed leader's peer index (this node's own
+	// index when Role is leader), -1 when no leader is known yet.
+	LeaderIndex int
+	// Truncated is how many unshipped records a fenced rejoin dropped.
+	Truncated int
+}
+
+// BootstrapConfig parameterizes Decide.
+type BootstrapConfig struct {
+	// Dir is the WAL directory (sidecars live next to the segments).
+	Dir string
+	// Index is this node's position in Peers.
+	Index int
+	// Peers is the full cluster map, including this node.
+	Peers []Peer
+	// CursorFile is the follower stream-cursor sidecar path.
+	CursorFile string
+	// DialTimeout bounds each peer probe; ≤ 0 means DefaultDialTimeout.
+	DialTimeout time.Duration
+	// Logf receives operational messages. Optional.
+	Logf func(format string, args ...any)
+}
+
+// Decide probes the cluster and fixes this node's starting regime. It
+// MUST run before wal.Recover/OpenFile: the fenced-rejoin path rewrites
+// the log in place.
+//
+// The decision table:
+//
+//   - A live leader answered a probe: join it as a follower. If its epoch
+//     is newer than anything recorded locally AND this node's sidecar says
+//     it led the old regime, the local log tail past the new leader's
+//     takeover cursor was never shipped — truncate it first, so recovery
+//     replays exactly the prefix the new regime inherited.
+//   - No live leader, but the sidecar says this node was the leader:
+//     resume the regime (a plain leader restart; followers re-subscribe by
+//     cursor).
+//   - No live leader and no leader history: priority index 0 takes the
+//     cold cluster; everyone else follows it.
+//
+// A follower that finds its cursor AHEAD of a newer regime's takeover
+// point would mean an acknowledged write existed only on this node while
+// it was dead — a double failure outside the supported model. Decide
+// refuses to guess and resets the node to an empty log (it re-backfills
+// everything from the new leader), logging loudly.
+func Decide(cfg BootstrapConfig) (*Bootstrap, error) {
+	if cfg.Index < 0 || cfg.Index >= len(cfg.Peers) {
+		return nil, fmt.Errorf("failover: peer index %d outside peer list of %d", cfg.Index, len(cfg.Peers))
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = DefaultDialTimeout
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	meta, err := ReadMeta(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	epoch := meta.Epoch
+	if diskEpoch, err := wal.MaxEpoch(cfg.Dir); err == nil && diskEpoch > epoch {
+		epoch = diskEpoch
+	}
+	cursor := readCursor(cfg.CursorFile)
+	if cursor.Epoch > epoch {
+		epoch = cursor.Epoch
+	}
+
+	// One probe round over the other peers; the newest live leader wins.
+	leaderIdx := -1
+	var leaderEpoch, leaderPrevInc, leaderPrevSeq uint64
+	for i, p := range cfg.Peers {
+		if i == cfg.Index {
+			continue
+		}
+		m, err := Probe(p.Repl, cfg.DialTimeout)
+		if err != nil {
+			continue
+		}
+		if server.ReplRole(m.Role) == server.RoleLeader && (leaderIdx < 0 || m.Epoch > leaderEpoch) {
+			leaderIdx, leaderEpoch = i, m.Epoch
+			leaderPrevInc, leaderPrevSeq = m.PrevInc, m.PrevSeq
+		}
+	}
+
+	b := &Bootstrap{Epoch: epoch, LeaderIndex: leaderIdx}
+	switch {
+	case leaderIdx >= 0:
+		b.Role = server.RoleFollower
+		if leaderEpoch > epoch {
+			switch meta.Role {
+			case "leader":
+				// Fenced ex-leader: our log's coordinates ARE the old
+				// stream's, and the new leader acknowledged through
+				// (PrevInc, PrevSeq). Everything past it is the unshipped
+				// suffix — no follower ack, so no client ack under the
+				// gate, depended on it.
+				dropped, err := wal.TruncateAfter(cfg.Dir, leaderPrevInc, leaderPrevSeq)
+				if err != nil {
+					return nil, fmt.Errorf("failover: truncating fenced log: %w", err)
+				}
+				b.Truncated = dropped
+				logf("failover: fenced by epoch %d regime: truncated %d unshipped records after (%d, %d)",
+					leaderEpoch, dropped, leaderPrevInc, leaderPrevSeq)
+			default:
+				// Ex-follower (or fresh node): its log is a local
+				// transcription in its own coordinates; cursor position
+				// decides whether it is a safe prefix.
+				if cursorBeyond(cursor, leaderPrevInc, leaderPrevSeq) {
+					logf("failover: WARNING: cursor (%d, %d) runs past epoch %d regime start (%d, %d) — double failure? resetting local log to re-backfill",
+						cursor.Inc, cursor.Seq, leaderEpoch, leaderPrevInc, leaderPrevSeq)
+					if err := resetDir(cfg.Dir); err != nil {
+						return nil, err
+					}
+					// The cursor may live outside the WAL dir.
+					_ = os.Remove(cfg.CursorFile)
+				}
+			}
+			b.Epoch = leaderEpoch
+		}
+	case meta.Role == "leader":
+		// Leader restart with no competing regime: resume it.
+		b.Role = server.RoleLeader
+		b.LeaderIndex = cfg.Index
+	case cfg.Index == 0:
+		b.Role = server.RoleLeader
+		b.LeaderIndex = 0
+	default:
+		// Cold follower with nobody answering yet: assume the priority
+		// head will lead; the supervision loop re-probes until it does.
+		b.Role = server.RoleFollower
+		b.LeaderIndex = 0
+	}
+
+	// Failover regimes are fenced, and epoch 0 means "unfenced legacy"
+	// on the wire — a failover leader never serves under it.
+	if b.Role == server.RoleLeader && b.Epoch == 0 {
+		b.Epoch = 1
+	}
+	return b, nil
+}
+
+// cursorPos mirrors repl.Position without importing the package (repl
+// imports server; failover sits beside it and keeps its deps minimal).
+type cursorPos struct {
+	Inc   uint64 `json:"inc"`
+	Seq   uint64 `json:"seq"`
+	Epoch uint64 `json:"epoch"`
+}
+
+func readCursor(path string) cursorPos {
+	var c cursorPos
+	if path == "" {
+		return c
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c
+	}
+	if json.Unmarshal(data, &c) != nil {
+		return cursorPos{}
+	}
+	return c
+}
+
+func cursorBeyond(c cursorPos, prevInc, prevSeq uint64) bool {
+	if c.Inc != prevInc {
+		return c.Inc > prevInc
+	}
+	return c.Seq > prevSeq
+}
+
+// resetDir wipes a WAL directory (segments, cursor, sidecars) so the node
+// re-backfills from scratch.
+func resetDir(dir string) error {
+	if err := os.RemoveAll(dir); err != nil {
+		return fmt.Errorf("failover: resetting %s: %w", dir, err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("failover: recreating %s: %w", dir, err)
+	}
+	return nil
+}

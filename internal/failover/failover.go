@@ -1,0 +1,141 @@
+// Package failover supervises a replicated ordod cluster through leader
+// death: it detects a silent leader by replication-heartbeat loss,
+// elects the most-caught-up follower, and fences the old regime with a
+// monotonically increasing epoch so a rejoining ex-leader can never serve
+// or replicate state the new regime did not inherit (DESIGN.md §15).
+//
+// The design is deliberately minimal — crash-stop failures, at most one
+// node down at a time, a static priority-ordered peer list, no network
+// partitions. Under that model the safety argument is: every acknowledged
+// write is covered by a follower WALACK (the server's replication-ack
+// gate) or was written while no follower was subscribed; the election
+// winner is the follower with the greatest (epoch, incarnation, seq)
+// position among live peers, which therefore holds every gated ack; the
+// winner bumps the epoch in its WAL segment headers before serving a
+// single write, so any frame or subscription from the old regime is
+// rejected by epoch comparison from then on; and a fenced ex-leader
+// truncates its unshipped suffix — records no ack depended on — back to
+// the winner's takeover cursor before it resubscribes.
+package failover
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"ordo/internal/wire"
+)
+
+// Peer is one cluster member: its replication listener and its
+// client-facing serving address. The slice order is the election
+// tie-break priority (index 0 leads a cold cluster).
+type Peer struct {
+	Repl   string `json:"repl"`
+	Client string `json:"client"`
+}
+
+// ParsePeers parses the -peers flag form "repl@client,repl@client,...".
+func ParsePeers(s string) ([]Peer, error) {
+	var peers []Peer
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part == "" {
+			continue
+		}
+		i := strings.LastIndexByte(part, '@')
+		if i <= 0 || i == len(part)-1 {
+			return nil, fmt.Errorf("failover: peer %q is not repl-addr@client-addr", part)
+		}
+		peers = append(peers, Peer{Repl: part[:i], Client: part[i+1:]})
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("failover: empty peer list")
+	}
+	return peers, nil
+}
+
+// Meta is the failover sidecar persisted next to the WAL: the regime this
+// node last served under. The epoch here and in the WAL segment headers
+// back each other up — bootstrap takes the max — and Role is what lets a
+// restarting node tell "I was the leader, my log's tail coordinates are
+// the stream's" from "I was a follower, my log is a local transcription".
+type Meta struct {
+	Role    string `json:"role"` // "leader" or "follower"
+	Epoch   uint64 `json:"epoch"`
+	PrevInc uint64 `json:"prev_inc"` // regime start (leader only)
+	PrevSeq uint64 `json:"prev_seq"`
+}
+
+// MetaPath returns the sidecar path inside a WAL directory.
+func MetaPath(dir string) string { return filepath.Join(dir, "failover.json") }
+
+// ReadMeta loads the sidecar; a missing file is a zero Meta, and a corrupt
+// one is an error the caller should surface (guessing a regime is how
+// split brain starts).
+func ReadMeta(dir string) (Meta, error) {
+	var m Meta
+	data, err := os.ReadFile(MetaPath(dir))
+	if os.IsNotExist(err) {
+		return m, nil
+	}
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("failover: corrupt %s: %w", MetaPath(dir), err)
+	}
+	return m, nil
+}
+
+// WriteMeta persists the sidecar atomically (temp + rename + dir sync),
+// matching the durability of the log it describes.
+func WriteMeta(dir string, m Meta) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := MetaPath(dir) + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, MetaPath(dir)); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Probe dials a peer's replication listener, sends a STATUS hello and
+// returns the answer: role, epoch, stream or cursor position, regime
+// start and serving address. One bounded round trip; any failure means
+// "treat the peer as dead for this round".
+func Probe(addr string, timeout time.Duration) (wire.ReplMsg, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return wire.ReplMsg{}, err
+	}
+	defer nc.Close()
+	_ = nc.SetDeadline(time.Now().Add(timeout))
+	p, err := wire.AppendReplMsg(nil, &wire.ReplMsg{Kind: wire.ReplStatus})
+	if err != nil {
+		return wire.ReplMsg{}, err
+	}
+	if err := wire.WriteReplFrame(nc, p); err != nil {
+		return wire.ReplMsg{}, err
+	}
+	m, _, err := wire.ReadReplHello(bufio.NewReaderSize(nc, 4<<10), nil)
+	if err != nil {
+		return wire.ReplMsg{}, err
+	}
+	if m.Kind != wire.ReplStatus && m.Kind != wire.ReplReject {
+		return wire.ReplMsg{}, fmt.Errorf("failover: probe of %s answered %v", addr, m.Kind)
+	}
+	return m, nil
+}

@@ -1,0 +1,137 @@
+package failover
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ordo/internal/server"
+	"ordo/internal/wal"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers(" 127.0.0.1:7611@127.0.0.1:7601 ,127.0.0.1:7612@127.0.0.1:7602,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 {
+		t.Fatalf("got %d peers, want 2", len(peers))
+	}
+	if peers[0].Repl != "127.0.0.1:7611" || peers[0].Client != "127.0.0.1:7601" {
+		t.Fatalf("peer 0 = %+v", peers[0])
+	}
+	// An IPv6 replication address keeps its colons: the LAST @ splits.
+	peers, err = ParsePeers("[::1]:7611@[::1]:7601")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peers[0].Repl != "[::1]:7611" || peers[0].Client != "[::1]:7601" {
+		t.Fatalf("ipv6 peer = %+v", peers[0])
+	}
+	for _, bad := range []string{"", ",,", "noseparator", "@client", "repl@"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	// Missing file is a zero Meta, not an error.
+	m, err := ReadMeta(dir)
+	if err != nil || m != (Meta{}) {
+		t.Fatalf("missing sidecar: %+v, %v", m, err)
+	}
+	want := Meta{Role: "leader", Epoch: 3, PrevInc: 2, PrevSeq: 4711}
+	if err := WriteMeta(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	m, err = ReadMeta(dir)
+	if err != nil || m != want {
+		t.Fatalf("round trip: %+v, %v; want %+v", m, err, want)
+	}
+	// Corruption is an error, not a guess.
+	if err := os.WriteFile(MetaPath(dir), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadMeta(dir); err == nil {
+		t.Fatal("corrupt sidecar read back without error")
+	}
+}
+
+// decideOffline runs Decide against peers that are all unreachable (ports
+// from the reserved TEST-NET range never answer on loopback in time).
+func decideOffline(t *testing.T, dir, cursorFile string, index int) *Bootstrap {
+	t.Helper()
+	b, err := Decide(BootstrapConfig{
+		Dir:   dir,
+		Index: index,
+		Peers: []Peer{
+			{Repl: "127.0.0.1:1", Client: "127.0.0.1:2"},
+			{Repl: "127.0.0.1:3", Client: "127.0.0.1:4"},
+			{Repl: "127.0.0.1:5", Client: "127.0.0.1:6"},
+		},
+		CursorFile:  cursorFile,
+		DialTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestDecideColdCluster(t *testing.T) {
+	// Nobody answers, no history: index 0 leads at a fenced epoch, everyone
+	// else follows the priority head.
+	b := decideOffline(t, t.TempDir(), "", 0)
+	if b.Role != server.RoleLeader || b.Epoch != 1 || b.LeaderIndex != 0 {
+		t.Fatalf("cold index 0: %+v", b)
+	}
+	b = decideOffline(t, t.TempDir(), "", 2)
+	if b.Role != server.RoleFollower || b.LeaderIndex != 0 {
+		t.Fatalf("cold index 2: %+v", b)
+	}
+}
+
+func TestDecideLeaderResume(t *testing.T) {
+	// A restarting ex-leader with no competing regime resumes its own.
+	dir := t.TempDir()
+	if err := WriteMeta(dir, Meta{Role: "leader", Epoch: 5, PrevInc: 1, PrevSeq: 9}); err != nil {
+		t.Fatal(err)
+	}
+	b := decideOffline(t, dir, "", 1)
+	if b.Role != server.RoleLeader || b.Epoch != 5 || b.LeaderIndex != 1 {
+		t.Fatalf("leader resume: %+v", b)
+	}
+}
+
+func TestDecideEpochFromAllSources(t *testing.T) {
+	// The boot epoch is the max over sidecar, WAL segment headers and the
+	// follower cursor, so no regime marker can regress it.
+	dir := t.TempDir()
+	dev, err := wal.OpenFile(dir, wal.FileConfig{Epoch: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := wal.New(dev, nil)
+	l.NewHandle().AppendAt(1, []byte("x"))
+	if _, err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	dev.Close()
+	if err := WriteMeta(dir, Meta{Role: "follower", Epoch: 3}); err != nil {
+		t.Fatal(err)
+	}
+	cursorFile := filepath.Join(t.TempDir(), "cursor.json")
+	if err := os.WriteFile(cursorFile, []byte(`{"inc":1,"seq":1,"epoch":4}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b := decideOffline(t, dir, cursorFile, 2)
+	if b.Epoch != 7 {
+		t.Fatalf("epoch = %d, want 7 (WAL header wins the max)", b.Epoch)
+	}
+	if b.Role != server.RoleFollower {
+		t.Fatalf("role = %v, want follower", b.Role)
+	}
+}

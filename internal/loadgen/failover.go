@@ -1,0 +1,241 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"ordo/internal/client"
+	"ordo/internal/db/ycsb"
+	"ordo/internal/wire"
+)
+
+// FailoverConfig parameterizes RunFailover: a write-mostly load driven
+// through the failover-aware client, designed to survive a leader kill
+// mid-run and to prove afterwards that no acknowledged write was lost.
+type FailoverConfig struct {
+	// Endpoints are the client-facing addresses of every cluster node.
+	Endpoints []string
+	// Workers is the concurrent writer count; the keyspace is partitioned
+	// across them so every key has exactly one writer (which is what makes
+	// the per-key sequence check exact).
+	Workers int
+	// Keys is the total keyspace size.
+	Keys int
+	// Seconds bounds the load phase by wall-clock time.
+	Seconds float64
+	// OpTimeout bounds each I/O; RetryFor is the client's per-op retry
+	// budget and must exceed the cluster's failover time.
+	OpTimeout time.Duration
+	RetryFor  time.Duration
+	// HedgeAfter, when positive, hedges the read-back sweep's GETs.
+	HedgeAfter time.Duration
+	// ReportTo receives progress lines; nil discards them.
+	ReportTo io.Writer
+}
+
+// FailoverResult is one failover run's tallies plus the post-run
+// consistency sweep.
+type FailoverResult struct {
+	// Acked is the writes acknowledged OK across all workers.
+	Acked uint64
+	// Elapsed is the load phase wall-clock span.
+	Elapsed time.Duration
+	// MaxAckGap is the longest span between consecutive acknowledged
+	// writes anywhere in the run — with a mid-run leader kill, this is the
+	// observed unavailability window (last ack on the old leader to first
+	// ack after promotion).
+	MaxAckGap time.Duration
+	// Client merges every worker's resilience tallies.
+	Client client.Stats
+	// SweptKeys is how many keys the read-back sweep checked; Violations
+	// counts keys whose recovered value fell outside [acked, issued] — any
+	// nonzero value means an acknowledged write was lost or an unissued
+	// one appeared.
+	SweptKeys  int
+	Violations int
+}
+
+// ackClock tracks the global time-between-acks maximum across workers.
+type ackClock struct {
+	mu     sync.Mutex
+	last   time.Time
+	maxGap time.Duration
+}
+
+func (a *ackClock) note(now time.Time) {
+	a.mu.Lock()
+	if !a.last.IsZero() {
+		if gap := now.Sub(a.last); gap > a.maxGap {
+			a.maxGap = gap
+		}
+	}
+	a.last = now
+	a.mu.Unlock()
+}
+
+// RunFailover drives the cluster with per-key monotone writes and then
+// verifies, key by key, that acked ≤ recovered ≤ issued:
+//
+//   - each key's value is a strictly increasing sequence number written
+//     by exactly one worker (INSERT seq 1, then PUTs 2, 3, ...);
+//   - "acked" is the highest sequence the server answered OK (or
+//     DUPLICATE — a retried INSERT whose original landed);
+//   - after the load, a fresh client reads every key back: a recovered
+//     value below "acked" is a lost acknowledged write, and one above
+//     "issued" is data from nowhere. Both count as Violations.
+//
+// The run is built to straddle a leader kill: ops retry through the
+// resilient client for up to RetryFor, and the longest ack-to-ack gap is
+// reported as the unavailability window.
+func RunFailover(cfg FailoverConfig) (*FailoverResult, error) {
+	if len(cfg.Endpoints) == 0 || cfg.Workers <= 0 || cfg.Keys < cfg.Workers || cfg.Seconds <= 0 {
+		return nil, fmt.Errorf("loadgen: failover run needs Endpoints, Workers, Keys ≥ Workers and Seconds")
+	}
+	issued := make([]uint64, cfg.Keys)
+	acked := make([]uint64, cfg.Keys)
+	clock := &ackClock{}
+	deadline := time.Now().Add(time.Duration(cfg.Seconds * float64(time.Second)))
+
+	ccfg := client.Config{
+		Endpoints: cfg.Endpoints,
+		OpTimeout: cfg.OpTimeout,
+		RetryFor:  cfg.RetryFor,
+	}
+	errs := make([]error, cfg.Workers)
+	stats := make([]client.Stats, cfg.Workers)
+	per := cfg.Keys / cfg.Workers
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if w == cfg.Workers-1 {
+			hi = cfg.Keys
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			stats[w], errs[w] = failoverWorker(ccfg, lo, hi, issued, acked, clock, deadline)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	res := &FailoverResult{Elapsed: time.Since(start), MaxAckGap: clock.maxGap}
+	for w := range stats {
+		res.Client.NotLeaderRetries += stats[w].NotLeaderRetries
+		res.Client.Redirects += stats[w].Redirects
+		res.Client.Reconnects += stats[w].Reconnects
+		res.Client.Hedges += stats[w].Hedges
+	}
+	for k := range acked {
+		res.Acked += acked[k]
+	}
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+	if progress(cfg.ReportTo) {
+		fmt.Fprintf(cfg.ReportTo, "failover load: %d keys written, max ack gap %v; sweeping\n",
+			cfg.Keys, res.MaxAckGap.Round(time.Millisecond))
+	}
+	if err := failoverSweep(cfg, issued, acked, res); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+func progress(w io.Writer) bool { return w != nil }
+
+// failoverWorker writes its key slice round-robin until the deadline.
+// Every op goes through the resilient client, so a leader kill mid-run
+// surfaces as elevated latency (bounded by RetryFor), not as an error.
+func failoverWorker(ccfg client.Config, lo, hi int, issued, acked []uint64, clock *ackClock, deadline time.Time) (client.Stats, error) {
+	cl, err := client.New(ccfg)
+	if err != nil {
+		return client.Stats{}, err
+	}
+	defer cl.Close()
+	vals := make([]uint64, ycsb.Cols)
+	for k := lo; ; k++ {
+		if k == hi {
+			k = lo
+		}
+		if time.Now().After(deadline) {
+			return cl.Stats(), nil
+		}
+		seq := issued[k] + 1
+		issued[k] = seq
+		for i := range vals {
+			vals[i] = seq
+		}
+		req := wire.Request{Op: wire.OpPut, Key: uint64(k), Vals: vals}
+		if seq == 1 {
+			req.Op = wire.OpInsert
+		}
+		resp, err := cl.Do(&req)
+		if err != nil {
+			return cl.Stats(), fmt.Errorf("key %d seq %d: %w", k, seq, err)
+		}
+		switch resp.Status {
+		case wire.StatusOK:
+		case wire.StatusDuplicate:
+			// A retried INSERT whose first send landed before the leader
+			// died: the row exists, the write is durable.
+		case wire.StatusNotFound:
+			// A PUT hitting a missing row means a previously acknowledged
+			// INSERT vanished — exactly the loss class this harness exists
+			// to catch.
+			return cl.Stats(), fmt.Errorf("key %d: PUT found no row after INSERT was acked (lost write)", k)
+		default:
+			return cl.Stats(), fmt.Errorf("key %d seq %d: %v", k, seq, resp.Status)
+		}
+		acked[k] = seq
+		clock.note(time.Now())
+	}
+}
+
+// failoverSweep reads every key back through a fresh client and enforces
+// acked ≤ recovered ≤ issued per key.
+func failoverSweep(cfg FailoverConfig, issued, acked []uint64, res *FailoverResult) error {
+	cl, err := client.New(client.Config{
+		Endpoints:  cfg.Endpoints,
+		OpTimeout:  cfg.OpTimeout,
+		RetryFor:   cfg.RetryFor,
+		HedgeAfter: cfg.HedgeAfter,
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	for k := 0; k < cfg.Keys; k++ {
+		resp, err := cl.Do(&wire.Request{Op: wire.OpGet, Key: uint64(k)})
+		if err != nil {
+			return fmt.Errorf("sweep key %d: %w", k, err)
+		}
+		var recovered uint64
+		switch resp.Status {
+		case wire.StatusOK:
+			if len(resp.Row) > 0 {
+				recovered = resp.Row[0]
+			}
+		case wire.StatusNotFound:
+			recovered = 0
+		default:
+			return fmt.Errorf("sweep key %d: %v", k, resp.Status)
+		}
+		res.SweptKeys++
+		if recovered < acked[k] || recovered > issued[k] {
+			res.Violations++
+			if progress(cfg.ReportTo) {
+				fmt.Fprintf(cfg.ReportTo, "VIOLATION key %d: recovered seq %d outside [acked %d, issued %d]\n",
+					k, recovered, acked[k], issued[k])
+			}
+		}
+	}
+	if res.Violations > 0 {
+		return fmt.Errorf("loadgen: %d of %d keys violated acked ≤ recovered ≤ issued", res.Violations, res.SweptKeys)
+	}
+	return nil
+}

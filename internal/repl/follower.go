@@ -4,10 +4,13 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"ordo/internal/db"
@@ -16,16 +19,44 @@ import (
 	"ordo/internal/wire"
 )
 
-// DefaultRetryEvery is the reconnect backoff between follower sessions.
-const DefaultRetryEvery = 250 * time.Millisecond
+// Reconnect pacing defaults: the delay starts at DefaultRetryEvery,
+// doubles per consecutive failure up to DefaultRetryMax, and resets after
+// any productive session.
+const (
+	DefaultRetryEvery = 250 * time.Millisecond
+	DefaultRetryMax   = 2 * time.Second
+)
 
 // Position is a follower's durable stream cursor: the last leader
 // (incarnation, seq) whose record is appended to the local WAL and
-// replayed into the engine.
+// replayed into the engine, and the fencing epoch it was applied under.
 type Position struct {
-	Inc uint64 `json:"inc"`
-	Seq uint64 `json:"seq"`
+	Inc   uint64 `json:"inc"`
+	Seq   uint64 `json:"seq"`
+	Epoch uint64 `json:"epoch"`
 }
+
+// Fenced is the error a Session returns when the leader refused the
+// subscription with a REJECT frame: the regimes disagree. It carries the
+// rejecting leader's view so the caller can converge — adopt the higher
+// epoch, truncate the local log to (PrevInc, PrevSeq) if this node's WAL
+// runs past it, and resubscribe.
+type Fenced struct {
+	// Epoch is the rejecting leader's fencing epoch.
+	Epoch uint64
+	// PrevInc and PrevSeq are where the rejecting leader's regime began.
+	PrevInc, PrevSeq uint64
+	// Addr is the rejecting leader's client-facing serving address.
+	Addr string
+}
+
+func (e *Fenced) Error() string {
+	return fmt.Sprintf("repl: fenced by leader at epoch %d (regime start %d/%d)", e.Epoch, e.PrevInc, e.PrevSeq)
+}
+
+// errStaleFrame reports a mid-stream frame from an older epoch than the
+// one this follower adopted — a zombie leader still writing to the link.
+var errStaleFrame = errors.New("repl: frame from a stale epoch")
 
 // FollowerConfig configures a Follower.
 type FollowerConfig struct {
@@ -53,8 +84,15 @@ type FollowerConfig struct {
 	// effective window is the max of this and the leader's advertised one.
 	// Optional (0).
 	Boundary func() uint64
-	// RetryEvery is the reconnect backoff; ≤ 0 means DefaultRetryEvery.
+	// Epoch is the fencing epoch this follower believes current at
+	// construction (from its WAL headers); the cursor's persisted epoch
+	// and STATUS frames can only raise it.
+	Epoch uint64
+	// RetryEvery is the initial reconnect backoff; ≤ 0 means
+	// DefaultRetryEvery. RetryMax caps the doubling; ≤ 0 means
+	// DefaultRetryMax.
 	RetryEvery time.Duration
+	RetryMax   time.Duration
 	// DialTimeout bounds each dial; ≤ 0 means 3 s.
 	DialTimeout time.Duration
 	// Logf receives operational messages. Optional.
@@ -71,13 +109,22 @@ type FollowerConfig struct {
 // appliedTS reaches T, no record with timestamp ≤ T − window can still be
 // in flight, and a read as of that bound sees a frozen prefix.
 type Follower struct {
-	cfg FollowerConfig
-	h   *wal.Handle
-	pos Position
+	cfg   FollowerConfig
+	h     *wal.Handle
+	pos   Position
+	epoch uint64 // adopted fencing epoch; only ever raised
+
+	// The session loop owns pos and epoch from a single goroutine; the
+	// failover layer's probe handlers read them concurrently via
+	// Position/Epoch, which serve this snapshot instead.
+	pubMu    sync.Mutex
+	pubPos   Position
+	pubEpoch uint64
 
 	leaderBoundary uint64
 	leaderInc      uint64
 	leaderTail     uint64
+	productive     bool // current session handled at least one frame
 
 	recsBuf []wal.Record
 	posBuf  []byte
@@ -91,6 +138,9 @@ func NewFollower(cfg FollowerConfig) (*Follower, error) {
 	}
 	if cfg.RetryEvery <= 0 {
 		cfg.RetryEvery = DefaultRetryEvery
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = DefaultRetryMax
 	}
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 3 * time.Second
@@ -114,31 +164,116 @@ func NewFollower(cfg FollowerConfig) (*Follower, error) {
 			}
 		}
 	}
+	f.epoch = cfg.Epoch
+	if f.pos.Epoch > f.epoch {
+		f.epoch = f.pos.Epoch
+	}
+	f.publish()
 	return f, nil
 }
 
-// Position returns the current durable cursor.
-func (f *Follower) Position() Position { return f.pos }
+// publish snapshots the cursor and epoch for cross-goroutine readers.
+// Called by the session goroutine after every mutation.
+func (f *Follower) publish() {
+	f.pubMu.Lock()
+	f.pubPos, f.pubEpoch = f.pos, f.epoch
+	f.pubMu.Unlock()
+}
+
+// Position returns the current durable cursor. Safe to call from any
+// goroutine.
+func (f *Follower) Position() Position {
+	f.pubMu.Lock()
+	defer f.pubMu.Unlock()
+	return f.pubPos
+}
+
+// Epoch returns the fencing epoch the follower has adopted so far. Safe
+// to call from any goroutine.
+func (f *Follower) Epoch() uint64 {
+	f.pubMu.Lock()
+	defer f.pubMu.Unlock()
+	return f.pubEpoch
+}
+
+// AdoptEpoch raises the follower's epoch (a lower value is ignored) —
+// called by the failover layer, between Sessions, after it learns a new
+// regime out of band.
+func (f *Follower) AdoptEpoch(e uint64) {
+	if e > f.epoch {
+		f.epoch = e
+		f.publish()
+	}
+}
+
+// Retarget points the next Session at a different leader address. Call it
+// only between Sessions, from the goroutine that drives them — the
+// failover layer's re-election path.
+func (f *Follower) Retarget(addr string) { f.cfg.Addr = addr }
+
+// Converge reacts to a Fenced rejection from a newer regime: adopt its
+// epoch and reset the stream cursor to origin, because the promoted
+// leader's log speaks its own (incarnation, seq) coordinates — the old
+// cursor is meaningless there. The full re-backfill this triggers is
+// idempotent (server.Replay upserts in order) and, under the single-
+// failure model, cannot lose anything: a follower that held records past
+// the new leader's regime start would have out-positioned it in the
+// election. Rejections from an older regime (a stale leader probed by a
+// newer follower) are ignored.
+func (f *Follower) Converge(e *Fenced) error {
+	if e.Epoch <= f.epoch {
+		return nil
+	}
+	f.cfg.Logf("repl: converging on epoch %d regime (was %d): resetting cursor (%d, %d)",
+		e.Epoch, f.epoch, f.pos.Inc, f.pos.Seq)
+	f.epoch = e.Epoch
+	f.pos = Position{Epoch: e.Epoch}
+	f.publish()
+	return f.persistPos()
+}
 
 // Run tails the leader until ctx is done, reconnecting (and resuming by
-// cursor) across leader restarts and link failures.
+// cursor) across leader restarts and link failures. The delay between
+// sessions starts at RetryEvery and doubles per consecutive failure up to
+// RetryMax, with ±25% jitter so a fleet of followers does not reconnect in
+// lockstep; a productive session (any frame handled) resets it.
 func (f *Follower) Run(ctx context.Context) error {
+	delay := f.cfg.RetryEvery
 	for {
-		if err := f.session(ctx); err != nil {
+		f.productive = false
+		if err := f.Session(ctx); err != nil {
 			f.cfg.Logf("repl: session: %v", err)
+			var fenced *Fenced
+			if errors.As(err, &fenced) {
+				if cerr := f.Converge(fenced); cerr != nil {
+					return cerr
+				}
+			}
 		}
+		if f.productive {
+			delay = f.cfg.RetryEvery
+		} else if delay *= 2; delay > f.cfg.RetryMax {
+			delay = f.cfg.RetryMax
+		}
+		jittered := delay*3/4 + time.Duration(rand.Int63n(int64(delay)/2))
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(f.cfg.RetryEvery):
+		case <-time.After(jittered):
 		}
 	}
 }
 
-// session runs one leader connection: subscribe from the cursor, then
+// Session runs one leader connection: subscribe from the cursor, then
 // apply WALBATCH frames and track WATERMARK heartbeats until the link or
-// ctx dies.
-func (f *Follower) session(ctx context.Context) error {
+// ctx dies. A *Fenced return means the leader refused the subscription
+// from a different regime; the failover layer (not this loop) decides how
+// to converge. One reconnect attempt is counted on the scoreboard per
+// call.
+func (f *Follower) Session(ctx context.Context) error {
+	if st := f.cfg.State; st != nil {
+		st.NoteReconnect()
+	}
 	d := net.Dialer{Timeout: f.cfg.DialTimeout}
 	nc, err := d.DialContext(ctx, "tcp", f.cfg.Addr)
 	if err != nil {
@@ -148,11 +283,11 @@ func (f *Follower) session(ctx context.Context) error {
 	stop := context.AfterFunc(ctx, func() { nc.Close() })
 	defer stop()
 
-	w := &frameWriter{nc: nc}
+	w := &frameWriter{nc: nc, epoch: f.epoch}
 	if err := w.writeMsg(&wire.ReplMsg{Kind: wire.ReplSubscribe, Inc: f.pos.Inc, Seq: f.pos.Seq}); err != nil {
 		return err
 	}
-	f.cfg.Logf("repl: subscribed to %s after (%d, %d)", f.cfg.Addr, f.pos.Inc, f.pos.Seq)
+	f.cfg.Logf("repl: subscribed to %s after (%d, %d) epoch %d", f.cfg.Addr, f.pos.Inc, f.pos.Seq, f.epoch)
 
 	br := newFrameReader(nc)
 	var buf []byte
@@ -171,7 +306,40 @@ func (f *Follower) session(ctx context.Context) error {
 		if st := f.cfg.State; st != nil {
 			st.NoteContact()
 		}
+		// The epoch fence, follower side: frames below the adopted epoch
+		// come from a fenced zombie leader and end the session; a higher
+		// epoch on any frame is the new regime announcing itself.
+		if m.Epoch != 0 && m.Epoch < f.epoch {
+			if st := f.cfg.State; st != nil {
+				st.NoteFencing()
+			}
+			return fmt.Errorf("%w: %d < %d", errStaleFrame, m.Epoch, f.epoch)
+		}
+		// A higher epoch on a streamed frame is the new regime announcing
+		// itself — EXCEPT on a REJECT, whose epoch must reach Converge
+		// un-adopted: adopting it here would make the later Converge a
+		// no-op and leave the stale cursor pointed into the new leader's
+		// unrelated coordinate space.
+		if m.Epoch > f.epoch && m.Kind != wire.ReplReject {
+			f.cfg.Logf("repl: adopting epoch %d (was %d)", m.Epoch, f.epoch)
+			f.epoch = m.Epoch
+			w.epoch = m.Epoch
+			f.publish()
+		}
+		f.productive = true
 		switch m.Kind {
+		case wire.ReplStatus:
+			// The regime descriptor sent ahead of the stream: remember
+			// where client writes should be redirected.
+			if st := f.cfg.State; st != nil && m.Addr != "" {
+				st.SetLeaderAddr(m.Addr)
+			}
+			f.leaderInc, f.leaderTail = m.Inc, m.Seq
+		case wire.ReplReject:
+			if st := f.cfg.State; st != nil {
+				st.NoteFencing()
+			}
+			return &Fenced{Epoch: m.Epoch, PrevInc: m.PrevInc, PrevSeq: m.PrevSeq, Addr: m.Addr}
 		case wire.ReplBatch:
 			if err := f.applyBatch(&m); err != nil {
 				return err
@@ -225,7 +393,8 @@ func (f *Follower) applyBatch(m *wire.ReplMsg) error {
 	if _, err := server.Replay(f.cfg.DB, recs); err != nil {
 		return fmt.Errorf("repl: apply: %w", err)
 	}
-	f.pos = Position{Inc: m.Inc, Seq: m.Recs[len(m.Recs)-1].Seq}
+	f.pos = Position{Inc: m.Inc, Seq: m.Recs[len(m.Recs)-1].Seq, Epoch: f.epoch}
+	f.publish()
 	if err := f.persistPos(); err != nil {
 		return err
 	}

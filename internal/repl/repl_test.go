@@ -350,7 +350,8 @@ func TestReplicationEndToEnd(t *testing.T) {
 		t.Fatalf("watermark %d ran ahead of applied timestamp %d", w, a)
 	}
 
-	// The follower must reject writes outright in read-only mode.
+	// The follower must reject writes outright in read-only mode — with
+	// NOT_LEADER, so a resilient client knows to chase the leader.
 	nc, err := net.Dial("tcp", follower.addr)
 	if err != nil {
 		t.Fatal(err)
@@ -366,8 +367,8 @@ func TestReplicationEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Status != wire.StatusErr {
-		t.Fatalf("follower accepted a write: %v", r.Status)
+	if r.Status != wire.StatusNotLeader {
+		t.Fatalf("follower answered a write with %v, want NOT_LEADER", r.Status)
 	}
 	// A demanded timestamp far above anything committed answers NOT_YET
 	// carrying the current watermark.

@@ -54,6 +54,29 @@ type SourceConfig struct {
 	// Boundary reports the leader's current Ordo uncertainty window in
 	// clock ticks, shipped on WATERMARK heartbeats. Optional (0).
 	Boundary func() uint64
+	// Epoch is the fencing epoch this leader serves under. It is stamped
+	// on every outgoing frame and matched against each subscriber's hello:
+	// a subscriber announcing a different non-zero epoch is refused with a
+	// REJECT frame instead of a stream (DESIGN.md §15). Zero-epoch hellos
+	// are accepted for fresh followers and pre-epoch builds.
+	Epoch uint64
+	// PrevInc and PrevSeq are the stream position this leader's regime
+	// started from — for a promoted leader, its replication cursor at
+	// takeover. REJECT and STATUS frames carry them so a fenced ex-leader
+	// knows exactly where to truncate its unshipped suffix before
+	// resubscribing.
+	PrevInc, PrevSeq uint64
+	// Advertise is this leader's client-facing serving address, carried on
+	// STATUS and REJECT frames so peers learn where writes go. Optional.
+	Advertise string
+	// AckAdvance receives the highest current-incarnation LSN some
+	// follower has durably acknowledged — the feed for the server's
+	// replication-ack gate (server.Server.NoteReplAck). While no follower
+	// is subscribed it is called with the flushed tail itself, waiving the
+	// gate: under the crash-stop single-failure model there is no copy to
+	// wait for, and blocking every write would turn a follower outage into
+	// a total one. Optional.
+	AckAdvance func(seq uint64)
 	// SendBuffer and WatermarkEvery default per the package constants.
 	SendBuffer     int
 	WatermarkEvery time.Duration
@@ -147,6 +170,8 @@ func (s *Source) DeliverFlushed(recs []wal.Record) {
 	}
 	s.mu.Lock()
 	s.tailSeq = recs[len(recs)-1].LSN
+	waive := len(s.subs) == 0
+	tail := s.tailSeq
 	for sub := range s.subs {
 		select {
 		case sub.ch <- recs:
@@ -156,6 +181,11 @@ func (s *Source) DeliverFlushed(recs []wal.Record) {
 		}
 	}
 	s.mu.Unlock()
+	if waive && s.cfg.AckAdvance != nil {
+		// No subscriber holds (or will ever ack) this flush: waive the
+		// replication-ack gate so the leader keeps serving alone.
+		s.cfg.AckAdvance(tail)
+	}
 }
 
 // Tail returns the stream tail: the last (incarnation, seq) flushed.
@@ -242,18 +272,98 @@ func (s *Source) register(sub *subscriber) (gate uint64, ok bool) {
 func (s *Source) unregister(sub *subscriber) {
 	s.mu.Lock()
 	delete(s.subs, sub)
+	last := len(s.subs) == 0
+	tail := s.tailSeq
 	s.mu.Unlock()
+	if last && s.cfg.AckAdvance != nil {
+		// The last follower left: waive the gate for whatever it had not
+		// yet acknowledged, or writes in flight would hang until timeout.
+		s.cfg.AckAdvance(tail)
+	}
 }
 
-// serveConn runs one follower subscription: hello, disk backfill up to the
-// registration gate, then the live feed spliced above it, with WATERMARK
-// heartbeats and WALACK-driven lag accounting.
+// publishAck feeds the replication-ack gate: the highest LSN of the
+// current incarnation that any subscribed follower has durably
+// acknowledged (quorum of one).
+func (s *Source) publishAck() {
+	if s.cfg.AckAdvance == nil {
+		return
+	}
+	s.mu.Lock()
+	var best uint64
+	for sub := range s.subs {
+		if inc, seq := sub.ack(); inc == s.cfg.Incarnation && seq > best {
+			best = seq
+		}
+	}
+	s.mu.Unlock()
+	if best > 0 {
+		s.cfg.AckAdvance(best)
+	}
+}
+
+// Status describes this leader to a peer probe or a fresh subscriber: the
+// stream tail, the regime start position and the serving address. The
+// epoch is stamped at write time like every other frame.
+func (s *Source) Status() *wire.ReplMsg {
+	inc, seq := s.Tail()
+	return &wire.ReplMsg{
+		Kind:    wire.ReplStatus,
+		Inc:     inc,
+		Seq:     seq,
+		Role:    uint64(server.RoleLeader),
+		PrevInc: s.cfg.PrevInc,
+		PrevSeq: s.cfg.PrevSeq,
+		Addr:    s.cfg.Advertise,
+	}
+}
+
+// serveConn demuxes one replication connection by its hello frame: a
+// SUBSCRIBE starts a follower stream, a STATUS probe is answered with this
+// leader's coordinates and closed.
 func (s *Source) serveConn(nc net.Conn) {
 	defer nc.Close()
 	br := newFrameReader(nc)
-	afterInc, afterSeq, _, err := wire.ReadSubscribe(br, nil)
+	m, _, err := wire.ReadReplHello(br, nil)
 	if err != nil {
-		s.cfg.Logf("repl: %v: bad subscribe: %v", nc.RemoteAddr(), err)
+		s.cfg.Logf("repl: %v: bad hello: %v", nc.RemoteAddr(), err)
+		return
+	}
+	switch m.Kind {
+	case wire.ReplStatus:
+		w := &frameWriter{nc: nc, epoch: s.cfg.Epoch}
+		_ = w.writeMsg(s.Status())
+	case wire.ReplSubscribe:
+		s.ServeSubscriber(nc, br, &m)
+	default:
+		s.cfg.Logf("repl: %v: unexpected hello %v", nc.RemoteAddr(), m.Kind)
+	}
+}
+
+// ServeSubscriber runs one follower subscription whose SUBSCRIBE hello m
+// was already read from br — the entry point for the failover node's
+// listener demux as well as serveConn. It blocks until the subscription
+// ends; teardown closes nc (that is what unblocks a stalled write), so a
+// caller's own deferred Close is a harmless double-close.
+//
+// The epoch fence lives here: a subscriber announcing a non-zero epoch
+// different from the leader's is answered with one REJECT frame carrying
+// the leader's epoch, regime start position and serving address, then
+// dropped. A stale ex-leader uses the position to truncate its unshipped
+// suffix before trying again; a subscriber from a *newer* regime learns
+// from the same frame that this leader is the stale one.
+func (s *Source) ServeSubscriber(nc net.Conn, br wire.FrameReader, m *wire.ReplMsg) {
+	afterInc, afterSeq := m.Inc, m.Seq
+	w := &frameWriter{nc: nc, epoch: s.cfg.Epoch}
+	if m.Epoch != 0 && m.Epoch != s.cfg.Epoch {
+		if st := s.cfg.State; st != nil {
+			st.NoteFencing()
+		}
+		s.cfg.Logf("repl: %v: fencing subscriber at epoch %d (serving epoch %d)",
+			nc.RemoteAddr(), m.Epoch, s.cfg.Epoch)
+		rej := s.Status()
+		rej.Kind = wire.ReplReject
+		_ = w.writeMsg(rej)
 		return
 	}
 
@@ -293,13 +403,20 @@ func (s *Source) serveConn(nc net.Conn) {
 				return
 			}
 			sub.setAck(m.Inc, m.Seq)
+			s.publishAck()
 		}
 	}()
 
-	s.cfg.Logf("repl: %v: subscribed after (%d, %d), tail (%d, %d)",
-		nc.RemoteAddr(), afterInc, afterSeq, s.cfg.Incarnation, gate)
+	s.cfg.Logf("repl: %v: subscribed after (%d, %d), tail (%d, %d) epoch %d",
+		nc.RemoteAddr(), afterInc, afterSeq, s.cfg.Incarnation, gate, s.cfg.Epoch)
 
-	w := &frameWriter{nc: nc}
+	// The STATUS frame ahead of the stream tells the subscriber the regime
+	// it is joining: epoch to adopt, leader serving address, regime start.
+	if err := w.writeMsg(s.Status()); err != nil {
+		s.cfg.Logf("repl: %v: status: %v", nc.RemoteAddr(), err)
+		sub.kill()
+		return
+	}
 	if err := s.sendBackfill(w, afterInc, afterSeq, gate); err != nil {
 		s.cfg.Logf("repl: %v: backfill: %v", nc.RemoteAddr(), err)
 		sub.kill()
@@ -474,13 +591,16 @@ func (s *Source) publishLag() {
 }
 
 // frameWriter serializes replication messages onto one socket; writeMsg is
-// called only from the subscription's serve goroutine.
+// called only from the subscription's serve goroutine. Every frame is
+// stamped with the writer's fencing epoch.
 type frameWriter struct {
-	nc  net.Conn
-	buf []byte
+	nc    net.Conn
+	buf   []byte
+	epoch uint64
 }
 
 func (w *frameWriter) writeMsg(m *wire.ReplMsg) error {
+	m.Epoch = w.epoch
 	p, err := wire.AppendReplMsg(w.buf[:0], m)
 	if err != nil {
 		return err

@@ -75,11 +75,17 @@ type healthzBody struct {
 	BoundaryNS       float64 `json:"boundary_ns,omitempty"`
 	UncertainRate    float64 `json:"uncertain_rate,omitempty"`
 
-	// Replication fields, present only on replicated servers.
+	// Replication fields, present only on replicated servers. ReplEpoch
+	// and ReplWatermarkNS always encode there (no omitempty): an operator
+	// deciding whether a node is safe to promote needs to distinguish
+	// "epoch 0, watermark 0" from "not replicated".
 	ReplRole        string `json:"repl_role,omitempty"`
+	ReplEpoch       uint64 `json:"repl_epoch"`
+	ReplWatermarkNS uint64 `json:"repl_watermark_ns"`
 	ReplLagRecords  uint64 `json:"repl_lag_records,omitempty"`
 	ReplContactMS   int64  `json:"repl_contact_ms,omitempty"`
 	ReplLagExceeded bool   `json:"repl_lag_exceeded,omitempty"`
+	LeaderAddr      string `json:"leader_addr,omitempty"`
 }
 
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
@@ -97,9 +103,12 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if rs := s.cfg.Repl; rs != nil {
 		body.ReplRole = rs.Role().String()
+		body.ReplEpoch = rs.Epoch()
+		body.ReplWatermarkNS = rs.WatermarkNS()
 		body.ReplLagRecords = rs.Lag()
 		body.ReplContactMS = rs.ContactAge().Milliseconds()
 		body.ReplLagExceeded = rs.LagExceeded()
+		body.LeaderAddr = rs.LeaderAddr()
 	}
 	code := http.StatusOK
 	switch {

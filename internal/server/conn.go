@@ -630,7 +630,7 @@ func (c *serverConn) countOps(reqs []wire.Request, resps []wire.Response) {
 // The returned responses are backed by worker scratch and valid until the
 // next run.
 func (c *serverConn) execBatch(reqs []wire.Request) []wire.Response {
-	if c.srv.cfg.ReadOnly && runHasWrites(reqs) {
+	if c.srv.ReadOnly() && runHasWrites(reqs) {
 		// Follower mode: the replication apply loop is the engine's only
 		// writer; client writes never touch the engine. Not counted as
 		// degraded — this is the configured serving mode, not a failure.
@@ -756,16 +756,25 @@ func runHasWrites(reqs []wire.Request) bool {
 // execReadsOnly serves a run on a server that cannot take writes — a
 // follower (configured read-only serving) or a leader whose WAL device
 // failed (countDegraded). Reads still serve from the intact in-memory
-// engine; writes are refused with ERR without touching the engine.
+// engine; writes are refused without touching the engine. A follower
+// refuses with NOT_LEADER carrying the believed leader's address so a
+// resilient client can chase the redirect; a degraded leader answers ERR
+// as before.
 func (c *serverConn) execReadsOnly(reqs []wire.Request, countDegraded bool) []wire.Response {
 	if countDegraded {
 		c.srv.m.degraded.Add(1)
+	}
+	refusal := wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr}
+	if !countDegraded {
+		if st := c.srv.cfg.Repl; st != nil && st.Role() == RoleFollower {
+			refusal = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusNotLeader, Redirect: st.LeaderAddr()}
+		}
 	}
 	resps := c.scratchResps(len(reqs))
 	for i := range reqs {
 		req := &reqs[i]
 		if !isRead(req.Op) {
-			resps[i] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr}
+			resps[i] = refusal
 			continue
 		}
 		err := db.RunWithRetry(c.sess, c.srv.cfg.MaxRetries, func(tx db.Tx) error {
@@ -830,7 +839,12 @@ func (c *serverConn) walCommitWrites(writes []*wire.Request) (uint64, error) {
 func (c *serverConn) execTxn(req *wire.Request) wire.Response {
 	c.srv.m.txns.Add(1)
 	c.srv.m.txnOps.Add(uint64(len(req.Ops)))
-	if c.srv.cfg.ReadOnly && txnHasWrites(req) {
+	if c.srv.ReadOnly() && txnHasWrites(req) {
+		if st := c.srv.cfg.Repl; st != nil && st.Role() == RoleFollower {
+			// RespBatch cannot carry a redirect address; the NOT_LEADER
+			// status alone tells the client to re-resolve the leader.
+			return wire.Response{Kind: wire.RespBatch, Status: wire.StatusNotLeader}
+		}
 		return wire.Response{Kind: wire.RespBatch, Status: wire.StatusErr}
 	}
 	if gc := c.srv.gc; gc != nil && gc.failed() != nil && txnHasWrites(req) {
@@ -1134,6 +1148,11 @@ func (c *serverConn) execStats() wire.Response {
 		st.ReplFollowers = uint64(rs.Followers())
 		st.ReplLagRecords = rs.Lag()
 		st.ReplWatermarkNS = rs.WatermarkNS()
+		st.ReplEpoch = rs.Epoch()
+		st.ReplRoleCode = uint64(rs.Role())
+		st.Promotions = rs.Promotions()
+		st.Fencings = rs.Fencings()
+		st.ReplReconnects = rs.Reconnects()
 	}
 	return wire.Response{Kind: wire.RespStats, Status: wire.StatusOK, Stats: st}
 }

@@ -45,8 +45,8 @@ const (
 // /healthz rule, watermark gate and telemetry gauges read it. All fields
 // are atomics; every method is safe for concurrent use.
 type ReplState struct {
-	role   ReplRole
-	tickHz uint64 // invariant-clock frequency for tick→ns conversion; 0 = report raw ticks
+	role   atomic.Int32 // ReplRole; atomic because failover promotes in place
+	tickHz uint64       // invariant-clock frequency for tick→ns conversion; 0 = report raw ticks
 
 	lagBound      time.Duration
 	maxLagRecords uint64
@@ -58,6 +58,12 @@ type ReplState struct {
 	appliedRecords atomic.Uint64
 	appliedBytes   atomic.Uint64
 	lastContact    atomic.Int64 // unix nanos of the last leader frame (follower)
+
+	epoch      atomic.Uint64 // fencing epoch the node serves under
+	promotions atomic.Uint64 // leadership takeovers this process performed
+	fencings   atomic.Uint64 // stale-epoch frames/peers this process rejected
+	reconnects atomic.Uint64 // follower reconnect attempts
+	leaderAddr atomic.Value  // string: client-facing addr of the believed leader
 }
 
 // NewReplState builds a scoreboard for one server. tickHz is the invariant
@@ -73,13 +79,65 @@ func NewReplState(role ReplRole, tickHz uint64, lagBound time.Duration, maxLagRe
 	if maxLagRecords == 0 {
 		maxLagRecords = DefaultMaxLagRecords
 	}
-	st := &ReplState{role: role, tickHz: tickHz, lagBound: lagBound, maxLagRecords: maxLagRecords}
+	st := &ReplState{tickHz: tickHz, lagBound: lagBound, maxLagRecords: maxLagRecords}
+	st.role.Store(int32(role))
 	st.lastContact.Store(time.Now().UnixNano())
 	return st
 }
 
 // Role returns the server's replication role.
-func (st *ReplState) Role() ReplRole { return st.role }
+func (st *ReplState) Role() ReplRole { return ReplRole(st.role.Load()) }
+
+// SetRole changes the server's replication role in place — the failover
+// promotion path; everything that branches on Role observes the change on
+// its next read.
+func (st *ReplState) SetRole(role ReplRole) { st.role.Store(int32(role)) }
+
+// SetEpoch publishes the fencing epoch the node serves under. Epochs only
+// advance; a smaller value is ignored.
+func (st *ReplState) SetEpoch(e uint64) {
+	for {
+		cur := st.epoch.Load()
+		if e <= cur || st.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// Epoch returns the fencing epoch.
+func (st *ReplState) Epoch() uint64 { return st.epoch.Load() }
+
+// NotePromotion counts a completed leadership takeover.
+func (st *ReplState) NotePromotion() { st.promotions.Add(1) }
+
+// Promotions returns the takeover count.
+func (st *ReplState) Promotions() uint64 { return st.promotions.Load() }
+
+// NoteFencing counts a stale-epoch rejection (either direction: a stale
+// peer we refused, or a newer regime that refused us).
+func (st *ReplState) NoteFencing() { st.fencings.Add(1) }
+
+// Fencings returns the stale-epoch rejection count.
+func (st *ReplState) Fencings() uint64 { return st.fencings.Load() }
+
+// NoteReconnect counts one follower reconnect attempt.
+func (st *ReplState) NoteReconnect() { st.reconnects.Add(1) }
+
+// Reconnects returns the follower reconnect-attempt count.
+func (st *ReplState) Reconnects() uint64 { return st.reconnects.Load() }
+
+// SetLeaderAddr publishes the client-facing address of the node currently
+// believed to lead — what a follower's NOT_LEADER rejections carry as the
+// redirect. Empty means unknown (the write is refused without a hint).
+func (st *ReplState) SetLeaderAddr(addr string) { st.leaderAddr.Store(addr) }
+
+// LeaderAddr returns the believed leader's client-facing address.
+func (st *ReplState) LeaderAddr() string {
+	if v := st.leaderAddr.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
 
 // AddFollowers adjusts the subscribed-follower count (leader side).
 func (st *ReplState) AddFollowers(delta int64) { st.followers.Add(delta) }
@@ -156,7 +214,7 @@ func (st *ReplState) ContactAge() time.Duration {
 // load balancer stops preferring it (and an operator promotes). Always
 // false for leaders and unreplicated servers.
 func (st *ReplState) LagExceeded() bool {
-	if st == nil || st.role != RoleFollower {
+	if st == nil || st.Role() != RoleFollower {
 		return false
 	}
 	return st.lagRecords.Load() > st.maxLagRecords || st.ContactAge() > st.lagBound

@@ -107,11 +107,26 @@ type Config struct {
 	// seeded from; it rides along in Snapshot() and STATS responses.
 	Recovery *wal.RecoveryInfo
 
-	// ReadOnly refuses every mutating op with ERR without touching the
-	// engine — follower-mode serving, where the engine's only writer is the
+	// ReadOnly refuses every mutating op without touching the engine —
+	// follower-mode serving, where the engine's only writer is the
 	// replication apply loop. Reads (GET, GET_AT, read-only TXNs) serve
-	// normally.
+	// normally. The refusal status is ERR, or NOT_LEADER with a redirect
+	// when Repl knows a leader address (failover mode). This is only the
+	// initial value: failover promotion flips it at runtime via
+	// SetReadOnly.
 	ReadOnly bool
+
+	// ReplAckBound, when positive, gates durable write acks on follower
+	// acknowledgment: after a write's redo is locally durable, the ack is
+	// additionally withheld until a follower of the current incarnation
+	// has acknowledged the covering flush (Server.NoteReplAck), or until
+	// this bound elapses — in which case the write is answered ERR, like
+	// a WAL failure. While no follower is subscribed the gate is waived
+	// by the repl source advancing the ack with its own tail (crash-stop
+	// single-failure model: with zero followers there is nobody to
+	// promote, so gating would buy nothing and block everything). Zero
+	// disables the gate (async replication, the pre-failover behavior).
+	ReplAckBound time.Duration
 
 	// Repl, when set, attaches the replication scoreboard: STATS and
 	// Snapshot() gain repl fields, /healthz applies the follower lag rule,
@@ -149,6 +164,9 @@ type Server struct {
 	conns      map[*serverConn]struct{}
 	inShutdown atomic.Bool
 	wg         sync.WaitGroup
+
+	// readOnly starts as Config.ReadOnly and flips on failover promotion.
+	readOnly atomic.Bool
 
 	// gc is the group committer; nil when serving without durability.
 	gc *groupCommitter
@@ -258,6 +276,13 @@ type Snapshot struct {
 	ReplAppliedRecs uint64 `json:"repl_applied_records"`
 	ReplAppliedB    uint64 `json:"repl_applied_bytes"`
 
+	// Failover fields; zero/absent outside failover mode.
+	ReplEpoch      uint64 `json:"repl_epoch"`
+	Promotions     uint64 `json:"promotions"`
+	Fencings       uint64 `json:"fencings"`
+	ReplReconnects uint64 `json:"repl_reconnects"`
+	LeaderAddr     string `json:"leader_addr,omitempty"`
+
 	Clock *health.Snapshot `json:"clock_health,omitempty"`
 }
 
@@ -287,6 +312,7 @@ func New(cfg Config) (*Server, error) {
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[*serverConn]struct{}),
 	}
+	s.readOnly.Store(cfg.ReadOnly)
 	if cfg.WAL != nil {
 		// Durable serving needs the engine's own commit timestamps so
 		// replay order matches commit order; probe a throwaway session.
@@ -327,6 +353,24 @@ func New(cfg Config) (*Server, error) {
 // the admin /healthz endpoint turns non-200.
 func (s *Server) Degraded() bool {
 	return s.gc != nil && s.gc.failed() != nil
+}
+
+// ReadOnly reports whether mutating ops are currently refused.
+func (s *Server) ReadOnly() bool { return s.readOnly.Load() }
+
+// SetReadOnly flips write refusal at runtime — the failover promotion
+// (false) and demotion (true) switch. In-flight batches finish under the
+// old setting; only ops that start after the flip observe it.
+func (s *Server) SetReadOnly(ro bool) { s.readOnly.Store(ro) }
+
+// NoteReplAck records that a follower of the current incarnation has
+// durably acknowledged the stream through LSN seq; write acks gated by
+// Config.ReplAckBound release once their covering flush is acknowledged.
+// No-op on a server without a WAL.
+func (s *Server) NoteReplAck(seq uint64) {
+	if s.gc != nil {
+		s.gc.noteReplAck(seq)
+	}
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -544,6 +588,11 @@ func (s *Server) Snapshot() Snapshot {
 		snap.ReplWatermarkNS = st.WatermarkNS()
 		snap.ReplAppliedRecs = st.AppliedRecords()
 		snap.ReplAppliedB = st.AppliedBytes()
+		snap.ReplEpoch = st.Epoch()
+		snap.Promotions = st.Promotions()
+		snap.Fencings = st.Fencings()
+		snap.ReplReconnects = st.Reconnects()
+		snap.LeaderAddr = st.LeaderAddr()
 	}
 	if s.cfg.Monitor != nil {
 		clock := s.cfg.Monitor.Snapshot()

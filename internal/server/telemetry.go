@@ -63,6 +63,7 @@ type Telemetry struct {
 	walFlush  *telemetry.Histogram
 	walSync   *telemetry.Histogram
 	replApply *telemetry.Histogram
+	promote   *telemetry.Histogram
 
 	// Dedicated shards for the WAL observers. The flush observer runs on
 	// the group committer's flusher goroutine and the sync observer under
@@ -71,6 +72,8 @@ type Telemetry struct {
 	walSyncShard  *telemetry.HistShard
 	// replApplyShard has one writer too: the follower's apply loop.
 	replApplyShard *telemetry.HistShard
+	// promoteShard's one writer is the failover node's supervision loop.
+	promoteShard *telemetry.HistShard
 
 	bound atomic.Bool
 }
@@ -105,10 +108,19 @@ func NewTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer, slowOp time
 		"WAL fsync duration.", 1e9)
 	t.replApply = reg.Histogram("ordod_repl_apply_seconds",
 		"Replication apply latency per batch: leader frame received to engine replay durable.", 1e9)
+	t.promote = reg.Histogram("ordod_promotion_seconds",
+		"Failover takeover duration: leader declared dead to this node serving writes.", 1e9)
 	t.walFlushShard = t.walFlush.NewShard()
 	t.walSyncShard = t.walSync.NewShard()
 	t.replApplyShard = t.replApply.NewShard()
+	t.promoteShard = t.promote.NewShard()
 	return t
+}
+
+// ObservePromotion records one completed leadership takeover's duration;
+// called only from the failover node's supervision goroutine.
+func (t *Telemetry) ObservePromotion(d time.Duration) {
+	t.promoteShard.ObserveDuration(d)
 }
 
 // ObserveReplApply records one replication apply batch's latency; called
@@ -222,6 +234,13 @@ func (t *Telemetry) bind(s *Server) error {
 			rs.AppliedRecords)
 		reg.CounterFunc("ordod_repl_applied_bytes_total", "Redo bytes applied from the leader stream (follower).",
 			rs.AppliedBytes)
+		reg.GaugeFunc("ordod_epoch", "Fencing epoch this node serves under.",
+			func() float64 { return float64(rs.Epoch()) })
+		reg.GaugeFunc("ordod_repl_role", "Replication role: 0 none, 1 leader, 2 follower.",
+			func() float64 { return float64(rs.Role()) })
+		reg.CounterFunc("ordod_promotions_total", "Leadership takeovers this process performed.", rs.Promotions)
+		reg.CounterFunc("ordod_fencings_total", "Stale-epoch frames or peers rejected.", rs.Fencings)
+		reg.CounterFunc("ordod_repl_reconnects_total", "Follower reconnect attempts to the leader.", rs.Reconnects)
 	}
 	return nil
 }

@@ -17,6 +17,17 @@ import (
 // before the batch's timestamp became durable.
 var errWALClosed = errors.New("server: wal closed")
 
+// errReplAckTimeout reports a replication-gated write whose followers did
+// not acknowledge the covering flush within Config.ReplAckBound. The write
+// is locally durable but is answered ERR: under failover, an ack the
+// followers never saw could be lost by the very promotion the gate exists
+// to survive.
+var errReplAckTimeout = errors.New("server: follower ack timeout")
+
+// replAckPoll is how often a replication-gated waiter rechecks its
+// deadline while parked on the condition variable.
+const replAckPoll = 25 * time.Millisecond
+
 // groupCommitter sits between committed engine transactions and the
 // write-ahead log: it drives wal.Log.Flush from one flusher goroutine and
 // lets connection workers block until a flush has covered their own append
@@ -59,6 +70,17 @@ type groupCommitter struct {
 	closing    bool   // closeAndWait ran; no further appends
 	closed     bool   // flusher exited
 
+	// Replication-ack gate (Config.ReplAckBound > 0). flushLSN is the
+	// log's durable tail LSN after the last successful flush; replAcked is
+	// the highest tail LSN a current-incarnation follower has durably
+	// acknowledged (or the tail itself while no follower is subscribed —
+	// the repl source waives the gate then). A gated waiter's own record
+	// is covered by the flush that released it, so replAcked ≥ that
+	// flush's tail proves a follower holds the record.
+	replAckBound time.Duration
+	flushLSN     uint64
+	replAcked    uint64
+
 	done      chan struct{}
 	closeOnce sync.Once
 
@@ -70,7 +92,7 @@ type groupCommitter struct {
 }
 
 func newGroupCommitter(s *Server, log *wal.Log) *groupCommitter {
-	gc := &groupCommitter{srv: s, log: log, done: make(chan struct{})}
+	gc := &groupCommitter{srv: s, log: log, done: make(chan struct{}), replAckBound: s.cfg.ReplAckBound}
 	gc.cond = sync.NewCond(&gc.mu)
 	go gc.flushLoop()
 	return gc
@@ -129,7 +151,9 @@ func (gc *groupCommitter) append(h *wal.Handle, cts uint64, redo []byte) (uint64
 }
 
 // wait blocks until the durable sequence reaches seq, the device fails,
-// or the flusher shuts down.
+// or the flusher shuts down. With the replication-ack gate enabled it then
+// additionally waits — bounded by replAckBound — for a follower to
+// acknowledge the flush that covered the append.
 func (gc *groupCommitter) wait(seq uint64) error {
 	gc.mu.Lock()
 	defer gc.mu.Unlock()
@@ -138,11 +162,55 @@ func (gc *groupCommitter) wait(seq uint64) error {
 	}
 	switch {
 	case gc.durableSeq >= seq:
+	case gc.err != nil:
+		return gc.err
+	default:
+		return errWALClosed
+	}
+	if gc.replAckBound <= 0 {
+		return nil
+	}
+	// The record is durable, so some completed flush covered it; that
+	// flush's tail is ≤ the current flushLSN, making flushLSN a
+	// (conservative) ack target that provably includes the record.
+	target := gc.flushLSN
+	if gc.replAcked >= target {
+		return nil
+	}
+	deadline := time.Now().Add(gc.replAckBound)
+	for gc.err == nil && !gc.closed && gc.replAcked < target {
+		if !time.Now().Before(deadline) {
+			return errReplAckTimeout
+		}
+		// sync.Cond has no timed wait; a short timer re-broadcast bounds
+		// how long a waiter can miss its deadline.
+		t := time.AfterFunc(replAckPoll, gc.cond.Broadcast)
+		gc.cond.Wait()
+		t.Stop()
+	}
+	switch {
+	case gc.replAcked >= target:
 		return nil
 	case gc.err != nil:
 		return gc.err
 	default:
 		return errWALClosed
+	}
+}
+
+// noteReplAck advances the follower-acknowledged tail and releases gated
+// waiters. Called by the repl source on every follower WALACK for the
+// current incarnation, and with the flush tail itself while no follower is
+// subscribed.
+func (gc *groupCommitter) noteReplAck(seq uint64) {
+	gc.mu.Lock()
+	advanced := seq > gc.replAcked
+	if advanced {
+		gc.replAcked = seq
+	}
+	gc.mu.Unlock()
+	if advanced {
+		gc.cond.Broadcast()
 	}
 }
 
@@ -207,8 +275,13 @@ func (gc *groupCommitter) flushOnce() {
 		gc.err = err
 		gc.srv.m.walDeviceErrors.Add(1)
 		gc.srv.logf("server: wal device failed, degrading to reads-only: %v", err)
-	} else if upTo > gc.durableSeq {
-		gc.durableSeq = upTo
+	} else {
+		if upTo > gc.durableSeq {
+			gc.durableSeq = upTo
+		}
+		if tail := gc.log.Flushed(); tail > gc.flushLSN {
+			gc.flushLSN = tail
+		}
 	}
 	gc.mu.Unlock()
 	gc.cond.Broadcast()

@@ -1,0 +1,212 @@
+package wal
+
+import (
+	"encoding/binary"
+	"os"
+	"testing"
+
+	"ordo/internal/oplog"
+)
+
+// appendN appends n single-byte records starting at payload base and
+// flushes them.
+func appendN(t *testing.T, l *Log, h *Handle, base, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		h.Append([]byte{byte(base + i)})
+	}
+	if _, err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEpochPersistsAcrossBumpAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	d := openTestDevice(t, dir, FileConfig{})
+	if d.Epoch() != 0 {
+		t.Fatalf("fresh device epoch %d, want 0", d.Epoch())
+	}
+	l := New(d, oplog.RawTSC{})
+	h := l.NewHandle()
+	appendN(t, l, h, 0, 5)
+	if err := d.SetEpoch(2); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, h, 5, 5)
+	if err := d.SetEpoch(2); err != nil {
+		t.Fatalf("re-setting the current epoch: %v", err)
+	}
+	if err := d.SetEpoch(1); err == nil {
+		t.Fatal("lowering the epoch was accepted")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery sees every record from both sides of the bump and reports
+	// the max epoch; the standalone header scan agrees.
+	recs, info, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 10 || info.MaxEpoch != 2 {
+		t.Fatalf("info = %+v, want 10 records at max epoch 2", info)
+	}
+	for i, r := range recs {
+		if r.Data[0] != byte(i) {
+			t.Fatalf("record %d carries payload %d", i, r.Data[0])
+		}
+	}
+	if e, err := MaxEpoch(dir); err != nil || e != 2 {
+		t.Fatalf("MaxEpoch = (%d, %v), want 2", e, err)
+	}
+
+	// A reopened device adopts the on-disk epoch even when the config
+	// says less, and a higher configured epoch wins.
+	d2 := openTestDevice(t, dir, FileConfig{})
+	if d2.Epoch() != 2 {
+		t.Fatalf("reopened epoch %d, want 2 from disk", d2.Epoch())
+	}
+	d2.Close()
+	d3 := openTestDevice(t, dir, FileConfig{Epoch: 7})
+	if d3.Epoch() != 7 {
+		t.Fatalf("reopened epoch %d, want configured 7", d3.Epoch())
+	}
+	d3.Close()
+}
+
+// TestV1SegmentReadsAsEpochZero keeps the upgrade path honest: a
+// pre-epoch (version 1) segment written by an older build must recover
+// unchanged, as epoch 0.
+func TestV1SegmentReadsAsEpochZero(t *testing.T) {
+	dir := t.TempDir()
+	buf := make([]byte, segHeaderV1Len)
+	copy(buf[:8], segMagic)
+	binary.LittleEndian.PutUint32(buf[8:12], segVersion1)
+	binary.LittleEndian.PutUint64(buf[12:20], 1) // incarnation
+	binary.LittleEndian.PutUint64(buf[20:28], 1) // segment seq
+	for i := 0; i < 3; i++ {
+		buf = appendFrame(buf, &Record{TS: uint64(10 + i), H: 1, Seq: uint64(i + 1), LSN: uint64(i + 1), Data: []byte{byte(i)}})
+	}
+	if err := os.WriteFile(segPath(dir, 1), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, info, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 3 || info.MaxEpoch != 0 {
+		t.Fatalf("info = %+v, want 3 records at epoch 0", info)
+	}
+	for i, r := range recs {
+		if r.Data[0] != byte(i) {
+			t.Fatalf("record %d carries payload %d", i, r.Data[0])
+		}
+	}
+	// A new writer on top of the v1 history bumps to v2 headers without
+	// disturbing the old records.
+	d := openTestDevice(t, dir, FileConfig{Epoch: 3})
+	l := New(d, oplog.RawTSC{})
+	h := l.NewHandle()
+	appendN(t, l, h, 3, 2)
+	d.Close()
+	recs, info, err = Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 5 || info.MaxEpoch != 3 {
+		t.Fatalf("after v2 append: info = %+v, want 5 records at epoch 3", info)
+	}
+}
+
+// TestTruncateAfterEpochBump is the fenced-rejoin scenario: a leader
+// wrote records across two incarnations, the new leader's cursor covers
+// only a prefix, and the old tail must be cut without touching anything
+// at or before the cursor — idempotently, because a crash mid-truncation
+// re-runs it.
+func TestTruncateAfterEpochBump(t *testing.T) {
+	dir := t.TempDir()
+
+	// Incarnation 1: 6 records, under epoch 1 after a mid-stream bump.
+	d := openTestDevice(t, dir, FileConfig{})
+	inc1 := d.Incarnation()
+	l := New(d, oplog.RawTSC{})
+	h := l.NewHandle()
+	appendN(t, l, h, 0, 3)
+	if err := d.SetEpoch(1); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, h, 3, 3)
+	d.Close()
+
+	// Incarnation 2: 4 more records — the unshipped suffix regime.
+	d = openTestDevice(t, dir, FileConfig{})
+	if d.Incarnation() != inc1+1 {
+		t.Fatalf("second open incarnation %d, want %d", d.Incarnation(), inc1+1)
+	}
+	l = New(d, oplog.RawTSC{})
+	h = l.NewHandle()
+	appendN(t, l, h, 6, 4)
+	d.Close()
+
+	// The new leader acknowledged through (inc1, 4): drop record 5-6 of
+	// incarnation 1 and all of incarnation 2.
+	dropped, err := TruncateAfter(dir, inc1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 6 {
+		t.Fatalf("dropped %d records, want 6", dropped)
+	}
+	recs, info, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 4 || info.Incarnations != 1 {
+		t.Fatalf("info = %+v, want 4 records in 1 incarnation", info)
+	}
+	for i, r := range recs {
+		if r.Data[0] != byte(i) {
+			t.Fatalf("kept record %d carries payload %d — an acked record was dropped or reordered", i, r.Data[0])
+		}
+	}
+	if info.MaxEpoch != 1 {
+		t.Fatalf("truncation regressed the on-disk epoch to %d", info.MaxEpoch)
+	}
+
+	// Idempotence: re-running at the same position changes nothing.
+	dropped, err = TruncateAfter(dir, inc1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Fatalf("second truncation dropped %d records", dropped)
+	}
+	recs2, _, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs2) != len(recs) {
+		t.Fatalf("second truncation changed the record count: %d vs %d", len(recs2), len(recs))
+	}
+
+	// Backfill over the truncated directory serves exactly the kept
+	// prefix in (inc, seq) coordinates.
+	stream, err := Backfill(dir, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream) != 4 {
+		t.Fatalf("backfill yields %d records, want 4", len(stream))
+	}
+	for i, sr := range stream {
+		if sr.Inc != inc1 || sr.Rec.LSN != uint64(i+1) {
+			t.Fatalf("backfill record %d at (%d, %d), want (%d, %d)", i, sr.Inc, sr.Rec.LSN, inc1, i+1)
+		}
+	}
+
+	// Truncating beyond the tail is a no-op.
+	if dropped, err = TruncateAfter(dir, inc1+5, 99); err != nil || dropped != 0 {
+		t.Fatalf("beyond-tail truncation: dropped=%d err=%v", dropped, err)
+	}
+}

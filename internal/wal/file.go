@@ -18,7 +18,8 @@ import (
 // On-disk layout. A log directory holds segments named seg-%08d.wal. Each
 // segment starts with a fixed header:
 //
-//	magic "ORDOWAL1" (8) | version u32 | incarnation u64 | segment seq u64
+//	v1: magic "ORDOWAL1" (8) | version u32 | incarnation u64 | segment seq u64
+//	v2: v1 header | epoch u64
 //
 // followed by record frames:
 //
@@ -28,11 +29,16 @@ import (
 // payload. All integers are little-endian. `incarnation` increments each
 // time the directory is opened for writing; it scopes the (H, Seq) dedupe
 // key and the timestamp order, both of which restart with the process.
+// `epoch` is the failover fencing epoch the segment was written under; v1
+// segments (pre-failover) read as epoch 0. The writer always emits v2.
 const (
-	segMagic     = "ORDOWAL1"
-	segVersion   = 1
-	segHeaderLen = 8 + 4 + 8 + 8
-	recHeaderLen = 4 + 4 + 8 + 4 + 8 + 8
+	segMagic       = "ORDOWAL1"
+	segVersion1    = 1
+	segVersion2    = 2
+	segVersion     = segVersion2
+	segHeaderV1Len = 8 + 4 + 8 + 8
+	segHeaderLen   = segHeaderV1Len + 8
+	recHeaderLen   = 4 + 4 + 8 + 4 + 8 + 8
 
 	// MaxRecordData bounds one record's payload; a recovered length field
 	// beyond it is corruption, not an allocation request.
@@ -70,6 +76,12 @@ type FileConfig struct {
 	SyncEvery    time.Duration // SyncBatched cadence (default 2ms)
 	Chaos        *Chaos        // fault injection; nil in production
 
+	// Epoch is the failover fencing epoch stamped into every segment
+	// header this device writes. The device opens at the max of this and
+	// the highest epoch already recorded on disk, so a restart can never
+	// regress the regime. Zero outside failover mode.
+	Epoch uint64
+
 	// SyncObserver, when set, receives every attempted fsync's duration
 	// and outcome — the telemetry series that shows fsync stalls, which a
 	// flush-level view blurs together with the write. Called with the
@@ -89,6 +101,7 @@ type FileDevice struct {
 	f           *os.File
 	segSeq      uint64
 	incarnation uint64
+	epoch       uint64
 	size        int64 // bytes written to the current segment, torn tail included
 	good        int64 // prefix of size that is whole, valid frames
 	dirty       bool  // bytes written since the last successful fsync
@@ -114,16 +127,24 @@ func OpenFile(dir string, cfg FileConfig) (*FileDevice, error) {
 	if err != nil {
 		return nil, err
 	}
-	var maxSeq, maxInc uint64
+	var maxSeq, maxInc, maxEpoch uint64
 	for _, s := range segs {
 		if s.seq > maxSeq {
 			maxSeq = s.seq
 		}
-		if hdr, err := readSegHeader(s.path); err == nil && hdr.incarnation > maxInc {
-			maxInc = hdr.incarnation
+		if hdr, err := readSegHeader(s.path); err == nil {
+			if hdr.incarnation > maxInc {
+				maxInc = hdr.incarnation
+			}
+			if hdr.epoch > maxEpoch {
+				maxEpoch = hdr.epoch
+			}
 		}
 	}
-	d := &FileDevice{dir: dir, cfg: cfg, segSeq: maxSeq, incarnation: maxInc + 1}
+	if cfg.Epoch > maxEpoch {
+		maxEpoch = cfg.Epoch
+	}
+	d := &FileDevice{dir: dir, cfg: cfg, segSeq: maxSeq, incarnation: maxInc + 1, epoch: maxEpoch}
 	if err := d.openSegmentLocked(); err != nil {
 		return nil, err
 	}
@@ -137,6 +158,41 @@ func OpenFile(dir string, cfg FileConfig) (*FileDevice, error) {
 
 // Incarnation returns the device's incarnation number.
 func (d *FileDevice) Incarnation() uint64 { return d.incarnation }
+
+// Epoch returns the fencing epoch the device is writing under.
+func (d *FileDevice) Epoch() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.epoch
+}
+
+// SetEpoch raises the device's fencing epoch and rotates to a fresh
+// segment so the new epoch is durable in a segment header before any
+// record is written under it — the promotion barrier: once SetEpoch
+// returns, a restart of this process can never come back up believing in
+// a lower epoch. Lowering the epoch is refused; setting the current epoch
+// is a no-op.
+func (d *FileDevice) SetEpoch(e uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed != nil {
+		return d.failed
+	}
+	if e == d.epoch {
+		return nil
+	}
+	if e < d.epoch {
+		return fmt.Errorf("wal: cannot lower epoch %d to %d", d.epoch, e)
+	}
+	if err := d.syncLocked(); err != nil {
+		return err
+	}
+	if err := d.f.Close(); err != nil {
+		return fmt.Errorf("wal: close %s: %w", d.f.Name(), err)
+	}
+	d.epoch = e
+	return d.openSegmentLocked()
+}
 
 // Write implements Device. On error the segment may hold a prefix of the
 // batch (whole frames) or a torn frame; the torn bytes are truncated away
@@ -319,6 +375,7 @@ func (d *FileDevice) openSegmentLocked() error {
 	binary.LittleEndian.PutUint32(hdr[8:12], segVersion)
 	binary.LittleEndian.PutUint64(hdr[12:20], d.incarnation)
 	binary.LittleEndian.PutUint64(hdr[20:28], d.segSeq)
+	binary.LittleEndian.PutUint64(hdr[28:36], d.epoch)
 	if _, err := f.Write(hdr[:]); err != nil {
 		f.Close()
 		return fmt.Errorf("wal: write segment header: %w", err)
@@ -354,11 +411,12 @@ func appendFrame(dst []byte, r *Record) []byte {
 
 // RecoveryInfo summarizes what Recover found and repaired.
 type RecoveryInfo struct {
-	Records        int   // records returned after dedupe
-	Duplicates     int   // (H, Seq) duplicates dropped (retried flushes)
-	TruncatedBytes int64 // torn-tail bytes truncated from the last segment
-	Segments       int   // segment files scanned
-	Incarnations   int   // distinct writer incarnations seen
+	Records        int    // records returned after dedupe
+	Duplicates     int    // (H, Seq) duplicates dropped (retried flushes)
+	TruncatedBytes int64  // torn-tail bytes truncated from the last segment
+	Segments       int    // segment files scanned
+	Incarnations   int    // distinct writer incarnations seen
+	MaxEpoch       uint64 // highest fencing epoch in any segment header
 }
 
 // Recover scans a log directory and returns the replayable record
@@ -390,7 +448,7 @@ func Recover(dir string) ([]Record, RecoveryInfo, error) {
 	byInc := make(map[uint64]*group)
 	for i, s := range segs {
 		last := i == len(segs)-1
-		recs, inc, keep, valid, err := readSegment(s.path, s.seq, last)
+		recs, hdr, keep, valid, err := readSegment(s.path, s.seq, last)
 		if err != nil {
 			return nil, info, err
 		}
@@ -403,10 +461,13 @@ func Recover(dir string) ([]Record, RecoveryInfo, error) {
 		if !valid {
 			continue
 		}
-		g := byInc[inc]
+		if hdr.epoch > info.MaxEpoch {
+			info.MaxEpoch = hdr.epoch
+		}
+		g := byInc[hdr.incarnation]
 		if g == nil {
-			g = &group{inc: inc}
-			byInc[inc] = g
+			g = &group{inc: hdr.incarnation}
+			byInc[hdr.incarnation] = g
 			groups = append(groups, g)
 		}
 		g.recs = append(g.recs, recs...)
@@ -435,28 +496,42 @@ func Recover(dir string) ([]Record, RecoveryInfo, error) {
 // torn tail or torn header is only legal in the directory's last segment:
 // the writer repairs tears before appending, so an interior one means
 // corruption no crash can explain.
-func readSegment(path string, wantSeq uint64, last bool) (recs []Record, inc uint64, keep int64, valid bool, err error) {
+func readSegment(path string, wantSeq uint64, last bool) (recs []Record, hdr segHeader, keep int64, valid bool, err error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
-		return nil, 0, 0, false, err
+		return nil, hdr, 0, false, err
 	}
-	if len(buf) < segHeaderLen || string(buf[:8]) != segMagic {
+	if len(buf) < segHeaderV1Len || string(buf[:8]) != segMagic {
 		if len(buf) == 0 {
-			return nil, 0, 0, false, nil // truncated to nothing by an earlier recovery
+			return nil, hdr, 0, false, nil // truncated to nothing by an earlier recovery
 		}
 		if last {
-			return nil, 0, 0, false, nil // torn header: caller truncates to zero
+			return nil, hdr, 0, false, nil // torn header: caller truncates to zero
 		}
-		return nil, 0, 0, false, fmt.Errorf("wal: %s: bad segment header", path)
+		return nil, hdr, 0, false, fmt.Errorf("wal: %s: bad segment header", path)
 	}
-	if v := binary.LittleEndian.Uint32(buf[8:12]); v != segVersion {
-		return nil, 0, 0, false, fmt.Errorf("wal: %s: unsupported segment version %d", path, v)
+	var hdrLen int
+	switch v := binary.LittleEndian.Uint32(buf[8:12]); v {
+	case segVersion1:
+		hdrLen = segHeaderV1Len
+	case segVersion2:
+		hdrLen = segHeaderLen
+		if len(buf) < hdrLen {
+			if last {
+				return nil, hdr, 0, false, nil // torn header: caller truncates to zero
+			}
+			return nil, hdr, 0, false, fmt.Errorf("wal: %s: bad segment header", path)
+		}
+		hdr.epoch = binary.LittleEndian.Uint64(buf[28:36])
+	default:
+		return nil, hdr, 0, false, fmt.Errorf("wal: %s: unsupported segment version %d", path, v)
 	}
-	inc = binary.LittleEndian.Uint64(buf[12:20])
-	if seq := binary.LittleEndian.Uint64(buf[20:28]); seq != wantSeq {
-		return nil, 0, 0, false, fmt.Errorf("wal: %s: header seq %d does not match filename", path, seq)
+	hdr.incarnation = binary.LittleEndian.Uint64(buf[12:20])
+	hdr.seq = binary.LittleEndian.Uint64(buf[20:28])
+	if hdr.seq != wantSeq {
+		return nil, hdr, 0, false, fmt.Errorf("wal: %s: header seq %d does not match filename", path, hdr.seq)
 	}
-	off := segHeaderLen
+	off := hdrLen
 	for off < len(buf) {
 		if off+recHeaderLen > len(buf) {
 			break // short frame header
@@ -482,9 +557,9 @@ func readSegment(path string, wantSeq uint64, last bool) (recs []Record, inc uin
 		off = end
 	}
 	if off < len(buf) && !last {
-		return nil, 0, 0, false, fmt.Errorf("wal: %s: torn frame at offset %d in a non-final segment", path, off)
+		return nil, hdr, 0, false, fmt.Errorf("wal: %s: torn frame at offset %d in a non-final segment", path, off)
 	}
-	return recs, inc, int64(off), true, nil
+	return recs, hdr, int64(off), true, nil
 }
 
 type segFile struct {
@@ -521,6 +596,7 @@ func segPath(dir string, seq uint64) string {
 type segHeader struct {
 	incarnation uint64
 	seq         uint64
+	epoch       uint64
 }
 
 func readSegHeader(path string) (segHeader, error) {
@@ -532,9 +608,11 @@ func readSegHeader(path string) (segHeader, error) {
 	// io.ReadFull, not f.Read: a bare Read may legally return fewer bytes
 	// without error, and misparsing a partial header here could skip the
 	// true max incarnation in OpenFile's scan — letting a new writer reuse
-	// an incarnation number and weakening the (H, Seq) dedupe scope.
+	// an incarnation number and weakening the (H, Seq) dedupe scope. The
+	// buffer is the max header size; a v1 segment may legally be shorter,
+	// so read the version-independent prefix first.
 	var buf [segHeaderLen]byte
-	if _, err := io.ReadFull(f, buf[:]); err != nil {
+	if _, err := io.ReadFull(f, buf[:segHeaderV1Len]); err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 			return segHeader{}, fmt.Errorf("wal: %s: short segment header", path)
 		}
@@ -543,10 +621,46 @@ func readSegHeader(path string) (segHeader, error) {
 	if string(buf[:8]) != segMagic {
 		return segHeader{}, fmt.Errorf("wal: %s: bad magic", path)
 	}
-	return segHeader{
+	hdr := segHeader{
 		incarnation: binary.LittleEndian.Uint64(buf[12:20]),
 		seq:         binary.LittleEndian.Uint64(buf[20:28]),
-	}, nil
+	}
+	if binary.LittleEndian.Uint32(buf[8:12]) == segVersion2 {
+		if _, err := io.ReadFull(f, buf[segHeaderV1Len:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return segHeader{}, fmt.Errorf("wal: %s: short segment header", path)
+			}
+			return segHeader{}, err
+		}
+		hdr.epoch = binary.LittleEndian.Uint64(buf[28:36])
+	}
+	return hdr, nil
+}
+
+// MaxEpoch scans a log directory's segment headers and returns the
+// highest fencing epoch recorded, without replaying anything. A missing
+// directory is epoch 0. Unreadable headers (the torn last segment a crash
+// can leave) are skipped — a torn header means no record was ever written
+// under it, so it cannot hide a higher epoch that mattered.
+func MaxEpoch(dir string) (uint64, error) {
+	segs, err := listSegments(dir)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var max uint64
+	for _, s := range segs {
+		hdr, err := readSegHeader(s.path)
+		if err != nil {
+			continue
+		}
+		if hdr.epoch > max {
+			max = hdr.epoch
+		}
+	}
+	return max, nil
 }
 
 // syncDir fsyncs a directory so a freshly created segment's entry is

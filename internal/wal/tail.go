@@ -54,17 +54,17 @@ func Backfill(dir string, afterInc, afterSeq uint64) ([]StreamRecord, error) {
 	byInc := make(map[uint64]*group)
 	for i, s := range segs {
 		last := i == len(segs)-1
-		recs, inc, _, valid, err := readSegment(s.path, s.seq, last)
+		recs, hdr, _, valid, err := readSegment(s.path, s.seq, last)
 		if err != nil {
 			return nil, err
 		}
 		if !valid {
 			continue
 		}
-		g := byInc[inc]
+		g := byInc[hdr.incarnation]
 		if g == nil {
-			g = &group{inc: inc}
-			byInc[inc] = g
+			g = &group{inc: hdr.incarnation}
+			byInc[hdr.incarnation] = g
 			groups = append(groups, g)
 		}
 		g.recs = append(g.recs, recs...)

@@ -226,6 +226,16 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 	switch r.Kind {
 	case RespEmpty:
 		dst = binary.AppendUvarint(dst, r.TS)
+		// NOT_LEADER is the only status that carries a redirect address;
+		// gating on it keeps every other RespEmpty encoding byte-identical
+		// to the pre-failover protocol.
+		if r.Status == StatusNotLeader {
+			if len(r.Redirect) > MaxAddr {
+				return nil, fmt.Errorf("wire: redirect %d bytes, limit %d", len(r.Redirect), MaxAddr)
+			}
+			dst = binary.AppendUvarint(dst, uint64(len(r.Redirect)))
+			dst = append(dst, r.Redirect...)
+		}
 	case RespRow:
 		if len(r.Row) > MaxCols {
 			return nil, fmt.Errorf("wire: response row has %d columns, limit %d", len(r.Row), MaxCols)
@@ -262,6 +272,8 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 			s.WALFlushes, s.WALRecords, s.WALSyncNsP99, s.WALDeviceErrors,
 			s.WALUnackedWrites, s.RecoveredRecords, s.TruncatedBytes,
 			s.ReplFollowers, s.ReplLagRecords, s.ReplWatermarkNS,
+			s.ReplEpoch, s.ReplRoleCode, s.Promotions, s.Fencings,
+			s.ReplReconnects,
 		} {
 			dst = binary.AppendUvarint(dst, v)
 		}
@@ -290,7 +302,7 @@ func decodeResponse(b []byte, inBatch bool) (Response, []byte, error) {
 		return r, nil, fmt.Errorf("response header: %w", ErrTruncated)
 	}
 	r.Kind, r.Status = RespKind(b[0]), Status(b[1])
-	if r.Status > StatusNotYet {
+	if r.Status > StatusNotLeader {
 		return r, nil, fmt.Errorf("wire: unknown status %d", byte(r.Status))
 	}
 	b = b[2:]
@@ -300,6 +312,20 @@ func decodeResponse(b []byte, inBatch bool) (Response, []byte, error) {
 		r.TS, b, err = uvarint(b)
 		if err != nil {
 			return r, nil, fmt.Errorf("response ts: %w", err)
+		}
+		if r.Status == StatusNotLeader {
+			var sz uint64
+			if sz, b, err = uvarint(b); err != nil {
+				return r, nil, fmt.Errorf("redirect len: %w", err)
+			}
+			if sz > MaxAddr {
+				return r, nil, fmt.Errorf("wire: redirect %d bytes, limit %d", sz, MaxAddr)
+			}
+			if sz > uint64(len(b)) {
+				return r, nil, fmt.Errorf("redirect %d bytes beyond payload: %w", sz, ErrTruncated)
+			}
+			r.Redirect = string(b[:sz])
+			b = b[sz:]
 		}
 		return r, b, nil
 	case RespRow:
@@ -341,6 +367,8 @@ func decodeResponse(b []byte, inBatch bool) (Response, []byte, error) {
 			&s.WALFlushes, &s.WALRecords, &s.WALSyncNsP99, &s.WALDeviceErrors,
 			&s.WALUnackedWrites, &s.RecoveredRecords, &s.TruncatedBytes,
 			&s.ReplFollowers, &s.ReplLagRecords, &s.ReplWatermarkNS,
+			&s.ReplEpoch, &s.ReplRoleCode, &s.Promotions, &s.Fencings,
+			&s.ReplReconnects,
 		} {
 			*field, rest, err = uvarint(rest)
 			if err != nil {

@@ -27,6 +27,8 @@ func seedPayloads(t interface{ Fatal(...any) }) [][]byte {
 		{Kind: RespEmpty, Status: StatusBusy},
 		{Kind: RespEmpty, Status: StatusOK, TS: 1 << 50},
 		{Kind: RespEmpty, Status: StatusNotYet, TS: 77},
+		{Kind: RespEmpty, Status: StatusNotLeader, TS: 0, Redirect: "127.0.0.1:7001"},
+		{Kind: RespEmpty, Status: StatusNotLeader},
 		{Kind: RespRow, Status: StatusOK, Row: []uint64{1, 2}},
 		{Kind: RespRow, Status: StatusOK, Row: []uint64{}},
 		{Kind: RespBatch, Status: StatusOK, Batch: []Response{
@@ -39,6 +41,8 @@ func seedPayloads(t interface{ Fatal(...any) }) [][]byte {
 			WALFlushes: 5, WALRecords: 12, WALSyncNsP99: 40000, WALDeviceErrors: 1,
 			WALUnackedWrites: 2, RecoveredRecords: 7, TruncatedBytes: 128,
 			ReplFollowers: 2, ReplLagRecords: 15, ReplWatermarkNS: 1 << 33,
+			ReplEpoch: 3, ReplRoleCode: 1, Promotions: 1, Fencings: 2,
+			ReplReconnects: 4,
 		}},
 	}
 	var out [][]byte
@@ -125,6 +129,14 @@ func seedReplPayloads(t interface{ Fatal(...any) }) [][]byte {
 			{Seq: 10, TS: 1001, H: 2, HSeq: 1, Data: []byte{}},
 		}},
 		{Kind: ReplBatch},
+		{Kind: ReplSubscribe, Inc: 3, Seq: 127, Epoch: 2},
+		{Kind: ReplBatch, Inc: 5, Seq: 11, Epoch: 2, Recs: []ReplRecord{
+			{Seq: 11, TS: 1002, H: 1, HSeq: 4, Data: []byte("redo2")},
+		}},
+		{Kind: ReplStatus, Inc: 6, Seq: 900, Epoch: 3, Role: 1,
+			PrevInc: 4, PrevSeq: 880, Addr: "127.0.0.1:7101"},
+		{Kind: ReplReject, Epoch: 3, Role: 2, Addr: "127.0.0.1:7102"},
+		{Kind: ReplReject},
 	}
 	var out [][]byte
 	for i := range msgs {

@@ -53,6 +53,21 @@ const (
 	// tail for lag accounting and take the max of the leader's and their
 	// own boundary when computing the safe-read watermark.
 	ReplWatermark
+	// ReplStatus is a node's leadership self-description. A leader sends
+	// one immediately after accepting a SUBSCRIBE (so the follower adopts
+	// the epoch before any batch), and any failover node answers a
+	// status-query hello with one: Epoch and Role describe the regime it
+	// believes in, (Inc, Seq) its own WAL incarnation and stream tail, and
+	// (PrevInc, PrevSeq) its durable cursor into the previous regime's
+	// stream — the truncation point a fenced ex-leader must roll back to
+	// before resubscribing. Addr is its advertised repl address.
+	ReplStatus
+	// ReplReject fences a stale peer: the epochs disagree, so the
+	// connection is refused. The frame carries the rejecting node's view
+	// (same fields as ReplStatus, with Addr naming the leader it believes
+	// in, if any) so the rejected side can re-bootstrap instead of
+	// retrying blindly.
+	ReplReject
 )
 
 // String returns the kind's wire-level name.
@@ -66,6 +81,10 @@ func (k ReplKind) String() string {
 		return "WALACK"
 	case ReplWatermark:
 		return "WATERMARK"
+	case ReplStatus:
+		return "STATUS"
+	case ReplReject:
+		return "REJECT"
 	}
 	return fmt.Sprintf("ReplKind(%d)", byte(k))
 }
@@ -85,17 +104,33 @@ type ReplRecord struct {
 // ReplMsg is one decoded replication frame. Inc and Seq are the position
 // fields; their meaning per kind is documented on the kind constants. Recs
 // is non-nil only for WALBATCH; HorizonTS and BoundaryTicks are meaningful
-// only for WATERMARK.
+// only for WATERMARK; Role, PrevInc, PrevSeq and Addr only for
+// STATUS/REJECT.
 type ReplMsg struct {
 	Kind ReplKind
 	Inc  uint64
 	Seq  uint64
-	Recs []ReplRecord
+	// Epoch is the fencing epoch the sender believes in. Every kind
+	// carries it: a SUBSCRIBE with a stale epoch is rejected by the
+	// leader, and a WALBATCH from a stale regime is rejected by the
+	// follower. Zero means pre-failover traffic (legacy replication mode),
+	// which is always accepted.
+	Epoch uint64
+	Recs  []ReplRecord
 	// HorizonTS is the leader's durable horizon: the largest commit
 	// timestamp in any flushed record.
 	HorizonTS uint64
 	// BoundaryTicks is the leader's Ordo uncertainty window in clock ticks.
 	BoundaryTicks uint64
+	// Role is the sender's numeric server.ReplRole (STATUS/REJECT only).
+	Role uint64
+	// PrevInc, PrevSeq are the sender's durable cursor into the previous
+	// regime's stream (STATUS/REJECT only).
+	PrevInc uint64
+	PrevSeq uint64
+	// Addr is an advertised repl address (STATUS: the sender's own;
+	// REJECT: the leader the sender believes in, empty if unknown).
+	Addr string
 }
 
 // AppendReplMsg appends m's payload encoding to dst.
@@ -103,9 +138,10 @@ func AppendReplMsg(dst []byte, m *ReplMsg) ([]byte, error) {
 	dst = append(dst, byte(m.Kind))
 	dst = binary.AppendUvarint(dst, m.Inc)
 	dst = binary.AppendUvarint(dst, m.Seq)
+	dst = binary.AppendUvarint(dst, m.Epoch)
 	switch m.Kind {
 	case ReplSubscribe, ReplAck:
-		// Position only.
+		// Position and epoch only.
 	case ReplBatch:
 		if len(m.Recs) > MaxReplBatch {
 			return nil, fmt.Errorf("wire: WALBATCH has %d records, limit %d", len(m.Recs), MaxReplBatch)
@@ -123,6 +159,15 @@ func AppendReplMsg(dst []byte, m *ReplMsg) ([]byte, error) {
 	case ReplWatermark:
 		dst = binary.AppendUvarint(dst, m.HorizonTS)
 		dst = binary.AppendUvarint(dst, m.BoundaryTicks)
+	case ReplStatus, ReplReject:
+		if len(m.Addr) > MaxAddr {
+			return nil, fmt.Errorf("wire: %v addr %d bytes, limit %d", m.Kind, len(m.Addr), MaxAddr)
+		}
+		dst = binary.AppendUvarint(dst, m.Role)
+		dst = binary.AppendUvarint(dst, m.PrevInc)
+		dst = binary.AppendUvarint(dst, m.PrevSeq)
+		dst = binary.AppendUvarint(dst, uint64(len(m.Addr)))
+		dst = append(dst, m.Addr...)
 	default:
 		return nil, fmt.Errorf("wire: cannot encode %v", m.Kind)
 	}
@@ -145,9 +190,12 @@ func DecodeReplMsg(b []byte) (ReplMsg, error) {
 	if m.Seq, b, err = uvarint(b); err != nil {
 		return m, fmt.Errorf("repl seq: %w", err)
 	}
+	if m.Epoch, b, err = uvarint(b); err != nil {
+		return m, fmt.Errorf("repl epoch: %w", err)
+	}
 	switch m.Kind {
 	case ReplSubscribe, ReplAck:
-		// Position only.
+		// Position and epoch only.
 	case ReplBatch:
 		var n int
 		if n, b, err = count(b, MaxReplBatch, "WALBATCH record"); err != nil {
@@ -190,6 +238,28 @@ func DecodeReplMsg(b []byte) (ReplMsg, error) {
 		if m.BoundaryTicks, b, err = uvarint(b); err != nil {
 			return m, fmt.Errorf("watermark boundary: %w", err)
 		}
+	case ReplStatus, ReplReject:
+		if m.Role, b, err = uvarint(b); err != nil {
+			return m, fmt.Errorf("status role: %w", err)
+		}
+		if m.PrevInc, b, err = uvarint(b); err != nil {
+			return m, fmt.Errorf("status prev inc: %w", err)
+		}
+		if m.PrevSeq, b, err = uvarint(b); err != nil {
+			return m, fmt.Errorf("status prev seq: %w", err)
+		}
+		var sz uint64
+		if sz, b, err = uvarint(b); err != nil {
+			return m, fmt.Errorf("status addr len: %w", err)
+		}
+		if sz > MaxAddr {
+			return m, fmt.Errorf("wire: %v addr %d bytes, limit %d", m.Kind, sz, MaxAddr)
+		}
+		if sz > uint64(len(b)) {
+			return m, fmt.Errorf("status addr %d bytes beyond payload: %w", sz, ErrTruncated)
+		}
+		m.Addr = string(b[:sz])
+		b = b[sz:]
 	default:
 		return m, fmt.Errorf("wire: unknown repl kind %d", byte(m.Kind))
 	}
@@ -241,18 +311,30 @@ func ReadReplFrame(r FrameReader, buf []byte) ([]byte, error) {
 var errReplHello = errors.New("wire: expected SUBSCRIBE")
 
 // ReadSubscribe reads and validates a follower's SUBSCRIBE hello, returning
-// the resume position.
-func ReadSubscribe(r FrameReader, buf []byte) (inc, seq uint64, _ []byte, err error) {
-	buf, err = ReadReplFrame(r, buf)
+// the full decoded message (resume position Inc/Seq plus the subscriber's
+// epoch).
+func ReadSubscribe(r FrameReader, buf []byte) (ReplMsg, []byte, error) {
+	m, buf, err := ReadReplHello(r, buf)
 	if err != nil {
-		return 0, 0, buf, err
+		return m, buf, err
+	}
+	if m.Kind != ReplSubscribe {
+		return m, buf, fmt.Errorf("%w, got %v", errReplHello, m.Kind)
+	}
+	return m, buf, nil
+}
+
+// ReadReplHello reads and decodes one replication frame — the first frame
+// of a connection, which a failover node demuxes by kind (SUBSCRIBE starts
+// a streaming session, STATUS asks for a one-shot leadership answer).
+func ReadReplHello(r FrameReader, buf []byte) (ReplMsg, []byte, error) {
+	buf, err := ReadReplFrame(r, buf)
+	if err != nil {
+		return ReplMsg{}, buf, err
 	}
 	m, err := DecodeReplMsg(buf)
 	if err != nil {
-		return 0, 0, buf, err
+		return m, buf, err
 	}
-	if m.Kind != ReplSubscribe {
-		return 0, 0, buf, fmt.Errorf("%w, got %v", errReplHello, m.Kind)
-	}
-	return m.Inc, m.Seq, buf, nil
+	return m, buf, nil
 }

@@ -21,6 +21,17 @@ func TestReplMsgRoundTrip(t *testing.T) {
 			{Seq: 3, TS: 11, H: 2, HSeq: 2, Data: bytes.Repeat([]byte{0xCD}, 4096)},
 		}},
 		{Kind: ReplBatch, Recs: []ReplRecord{}},
+		{Kind: ReplSubscribe, Inc: 2, Seq: 17, Epoch: math.MaxUint64},
+		{Kind: ReplAck, Inc: 7, Seq: 42, Epoch: 3},
+		{Kind: ReplBatch, Inc: 1, Seq: 1, Epoch: 9, Recs: []ReplRecord{
+			{Seq: 1, TS: 10, H: 1, HSeq: 1, Data: []byte("a")},
+		}},
+		{Kind: ReplStatus, Inc: 5, Seq: 600, Epoch: 4, Role: 1,
+			PrevInc: 3, PrevSeq: 590, Addr: "127.0.0.1:7100"},
+		{Kind: ReplStatus},
+		{Kind: ReplReject, Epoch: 7, Role: 2, PrevInc: 1, PrevSeq: 2,
+			Addr: "leader.example:7000"},
+		{Kind: ReplReject},
 	}
 	for _, m := range cases {
 		payload, err := AppendReplMsg(nil, &m)
@@ -45,10 +56,13 @@ func TestReplDecodeRejects(t *testing.T) {
 		{"empty", nil},
 		{"unknown kind", []byte{0xEE, 0, 0}},
 		{"truncated position", []byte{byte(ReplSubscribe), 3}},
-		{"trailing bytes", []byte{byte(ReplAck), 0, 0, 9}},
-		{"huge record count", []byte{byte(ReplBatch), 0, 0, 0xFF, 0xFF, 0x7F}},
-		{"record data beyond payload", []byte{byte(ReplBatch), 0, 0, 1, 1, 1, 1, 1, 0x20}},
-		{"truncated watermark", []byte{byte(ReplWatermark), 0, 0, 5}},
+		{"truncated epoch", []byte{byte(ReplSubscribe), 3, 4}},
+		{"trailing bytes", []byte{byte(ReplAck), 0, 0, 0, 9}},
+		{"huge record count", []byte{byte(ReplBatch), 0, 0, 0, 0xFF, 0xFF, 0x7F}},
+		{"record data beyond payload", []byte{byte(ReplBatch), 0, 0, 0, 1, 1, 1, 1, 1, 0x20}},
+		{"truncated watermark", []byte{byte(ReplWatermark), 0, 0, 0, 5}},
+		{"truncated status addr", []byte{byte(ReplStatus), 0, 0, 0, 1, 0, 0, 9, 'a'}},
+		{"huge status addr", append([]byte{byte(ReplReject), 0, 0, 0, 1, 0, 0, 0x82, 0x04}, bytes.Repeat([]byte{'x'}, 514)...)},
 	}
 	for _, tc := range cases {
 		if _, err := DecodeReplMsg(tc.b); err == nil {
@@ -94,25 +108,36 @@ func TestReplFrameIO(t *testing.T) {
 
 func TestReadSubscribe(t *testing.T) {
 	var buf bytes.Buffer
-	p, err := AppendReplMsg(nil, &ReplMsg{Kind: ReplSubscribe, Inc: 2, Seq: 17})
+	p, err := AppendReplMsg(nil, &ReplMsg{Kind: ReplSubscribe, Inc: 2, Seq: 17, Epoch: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := WriteReplFrame(&buf, p); err != nil {
 		t.Fatal(err)
 	}
-	inc, seq, _, err := ReadSubscribe(bytes.NewReader(buf.Bytes()), nil)
+	m, _, err := ReadSubscribe(bytes.NewReader(buf.Bytes()), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if inc != 2 || seq != 17 {
-		t.Fatalf("got position (%d, %d), want (2, 17)", inc, seq)
+	if m.Inc != 2 || m.Seq != 17 || m.Epoch != 5 {
+		t.Fatalf("got position (%d, %d) epoch %d, want (2, 17) epoch 5", m.Inc, m.Seq, m.Epoch)
 	}
 
 	buf.Reset()
 	p, _ = AppendReplMsg(nil, &ReplMsg{Kind: ReplAck, Inc: 2, Seq: 17})
 	_ = WriteReplFrame(&buf, p)
-	if _, _, _, err := ReadSubscribe(bytes.NewReader(buf.Bytes()), nil); err == nil {
+	if _, _, err := ReadSubscribe(bytes.NewReader(buf.Bytes()), nil); err == nil {
 		t.Fatal("non-SUBSCRIBE hello accepted")
+	}
+	// ReadReplHello accepts any kind: a failover node demuxes on it.
+	buf.Reset()
+	p, _ = AppendReplMsg(nil, &ReplMsg{Kind: ReplStatus, Epoch: 3, Role: 2})
+	_ = WriteReplFrame(&buf, p)
+	hello, _, err := ReadReplHello(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hello.Kind != ReplStatus || hello.Epoch != 3 || hello.Role != 2 {
+		t.Fatalf("hello decoded as %+v", hello)
 	}
 }

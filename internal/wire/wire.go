@@ -37,6 +37,9 @@ const (
 	MaxTxnOps = 1 << 14
 	// MaxProtoName bounds the protocol-name string in a STATS response.
 	MaxProtoName = 64
+	// MaxAddr bounds the redirect/leader address strings carried by
+	// NOT_LEADER responses and replication status frames.
+	MaxAddr = 256
 )
 
 // Op identifies a request operation.
@@ -111,6 +114,12 @@ const (
 	// TS field carries the current watermark so the client can retry after
 	// it advances or fall back to the leader.
 	StatusNotYet
+	// StatusNotLeader rejects a write sent to a node that is not the
+	// current epoch's leader. The response's Redirect field, when
+	// non-empty, names the client-facing address of the node the sender
+	// believes is the leader, so a resilient client can chase leadership
+	// without rescanning every endpoint.
+	StatusNotLeader
 )
 
 // String returns the status code's wire-level name.
@@ -130,6 +139,8 @@ func (s Status) String() string {
 		return "ERR"
 	case StatusNotYet:
 		return "NOT_YET"
+	case StatusNotLeader:
+		return "NOT_LEADER"
 	}
 	return fmt.Sprintf("Status(%d)", byte(s))
 }
@@ -143,6 +154,9 @@ var (
 	// ErrNotYet is the client-side view of StatusNotYet: the replica's
 	// watermark has not covered the requested read timestamp.
 	ErrNotYet = errors.New("wire: replica watermark below requested read timestamp")
+	// ErrNotLeader is the client-side view of StatusNotLeader: the write
+	// was sent to a node that is not the current epoch's leader.
+	ErrNotLeader = errors.New("wire: not the leader")
 )
 
 // StatusOf maps an engine error to its wire status. nil maps to StatusOK;
@@ -161,6 +175,8 @@ func StatusOf(err error) Status {
 		return StatusBusy
 	case errors.Is(err, ErrNotYet):
 		return StatusNotYet
+	case errors.Is(err, ErrNotLeader):
+		return StatusNotLeader
 	}
 	return StatusErr
 }
@@ -181,6 +197,8 @@ func (s Status) Err() error {
 		return ErrBusy
 	case StatusNotYet:
 		return ErrNotYet
+	case StatusNotLeader:
+		return ErrNotLeader
 	}
 	return ErrServer
 }
@@ -248,6 +266,10 @@ type Response struct {
 	// read-your-writes on a replica. On NOT_YET it is the replica's current
 	// safe-read watermark. Zero otherwise (non-durable servers, errors).
 	TS uint64
+	// Redirect is the client-facing address of the believed leader,
+	// carried only by RespEmpty responses with StatusNotLeader. Empty when
+	// the rejecting node does not know who leads the current epoch.
+	Redirect string
 }
 
 // Stats is the server counter snapshot carried by a STATS response. Fields
@@ -282,6 +304,16 @@ type Stats struct {
 	ReplFollowers   uint64 `json:"repl_followers"`
 	ReplLagRecords  uint64 `json:"repl_lag_records"`
 	ReplWatermarkNS uint64 `json:"repl_watermark_ns"`
+	// Failover fields. ReplEpoch is the fencing epoch the node is serving
+	// under (zero before any promotion); ReplRoleCode is the numeric
+	// server.ReplRole (0 none, 1 leader, 2 follower); Promotions and
+	// Fencings count leadership transitions this process performed or
+	// rejected; ReplReconnects counts follower reconnect attempts.
+	ReplEpoch      uint64 `json:"repl_epoch"`
+	ReplRoleCode   uint64 `json:"repl_role"`
+	Promotions     uint64 `json:"promotions"`
+	Fencings       uint64 `json:"fencings"`
+	ReplReconnects uint64 `json:"repl_reconnects"`
 }
 
 // Simple reports whether the op is a valid simple (non-composite)
