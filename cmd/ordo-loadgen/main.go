@@ -65,7 +65,7 @@ func main() {
 			"failover mode: per-key monotone writes through the resilient client against -endpoints, then a read-back sweep asserting acked ≤ recovered ≤ issued")
 		endpoints = flag.String("endpoints", "",
 			"comma-separated client-facing addresses of every cluster node (failover mode)")
-		workers = flag.Int("workers", 4, "failover-mode writer goroutines")
+		workers  = flag.Int("workers", 4, "failover-mode writer goroutines")
 		retryFor = flag.Duration("retry-for", 15*time.Second,
 			"failover-mode per-op retry budget; must exceed the cluster's failover time")
 	)
@@ -160,8 +160,8 @@ func runFailover(endpoints string, workers, records int, seconds float64, opTO, 
 	if res != nil {
 		fmt.Printf("failover: acked=%d writes in %v, max ack gap %v\n",
 			res.Acked, res.Elapsed.Round(time.Millisecond), res.MaxAckGap.Round(time.Millisecond))
-		fmt.Printf("failover: not_leader_retries=%d redirects=%d reconnects=%d\n",
-			res.Client.NotLeaderRetries, res.Client.Redirects, res.Client.Reconnects)
+		fmt.Printf("failover: not_leader_retries=%d redirects=%d reconnects=%d uncertain=%d\n",
+			res.Client.NotLeaderRetries, res.Client.Redirects, res.Client.Reconnects, res.Client.Uncertain)
 		fmt.Printf("failover: swept=%d violations=%d\n", res.SweptKeys, res.Violations)
 	}
 	return err

@@ -271,18 +271,19 @@ func run(o options) error {
 			o.replAckBound = 2 * time.Second
 		}
 		boot, err = failover.Decide(failover.BootstrapConfig{
-			Dir:        o.walDir,
-			Index:      o.peerIndex,
-			Peers:      fpeers,
-			CursorFile: cursor,
-			Logf:       log.Printf,
+			Dir:              o.walDir,
+			Index:            o.peerIndex,
+			Peers:            fpeers,
+			CursorFile:       cursor,
+			HeartbeatTimeout: o.heartbeatTimeout,
+			Logf:             log.Printf,
 		})
 		if err != nil {
 			return err
 		}
 		role = boot.Role
-		log.Printf("failover bootstrap: role=%v epoch=%d leader-index=%d truncated=%d",
-			boot.Role, boot.Epoch, boot.LeaderIndex, boot.Truncated)
+		log.Printf("failover bootstrap: role=%v epoch=%d leader-index=%d truncated=%d resumed=%v",
+			boot.Role, boot.Epoch, boot.LeaderIndex, boot.Truncated, boot.Resumed)
 	}
 
 	// Durable mode: recover and replay the log into the fresh engine, then

@@ -75,6 +75,9 @@ type Stats struct {
 	Reconnects uint64
 	// Hedges counts GetAt calls that fired a second leg.
 	Hedges uint64
+	// Uncertain counts writes answered UNCERTAIN (durable on the leader,
+	// replication unconfirmed) and re-sent until definitive.
+	Uncertain uint64
 }
 
 // breaker is a per-endpoint consecutive-failure circuit breaker.
@@ -137,10 +140,11 @@ func New(cfg Config) (*Client, error) {
 }
 
 // Do executes one request, retrying across NOT_LEADER redirects, BUSY
-// shedding, reconnects and endpoint rotation until it gets a definitive
-// answer or the RetryFor budget runs out. Definitive answers — OK,
-// NOT_FOUND, DUPLICATE, CONFLICT, NOT_YET, ERR — are returned to the
-// caller; only leadership and availability failures are retried.
+// shedding, UNCERTAIN write outcomes, reconnects and endpoint rotation
+// until it gets a definitive answer or the RetryFor budget runs out.
+// Definitive answers — OK, NOT_FOUND, DUPLICATE, CONFLICT, NOT_YET, ERR —
+// are returned to the caller; leadership, availability and ambiguity
+// failures are retried.
 func (c *Client) Do(req *wire.Request) (wire.Response, error) {
 	deadline := time.Now().Add(c.cfg.RetryFor)
 	delay := c.cfg.RetryEvery
@@ -171,7 +175,7 @@ func (c *Client) attempt(req *wire.Request) (resp wire.Response, err error, retr
 		c.dropConn()
 		return wire.Response{}, err, true
 	}
-	c.breakers[c.addr].fails = 0
+	c.breaker(c.addr).fails = 0
 	switch resp.Status {
 	case wire.StatusNotLeader:
 		c.stats.NotLeaderRetries++
@@ -187,6 +191,13 @@ func (c *Client) attempt(req *wire.Request) (resp wire.Response, err error, retr
 		return resp, wire.ErrNotLeader, true
 	case wire.StatusBusy:
 		return resp, wire.ErrBusy, true
+	case wire.StatusUncertain:
+		// The write is durable on the leader but its replication was not
+		// confirmed in time. Re-issue until a definitive answer arrives:
+		// PUT and DELETE are idempotent and a landed INSERT comes back
+		// DUPLICATE, so a blind retry cannot double-apply.
+		c.stats.Uncertain++
+		return resp, wire.ErrUncertain, true
 	}
 	return resp, nil, false
 }
@@ -372,13 +383,24 @@ func (c *Client) dropConn() {
 	c.conn, c.nc, c.addr = nil, nil, ""
 }
 
+// breaker returns the endpoint's breaker, creating one on first use: the
+// live socket can point at a NOT_LEADER redirect target outside the
+// configured endpoint set (a hostname/IP spelling mismatch between -peers
+// client addrs and client endpoints is enough), and such learned addresses
+// deserve the same failure accounting as configured ones.
+func (c *Client) breaker(addr string) *breaker {
+	b := c.breakers[addr]
+	if b == nil {
+		b = &breaker{}
+		c.breakers[addr] = b
+	}
+	return b
+}
+
 // fail records one failure against an endpoint, opening its breaker after
 // the configured consecutive count.
 func (c *Client) fail(addr string) {
-	b := c.breakers[addr]
-	if b == nil {
-		return // redirect target outside the configured endpoint set
-	}
+	b := c.breaker(addr)
 	b.fails++
 	if b.fails >= c.cfg.BreakerFailures {
 		b.openUntil = time.Now().Add(c.cfg.BreakerCooldown)

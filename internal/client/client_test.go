@@ -96,6 +96,51 @@ func TestRedirectChasing(t *testing.T) {
 	}
 }
 
+func TestRedirectOutsideEndpoints(t *testing.T) {
+	// The leader's address is NOT in Config.Endpoints (a hostname/IP
+	// spelling mismatch between -peers client addrs and the client's
+	// endpoint list). Chasing the redirect and then succeeding there used
+	// to nil-deref the breaker map on the success path.
+	leader := startFakeNode(t, func(req *wire.Request) wire.Response {
+		return wire.Response{Kind: wire.RespEmpty, Status: wire.StatusOK, TS: 7}
+	})
+	follower := startFakeNode(t, func(req *wire.Request) wire.Response {
+		return wire.Response{Kind: wire.RespEmpty, Status: wire.StatusNotLeader, Redirect: leader.addr()}
+	})
+	c := newTestClient(t, follower.addr()) // leader deliberately absent
+	resp, err := c.Do(&wire.Request{Op: wire.OpPut, Key: 1, Vals: []uint64{7}})
+	if err != nil || resp.Status != wire.StatusOK {
+		t.Fatalf("Do via learned redirect: %v, %v", resp.Status, err)
+	}
+	if b := c.breakers[leader.addr()]; b == nil {
+		t.Fatal("learned redirect target got no breaker entry")
+	}
+	// The learned address keeps working for follow-up ops.
+	if _, err := c.Do(&wire.Request{Op: wire.OpPut, Key: 2, Vals: []uint64{8}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUncertainWriteRetried(t *testing.T) {
+	// Two UNCERTAIN answers (replication-ack timeouts) before the write is
+	// confirmed: the client must keep re-issuing until definitive.
+	var calls atomic.Uint64
+	node := startFakeNode(t, func(req *wire.Request) wire.Response {
+		if calls.Add(1) <= 2 {
+			return wire.Response{Kind: wire.RespEmpty, Status: wire.StatusUncertain}
+		}
+		return wire.Response{Kind: wire.RespEmpty, Status: wire.StatusOK, TS: 9}
+	})
+	c := newTestClient(t, node.addr())
+	resp, err := c.Do(&wire.Request{Op: wire.OpPut, Key: 1, Vals: []uint64{7}})
+	if err != nil || resp.Status != wire.StatusOK {
+		t.Fatalf("Do through UNCERTAIN answers: %v, %v", resp.Status, err)
+	}
+	if s := c.Stats(); s.Uncertain != 2 {
+		t.Fatalf("stats: %+v, want 2 uncertain retries", s)
+	}
+}
+
 func TestDefinitiveAnswerNotRetried(t *testing.T) {
 	node := startFakeNode(t, func(req *wire.Request) wire.Response {
 		return wire.Response{Kind: wire.RespEmpty, Status: wire.StatusNotFound}

@@ -25,6 +25,12 @@ type Bootstrap struct {
 	LeaderIndex int
 	// Truncated is how many unshipped records a fenced rejoin dropped.
 	Truncated int
+	// Resumed marks a leader boot that resumed a prior regime in a
+	// multi-node cluster. A resumed leader cannot prove its followers did
+	// not promote a successor moments after the probes (crash-stop gives
+	// no negative evidence), so the node holds the replication-ack
+	// gate's no-subscriber waiver until the first follower re-subscribes.
+	Resumed bool
 }
 
 // BootstrapConfig parameterizes Decide.
@@ -39,6 +45,15 @@ type BootstrapConfig struct {
 	CursorFile string
 	// DialTimeout bounds each peer probe; ≤ 0 means DefaultDialTimeout.
 	DialTimeout time.Duration
+	// HeartbeatTimeout is the cluster's leader-silence bound, used to
+	// derive the default resume grace; ≤ 0 means DefaultHeartbeatTimeout.
+	HeartbeatTimeout time.Duration
+	// ResumeGrace is how long an ex-leader keeps re-probing for a
+	// concurrent election before resuming its own regime; ≤ 0 derives
+	// HeartbeatTimeout + 2×DialTimeout — long enough that a follower
+	// whose election was triggered by our death has promoted and answers
+	// probes as the new leader.
+	ResumeGrace time.Duration
 	// Logf receives operational messages. Optional.
 	Logf func(format string, args ...any)
 }
@@ -55,10 +70,17 @@ type BootstrapConfig struct {
 //     takeover cursor was never shipped — truncate it first, so recovery
 //     replays exactly the prefix the new regime inherited.
 //   - No live leader, but the sidecar says this node was the leader:
-//     resume the regime (a plain leader restart; followers re-subscribe by
-//     cursor).
+//     re-probe for ResumeGrace first — a crashed leader restarting fast can
+//     race the very election its death triggered, and resuming blindly at
+//     the old epoch while a follower promotes at epoch+1 forks the cluster
+//     into two acking leaders. Only when the grace expires with no live
+//     leader and no peer reporting a higher epoch does the node resume its
+//     regime (followers re-subscribe by cursor). A peer at a higher epoch
+//     with its leader unreachable is a hard refusal: a newer regime exists,
+//     and booting without its takeover cursor cannot be done safely.
 //   - No live leader and no leader history: priority index 0 takes the
-//     cold cluster; everyone else follows it.
+//     cold cluster at a bumped epoch (fencing any regime history found on
+//     disk); everyone else follows it.
 //
 // A follower that finds its cursor AHEAD of a newer regime's takeover
 // point would mean an acknowledged write existed only on this node while
@@ -91,25 +113,57 @@ func Decide(cfg BootstrapConfig) (*Bootstrap, error) {
 	}
 
 	// One probe round over the other peers; the newest live leader wins.
-	leaderIdx := -1
-	var leaderEpoch, leaderPrevInc, leaderPrevSeq uint64
-	for i, p := range cfg.Peers {
-		if i == cfg.Index {
-			continue
+	round := probeRound(&cfg)
+
+	// An ex-leader restarting with no live leader in sight may be racing
+	// the election its own death triggered: the followers noticed the
+	// silence, but their winner has not finished promoting yet. Resuming
+	// now would put two acking leaders on the wire at different epochs.
+	// Keep re-probing for the grace window; a live leader found on any
+	// round is joined below exactly like a first-round find.
+	if round.leaderIdx < 0 && meta.Role == "leader" && len(cfg.Peers) > 1 {
+		grace := cfg.ResumeGrace
+		if grace <= 0 {
+			hb := cfg.HeartbeatTimeout
+			if hb <= 0 {
+				hb = DefaultHeartbeatTimeout
+			}
+			grace = hb + 2*cfg.DialTimeout
 		}
-		m, err := Probe(p.Repl, cfg.DialTimeout)
-		if err != nil {
-			continue
+		step := cfg.DialTimeout
+		if step > 100*time.Millisecond {
+			step = 100 * time.Millisecond
 		}
-		if server.ReplRole(m.Role) == server.RoleLeader && (leaderIdx < 0 || m.Epoch > leaderEpoch) {
-			leaderIdx, leaderEpoch = i, m.Epoch
-			leaderPrevInc, leaderPrevSeq = m.PrevInc, m.PrevSeq
+		logf("failover: ex-leader restart: re-probing for a concurrent election for %v before resuming epoch %d", grace, epoch)
+		start := time.Now()
+		deadline := start.Add(grace)
+		// Seeing a higher epoch proves a newer regime exists even when its
+		// leader has not answered yet; wait longer for it to appear before
+		// giving up (resuming would be the data-loss fork, and following
+		// blindly — without the new regime's takeover cursor to truncate
+		// to — is not safe either).
+		extended := start.Add(5 * grace)
+		for round.leaderIdx < 0 {
+			now := time.Now()
+			if now.After(deadline) && (round.maxEpoch <= epoch || now.After(extended)) {
+				break
+			}
+			time.Sleep(step)
+			next := probeRound(&cfg)
+			if next.maxEpoch < round.maxEpoch {
+				next.maxEpoch = round.maxEpoch
+			}
+			round = next
+		}
+		if round.leaderIdx < 0 && round.maxEpoch > epoch {
+			return nil, fmt.Errorf("failover: a peer reports epoch %d past our regime %d but its leader is unreachable; refusing to resume (manual intervention or a reachable leader required)", round.maxEpoch, epoch)
 		}
 	}
 
-	b := &Bootstrap{Epoch: epoch, LeaderIndex: leaderIdx}
+	b := &Bootstrap{Epoch: epoch, LeaderIndex: round.leaderIdx}
+	leaderEpoch, leaderPrevInc, leaderPrevSeq := round.leaderEpoch, round.leaderPrevInc, round.leaderPrevSeq
 	switch {
-	case leaderIdx >= 0:
+	case round.leaderIdx >= 0:
 		b.Role = server.RoleFollower
 		if leaderEpoch > epoch {
 			switch meta.Role {
@@ -143,12 +197,24 @@ func Decide(cfg BootstrapConfig) (*Bootstrap, error) {
 			b.Epoch = leaderEpoch
 		}
 	case meta.Role == "leader":
-		// Leader restart with no competing regime: resume it.
+		// Leader restart with no competing regime found within the grace
+		// window: resume it. The ack gate stays held until a follower
+		// re-subscribes (Resumed), so even a probe-evading concurrent
+		// election cannot make this node ack writes only it holds.
 		b.Role = server.RoleLeader
 		b.LeaderIndex = cfg.Index
+		b.Resumed = len(cfg.Peers) > 1
 	case cfg.Index == 0:
+		// Cold takeover by the priority head: fence whatever regime the
+		// on-disk epoch history belonged to by bumping past it (and past
+		// anything live peers reported), so two regimes can never serve
+		// under the same epoch.
 		b.Role = server.RoleLeader
 		b.LeaderIndex = 0
+		if round.maxEpoch > b.Epoch {
+			b.Epoch = round.maxEpoch
+		}
+		b.Epoch++
 	default:
 		// Cold follower with nobody answering yet: assume the priority
 		// head will lead; the supervision loop re-probes until it does.
@@ -162,6 +228,36 @@ func Decide(cfg BootstrapConfig) (*Bootstrap, error) {
 		b.Epoch = 1
 	}
 	return b, nil
+}
+
+// roundResult is one probe sweep's digest: the newest live leader (if any
+// answered) and the highest epoch any peer reported.
+type roundResult struct {
+	leaderIdx                                 int
+	leaderEpoch, leaderPrevInc, leaderPrevSeq uint64
+	maxEpoch                                  uint64
+}
+
+// probeRound probes every other peer once.
+func probeRound(cfg *BootstrapConfig) roundResult {
+	r := roundResult{leaderIdx: -1}
+	for i, p := range cfg.Peers {
+		if i == cfg.Index {
+			continue
+		}
+		m, err := Probe(p.Repl, cfg.DialTimeout)
+		if err != nil {
+			continue
+		}
+		if m.Epoch > r.maxEpoch {
+			r.maxEpoch = m.Epoch
+		}
+		if server.ReplRole(m.Role) == server.RoleLeader && (r.leaderIdx < 0 || m.Epoch > r.leaderEpoch) {
+			r.leaderIdx, r.leaderEpoch = i, m.Epoch
+			r.leaderPrevInc, r.leaderPrevSeq = m.PrevInc, m.PrevSeq
+		}
+	}
+	return r
 }
 
 // cursorPos mirrors repl.Position without importing the package (repl

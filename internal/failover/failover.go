@@ -91,15 +91,31 @@ func ReadMeta(dir string) (Meta, error) {
 	return m, nil
 }
 
-// WriteMeta persists the sidecar atomically (temp + rename + dir sync),
-// matching the durability of the log it describes.
+// WriteMeta persists the sidecar atomically AND durably (temp + fsync +
+// rename + dir sync), matching the durability of the log it describes.
+// The temp file is fsynced before the rename: renaming first could expose
+// an empty or torn failover.json after a power failure, and ReadMeta
+// treats corruption as fatal — a node that cannot tell which regime it
+// served must not guess.
 func WriteMeta(dir string, m Meta) error {
 	data, err := json.Marshal(m)
 	if err != nil {
 		return err
 	}
 	tmp := MetaPath(dir) + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, MetaPath(dir)); err != nil {
@@ -115,15 +131,29 @@ func WriteMeta(dir string, m Meta) error {
 // Probe dials a peer's replication listener, sends a STATUS hello and
 // returns the answer: role, epoch, stream or cursor position, regime
 // start and serving address. One bounded round trip; any failure means
-// "treat the peer as dead for this round".
+// "treat the peer as dead for this round". The hello carries epoch 0 —
+// a probe observes, it does not announce.
 func Probe(addr string, timeout time.Duration) (wire.ReplMsg, error) {
+	return exchange(addr, &wire.ReplMsg{Kind: wire.ReplStatus}, timeout)
+}
+
+// Announce performs the same STATUS exchange as Probe but stamps the
+// caller's regime — epoch, role and client address — on the hello, so the
+// peer learns of the new regime the moment it is announced instead of at
+// its next probe or stream frame. A freshly promoted leader announces to
+// every peer; a stale leader that receives one demotes itself in place.
+func Announce(addr string, self *wire.ReplMsg, timeout time.Duration) (wire.ReplMsg, error) {
+	return exchange(addr, self, timeout)
+}
+
+func exchange(addr string, hello *wire.ReplMsg, timeout time.Duration) (wire.ReplMsg, error) {
 	nc, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return wire.ReplMsg{}, err
 	}
 	defer nc.Close()
 	_ = nc.SetDeadline(time.Now().Add(timeout))
-	p, err := wire.AppendReplMsg(nil, &wire.ReplMsg{Kind: wire.ReplStatus})
+	p, err := wire.AppendReplMsg(nil, hello)
 	if err != nil {
 		return wire.ReplMsg{}, err
 	}

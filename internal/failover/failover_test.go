@@ -1,13 +1,17 @@
 package failover
 
 import (
+	"bufio"
+	"net"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
 	"ordo/internal/server"
 	"ordo/internal/wal"
+	"ordo/internal/wire"
 )
 
 func TestParsePeers(t *testing.T) {
@@ -61,7 +65,8 @@ func TestMetaRoundTrip(t *testing.T) {
 }
 
 // decideOffline runs Decide against peers that are all unreachable (ports
-// from the reserved TEST-NET range never answer on loopback in time).
+// from the reserved TEST-NET range never answer on loopback in time). The
+// resume grace is kept short so ex-leader tests stay fast.
 func decideOffline(t *testing.T, dir, cursorFile string, index int) *Bootstrap {
 	t.Helper()
 	b, err := Decide(BootstrapConfig{
@@ -74,12 +79,62 @@ func decideOffline(t *testing.T, dir, cursorFile string, index int) *Bootstrap {
 		},
 		CursorFile:  cursorFile,
 		DialTimeout: 50 * time.Millisecond,
+		ResumeGrace: 50 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	return b
 }
+
+// fakePeer is a minimal replication listener: every connection gets its
+// hello read and one configurable STATUS answer back.
+type fakePeer struct {
+	ln  net.Listener
+	mu  sync.Mutex
+	msg wire.ReplMsg
+}
+
+func startFakePeer(t *testing.T, initial wire.ReplMsg) *fakePeer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &fakePeer{ln: ln, msg: initial}
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer nc.Close()
+				if _, _, err := wire.ReadReplHello(bufio.NewReaderSize(nc, 4<<10), nil); err != nil {
+					return
+				}
+				p.mu.Lock()
+				m := p.msg
+				p.mu.Unlock()
+				buf, err := wire.AppendReplMsg(nil, &m)
+				if err != nil {
+					return
+				}
+				_ = wire.WriteReplFrame(nc, buf)
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return p
+}
+
+func (p *fakePeer) set(m wire.ReplMsg) {
+	p.mu.Lock()
+	p.msg = m
+	p.mu.Unlock()
+}
+
+func (p *fakePeer) addr() string { return p.ln.Addr().String() }
 
 func TestDecideColdCluster(t *testing.T) {
 	// Nobody answers, no history: index 0 leads at a fenced epoch, everyone
@@ -103,6 +158,89 @@ func TestDecideLeaderResume(t *testing.T) {
 	b := decideOffline(t, dir, "", 1)
 	if b.Role != server.RoleLeader || b.Epoch != 5 || b.LeaderIndex != 1 {
 		t.Fatalf("leader resume: %+v", b)
+	}
+	// A multi-node resume cannot prove no concurrent election happened, so
+	// it must boot with the ack gate held until a follower re-subscribes.
+	if !b.Resumed {
+		t.Fatal("multi-node leader resume did not set Resumed")
+	}
+}
+
+func TestDecideResumeJoinsConcurrentElection(t *testing.T) {
+	// A crashed leader restarts while the election its death triggered is
+	// still in flight: the peer answers as a follower at the old epoch
+	// first, then finishes promoting mid-grace. The re-probe loop must see
+	// the new regime and join it instead of resuming the old one.
+	dir := t.TempDir()
+	if err := WriteMeta(dir, Meta{Role: "leader", Epoch: 5, PrevInc: 1, PrevSeq: 9}); err != nil {
+		t.Fatal(err)
+	}
+	peer := startFakePeer(t, wire.ReplMsg{Kind: wire.ReplStatus, Role: uint64(server.RoleFollower), Epoch: 5})
+	flip := time.AfterFunc(150*time.Millisecond, func() {
+		peer.set(wire.ReplMsg{Kind: wire.ReplStatus, Role: uint64(server.RoleLeader), Epoch: 6,
+			PrevInc: 1, PrevSeq: 9, Addr: "127.0.0.1:7602"})
+	})
+	defer flip.Stop()
+	b, err := Decide(BootstrapConfig{
+		Dir:   dir,
+		Index: 0,
+		Peers: []Peer{
+			{Repl: "127.0.0.1:1", Client: "127.0.0.1:2"}, // self, never probed
+			{Repl: peer.addr(), Client: "127.0.0.1:7602"},
+			{Repl: "127.0.0.1:5", Client: "127.0.0.1:6"},
+		},
+		DialTimeout: 50 * time.Millisecond,
+		ResumeGrace: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Role != server.RoleFollower || b.Epoch != 6 || b.LeaderIndex != 1 {
+		t.Fatalf("concurrent election join: %+v", b)
+	}
+}
+
+func TestDecideResumeRefusesHigherEpoch(t *testing.T) {
+	// A peer proves a newer regime exists (epoch 9 > our 5) but its leader
+	// never answers. Resuming would fork the cluster; following blindly has
+	// no takeover cursor to truncate to. Decide must refuse to boot.
+	dir := t.TempDir()
+	if err := WriteMeta(dir, Meta{Role: "leader", Epoch: 5}); err != nil {
+		t.Fatal(err)
+	}
+	peer := startFakePeer(t, wire.ReplMsg{Kind: wire.ReplStatus, Role: uint64(server.RoleFollower), Epoch: 9})
+	_, err := Decide(BootstrapConfig{
+		Dir:   dir,
+		Index: 0,
+		Peers: []Peer{
+			{Repl: "127.0.0.1:1", Client: "127.0.0.1:2"},
+			{Repl: peer.addr(), Client: "127.0.0.1:7602"},
+		},
+		DialTimeout: 50 * time.Millisecond,
+		ResumeGrace: 50 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("Decide resumed under a higher-epoch regime with no reachable leader")
+	}
+}
+
+func TestDecideColdClusterFencesHistory(t *testing.T) {
+	// Cold takeover over a log with regime history: the new leader must
+	// bump PAST the on-disk epoch, never reuse it.
+	dir := t.TempDir()
+	dev, err := wal.OpenFile(dir, wal.FileConfig{Epoch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := wal.New(dev, nil)
+	l.NewHandle().AppendAt(1, []byte("x"))
+	if _, err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	dev.Close()
+	b := decideOffline(t, dir, "", 0)
+	if b.Role != server.RoleLeader || b.Epoch != 5 {
+		t.Fatalf("cold takeover over epoch-4 history: %+v, want leader at epoch 5", b)
 	}
 }
 

@@ -136,7 +136,10 @@ func NewNode(cfg Config) (*Node, error) {
 		if err := WriteMeta(cfg.Dir, Meta{Role: "leader", Epoch: n.epoch, PrevInc: meta.PrevInc, PrevSeq: meta.PrevSeq}); err != nil {
 			return nil, err
 		}
-		src, err := n.newSource(n.epoch, meta.PrevInc, meta.PrevSeq)
+		// A resumed regime holds the ack gate until a follower
+		// re-subscribes: the probes that allowed the resume prove no NEW
+		// leader answered, not that no election is completing right now.
+		src, err := n.newSource(n.epoch, meta.PrevInc, meta.PrevSeq, cfg.Boot.Resumed)
 		if err != nil {
 			return nil, err
 		}
@@ -146,18 +149,18 @@ func NewNode(cfg Config) (*Node, error) {
 			return nil, err
 		}
 		fol, err := repl.NewFollower(repl.FollowerConfig{
-			Addr:       cfg.Peers[maxInt(n.leaderIdx, 0)].Repl,
-			DB:         cfg.DB,
-			Log:        cfg.Log,
-			State:      cfg.State,
-			Telemetry:  cfg.Telemetry,
-			StateFile:  cfg.CursorFile,
-			Boundary:   cfg.Boundary,
-			Epoch:      n.epoch,
-			RetryEvery: cfg.RetryEvery,
-			RetryMax:   cfg.RetryMax,
+			Addr:        cfg.Peers[maxInt(n.leaderIdx, 0)].Repl,
+			DB:          cfg.DB,
+			Log:         cfg.Log,
+			State:       cfg.State,
+			Telemetry:   cfg.Telemetry,
+			StateFile:   cfg.CursorFile,
+			Boundary:    cfg.Boundary,
+			Epoch:       n.epoch,
+			RetryEvery:  cfg.RetryEvery,
+			RetryMax:    cfg.RetryMax,
 			DialTimeout: cfg.DialTimeout,
-			Logf:       cfg.Logf,
+			Logf:        cfg.Logf,
 		})
 		if err != nil {
 			return nil, err
@@ -180,7 +183,7 @@ func maxInt(a, b int) int {
 // wiring: epoch fencing, the regime-start cursor for fenced rejoiners,
 // the client-facing redirect address, and the replication-ack feed into
 // the serving core.
-func (n *Node) newSource(epoch, prevInc, prevSeq uint64) (*repl.Source, error) {
+func (n *Node) newSource(epoch, prevInc, prevSeq uint64, holdAckGate bool) (*repl.Source, error) {
 	return repl.NewSource(repl.SourceConfig{
 		Dir:         n.cfg.Dir,
 		Log:         n.cfg.Log,
@@ -192,6 +195,7 @@ func (n *Node) newSource(epoch, prevInc, prevSeq uint64) (*repl.Source, error) {
 		PrevSeq:     prevSeq,
 		Advertise:   n.cfg.Peers[n.cfg.Index].Client,
 		AckAdvance:  n.cfg.Server.NoteReplAck,
+		HoldAckGate: holdAckGate,
 		Logf:        n.cfg.Logf,
 	})
 }
@@ -240,6 +244,23 @@ func (n *Node) handleConn(nc net.Conn) {
 	n.mu.Lock()
 	role, epoch, src, leaderIdx := n.role, n.epoch, n.src, n.leaderIdx
 	n.mu.Unlock()
+	if m.Epoch > epoch {
+		// The hello outranks our regime — a promotion announcement or a
+		// peer that already converged on one. A leader seeing it has been
+		// fenced and must stop acking writes before answering anything; a
+		// follower just adopts the view so its next session retargets.
+		if role == server.RoleLeader {
+			n.demote(m.Epoch, n.announcedLeader(&m))
+		} else {
+			n.noteEpoch(m.Epoch)
+			if idx := n.announcedLeader(&m); idx >= 0 {
+				n.setLeader(idx)
+			}
+		}
+		n.mu.Lock()
+		role, epoch, src, leaderIdx = n.role, n.epoch, n.src, n.leaderIdx
+		n.mu.Unlock()
+	}
 	switch m.Kind {
 	case wire.ReplStatus:
 		n.writeMsg(nc, epoch, n.status())
@@ -291,10 +312,13 @@ func (n *Node) writeMsg(nc net.Conn, epoch uint64, m *wire.ReplMsg) {
 	_ = wire.WriteReplFrame(nc, p)
 }
 
-// Run drives the supervision loop until ctx is done. A leader has nothing
-// to supervise (its Source serves subscribers via Serve); a follower runs
-// sessions with leader-death detection, and keeps running as the leader
-// after promoting itself.
+// Run drives the supervision loop until ctx is done. A follower runs
+// sessions with leader-death detection and may promote itself; a leader
+// (boot-time or promoted) runs the self-probe loop, demoting itself in
+// place if it ever observes a higher epoch — a leader that never looked
+// again after boot could keep serving a regime the cluster has already
+// fenced. A demoted node parks read-only until the operator restarts it
+// (the restart runs the fenced-rejoin truncation in Decide).
 func (n *Node) Run(ctx context.Context) error {
 	n.mu.Lock()
 	role := n.role
@@ -302,8 +326,92 @@ func (n *Node) Run(ctx context.Context) error {
 	if role == server.RoleFollower {
 		n.followLoop(ctx)
 	}
+	n.mu.Lock()
+	role = n.role
+	n.mu.Unlock()
+	if role == server.RoleLeader {
+		n.leaderLoop(ctx)
+	}
 	<-ctx.Done()
 	return ctx.Err()
+}
+
+// leaderLoop is the active leader's self-supervision: probe the peers
+// every heartbeat interval and demote in place on any view of a higher
+// epoch. Returns when the node is no longer the leader or ctx is done.
+func (n *Node) leaderLoop(ctx context.Context) {
+	t := time.NewTicker(n.cfg.HeartbeatTimeout)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-n.quit:
+			return
+		case <-t.C:
+		}
+		n.mu.Lock()
+		role, epoch := n.role, n.epoch
+		n.mu.Unlock()
+		if role != server.RoleLeader {
+			return
+		}
+		for i, p := range n.cfg.Peers {
+			if i == n.cfg.Index || ctx.Err() != nil {
+				continue
+			}
+			m, err := Probe(p.Repl, n.cfg.DialTimeout)
+			if err != nil {
+				continue
+			}
+			if m.Epoch > epoch {
+				idx := -1
+				if server.ReplRole(m.Role) == server.RoleLeader {
+					idx = i
+				}
+				n.demote(m.Epoch, idx)
+				return
+			}
+		}
+	}
+}
+
+// demote fences this node out of leadership in place after it observed a
+// higher epoch: stop acking writes FIRST (read-only), then flip the role
+// and close the Source so every subscriber re-resolves the regime. The
+// local WAL is left untouched — its tail may hold an unshipped suffix in
+// the old stream's coordinates, and truncating requires a closed log — so
+// the sidecar keeps Role "leader" and the node serves reads and NOT_LEADER
+// redirects until a restart runs the fenced-rejoin path in Decide.
+func (n *Node) demote(higher uint64, leaderIdx int) {
+	n.cfg.Server.SetReadOnly(true)
+	n.mu.Lock()
+	if n.role != server.RoleLeader {
+		n.mu.Unlock()
+		return
+	}
+	n.role = server.RoleFollower
+	if higher > n.epoch {
+		n.epoch = higher
+	}
+	n.leaderIdx = leaderIdx
+	src := n.src
+	n.src = nil
+	n.mu.Unlock()
+
+	st := n.cfg.State
+	st.SetRole(server.RoleFollower)
+	st.SetEpoch(higher)
+	if leaderIdx >= 0 {
+		st.SetLeaderAddr(n.cfg.Peers[leaderIdx].Client)
+	} else {
+		st.SetLeaderAddr("")
+	}
+	st.NoteFencing()
+	if src != nil {
+		src.Close()
+	}
+	n.cfg.Logf("failover: demoted by epoch %d regime; serving reads only — restart this node to rejoin as a follower", higher)
 }
 
 // followLoop runs follower sessions against the believed leader,
@@ -328,16 +436,25 @@ func (n *Node) followLoop(ctx context.Context) {
 
 		var fenced *repl.Fenced
 		if errors.As(err, &fenced) {
-			// A newer regime exists: adopt it (Converge resets the cursor
-			// for the new leader's coordinate space) and chase its address.
-			if cerr := fol.Converge(fenced); cerr != nil {
-				n.cfg.Logf("failover: converge: %v", cerr)
+			if fenced.Epoch >= fol.Epoch() {
+				// A rejection from the current or a newer regime: adopt it
+				// (Converge resets the cursor for the new leader's
+				// coordinate space) and chase its advertised address.
+				if cerr := fol.Converge(fenced); cerr != nil {
+					n.cfg.Logf("failover: converge: %v", cerr)
+				}
+				n.noteEpoch(fol.Epoch())
+				if idx := n.peerByClient(fenced.Addr); idx >= 0 {
+					n.setLeader(idx)
+				}
+				productive = true
+			} else {
+				// A stale regime refused us. Its advertised leader is, at
+				// best, history — do NOT repoint at it, and do NOT treat the
+				// refusal as progress: let the heartbeat timeout run out and
+				// drive an election past the zombie.
+				n.cfg.Logf("failover: ignoring rejection from stale epoch %d (ours %d)", fenced.Epoch, fol.Epoch())
 			}
-			n.noteEpoch(fol.Epoch())
-			if idx := n.peerByClient(fenced.Addr); idx >= 0 {
-				n.setLeader(idx)
-			}
-			productive = true
 		}
 
 		if n.cfg.State.ContactAge() > n.cfg.HeartbeatTimeout {
@@ -444,7 +561,9 @@ func (n *Node) promote(maxEpochSeen uint64) bool {
 		n.cfg.Logf("failover: promotion aborted: sidecar: %v", err)
 		return false
 	}
-	src, err := n.newSource(newEpoch, pos.Inc, pos.Seq)
+	// No gate hold: promotion happens while the cluster is live, and the
+	// election just proved no higher regime exists among reachable peers.
+	src, err := n.newSource(newEpoch, pos.Inc, pos.Seq, false)
 	if err != nil {
 		n.cfg.Logf("failover: promotion aborted: source: %v", err)
 		return false
@@ -467,6 +586,11 @@ func (n *Node) promote(maxEpochSeen uint64) bool {
 	if t := n.cfg.Telemetry; t != nil {
 		t.ObservePromotion(time.Since(start))
 	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.announceRegime(newEpoch)
+	}()
 	n.cfg.Logf("failover: serving writes at epoch %d (takeover %v)", newEpoch, time.Since(start).Round(time.Millisecond))
 	return true
 }
@@ -487,6 +611,37 @@ func (n *Node) setLeader(idx int) {
 	n.leaderIdx = idx
 	n.mu.Unlock()
 	n.cfg.State.SetLeaderAddr(n.cfg.Peers[idx].Client)
+}
+
+// announcedLeader resolves a hello to a leader peer index: the sender must
+// claim the leader role and advertise a known client address. -1 otherwise.
+func (n *Node) announcedLeader(m *wire.ReplMsg) int {
+	if server.ReplRole(m.Role) != server.RoleLeader {
+		return -1
+	}
+	return n.peerByClient(m.Addr)
+}
+
+// announceRegime pushes one best-effort STATUS exchange at every peer so
+// they learn the new epoch now rather than at their next probe or stream
+// frame. The critical consumer is a stale ex-leader that resumed while
+// this election ran: the announcement demotes it before its gate waiver
+// can ack a write the new regime never saw.
+func (n *Node) announceRegime(epoch uint64) {
+	hello := wire.ReplMsg{
+		Kind:  wire.ReplStatus,
+		Role:  uint64(server.RoleLeader),
+		Epoch: epoch,
+		Addr:  n.cfg.Peers[n.cfg.Index].Client,
+	}
+	for i, p := range n.cfg.Peers {
+		if i == n.cfg.Index {
+			continue
+		}
+		if _, err := Announce(p.Repl, &hello, n.cfg.DialTimeout); err != nil {
+			n.cfg.Logf("failover: announcing epoch %d to %s: %v", epoch, p.Repl, err)
+		}
+	}
 }
 
 // peerByClient maps a client-facing address back to a peer index, -1 when

@@ -127,6 +127,7 @@ func RunFailover(cfg FailoverConfig) (*FailoverResult, error) {
 		res.Client.Redirects += stats[w].Redirects
 		res.Client.Reconnects += stats[w].Reconnects
 		res.Client.Hedges += stats[w].Hedges
+		res.Client.Uncertain += stats[w].Uncertain
 	}
 	for k := range acked {
 		res.Acked += acked[k]

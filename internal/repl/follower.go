@@ -75,9 +75,10 @@ type FollowerConfig struct {
 	State *server.ReplState
 	// Telemetry, when set, records per-batch apply latency. Optional.
 	Telemetry *server.Telemetry
-	// StateFile persists the Position cursor (JSON, temp+rename). A lost
-	// or stale-low cursor only costs a resend — replay is idempotent — so
-	// the sidecar needs no stronger guarantee than rename atomicity.
+	// StateFile persists the Position cursor (JSON, temp+fsync+rename).
+	// A lost or stale-low cursor only costs a resend — replay is
+	// idempotent — but the epoch it records feeds the bootstrap decision,
+	// so the write is made durable before the rename installs it.
 	StateFile string
 	// Boundary reports the follower's own Ordo uncertainty window in clock
 	// ticks, already widened for clock-health anomalies by the caller. The
@@ -303,9 +304,6 @@ func (f *Follower) Session(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
-		if st := f.cfg.State; st != nil {
-			st.NoteContact()
-		}
 		// The epoch fence, follower side: frames below the adopted epoch
 		// come from a fenced zombie leader and end the session; a higher
 		// epoch on any frame is the new regime announcing itself.
@@ -314,6 +312,13 @@ func (f *Follower) Session(ctx context.Context) error {
 				st.NoteFencing()
 			}
 			return fmt.Errorf("%w: %d < %d", errStaleFrame, m.Epoch, f.epoch)
+		}
+		// Only frames that prove live leader stewardship count as contact.
+		// Stale frames (above) and REJECTs are refusals, not heartbeats:
+		// counting them would keep resetting ContactAge and starve the
+		// election while a zombie leader keeps refusing us.
+		if st := f.cfg.State; st != nil && m.Kind != wire.ReplReject {
+			st.NoteContact()
 		}
 		// A higher epoch on a streamed frame is the new regime announcing
 		// itself — EXCEPT on a REJECT, whose epoch must reach Converge
@@ -408,7 +413,10 @@ func (f *Follower) applyBatch(m *wire.ReplMsg) error {
 	return nil
 }
 
-// persistPos writes the cursor sidecar atomically (temp + rename).
+// persistPos writes the cursor sidecar atomically (temp + fsync + rename).
+// A lost cursor only costs a resend, but the epoch it carries feeds the
+// bootstrap epoch max — fsyncing before the rename keeps a power failure
+// from installing a torn file in place of one that recorded a newer regime.
 func (f *Follower) persistPos() error {
 	if f.cfg.StateFile == "" {
 		return nil
@@ -419,7 +427,19 @@ func (f *Follower) persistPos() error {
 	}
 	f.posBuf = append(data, '\n')
 	tmp := f.cfg.StateFile + ".tmp"
-	if err := os.WriteFile(tmp, f.posBuf, 0o644); err != nil {
+	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := tf.Write(f.posBuf); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Close(); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, f.cfg.StateFile); err != nil {

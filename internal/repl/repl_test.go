@@ -1,9 +1,12 @@
 package repl_test
 
 import (
+	"bufio"
 	"context"
+	"errors"
 	"net"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -455,5 +458,158 @@ func TestSourceRequiresLog(t *testing.T) {
 	}
 	if _, err := repl.NewFollower(repl.FollowerConfig{}); err == nil {
 		t.Fatal("NewFollower accepted an empty config")
+	}
+}
+
+// TestStaleRejectNotContact pins the election-starvation fix: a zombie
+// leader refusing a newer follower with lower-epoch REJECTs is a fencing
+// event, not leader contact — counting it as contact would keep resetting
+// ContactAge and the heartbeat-timeout election would never fire.
+func TestStaleRejectNotContact(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer nc.Close()
+				if _, _, err := wire.ReadReplHello(bufio.NewReaderSize(nc, 4<<10), nil); err != nil {
+					return
+				}
+				rej := wire.ReplMsg{Kind: wire.ReplReject, Epoch: 1, Role: uint64(server.RoleLeader)}
+				p, err := wire.AppendReplMsg(nil, &rej)
+				if err != nil {
+					return
+				}
+				_ = wire.WriteReplFrame(nc, p)
+			}()
+		}
+	}()
+
+	dir := t.TempDir()
+	engine, err := db.New(db.OCC, testSchema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := wal.OpenFile(dir, wal.FileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	state := server.NewReplState(server.RoleFollower, 0, time.Second, 1<<20)
+	fol, err := repl.NewFollower(repl.FollowerConfig{
+		Addr:  ln.Addr().String(),
+		DB:    engine,
+		Log:   wal.New(dev, nil),
+		State: state,
+		Epoch: 5,
+		Logf:  t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const settled = 60 * time.Millisecond
+	time.Sleep(settled)
+	err = fol.Session(context.Background())
+	if err == nil {
+		t.Fatal("session against a stale-epoch zombie ended without error")
+	}
+	var fenced *repl.Fenced
+	if errors.As(err, &fenced) {
+		t.Fatalf("lower-epoch REJECT surfaced as Fenced (%v): converging on a stale regime", err)
+	}
+	if state.Fencings() == 0 {
+		t.Fatal("stale-epoch refusal not counted as a fencing event")
+	}
+	if age := state.ContactAge(); age < settled {
+		t.Fatalf("ContactAge %v < %v: the zombie's REJECT was counted as leader contact", age, settled)
+	}
+	if fol.Epoch() != 5 {
+		t.Fatalf("follower epoch moved to %d on a stale refusal", fol.Epoch())
+	}
+}
+
+// TestHoldAckGate pins the resumed-leader safety net: with HoldAckGate set,
+// the no-subscriber waiver of AckAdvance stays suppressed — a resumed
+// leader that may have been superseded must not ack writes only it holds —
+// until the first follower subscribes, after which the normal waiver rules
+// return for the rest of the Source's lifetime.
+func TestHoldAckGate(t *testing.T) {
+	dir := t.TempDir()
+	dev, err := wal.OpenFile(dir, wal.FileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	log := wal.New(dev, nil)
+	var mu sync.Mutex
+	var acks []uint64
+	src, err := repl.NewSource(repl.SourceConfig{
+		Dir:         dir,
+		Log:         log,
+		Incarnation: dev.Incarnation(),
+		AckAdvance: func(seq uint64) {
+			mu.Lock()
+			acks = append(acks, seq)
+			mu.Unlock()
+		},
+		HoldAckGate:    true,
+		WatermarkEvery: time.Hour, // keep heartbeat frames off the pipe
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	h := log.NewHandle()
+	h.AppendAt(1, []byte("x"))
+	if _, err := log.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	held := len(acks)
+	mu.Unlock()
+	if held != 0 {
+		t.Fatalf("held gate waived %d ack(s) with no subscriber", held)
+	}
+
+	// First subscriber arrives: registration releases the hold.
+	cli, srvConn := net.Pipe()
+	go src.ServeSubscriber(srvConn, bufio.NewReaderSize(srvConn, 4<<10), &wire.ReplMsg{Kind: wire.ReplSubscribe})
+	r := bufio.NewReaderSize(cli, 64<<10)
+	for i := 0; i < 2; i++ { // STATUS, then the backfilled batch
+		if _, _, err := wire.ReadReplHello(r, nil); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	// The follower dies without acking: the last-leaves waiver must fire
+	// now that the hold is released.
+	cli.Close()
+	waitFor(t, "last-leaves waiver", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(acks) > 0
+	})
+
+	// And a later no-subscriber flush waives normally.
+	mu.Lock()
+	before := len(acks)
+	mu.Unlock()
+	h.AppendAt(2, []byte("y"))
+	if _, err := log.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	after := len(acks)
+	mu.Unlock()
+	if after <= before {
+		t.Fatal("no-subscriber waiver still suppressed after the first subscription")
 	}
 }

@@ -77,6 +77,15 @@ type SourceConfig struct {
 	// wait for, and blocking every write would turn a follower outage into
 	// a total one. Optional.
 	AckAdvance func(seq uint64)
+	// HoldAckGate, when true, suppresses the no-subscriber waiver of
+	// AckAdvance until the FIRST follower subscribes. A leader resuming a
+	// regime after its own crash cannot tell "my followers have not
+	// re-subscribed yet" from "my followers promoted someone else while I
+	// was down" — waiving the gate in that window is how a stale resumed
+	// leader acks writes the surviving regime never sees. Once one
+	// follower has subscribed the normal waiver rules apply for the rest
+	// of the Source's lifetime.
+	HoldAckGate bool
 	// SendBuffer and WatermarkEvery default per the package constants.
 	SendBuffer     int
 	WatermarkEvery time.Duration
@@ -90,10 +99,11 @@ type SourceConfig struct {
 type Source struct {
 	cfg SourceConfig
 
-	mu      sync.Mutex
-	tailSeq uint64 // last LSN delivered by the sink (current incarnation)
-	subs    map[*subscriber]struct{}
-	closed  bool
+	mu       sync.Mutex
+	tailSeq  uint64 // last LSN delivered by the sink (current incarnation)
+	subs     map[*subscriber]struct{}
+	closed   bool
+	holdGate bool // no-subscriber waiver suppressed until first subscribe
 
 	quit chan struct{}
 	wg   sync.WaitGroup
@@ -149,9 +159,10 @@ func NewSource(cfg SourceConfig) (*Source, error) {
 		cfg.Logf = func(string, ...any) {}
 	}
 	s := &Source{
-		cfg:  cfg,
-		subs: make(map[*subscriber]struct{}),
-		quit: make(chan struct{}),
+		cfg:      cfg,
+		subs:     make(map[*subscriber]struct{}),
+		quit:     make(chan struct{}),
+		holdGate: cfg.HoldAckGate,
 	}
 	cfg.Log.SetSink(s)
 	return s, nil
@@ -170,7 +181,7 @@ func (s *Source) DeliverFlushed(recs []wal.Record) {
 	}
 	s.mu.Lock()
 	s.tailSeq = recs[len(recs)-1].LSN
-	waive := len(s.subs) == 0
+	waive := len(s.subs) == 0 && !s.holdGate
 	tail := s.tailSeq
 	for sub := range s.subs {
 		select {
@@ -262,6 +273,10 @@ func (s *Source) Close() {
 func (s *Source) register(sub *subscriber) (gate uint64, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// The first subscription ends any resume hold on the ack gate: from
+	// here on a real follower acks, and an empty subs set again means "the
+	// follower died", which the waiver exists for.
+	s.holdGate = false
 	if s.closed {
 		return 0, false
 	}

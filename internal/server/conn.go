@@ -706,8 +706,9 @@ func (c *serverConn) gather() uint64 {
 
 // waitDurable performs the run's single group-commit wait. On failure it
 // erases exactly the provisional ack tokens the lanes stamped, flipping
-// those writes to ERR: they committed in the in-memory engine but the log
-// could not honor them (DESIGN.md §10, wal_unacked_writes).
+// those writes to the failure's status: ERR for device failures (the log
+// could not honor them — DESIGN.md §10, wal_unacked_writes), UNCERTAIN
+// for a replication-ack timeout (durable locally, replication pending).
 func (c *serverConn) waitDurable(reqs []wire.Request, resps []wire.Response, maxSeq uint64) {
 	if maxSeq == 0 || c.srv.gc == nil {
 		return
@@ -723,10 +724,11 @@ func (c *serverConn) waitDurable(reqs []wire.Request, resps []wire.Response, max
 	if werr == nil {
 		return
 	}
+	status := wire.StatusOf(werr)
 	var flipped uint64
 	for i := range reqs {
 		if isWrite(reqs[i].Op) && resps[i].Status == wire.StatusOK && resps[i].TS != 0 {
-			resps[i] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr}
+			resps[i] = wire.Response{Kind: wire.RespEmpty, Status: status}
 			flipped++
 		}
 	}
@@ -915,7 +917,8 @@ func (c *serverConn) execTxnSingleLane(req *wire.Request, lane int) wire.Respons
 		}
 		if werr != nil {
 			c.srv.m.walUnackedWrites.Add(uint64(b.WalWrites))
-			return wire.Response{Kind: wire.RespBatch, Status: wire.StatusErr}
+			// ERR for device failure, UNCERTAIN for an ack timeout.
+			return wire.Response{Kind: wire.RespBatch, Status: wire.StatusOf(werr)}
 		}
 	}
 	return resp
@@ -991,7 +994,8 @@ func (c *serverConn) execTxnCrossWrite(req *wire.Request) wire.Response {
 			ts, werr := c.walCommitWrites(writes)
 			if werr != nil {
 				srv.m.walUnackedWrites.Add(uint64(len(writes)))
-				return wire.Response{Kind: wire.RespBatch, Status: wire.StatusErr}
+				// ERR for device failure, UNCERTAIN for an ack timeout.
+				return wire.Response{Kind: wire.RespBatch, Status: wire.StatusOf(werr)}
 			}
 			// The ack token rides the per-op sub-responses: RespBatch itself
 			// carries no TS on the wire.
@@ -1123,15 +1127,15 @@ func (c *serverConn) execStats() wire.Response {
 	c.srv.m.statsOps.Add(1)
 	m := &c.srv.m
 	st := &wire.Stats{
-		Protocol:        c.srv.cfg.DB.Protocol().String(),
-		Commits:         m.commits.Load(),
-		Aborts:          m.aborts.Load(),
-		Batches:         m.batches.Load(),
-		BatchedOps:      m.batchedOps.Load(),
-		Busy:            m.busy.Load(),
-		Degraded:        m.degraded.Load(),
-		ClockCmps:       m.clockCmps.Load(),
-		ClockUncertain:  m.clockUncertain.Load(),
+		Protocol:         c.srv.cfg.DB.Protocol().String(),
+		Commits:          m.commits.Load(),
+		Aborts:           m.aborts.Load(),
+		Batches:          m.batches.Load(),
+		BatchedOps:       m.batchedOps.Load(),
+		Busy:             m.busy.Load(),
+		Degraded:         m.degraded.Load(),
+		ClockCmps:        m.clockCmps.Load(),
+		ClockUncertain:   m.clockUncertain.Load(),
 		WALFlushes:       m.walFlushes.Load(),
 		WALRecords:       m.walRecords.Load(),
 		WALDeviceErrors:  m.walDeviceErrors.Load(),

@@ -19,10 +19,12 @@ var errWALClosed = errors.New("server: wal closed")
 
 // errReplAckTimeout reports a replication-gated write whose followers did
 // not acknowledge the covering flush within Config.ReplAckBound. The write
-// is locally durable but is answered ERR: under failover, an ack the
-// followers never saw could be lost by the very promotion the gate exists
-// to survive.
-var errReplAckTimeout = errors.New("server: follower ack timeout")
+// is locally durable but cannot be acked as committed: under failover, an
+// ack the followers never saw could be lost by the very promotion the gate
+// exists to survive. It wraps wire.ErrUncertain so the connection layer
+// answers UNCERTAIN — an ambiguous, retryable outcome — rather than ERR,
+// which clients treat as a definitive rejection.
+var errReplAckTimeout = fmt.Errorf("server: follower ack timeout: %w", wire.ErrUncertain)
 
 // replAckPoll is how often a replication-gated waiter rechecks its
 // deadline while parked on the condition variable.

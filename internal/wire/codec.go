@@ -302,7 +302,7 @@ func decodeResponse(b []byte, inBatch bool) (Response, []byte, error) {
 		return r, nil, fmt.Errorf("response header: %w", ErrTruncated)
 	}
 	r.Kind, r.Status = RespKind(b[0]), Status(b[1])
-	if r.Status > StatusNotLeader {
+	if r.Status > StatusUncertain {
 		return r, nil, fmt.Errorf("wire: unknown status %d", byte(r.Status))
 	}
 	b = b[2:]

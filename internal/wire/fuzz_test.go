@@ -29,6 +29,7 @@ func seedPayloads(t interface{ Fatal(...any) }) [][]byte {
 		{Kind: RespEmpty, Status: StatusNotYet, TS: 77},
 		{Kind: RespEmpty, Status: StatusNotLeader, TS: 0, Redirect: "127.0.0.1:7001"},
 		{Kind: RespEmpty, Status: StatusNotLeader},
+		{Kind: RespEmpty, Status: StatusUncertain},
 		{Kind: RespRow, Status: StatusOK, Row: []uint64{1, 2}},
 		{Kind: RespRow, Status: StatusOK, Row: []uint64{}},
 		{Kind: RespBatch, Status: StatusOK, Batch: []Response{

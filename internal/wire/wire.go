@@ -120,6 +120,14 @@ const (
 	// believes is the leader, so a resilient client can chase leadership
 	// without rescanning every endpoint.
 	StatusNotLeader
+	// StatusUncertain reports an ambiguous write outcome: the write is
+	// durably committed on this node but the replication-ack gate timed
+	// out before a follower confirmed it. The write usually survives
+	// failover (it replicates as soon as a follower reconnects), but the
+	// server cannot promise that yet. Clients should retry until they get
+	// a definitive answer; the data-path ops are safe to re-issue (PUT and
+	// DELETE are idempotent, a landed INSERT answers DUPLICATE).
+	StatusUncertain
 )
 
 // String returns the status code's wire-level name.
@@ -141,6 +149,8 @@ func (s Status) String() string {
 		return "NOT_YET"
 	case StatusNotLeader:
 		return "NOT_LEADER"
+	case StatusUncertain:
+		return "UNCERTAIN"
 	}
 	return fmt.Sprintf("Status(%d)", byte(s))
 }
@@ -157,6 +167,10 @@ var (
 	// ErrNotLeader is the client-side view of StatusNotLeader: the write
 	// was sent to a node that is not the current epoch's leader.
 	ErrNotLeader = errors.New("wire: not the leader")
+	// ErrUncertain is the client-side view of StatusUncertain: the write
+	// is durable locally but its replication was not confirmed in time,
+	// so the outcome is ambiguous until a retry gets a definitive answer.
+	ErrUncertain = errors.New("wire: write outcome uncertain (durable locally, replication unconfirmed)")
 )
 
 // StatusOf maps an engine error to its wire status. nil maps to StatusOK;
@@ -177,6 +191,8 @@ func StatusOf(err error) Status {
 		return StatusNotYet
 	case errors.Is(err, ErrNotLeader):
 		return StatusNotLeader
+	case errors.Is(err, ErrUncertain):
+		return StatusUncertain
 	}
 	return StatusErr
 }
@@ -199,6 +215,8 @@ func (s Status) Err() error {
 		return ErrNotYet
 	case StatusNotLeader:
 		return ErrNotLeader
+	case StatusUncertain:
+		return ErrUncertain
 	}
 	return ErrServer
 }

@@ -213,7 +213,7 @@ func TestDecodeRejects(t *testing.T) {
 // TestStatusRoundTrip checks both directions of the error mapping: every
 // status survives Err→StatusOf, and every engine error maps to its code.
 func TestStatusRoundTrip(t *testing.T) {
-	for s := StatusOK; s <= StatusNotYet; s++ {
+	for s := StatusOK; s <= StatusUncertain; s++ {
 		if got := StatusOf(s.Err()); got != s {
 			t.Errorf("StatusOf(%v.Err()) = %v", s, got)
 		}
