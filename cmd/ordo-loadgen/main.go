@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"ordo/internal/loadgen"
+	"ordo/internal/telemetry/span"
 )
 
 func main() {
@@ -68,6 +69,10 @@ func main() {
 		workers  = flag.Int("workers", 4, "failover-mode writer goroutines")
 		retryFor = flag.Duration("retry-for", 15*time.Second,
 			"failover-mode per-op retry budget; must exceed the cluster's failover time")
+		traceSample = flag.Float64("trace-sample", 0,
+			"fraction of requests stamped with a client-minted trace ID (server force-samples them; 0 disables)")
+		traceScrape = flag.String("trace-scrape", "",
+			"comma-separated admin endpoints whose /spans are scraped after the run for the per-stage latency breakdown")
 	)
 	flag.Parse()
 
@@ -111,6 +116,14 @@ func main() {
 		ReportEvery: *report,
 		ReportTo:    os.Stdout,
 		Replicas:    replicaAddrs,
+		TraceSample: *traceSample,
+	}
+	if *traceScrape != "" {
+		for _, a := range strings.Split(*traceScrape, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				cfg.TraceScrape = append(cfg.TraceScrape, a)
+			}
+		}
 	}
 	res, err := loadgen.Run(cfg)
 	if res != nil {
@@ -213,6 +226,21 @@ func printResult(cfg loadgen.Config, res *loadgen.Result) {
 		fmt.Printf("server [%s]: commits=%d aborts=%d batches=%d batched_ops=%d shed=%d clock_cmps=%d uncertain=%d\n",
 			s.Protocol, s.Commits, s.Aborts, s.Batches, s.BatchedOps,
 			s.Busy, s.ClockCmps, s.ClockUncertain)
+	}
+	if cfg.TraceSample > 0 {
+		fmt.Printf("traced: %d requests (sample %g)\n", res.Traced, cfg.TraceSample)
+	}
+	if res.Stages != nil {
+		fmt.Printf("per-stage breakdown (server-side spans):\n")
+		for st, name := range span.StageNames() {
+			h := &res.Stages[st]
+			if h.Count() == 0 {
+				continue
+			}
+			fmt.Printf("  %-11s n=%-7d p50=%-10v p99=%v\n", name, h.Count(),
+				time.Duration(h.Quantile(0.5)).Round(time.Microsecond),
+				time.Duration(h.Quantile(0.99)).Round(time.Microsecond))
+		}
 	}
 	for i := range res.Replicas {
 		r := &res.Replicas[i]

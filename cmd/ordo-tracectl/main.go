@@ -1,0 +1,241 @@
+// Command ordo-tracectl fetches distributed-tracing spans from every node
+// of an ordod cluster (admin /spans endpoints) and renders causally merged
+// per-trace timelines plus a per-stage latency breakdown.
+//
+// The merge is interval-ordered (DESIGN.md §16): two spans are sequenced
+// only when their Ordo uncertainty intervals [TS-Unc, TS+Unc] are disjoint;
+// overlapping spans are printed in deterministic presentation order and
+// flagged "~" for concurrent — the tool never invents an order the clocks
+// cannot support.
+//
+// Usage:
+//
+//	ordo-tracectl -nodes 127.0.0.1:7422,127.0.0.1:7424            # all traces
+//	ordo-tracectl -nodes ... -trace 00f3a9c1d2e4b586              # one trace
+//	ordo-tracectl -nodes ... -require-stitched                    # CI gate
+//
+// -require-stitched exits 1 unless at least one trace carries a repl_ship
+// span from one node AND a repl_apply span from a different node — the
+// proof that a client write was followed across the replication link.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ordo/internal/hist"
+	"ordo/internal/telemetry/span"
+)
+
+func main() {
+	var (
+		nodes    = flag.String("nodes", "", "comma-separated admin endpoints (host:port or http://host:port) to scrape /spans from")
+		traceHex = flag.String("trace", "", "render only this trace (16 hex digits)")
+		limit    = flag.Int("limit", 0, "per-node span fetch limit (0 = the node's whole ring)")
+		maxShow  = flag.Int("max-traces", 8, "full timelines to render when no -trace is given")
+		stitched = flag.Bool("require-stitched", false, "exit 1 unless some trace has ship and apply spans from different nodes")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-node HTTP timeout")
+	)
+	flag.Parse()
+	if *nodes == "" {
+		fmt.Fprintln(os.Stderr, "ordo-tracectl: -nodes is required")
+		os.Exit(2)
+	}
+	var trace span.TraceID
+	if *traceHex != "" {
+		v, err := strconv.ParseUint(*traceHex, 16, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ordo-tracectl: bad -trace %q: %v\n", *traceHex, err)
+			os.Exit(2)
+		}
+		trace = span.TraceID(v)
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	var all []span.Span
+	fetched := 0
+	for _, node := range strings.Split(*nodes, ",") {
+		node = strings.TrimSpace(node)
+		if node == "" {
+			continue
+		}
+		d, err := fetch(client, node, trace, *limit)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ordo-tracectl: %s: %v\n", node, err)
+			continue
+		}
+		fetched++
+		fmt.Printf("node %-22s now=%dns unc=%dns spans=%d (dropped %d of %d)\n",
+			d.Node, d.NowNS, d.UncNS, len(d.Spans), d.Dropped, d.Total)
+		all = append(all, d.Spans...)
+	}
+	if fetched == 0 {
+		fmt.Fprintln(os.Stderr, "ordo-tracectl: no node answered")
+		os.Exit(1)
+	}
+	if len(all) == 0 {
+		fmt.Println("no spans")
+		if *stitched {
+			fmt.Fprintln(os.Stderr, "ordo-tracectl: no stitched leader->follower trace found")
+			os.Exit(1)
+		}
+		return
+	}
+
+	byTrace := map[span.TraceID][]span.Span{}
+	for _, sp := range all {
+		byTrace[sp.Trace] = append(byTrace[sp.Trace], sp)
+	}
+	ids := make([]span.TraceID, 0, len(byTrace))
+	for id := range byTrace {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		return earliest(byTrace[ids[i]]) < earliest(byTrace[ids[j]])
+	})
+
+	fmt.Printf("\n%d spans across %d traces\n", len(all), len(ids))
+	shown := 0
+	var stitchedID span.TraceID
+	for _, id := range ids {
+		spans := byTrace[id]
+		if isStitched(spans) && stitchedID == 0 {
+			stitchedID = id
+		}
+		if trace != 0 || shown < *maxShow {
+			renderTimeline(id, spans)
+			shown++
+		}
+	}
+	if skipped := len(ids) - shown; skipped > 0 {
+		fmt.Printf("\n(%d more traces; rerun with -trace <id> or -max-traces)\n", skipped)
+	}
+
+	renderBreakdown(all)
+
+	if *stitched {
+		if stitchedID == 0 {
+			fmt.Fprintln(os.Stderr, "ordo-tracectl: no stitched leader->follower trace found")
+			os.Exit(1)
+		}
+		fmt.Printf("\nstitched leader->follower trace: %s\n", stitchedID)
+	}
+}
+
+// fetch pulls one node's /spans document.
+func fetch(c *http.Client, node string, trace span.TraceID, limit int) (*span.Dump, error) {
+	base := node
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	q := url.Values{}
+	if trace != 0 {
+		q.Set("trace", trace.String())
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	u := base + "/spans"
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	resp, err := c.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /spans: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var d span.Dump
+	if err := json.Unmarshal(body, &d); err != nil {
+		return nil, fmt.Errorf("GET /spans: %w", err)
+	}
+	return &d, nil
+}
+
+func earliest(spans []span.Span) uint64 {
+	lo := ^uint64(0)
+	for i := range spans {
+		if spans[i].TS < lo {
+			lo = spans[i].TS
+		}
+	}
+	return lo
+}
+
+// isStitched reports whether one trace proves the replication link: a ship
+// span from one node and an apply span from a different one.
+func isStitched(spans []span.Span) bool {
+	for i := range spans {
+		if spans[i].Stage != span.StageShip {
+			continue
+		}
+		for j := range spans {
+			if spans[j].Stage == span.StageApply && spans[j].Node != spans[i].Node {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// renderTimeline prints one trace's causally merged timeline. Offsets are
+// relative to the trace's earliest span; a leading "~" marks a span whose
+// interval overlaps its predecessor's — concurrent, not ordered.
+func renderTimeline(id span.TraceID, spans []span.Span) {
+	merged := span.Merge(spans)
+	base := earliest(spans)
+	fmt.Printf("\ntrace %s (%d spans):\n", id, len(merged))
+	for i := range merged {
+		m := &merged[i]
+		mark := " "
+		if m.Concurrent {
+			mark = "~"
+		}
+		lane := ""
+		if m.Lane >= 0 {
+			lane = fmt.Sprintf(" lane=%d", m.Lane)
+		}
+		dur := ""
+		if m.Dur > 0 {
+			dur = fmt.Sprintf(" dur=%v", time.Duration(m.Dur))
+		}
+		fmt.Printf("  %s +%-12v ±%-10v %-11s node=%s epoch=%d%s%s\n",
+			mark, time.Duration(m.TS-base), time.Duration(m.Unc), m.Stage, m.Node, m.Epoch, lane, dur)
+	}
+}
+
+// renderBreakdown aggregates stage durations (for stages with an extent)
+// across every fetched span and prints p50/p99/max per stage.
+func renderBreakdown(all []span.Span) {
+	hs := make([]hist.H, len(span.StageNames()))
+	for i := range all {
+		if all[i].Dur > 0 {
+			hs[all[i].Stage].Record(all[i].Dur)
+		}
+	}
+	fmt.Printf("\nper-stage latency breakdown:\n")
+	fmt.Printf("  %-11s %8s %12s %12s %12s\n", "stage", "count", "p50", "p99", "max")
+	for st, name := range span.StageNames() {
+		h := &hs[st]
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Printf("  %-11s %8d %12v %12v %12v\n", name, h.Count(),
+			time.Duration(h.Quantile(0.50)), time.Duration(h.Quantile(0.99)), time.Duration(h.Max()))
+	}
+}

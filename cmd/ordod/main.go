@@ -41,6 +41,7 @@ import (
 	"ordo/internal/repl"
 	"ordo/internal/server"
 	"ordo/internal/telemetry"
+	"ordo/internal/telemetry/span"
 	"ordo/internal/tsc"
 	"ordo/internal/wal"
 )
@@ -68,6 +69,8 @@ type options struct {
 	adminAddrFile string
 	slowOp        time.Duration
 	traceEvents   int
+	traceSample   float64
+	traceSpans    int
 
 	walDir       string
 	walSync      string
@@ -121,6 +124,10 @@ func main() {
 		"runs and WAL syncs slower than this are recorded in the event trace")
 	flag.IntVar(&o.traceEvents, "trace-events", telemetry.DefaultTraceEvents,
 		"event-trace ring capacity for /trace")
+	flag.Float64Var(&o.traceSample, "trace-sample", 0,
+		"distributed-tracing head-sampling probability in [0,1]; 0 disables tracing (requires -admin-addr for /spans)")
+	flag.IntVar(&o.traceSpans, "trace-spans", span.DefaultRingSpans,
+		"distributed-tracing span ring capacity for /spans")
 	flag.IntVar(&o.calRuns, "calibration-runs", 200, "clock-pair samples per calibration")
 	flag.StringVar(&o.walDir, "wal-dir", "",
 		"write-ahead log directory; enables durable serving with startup recovery (empty disables)")
@@ -363,6 +370,57 @@ func run(o options) error {
 		replState = server.NewReplState(role, tickHz, o.replLagBound, 0)
 	}
 
+	// Distributed tracing: one span ring per process, stamped with this
+	// node's name and fencing epoch, timed by the Ordo clock when one is
+	// calibrated (wall clock otherwise). Enabled before the server binds so
+	// the serving path's sampler is live from the first connection.
+	var spanRing *span.Ring
+	if o.traceSample > 0 {
+		if tel == nil {
+			return fmt.Errorf("-trace-sample requires -admin-addr (spans are served on /spans)")
+		}
+		rcfg := span.RingConfig{Node: o.addr, Size: o.traceSpans}
+		if hz := tsc.Frequency(); ordo != nil && hz != 0 {
+			// Span timestamps ride the kernel wall clock — the timebase every
+			// process on the host (and, NTP willing, every node) shares — with
+			// the calibrated Ordo boundary as the uncertainty half-width.
+			// Stamping raw ticks/Frequency() here instead would be a trap:
+			// each process measures its own hz, and that estimate's error is
+			// multiplied by the counter's full uptime, so two nodes' span
+			// clocks drift apart by hundreds of ms while still claiming the
+			// boundary's nanosecond-scale certainty. The conversion below is
+			// therefore only ever applied to short tick *deltas*.
+			//
+			// Split the conversion at the second so a counter that has run
+			// for years cannot overflow the ×1e9.
+			ticksNS := func(t uint64) uint64 {
+				return t/hz*1e9 + t%hz*1e9/hz
+			}
+			rcfg.Clock = func() (uint64, uint64) {
+				return uint64(time.Now().UnixNano()), ticksNS(uint64(ordo.Boundary()))
+			}
+			// Commit timestamps are engine ticks from moments ago: anchor at
+			// the current (wall, ticks) pair and subtract the delta, so the
+			// per-process frequency error acts on microseconds, not uptime.
+			rcfg.ConvTicks = func(t uint64) uint64 {
+				nowTicks, wall := uint64(ordo.GetTime()), uint64(time.Now().UnixNano())
+				if t > nowTicks {
+					return wall
+				}
+				if d := ticksNS(nowTicks - t); d < wall {
+					return wall - d
+				}
+				return 0
+			}
+		}
+		if replState != nil {
+			rcfg.Epoch = replState.Epoch
+		}
+		spanRing = span.NewRing(rcfg)
+		tel.EnableTracing(spanRing, o.traceSample)
+		log.Printf("tracing enabled: sample=%g spans=%d node=%s", o.traceSample, o.traceSpans, o.addr)
+	}
+
 	scfg := server.Config{
 		DB:           engine,
 		Schema:       schema,
@@ -408,6 +466,7 @@ func run(o options) error {
 			Incarnation: walDev.Incarnation(),
 			State:       replState,
 			Boundary:    boundary,
+			Spans:       spanRing,
 			Logf:        log.Printf,
 		})
 		if err != nil {
@@ -441,6 +500,7 @@ func run(o options) error {
 			Telemetry: tel,
 			StateFile: cursor,
 			Boundary:  boundary,
+			Spans:     spanRing,
 			Logf:      log.Printf,
 		})
 		if err != nil {
@@ -473,6 +533,7 @@ func run(o options) error {
 			Server:           srv,
 			State:            replState,
 			Telemetry:        tel,
+			Spans:            spanRing,
 			Boundary:         boundary,
 			Boot:             boot,
 			HeartbeatTimeout: o.heartbeatTimeout,
@@ -523,7 +584,7 @@ func run(o options) error {
 				return fmt.Errorf("-admin-addr-file: %w", err)
 			}
 		}
-		log.Printf("admin endpoint on http://%s (/metrics /healthz /varz /trace /debug/pprof/)", admin.Addr())
+		log.Printf("admin endpoint on http://%s (/metrics /healthz /varz /trace /spans /debug/pprof/)", admin.Addr())
 	}
 	closeAdmin := func() {
 		if admin == nil {

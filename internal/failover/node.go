@@ -13,6 +13,7 @@ import (
 	"ordo/internal/db"
 	"ordo/internal/repl"
 	"ordo/internal/server"
+	"ordo/internal/telemetry/span"
 	"ordo/internal/wal"
 	"ordo/internal/wire"
 )
@@ -46,6 +47,10 @@ type Config struct {
 	State *server.ReplState
 	// Telemetry records promotion takeover durations. Optional.
 	Telemetry *server.Telemetry
+	// Spans is the node's distributed-tracing span ring, handed to the
+	// replication Source (repl_ship spans) and Follower (repl_apply spans)
+	// across every role change. Optional.
+	Spans *span.Ring
 	// Boundary reports the local Ordo uncertainty window. Optional.
 	Boundary func() uint64
 	// Boot is the regime Decide fixed for this process.
@@ -160,6 +165,7 @@ func NewNode(cfg Config) (*Node, error) {
 			RetryEvery:  cfg.RetryEvery,
 			RetryMax:    cfg.RetryMax,
 			DialTimeout: cfg.DialTimeout,
+			Spans:       cfg.Spans,
 			Logf:        cfg.Logf,
 		})
 		if err != nil {
@@ -196,6 +202,7 @@ func (n *Node) newSource(epoch, prevInc, prevSeq uint64, holdAckGate bool) (*rep
 		Advertise:   n.cfg.Peers[n.cfg.Index].Client,
 		AckAdvance:  n.cfg.Server.NoteReplAck,
 		HoldAckGate: holdAckGate,
+		Spans:       n.cfg.Spans,
 		Logf:        n.cfg.Logf,
 	})
 }

@@ -13,14 +13,18 @@
 package loadgen
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
+	"net/http"
+	"strings"
 	"sync"
 	"time"
 
 	"ordo/internal/db/ycsb"
 	"ordo/internal/hist"
+	"ordo/internal/telemetry/span"
 	"ordo/internal/wire"
 )
 
@@ -78,6 +82,14 @@ type Config struct {
 	// counting NOT_YET answers and staleness violations and timing
 	// ack-to-visible latency (see replica.go).
 	Replicas []string
+	// TraceSample is the fraction of requests stamped with a client-minted
+	// trace ID (0 disables). The server force-samples a stamped request, so
+	// every stamped op yields a full server-side span set.
+	TraceSample float64
+	// TraceScrape lists admin endpoints ("host:port" or full URLs) whose
+	// /spans rings are scraped after the run to build Result.Stages — the
+	// per-stage latency breakdown the run report prints.
+	TraceScrape []string
 }
 
 // Result is one run's aggregated tallies.
@@ -96,6 +108,12 @@ type Result struct {
 	Server *wire.Stats
 	// Replicas holds one prober tally per configured follower.
 	Replicas []ReplicaResult
+	// Traced counts requests that carried a client-minted trace ID.
+	Traced uint64
+	// Stages is the per-stage server-side latency breakdown scraped from
+	// Config.TraceScrape after the run, indexed like span.StageNames();
+	// nil when no scrape targets were configured or none answered.
+	Stages []hist.H
 }
 
 // Overall merges every class histogram into one latency distribution.
@@ -123,6 +141,7 @@ type workerResult struct {
 	done      uint64 // ops completed OK
 	conflicts uint64 // CONFLICT answers (re-issued)
 	busy      uint64 // BUSY answers (re-issued)
+	traced    uint64 // requests stamped with a trace ID
 	err       error
 
 	// reporting turns on tick recording; set once before the worker starts.
@@ -180,8 +199,9 @@ func Run(cfg Config) (*Result, error) {
 				results[i].err = err
 				return
 			}
+			sampler := span.NewSampler(cfg.TraceSample, uint64(cfg.Seed)+uint64(i)+1)
 			results[i].err = runConn(cfg.Addr, gen, &results[i],
-				cfg.Window, cfg.Ops, deadline, cfg.TxnOps, cfg.OpTimeout)
+				cfg.Window, cfg.Ops, deadline, cfg.TxnOps, cfg.OpTimeout, sampler)
 		}(i)
 	}
 	var stopReport, reportDone chan struct{}
@@ -216,10 +236,12 @@ func Run(cfg Config) (*Result, error) {
 		res.Done += results[i].done
 		res.Conflicts += results[i].conflicts
 		res.Busy += results[i].busy
+		res.Traced += results[i].traced
 		for c := 0; c < NClasses; c++ {
 			res.Hists[c].Merge(&results[i].hists[c])
 		}
 	}
+	res.Stages = scrapeStages(cfg.TraceScrape, cfg.OpTimeout)
 
 	// Close with the server's own view of the run.
 	if nc, err := dialRetry(cfg.Addr, cfg.DialFor); err == nil {
@@ -358,7 +380,8 @@ type pendingOp struct {
 // runConn is one closed-loop connection: keep the pipeline full, read one
 // response, classify it, refill.
 func runConn(addr string, gen *ycsb.Gen, res *workerResult,
-	window, ops int, deadline time.Time, txnOps int, opTO time.Duration) error {
+	window, ops int, deadline time.Time, txnOps int, opTO time.Duration,
+	sampler span.Sampler) error {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
@@ -367,18 +390,29 @@ func runConn(addr string, gen *ycsb.Gen, res *workerResult,
 	c := wire.NewConn(deadlineConn{nc, opTO})
 
 	mkReq := func() (wire.Request, int) {
+		var r wire.Request
+		class := ClassTxn
 		if txnOps > 0 {
 			sub := make([]wire.Request, txnOps)
 			for i := range sub {
 				sub[i] = simpleReq(gen)
 			}
-			return wire.Request{Op: wire.OpTxn, Ops: sub}, ClassTxn
+			r = wire.Request{Op: wire.OpTxn, Ops: sub}
+		} else {
+			r = simpleReq(gen)
+			class = ClassPut
+			if r.Op == wire.OpGet {
+				class = ClassGet
+			}
 		}
-		r := simpleReq(gen)
-		if r.Op == wire.OpGet {
-			return r, ClassGet
+		// A client-minted trace ID rides the top-level frame only (the wire
+		// layer forbids the flag on TXN sub-ops) and force-samples the
+		// request server-side; re-issues keep the same ID.
+		if id, ok := sampler.Sample(); ok {
+			r.Trace = uint64(id)
+			res.traced++
 		}
-		return r, ClassPut
+		return r, class
 	}
 
 	timed := !deadline.IsZero()
@@ -444,6 +478,53 @@ func runConn(addr string, gen *ycsb.Gen, res *workerResult,
 			return fmt.Errorf("op %v answered %v", p.req.Op, resp.Status)
 		}
 	}
+}
+
+// scrapeStages fetches /spans from each admin endpoint and folds every
+// span with an extent into a per-stage latency histogram, indexed like
+// span.StageNames(). Unreachable endpoints are skipped — the breakdown is
+// a post-run report, not a correctness gate. Returns nil when no endpoint
+// was configured or none answered.
+func scrapeStages(endpoints []string, timeout time.Duration) []hist.H {
+	if len(endpoints) == 0 {
+		return nil
+	}
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	client := &http.Client{Timeout: timeout}
+	var hs []hist.H
+	for _, ep := range endpoints {
+		base := strings.TrimSpace(ep)
+		if base == "" {
+			continue
+		}
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		resp, err := client.Get(base + "/spans")
+		if err != nil {
+			continue
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		var d span.Dump
+		if err := json.Unmarshal(body, &d); err != nil {
+			continue
+		}
+		if hs == nil {
+			hs = make([]hist.H, len(span.StageNames()))
+		}
+		for i := range d.Spans {
+			if sp := &d.Spans[i]; sp.Dur > 0 && int(sp.Stage) < len(hs) {
+				hs[sp.Stage].Record(sp.Dur)
+			}
+		}
+	}
+	return hs
 }
 
 // simpleReq draws one GET or PUT from the generator.

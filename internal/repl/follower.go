@@ -15,6 +15,7 @@ import (
 
 	"ordo/internal/db"
 	"ordo/internal/server"
+	"ordo/internal/telemetry/span"
 	"ordo/internal/wal"
 	"ordo/internal/wire"
 )
@@ -75,6 +76,11 @@ type FollowerConfig struct {
 	State *server.ReplState
 	// Telemetry, when set, records per-batch apply latency. Optional.
 	Telemetry *server.Telemetry
+	// Spans, when set, records a repl_apply span for every traced record
+	// after it is durable locally and replayed into the engine — the stamp
+	// a cross-node merger joins against the leader's repl_ship span.
+	// Optional.
+	Spans *span.Ring
 	// StateFile persists the Position cursor (JSON, temp+fsync+rename).
 	// A lost or stale-low cursor only costs a resend — replay is
 	// idempotent — but the epoch it records feeds the bootstrap decision,
@@ -409,6 +415,23 @@ func (f *Follower) applyBatch(m *wire.ReplMsg) error {
 	f.publishWatermark()
 	if t := f.cfg.Telemetry; t != nil {
 		t.ObserveReplApply(time.Since(start))
+	}
+	// Apply spans stamp the point where the record is both durable locally
+	// and visible to reads — Dur covers the whole batch's append+flush+
+	// replay, so per-record cost attribution stays honest about batching.
+	if ring := f.cfg.Spans; ring != nil {
+		var now, unc uint64
+		for i := range m.Recs {
+			r := &m.Recs[i]
+			if r.Trace == 0 {
+				continue
+			}
+			if now == 0 {
+				now, unc = ring.Now()
+			}
+			ring.Record(span.Span{Trace: span.TraceID(r.Trace), Stage: span.StageApply,
+				TS: now, Unc: unc, Dur: uint64(time.Since(start)), Lane: -1})
+		}
 	}
 	return nil
 }

@@ -14,6 +14,8 @@ import (
 	"ordo/internal/faultnet"
 	"ordo/internal/repl"
 	"ordo/internal/server"
+	"ordo/internal/telemetry"
+	"ordo/internal/telemetry/span"
 	"ordo/internal/wal"
 	"ordo/internal/wire"
 )
@@ -42,8 +44,10 @@ type leaderHarness struct {
 
 // startLeader boots a leader. replAddr is the replication listen address —
 // "127.0.0.1:0" for a fresh pick, or a previous harness's replAddr so a
-// restarted leader comes back where its followers expect it.
-func startLeader(t *testing.T, dir string, faults faultnet.Config, replAddr string) *leaderHarness {
+// restarted leader comes back where its followers expect it. A non-nil
+// ring enables distributed tracing: the serving core captures spans for
+// client-stamped requests and the Source records repl_ship spans into it.
+func startLeader(t *testing.T, dir string, faults faultnet.Config, replAddr string, ring *span.Ring) *leaderHarness {
 	t.Helper()
 	engine, err := db.New(db.OCC, testSchema, nil)
 	if err != nil {
@@ -68,17 +72,24 @@ func startLeader(t *testing.T, dir string, faults faultnet.Config, replAddr stri
 		Incarnation:    dev.Incarnation(),
 		State:          state,
 		WatermarkEvery: 20 * time.Millisecond,
+		Spans:          ring,
 		Logf:           t.Logf,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	var tel *server.Telemetry
+	if ring != nil {
+		tel = server.NewTelemetry(telemetry.NewRegistry(), telemetry.NewTracer(64), time.Second)
+		tel.EnableTracing(ring, 0)
+	}
 	srv, err := server.New(server.Config{
-		DB:     engine,
-		Schema: testSchema,
-		WAL:    log,
-		Repl:   state,
-		Logf:   t.Logf,
+		DB:        engine,
+		Schema:    testSchema,
+		WAL:       log,
+		Repl:      state,
+		Telemetry: tel,
+		Logf:      t.Logf,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -135,7 +146,9 @@ type followerHarness struct {
 	serveDone chan error
 }
 
-func startFollower(t *testing.T, dir, leaderAddr string) *followerHarness {
+// startFollower boots a follower tailing leaderAddr. A non-nil ring makes
+// the apply loop record repl_apply spans for traced records.
+func startFollower(t *testing.T, dir, leaderAddr string, ring *span.Ring) *followerHarness {
 	t.Helper()
 	engine, err := db.New(db.OCC, testSchema, nil)
 	if err != nil {
@@ -161,6 +174,7 @@ func startFollower(t *testing.T, dir, leaderAddr string) *followerHarness {
 		State:      state,
 		StateFile:  filepath.Join(dir, "cursor.json"),
 		RetryEvery: 20 * time.Millisecond,
+		Spans:      ring,
 		Logf:       t.Logf,
 	})
 	if err != nil {
@@ -306,8 +320,8 @@ func TestReplicationEndToEnd(t *testing.T) {
 		PartialProb: 0.15, ChunkDelay: time.Millisecond,
 		ResetProb: 0.002,
 	}
-	leader := startLeader(t, ldir, faults, "127.0.0.1:0")
-	follower := startFollower(t, fdir, leader.replAddr)
+	leader := startLeader(t, ldir, faults, "127.0.0.1:0", nil)
+	follower := startFollower(t, fdir, leader.replAddr, nil)
 
 	const phase1 = 400
 	acked := pump(t, leader.addr, 0, phase1)
@@ -391,7 +405,7 @@ func TestReplicationEndToEnd(t *testing.T) {
 	const phase2 = 200
 	acked2 := pump(t, leader.addr, 1_000_000, phase2)
 
-	follower = startFollower(t, fdir, leader.replAddr)
+	follower = startFollower(t, fdir, leader.replAddr, nil)
 	if got := follower.fol.Position(); got != preRestart {
 		t.Fatalf("restarted follower resumed from %+v, want durable cursor %+v", got, preRestart)
 	}
@@ -410,7 +424,7 @@ func TestReplicationEndToEnd(t *testing.T) {
 	}
 	replAddr := leader.replAddr
 	leader.stop()
-	leader = startLeader(t, ldir, faults, replAddr)
+	leader = startLeader(t, ldir, faults, replAddr, nil)
 	acked3 := pump(t, leader.addr, 2_000_000, phase2)
 	verify(follower.addr, acked3)
 
@@ -426,8 +440,8 @@ func TestReplicationEndToEnd(t *testing.T) {
 // and a healthy one does not.
 func TestFollowerLagHealth(t *testing.T) {
 	ldir, fdir := t.TempDir(), t.TempDir()
-	leader := startLeader(t, ldir, faultnet.Config{}, "127.0.0.1:0")
-	follower := startFollower(t, fdir, leader.replAddr)
+	leader := startLeader(t, ldir, faultnet.Config{}, "127.0.0.1:0", nil)
+	follower := startFollower(t, fdir, leader.replAddr, nil)
 
 	pump(t, leader.addr, 0, 50)
 	waitFor(t, "follower contact", func() bool { return follower.state.AppliedRecords() > 0 })

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"ordo/internal/server"
+	"ordo/internal/telemetry/span"
 	"ordo/internal/wal"
 	"ordo/internal/wire"
 )
@@ -89,6 +90,11 @@ type SourceConfig struct {
 	// SendBuffer and WatermarkEvery default per the package constants.
 	SendBuffer     int
 	WatermarkEvery time.Duration
+	// Spans, when set, records a repl_ship span for every traced record
+	// handed to a subscriber on the live feed. Backfill records come from
+	// disk, where trace IDs are not persisted, so they never ship spans.
+	// Optional.
+	Spans *span.Ring
 	// Logf receives operational messages. Optional.
 	Logf func(format string, args ...any)
 }
@@ -552,15 +558,35 @@ func (s *Source) sendLive(w *frameWriter, recs []wal.Record) error {
 			}
 		}
 		batch = append(batch, wire.ReplRecord{
-			Seq:  r.LSN,
-			TS:   r.TS,
-			H:    uint32(r.H),
-			HSeq: r.Seq,
-			Data: r.Data,
+			Seq:   r.LSN,
+			TS:    r.TS,
+			H:     uint32(r.H),
+			HSeq:  r.Seq,
+			Trace: r.Trace,
+			Data:  r.Data,
 		})
 		bytes += len(r.Data)
 	}
-	return flush()
+	if err := flush(); err != nil {
+		return err
+	}
+	// Ship spans are recorded after the frames are on the socket, so the
+	// span's timestamp bounds when the bytes actually left this node. One
+	// clock read covers the whole delivery.
+	if ring := s.cfg.Spans; ring != nil {
+		var now, unc uint64
+		for i := range recs {
+			if recs[i].Trace == 0 {
+				continue
+			}
+			if now == 0 {
+				now, unc = ring.Now()
+			}
+			ring.Record(span.Span{Trace: span.TraceID(recs[i].Trace), Stage: span.StageShip,
+				TS: now, Unc: unc, Lane: -1})
+		}
+	}
+	return nil
 }
 
 func (s *Source) sendWatermark(w *frameWriter) error {

@@ -1,0 +1,186 @@
+package repl_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"ordo/internal/faultnet"
+	"ordo/internal/telemetry/span"
+	"ordo/internal/wire"
+)
+
+// tracedPump writes n client-stamped traced INSERTs (trace IDs base+1..base+n,
+// one per key) through a single connection, retrying BUSY/CONFLICT under the
+// same trace ID, and returns the trace IDs that were acked.
+func tracedPump(t *testing.T, addr string, keyBase, traceBase uint64, n int) []span.TraceID {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	c := wire.NewConn(nc)
+	ids := make([]span.TraceID, 0, n)
+	for i := 0; i < n; i++ {
+		id := traceBase + uint64(i) + 1
+		req := wire.Request{
+			Op: wire.OpInsert, Key: keyBase + uint64(i),
+			Vals:  []uint64{uint64(i), uint64(i) + 1},
+			Trace: id,
+		}
+		for {
+			if err := c.WriteRequest(&req); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			r, err := c.ReadResponse()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Status == wire.StatusBusy || r.Status == wire.StatusConflict {
+				continue
+			}
+			if r.Status != wire.StatusOK {
+				t.Fatalf("traced insert key %d: %v", req.Key, r.Status)
+			}
+			break
+		}
+		ids = append(ids, span.TraceID(id))
+	}
+	return ids
+}
+
+// TestTracedWriteStitchedAcrossChoppedLink is the cross-node half of the
+// tracing acceptance: client-stamped writes flow through a leader whose
+// replication link is chopped by faultnet (partial writes, delays, injected
+// resets), and the trace must still stitch across nodes — a repl_ship span
+// in the leader's ring and a repl_apply span in the follower's ring under
+// the same trace ID, with the merged interval order never claiming the
+// apply certainly preceded the ship.
+//
+// Records that cross the link via backfill (after an injected reset) lose
+// their trace IDs by design — the WAL's disk format does not persist
+// traces — so the test requires that *live-fed* traces stitch, not all of
+// them.
+func TestTracedWriteStitchedAcrossChoppedLink(t *testing.T) {
+	ldir, fdir := t.TempDir(), t.TempDir()
+	leaderRing := span.NewRing(span.RingConfig{Node: "leader"})
+	followerRing := span.NewRing(span.RingConfig{Node: "follower"})
+	faults := faultnet.Config{
+		Seed:        7,
+		LatencyProb: 0.05, MaxLatency: 2 * time.Millisecond,
+		PartialProb: 0.3, ChunkDelay: time.Millisecond,
+		ResetProb: 0.002,
+	}
+	leader := startLeader(t, ldir, faults, "127.0.0.1:0", leaderRing)
+	defer leader.stop()
+	follower := startFollower(t, fdir, leader.replAddr, followerRing)
+	defer follower.stop()
+
+	// Prime the link with one untraced write and wait for it to apply, so
+	// the follower is known to be on the live feed (which carries trace IDs)
+	// before the traced writes go in — a cold subscriber would take them
+	// through backfill, which drops traces by design.
+	pump(t, leader.addr, 2_000_000, 1)
+	waitFor(t, "follower subscription", func() bool { return follower.state.AppliedRecords() >= 1 })
+
+	const nTraced, nPlain = 60, 40
+	const traceBase = 0x7ace_0000_0000_0000
+	ids := tracedPump(t, leader.addr, 0, traceBase, nTraced)
+	plain := pump(t, leader.addr, 1_000_000, nPlain) // untraced control group
+
+	// Pipelined pumps batch many ops into one WAL record, so record counts
+	// are not op counts; the applied *timestamp* covering the last acked
+	// durability token is what proves every earlier record landed too.
+	var maxTok uint64
+	for _, w := range plain {
+		if w.token > maxTok {
+			maxTok = w.token
+		}
+	}
+	waitFor(t, "follower to apply every acked write", func() bool {
+		return follower.state.AppliedTS() >= maxTok
+	})
+
+	traced := make(map[span.TraceID]bool, len(ids))
+	for _, id := range ids {
+		traced[id] = true
+	}
+
+	// The follower ring must hold apply spans only for our traced writes —
+	// the untraced control group must not leak spans.
+	fDump := followerRing.Dump(0, 0)
+	for i := range fDump.Spans {
+		sp := &fDump.Spans[i]
+		if !traced[sp.Trace] {
+			t.Fatalf("follower ring holds span for unknown trace: %+v", sp)
+		}
+		if sp.Stage != span.StageApply {
+			t.Fatalf("follower ring holds non-apply stage %v", sp.Stage)
+		}
+		if sp.Node != "follower" {
+			t.Fatalf("follower span stamped node %q", sp.Node)
+		}
+	}
+
+	// Every trace with both a leader ship span and a follower apply span is
+	// stitched; the chopped link may have pushed a few through backfill, but
+	// a run where nothing stitched means the feature is broken.
+	stitched := 0
+	for _, id := range ids {
+		var ship, apply *span.Span
+		lDump := leaderRing.Dump(id, 0)
+		for i := range lDump.Spans {
+			if lDump.Spans[i].Stage == span.StageShip {
+				ship = &lDump.Spans[i]
+			}
+		}
+		aDump := followerRing.Dump(id, 0)
+		for i := range aDump.Spans {
+			if aDump.Spans[i].Stage == span.StageApply {
+				apply = &aDump.Spans[i]
+			}
+		}
+		if ship == nil || apply == nil {
+			continue
+		}
+		stitched++
+		// The ship happened before the apply in real time on one host, so
+		// the interval order must never claim the opposite with certainty.
+		if span.Compare(apply, ship) == -1 {
+			t.Fatalf("trace %s: merge claims apply [%d±%d] certainly before ship [%d±%d]",
+				id, apply.TS, apply.Unc, ship.TS, ship.Unc)
+		}
+		// And the causal merge of the cross-node span set keeps the pair in
+		// ship→apply (or concurrent) presentation order.
+		merged := span.Merge(append(lDump.Spans, aDump.Spans...))
+		shipPos, applyPos := -1, -1
+		for i := range merged {
+			switch merged[i].Stage {
+			case span.StageShip:
+				shipPos = i
+			case span.StageApply:
+				applyPos = i
+			}
+		}
+		if shipPos == -1 || applyPos == -1 {
+			t.Fatalf("trace %s: merge lost a span (ship=%d apply=%d)", id, shipPos, applyPos)
+		}
+		if applyPos < shipPos && !merged[applyPos].Concurrent && !merged[shipPos].Concurrent {
+			t.Fatalf("trace %s: merge ordered apply (pos %d) before ship (pos %d) with disjoint intervals",
+				id, applyPos, shipPos)
+		}
+	}
+	if stitched == 0 {
+		t.Fatalf("no trace stitched across the link (%d traced writes acked)", len(ids))
+	}
+	t.Logf("stitched %d/%d traces across the chopped link", stitched, len(ids))
+
+	// The chaos must not have been vacuous.
+	if st := leader.faultLn.Stats(); st.Partials == 0 && st.Delays == 0 {
+		t.Fatalf("faultnet injected nothing: %+v", st)
+	}
+}

@@ -6,9 +6,11 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"ordo/internal/telemetry"
+	"ordo/internal/telemetry/span"
 )
 
 // NewAdminHandler builds ordod's admin mux over one server:
@@ -17,7 +19,12 @@ import (
 //	/healthz       JSON liveness: 200 while serving, 503 when the WAL
 //	               device failed (reads-only) or a drain is in progress
 //	/varz          the full Snapshot() JSON document
-//	/trace         the event tracer's ring dump
+//	/trace         the event tracer's ring dump; ?kind= and ?limit=
+//	               filter server-side, ?since_ns= is the poll cursor
+//	               (pass back the previous dump's now_ns)
+//	/spans         the distributed-tracing span ring (404 when tracing
+//	               is off); ?trace=<16-hex-digit id> filters to one
+//	               trace, ?limit= keeps the newest N
 //	/debug/pprof/  the standard profiles, on this mux only — the admin
 //	               port works in binaries that never touch DefaultServeMux
 //
@@ -46,7 +53,60 @@ func NewAdminHandler(s *Server) http.Handler {
 		if s.cfg.Telemetry != nil {
 			tr = s.cfg.Telemetry.tracer
 		}
-		body, err := tr.DumpJSON() // nil tracer dumps an empty document
+		q := r.URL.Query()
+		var sinceNS int64
+		if v := q.Get("since_ns"); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since_ns: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			sinceNS = n
+		}
+		limit := 0
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				http.Error(w, "bad limit: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		// nil tracer dumps an empty document
+		body, err := tr.FilteredDumpJSON(q.Get("kind"), sinceNS, limit)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		ring := s.spanRing()
+		if ring == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		q := r.URL.Query()
+		var trace span.TraceID
+		if v := q.Get("trace"); v != "" {
+			id, err := strconv.ParseUint(v, 16, 64)
+			if err != nil {
+				http.Error(w, "bad trace id: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			trace = span.TraceID(id)
+		}
+		limit := 0
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				http.Error(w, "bad limit: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		body, err := ring.DumpJSON(trace, limit)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return

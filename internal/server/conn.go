@@ -14,6 +14,7 @@ import (
 	"ordo/internal/core"
 	"ordo/internal/db"
 	"ordo/internal/shard"
+	"ordo/internal/telemetry/span"
 	"ordo/internal/wal"
 	"ordo/internal/wire"
 )
@@ -124,6 +125,24 @@ type serverConn struct {
 	laneMark []bool
 	tsV1     []uint64
 	tsV2     []uint64
+	// Span capture (DESIGN.md §16). spans is the node's ring, cached from
+	// Telemetry at accept (nil disables capture entirely); sampler mints
+	// this worker's head-sampling decisions. spanBuf is fixed scratch the
+	// worker fills speculatively every run — clock reads and struct stores
+	// only, so the sampling-off serve path stays zero-alloc — and publishes
+	// to the ring only when the run turns out sampled or force-traced.
+	// spanTrace is the run's trace ID (0 = unsampled), spanForce marks a
+	// run that must trace regardless of the head decision (slow, ERR or
+	// UNCERTAIN outcome, cross-shard, decode failure), runStartNS anchors
+	// the decode span's duration.
+	spans      *span.Ring
+	sampler    span.Sampler
+	spanBuf    [6]span.Span
+	spanN      int
+	spanTrace  span.TraceID
+	spanForce  bool
+	runStartNS uint64
+
 	// protoFatal is set by the worker when a well-framed payload fails to
 	// decode: the decoded prefix was served, the bad op answered ERR, and
 	// nothing past it can be trusted, so the connection must close after a
@@ -158,6 +177,10 @@ func newServerConn(s *Server, nc net.Conn) *serverConn {
 	}
 	if s.cfg.Telemetry != nil {
 		c.tel = s.cfg.Telemetry.newConnShards()
+		if ring := s.cfg.Telemetry.spans; ring != nil {
+			c.spans = ring
+			c.sampler = s.cfg.Telemetry.newSampler()
+		}
 	}
 	n := s.lanes.N()
 	c.ports = s.lanes.NewPorts()
@@ -178,6 +201,7 @@ func (c *serverConn) laneBatch(lane int) *shard.Batch {
 		c.lbatch[lane] = b
 	}
 	b.Seq, b.WalWrites, b.Err, b.Panicked = 0, 0, nil, false
+	b.Trace = uint64(c.spanTrace)
 	return b
 }
 
@@ -277,11 +301,9 @@ func (c *serverConn) readLoop() {
 			c.finishRead()
 			return
 		}
-		var op wire.Op
-		if len(payload) > 0 {
-			op = wire.Op(payload[0])
-		}
-		c.enqueue(item{payload: payload, op: op})
+		// PeekOp masks the trace flag: a traced op must classify into the
+		// same run kind as its untraced form.
+		c.enqueue(item{payload: payload, op: wire.PeekOp(payload)})
 	}
 }
 
@@ -379,14 +401,22 @@ func (c *serverConn) workLoop() {
 		var start time.Time
 		if c.tel != nil {
 			start = time.Now()
+			var maxWait time.Duration
 			for i := range run {
-				c.tel.wait.ObserveDuration(start.Sub(run[i].enq))
+				w := start.Sub(run[i].enq)
+				c.tel.wait.ObserveDuration(w)
+				if w > maxWait {
+					maxWait = w
+				}
 			}
+			c.beginRunSpans(maxWait)
 		}
 		c.armWriteDeadline()
 		err := c.runOne(run)
 		if c.tel != nil {
-			c.observeRun(run, time.Since(start))
+			d := time.Since(start)
+			c.finishRunSpans(d)
+			c.observeRun(run, d)
 		}
 		protoErrTail := run[len(run)-1].protoErr
 		c.recycleRun(run)
@@ -517,6 +547,98 @@ func (c *serverConn) flushSessionStats() {
 	}
 }
 
+// beginRunSpans starts one run's speculative span capture: reset the
+// scratch and record the queue span (wait already measured by the caller).
+// Everything here is clock reads and stores into fixed scratch — the
+// sampling decision has not been made yet, and when the run stays
+// unsampled the scratch is simply abandoned, so this costs no allocation.
+func (c *serverConn) beginRunSpans(wait time.Duration) {
+	if c.spans == nil {
+		return
+	}
+	c.spanTrace, c.spanForce = 0, false
+	now, unc := c.spans.Now()
+	c.runStartNS = now
+	c.spanBuf[0] = span.Span{Stage: span.StageQueue, TS: now, Unc: unc, Dur: uint64(wait), Lane: -1}
+	c.spanN = 1
+}
+
+// noteDecodeSpans records the decode span and makes the run's head-based
+// sampling decision: a client-stamped trace ID wins (and forces the
+// trace); otherwise the worker's sampler decides. Called by process once
+// the run is decoded — before execution, so lane batches can carry the ID.
+func (c *serverConn) noteDecodeSpans(reqs []wire.Request) {
+	if c.spans == nil || c.spanN == 0 {
+		return
+	}
+	now, unc := c.spans.Now()
+	var dur uint64
+	if now > c.runStartNS {
+		dur = now - c.runStartNS
+	}
+	c.spanBuf[c.spanN] = span.Span{Stage: span.StageDecode, TS: now, Unc: unc, Dur: dur, Lane: -1}
+	c.spanN++
+	for i := range reqs {
+		if reqs[i].Trace != 0 {
+			c.spanTrace = span.TraceID(reqs[i].Trace)
+			c.spanForce = true
+			return
+		}
+	}
+	if id, ok := c.sampler.Sample(); ok {
+		c.spanTrace = id
+	}
+}
+
+// noteSpan appends one stage point to the run's span scratch.
+func (c *serverConn) noteSpan(stage span.Stage, dur time.Duration) {
+	if c.spans == nil || c.spanN == 0 || c.spanN >= len(c.spanBuf) {
+		return
+	}
+	now, unc := c.spans.Now()
+	c.spanBuf[c.spanN] = span.Span{Stage: stage, TS: now, Unc: unc, Dur: uint64(dur), Lane: -1}
+	c.spanN++
+}
+
+// forceTrace ensures the current run has a trace ID and will publish its
+// spans — the forced-sampling path for cross-shard transactions. Stages
+// that already ran without an ID (a lane batch submitted before the force)
+// are simply absent from the trace.
+func (c *serverConn) forceTrace() {
+	if c.spans == nil {
+		return
+	}
+	c.spanForce = true
+	if c.spanTrace == 0 {
+		c.spanTrace = c.sampler.ForceID()
+	}
+}
+
+// finishRunSpans decides the run's fate: a slow run forces tracing; a run
+// with a trace ID (head-sampled or forced) stamps the ID across the
+// scratch and publishes it to the ring in one batch. An unsampled run
+// abandons the scratch — the zero-alloc path.
+func (c *serverConn) finishRunSpans(d time.Duration) {
+	if c.spans == nil || c.spanN == 0 {
+		return
+	}
+	n := c.spanN
+	c.spanN = 0
+	if d >= c.srv.cfg.Telemetry.slowOp {
+		c.spanForce = true
+	}
+	if c.spanTrace == 0 {
+		if !c.spanForce {
+			return
+		}
+		c.spanTrace = c.sampler.ForceID()
+	}
+	for i := 0; i < n; i++ {
+		c.spanBuf[i].Trace = c.spanTrace
+	}
+	c.spans.RecordAll(c.spanBuf[:n])
+}
+
 // process decodes one run into the worker's arena and executes it, writing
 // responses in order. A payload that fails to decode ends the connection:
 // the decoded prefix is served normally, the bad op answers ERR, and
@@ -546,6 +668,7 @@ func (c *serverConn) process(run []item) error {
 		reqs = append(reqs, req)
 	}
 	c.reqs = reqs
+	c.noteDecodeSpans(reqs)
 	if len(reqs) == 1 && reqs[0].Op == wire.OpTxn {
 		resp := c.execTxn(&reqs[0])
 		if err := c.bw.WriteResponse(&resp); err != nil {
@@ -568,6 +691,7 @@ func (c *serverConn) process(run []item) error {
 		c.srv.m.protoErrs.Add(1)
 		c.srv.logf("server: %v: protocol error: %v", c.nc.RemoteAddr(), derr)
 		c.protoFatal = true
+		c.spanForce = true
 		return c.bw.WriteResponse(&wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr})
 	}
 	return nil
@@ -605,8 +729,14 @@ func (c *serverConn) countOp(op wire.Op) {
 // the engine actually answered count as served.
 func (c *serverConn) countOps(reqs []wire.Request, resps []wire.Response) {
 	for i := range reqs {
-		if resps[i].Status != wire.StatusErr {
+		st := resps[i].Status
+		if st != wire.StatusErr {
 			c.countOp(reqs[i].Op)
+		}
+		// Failed or ambiguous outcomes force the run's trace: they are the
+		// requests an operator most wants a timeline for.
+		if c.spans != nil && (st == wire.StatusErr || st == wire.StatusUncertain) {
+			c.spanForce = true
 		}
 	}
 }
@@ -719,11 +849,14 @@ func (c *serverConn) waitDurable(reqs []wire.Request, resps []wire.Response, max
 	}
 	werr := c.srv.gc.wait(maxSeq)
 	if c.tel != nil {
-		c.tel.ack.ObserveDuration(time.Since(ackStart))
+		d := time.Since(ackStart)
+		c.tel.ack.ObserveDuration(d)
+		c.noteSpan(span.StageAck, d)
 	}
 	if werr == nil {
 		return
 	}
+	c.spanForce = true
 	status := wire.StatusOf(werr)
 	var flipped uint64
 	for i := range reqs {
@@ -825,8 +958,10 @@ func (c *serverConn) walCommitWrites(writes []*wire.Request) (uint64, error) {
 		return c.srv.gc.commit(c.wh, c.commitTS(), redo)
 	}
 	start := time.Now()
-	ts, err := c.srv.gc.commit(c.wh, c.commitTS(), redo)
-	c.tel.ack.ObserveDuration(time.Since(start))
+	ts, err := c.srv.gc.commitTrace(c.wh, c.commitTS(), redo, uint64(c.spanTrace))
+	d := time.Since(start)
+	c.tel.ack.ObserveDuration(d)
+	c.noteSpan(span.StageAck, d)
 	return ts, err
 }
 
@@ -913,9 +1048,12 @@ func (c *serverConn) execTxnSingleLane(req *wire.Request, lane int) wire.Respons
 		}
 		werr := c.srv.gc.wait(b.Seq)
 		if c.tel != nil {
-			c.tel.ack.ObserveDuration(time.Since(ackStart))
+			d := time.Since(ackStart)
+			c.tel.ack.ObserveDuration(d)
+			c.noteSpan(span.StageAck, d)
 		}
 		if werr != nil {
+			c.spanForce = true
 			c.srv.m.walUnackedWrites.Add(uint64(b.WalWrites))
 			// ERR for device failure, UNCERTAIN for an ack timeout.
 			return wire.Response{Kind: wire.RespBatch, Status: wire.StatusOf(werr)}
@@ -963,6 +1101,9 @@ func (c *serverConn) parkInvolved() func() {
 func (c *serverConn) execTxnCrossWrite(req *wire.Request) wire.Response {
 	srv := c.srv
 	srv.m.crossTxns.Add(1)
+	// Cross-shard transactions are always traced: they are the requests
+	// whose ordering story spans the most machinery.
+	c.forceTrace()
 	srv.crossMu.Lock()
 	defer srv.crossMu.Unlock()
 	release := c.parkInvolved()
@@ -1013,6 +1154,19 @@ func (c *serverConn) execTxnCrossWrite(req *wire.Request) wire.Response {
 				srv.lanes.Lane(ln).Publish(cts)
 			}
 		}
+		// Commit span at the commit timestamp itself when the node can
+		// convert engine ticks to the span clock's scale; the coordinator
+		// path has no lane span — the involved lanes were parked, not
+		// executing.
+		if c.spans != nil && c.spanN > 0 && c.spanN < len(c.spanBuf) {
+			now, unc := c.spans.Now()
+			ts := c.spans.ConvTicks(cts)
+			if ts == 0 {
+				ts = now
+			}
+			c.spanBuf[c.spanN] = span.Span{Stage: span.StageCommit, TS: ts, Unc: unc, Lane: -1}
+			c.spanN++
+		}
 	}
 	return wire.Response{Kind: wire.RespBatch, Status: wire.StatusOK, Batch: resps}
 }
@@ -1038,6 +1192,8 @@ const crossReadAttempts = 3
 func (c *serverConn) execTxnCrossRead(req *wire.Request) wire.Response {
 	srv := c.srv
 	srv.m.crossReads.Add(1)
+	// Forced before the first scatter so the lane batches carry the ID.
+	c.forceTrace()
 	var startTS uint64
 	if ord := srv.cfg.Ordo; ord != nil {
 		startTS = uint64(ord.GetTime())

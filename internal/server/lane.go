@@ -6,6 +6,7 @@ import (
 
 	"ordo/internal/db"
 	"ordo/internal/shard"
+	"ordo/internal/telemetry/span"
 	"ordo/internal/wal"
 	"ordo/internal/wire"
 )
@@ -64,6 +65,15 @@ func (r *laneRunner) exec(b *shard.Batch) (publish uint64) {
 			publish = 0
 		}
 	}()
+	// Traced batches time the lane's execution with the span clock; the
+	// decision was made by the submitting worker, so untraced batches pay
+	// only the nil/zero check.
+	ring := r.srv.spanRing()
+	var laneStart, laneUnc uint64
+	traced := ring != nil && b.Trace != 0
+	if traced {
+		laneStart, laneUnc = ring.Now()
+	}
 	switch b.Kind {
 	case shard.Ops:
 		r.execOps(b)
@@ -73,10 +83,30 @@ func (r *laneRunner) exec(b *shard.Batch) (publish uint64) {
 		r.execTxnRead(b)
 	}
 	r.flushSessionStats()
+	var cts uint64
 	if cs, ok := r.sess.(db.CommitTS); ok {
-		return cs.LastCommitTS()
+		cts = cs.LastCommitTS()
 	}
-	return 0
+	if traced {
+		now, unc := ring.Now()
+		var dur uint64
+		if now > laneStart {
+			dur = now - laneStart
+		}
+		ring.Record(span.Span{Trace: span.TraceID(b.Trace), Stage: span.StageLane,
+			TS: laneStart, Unc: laneUnc, Dur: dur, Lane: int32(r.id)})
+		if cts != 0 {
+			// The commit span sits at the commit timestamp itself when the
+			// node can convert engine ticks to the span clock's scale.
+			ts := ring.ConvTicks(cts)
+			if ts == 0 {
+				ts = now
+			}
+			ring.Record(span.Span{Trace: span.TraceID(b.Trace), Stage: span.StageCommit,
+				TS: ts, Unc: unc, Lane: int32(r.id)})
+		}
+	}
+	return cts
 }
 
 // execOps runs one lane's slice of a pipelined simple-op run as a single
@@ -128,7 +158,7 @@ func (r *laneRunner) execOps(b *shard.Batch) {
 		}
 		if r.wh != nil && isWrite(req.Op) && resps[i].Status == wire.StatusOK {
 			r.writePtrs = append(r.writePtrs[:0], req)
-			seq, ts, aerr := r.walAppend(r.writePtrs)
+			seq, ts, aerr := r.walAppend(r.writePtrs, b.Trace)
 			if aerr != nil {
 				srv.m.walUnackedWrites.Add(1)
 				*resps[i] = wire.Response{Kind: wire.RespEmpty, Status: wire.StatusErr}
@@ -173,7 +203,7 @@ func (r *laneRunner) execTxn(b *shard.Batch) {
 		}
 		r.writePtrs = writes
 		if len(writes) > 0 {
-			seq, ts, aerr := r.walAppend(writes)
+			seq, ts, aerr := r.walAppend(writes, b.Trace)
 			if aerr != nil {
 				srv.m.walUnackedWrites.Add(uint64(len(writes)))
 				*out = wire.Response{Kind: wire.RespBatch, Status: wire.StatusErr}
@@ -227,7 +257,7 @@ func (r *laneRunner) walAppendRun(b *shard.Batch) {
 	if len(writes) == 0 {
 		return
 	}
-	seq, ts, err := r.walAppend(writes)
+	seq, ts, err := r.walAppend(writes, b.Trace)
 	if err != nil {
 		r.srv.m.walUnackedWrites.Add(uint64(len(writes)))
 		for i := range reqs {
@@ -247,15 +277,25 @@ func (r *laneRunner) walAppendRun(b *shard.Batch) {
 
 // walAppend encodes one redo record for writes and appends it at the lane
 // session's commit timestamp, returning the durability sequence and the
-// logged timestamp. It never blocks on the device.
-func (r *laneRunner) walAppend(writes []*wire.Request) (seq, ts uint64, err error) {
+// logged timestamp. It never blocks on the device. A nonzero trace rides
+// the record to the flusher and replication source, and emits the
+// wal_append span here.
+func (r *laneRunner) walAppend(writes []*wire.Request, trace uint64) (seq, ts uint64, err error) {
 	redo, err := AppendRedo(r.redoBuf[:0], writes)
 	if err != nil {
 		return 0, 0, err
 	}
 	r.redoBuf = redo
 	cts := r.sess.(db.CommitTS).LastCommitTS()
-	return r.srv.gc.append(r.wh, cts, redo)
+	seq, ts, err = r.srv.gc.appendTrace(r.wh, cts, redo, trace)
+	if err == nil && trace != 0 {
+		if ring := r.srv.spanRing(); ring != nil {
+			now, unc := ring.Now()
+			ring.Record(span.Span{Trace: span.TraceID(trace), Stage: span.StageWALAppend,
+				TS: now, Unc: unc, Lane: int32(r.id)})
+		}
+	}
+	return seq, ts, err
 }
 
 // flushSessionStats adds the lane session's counter deltas to server

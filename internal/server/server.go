@@ -37,6 +37,7 @@ import (
 	"ordo/internal/db"
 	"ordo/internal/health"
 	"ordo/internal/shard"
+	"ordo/internal/telemetry/span"
 	"ordo/internal/wal"
 	"ordo/internal/wire"
 )
@@ -346,6 +347,15 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	return s, nil
+}
+
+// spanRing returns the node's distributed-tracing span ring, nil when
+// tracing is off (no Telemetry, or EnableTracing never called).
+func (s *Server) spanRing() *span.Ring {
+	if s.cfg.Telemetry == nil {
+		return nil
+	}
+	return s.cfg.Telemetry.spans
 }
 
 // Degraded reports whether the WAL device has failed: the server still

@@ -1,0 +1,244 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ordo/internal/db"
+	"ordo/internal/telemetry"
+	"ordo/internal/telemetry/span"
+	"ordo/internal/wire"
+)
+
+// tracedTelemetry builds a Telemetry with distributed tracing enabled at
+// the given head-sampling rate, returning it and its ring.
+func tracedTelemetry(rate float64) (*Telemetry, *span.Ring) {
+	tel := NewTelemetry(telemetry.NewRegistry(), telemetry.NewTracer(64), time.Second)
+	ring := span.NewRing(span.RingConfig{Node: "test-node"})
+	tel.EnableTracing(ring, rate)
+	return tel, ring
+}
+
+// stagesOf collects the distinct stages present in a set of spans.
+func stagesOf(spans []span.Span) map[span.Stage]bool {
+	m := map[span.Stage]bool{}
+	for i := range spans {
+		m[spans[i].Stage] = true
+	}
+	return m
+}
+
+// TestTracedWriteSpansEndToEnd drives one client-stamped traced PUT through
+// a durable server and requires the full leader-side span set — queue,
+// decode, lane, commit, wal_append, fsync, ack — to land in the ring under
+// the client's trace ID, even though head sampling is off (a client-stamped
+// request is force-sampled).
+func TestTracedWriteSpansEndToEnd(t *testing.T) {
+	cfg, dev := durableConfig(t, t.TempDir())
+	defer dev.Close()
+	tel, ring := tracedTelemetry(0)
+	cfg.Telemetry = tel
+	ts, cleanup := startServer(t, cfg)
+	defer cleanup()
+	c := ts.c
+
+	const traceID = 0xfeedc0de12345678
+	resp, err := c.Do(&wire.Request{Op: wire.OpInsert, Key: 7, Vals: row(7), Trace: traceID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != wire.StatusOK {
+		t.Fatalf("traced insert answered %v, want OK", resp.Status)
+	}
+
+	// The fsync span is recorded by the flusher after it wakes the waiting
+	// worker, so it can trail the client's ack by a scheduling quantum.
+	want := []span.Stage{span.StageQueue, span.StageDecode, span.StageLane,
+		span.StageCommit, span.StageWALAppend, span.StageFsync, span.StageAck}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got := stagesOf(ring.Dump(traceID, 0).Spans)
+		missing := ""
+		for _, st := range want {
+			if !got[st] {
+				missing += " " + st.String()
+			}
+		}
+		if missing == "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %016x missing stages:%s (got %v)", uint64(traceID), missing, got)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Every span carries the node name, and the merged timeline never
+	// orders fsync before wal_append when their intervals are disjoint.
+	d := ring.Dump(traceID, 0)
+	for i := range d.Spans {
+		if d.Spans[i].Node != "test-node" {
+			t.Fatalf("span %v stamped node %q, want test-node", d.Spans[i].Stage, d.Spans[i].Node)
+		}
+	}
+	merged := span.Merge(d.Spans)
+	seen := map[span.Stage]int{}
+	for i := range merged {
+		seen[merged[i].Stage] = i
+	}
+	if ai, fi := seen[span.StageWALAppend], seen[span.StageFsync]; ai > fi && !merged[ai].Concurrent && !merged[fi].Concurrent {
+		t.Fatalf("merge ordered fsync (pos %d) before wal_append (pos %d) with disjoint intervals", fi, ai)
+	}
+
+	// An untraced op on the same connection must not publish spans: the
+	// ring holds exactly one trace.
+	if resp, err := c.Do(&wire.Request{Op: wire.OpGet, Key: 7}); err != nil || resp.Status != wire.StatusOK {
+		t.Fatalf("untraced get: %v %v", resp.Status, err)
+	}
+	all := ring.Dump(0, 0)
+	for i := range all.Spans {
+		if all.Spans[i].Trace != traceID {
+			t.Fatalf("unsampled run leaked span %+v", all.Spans[i])
+		}
+	}
+}
+
+// TestSpansAdminEndpoint exercises the /spans admin endpoint: trace and
+// limit filters on a live ring, and 404 when tracing is off.
+func TestSpansAdminEndpoint(t *testing.T) {
+	cfg, dev := durableConfig(t, t.TempDir())
+	defer dev.Close()
+	tel, ring := tracedTelemetry(0)
+	cfg.Telemetry = tel
+	ts, cleanup := startServer(t, cfg)
+	defer cleanup()
+
+	const traceID = 0xabcdef0101010101
+	if resp, err := ts.c.Do(&wire.Request{Op: wire.OpInsert, Key: 1, Vals: row(1), Trace: traceID}); err != nil || resp.Status != wire.StatusOK {
+		t.Fatalf("traced insert: %v %v", resp.Status, err)
+	}
+	if len(ring.Dump(traceID, 0).Spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+
+	adm := httptest.NewServer(NewAdminHandler(ts.srv))
+	defer adm.Close()
+
+	get := func(path string) (int, []byte) {
+		resp, err := adm.Client().Get(adm.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	code, body := get(fmt.Sprintf("/spans?trace=%016x&limit=3", uint64(traceID)))
+	if code != 200 {
+		t.Fatalf("/spans: %d: %s", code, body)
+	}
+	var d span.Dump
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatalf("/spans JSON: %v", err)
+	}
+	if d.Node != "test-node" || len(d.Spans) == 0 || len(d.Spans) > 3 {
+		t.Fatalf("/spans dump: node=%q spans=%d, want test-node and 1..3", d.Node, len(d.Spans))
+	}
+	for i := range d.Spans {
+		if d.Spans[i].Trace != traceID {
+			t.Fatalf("trace filter leaked %+v", d.Spans[i])
+		}
+	}
+	if code, body := get("/spans?trace=zzz"); code != 400 {
+		t.Fatalf("bad trace id: %d: %s", code, body)
+	}
+
+	// Tracing off: /spans must 404, like /metrics with telemetry off.
+	plain, cleanup2 := startServer(t, newYCSBServer(t, db.OCC))
+	defer cleanup2()
+	adm2 := httptest.NewServer(NewAdminHandler(plain.srv))
+	defer adm2.Close()
+	resp, err := adm2.Client().Get(adm2.URL + "/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("/spans with tracing off: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSpanCaptureSamplingOffZeroAlloc gates the tentpole's overhead budget:
+// with tracing compiled in and enabled but the run unsampled, the worker's
+// speculative span capture (begin, decode note, ack note, abandon) must not
+// allocate. This is the path every request takes at sampling rate 0.
+func TestSpanCaptureSamplingOffZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	c, cleanup := newSpanConn(t, 0)
+	defer cleanup()
+
+	reqs := []wire.Request{{Op: wire.OpGet, Key: 1}}
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.beginRunSpans(time.Microsecond)
+		c.noteDecodeSpans(reqs)
+		c.noteSpan(span.StageAck, time.Microsecond)
+		c.finishRunSpans(time.Microsecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("sampling-off span capture: %v allocs/run, want 0", allocs)
+	}
+}
+
+// TestSpanCaptureSampledBoundedAlloc bounds the sampled path: publishing a
+// run's spans into the preallocated ring must stay allocation-free too —
+// the sampling cost is clock reads and a mutex, not garbage.
+func TestSpanCaptureSampledBoundedAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	c, cleanup := newSpanConn(t, 1)
+	defer cleanup()
+
+	reqs := []wire.Request{{Op: wire.OpGet, Key: 1}}
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.beginRunSpans(time.Microsecond)
+		c.noteDecodeSpans(reqs)
+		c.noteSpan(span.StageAck, time.Microsecond)
+		c.finishRunSpans(time.Microsecond)
+	})
+	if allocs > 1 {
+		t.Fatalf("sampled span capture: %v allocs/run, want <= 1", allocs)
+	}
+}
+
+// newSpanConn builds a serverConn wired to a tracing-enabled server for
+// direct span-capture measurement, without serving a listener.
+func newSpanConn(t *testing.T, rate float64) (*serverConn, func()) {
+	t.Helper()
+	tel, _ := tracedTelemetry(rate)
+	srv, err := New(Config{DB: &fakeDB{}, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.Pipe()
+	c := newServerConn(srv, a)
+	return c, func() {
+		a.Close()
+		b.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ordo/internal/telemetry"
+	"ordo/internal/telemetry/span"
 	"ordo/internal/wal"
 	"ordo/internal/wire"
 )
@@ -75,6 +76,13 @@ type Telemetry struct {
 	// promoteShard's one writer is the failover node's supervision loop.
 	promoteShard *telemetry.HistShard
 
+	// Distributed tracing (EnableTracing): the node's span ring, the
+	// head-sampling rate each connection worker's Sampler is built with,
+	// and the seed counter that decorrelates those samplers.
+	spans      *span.Ring
+	sampleRate float64
+	samplerSeq atomic.Uint64
+
 	bound atomic.Bool
 }
 
@@ -115,6 +123,25 @@ func NewTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer, slowOp time
 	t.replApplyShard = t.replApply.NewShard()
 	t.promoteShard = t.promote.NewShard()
 	return t
+}
+
+// EnableTracing attaches a span ring and head-sampling rate, turning on
+// request-scoped distributed tracing (DESIGN.md §16). Call it before the
+// Telemetry is bound to a Server and before any traffic: connection
+// workers snapshot the ring at accept time. rate is the per-run sampling
+// probability; slow runs, ERR/UNCERTAIN outcomes, and cross-shard
+// transactions are force-sampled regardless.
+func (t *Telemetry) EnableTracing(ring *span.Ring, rate float64) {
+	t.spans = ring
+	t.sampleRate = rate
+}
+
+// Spans returns the attached span ring; nil when tracing is off.
+func (t *Telemetry) Spans() *span.Ring { return t.spans }
+
+// newSampler builds one worker's sampler with a distinct seed.
+func (t *Telemetry) newSampler() span.Sampler {
+	return span.NewSampler(t.sampleRate, t.samplerSeq.Add(1))
 }
 
 // ObservePromotion records one completed leadership takeover's duration;
@@ -327,7 +354,13 @@ func (c *serverConn) observeRun(run []item, d time.Duration) {
 			continue
 		}
 		if cl := opClassOf(it.op); cl >= 0 {
-			c.tel.op[cl].ObserveDuration(d)
+			// A traced run offers its trace ID as the latency exemplar, so
+			// a scrape's worst-case spike links straight to its spans.
+			if c.spanTrace != 0 {
+				c.tel.op[cl].ObserveExemplar(uint64(d), uint64(c.spanTrace))
+			} else {
+				c.tel.op[cl].ObserveDuration(d)
+			}
 		}
 		if it.op.Simple() {
 			simple++

@@ -9,6 +9,7 @@ import (
 
 	"ordo/internal/db"
 	"ordo/internal/hist"
+	"ordo/internal/telemetry/span"
 	"ordo/internal/wal"
 	"ordo/internal/wire"
 )
@@ -83,6 +84,14 @@ type groupCommitter struct {
 	flushLSN     uint64
 	replAcked    uint64
 
+	// Traced appends awaiting their covering flush: flushOnce drains the
+	// entries a successful flush covered into fsync spans. Fixed capacity;
+	// overflow drops the span (never blocks or allocates on the commit
+	// path) — at any sane sampling rate the pending set is tiny because a
+	// flush drains it every cycle.
+	pendTraced [64]tracedAppend
+	nTraced    int
+
 	done      chan struct{}
 	closeOnce sync.Once
 
@@ -117,7 +126,12 @@ func (gc *groupCommitter) failed() error {
 // read-your-writes from a replica. Any error means the write must not be
 // acknowledged.
 func (gc *groupCommitter) commit(h *wal.Handle, cts uint64, redo []byte) (uint64, error) {
-	seq, ts, err := gc.append(h, cts, redo)
+	return gc.commitTrace(h, cts, redo, 0)
+}
+
+// commitTrace is commit with a sampled trace ID stamped on the record.
+func (gc *groupCommitter) commitTrace(h *wal.Handle, cts uint64, redo []byte, trace uint64) (uint64, error) {
+	seq, ts, err := gc.appendTrace(h, cts, redo, trace)
 	if err != nil {
 		return 0, err
 	}
@@ -131,6 +145,16 @@ func (gc *groupCommitter) commit(h *wal.Handle, cts uint64, redo []byte) (uint64
 // is in its handle buffer, so a flush draining after the assignment is
 // guaranteed to carry it — and the recorded timestamp.
 func (gc *groupCommitter) append(h *wal.Handle, cts uint64, redo []byte) (uint64, uint64, error) {
+	return gc.appendTrace(h, cts, redo, 0)
+}
+
+// tracedAppend pairs a durability sequence with the trace ID riding it.
+type tracedAppend struct{ seq, trace uint64 }
+
+// appendTrace is append with a sampled trace ID: the record carries it to
+// the replication source, and the covering flush emits this trace's fsync
+// span.
+func (gc *groupCommitter) appendTrace(h *wal.Handle, cts uint64, redo []byte, trace uint64) (uint64, uint64, error) {
 	gc.mu.Lock()
 	if gc.err != nil {
 		err := gc.err
@@ -142,11 +166,15 @@ func (gc *groupCommitter) append(h *wal.Handle, cts uint64, redo []byte) (uint64
 		return 0, 0, errWALClosed
 	}
 	gc.mu.Unlock()
-	ts := h.AppendAt(cts, redo)
+	ts := h.AppendAtTrace(cts, redo, trace)
 	gc.mu.Lock()
 	gc.appendSeq++
 	seq := gc.appendSeq
 	gc.dirty = true
+	if trace != 0 && gc.nTraced < len(gc.pendTraced) {
+		gc.pendTraced[gc.nTraced] = tracedAppend{seq, trace}
+		gc.nTraced++
+	}
 	gc.mu.Unlock()
 	gc.cond.Broadcast()
 	return seq, ts, nil
@@ -272,6 +300,11 @@ func (gc *groupCommitter) flushOnce() {
 		}
 	}
 
+	// Traces whose appends this flush covered, drained under gc.mu but
+	// recorded after release so the span ring's lock never nests inside it.
+	var fsynced [64]uint64
+	nFsynced := 0
+
 	gc.mu.Lock()
 	if err != nil {
 		gc.err = err
@@ -284,9 +317,31 @@ func (gc *groupCommitter) flushOnce() {
 		if tail := gc.log.Flushed(); tail > gc.flushLSN {
 			gc.flushLSN = tail
 		}
+		kept := 0
+		for i := 0; i < gc.nTraced; i++ {
+			e := gc.pendTraced[i]
+			if e.seq <= upTo {
+				fsynced[nFsynced] = e.trace
+				nFsynced++
+			} else {
+				gc.pendTraced[kept] = e
+				kept++
+			}
+		}
+		gc.nTraced = kept
 	}
 	gc.mu.Unlock()
 	gc.cond.Broadcast()
+
+	if nFsynced > 0 {
+		if ring := gc.srv.spanRing(); ring != nil {
+			now, unc := ring.Now()
+			for i := 0; i < nFsynced; i++ {
+				ring.Record(span.Span{Trace: span.TraceID(fsynced[i]), Stage: span.StageFsync,
+					TS: now, Unc: unc, Dur: uint64(elapsed), Lane: -1})
+			}
+		}
+	}
 }
 
 // syncP99 returns the p99 of non-empty flush durations in nanoseconds.

@@ -70,6 +70,10 @@ type Batch struct {
 	// WalWrites is how many acked writes ride the appended redo record;
 	// the worker flips exactly these to ERR if the durability wait fails.
 	WalWrites int
+	// Trace is the sampled trace ID for the request this batch serves
+	// (0 when unsampled). The lane stamps it on redo records and on the
+	// lane/commit/wal_append spans it emits.
+	Trace uint64
 	// Err is the batch-level failure for kinds that fail atomically
 	// (TxnRead); Ops batches always answer per-op through Resps.
 	Err error

@@ -1,0 +1,476 @@
+// Package span is request-scoped distributed tracing ordered by the Ordo
+// primitive itself. A sampled request carries a 64-bit trace ID through
+// every write-path stage — decode, queue wait, lane execute, engine
+// commit, WAL append, group-commit fsync, replication ship, follower
+// apply, ack — and each stage point is stamped with an Ordo-derived
+// timestamp *interval* `(ts_ns, unc_ns)` plus the node and fencing epoch
+// that produced it.
+//
+// The interval is the whole point. Two spans from different nodes (or
+// different cores) are totally ordered exactly when their uncertainty
+// intervals do not overlap: a ends before b begins means a happened
+// before b under any clock assignment consistent with the measured
+// boundaries. When the intervals overlap the spans are *concurrent* —
+// the merger reports that, and never invents an order, mirroring how
+// the paper's cmp_time refuses to order timestamps inside the
+// uncertainty window.
+//
+// Recording is allocation-free: spans accumulate in caller-owned scratch
+// and publish into a fixed-size per-node Ring, so the sampling-off serve
+// path stays zero-alloc (gate-tested in internal/server).
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Stage identifies one write-path stage point.
+type Stage uint8
+
+const (
+	// StageDecode is request decode into the worker arena.
+	StageDecode Stage = iota
+	// StageQueue is the time a request spent in the connection's pending
+	// queue before a worker picked its run up.
+	StageQueue
+	// StageLane is a shard lane executing the batch (Lane holds the id).
+	StageLane
+	// StageCommit is the engine commit; TS is the commit timestamp when
+	// the node can convert engine ticks to nanoseconds.
+	StageCommit
+	// StageWALAppend is the redo record landing in a WAL append buffer.
+	StageWALAppend
+	// StageFsync is the group-commit flush that made the record durable.
+	StageFsync
+	// StageShip is the leader handing the record to a replication
+	// subscriber.
+	StageShip
+	// StageApply is a follower applying the shipped record to its engine.
+	StageApply
+	// StageAck is the worker releasing the client response.
+	StageAck
+
+	nStages
+)
+
+var stageNames = [nStages]string{
+	"decode", "queue", "lane", "commit", "wal_append",
+	"fsync", "ship", "apply", "ack",
+}
+
+// StageNames lists every stage name in pipeline order, for breakdown
+// tables that want a stable row order.
+func StageNames() []string {
+	out := make([]string, nStages)
+	copy(out, stageNames[:])
+	return out
+}
+
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "stage(" + strconv.Itoa(int(s)) + ")"
+}
+
+// ParseStage maps a stage name back to its Stage.
+func ParseStage(name string) (Stage, bool) {
+	for i, n := range stageNames {
+		if n == name {
+			return Stage(i), true
+		}
+	}
+	return 0, false
+}
+
+// MarshalJSON renders the stage as its name.
+func (s Stage) MarshalJSON() ([]byte, error) {
+	return strconv.AppendQuote(nil, s.String()), nil
+}
+
+// UnmarshalJSON parses a stage name.
+func (s *Stage) UnmarshalJSON(b []byte) error {
+	name, err := strconv.Unquote(string(b))
+	if err != nil {
+		return err
+	}
+	st, ok := ParseStage(name)
+	if !ok {
+		return fmt.Errorf("span: unknown stage %q", name)
+	}
+	*s = st
+	return nil
+}
+
+// TraceID is a 64-bit trace identifier, rendered as 16 hex digits in
+// JSON so consumers never round it through a float.
+type TraceID uint64
+
+func (t TraceID) String() string { return fmt.Sprintf("%016x", uint64(t)) }
+
+// MarshalJSON renders the ID as a quoted hex string.
+func (t TraceID) MarshalJSON() ([]byte, error) {
+	return strconv.AppendQuote(nil, t.String()), nil
+}
+
+// UnmarshalJSON parses the quoted hex form.
+func (t *TraceID) UnmarshalJSON(b []byte) error {
+	s, err := strconv.Unquote(string(b))
+	if err != nil {
+		return err
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return err
+	}
+	*t = TraceID(v)
+	return nil
+}
+
+// Span is one stage point of one traced request.
+type Span struct {
+	Trace TraceID `json:"trace"`
+	Stage Stage   `json:"stage"`
+	// TS is the stage's Ordo-derived timestamp in nanoseconds; Unc is the
+	// clock's uncertainty half-width at that moment. The interval
+	// [TS-Unc, TS+Unc] is what the merger compares.
+	TS  uint64 `json:"ts_ns"`
+	Unc uint64 `json:"unc_ns"`
+	// Dur is how long the stage took, when the stage has an extent.
+	Dur uint64 `json:"dur_ns"`
+	// Node and Epoch identify who stamped the span; the Ring fills them.
+	Node  string `json:"node,omitempty"`
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Lane is the shard lane for lane-scoped stages, -1 otherwise.
+	Lane int32 `json:"lane"`
+}
+
+// Clock reports a timestamp and the clock's uncertainty half-width, both
+// in nanoseconds. Ordo-backed servers derive it from GetTime/Boundary;
+// WallClock is the logical-clock fallback.
+type Clock func() (nowNS, uncNS uint64)
+
+// WallClock is the fallback Clock: the OS wall clock with zero claimed
+// uncertainty. Sound for ordering only within one timebase (one host).
+func WallClock() (uint64, uint64) {
+	return uint64(time.Now().UnixNano()), 0
+}
+
+// interval endpoints, saturating so a huge uncertainty never wraps.
+func intervalLo(s *Span) uint64 {
+	if s.Unc > s.TS {
+		return 0
+	}
+	return s.TS - s.Unc
+}
+
+func intervalHi(s *Span) uint64 {
+	h := s.TS + s.Unc
+	if h < s.TS {
+		return ^uint64(0)
+	}
+	return h
+}
+
+// Compare orders two spans by their Ordo intervals: -1 when a certainly
+// precedes b (a's interval ends before b's begins), +1 for the reverse,
+// and 0 when the intervals overlap — the spans are concurrent and no
+// order may be claimed. This is cmp_time lifted to cross-node spans:
+// disjoint intervals are ordered under every clock assignment consistent
+// with the measured uncertainty, overlapping ones under none in
+// particular.
+func Compare(a, b *Span) int {
+	switch {
+	case intervalHi(a) < intervalLo(b):
+		return -1
+	case intervalHi(b) < intervalLo(a):
+		return 1
+	}
+	return 0
+}
+
+// MergedSpan is one entry of a causally merged timeline.
+type MergedSpan struct {
+	Span
+	// Concurrent reports that this span's interval overlaps the previous
+	// merged span's: the rendered adjacency is presentation order, not a
+	// causal claim.
+	Concurrent bool `json:"concurrent,omitempty"`
+}
+
+// Merge builds one trace's merged timeline from spans collected across
+// nodes: sorted by interval midpoint (ties broken deterministically by
+// stage pipeline order, then node), with every adjacency whose intervals
+// overlap flagged Concurrent. Spans with disjoint intervals appear in
+// their true causal order; overlapping ones are flagged, never silently
+// sequenced.
+func Merge(spans []Span) []MergedSpan {
+	out := make([]MergedSpan, len(spans))
+	for i, s := range spans {
+		out[i] = MergedSpan{Span: s}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := &out[i].Span, &out[j].Span
+		if c := Compare(a, b); c != 0 {
+			return c < 0
+		}
+		// Overlapping intervals: a deterministic presentation order so
+		// repeated merges render identically. Pipeline stage order is the
+		// natural reading order for one request's spans.
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
+		}
+		return a.Node < b.Node
+	})
+	for i := 1; i < len(out); i++ {
+		if Compare(&out[i-1].Span, &out[i].Span) == 0 {
+			out[i].Concurrent = true
+		}
+	}
+	return out
+}
+
+// Sampler makes head-based sampling decisions and mints trace IDs from a
+// splitmix64 stream. The zero value never samples and cannot mint IDs;
+// build one with NewSampler. Not goroutine-safe — each connection worker
+// owns its own.
+type Sampler struct {
+	state     uint64
+	threshold uint64
+	always    bool
+}
+
+// NewSampler returns a sampler that samples each request with the given
+// probability (clamped to [0,1]). seed differentiates workers so their
+// decisions and IDs do not correlate.
+func NewSampler(rate float64, seed uint64) Sampler {
+	s := Sampler{state: seed ^ 0x9e3779b97f4a7c15}
+	switch {
+	case rate >= 1:
+		s.always = true
+	case rate > 0:
+		s.threshold = uint64(rate * float64(1<<63) * 2)
+	}
+	return s
+}
+
+// next advances the splitmix64 stream.
+func (s *Sampler) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Sample decides one request: a fresh nonzero trace ID and true when the
+// request is sampled, zero and false otherwise.
+func (s *Sampler) Sample() (TraceID, bool) {
+	if !s.always {
+		if s.threshold == 0 || s.next() >= s.threshold {
+			return 0, false
+		}
+	}
+	return s.ForceID(), true
+}
+
+// ForceID mints a nonzero trace ID regardless of the sampling rate — the
+// forced-sampling path (slow ops, ERR/UNCERTAIN outcomes, cross-shard
+// transactions).
+func (s *Sampler) ForceID() TraceID {
+	for {
+		if id := s.next(); id != 0 {
+			return TraceID(id)
+		}
+	}
+}
+
+// DefaultRingSpans is the default Ring capacity.
+const DefaultRingSpans = 4096
+
+// RingConfig parameterizes a Ring.
+type RingConfig struct {
+	// Node names this ring's process in every span it stamps (typically
+	// the serving address).
+	Node string
+	// Size is the span capacity; DefaultRingSpans when zero or negative.
+	Size int
+	// Clock stamps spans recorded without an explicit timestamp and
+	// answers Now; WallClock when nil.
+	Clock Clock
+	// Epoch reports the node's fencing epoch at record time. Optional.
+	Epoch func() uint64
+	// ConvTicks converts an engine commit timestamp (Ordo ticks) to the
+	// Clock's nanosecond scale, so commit spans sit at the commit
+	// timestamp itself. Optional; zero return means "unavailable".
+	ConvTicks func(ticks uint64) uint64
+}
+
+// Ring is one node's bounded span buffer. All methods are nil-safe so
+// span capture can be compiled into the serve path and gated on a single
+// pointer. Concurrent recorders are serialized by one mutex — only
+// sampled runs ever reach it.
+type Ring struct {
+	node  string
+	clock Clock
+	epoch func() uint64
+	conv  func(uint64) uint64
+
+	mu   sync.Mutex
+	buf  []Span
+	next uint64 // total spans ever recorded; buf[next%len] is the oldest slot
+}
+
+// NewRing builds a Ring.
+func NewRing(cfg RingConfig) *Ring {
+	if cfg.Size <= 0 {
+		cfg.Size = DefaultRingSpans
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = WallClock
+	}
+	return &Ring{
+		node:  cfg.Node,
+		clock: cfg.Clock,
+		epoch: cfg.Epoch,
+		conv:  cfg.ConvTicks,
+		buf:   make([]Span, cfg.Size),
+	}
+}
+
+// Node returns the ring's node name ("" on a nil ring).
+func (r *Ring) Node() string {
+	if r == nil {
+		return ""
+	}
+	return r.node
+}
+
+// Now reads the ring's clock: (timestamp, uncertainty) in nanoseconds.
+// (0, 0) on a nil ring.
+func (r *Ring) Now() (uint64, uint64) {
+	if r == nil {
+		return 0, 0
+	}
+	return r.clock()
+}
+
+// ConvTicks converts engine ticks to the ring clock's nanosecond scale;
+// 0 when no converter is configured (callers fall back to Now).
+func (r *Ring) ConvTicks(ticks uint64) uint64 {
+	if r == nil || r.conv == nil {
+		return 0
+	}
+	return r.conv(ticks)
+}
+
+// stamp fills the ring-owned span fields.
+func (r *Ring) stamp(sp *Span) {
+	sp.Node = r.node
+	if r.epoch != nil {
+		sp.Epoch = r.epoch()
+	}
+}
+
+// Record appends one span, stamping Node and Epoch. No-op on nil.
+func (r *Ring) Record(sp Span) {
+	if r == nil {
+		return
+	}
+	r.stamp(&sp)
+	r.mu.Lock()
+	r.buf[r.next%uint64(len(r.buf))] = sp
+	r.next++
+	r.mu.Unlock()
+}
+
+// RecordAll appends a batch of spans under one lock acquisition — the
+// end-of-run publish of a worker's span scratch. No-op on nil.
+func (r *Ring) RecordAll(sps []Span) {
+	if r == nil || len(sps) == 0 {
+		return
+	}
+	r.mu.Lock()
+	for i := range sps {
+		sp := sps[i]
+		r.stamp(&sp)
+		r.buf[r.next%uint64(len(r.buf))] = sp
+		r.next++
+	}
+	r.mu.Unlock()
+}
+
+// Spans returns the buffered spans, oldest first.
+func (r *Ring) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := uint64(len(r.buf))
+	n := r.next
+	if n > size {
+		n = size
+	}
+	out := make([]Span, 0, n)
+	start := r.next - n
+	for i := uint64(0); i < n; i++ {
+		out = append(out, r.buf[(start+i)%size])
+	}
+	return out
+}
+
+// Dump is the /spans document: the node's identity, its clock's view of
+// now (so scrapers can relate span timestamps to their own), and the
+// buffered spans oldest-first.
+type Dump struct {
+	Node    string `json:"node"`
+	NowNS   uint64 `json:"now_ns"`
+	UncNS   uint64 `json:"unc_ns"`
+	Total   uint64 `json:"total"`
+	Dropped uint64 `json:"dropped"`
+	Spans   []Span `json:"spans"`
+}
+
+// Dump snapshots the ring, keeping only spans that pass the filters:
+// trace (0 = all) and limit (<=0 = all; otherwise the newest limit).
+func (r *Ring) Dump(trace TraceID, limit int) Dump {
+	spans := r.Spans()
+	if trace != 0 {
+		kept := spans[:0]
+		for _, sp := range spans {
+			if sp.Trace == trace {
+				kept = append(kept, sp)
+			}
+		}
+		spans = kept
+	}
+	if limit > 0 && len(spans) > limit {
+		spans = spans[len(spans)-limit:]
+	}
+	d := Dump{Node: r.Node(), Spans: spans}
+	d.NowNS, d.UncNS = r.Now()
+	if r != nil {
+		r.mu.Lock()
+		d.Total = r.next
+		if d.Total > uint64(len(r.buf)) {
+			d.Dropped = d.Total - uint64(len(r.buf))
+		}
+		r.mu.Unlock()
+	}
+	return d
+}
+
+// DumpJSON renders Dump as indented JSON.
+func (r *Ring) DumpJSON(trace TraceID, limit int) ([]byte, error) {
+	d := r.Dump(trace, limit)
+	return json.MarshalIndent(&d, "", "  ")
+}

@@ -1,0 +1,263 @@
+package span
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// TestCompareDisjointAndOverlap pins the interval semantics: disjoint
+// intervals order, touching or overlapping intervals are concurrent.
+func TestCompareDisjointAndOverlap(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Span
+		want int
+	}{
+		{"disjoint", Span{TS: 100, Unc: 10}, Span{TS: 200, Unc: 10}, -1},
+		{"disjoint reversed", Span{TS: 200, Unc: 10}, Span{TS: 100, Unc: 10}, 1},
+		{"touching endpoints overlap", Span{TS: 100, Unc: 10}, Span{TS: 120, Unc: 10}, 0},
+		{"nested", Span{TS: 100, Unc: 50}, Span{TS: 110, Unc: 5}, 0},
+		{"identical", Span{TS: 100, Unc: 0}, Span{TS: 100, Unc: 0}, 0},
+		{"zero-unc ordered", Span{TS: 100}, Span{TS: 101}, -1},
+		{"unc larger than ts saturates", Span{TS: 5, Unc: 50}, Span{TS: 10, Unc: 0}, 0},
+		{"huge unc saturates high", Span{TS: ^uint64(0) - 1, Unc: 100}, Span{TS: 50, Unc: 0}, 1},
+	}
+	for _, c := range cases {
+		if got := Compare(&c.a, &c.b); got != c.want {
+			t.Errorf("%s: Compare=%d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestMergeAgreesWithSubmissionOrder is the ordering property: when
+// uncertainty intervals are pairwise disjoint, the merged timeline must
+// reproduce the known submission order exactly — for any shuffle of the
+// input and any node assignment.
+func TestMergeAgreesWithSubmissionOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(12)
+		spans := make([]Span, n)
+		ts := uint64(1000)
+		for i := range spans {
+			unc := uint64(rng.Intn(50))
+			// Advance past the previous interval's end plus this one's
+			// half-width so intervals stay pairwise disjoint.
+			ts += unc + uint64(1+rng.Intn(100))
+			spans[i] = Span{
+				Trace: 7,
+				Stage: Stage(i % int(nStages)),
+				TS:    ts,
+				Unc:   unc,
+				Node:  []string{"a", "b", "c"}[rng.Intn(3)],
+			}
+			ts += unc
+		}
+		shuffled := make([]Span, n)
+		copy(shuffled, spans)
+		rng.Shuffle(n, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+		merged := Merge(shuffled)
+		if len(merged) != n {
+			t.Fatalf("trial %d: merged %d spans, want %d", trial, len(merged), n)
+		}
+		for i := range merged {
+			if merged[i].TS != spans[i].TS || merged[i].Stage != spans[i].Stage {
+				t.Fatalf("trial %d: position %d got (ts=%d stage=%v), want (ts=%d stage=%v)",
+					trial, i, merged[i].TS, merged[i].Stage, spans[i].TS, spans[i].Stage)
+			}
+			if merged[i].Concurrent {
+				t.Fatalf("trial %d: position %d flagged concurrent with disjoint intervals", trial, i)
+			}
+		}
+	}
+}
+
+// TestMergeFlagsOverlapConcurrent is the honesty property: overlapping
+// intervals must be reported concurrent — the merger never claims an
+// order between them, whichever way it happens to render them.
+func TestMergeFlagsOverlapConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(10)
+		spans := make([]Span, n)
+		for i := range spans {
+			// Wide intervals around a common point: every pair overlaps.
+			spans[i] = Span{
+				Trace: 9,
+				Stage: Stage(rng.Intn(int(nStages))),
+				TS:    10_000 + uint64(rng.Intn(200)),
+				Unc:   500 + uint64(rng.Intn(100)),
+				Node:  []string{"x", "y"}[rng.Intn(2)],
+			}
+		}
+		merged := Merge(spans)
+		for i := 1; i < len(merged); i++ {
+			if !merged[i].Concurrent {
+				t.Fatalf("trial %d: adjacency %d not flagged concurrent despite overlap:\n prev %+v\n cur  %+v",
+					trial, i, merged[i-1].Span, merged[i].Span)
+			}
+		}
+	}
+}
+
+// TestMergeMixed checks the boundary between the two properties: a chain
+// of disjoint groups with internal overlap orders the groups and flags
+// only the intra-group adjacencies.
+func TestMergeMixed(t *testing.T) {
+	spans := []Span{
+		{TS: 5000, Unc: 10, Stage: StageApply, Node: "f"},  // group 2
+		{TS: 1000, Unc: 10, Stage: StageDecode, Node: "l"}, // group 1
+		{TS: 4990, Unc: 10, Stage: StageShip, Node: "l"},   // group 2 (overlaps apply)
+		{TS: 1015, Unc: 10, Stage: StageQueue, Node: "l"},  // group 1 (overlaps decode)
+	}
+	merged := Merge(spans)
+	wantStages := []Stage{StageDecode, StageQueue, StageShip, StageApply}
+	wantConc := []bool{false, true, false, true}
+	for i := range merged {
+		if merged[i].Stage != wantStages[i] || merged[i].Concurrent != wantConc[i] {
+			t.Fatalf("position %d: got (stage=%v concurrent=%v), want (stage=%v concurrent=%v)",
+				i, merged[i].Stage, merged[i].Concurrent, wantStages[i], wantConc[i])
+		}
+	}
+}
+
+// TestSamplerRate sanity-checks the head-sampling threshold and that
+// minted IDs are nonzero and distinct.
+func TestSamplerRate(t *testing.T) {
+	s := NewSampler(0, 1)
+	for i := 0; i < 1000; i++ {
+		if _, ok := s.Sample(); ok {
+			t.Fatal("rate 0 sampled")
+		}
+	}
+	s = NewSampler(1, 2)
+	seen := map[TraceID]bool{}
+	for i := 0; i < 1000; i++ {
+		id, ok := s.Sample()
+		if !ok || id == 0 {
+			t.Fatal("rate 1 must always sample with a nonzero ID")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %v", id)
+		}
+		seen[id] = true
+	}
+	s = NewSampler(0.01, 3)
+	hits := 0
+	for i := 0; i < 100_000; i++ {
+		if _, ok := s.Sample(); ok {
+			hits++
+		}
+	}
+	if hits < 500 || hits > 2000 {
+		t.Fatalf("1%% sampling hit %d/100000, want ~1000", hits)
+	}
+}
+
+// TestRingWrapAndDump checks the bounded ring: overflow drops oldest,
+// Dump reports totals and honors trace/limit filters.
+func TestRingWrapAndDump(t *testing.T) {
+	epoch := uint64(3)
+	r := NewRing(RingConfig{Node: "n1", Size: 4, Epoch: func() uint64 { return epoch }})
+	for i := 1; i <= 6; i++ {
+		r.Record(Span{Trace: TraceID(i), Stage: StageAck, TS: uint64(i * 100), Lane: -1})
+	}
+	spans := r.Spans()
+	if len(spans) != 4 || spans[0].Trace != 3 || spans[3].Trace != 6 {
+		t.Fatalf("ring contents wrong: %+v", spans)
+	}
+	for _, sp := range spans {
+		if sp.Node != "n1" || sp.Epoch != 3 {
+			t.Fatalf("span not stamped: %+v", sp)
+		}
+	}
+	d := r.Dump(0, 0)
+	if d.Total != 6 || d.Dropped != 2 || d.Node != "n1" {
+		t.Fatalf("dump totals wrong: %+v", d)
+	}
+	d = r.Dump(TraceID(5), 0)
+	if len(d.Spans) != 1 || d.Spans[0].Trace != 5 {
+		t.Fatalf("trace filter wrong: %+v", d.Spans)
+	}
+	d = r.Dump(0, 2)
+	if len(d.Spans) != 2 || d.Spans[0].Trace != 5 {
+		t.Fatalf("limit filter wrong: %+v", d.Spans)
+	}
+}
+
+// TestNilRingSafe: every Ring method must be a no-op on nil, since the
+// serve path compiles span capture in unconditionally.
+func TestNilRingSafe(t *testing.T) {
+	var r *Ring
+	r.Record(Span{Trace: 1})
+	r.RecordAll([]Span{{Trace: 1}})
+	if got := r.Spans(); got != nil {
+		t.Fatalf("nil ring Spans = %v", got)
+	}
+	if ts, unc := r.Now(); ts != 0 || unc != 0 {
+		t.Fatal("nil ring Now must be zero")
+	}
+	if r.ConvTicks(5) != 0 || r.Node() != "" {
+		t.Fatal("nil ring accessors must be zero")
+	}
+}
+
+// TestJSONRoundTrip: the /spans document round-trips, with trace IDs as
+// hex strings and stages as names.
+func TestJSONRoundTrip(t *testing.T) {
+	r := NewRing(RingConfig{Node: "l", Size: 8})
+	r.Record(Span{Trace: 0xdeadbeefcafe, Stage: StageFsync, TS: 123, Unc: 4, Dur: 9, Lane: 2})
+	b, err := r.DumpJSON(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Dump
+	if err := json.Unmarshal(b, &d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Spans) != 1 {
+		t.Fatalf("got %d spans", len(d.Spans))
+	}
+	sp := d.Spans[0]
+	if sp.Trace != 0xdeadbeefcafe || sp.Stage != StageFsync || sp.TS != 123 ||
+		sp.Unc != 4 || sp.Dur != 9 || sp.Lane != 2 || sp.Node != "l" {
+		t.Fatalf("round-trip mismatch: %+v", sp)
+	}
+	if want := `"0000deadbeefcafe"`; !json.Valid(b) || !containsStr(string(b), want) {
+		t.Fatalf("trace not rendered as hex string: %s", b)
+	}
+}
+
+func containsStr(haystack, needle string) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRecordZeroAlloc gates the capture path itself: recording into the
+// ring must not allocate — the serve path publishes worker scratch here.
+func TestRecordZeroAlloc(t *testing.T) {
+	r := NewRing(RingConfig{Node: "n", Size: 64, Epoch: func() uint64 { return 1 }})
+	scratch := make([]Span, 6)
+	for i := range scratch {
+		scratch[i] = Span{Trace: 42, Stage: Stage(i), TS: uint64(i), Lane: -1}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.RecordAll(scratch)
+	})
+	if allocs != 0 {
+		t.Fatalf("RecordAll: %v allocs/op, want 0", allocs)
+	}
+	s := NewSampler(0.5, 7)
+	allocs = testing.AllocsPerRun(1000, func() {
+		s.Sample()
+	})
+	if allocs != 0 {
+		t.Fatalf("Sample: %v allocs/op, want 0", allocs)
+	}
+}

@@ -194,6 +194,14 @@ type Histogram struct {
 	mu      sync.Mutex
 	shards  []*HistShard
 	retired hist.H
+
+	// Exemplar state: the trace ID of the largest-valued observation that
+	// carried one, so a scrape can jump from a latency spike straight to
+	// its distributed trace. Guarded by its own lock — the exemplar update
+	// is off the shard's uncontended fast path unless a trace rides along.
+	exMu    sync.Mutex
+	exVal   uint64
+	exTrace uint64
 }
 
 // Histogram registers and returns a sharded histogram. scale ≤ 0 means 1
@@ -246,6 +254,30 @@ func (s *HistShard) ObserveDuration(d time.Duration) {
 	s.Observe(uint64(d))
 }
 
+// ObserveExemplar records one value and, when trace is nonzero, offers it
+// as the family's exemplar: the largest-valued traced observation wins, so
+// the exported exemplar points at the worst traced request seen.
+func (s *HistShard) ObserveExemplar(v uint64, trace uint64) {
+	s.Observe(v)
+	if trace == 0 {
+		return
+	}
+	p := s.parent
+	p.exMu.Lock()
+	if p.exTrace == 0 || v >= p.exVal {
+		p.exVal, p.exTrace = v, trace
+	}
+	p.exMu.Unlock()
+}
+
+// Exemplar returns the current exemplar observation and its trace ID;
+// trace is 0 when no traced observation has been recorded.
+func (h *Histogram) Exemplar() (v uint64, trace uint64) {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	return h.exVal, h.exTrace
+}
+
 // Close retires the shard: its counts merge into the parent's retired
 // accumulator (so scraped totals stay monotonic across worker churn) and
 // the shard drops out of the live set. Close is idempotent; Observe after
@@ -293,6 +325,23 @@ func (h *Histogram) collect(b *strings.Builder, name, labels string) {
 	sample(b, name+"_bucket", joinLabels(labels, `le="+Inf"`), formatUint(m.Count()))
 	sample(b, name+"_sum", labels, formatFloat(float64(m.Sum())/h.scale))
 	sample(b, name+"_count", labels, formatUint(m.Count()))
+	// Exemplar as a comment line: the text exposition format has no
+	// exemplar syntax, and parsers ignore non-HELP/TYPE comments, so this
+	// is both human-greppable and harmless to scrapers.
+	if ev, et := h.Exemplar(); et != 0 {
+		b.WriteString("# EXEMPLAR ")
+		b.WriteString(name)
+		if labels != "" {
+			b.WriteByte('{')
+			b.WriteString(labels)
+			b.WriteByte('}')
+		}
+		b.WriteByte(' ')
+		b.WriteString(formatFloat(float64(ev) / h.scale))
+		b.WriteString(` trace_id="`)
+		b.WriteString(fmt.Sprintf("%016x", et))
+		b.WriteString("\"\n")
+	}
 }
 
 // Label is one constant name="value" pair attached to a series.

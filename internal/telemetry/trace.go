@@ -79,24 +79,51 @@ func (t *Tracer) Events() []Event {
 }
 
 // Dump is the JSON document /trace serves: total recorded, how many the
-// ring has dropped, and the retained events oldest-first.
+// ring has dropped, the retained events oldest-first, and NowNS — the
+// tracer's clock at dump time, which a poller passes back as since_ns to
+// receive only events recorded after its previous dump.
 type Dump struct {
 	Total   uint64  `json:"total_events"`
 	Dropped uint64  `json:"dropped_events"`
+	NowNS   int64   `json:"now_ns"`
 	Events  []Event `json:"events"`
 }
 
 // DumpJSON marshals the tracer's current state. A nil tracer dumps an
 // empty document.
 func (t *Tracer) DumpJSON() ([]byte, error) {
-	d := Dump{Events: []Event{}}
+	return t.FilteredDumpJSON("", 0, 0)
+}
+
+// FilteredDumpJSON is DumpJSON with server-side filters: kind keeps only
+// events of that kind ("" keeps all), sinceNS keeps only events recorded
+// strictly after that UnixNano cursor (0 keeps all), and limit keeps only
+// the newest limit survivors (<= 0 keeps all). Total/Dropped still
+// describe the whole ring, so a poller can tell filtering from overflow.
+func (t *Tracer) FilteredDumpJSON(kind string, sinceNS int64, limit int) ([]byte, error) {
+	d := Dump{Events: []Event{}, NowNS: time.Now().UnixNano()}
 	if t != nil {
-		d.Events = t.Events()
+		evs := t.Events()
+		kept := evs[:0]
+		for _, ev := range evs {
+			if kind != "" && ev.Kind != kind {
+				continue
+			}
+			if sinceNS != 0 && ev.Time.UnixNano() <= sinceNS {
+				continue
+			}
+			kept = append(kept, ev)
+		}
+		if limit > 0 && len(kept) > limit {
+			kept = kept[len(kept)-limit:]
+		}
+		d.Events = kept
 		t.mu.Lock()
 		d.Total = t.total
+		nRing := uint64(len(t.ring))
 		t.mu.Unlock()
-		if d.Total > uint64(len(d.Events)) {
-			d.Dropped = d.Total - uint64(len(d.Events))
+		if d.Total > nRing {
+			d.Dropped = d.Total - nRing
 		}
 	}
 	return json.MarshalIndent(d, "", "  ")

@@ -32,11 +32,12 @@ import (
 
 // Record is one durable log entry.
 type Record struct {
-	LSN  uint64 // dense, assigned at flush
-	TS   uint64 // invariant-clock timestamp taken at append
-	H    int    // handle that appended it
-	Seq  uint64 // per-handle sequence number
-	Data []byte
+	LSN   uint64 // dense, assigned at flush
+	TS    uint64 // invariant-clock timestamp taken at append
+	H     int    // handle that appended it
+	Seq   uint64 // per-handle sequence number
+	Trace uint64 // sampled trace ID; in-memory only, not persisted (recovery yields 0)
+	Data  []byte
 }
 
 // Device receives flushed records in order. Implementations must be safe
@@ -225,16 +226,23 @@ func (h *Handle) Append(data []byte) uint64 {
 // up to the handle's watermark to keep its records non-decreasing. It
 // returns the timestamp actually recorded.
 func (h *Handle) AppendAt(ts uint64, data []byte) uint64 {
+	return h.AppendAtTrace(ts, data, 0)
+}
+
+// AppendAtTrace is AppendAt with a sampled trace ID attached to the
+// buffered record so downstream consumers (flusher, replication source)
+// can emit spans for it. The trace ID is not persisted.
+func (h *Handle) AppendAtTrace(ts uint64, data []byte, trace uint64) uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
-		panic("wal: AppendAt on closed handle")
+		panic("wal: AppendAtTrace on closed handle")
 	}
 	if ts < h.lastTS {
 		ts = h.lastTS
 	}
 	h.lastTS = ts
-	h.buf = append(h.buf, Record{TS: ts, H: h.id, Seq: h.seq,
+	h.buf = append(h.buf, Record{TS: ts, H: h.id, Seq: h.seq, Trace: trace,
 		Data: append([]byte(nil), data...)})
 	h.seq++
 	return ts

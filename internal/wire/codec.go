@@ -80,7 +80,16 @@ func row(b []byte, a *Arena) ([]uint64, []byte, error) {
 // extended slice. It validates structure: unknown opcodes and nested
 // composite ops are errors, so every encodable request is decodable.
 func AppendRequest(dst []byte, r *Request) ([]byte, error) {
-	dst = append(dst, byte(r.Op))
+	op := byte(r.Op)
+	if op&TraceFlag != 0 {
+		return nil, fmt.Errorf("wire: cannot encode %v", r.Op)
+	}
+	if r.Trace != 0 {
+		dst = append(dst, op|TraceFlag)
+		dst = binary.AppendUvarint(dst, r.Trace)
+	} else {
+		dst = append(dst, op)
+	}
 	switch r.Op {
 	case OpGet, OpDelete:
 		dst = binary.AppendUvarint(dst, uint64(r.Table))
@@ -147,8 +156,22 @@ func decodeRequest(b []byte, inTxn bool, a *Arena) (Request, []byte, error) {
 	if len(b) == 0 {
 		return r, nil, fmt.Errorf("request opcode: %w", ErrTruncated)
 	}
-	r.Op = Op(b[0])
+	r.Op = Op(b[0] &^ TraceFlag)
+	traced := b[0]&TraceFlag != 0
 	b = b[1:]
+	if traced {
+		if inTxn {
+			return r, nil, errors.New("wire: trace flag on TXN sub-op")
+		}
+		var err error
+		r.Trace, b, err = uvarint(b)
+		if err != nil {
+			return r, nil, fmt.Errorf("%v trace: %w", r.Op, err)
+		}
+		if r.Trace == 0 {
+			return r, nil, fmt.Errorf("wire: %v trace flag with zero trace ID", r.Op)
+		}
+	}
 	switch r.Op {
 	case OpGet, OpPut, OpInsert, OpDelete:
 		table, rest, err := uvarint(b)

@@ -21,6 +21,12 @@ func seedPayloads(t interface{ Fatal(...any) }) [][]byte {
 			{Op: OpPut, Table: 0, Key: 2, Vals: []uint64{9}},
 		}},
 		{Op: OpGetAt, Table: 1, Key: 9, MinTS: 1 << 40},
+		{Op: OpPut, Table: 2, Key: 3, Vals: []uint64{4, 5, 6}, Trace: 0xdeadbeef},
+		{Op: OpGet, Table: 0, Key: 1, Trace: 1},
+		{Op: OpTxn, Trace: 1 << 60, Ops: []Request{
+			{Op: OpGet, Table: 0, Key: 1},
+			{Op: OpPut, Table: 0, Key: 2, Vals: []uint64{9}},
+		}},
 	}
 	resps := []Response{
 		{Kind: RespEmpty, Status: StatusOK},
@@ -133,6 +139,9 @@ func seedReplPayloads(t interface{ Fatal(...any) }) [][]byte {
 		{Kind: ReplSubscribe, Inc: 3, Seq: 127, Epoch: 2},
 		{Kind: ReplBatch, Inc: 5, Seq: 11, Epoch: 2, Recs: []ReplRecord{
 			{Seq: 11, TS: 1002, H: 1, HSeq: 4, Data: []byte("redo2")},
+		}},
+		{Kind: ReplBatch, Inc: 6, Seq: 12, Epoch: 2, Recs: []ReplRecord{
+			{Seq: 12, TS: 1003, H: 1, HSeq: 5, Trace: 0xabcdef0123, Data: []byte("redo3")},
 		}},
 		{Kind: ReplStatus, Inc: 6, Seq: 900, Epoch: 3, Role: 1,
 			PrevInc: 4, PrevSeq: 880, Addr: "127.0.0.1:7101"},

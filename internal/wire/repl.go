@@ -98,7 +98,11 @@ type ReplRecord struct {
 	TS   uint64
 	H    uint32
 	HSeq uint64
-	Data []byte
+	// Trace is the trace ID of the client request that produced this
+	// record (0 for unsampled requests and backfilled history): it lets a
+	// follower's apply span join the leader's trace.
+	Trace uint64
+	Data  []byte
 }
 
 // ReplMsg is one decoded replication frame. Inc and Seq are the position
@@ -153,6 +157,7 @@ func AppendReplMsg(dst []byte, m *ReplMsg) ([]byte, error) {
 			dst = binary.AppendUvarint(dst, rec.TS)
 			dst = binary.AppendUvarint(dst, uint64(rec.H))
 			dst = binary.AppendUvarint(dst, rec.HSeq)
+			dst = binary.AppendUvarint(dst, rec.Trace)
 			dst = binary.AppendUvarint(dst, uint64(len(rec.Data)))
 			dst = append(dst, rec.Data...)
 		}
@@ -220,6 +225,9 @@ func DecodeReplMsg(b []byte) (ReplMsg, error) {
 			rec.H = uint32(h)
 			if rec.HSeq, b, err = uvarint(b); err != nil {
 				return m, fmt.Errorf("record %d handle seq: %w", i, err)
+			}
+			if rec.Trace, b, err = uvarint(b); err != nil {
+				return m, fmt.Errorf("record %d trace: %w", i, err)
 			}
 			var sz uint64
 			if sz, b, err = uvarint(b); err != nil {

@@ -45,6 +45,22 @@ const (
 // Op identifies a request operation.
 type Op byte
 
+// TraceFlag is the opcode-byte bit marking a request that carries a
+// trace-ID uvarint immediately after the opcode. Requests without a
+// trace encode exactly as before the flag existed, so old clients and
+// old captures stay byte-identical. Anything peeking at a raw payload's
+// first byte must mask with PeekOp rather than reading it directly.
+const TraceFlag byte = 0x80
+
+// PeekOp classifies a raw request payload by its first byte, masking the
+// trace flag — the reader-side run classification that must not decode.
+func PeekOp(payload []byte) Op {
+	if len(payload) == 0 {
+		return opInvalid
+	}
+	return Op(payload[0] &^ TraceFlag)
+}
+
 // Request opcodes.
 const (
 	opInvalid Op = iota
@@ -265,6 +281,11 @@ type Request struct {
 	// write with commit timestamp ≤ MinTS. Zero means "any watermark",
 	// which a replica always serves. Ignored by every other op.
 	MinTS uint64
+	// Trace is the request's 64-bit trace ID; nonzero requests head-sample
+	// themselves into the server's span rings. Carried on the wire via
+	// TraceFlag on the opcode byte; zero adds no bytes. Only top-level
+	// requests carry it — TXN sub-ops inherit the frame's trace.
+	Trace uint64
 }
 
 // Response is one decoded response frame.
